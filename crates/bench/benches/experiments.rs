@@ -1,0 +1,225 @@
+//! Criterion benchmarks over the reproduction's core kernels: one group
+//! per paper artifact, each running a scaled version of the experiment's
+//! inner loop so `cargo bench` finishes in minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram_sim::{ChipProfile, DramChip, Time};
+use dram_testbed::Testbed;
+use dramscope_bench::experiments;
+use dramscope_core::hammer::{self, AibConfig, Attack};
+use dramscope_core::patterns::{nibble_pattern_row, CellLayout};
+use dramscope_core::protect::{self, AttackStrategy, MisraGries};
+use dramscope_core::rowcopy_probe;
+use std::hint::black_box;
+
+fn small_tb(seed: u64) -> Testbed {
+    Testbed::new(DramChip::new(ChipProfile::test_small(), seed))
+}
+
+/// Table III kernel: subarray-boundary discovery via RowCopy probing.
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3/subarray_discovery_128rows", |b| {
+        b.iter(|| {
+            let mut tb = small_tb(1);
+            let h = rowcopy_probe::subarray_heights(&mut tb, 0, 0..129).unwrap();
+            black_box(h)
+        })
+    });
+    c.bench_function("table3/coupled_row_detection", |b| {
+        b.iter(|| {
+            let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small_coupled(), 1));
+            black_box(rowcopy_probe::detect_coupled_rows(&mut tb, 0).unwrap())
+        })
+    });
+}
+
+/// Fig. 7 kernel: one influence-probe run of the swizzle pipeline.
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7/influence_probe_small", |b| {
+        b.iter(|| black_box(experiments::quick_influence_kernel().unwrap()))
+    });
+}
+
+/// Fig. 8 kernel: physical-image conversion through the swizzle.
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/pattern_round_trip", |b| {
+        b.iter(|| black_box(experiments::quick_pattern_kernel()))
+    });
+}
+
+/// Fig. 10/12/13 kernel: one measured single-sided attack.
+fn bench_attack_measure(c: &mut Criterion) {
+    c.bench_function("fig12/hammer_300k_and_read", |b| {
+        b.iter(|| {
+            let mut tb = small_tb(2);
+            let cfg = AibConfig {
+                bank: 0,
+                attack: Attack::Hammer { count: 300_000 },
+            };
+            let recs =
+                hammer::measure_victim_flips(&mut tb, cfg, 20, 19, &|_| u64::MAX, &|_| 0)
+                    .unwrap();
+            black_box(recs.len())
+        })
+    });
+    c.bench_function("fig12/press_8k_and_read", |b| {
+        b.iter(|| {
+            let mut tb = small_tb(2);
+            let cfg = AibConfig {
+                bank: 0,
+                attack: Attack::Press {
+                    count: 8_000,
+                    each_on: Time::from_ns(7_800),
+                },
+            };
+            let recs =
+                hammer::measure_victim_flips(&mut tb, cfg, 20, 19, &|_| u64::MAX, &|_| 0)
+                    .unwrap();
+            black_box(recs.len())
+        })
+    });
+}
+
+/// Fig. 14/15 kernel: H_cnt binary search.
+fn bench_hcnt(c: &mut Criterion) {
+    c.bench_function("fig15/hcnt_search", |b| {
+        b.iter(|| {
+            let mut tb = small_tb(3);
+            let r = hammer::hcnt_for_cell(
+                &mut tb,
+                0,
+                20,
+                19,
+                &|_| u64::MAX,
+                &|_| 0,
+                (0, 0),
+                4_000_000,
+            )
+            .unwrap();
+            black_box(r.trials)
+        })
+    });
+}
+
+/// Fig. 16 kernel: a 16-combination slice of the pattern sweep.
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16/nibble_sweep_16", |b| {
+        b.iter(|| {
+            let mut tb = small_tb(4);
+            let gt = tb.chip().ground_truth();
+            let layout =
+                CellLayout::from_swizzle(&gt.swizzle, tb.chip().profile().row_bits, gt.mat_width);
+            let cfg = AibConfig {
+                bank: 0,
+                attack: Attack::Hammer { count: 1_200_000 },
+            };
+            let mut total = 0usize;
+            for aggr_nib in 0..16u8 {
+                let vic = nibble_pattern_row(&layout, 0x3);
+                let agg = nibble_pattern_row(&layout, aggr_nib);
+                total += hammer::measure_victim_flips(
+                    &mut tb,
+                    cfg,
+                    20,
+                    19,
+                    &|col| vic[col as usize],
+                    &|col| agg[col as usize],
+                )
+                .unwrap()
+                .len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+/// §VI kernel: one tracked attack run.
+fn bench_protection(c: &mut Criterion) {
+    c.bench_function("sec6/tracked_attack", |b| {
+        b.iter(|| {
+            let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small_coupled(), 5));
+            let mut mg = MisraGries::new(600_000, 16);
+            let o = protect::run_attack(
+                &mut tb,
+                &mut mg,
+                45,
+                AttackStrategy::CoupledSplit { distance: 1024 },
+                2_400_000,
+                300_000,
+            )
+            .unwrap();
+            black_box(o.mitigations)
+        })
+    });
+}
+
+/// Raw device kernels: command throughput and loop-accelerated bursts.
+fn bench_device(c: &mut Criterion) {
+    c.bench_function("device/write_read_row", |b| {
+        let mut tb = small_tb(6);
+        let mut row = 0u32;
+        b.iter(|| {
+            row = (row + 1) % 2048;
+            tb.write_row_pattern(0, row, 0xA5A5_A5A5).unwrap();
+            black_box(tb.read_row(0, row).unwrap().len())
+        })
+    });
+    c.bench_function("device/hammer_burst_1m", |b| {
+        let mut tb = small_tb(7);
+        b.iter(|| {
+            tb.hammer(0, 20, 1_000_000).unwrap();
+            black_box(tb.now())
+        })
+    });
+    c.bench_function("device/rowcopy", |b| {
+        let mut tb = small_tb(8);
+        tb.write_row_pattern(0, 2, 0x1234_5678).unwrap();
+        b.iter(|| {
+            tb.rowcopy(0, 2, 7).unwrap();
+            black_box(tb.now())
+        })
+    });
+}
+
+/// §VI extensions: TRR probing, the power channel, and ECC decode.
+fn bench_extensions(c: &mut Criterion) {
+    c.bench_function("sec6/trr_windowed_attack", |b| {
+        b.iter(|| {
+            let mut tb =
+                Testbed::new(DramChip::new(ChipProfile::test_small().with_trr(2), 9));
+            let flips =
+                dramscope_core::trr_re::windowed_attack(&mut tb, 0, 20, &[19, 21], 200_000, 4, true)
+                    .unwrap();
+            black_box(flips)
+        })
+    });
+    c.bench_function("sec6/power_energy_scan", |b| {
+        let mut tb = small_tb(10);
+        b.iter(|| {
+            let scan =
+                dramscope_core::power_channel::energy_scan(&mut tb, 0, 0..512, 4).unwrap();
+            black_box(scan.len())
+        })
+    });
+    c.bench_function("sec6/ecc_encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..256u32 {
+                let data = i.wrapping_mul(0x9E37_79B9);
+                let p = dram_sim::ecc::encode(data);
+                let (d, _) = dram_sim::ecc::decode(data ^ 1, p);
+                acc ^= d;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3, bench_fig7, bench_fig8, bench_attack_measure,
+              bench_hcnt, bench_fig16, bench_protection, bench_device,
+              bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Runs every table/figure experiment in sequence (the full artifact
+//! regeneration). Run with `--release`; takes a few minutes.
+
+use dramscope_bench::experiments as e;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", e::table1()?);
+    println!("{}", e::table3()?);
+    println!("{}", e::fig5_pitfalls()?);
+    println!("{}", e::fig7_swizzle()?);
+    println!("{}", e::fig8_patterns()?);
+    println!("{}", e::fig10_edge_ber()?);
+    println!("{}", e::fig12_profile()?);
+    println!("{}", e::fig13_gate_types()?);
+    println!("{}", e::fig14_horizontal()?);
+    println!("{}", e::fig15_hcnt()?);
+    println!("{}", e::fig16_sweep()?.0);
+    println!("{}", e::fig17_worst_case()?);
+    println!("{}", e::sec6_protection()?);
+    println!("{}", e::dossier_report()?);
+    println!("{}", e::trr_study()?);
+    println!("{}", e::side_channels()?);
+    println!("{}", e::observations_report()?);
+    Ok(())
+}

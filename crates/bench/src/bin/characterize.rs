@@ -1,0 +1,46 @@
+//! Full black-box characterization of one device: prints the dossier the
+//! toolkit assembles from RowCopy, retention, AIB, power, TRR, and ECC
+//! probing. Run with `--release`:
+//!
+//! ```text
+//! cargo run --release -p dramscope-bench --bin characterize [profile]
+//! ```
+//!
+//! `profile` is a preset name like `mfr_a_x4_2016` (default),
+//! `mfr_b_x4_2019`, `mfr_c_x8_2016`, or `hbm2`.
+
+use dram_sim::ChipProfile;
+use dramscope_core::dossier::{characterize, CharacterizeOptions};
+
+fn profile_by_name(name: &str) -> Option<(ChipProfile, (u32, u32))> {
+    // Each profile gets an interior probe range inside a non-edge
+    // subarray of its layout.
+    Some(match name {
+        "mfr_a_x4_2016" | "default" => (ChipProfile::mfr_a_x4_2016(), (648, 704)),
+        "mfr_a_x4_2018" => (ChipProfile::mfr_a_x4_2018(), (840, 896)),
+        "mfr_a_x4_2021" => (ChipProfile::mfr_a_x4_2021(), (840, 896)),
+        "mfr_a_x8_2017" => (ChipProfile::mfr_a_x8_2017(), (648, 704)),
+        "mfr_b_x4_2019" => (ChipProfile::mfr_b_x4_2019(), (840, 896)),
+        "mfr_b_x8_2017" => (ChipProfile::mfr_b_x8_2017(), (840, 896)),
+        "mfr_c_x4_2018" => (ChipProfile::mfr_c_x4_2018(), (696, 752)),
+        "mfr_c_x8_2016" => (ChipProfile::mfr_c_x8_2016(), (696, 752)),
+        "hbm2" => (ChipProfile::hbm2_mfr_a(), (840, 896)),
+        _ => return None,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "default".into());
+    let Some((profile, probe_range)) = profile_by_name(&name) else {
+        eprintln!("unknown profile '{name}'");
+        std::process::exit(2);
+    };
+    let opts = CharacterizeOptions {
+        with_swizzle: true,
+        probe_range,
+        ..CharacterizeOptions::default()
+    };
+    let dossier = characterize(&profile, dramscope_bench::experiments::SEED, opts)?;
+    print!("{dossier}");
+    Ok(())
+}

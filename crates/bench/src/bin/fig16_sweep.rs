@@ -1,0 +1,7 @@
+//! Regenerates the Fig. 16 pattern-sweep heat map. Run with `--release`.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (report, _matrix) = dramscope_bench::experiments::fig16_sweep()?;
+    print!("{report}");
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates the corresponding paper artifact. Run with `--release`.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", dramscope_bench::experiments::fig8_patterns()?);
+    Ok(())
+}

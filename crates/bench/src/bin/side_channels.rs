@@ -1,0 +1,6 @@
+//! Regenerates the corresponding extension study. Run with `--release`.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    print!("{}", dramscope_bench::experiments::side_channels()?);
+    Ok(())
+}

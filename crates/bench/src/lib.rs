@@ -1,0 +1,26 @@
+//! # dramscope-bench
+//!
+//! Experiment drivers regenerating every table and figure of the
+//! DRAMScope paper's evaluation, shared between the `src/bin/*`
+//! binaries (full-scale runs, paper-style output) and the Criterion
+//! benchmarks (scaled kernels).
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — device population |
+//! | [`experiments::table3`] | Table III — subarray/edge/coupled structures |
+//! | [`experiments::fig5_pitfalls`] | Fig. 5 — RCD/DQ mapping pitfalls |
+//! | [`experiments::fig7_swizzle`] | Fig. 7 — recovered data swizzling |
+//! | [`experiments::fig8_patterns`] | Fig. 8 — naive pattern distortion |
+//! | [`experiments::fig10_edge_ber`] | Fig. 10 — edge vs typical subarray BER |
+//! | [`experiments::fig12_profile`] | Fig. 12 — BER vs physical bit index |
+//! | [`experiments::fig13_gate_types`] | Fig. 13 — BER by gate type and charge |
+//! | [`experiments::fig14_horizontal`] | Fig. 14 — horizontal data-pattern influence |
+//! | [`experiments::fig15_hcnt`] | Fig. 15 — relative H_cnt |
+//! | [`experiments::fig16_sweep`] | Fig. 16 — 4-bit pattern sweep |
+//! | [`experiments::fig17_worst_case`] | Fig. 17 — worst-case adversarial pattern |
+//! | [`experiments::sec6_protection`] | §VI — attacks and protections |
+
+#![warn(missing_docs)]
+
+pub mod experiments;

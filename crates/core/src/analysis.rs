@@ -1,0 +1,138 @@
+//! Statistical reductions shared by the experiment drivers: alternation
+//! contrast for the Fig. 12/13 histograms, binomial confidence intervals
+//! for BER estimates, and series normalization.
+
+/// The even/odd alternation contrast of a histogram: the ratio of the
+/// stronger parity-class total to the weaker one (≥ 1.0). A flat profile
+/// scores ≈ 1; the paper's Fig. 12 panels score ≫ 1.
+pub fn alternation_contrast(hist: &[u64]) -> f64 {
+    let even: u64 = hist.iter().step_by(2).sum();
+    let odd: u64 = hist.iter().skip(1).step_by(2).sum();
+    let hi = even.max(odd) as f64;
+    let lo = even.min(odd) as f64;
+    if lo == 0.0 {
+        if hi == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        hi / lo
+    }
+}
+
+/// Which parity class dominates a histogram (`true` = even indices).
+pub fn dominant_parity(hist: &[u64]) -> bool {
+    let even: u64 = hist.iter().step_by(2).sum();
+    let odd: u64 = hist.iter().skip(1).step_by(2).sum();
+    even >= odd
+}
+
+/// A binomial proportion with a Wilson 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerEstimate {
+    /// Observed flips.
+    pub flips: u64,
+    /// Observed cells.
+    pub cells: u64,
+    /// Point estimate.
+    pub ber: f64,
+    /// Wilson interval lower bound.
+    pub lo: f64,
+    /// Wilson interval upper bound.
+    pub hi: f64,
+}
+
+/// Computes a BER point estimate with a Wilson 95% interval.
+///
+/// # Example
+///
+/// ```
+/// let e = dramscope_core::analysis::ber_estimate(50, 1000);
+/// assert!(e.lo < e.ber && e.ber < e.hi);
+/// assert!((e.ber - 0.05).abs() < 1e-12);
+/// ```
+pub fn ber_estimate(flips: u64, cells: u64) -> BerEstimate {
+    let n = cells.max(1) as f64;
+    let p = flips as f64 / n;
+    let z = 1.959964; // 95%
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    BerEstimate {
+        flips,
+        cells,
+        ber: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// `true` when two BER estimates' 95% intervals do not overlap — a
+/// conservative "significantly different" check for the ratio claims.
+pub fn significantly_different(a: &BerEstimate, b: &BerEstimate) -> bool {
+    a.hi < b.lo || b.hi < a.lo
+}
+
+/// Normalizes a series to its first element (the paper's "relative BER"
+/// presentation). Returns an empty vector for an empty input; a zero
+/// first element normalizes to the raw values.
+pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    match values.first() {
+        None => Vec::new(),
+        Some(&f) if f != 0.0 => values.iter().map(|v| v / f).collect(),
+        Some(_) => values.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrast_detects_alternation() {
+        let flat = vec![10u64; 32];
+        assert!((alternation_contrast(&flat) - 1.0).abs() < 1e-12);
+        let alternating: Vec<u64> = (0..32).map(|i| if i % 2 == 0 { 100 } else { 5 }).collect();
+        assert!(alternation_contrast(&alternating) > 10.0);
+        assert!(dominant_parity(&alternating));
+        let reversed: Vec<u64> = (0..32).map(|i| if i % 2 == 1 { 100 } else { 5 }).collect();
+        assert!(!dominant_parity(&reversed));
+    }
+
+    #[test]
+    fn contrast_edge_cases() {
+        assert_eq!(alternation_contrast(&[]), 1.0);
+        assert_eq!(alternation_contrast(&[5, 0, 5, 0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn wilson_interval_behaves() {
+        let e = ber_estimate(0, 1000);
+        assert_eq!(e.ber, 0.0);
+        assert!(e.lo < 1e-9 && e.hi > 0.0 && e.hi < 0.01);
+        let e = ber_estimate(1000, 1000);
+        assert_eq!(e.ber, 1.0);
+        assert!(e.lo > 0.99 && e.hi > 1.0 - 1e-9);
+        let wide = ber_estimate(5, 10);
+        let narrow = ber_estimate(500, 1000);
+        assert!(wide.hi - wide.lo > narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn significance_check() {
+        let a = ber_estimate(10, 1000);
+        let b = ber_estimate(300, 1000);
+        assert!(significantly_different(&a, &b));
+        let c = ber_estimate(12, 1000);
+        assert!(!significantly_different(&a, &c));
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_to_first(&[2.0, 4.0, 1.0]), vec![1.0, 2.0, 0.5]);
+        assert!(normalize_to_first(&[]).is_empty());
+        assert_eq!(normalize_to_first(&[0.0, 3.0]), vec![0.0, 3.0]);
+    }
+}

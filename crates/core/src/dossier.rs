@@ -1,0 +1,279 @@
+//! One-call chip characterization: the full DRAMScope flow bundled into
+//! a device dossier.
+//!
+//! [`characterize`] runs every reverse-engineering technique against a
+//! fresh chip — RowCopy structure probing, retention polarity, remap
+//! detection, optional swizzle recovery, TRR fingerprinting, ECC
+//! detection, and the power-rail cross-check — and returns a
+//! [`ChipDossier`], the report a downstream user (attack author, defense
+//! designer, or PIM researcher) actually wants about an unknown device.
+
+use crate::ecc_probe::{self, EccVerdict};
+use crate::hammer::{AibConfig, Attack};
+use crate::observations::ObservationSuite;
+use crate::power_channel;
+use crate::remap_re::{self, RemapVerdict};
+use crate::retention_probe::{self, PolarityVerdict};
+use crate::rowcopy_probe;
+use crate::trr_re::{self, TrrVerdict};
+use dram_sim::{ChipProfile, DramChip, Time};
+use dram_testbed::Testbed;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Summarizes a height sequence the way Table III does
+/// (`"11 x 640-row + 2 x 576-row (per 8192)"`).
+pub fn summarize_heights(heights: &[u32]) -> String {
+    if heights.is_empty() {
+        return "(none)".into();
+    }
+    // Find the shortest repeating block.
+    let block_len = (1..=heights.len())
+        .find(|&k| heights.iter().enumerate().all(|(i, h)| *h == heights[i % k]))
+        .unwrap_or(heights.len());
+    let block = &heights[..block_len];
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &h in block {
+        *counts.entry(h).or_default() += 1;
+    }
+    let body = counts
+        .iter()
+        .rev()
+        .map(|(h, c)| format!("{c} x {h}-row"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let total: u32 = block.iter().sum();
+    format!("{body} (per {total})")
+}
+
+/// Options for [`characterize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CharacterizeOptions {
+    /// Rows scanned for subarray boundaries (covers ≥ one composition
+    /// block on every known device at 8193).
+    pub scan_rows: u32,
+    /// Also run the (slower) swizzle-recovery pipeline; requires
+    /// `probe_range` to lie inside one interior subarray.
+    pub with_swizzle: bool,
+    /// Interior wordline range for adjacency/swizzle probing.
+    pub probe_range: (u32, u32),
+    /// Unrefreshed wait for the retention polarity test.
+    pub retention_wait: Time,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> Self {
+        CharacterizeOptions {
+            scan_rows: 8193,
+            with_swizzle: false,
+            probe_range: (648, 704),
+            retention_wait: Time::from_ms(120_000),
+        }
+    }
+}
+
+/// Everything the toolkit discovered about one device.
+#[derive(Debug, Clone)]
+pub struct ChipDossier {
+    /// The device's public label.
+    pub label: String,
+    /// Measured subarray heights over the scanned prefix.
+    pub subarray_heights: Vec<u32>,
+    /// Table III-style composition summary.
+    pub composition: String,
+    /// Edge-subarray interval (rows), if tandem pairs were found.
+    pub edge_interval: Option<u32>,
+    /// The same interval recovered independently from activation power.
+    pub edge_interval_from_power: Option<u32>,
+    /// Coupled-row distance, if the device couples rows.
+    pub coupled_distance: Option<u32>,
+    /// Whether cross-subarray RowCopy arrives inverted.
+    pub copy_inverted: Option<bool>,
+    /// Cell polarity scheme.
+    pub polarity: PolarityVerdict,
+    /// Row-decoder remapping verdict.
+    pub remap: RemapVerdict,
+    /// MATs feeding one RD_data (only with `with_swizzle`).
+    pub mats_per_rd: Option<u32>,
+    /// Measured MAT width in cells (only with `with_swizzle`).
+    pub mat_width: Option<u32>,
+    /// In-DRAM TRR verdict.
+    pub trr: TrrVerdict,
+    /// On-die ECC verdict.
+    pub on_die_ecc: EccVerdict,
+}
+
+impl fmt::Display for ChipDossier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== device dossier: {} ===", self.label)?;
+        writeln!(f, "subarray composition: {}", self.composition)?;
+        writeln!(
+            f,
+            "edge-subarray interval: {} (power cross-check: {})",
+            opt(self.edge_interval),
+            opt(self.edge_interval_from_power)
+        )?;
+        writeln!(f, "coupled-row distance: {}", opt(self.coupled_distance))?;
+        writeln!(
+            f,
+            "cross-subarray copy inverted: {}",
+            self.copy_inverted.map_or("?".into(), |b| b.to_string())
+        )?;
+        writeln!(f, "cell polarity: {:?}", self.polarity)?;
+        writeln!(f, "row decoder: {:?}", self.remap)?;
+        if let (Some(m), Some(w)) = (self.mats_per_rd, self.mat_width) {
+            writeln!(f, "data swizzling: RD_data from {m} MATs of {w} cells")?;
+        }
+        writeln!(f, "in-DRAM TRR: {:?}", self.trr)?;
+        writeln!(f, "on-die ECC: {:?}", self.on_die_ecc)
+    }
+}
+
+fn opt(v: Option<u32>) -> String {
+    v.map_or("none".into(), |x| format!("{x} rows"))
+}
+
+/// Runs the complete characterization flow against fresh chips built from
+/// `(profile, seed)`.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors and pipeline failures.
+pub fn characterize(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+) -> Result<ChipDossier, Box<dyn Error>> {
+    let mut tb = Testbed::new(DramChip::new(profile.clone(), seed));
+
+    // Structure via RowCopy.
+    let scan_end = opts.scan_rows.min(tb.rows());
+    let subarray_heights = rowcopy_probe::subarray_heights(&mut tb, 0, 0..scan_end)?;
+    let composition = summarize_heights(&subarray_heights);
+    let edge_interval = rowcopy_probe::detect_edge_interval(&mut tb, 0)?;
+    let coupled_distance = rowcopy_probe::detect_coupled_rows(&mut tb, 0)?;
+    let copy_inverted = rowcopy_probe::detect_copy_inversion(&mut tb, 0, 0)?;
+
+    // Power cross-check of the edge interval (stride below the smallest
+    // known subarray height).
+    let stride = 64.min(tb.rows() / 32).max(1);
+    let edge_interval_from_power = power_channel::edge_interval_from_power(&mut tb, 0, stride)?;
+
+    // Retention polarity over a spread of rows.
+    let rows = tb.rows();
+    let sample = [rows / 16, rows / 3, rows / 2 + 7];
+    let verdicts = retention_probe::classify_rows(&mut tb, 0, &sample, opts.retention_wait)?;
+    let polarity = retention_probe::polarity_scheme(&verdicts);
+
+    // Remap detection on interior rows.
+    let cfg = AibConfig {
+        bank: 0,
+        attack: Attack::Hammer { count: 2_600_000 },
+    };
+    let probe_mid = (opts.probe_range.0 + opts.probe_range.1) / 2;
+    let remap = remap_re::detect_remap(&mut tb, cfg, &[probe_mid])?;
+
+    // Optional swizzle recovery via the observation suite's pipeline.
+    let (mats_per_rd, mat_width) = if opts.with_swizzle {
+        let mut suite = ObservationSuite::with_profile_range(
+            profile.clone(),
+            seed,
+            opts.probe_range.0,
+            opts.probe_range.1,
+        );
+        let layout = suite.layout()?;
+        (
+            Some(layout.row_bits() / layout.mat_width()),
+            Some(layout.mat_width()),
+        )
+    } else {
+        (None, None)
+    };
+
+    // TRR and ECC fingerprints on fresh chips. The victims are the rows
+    // the adjacency probe actually found — pin neighbours are wrong on
+    // remapped devices.
+    let aggressor = probe_mid;
+    let victims = crate::hammer::adjacent_rows(&mut tb, cfg, aggressor, 8)?;
+    if victims.is_empty() {
+        return Err("no victims found for the aggressor probe row".into());
+    }
+    let mut fresh = || Testbed::new(DramChip::new(profile.clone(), seed));
+    let trr = trr_re::detect_trr(&mut fresh, 0, aggressor, &victims, 400_000, 12)?;
+    let on_die_ecc = ecc_probe::detect_on_die_ecc(&mut fresh, 0, aggressor, victims[0], 8_000_000)?;
+
+    Ok(ChipDossier {
+        label: profile.label(),
+        subarray_heights,
+        composition,
+        edge_interval,
+        edge_interval_from_power,
+        coupled_distance,
+        copy_inverted,
+        polarity,
+        remap,
+        mats_per_rd,
+        mat_width,
+        trr,
+        on_die_ecc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_matches_table_iii_style() {
+        let mut block = vec![640u32; 11];
+        block.extend([576, 576]);
+        assert_eq!(
+            summarize_heights(&block),
+            "11 x 640-row + 2 x 576-row (per 8192)"
+        );
+        assert_eq!(summarize_heights(&[]), "(none)");
+    }
+
+    #[test]
+    fn dossier_for_the_small_coupled_chip() {
+        let opts = CharacterizeOptions {
+            scan_rows: 257,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let d = characterize(&ChipProfile::test_small_coupled(), 77, opts).unwrap();
+        assert_eq!(d.subarray_heights[..4], [40, 24, 40, 24]);
+        assert_eq!(d.composition, "1 x 40-row + 1 x 24-row (per 64)");
+        assert_eq!(d.edge_interval, Some(256));
+        assert_eq!(d.edge_interval_from_power, Some(256));
+        assert_eq!(d.coupled_distance, Some(1024));
+        assert_eq!(d.copy_inverted, Some(true));
+        assert_eq!(d.polarity, PolarityVerdict::AllTrue);
+        assert_eq!(d.remap, RemapVerdict::Scrambled);
+        assert_eq!(d.trr, TrrVerdict::Absent);
+        assert_eq!(d.on_die_ecc, EccVerdict::Absent);
+        let text = d.to_string();
+        assert!(text.contains("coupled-row distance: 1024 rows"), "{text}");
+    }
+
+    #[test]
+    fn dossier_flags_trr_and_ecc_chips() {
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let d = characterize(
+            &ChipProfile::test_small().with_trr(2).with_on_die_ecc(),
+            77,
+            opts,
+        )
+        .unwrap();
+        assert_eq!(d.trr, TrrVerdict::Present);
+        assert_eq!(d.on_die_ecc, EccVerdict::Present);
+        assert_eq!(d.remap, RemapVerdict::Sequential);
+    }
+}

@@ -1,0 +1,147 @@
+//! On-die ECC detection (the BEER/HARP question the paper cites: what
+//! error correction hides between the cells and the pins?).
+//!
+//! A SEC on-die ECC changes the *shape* of visible errors without any
+//! interface hint:
+//!
+//! * single-cell errors are invisible, so the first *visible* corruption
+//!   of a victim row appears only once a codeword holds two errors —
+//!   and then it surfaces as **two or three** flipped bits at once
+//!   (raw double error, or a miscorrection adding a third);
+//! * on an unprotected chip the first visible corruption is a single
+//!   bit.
+//!
+//! [`detect_on_die_ecc`] turns that signature into a black-box verdict.
+
+use dram_testbed::{results, Testbed, TestbedError};
+
+/// The verdict of an ECC-presence probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccVerdict {
+    /// First visible corruption was a single bit: no on-die correction.
+    Absent,
+    /// First visible corruption arrived as a multi-bit event.
+    Present,
+    /// Nothing flipped within the dose ceiling.
+    Inconclusive,
+}
+
+/// Measures the victim flips visible at `dose` activations.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn visible_flips(
+    tb: &mut Testbed,
+    bank: u32,
+    aggressor: u32,
+    victim: u32,
+    dose: u64,
+) -> Result<u32, TestbedError> {
+    tb.write_row_pattern(bank, victim, u64::MAX)?;
+    tb.write_row_pattern(bank, aggressor, 0)?;
+    tb.hammer(bank, aggressor, dose)?;
+    let rd_bits = tb.chip().profile().io_width.rd_bits();
+    let data = tb.read_row(bank, victim)?;
+    Ok(results::diff_row(victim, rd_bits, |_| u64::MAX, &data).len() as u32)
+}
+
+/// Detects on-die ECC from the first-visible-corruption signature.
+///
+/// `fresh` must produce identical chips (same profile and seed).
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn detect_on_die_ecc(
+    fresh: &mut dyn FnMut() -> Testbed,
+    bank: u32,
+    aggressor: u32,
+    victim: u32,
+    ceiling: u64,
+) -> Result<EccVerdict, TestbedError> {
+    let mut flips_at = |n: u64| -> Result<u32, TestbedError> {
+        let mut tb = fresh();
+        visible_flips(&mut tb, bank, aggressor, victim, n)
+    };
+    if flips_at(ceiling)? == 0 {
+        return Ok(EccVerdict::Inconclusive);
+    }
+    // Bisect the minimal dose with visible corruption.
+    let (mut lo, mut hi) = (0u64, ceiling);
+    while hi - lo > ceiling / 256 {
+        let mid = lo + (hi - lo) / 2;
+        if flips_at(mid)? > 0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let first_visible = flips_at(hi)?;
+    Ok(if first_visible >= 2 {
+        EccVerdict::Present
+    } else {
+        EccVerdict::Absent
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{ChipProfile, DramChip};
+
+    #[test]
+    fn detects_absence_on_a_plain_chip() {
+        let mut mk = || Testbed::new(DramChip::new(ChipProfile::test_small(), 61));
+        let v = detect_on_die_ecc(&mut mk, 0, 20, 19, 8_000_000).unwrap();
+        assert_eq!(v, EccVerdict::Absent);
+    }
+
+    #[test]
+    fn detects_presence_on_an_ecc_chip() {
+        let mut mk =
+            || Testbed::new(DramChip::new(ChipProfile::test_small().with_on_die_ecc(), 61));
+        let v = detect_on_die_ecc(&mut mk, 0, 20, 19, 8_000_000).unwrap();
+        assert_eq!(v, EccVerdict::Present);
+    }
+
+    #[test]
+    fn underdosed_probe_is_inconclusive() {
+        let mut mk = || Testbed::new(DramChip::new(ChipProfile::test_small(), 61));
+        let v = detect_on_die_ecc(&mut mk, 0, 20, 19, 1_000).unwrap();
+        assert_eq!(v, EccVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn ecc_raises_the_visible_flip_threshold() {
+        // The dose needed for *any* visible corruption must be higher
+        // with on-die ECC (its first event needs a double error).
+        let first_visible = |ecc: bool| -> u64 {
+            let mk = move || {
+                let p = if ecc {
+                    ChipProfile::test_small().with_on_die_ecc()
+                } else {
+                    ChipProfile::test_small()
+                };
+                Testbed::new(DramChip::new(p, 61))
+            };
+            let (mut lo, mut hi) = (0u64, 8_000_000u64);
+            while hi - lo > 31_250 {
+                let mid = lo + (hi - lo) / 2;
+                let mut tb = mk();
+                if visible_flips(&mut tb, 0, 20, 19, mid).unwrap() > 0 {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi
+        };
+        let plain = first_visible(false);
+        let protected = first_visible(true);
+        assert!(
+            protected > plain,
+            "ECC first-visible dose {protected} must exceed raw {plain}"
+        );
+    }
+}

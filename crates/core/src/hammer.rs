@@ -1,0 +1,460 @@
+//! AIB test drivers: RowHammer / RowPress attacks, flip scanning,
+//! adjacency profiling, BER measurement, and `H_cnt` search (paper §III-B,
+//! §V-B).
+
+use dram_sim::Time;
+use dram_testbed::{results, BitflipRecord, Testbed, TestbedError, PRESS_ON_TIME};
+use std::ops::Range;
+
+/// An AIB attack specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// RowHammer: many short activations (35 ns each).
+    Hammer {
+        /// Activation count.
+        count: u64,
+    },
+    /// RowPress: few activations held open for a long time.
+    Press {
+        /// Activation count.
+        count: u64,
+        /// Open time per activation.
+        each_on: Time,
+    },
+}
+
+impl Attack {
+    /// The paper's standard RowHammer experiment: 300 K single-sided
+    /// activations (§V-B).
+    pub fn standard_hammer() -> Self {
+        Attack::Hammer { count: 300_000 }
+    }
+
+    /// The paper's standard RowPress experiment: 8 K activations of
+    /// 7.8 µs each (§V-B).
+    pub fn standard_press() -> Self {
+        Attack::Press {
+            count: 8_000,
+            each_on: PRESS_ON_TIME,
+        }
+    }
+
+    /// Runs the attack on one aggressor row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn run(self, tb: &mut Testbed, bank: u32, row: u32) -> Result<(), TestbedError> {
+        match self {
+            Attack::Hammer { count } => tb.hammer(bank, row, count),
+            Attack::Press { count, each_on } => tb.press(bank, row, count, each_on),
+        }
+    }
+}
+
+/// Common experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AibConfig {
+    /// Bank under test.
+    pub bank: u32,
+    /// The attack to run.
+    pub attack: Attack,
+}
+
+impl Default for AibConfig {
+    fn default() -> Self {
+        AibConfig {
+            bank: 0,
+            attack: Attack::standard_hammer(),
+        }
+    }
+}
+
+/// Writes `victim_pattern` to every row in `scan` (skipping the
+/// aggressor), writes `aggr_pattern` to the aggressor, runs the attack,
+/// and returns the flip count of every scanned row.
+///
+/// This is the discovery primitive: it assumes nothing about adjacency.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn attack_and_scan(
+    tb: &mut Testbed,
+    cfg: AibConfig,
+    aggressor: u32,
+    scan: Range<u32>,
+    victim_pattern: u64,
+    aggr_pattern: u64,
+) -> Result<Vec<(u32, u32)>, TestbedError> {
+    for row in scan.clone() {
+        if row != aggressor {
+            tb.write_row_pattern(cfg.bank, row, victim_pattern)?;
+        }
+    }
+    tb.write_row_pattern(cfg.bank, aggressor, aggr_pattern)?;
+    cfg.attack.run(tb, cfg.bank, aggressor)?;
+    let rd_bits = tb.chip().profile().io_width.rd_bits();
+    let mut out = Vec::new();
+    for row in scan {
+        if row == aggressor {
+            continue;
+        }
+        let data = tb.read_row(cfg.bank, row)?;
+        let flips = results::diff_row(row, rd_bits, |_| victim_pattern, &data).len() as u32;
+        out.push((row, flips));
+    }
+    Ok(out)
+}
+
+/// Finds the rows most damaged by single-sided hammering of `aggressor`
+/// within `radius` pin addresses — the physically adjacent rows
+/// (common pitfall 2 recovery, paper §III-C).
+///
+/// Returns up to two row addresses ordered by flip count (descending);
+/// rows with zero flips are omitted.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn adjacent_rows(
+    tb: &mut Testbed,
+    cfg: AibConfig,
+    aggressor: u32,
+    radius: u32,
+) -> Result<Vec<u32>, TestbedError> {
+    let lo = aggressor.saturating_sub(radius);
+    let hi = (aggressor + radius + 1).min(tb.rows());
+    // Victims all-charged, aggressor opposite: the strongest hammer setup.
+    let mut flips = attack_and_scan(tb, cfg, aggressor, lo..hi, u64::MAX, 0)?;
+    flips.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Ok(flips
+        .into_iter()
+        .take_while(|(_, f)| *f > 0)
+        .take(2)
+        .map(|(r, _)| r)
+        .collect())
+}
+
+/// Measures the flips of one known victim row under per-column pattern
+/// functions. Victim and aggressor rows are rewritten first, so each call
+/// is an independent trial.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn measure_victim_flips(
+    tb: &mut Testbed,
+    cfg: AibConfig,
+    aggressor: u32,
+    victim: u32,
+    vic_pattern: &dyn Fn(u32) -> u64,
+    aggr_pattern: &dyn Fn(u32) -> u64,
+) -> Result<Vec<BitflipRecord>, TestbedError> {
+    tb.write_row_with(cfg.bank, victim, vic_pattern)?;
+    tb.write_row_with(cfg.bank, aggressor, aggr_pattern)?;
+    cfg.attack.run(tb, cfg.bank, aggressor)?;
+    let rd_bits = tb.chip().profile().io_width.rd_bits();
+    let data = tb.read_row(cfg.bank, victim)?;
+    Ok(results::diff_row(victim, rd_bits, vic_pattern, &data))
+}
+
+/// The result of an `H_cnt` search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HcntResult {
+    /// The smallest activation count that flipped the target, if it ever
+    /// flipped within the search ceiling.
+    pub count: Option<u64>,
+    /// Attack trials spent.
+    pub trials: u32,
+}
+
+/// Binary-searches the minimum activation count (`H_cnt`) that flips a
+/// specific victim cell `(col, bit)` (paper §V-D, Fig. 15).
+///
+/// Patterns are rewritten before every trial so trials are independent.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+#[allow(clippy::too_many_arguments)]
+pub fn hcnt_for_cell(
+    tb: &mut Testbed,
+    bank: u32,
+    aggressor: u32,
+    victim: u32,
+    vic_pattern: &dyn Fn(u32) -> u64,
+    aggr_pattern: &dyn Fn(u32) -> u64,
+    target: (u32, u32),
+    ceiling: u64,
+) -> Result<HcntResult, TestbedError> {
+    let (t_col, t_bit) = target;
+    let mut trials = 0;
+    let flips_at = |tb: &mut Testbed, count: u64, trials: &mut u32| -> Result<bool, TestbedError> {
+        *trials += 1;
+        tb.write_row_with(bank, victim, vic_pattern)?;
+        tb.write_row_with(bank, aggressor, aggr_pattern)?;
+        tb.hammer(bank, aggressor, count)?;
+        let data = tb.read_row(bank, victim)?;
+        let want = vic_pattern(t_col) & (1 << t_bit);
+        let got = data[t_col as usize] & (1 << t_bit);
+        Ok(want != got)
+    };
+
+    if !flips_at(tb, ceiling, &mut trials)? {
+        return Ok(HcntResult {
+            count: None,
+            trials,
+        });
+    }
+    let (mut lo, mut hi) = (0u64, ceiling);
+    // Invariant: flips at hi, does not flip at lo.
+    while hi - lo > ceiling.div_ceil(256).max(1) {
+        let mid = lo + (hi - lo) / 2;
+        if flips_at(tb, mid, &mut trials)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(HcntResult {
+        count: Some(hi),
+        trials,
+    })
+}
+
+/// A multi-aggressor hammer pattern (the access-pattern taxonomy the
+/// paper's footnote 6 and the TRR literature work with).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HammerPattern {
+    /// One aggressor (the paper's characterization default).
+    SingleSided {
+        /// Aggressor row.
+        row: u32,
+    },
+    /// Both physical neighbours of a victim, hammered equally — more
+    /// flips per activation but a confounded characterization signal
+    /// (footnote 6).
+    DoubleSided {
+        /// The sandwiched victim row.
+        victim: u32,
+    },
+    /// An arbitrary aggressor set (many-sided TRR-evasion patterns).
+    ManySided {
+        /// Aggressor rows.
+        rows: Vec<u32>,
+    },
+}
+
+impl HammerPattern {
+    /// The aggressor rows this pattern activates.
+    pub fn aggressors(&self) -> Vec<u32> {
+        match self {
+            HammerPattern::SingleSided { row } => vec![*row],
+            HammerPattern::DoubleSided { victim } => vec![victim - 1, victim + 1],
+            HammerPattern::ManySided { rows } => rows.clone(),
+        }
+    }
+
+    /// Runs the pattern: `count` activations per aggressor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn run(&self, tb: &mut Testbed, bank: u32, count: u64) -> Result<(), TestbedError> {
+        for row in self.aggressors() {
+            tb.hammer(bank, row, count)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregates flips-per-bit-index (mod `period`) over a set of
+/// independent victim measurements — the reduction behind Fig. 12.
+pub fn flips_by_bit_index(
+    records: &[BitflipRecord],
+    rd_bits: u32,
+    period: u32,
+) -> Vec<u64> {
+    let mut hist = vec![0u64; period as usize];
+    for r in records {
+        let idx = r.row_bit(rd_bits) % period;
+        hist[idx as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{ChipProfile, DramChip};
+
+    fn tb() -> Testbed {
+        Testbed::new(DramChip::new(ChipProfile::test_small(), 13))
+    }
+
+    fn big_hammer() -> AibConfig {
+        AibConfig {
+            bank: 0,
+            attack: Attack::Hammer { count: 1_500_000 },
+        }
+    }
+
+    #[test]
+    fn scan_finds_only_neighbors() {
+        let mut t = tb();
+        let flips = attack_and_scan(&mut t, big_hammer(), 20, 15..26, u64::MAX, 0).unwrap();
+        for (row, f) in &flips {
+            if *row == 19 || *row == 21 {
+                assert!(*f > 0, "row {row} must flip");
+            } else {
+                assert_eq!(*f, 0, "row {row} must not flip");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_rows_returns_the_two_neighbors() {
+        let mut t = tb();
+        let adj = adjacent_rows(&mut t, big_hammer(), 20, 4).unwrap();
+        let mut sorted = adj.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![19, 21]);
+    }
+
+    #[test]
+    fn subarray_edge_has_one_neighbor() {
+        let mut t = tb();
+        // Row 0 is the bottom of subarray 0: only row 1 is adjacent.
+        let adj = adjacent_rows(&mut t, big_hammer(), 0, 3).unwrap();
+        assert_eq!(adj, vec![1]);
+    }
+
+    #[test]
+    fn measure_victim_flips_reports_direction() {
+        let mut t = tb();
+        let recs = measure_victim_flips(
+            &mut t,
+            big_hammer(),
+            20,
+            19,
+            &|_| u64::MAX,
+            &|_| 0,
+        )
+        .unwrap();
+        assert!(!recs.is_empty());
+        assert!(recs
+            .iter()
+            .all(|r| r.direction == dram_testbed::FlipDirection::OneToZero));
+    }
+
+    #[test]
+    fn hcnt_search_is_consistent() {
+        let mut t = tb();
+        let res = hcnt_for_cell(
+            &mut t,
+            0,
+            20,
+            19,
+            &|_| u64::MAX,
+            &|_| 0,
+            (0, 0),
+            4_000_000,
+        )
+        .unwrap();
+        // Cell (0,0) may or may not be the weakest; if it flips, verify
+        // the search bracket semantics by direct replay.
+        if let Some(n) = res.count {
+            assert!(n <= 4_000_000);
+            let recs = measure_victim_flips(
+                &mut t,
+                AibConfig {
+                    bank: 0,
+                    attack: Attack::Hammer { count: n },
+                },
+                20,
+                19,
+                &|_| u64::MAX,
+                &|_| 0,
+            )
+            .unwrap();
+            assert!(
+                recs.iter().any(|r| (r.col, r.bit) == (0, 0)),
+                "replay at H_cnt must reproduce the flip"
+            );
+        }
+        assert!(res.trials >= 1);
+    }
+
+    #[test]
+    fn press_flips_only_charged_cells() {
+        let mut t = tb();
+        let cfg = AibConfig {
+            bank: 0,
+            attack: Attack::Press {
+                count: 64_000,
+                each_on: PRESS_ON_TIME,
+            },
+        };
+        // Charged victim (all 1s on an all-true chip) flips.
+        let charged = measure_victim_flips(&mut t, cfg, 20, 19, &|_| u64::MAX, &|_| 0).unwrap();
+        assert!(!charged.is_empty(), "charged cells must flip under press");
+        // Discharged victim (all 0s) does not.
+        let discharged = measure_victim_flips(&mut t, cfg, 20, 19, &|_| 0, &|_| u64::MAX).unwrap();
+        assert!(discharged.is_empty(), "press must spare discharged cells");
+    }
+
+    #[test]
+    fn double_sided_amplifies_single_sided() {
+        // Same per-aggressor count, two aggressors sandwiching the victim.
+        let count = 2_000_000;
+        let flips_for = |pattern: HammerPattern| -> usize {
+            let mut t = Testbed::new(DramChip::new(ChipProfile::test_small(), 13));
+            t.write_row_pattern(0, 20, u64::MAX).unwrap();
+            t.write_row_pattern(0, 19, 0).unwrap();
+            t.write_row_pattern(0, 21, 0).unwrap();
+            pattern.run(&mut t, 0, count).unwrap();
+            let data = t.read_row(0, 20).unwrap();
+            dram_testbed::results::diff_row(20, 32, |_| u64::MAX, &data).len()
+        };
+        let single = flips_for(HammerPattern::SingleSided { row: 21 });
+        let double = flips_for(HammerPattern::DoubleSided { victim: 20 });
+        assert!(single > 0);
+        // Each aggressor direction owns one gate-type class of the
+        // victim's cells, so double-sided roughly doubles the exposed
+        // population (footnote 6's "more errors with the same count").
+        assert!(
+            double as f64 > 1.5 * single as f64,
+            "double-sided must amplify: {double} vs {single}"
+        );
+        assert_eq!(
+            HammerPattern::DoubleSided { victim: 20 }.aggressors(),
+            vec![19, 21]
+        );
+        assert_eq!(
+            HammerPattern::ManySided { rows: vec![3, 9] }.aggressors(),
+            vec![3, 9]
+        );
+    }
+
+    #[test]
+    fn flips_by_bit_index_buckets() {
+        let recs = vec![
+            BitflipRecord {
+                row: 0,
+                col: 0,
+                bit: 1,
+                direction: dram_testbed::FlipDirection::OneToZero,
+            },
+            BitflipRecord {
+                row: 0,
+                col: 1,
+                bit: 1,
+                direction: dram_testbed::FlipDirection::OneToZero,
+            },
+        ];
+        let hist = flips_by_bit_index(&recs, 32, 32);
+        assert_eq!(hist[1], 2);
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+    }
+}

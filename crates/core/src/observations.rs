@@ -1,0 +1,816 @@
+//! Executable validations of the paper's fourteen observations.
+//!
+//! [`ObservationSuite`] drives a full-size simulated Mfr. A ×4 chip (the
+//! paper's most feature-complete device: internal remapping, coupled
+//! rows, edge subarrays, 640/576-row subarrays) purely through the
+//! command interface, reverse-engineers what it needs (row remap, data
+//! swizzle), and then checks each observation O1–O14 the way the paper
+//! states it. Ground truth is consulted only to *grade* the outcome,
+//! never to produce it.
+
+use crate::hammer::{self, AibConfig, Attack};
+use crate::patterns::{CellLayout, CellPatternBuilder};
+use crate::protect;
+use crate::remap_re;
+use crate::retention_probe::{self, PolarityVerdict};
+use crate::rowcopy_probe;
+use crate::swizzle_re::{self, ProbeSetup};
+use dram_sim::{ChipProfile, DramChip, Time};
+use dram_testbed::{BitflipRecord, Testbed};
+use std::error::Error;
+use std::fmt;
+
+/// A `(victim, upper aggressor, lower aggressor)` row triple.
+pub type Triple = (u32, u32, u32);
+
+/// A graded observation outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservationReport {
+    /// Observation number (1–14).
+    pub id: u8,
+    /// The paper's statement, abbreviated.
+    pub title: &'static str,
+    /// Whether the reproduction confirmed it.
+    pub passed: bool,
+    /// Measured evidence.
+    pub details: String,
+}
+
+impl fmt::Display for ObservationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "O{:<2} [{}] {} — {}",
+            self.id,
+            if self.passed { "PASS" } else { "FAIL" },
+            self.title,
+            self.details
+        )
+    }
+}
+
+/// The observation driver. See the [module docs](self).
+#[derive(Debug)]
+pub struct ObservationSuite {
+    tb: Testbed,
+    layout: Option<CellLayout>,
+    /// Consecutive physically-ordered pin rows inside an interior
+    /// subarray (from the remap reverse engineering).
+    phys_chain: Option<Vec<u32>>,
+    /// Row range used for interior probing (must lie inside a non-edge
+    /// subarray of the profile).
+    probe_lo: u32,
+    probe_hi: u32,
+}
+
+impl ObservationSuite {
+    /// Builds the suite on the paper's Mfr. A ×4 2016 device.
+    pub fn new(seed: u64) -> Self {
+        // Subarray 1 of the 2016 layout spans wordlines 640..1280.
+        Self::with_profile_range(ChipProfile::mfr_a_x4_2016(), seed, 648, 704)
+    }
+
+    /// Builds the suite on a specific profile with the default interior
+    /// probe range (valid for the 640/576-row Mfr. A 2016 layout).
+    pub fn with_profile(profile: ChipProfile, seed: u64) -> Self {
+        Self::with_profile_range(profile, seed, 648, 704)
+    }
+
+    /// Builds the suite with an explicit interior probe range
+    /// (`lo..hi` must sit inside one non-edge subarray, e.g. 840..896 for
+    /// the 832/768-row Mfr. A 2018/2021 layout).
+    pub fn with_profile_range(profile: ChipProfile, seed: u64, lo: u32, hi: u32) -> Self {
+        ObservationSuite {
+            tb: Testbed::new(DramChip::new(profile, seed)),
+            layout: None,
+            phys_chain: None,
+            probe_lo: lo,
+            probe_hi: hi,
+        }
+    }
+
+    /// Runs every observation in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors and reconstruction failures.
+    pub fn run_all(&mut self) -> Result<Vec<ObservationReport>, Box<dyn Error>> {
+        Ok(vec![
+            self.o1()?,
+            self.o2()?,
+            self.o3()?,
+            self.o4()?,
+            self.o5()?,
+            self.o6()?,
+            self.o7()?,
+            self.o8()?,
+            self.o9()?,
+            self.o10()?,
+            self.o11()?,
+            self.o12()?,
+            self.o13()?,
+            self.o14()?,
+        ])
+    }
+
+    /// The attack used for high-statistics probing (flip probability near
+    /// the top of the power-law regime).
+    pub fn strong_hammer() -> Attack {
+        Attack::Hammer { count: 2_600_000 }
+    }
+
+    /// Direct access to the suite's testbed (used by the experiment
+    /// binaries that extend the suite's measurements).
+    pub fn testbed_mut(&mut self) -> &mut Testbed {
+        &mut self.tb
+    }
+
+    /// Physically consecutive pin rows in an interior subarray, recovered
+    /// by hammer-based adjacency probing (pitfall-2 compensation).
+    /// Cached after the first call.
+    pub fn phys_chain(&mut self) -> Result<Vec<u32>, Box<dyn Error>> {
+        if self.phys_chain.is_none() {
+            let cfg = AibConfig {
+                bank: 0,
+                attack: Self::strong_hammer(),
+            };
+            let map = remap_re::adjacency_map(&mut self.tb, cfg, self.probe_lo..self.probe_hi)?;
+            let chains = remap_re::physical_chains(&map);
+            let longest = chains
+                .into_iter()
+                .max_by_key(|c| c.len())
+                .ok_or("no chains recovered")?;
+            if longest.len() < 24 {
+                return Err(format!("chain too short: {}", longest.len()).into());
+            }
+            self.phys_chain = Some(longest);
+        }
+        Ok(self.phys_chain.clone().expect("set above"))
+    }
+
+    /// `(victim, up, down)` triples with a consistent direction
+    /// convention, taken from the physical chain.
+    pub fn triples(&mut self, n: usize) -> Result<Vec<Triple>, Box<dyn Error>> {
+        let chain = self.phys_chain()?;
+        let mut out = Vec::new();
+        let mut i = 1;
+        while out.len() < n && i + 1 < chain.len() {
+            out.push((chain[i], chain[i + 1], chain[i - 1]));
+            i += 3;
+        }
+        if out.len() < n {
+            return Err("not enough interior triples".into());
+        }
+        Ok(out)
+    }
+
+    /// Like [`triples`](Self::triples), but every victim shares the same
+    /// *relative wordline parity* (chain-index parity). The 6F² error
+    /// pattern reverses between even and odd wordlines (O7), so
+    /// alternation measurements must not mix parities — this is the
+    /// "even WL victims only" selection of the paper's Fig. 12.
+    pub fn triples_with_parity(
+        &mut self,
+        n: usize,
+        parity: usize,
+    ) -> Result<Vec<Triple>, Box<dyn Error>> {
+        let chain = self.phys_chain()?;
+        let mut out = Vec::new();
+        let mut i = 1 + ((parity + 1) % 2);
+        while out.len() < n && i + 1 < chain.len() {
+            if i % 2 == parity {
+                out.push((chain[i], chain[i + 1], chain[i - 1]));
+            }
+            i += 2;
+        }
+        if out.len() < n {
+            return Err("not enough parity-consistent triples".into());
+        }
+        Ok(out)
+    }
+
+    /// The recovered cell layout (swizzle RE pipeline), cached.
+    pub fn layout(&mut self) -> Result<CellLayout, Box<dyn Error>> {
+        if self.layout.is_none() {
+            let triples = self.triples(6)?;
+            // Calibrate the probe dose below saturation (anti-cell
+            // subarrays saturate at the all-true chips' standard dose).
+            let attack = swizzle_re::calibrate_probe_attack(&mut self.tb, 0, triples[0])?;
+            let setup = ProbeSetup {
+                bank: 0,
+                triples,
+                attack,
+                drop_threshold: 0.98,
+            };
+            // Parity rows: straddle the nearest subarray boundary below
+            // the probe range; rowcopy probing finds it without ground
+            // truth.
+            let scan_lo = self.probe_lo.saturating_sub(250).max(1);
+            let boundaries =
+                rowcopy_probe::find_boundaries(&mut self.tb, 0, scan_lo..self.probe_lo + 250)?;
+            let b = *boundaries
+                .first()
+                .ok_or("no subarray boundary near the probe range")?;
+            let rec = swizzle_re::recover_swizzle(&mut self.tb, &setup, (b - 2, b + 2))?;
+            self.layout = Some(rec.layout);
+        }
+        Ok(self.layout.clone().expect("set above"))
+    }
+
+    /// Measures victim flips for one (victim, aggressor) pair under solid
+    /// or custom per-column patterns.
+    pub fn measure(
+        &mut self,
+        aggressor: u32,
+        victim: u32,
+        attack: Attack,
+        vic_cols: &[u64],
+        aggr_cols: &[u64],
+    ) -> Result<Vec<BitflipRecord>, Box<dyn Error>> {
+        let cfg = AibConfig { bank: 0, attack };
+        Ok(hammer::measure_victim_flips(
+            &mut self.tb,
+            cfg,
+            aggressor,
+            victim,
+            &|c| vic_cols[c as usize],
+            &|c| aggr_cols[c as usize],
+        )?)
+    }
+
+    /// Per-column solid data for this chip's geometry.
+    pub fn solid_cols(&self, v: u64) -> Vec<u64> {
+        vec![v; self.tb.cols() as usize]
+    }
+
+    /// Splits flips by recovered physical-position parity.
+    pub fn parity_split(&self, layout: &CellLayout, recs: &[BitflipRecord]) -> (u64, u64) {
+        let mut even = 0;
+        let mut odd = 0;
+        for r in recs {
+            if layout.position(r.col, r.bit).is_multiple_of(2) {
+                even += 1;
+            } else {
+                odd += 1;
+            }
+        }
+        (even, odd)
+    }
+
+    /// O1: one RD command's data is collected from multiple MATs.
+    pub fn o1(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let layout = self.layout()?;
+        // Count distinct MATs touched by column 0's RD_data.
+        let mat_w = layout.mat_width();
+        let mut mats: Vec<u32> = (0..layout.rd_bits())
+            .map(|b| layout.position(0, b) / mat_w)
+            .collect();
+        mats.sort_unstable();
+        mats.dedup();
+        let gt = self.tb.chip().ground_truth();
+        let expected = self.tb.chip().profile().row_bits / gt.mat_width;
+        let passed = mats.len() as u32 == expected && mats.len() > 1;
+        Ok(ObservationReport {
+            id: 1,
+            title: "single RD_data gathered from multiple MATs (swizzled)",
+            passed,
+            details: format!("RD_data spans {} MATs (ground truth {})", mats.len(), expected),
+        })
+    }
+
+    /// O2: the MAT width is measurable (512 cells for this device).
+    pub fn o2(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let layout = self.layout()?;
+        let gt = self.tb.chip().ground_truth();
+        let passed = layout.mat_width() == gt.mat_width;
+        Ok(ObservationReport {
+            id: 2,
+            title: "MAT width measured via influence isolation",
+            passed,
+            details: format!(
+                "measured {} cells, ground truth {}",
+                layout.mat_width(),
+                gt.mat_width
+            ),
+        })
+    }
+
+    /// O3: activating a row also activates its coupled row.
+    pub fn o3(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let d = rowcopy_probe::detect_coupled_rows(&mut self.tb, 0)?;
+        let gt = self.tb.chip().ground_truth();
+        let passed = d == gt.coupled_distance && d.is_some();
+        Ok(ObservationReport {
+            id: 3,
+            title: "coupled-row activation at half-bank distance",
+            passed,
+            details: format!("detected {d:?}, ground truth {:?}", gt.coupled_distance),
+        })
+    }
+
+    /// O4: subarray heights are not powers of two and vary within a chip.
+    pub fn o4(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let heights = rowcopy_probe::subarray_heights(&mut self.tb, 0, 0..8193)?;
+        let gt = self.tb.chip().ground_truth();
+        let expect: Vec<u32> = gt.subarray_heights[..heights.len()].to_vec();
+        let non_pow2 = heights.iter().all(|h| !h.is_power_of_two());
+        let varied = {
+            let mut h = heights.clone();
+            h.dedup();
+            h.len() > 1
+        };
+        let passed = heights == expect && non_pow2 && varied && !heights.is_empty();
+        Ok(ObservationReport {
+            id: 4,
+            title: "subarray heights non-power-of-two and mixed",
+            passed,
+            details: format!("measured {heights:?}"),
+        })
+    }
+
+    /// O5: two edge subarrays work in tandem (wrap-stripe RowCopy).
+    pub fn o5(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let interval = rowcopy_probe::detect_edge_interval(&mut self.tb, 0)?;
+        let gt = self.tb.chip().ground_truth();
+        let passed = interval == Some(gt.edge_interval_wls);
+        Ok(ObservationReport {
+            id: 5,
+            title: "edge subarrays pair into tandem segments",
+            passed,
+            details: format!(
+                "interval {interval:?} rows (ground truth {})",
+                gt.edge_interval_wls
+            ),
+        })
+    }
+
+    /// O6: edge subarrays show lower AIB BER, mostly for aggressor = 1.
+    pub fn o6(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        // Edge aggressor: wordline 10 (pin 10 — identity inside the low
+        // block); interior: the middle of the recovered chain.
+        let chain = self.phys_chain()?;
+        let mid = chain.len() / 2;
+        let (iv, ia) = (chain[mid], chain[mid + 1]);
+        let attack = Self::strong_hammer();
+        let ones = self.solid_cols(u64::MAX);
+        let zeros = self.solid_cols(0);
+
+        // (aggr, vic) = (1, 0): flips 0→1.
+        let interior_10 = self.measure(ia, iv, attack, &zeros, &ones)?.len();
+        let edge_10 = self.measure(10, 9, attack, &zeros, &ones)?.len();
+        // (aggr, vic) = (0, 1): flips 1→0.
+        let interior_01 = self.measure(ia, iv, attack, &ones, &zeros)?.len();
+        let edge_01 = self.measure(10, 9, attack, &ones, &zeros)?.len();
+
+        let damped_1 = (edge_10 as f64) < 0.8 * interior_10 as f64;
+        let damped_0 = (edge_01 as f64) < 0.95 * interior_01 as f64;
+        let edge_ratio_1 = (edge_10 as f64) / interior_10.max(1) as f64;
+        let edge_ratio_0 = (edge_01 as f64) / interior_01.max(1) as f64;
+        let stronger_for_1 = edge_ratio_1 < edge_ratio_0;
+        let passed = damped_1 && damped_0 && stronger_for_1 && interior_10 > 0;
+        Ok(ObservationReport {
+            id: 6,
+            title: "edge subarrays show lower BER (dummy bitlines)",
+            passed,
+            details: format!(
+                "aggr=1: edge {edge_10} vs interior {interior_10}; aggr=0: edge {edge_01} vs interior {interior_01}"
+            ),
+        })
+    }
+
+    /// Shared alternation measurement for O7/O8.
+    ///
+    /// Victims are restricted to one chain-index parity (the paper's
+    /// "even WL" selection); `next_row` samples the opposite parity to
+    /// witness the row-parity reversal.
+    fn alternation(
+        &mut self,
+        attack: Attack,
+        vic_value: bool,
+    ) -> Result<AlternationEvidence, Box<dyn Error>> {
+        let layout = self.layout()?;
+        let triples = self.triples_with_parity(8, 0)?;
+        let odd_triples = self.triples_with_parity(2, 1)?;
+        let vic = self.solid_cols(if vic_value { u64::MAX } else { 0 });
+        let aggr = self.solid_cols(if vic_value { 0 } else { u64::MAX });
+        let mut up = (0u64, 0u64);
+        let mut down = (0u64, 0u64);
+        let mut next_row = (0u64, 0u64);
+        for &(v, a_up, a_down) in &triples {
+            let from_up = self.measure(a_up, v, attack, &vic, &aggr)?;
+            let (e, o) = self.parity_split(&layout, &from_up);
+            up.0 += e;
+            up.1 += o;
+            let from_down = self.measure(a_down, v, attack, &vic, &aggr)?;
+            let (e, o) = self.parity_split(&layout, &from_down);
+            down.0 += e;
+            down.1 += o;
+        }
+        for &(v, a_up, _) in &odd_triples {
+            let recs = self.measure(a_up, v, attack, &vic, &aggr)?;
+            let (e, o) = self.parity_split(&layout, &recs);
+            next_row.0 += e;
+            next_row.1 += o;
+        }
+        Ok(AlternationEvidence {
+            up,
+            down,
+            next_row,
+        })
+    }
+
+    /// O7: RowPress alternates with bit parity and reverses with
+    /// aggressor direction and victim-row parity.
+    pub fn o7(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let ev = self.alternation(
+            Attack::Press {
+                count: 24_000,
+                each_on: Time::from_ns(7_800),
+            },
+            true,
+        )?;
+        let passed = ev.alternates() && ev.reverses_with_direction() && ev.reverses_with_row();
+        Ok(ObservationReport {
+            id: 7,
+            title: "RowPress BER alternates; reversed by direction/row parity",
+            passed,
+            details: ev.to_string(),
+        })
+    }
+
+    /// O8: RowHammer shows the same alternation, additionally reversed by
+    /// the written value.
+    pub fn o8(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let charged = self.alternation(Self::strong_hammer(), true)?;
+        let discharged = self.alternation(Self::strong_hammer(), false)?;
+        let value_reversed = charged.majority_up() != discharged.majority_up();
+        let passed = charged.alternates()
+            && charged.reverses_with_direction()
+            && charged.reverses_with_row()
+            && value_reversed;
+        Ok(ObservationReport {
+            id: 8,
+            title: "RowHammer BER alternates; reversed by direction/row/value",
+            passed,
+            details: format!("charged: {charged}; discharged: {discharged}"),
+        })
+    }
+
+    /// O9: RowHammer occurs at both gate types.
+    pub fn o9(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let charged = self.alternation(Self::strong_hammer(), true)?;
+        let discharged = self.alternation(Self::strong_hammer(), false)?;
+        // From a fixed direction, charged cells flip at one parity class
+        // and discharged at the other — i.e. both gate types flip cells.
+        let both = charged.up.0 + discharged.up.0 > 0 && charged.up.1 + discharged.up.1 > 0;
+        let passed = both;
+        Ok(ObservationReport {
+            id: 9,
+            title: "RowHammer occurs at both gate types",
+            passed,
+            details: format!(
+                "upper-aggressor flips by parity: charged ({}, {}), discharged ({}, {})",
+                charged.up.0, charged.up.1, discharged.up.0, discharged.up.1
+            ),
+        })
+    }
+
+    /// O10: a victim cell is susceptible to one gate type at a time,
+    /// reversed with the written value.
+    pub fn o10(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let charged = self.alternation(Self::strong_hammer(), true)?;
+        let discharged = self.alternation(Self::strong_hammer(), false)?;
+        // For a fixed direction the dominant parity class must flip when
+        // the data value flips, and within each run one class dominates.
+        let dominance = |x: (u64, u64)| {
+            let hi = x.0.max(x.1) as f64;
+            let lo = x.0.min(x.1) as f64;
+            hi > 5.0 * (lo + 1.0)
+        };
+        let passed = dominance(charged.up)
+            && dominance(discharged.up)
+            && charged.majority_up() != discharged.majority_up();
+        Ok(ObservationReport {
+            id: 10,
+            title: "susceptible gate type is exclusive and flips with data",
+            passed,
+            details: format!(
+                "upper: charged ({}, {}) vs discharged ({}, {})",
+                charged.up.0, charged.up.1, discharged.up.0, discharged.up.1
+            ),
+        })
+    }
+
+    /// A moderate attack for boost measurements: the strong attack's flip
+    /// probability is so close to 1 that BER *increases* would clamp.
+    pub fn moderate_hammer() -> Attack {
+        Attack::Hammer { count: 1_200_000 }
+    }
+
+    /// Measures flips at spaced target cells under neighbour perturbation.
+    fn neighbor_influence(
+        &mut self,
+        dists: &[u32],
+        vic_value: bool,
+    ) -> Result<(u64, u64), Box<dyn Error>> {
+        let layout = self.layout()?;
+        let triples = self.triples(8)?;
+        let attack = Self::moderate_hammer();
+        // Targets: every 8th physical position, clear of MAT edges.
+        let targets: Vec<(u32, u32)> = (0..layout.row_bits())
+            .filter(|p| p % 8 == 4)
+            .map(|p| layout.cell_at(p))
+            .collect();
+        let base_cols = self.solid_cols(if vic_value { u64::MAX } else { 0 });
+        let aggr_cols = self.solid_cols(if vic_value { 0 } else { u64::MAX });
+
+        let mut perturbed = CellPatternBuilder::solid(&layout, vic_value);
+        for &(c, b) in &targets {
+            for &d in dists {
+                perturbed.set_neighbors(c, b, d, !vic_value);
+            }
+        }
+        let pert_cols = perturbed.columns();
+
+        let count_targets = |recs: &[BitflipRecord]| {
+            recs.iter()
+                .filter(|r| layout.position(r.col, r.bit) % 8 == 4)
+                .count() as u64
+        };
+        let mut base_total = 0;
+        let mut pert_total = 0;
+        for &(v, a_up, _) in &triples {
+            base_total += count_targets(&self.measure(a_up, v, attack, &base_cols, &aggr_cols)?);
+            pert_total += count_targets(&self.measure(a_up, v, attack, &pert_cols, &aggr_cols)?);
+        }
+        Ok((base_total, pert_total))
+    }
+
+    /// O11: victim-side horizontal influence, strongest at distance two.
+    pub fn o11(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let (base_1, d1) = self.neighbor_influence(&[1], false)?;
+        let (base_2, d2) = self.neighbor_influence(&[2], false)?;
+        let r1 = d1 as f64 / base_1.max(1) as f64;
+        let r2 = d2 as f64 / base_2.max(1) as f64;
+        let passed = d1 >= base_1 && d2 > base_2 && r2 > r1 && base_1 > 0;
+        Ok(ObservationReport {
+            id: 11,
+            title: "Vic±1/±2 data affects BER; ±2 strongest",
+            passed,
+            details: format!("ratio d1 {r1:.3}, d2 {r2:.3} (paper 1.12 / 1.54)"),
+        })
+    }
+
+    /// O12: aggressor-side horizontal influence, strongest at distance 0.
+    pub fn o12(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let layout = self.layout()?;
+        let triples = self.triples(6)?;
+        let attack = Self::strong_hammer();
+        let targets: Vec<(u32, u32)> = (0..layout.row_bits())
+            .filter(|p| p % 8 == 4)
+            .map(|p| layout.cell_at(p))
+            .collect();
+        let vic_cols = self.solid_cols(0);
+
+        // Aggressor variants: baseline all-opposite, then cumulative same
+        // sets {0}, {0,±1}, {0,±1,±2} at the targets.
+        let mut variants: Vec<Vec<u64>> = vec![self.solid_cols(u64::MAX)];
+        for dists in [&[0u32][..], &[0, 1], &[0, 1, 2]] {
+            let mut b = CellPatternBuilder::solid(&layout, true);
+            for &(c, bit) in &targets {
+                for &d in dists {
+                    if d == 0 {
+                        b.set_cell(c, bit, false);
+                    } else {
+                        b.set_neighbors(c, bit, d, false);
+                    }
+                }
+            }
+            variants.push(b.columns());
+        }
+
+        let mut counts = vec![0u64; variants.len()];
+        for &(v, a_up, _) in &triples {
+            for (i, aggr_cols) in variants.iter().enumerate() {
+                let recs = self.measure(a_up, v, attack, &vic_cols, aggr_cols)?;
+                counts[i] += recs
+                    .iter()
+                    .filter(|r| layout.position(r.col, r.bit) % 8 == 4)
+                    .count() as u64;
+            }
+        }
+        let ratios: Vec<f64> = counts[1..]
+            .iter()
+            .map(|&c| c as f64 / counts[0].max(1) as f64)
+            .collect();
+        let passed = counts[0] > 0
+            && ratios[0] < 0.9
+            && ratios[1] < ratios[0]
+            && ratios[2] < ratios[1];
+        Ok(ObservationReport {
+            id: 12,
+            title: "Aggr0/±1/±2 data affects BER; cumulative drops",
+            passed,
+            details: format!(
+                "cumulative ratios {:.3}/{:.3}/{:.3} (paper 0.58/0.46/0.38)",
+                ratios[0], ratios[1], ratios[2]
+            ),
+        })
+    }
+
+    /// O13: adversarial neighbours lower H_cnt.
+    pub fn o13(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let layout = self.layout()?;
+        let triples = self.triples(2)?;
+        let (v, a_up, _) = triples[0];
+        // Find the weakest target along the row first (baseline attack).
+        let base_cols = self.solid_cols(0);
+        let aggr_cols = self.solid_cols(u64::MAX);
+        let probe = self.measure(v, a_up, Attack::Hammer { count: 1 }, &base_cols, &aggr_cols);
+        drop(probe); // ensure rows exist
+        let recs = self.measure(a_up, v, Self::strong_hammer(), &base_cols, &aggr_cols)?;
+        let target = recs
+            .iter()
+            .map(|r| (r.col, r.bit))
+            .find(|&(c, b)| {
+                let p = layout.position(c, b);
+                p % layout.mat_width() > 4 && p % layout.mat_width() < layout.mat_width() - 4
+            })
+            .ok_or("no interior weak cell found")?;
+
+        let base = hammer::hcnt_for_cell(
+            &mut self.tb,
+            0,
+            a_up,
+            v,
+            &|_| 0,
+            &|_| u64::MAX,
+            target,
+            6_000_000,
+        )?;
+        let mut adv = CellPatternBuilder::solid(&layout, false);
+        adv.set_neighbors(target.0, target.1, 1, true);
+        adv.set_neighbors(target.0, target.1, 2, true);
+        let adv_cols = adv.columns();
+        let adv_res = hammer::hcnt_for_cell(
+            &mut self.tb,
+            0,
+            a_up,
+            v,
+            &|c| adv_cols[c as usize],
+            &|_| u64::MAX,
+            target,
+            6_000_000,
+        )?;
+        let (b, a) = (
+            base.count.ok_or("baseline never flipped")? as f64,
+            adv_res.count.ok_or("adversarial never flipped")? as f64,
+        );
+        let ratio = a / b;
+        let passed = ratio < 0.95;
+        Ok(ObservationReport {
+            id: 13,
+            title: "adversarial neighbours lower H_cnt",
+            passed,
+            details: format!("H_cnt ratio {ratio:.3} (paper up to 0.81)"),
+        })
+    }
+
+    /// O14: the 0x33/0xCC-style physical pattern worsens whole-row BER.
+    pub fn o14(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+        let layout = self.layout()?;
+        let triples = self.triples(6)?;
+        let attack = Self::moderate_hammer();
+        let base_vic = crate::patterns::nibble_pattern_row(&layout, 0xF);
+        let base_aggr = crate::patterns::nibble_pattern_row(&layout, 0x0);
+        let adv_vic = crate::patterns::nibble_pattern_row(&layout, 0x3);
+        let adv_aggr = crate::patterns::nibble_pattern_row(&layout, 0xC);
+        let mut base = 0u64;
+        let mut adv = 0u64;
+        for &(v, a_up, _) in &triples {
+            base += self.measure(a_up, v, attack, &base_vic, &base_aggr)?.len() as u64;
+            adv += self.measure(a_up, v, attack, &adv_vic, &adv_aggr)?.len() as u64;
+        }
+        let ratio = adv as f64 / base.max(1) as f64;
+        let passed = ratio > 1.3 && base > 0;
+        Ok(ObservationReport {
+            id: 14,
+            title: "adversarial 4-bit pattern worsens whole-row BER",
+            passed,
+            details: format!("BER ratio {ratio:.3} (paper up to 1.69)"),
+        })
+    }
+
+    /// Supplementary: the retention-based polarity scheme (used by the
+    /// Table III flow; Mfr. A is all-true).
+    pub fn polarity(&mut self) -> Result<PolarityVerdict, Box<dyn Error>> {
+        let verdicts =
+            retention_probe::classify_rows(&mut self.tb, 0, &[16, 700, 1400], Time::from_ms(120_000))?;
+        Ok(retention_probe::polarity_scheme(&verdicts))
+    }
+
+    /// Supplementary: the coupled-row split attack evidence of §VI, run
+    /// on this suite's chip.
+    pub fn coupled_attack_probe(&mut self) -> Result<protect::AttackOutcome, Box<dyn Error>> {
+        let chain = self.phys_chain()?;
+        let aggr = chain[chain.len() / 2];
+        let d = self
+            .tb
+            .chip()
+            .ground_truth()
+            .coupled_distance
+            .ok_or("chip not coupled")?;
+        let mut noop = protect::MisraGries::new(u64::MAX, 4);
+        Ok(protect::run_attack(
+            &mut self.tb,
+            &mut noop,
+            aggr,
+            protect::AttackStrategy::CoupledSplit { distance: d },
+            5_200_000,
+            650_000,
+        )?)
+    }
+}
+
+/// Flip-parity evidence for the alternation observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AlternationEvidence {
+    /// (even, odd) flips from the upper aggressor.
+    up: (u64, u64),
+    /// (even, odd) flips from the lower aggressor.
+    down: (u64, u64),
+    /// (even, odd) flips for the next wordline (upper aggressor).
+    next_row: (u64, u64),
+}
+
+impl AlternationEvidence {
+    fn majority_up(&self) -> bool {
+        self.up.0 > self.up.1
+    }
+
+    fn alternates(&self) -> bool {
+        let hi = self.up.0.max(self.up.1) as f64;
+        let lo = self.up.0.min(self.up.1) as f64;
+        hi > 1.5 * (lo + 1.0)
+    }
+
+    fn reverses_with_direction(&self) -> bool {
+        (self.up.0 > self.up.1) != (self.down.0 > self.down.1)
+    }
+
+    fn reverses_with_row(&self) -> bool {
+        (self.up.0 > self.up.1) != (self.next_row.0 > self.next_row.1)
+    }
+}
+
+impl fmt::Display for AlternationEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "up ({}, {}), down ({}, {}), next row ({}, {})",
+            self.up.0, self.up.1, self.down.0, self.down.1, self.next_row.0, self.next_row.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full O1–O14 sweep lives in tests/observations.rs (integration);
+    // here we keep the cheap structural pieces.
+
+    #[test]
+    fn suite_builds_and_discovers_interior_chain() {
+        let mut suite = ObservationSuite::new(2024);
+        let chain = suite.phys_chain().unwrap();
+        assert!(chain.len() >= 24);
+        // The chain must be physically consecutive under ground truth.
+        let gt = suite.tb.chip().ground_truth();
+        for w in chain.windows(2) {
+            let a = gt.remap.to_physical(dram_sim::LogicalRow(w[0])).0;
+            let b = gt.remap.to_physical(dram_sim::LogicalRow(w[1])).0;
+            assert_eq!(a.abs_diff(b), 1, "{} and {} not adjacent", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn o3_and_o5_structural_probes() {
+        let mut suite = ObservationSuite::new(2024);
+        let o3 = suite.o3().unwrap();
+        assert!(o3.passed, "{o3}");
+        let o5 = suite.o5().unwrap();
+        assert!(o5.passed, "{o5}");
+    }
+
+    #[test]
+    fn report_display_format() {
+        let r = ObservationReport {
+            id: 4,
+            title: "t",
+            passed: true,
+            details: "d".into(),
+        };
+        assert_eq!(r.to_string(), "O4  [PASS] t — d");
+    }
+}

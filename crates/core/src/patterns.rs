@@ -1,0 +1,399 @@
+//! Data patterns in controller space and MAT (physical) space
+//! (paper §IV-A Fig. 8, §V-C, §V-D).
+//!
+//! The central lesson of the paper's Fig. 8 is that the *intended*
+//! pattern (defined over physical bitlines) and the *written* pattern
+//! (defined over RD_data bit indices) differ by the chip's data swizzle.
+//! [`CellLayout`] carries the (col, bit) ⇄ physical-position bijection —
+//! either taken from ground truth for calibration or produced by the
+//! reverse-engineering pipeline ([`crate::swizzle_re`]) — and everything
+//! else in this module converts between the two spaces:
+//!
+//! * [`physical_image`] shows what a naive write actually lands as;
+//! * [`writer_for_physical`] produces column data realizing a desired
+//!   physical pattern (the paper's "values actually written to the MAT");
+//! * [`CellPatternBuilder`] perturbs individual cells and their physical
+//!   neighbours — the primitive behind the adversarial patterns of §V-D.
+
+use dram_sim::SwizzleMap;
+
+/// Classic test patterns, as a naive experimenter would write them
+/// (defined over RD_data bit indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataPattern {
+    /// All cells the same value.
+    Solid(bool),
+    /// Alternating by row.
+    RowStripe,
+    /// Intended: alternating by bitline. Naive: alternating by RD bit.
+    ColStripe,
+    /// Intended: checkerboard over (row, bitline). Naive: over (row, RD bit).
+    Checkered,
+    /// A repeating byte (e.g. `0x55`, `0x33`).
+    ByteRepeat(u8),
+}
+
+impl DataPattern {
+    /// The RD_data a naive experimenter writes at `(row, col)`.
+    pub fn naive_rd(self, row: u32, _col: u32, rd_bits: u32) -> u64 {
+        let mask = if rd_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rd_bits) - 1
+        };
+        match self {
+            DataPattern::Solid(true) => mask,
+            DataPattern::Solid(false) => 0,
+            DataPattern::RowStripe => {
+                if row.is_multiple_of(2) {
+                    0
+                } else {
+                    mask
+                }
+            }
+            DataPattern::ColStripe => 0xAAAA_AAAA_AAAA_AAAA & mask,
+            DataPattern::Checkered => {
+                if row.is_multiple_of(2) {
+                    0xAAAA_AAAA_AAAA_AAAA & mask
+                } else {
+                    0x5555_5555_5555_5555 & mask
+                }
+            }
+            DataPattern::ByteRepeat(b) => {
+                let mut v = 0u64;
+                for i in 0..8 {
+                    v |= (b as u64) << (i * 8);
+                }
+                v & mask
+            }
+        }
+    }
+}
+
+/// The (column, RD bit) ⇄ physical-position bijection of one row,
+/// together with the MAT width (horizontal coupling never crosses MATs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellLayout {
+    rd_bits: u32,
+    row_bits: u32,
+    mat_width: u32,
+    /// Position indexed by `col * rd_bits + bit`.
+    pos: Vec<u32>,
+    /// `(col, bit)` indexed by position.
+    inv: Vec<(u32, u32)>,
+}
+
+impl CellLayout {
+    /// Builds the layout from a known swizzle map (ground-truth path).
+    pub fn from_swizzle(s: &SwizzleMap, row_bits: u32, mat_width: u32) -> Self {
+        let rd_bits = s.rd_bits();
+        let cols = row_bits / rd_bits;
+        let mut pos = vec![0u32; (cols * rd_bits) as usize];
+        let mut inv = vec![(0u32, 0u32); row_bits as usize];
+        for col in 0..cols {
+            for bit in 0..rd_bits {
+                let p = s.bitline_of(col, bit).0;
+                pos[(col * rd_bits + bit) as usize] = p;
+                inv[p as usize] = (col, bit);
+            }
+        }
+        CellLayout {
+            rd_bits,
+            row_bits,
+            mat_width,
+            pos,
+            inv,
+        }
+    }
+
+    /// Builds the layout from recovered per-MAT chunk orders: `chains[m]`
+    /// lists the RD bits of MAT `m`'s per-column chunk in physical order.
+    /// MAT order and chunk direction are the canonical choices of the
+    /// reverse-engineering pipeline (physically unknowable, as the paper
+    /// notes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chains do not partition `0..rd_bits`.
+    pub fn from_chains(chains: &[Vec<u32>], rd_bits: u32, row_bits: u32) -> Self {
+        let total: u32 = chains.iter().map(|c| c.len() as u32).sum();
+        assert_eq!(total, rd_bits, "chains must partition the RD bits");
+        let cols = row_bits / rd_bits;
+        let mats = chains.len() as u32;
+        let mat_width = row_bits / mats;
+        let mut pos = vec![u32::MAX; (cols * rd_bits) as usize];
+        let mut inv = vec![(0u32, 0u32); row_bits as usize];
+        for (m, chain) in chains.iter().enumerate() {
+            let k = chain.len() as u32;
+            for col in 0..cols {
+                for (i, &bit) in chain.iter().enumerate() {
+                    let p = m as u32 * mat_width + col * k + i as u32;
+                    pos[(col * rd_bits + bit) as usize] = p;
+                    inv[p as usize] = (col, bit);
+                }
+            }
+        }
+        assert!(
+            pos.iter().all(|&p| p != u32::MAX),
+            "chains must cover every bit"
+        );
+        CellLayout {
+            rd_bits,
+            row_bits,
+            mat_width,
+            pos,
+            inv,
+        }
+    }
+
+    /// RD_data width.
+    pub fn rd_bits(&self) -> u32 {
+        self.rd_bits
+    }
+
+    /// Row width in cells.
+    pub fn row_bits(&self) -> u32 {
+        self.row_bits
+    }
+
+    /// Columns per row.
+    pub fn cols(&self) -> u32 {
+        self.row_bits / self.rd_bits
+    }
+
+    /// MAT width in cells.
+    pub fn mat_width(&self) -> u32 {
+        self.mat_width
+    }
+
+    /// The physical position of `(col, bit)`.
+    pub fn position(&self, col: u32, bit: u32) -> u32 {
+        self.pos[(col * self.rd_bits + bit) as usize]
+    }
+
+    /// The `(col, bit)` stored at a physical position.
+    pub fn cell_at(&self, p: u32) -> (u32, u32) {
+        self.inv[p as usize]
+    }
+
+    /// The physical in-MAT neighbours of `(col, bit)` at cell distance
+    /// `dist`, as `(col, bit)` pairs (0, 1, or 2 entries).
+    pub fn neighbors(&self, col: u32, bit: u32, dist: u32) -> Vec<(u32, u32)> {
+        let p = self.position(col, bit) as i64;
+        let mat = p as u32 / self.mat_width;
+        let mut out = Vec::with_capacity(2);
+        for q in [p - dist as i64, p + dist as i64] {
+            if q >= 0 && (q as u32) < self.row_bits && q as u32 / self.mat_width == mat {
+                out.push(self.cell_at(q as u32));
+            }
+        }
+        out
+    }
+}
+
+/// The physical per-position image of a naive per-column write.
+pub fn physical_image(layout: &CellLayout, f: impl Fn(u32) -> u64) -> Vec<bool> {
+    let mut out = vec![false; layout.row_bits() as usize];
+    for col in 0..layout.cols() {
+        let data = f(col);
+        for bit in 0..layout.rd_bits() {
+            out[layout.position(col, bit) as usize] = data & (1 << bit) != 0;
+        }
+    }
+    out
+}
+
+/// Column data realizing a desired physical pattern (`f` maps physical
+/// position → bit value).
+pub fn writer_for_physical(layout: &CellLayout, f: impl Fn(u32) -> bool) -> Vec<u64> {
+    let mut cols = vec![0u64; layout.cols() as usize];
+    for p in 0..layout.row_bits() {
+        if f(p) {
+            let (col, bit) = layout.cell_at(p);
+            cols[col as usize] |= 1 << bit;
+        }
+    }
+    cols
+}
+
+/// Column data for a physical 4-bit repeating pattern (`nibble` bit `i`
+/// lands on positions ≡ `i` mod 4) — the pattern family of Fig. 16.
+pub fn nibble_pattern_row(layout: &CellLayout, nibble: u8) -> Vec<u64> {
+    writer_for_physical(layout, |p| nibble & (1 << (p % 4)) != 0)
+}
+
+/// The longest run of equal values in a physical image — the statistic
+/// that exposes Fig. 8's "ColStripe acts as Solid" distortion.
+pub fn longest_run(image: &[bool]) -> usize {
+    let mut best = 0;
+    let mut cur = 0;
+    let mut prev: Option<bool> = None;
+    for &v in image {
+        if Some(v) == prev {
+            cur += 1;
+        } else {
+            cur = 1;
+            prev = Some(v);
+        }
+        best = best.max(cur);
+    }
+    best
+}
+
+/// Incrementally builds per-cell perturbations of a solid base pattern.
+#[derive(Debug, Clone)]
+pub struct CellPatternBuilder<'a> {
+    layout: &'a CellLayout,
+    bits: Vec<bool>,
+}
+
+impl<'a> CellPatternBuilder<'a> {
+    /// Starts from a solid base value.
+    pub fn solid(layout: &'a CellLayout, base: bool) -> Self {
+        CellPatternBuilder {
+            bits: vec![base; layout.row_bits() as usize],
+            layout,
+        }
+    }
+
+    /// Sets one cell by RD coordinates.
+    pub fn set_cell(&mut self, col: u32, bit: u32, v: bool) -> &mut Self {
+        let p = self.layout.position(col, bit);
+        self.bits[p as usize] = v;
+        self
+    }
+
+    /// Sets the physical in-MAT neighbours of a cell at `dist`; returns
+    /// how many neighbours exist.
+    pub fn set_neighbors(&mut self, col: u32, bit: u32, dist: u32, v: bool) -> usize {
+        let ns = self.layout.neighbors(col, bit, dist);
+        for (c, b) in &ns {
+            self.set_cell(*c, *b, v);
+        }
+        ns.len()
+    }
+
+    /// The per-column data realizing the built pattern.
+    pub fn columns(&self) -> Vec<u64> {
+        writer_for_physical(self.layout, |p| self.bits[p as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::SwizzleMap;
+
+    fn layout() -> CellLayout {
+        CellLayout::from_swizzle(&SwizzleMap::vendor_a(32, 256, 64), 256, 64)
+    }
+
+    #[test]
+    fn from_swizzle_round_trips() {
+        let l = layout();
+        for col in 0..l.cols() {
+            for bit in 0..32 {
+                let p = l.position(col, bit);
+                assert_eq!(l.cell_at(p), (col, bit));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_stay_inside_mats() {
+        let l = layout();
+        // Position 0 is a MAT edge: one neighbour at distance 1.
+        let (c0, b0) = l.cell_at(0);
+        assert_eq!(l.neighbors(c0, b0, 1).len(), 1);
+        let (c5, b5) = l.cell_at(5);
+        assert_eq!(l.neighbors(c5, b5, 1).len(), 2);
+        // Position 63 is the last cell of MAT 0.
+        let (ce, be) = l.cell_at(63);
+        assert_eq!(l.neighbors(ce, be, 1).len(), 1);
+        assert_eq!(l.neighbors(ce, be, 2).len(), 1);
+    }
+
+    #[test]
+    fn naive_colstripe_is_not_physically_alternating() {
+        let l = layout();
+        let img = physical_image(&l, |c| DataPattern::ColStripe.naive_rd(0, c, 32));
+        assert!(
+            longest_run(&img) >= 2,
+            "the swizzle must distort a naive ColStripe (Fig. 8)"
+        );
+    }
+
+    #[test]
+    fn physical_writer_round_trips() {
+        let l = layout();
+        let want = |p: u32| (p / 3).is_multiple_of(2);
+        let cols = writer_for_physical(&l, want);
+        let img = physical_image(&l, |c| cols[c as usize]);
+        for p in 0..l.row_bits() {
+            assert_eq!(img[p as usize], want(p), "position {p}");
+        }
+    }
+
+    #[test]
+    fn nibble_pattern_lands_physically() {
+        let l = layout();
+        let cols = nibble_pattern_row(&l, 0x3); // 1100 repeating
+        let img = physical_image(&l, |c| cols[c as usize]);
+        for p in 0..l.row_bits() {
+            assert_eq!(img[p as usize], p % 4 < 2, "position {p}");
+        }
+    }
+
+    #[test]
+    fn builder_sets_cells_and_neighbors() {
+        let l = layout();
+        let (c, b) = l.cell_at(10);
+        let mut builder = CellPatternBuilder::solid(&l, false);
+        builder.set_cell(c, b, true);
+        let n1 = builder.set_neighbors(c, b, 2, true);
+        assert_eq!(n1, 2);
+        let cols = builder.columns();
+        let img = physical_image(&l, |cc| cols[cc as usize]);
+        assert!(img[10] && img[8] && img[12]);
+        assert!(!img[9] && !img[11]);
+    }
+
+    #[test]
+    fn from_chains_matches_ground_truth_structure() {
+        // Recover the ground-truth chains from the swizzle, rebuild, and
+        // check neighbour relations agree.
+        let s = SwizzleMap::vendor_a(32, 256, 64);
+        let gt = CellLayout::from_swizzle(&s, 256, 64);
+        let k = 32 / (256 / 64); // bits per mat
+        let mats = 256 / 64;
+        let mut chains = Vec::new();
+        for m in 0..mats {
+            let mut chain = Vec::new();
+            for i in 0..k {
+                let (_, bit) = gt.cell_at(m * 64 + i);
+                chain.push(bit);
+            }
+            chains.push(chain);
+        }
+        let rebuilt = CellLayout::from_chains(&chains, 32, 256);
+        for col in 0..gt.cols() {
+            for bit in 0..32 {
+                assert_eq!(
+                    gt.neighbors(col, bit, 1),
+                    rebuilt.neighbors(col, bit, 1),
+                    "col {col} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_repeat_naive() {
+        assert_eq!(
+            DataPattern::ByteRepeat(0x33).naive_rd(0, 0, 32),
+            0x3333_3333
+        );
+        assert_eq!(DataPattern::Solid(true).naive_rd(5, 2, 32), 0xFFFF_FFFF);
+        assert_eq!(DataPattern::RowStripe.naive_rd(2, 0, 32), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! DRAM power side channel (paper §VI-C).
+//!
+//! Edge-subarray rows drive two wordlines per activation (the tandem
+//! pair) and coupled chips drive double-width wordlines, so *which row a
+//! victim accesses is visible in the supply current*. The paper flags
+//! this as an intriguing side-/covert-channel; this module implements it:
+//!
+//! * [`activation_energy`] — the per-activation energy measurement (the
+//!   power meter an attacker would attach);
+//! * [`energy_scan`] / [`edge_interval_from_power`] — a *third*,
+//!   AIB/RowCopy-independent way to locate edge subarrays, usable for
+//!   cross-validation of O5;
+//! * [`transmit`] / covert signalling between a sender picking rows and a
+//!   receiver watching the power rail.
+
+use dram_testbed::{Testbed, TestbedError};
+
+/// Measures the wordline-activation energy (in model units) of one
+/// `ACT`-`PRE` cycle on `row`. Interior rows of an uncoupled chip cost 1;
+/// tandem edge rows and coupled wordlines cost more.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn activation_energy(tb: &mut Testbed, bank: u32, row: u32) -> Result<u64, TestbedError> {
+    let before = tb.chip().stats().act_energy_units;
+    // A read is the cheapest legal ACT-PRE round trip.
+    let _ = tb.read_col(bank, row, 0)?;
+    Ok(tb.chip().stats().act_energy_units - before)
+}
+
+/// The per-row energy profile over a row range (step `stride`).
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn energy_scan(
+    tb: &mut Testbed,
+    bank: u32,
+    rows: std::ops::Range<u32>,
+    stride: u32,
+) -> Result<Vec<(u32, u64)>, TestbedError> {
+    let mut out = Vec::new();
+    let mut r = rows.start;
+    while r < rows.end {
+        out.push((r, activation_energy(tb, bank, r)?));
+        r += stride;
+    }
+    Ok(out)
+}
+
+/// Locates the edge-subarray interval purely from activation power: the
+/// bank's energy profile is high inside edge subarrays and low in the
+/// interior; the distance between the starts of consecutive high regions
+/// is the segment size.
+///
+/// Returns `None` when no high-energy region repeats within the bank.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn edge_interval_from_power(
+    tb: &mut Testbed,
+    bank: u32,
+    stride: u32,
+) -> Result<Option<u32>, TestbedError> {
+    let rows = tb.rows();
+    let profile = energy_scan(tb, bank, 0..rows, stride)?;
+    let base = profile.iter().map(|&(_, e)| e).min().unwrap_or(1);
+    // Starts of contiguous high-energy regions.
+    let mut starts = Vec::new();
+    let mut in_high = false;
+    for &(r, e) in &profile {
+        let high = e > base;
+        if high && !in_high {
+            starts.push(r);
+        }
+        in_high = high;
+    }
+    // Row 0 opens a high region (segment 0's low edge). Each later high
+    // region spans a segment boundary: the high edge of segment k fused
+    // with the low edge of segment k+1. Consecutive *interior* starts are
+    // therefore exactly one segment apart.
+    if starts.len() < 3 {
+        return Ok(None);
+    }
+    Ok(Some(starts[2] - starts[1]))
+}
+
+/// Sends `bits` over the power covert channel: a 1 activates `high_row`
+/// (an edge/tandem row), a 0 activates `low_row` (an interior row). The
+/// receiver decodes each symbol from the measured activation energy.
+/// Returns the decoded bits — lossless on this channel.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn transmit(
+    tb: &mut Testbed,
+    bank: u32,
+    high_row: u32,
+    low_row: u32,
+    bits: &[bool],
+) -> Result<Vec<bool>, TestbedError> {
+    let low_energy = activation_energy(tb, bank, low_row)?;
+    let mut decoded = Vec::with_capacity(bits.len());
+    for &b in bits {
+        let row = if b { high_row } else { low_row };
+        let e = activation_energy(tb, bank, row)?;
+        decoded.push(e > low_energy);
+    }
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{ChipProfile, DramChip};
+
+    fn tb() -> Testbed {
+        Testbed::new(DramChip::new(ChipProfile::test_small(), 8))
+    }
+
+    #[test]
+    fn edge_rows_cost_double() {
+        let mut t = tb();
+        // Row 10 is in the low-edge subarray, row 50 interior.
+        assert_eq!(activation_energy(&mut t, 0, 50).unwrap(), 1);
+        assert_eq!(activation_energy(&mut t, 0, 10).unwrap(), 2);
+    }
+
+    #[test]
+    fn coupled_chips_double_everything() {
+        let mut t = Testbed::new(DramChip::new(ChipProfile::test_small_coupled(), 8));
+        assert_eq!(activation_energy(&mut t, 0, 45).unwrap(), 2);
+        // Coupled AND tandem: 4 units (pin 2 → wordline 1, low edge).
+        assert_eq!(activation_energy(&mut t, 0, 2).unwrap(), 4);
+    }
+
+    #[test]
+    fn power_scan_recovers_the_edge_interval() {
+        let mut t = tb();
+        let interval = edge_interval_from_power(&mut t, 0, 4).unwrap();
+        assert_eq!(
+            interval,
+            Some(t.chip().ground_truth().edge_interval_wls),
+            "the power side channel must reveal the segment size (O5 cross-check)"
+        );
+    }
+
+    #[test]
+    fn covert_channel_is_lossless() {
+        let mut t = tb();
+        let bits = [true, false, true, true, false, false, true, false];
+        let decoded = transmit(&mut t, 0, 10, 50, &bits).unwrap();
+        assert_eq!(decoded, bits);
+    }
+}

@@ -1,0 +1,182 @@
+//! Internal row-remap reverse engineering (common pitfall 2,
+//! paper §III-C).
+//!
+//! Single-sided RowHammer identifies the two physically adjacent rows of
+//! any aggressor (they flip the most bits). Probing a row range and
+//! chaining the adjacency graph recovers the pin-address order in which
+//! rows are physically laid out — exposing vendor scrambles like
+//! Mfr. A's 8-row block twist.
+
+use crate::hammer::{adjacent_rows, AibConfig};
+use dram_testbed::{Testbed, TestbedError};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Whether a chip's row decoder preserves pin order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemapVerdict {
+    /// Every probed row's physical neighbours are its pin neighbours.
+    Sequential,
+    /// At least one probed row has a non-±1 physical neighbour.
+    Scrambled,
+}
+
+/// Probes whether the chip remaps rows internally, by hammering each
+/// sample row and checking that the damaged rows are the pin neighbours.
+///
+/// Sample rows should be interior rows (≥ 8 from subarray boundaries) so
+/// missing neighbours don't masquerade as remapping.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn detect_remap(
+    tb: &mut Testbed,
+    cfg: AibConfig,
+    sample: &[u32],
+) -> Result<RemapVerdict, TestbedError> {
+    for &row in sample {
+        let adj = adjacent_rows(tb, cfg, row, 8)?;
+        if adj.iter().any(|&a| a.abs_diff(row) != 1) {
+            return Ok(RemapVerdict::Scrambled);
+        }
+    }
+    Ok(RemapVerdict::Sequential)
+}
+
+/// The adjacency graph of a probed pin-row range.
+pub type AdjacencyMap = BTreeMap<u32, Vec<u32>>;
+
+/// Hammers every row in `range` and records which rows flip — the raw
+/// adjacency evidence.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn adjacency_map(
+    tb: &mut Testbed,
+    cfg: AibConfig,
+    range: Range<u32>,
+) -> Result<AdjacencyMap, TestbedError> {
+    let mut out = AdjacencyMap::new();
+    for row in range {
+        out.insert(row, adjacent_rows(tb, cfg, row, 8)?);
+    }
+    Ok(out)
+}
+
+/// Reconstructs the physical ordering of the probed rows by chaining the
+/// adjacency graph: each returned chain lists pin rows in consecutive
+/// physical order (subarray boundaries split chains).
+///
+/// Rows whose probed neighbours fall outside `map` are treated as chain
+/// ends. Chains are canonicalized to start with their smaller endpoint.
+pub fn physical_chains(map: &AdjacencyMap) -> Vec<Vec<u32>> {
+    // Symmetrize edges restricted to probed rows.
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&r, ns) in map {
+        for &n in ns {
+            if map.contains_key(&n) {
+                adj.entry(r).or_default().push(n);
+                adj.entry(n).or_default().push(r);
+            }
+        }
+    }
+    for ns in adj.values_mut() {
+        ns.sort_unstable();
+        ns.dedup();
+    }
+
+    let mut visited: BTreeMap<u32, bool> = adj.keys().map(|&k| (k, false)).collect();
+    let mut chains = Vec::new();
+    // Start from endpoints (degree 1), then mop up anything left.
+    let starts: Vec<u32> = adj
+        .iter()
+        .filter(|(_, ns)| ns.len() <= 1)
+        .map(|(&k, _)| k)
+        .collect();
+    for start in starts.into_iter().chain(adj.keys().copied()) {
+        if visited.get(&start).copied().unwrap_or(true) {
+            continue;
+        }
+        let mut chain = vec![start];
+        visited.insert(start, true);
+        let mut cur = start;
+        loop {
+            let next = adj[&cur]
+                .iter()
+                .find(|n| !visited.get(n).copied().unwrap_or(true))
+                .copied();
+            match next {
+                Some(n) => {
+                    visited.insert(n, true);
+                    chain.push(n);
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        if chain.len() > 1 && chain.first() > chain.last() {
+            chain.reverse();
+        }
+        chains.push(chain);
+    }
+    chains.sort_by_key(|c| c[0]);
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hammer::Attack;
+    use dram_sim::{ChipProfile, DramChip};
+
+    fn cfg() -> AibConfig {
+        AibConfig {
+            bank: 0,
+            attack: Attack::Hammer { count: 1_500_000 },
+        }
+    }
+
+    #[test]
+    fn identity_chip_is_sequential() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 40));
+        let verdict = detect_remap(&mut tb, cfg(), &[12, 13, 21]).unwrap();
+        assert_eq!(verdict, RemapVerdict::Sequential);
+    }
+
+    #[test]
+    fn mfr_a_chip_is_scrambled() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small_coupled(), 40));
+        let verdict = detect_remap(&mut tb, cfg(), &[12]).unwrap();
+        assert_eq!(verdict, RemapVerdict::Scrambled);
+    }
+
+    #[test]
+    fn chains_recover_mfr_a_block_order() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small_coupled(), 40));
+        let map = adjacency_map(&mut tb, cfg(), 8..24).unwrap();
+        let chains = physical_chains(&map);
+        assert_eq!(chains.len(), 1, "interior range must form one chain");
+        // Mfr. A twist: within each 8-block, pins run 0,1,2,3,7,6,5,4.
+        let expected: Vec<u32> = vec![8, 9, 10, 11, 15, 14, 13, 12, 16, 17, 18, 19, 23, 22, 21, 20];
+        let fwd = chains[0].clone();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert!(
+            fwd == expected || rev == expected,
+            "got {fwd:?}, want {expected:?} (either direction)"
+        );
+    }
+
+    #[test]
+    fn chains_split_at_subarray_boundaries() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 40));
+        // Range straddles the subarray boundary at wordline 40.
+        let map = adjacency_map(&mut tb, cfg(), 36..44).unwrap();
+        let chains = physical_chains(&map);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0], vec![36, 37, 38, 39]);
+        assert_eq!(chains[1], vec![40, 41, 42, 43]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Retention-time testing: true-/anti-cell classification
+//! (paper §III-B).
+//!
+//! Charge always leaks from the charged state to the discharged state, so
+//! pausing refresh and watching which *logical* direction bits decay in
+//! reveals each cell's polarity: true-cells fail 1→0, anti-cells 0→1.
+
+use dram_testbed::{Testbed, TestbedError};
+use dram_sim::Time;
+
+/// The polarity verdict for one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowPolarity {
+    /// Failures were 1→0: charged state stores 1.
+    TrueCells,
+    /// Failures were 0→1: charged state stores 0.
+    AntiCells,
+    /// No failures observed in either direction (wait too short for this
+    /// row's cells).
+    Unknown,
+}
+
+/// Per-row retention classification result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionVerdict {
+    /// The row tested.
+    pub row: u32,
+    /// Failures observed with all-ones data (1→0 count).
+    pub fails_from_ones: u32,
+    /// Failures observed with all-zeros data (0→1 count).
+    pub fails_from_zeros: u32,
+}
+
+impl RetentionVerdict {
+    /// The polarity this verdict implies.
+    pub fn polarity(&self) -> RowPolarity {
+        if self.fails_from_ones > self.fails_from_zeros {
+            RowPolarity::TrueCells
+        } else if self.fails_from_zeros > self.fails_from_ones {
+            RowPolarity::AntiCells
+        } else {
+            RowPolarity::Unknown
+        }
+    }
+}
+
+/// Classifies the polarity of each row by writing solid data, pausing
+/// refresh for `wait`, and diffing (both directions).
+///
+/// The paper heats the DIMM (75 °C) to accelerate this test; call
+/// [`Testbed::set_temperature`] first for the same effect.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn classify_rows(
+    tb: &mut Testbed,
+    bank: u32,
+    rows: &[u32],
+    wait: Time,
+) -> Result<Vec<RetentionVerdict>, TestbedError> {
+    let mut out = Vec::with_capacity(rows.len());
+    for &row in rows {
+        let mut verdict = RetentionVerdict {
+            row,
+            fails_from_ones: 0,
+            fails_from_zeros: 0,
+        };
+        tb.write_row_pattern(bank, row, u64::MAX)?;
+        tb.wait(wait);
+        verdict.fails_from_ones = tb
+            .read_row(bank, row)?
+            .iter()
+            .map(|d| (!d).count_ones().saturating_sub(64 - rd_bits(tb)))
+            .sum();
+        tb.write_row_pattern(bank, row, 0)?;
+        tb.wait(wait);
+        verdict.fails_from_zeros = tb
+            .read_row(bank, row)?
+            .iter()
+            .map(|d| d.count_ones())
+            .sum();
+        out.push(verdict);
+    }
+    Ok(out)
+}
+
+fn rd_bits(tb: &Testbed) -> u32 {
+    tb.chip().profile().io_width.rd_bits()
+}
+
+/// A retention-time profile of one row: failure counts after a ladder of
+/// unrefreshed waits (the paper's third reverse-engineering technique,
+/// extended to full profiling à la Liu et al.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetentionProfile {
+    /// The row profiled.
+    pub row: u32,
+    /// `(wait, failing bits)` per ladder step.
+    pub steps: Vec<(Time, u32)>,
+}
+
+impl RetentionProfile {
+    /// `true` when longer waits never lose fewer bits — the invariant of
+    /// leak-to-discharge retention.
+    pub fn is_monotonic(&self) -> bool {
+        self.steps.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// The shortest profiled wait at which any bit failed.
+    pub fn first_failure(&self) -> Option<Time> {
+        self.steps.iter().find(|(_, f)| *f > 0).map(|(t, _)| *t)
+    }
+}
+
+/// Profiles a row's retention behaviour over a wait ladder (charged
+/// data). Each step rewrites the row, so steps are independent trials on
+/// the same deterministic cells.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn profile_retention(
+    tb: &mut Testbed,
+    bank: u32,
+    row: u32,
+    waits: &[Time],
+) -> Result<RetentionProfile, TestbedError> {
+    let mut steps = Vec::with_capacity(waits.len());
+    for &wait in waits {
+        tb.write_row_pattern(bank, row, u64::MAX)?;
+        tb.wait(wait);
+        let fails: u32 = tb
+            .read_row(bank, row)?
+            .iter()
+            .map(|d| (!d).count_ones().saturating_sub(64 - rd_bits(tb)))
+            .sum();
+        steps.push((wait, fails));
+    }
+    Ok(RetentionProfile { row, steps })
+}
+
+/// The weak cells of a row at a given wait: the `(col, bit)` positions
+/// that fail retention (the set an attacker templates with, and a
+/// defender maps for victim-cell placement).
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn weak_cells(
+    tb: &mut Testbed,
+    bank: u32,
+    row: u32,
+    wait: Time,
+) -> Result<Vec<(u32, u32)>, TestbedError> {
+    tb.write_row_pattern(bank, row, u64::MAX)?;
+    tb.wait(wait);
+    let rd = rd_bits(tb);
+    let data = tb.read_row(bank, row)?;
+    let mut out = Vec::new();
+    for (c, &word) in data.iter().enumerate() {
+        for b in 0..rd {
+            if word & (1 << b) == 0 {
+                out.push((c as u32, b));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The polarity scheme of a chip, inferred from a row sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolarityVerdict {
+    /// Every sampled row used true-cells (Mfr. A / Mfr. B style).
+    AllTrue,
+    /// Both polarities appeared (Mfr. C's subarray interleaving).
+    Mixed,
+    /// Every sampled row used anti-cells.
+    AllAnti,
+    /// The wait was too short to classify.
+    Inconclusive,
+}
+
+/// Infers the chip-level polarity scheme from per-row verdicts.
+pub fn polarity_scheme(verdicts: &[RetentionVerdict]) -> PolarityVerdict {
+    let mut true_rows = 0;
+    let mut anti_rows = 0;
+    for v in verdicts {
+        match v.polarity() {
+            RowPolarity::TrueCells => true_rows += 1,
+            RowPolarity::AntiCells => anti_rows += 1,
+            RowPolarity::Unknown => {}
+        }
+    }
+    match (true_rows, anti_rows) {
+        (0, 0) => PolarityVerdict::Inconclusive,
+        (_, 0) => PolarityVerdict::AllTrue,
+        (0, _) => PolarityVerdict::AllAnti,
+        _ => PolarityVerdict::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{ChipProfile, DramChip};
+
+    fn wait() -> Time {
+        // ~22% expected failures at 75 °C under the default retention
+        // model: plenty of signal per 256-cell row.
+        Time::from_ms(120_000)
+    }
+
+    #[test]
+    fn all_true_chip_fails_one_to_zero() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 31));
+        let verdicts = classify_rows(&mut tb, 0, &[3, 50, 100], wait()).unwrap();
+        for v in &verdicts {
+            assert!(v.fails_from_ones > 0, "row {} saw no decay", v.row);
+            assert_eq!(v.fails_from_zeros, 0);
+            assert_eq!(v.polarity(), RowPolarity::TrueCells);
+        }
+        assert_eq!(polarity_scheme(&verdicts), PolarityVerdict::AllTrue);
+    }
+
+    #[test]
+    fn interleaved_chip_shows_both_polarities() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small_interleaved(), 31));
+        // Rows 3 (subarray 0, true) and 45 (subarray 1, anti).
+        let verdicts = classify_rows(&mut tb, 0, &[3, 45], wait()).unwrap();
+        assert_eq!(verdicts[0].polarity(), RowPolarity::TrueCells);
+        assert_eq!(verdicts[1].polarity(), RowPolarity::AntiCells);
+        assert_eq!(polarity_scheme(&verdicts), PolarityVerdict::Mixed);
+    }
+
+    #[test]
+    fn short_wait_is_inconclusive() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 31));
+        let verdicts = classify_rows(&mut tb, 0, &[3], Time::from_ns(10)).unwrap();
+        assert_eq!(verdicts[0].polarity(), RowPolarity::Unknown);
+        assert_eq!(polarity_scheme(&verdicts), PolarityVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn retention_profile_is_monotonic_with_stable_weak_cells() {
+        let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 31));
+        let waits = [
+            Time::from_ms(30_000),
+            Time::from_ms(120_000),
+            Time::from_ms(480_000),
+        ];
+        let profile = profile_retention(&mut tb, 0, 9, &waits).unwrap();
+        assert!(profile.is_monotonic(), "{profile:?}");
+        assert!(profile.first_failure().is_some());
+        // Weak cells at a short wait are a subset of those at a long one
+        // (deterministic per-cell retention times).
+        let short = weak_cells(&mut tb, 0, 9, waits[0]).unwrap();
+        let long = weak_cells(&mut tb, 0, 9, waits[2]).unwrap();
+        assert!(short.iter().all(|c| long.contains(c)));
+        assert!(long.len() >= short.len());
+    }
+
+    #[test]
+    fn heating_increases_failures() {
+        let mut cold = Testbed::new(DramChip::new(ChipProfile::test_small(), 31));
+        cold.set_temperature(45.0);
+        let vc = classify_rows(&mut cold, 0, &[3], wait()).unwrap();
+
+        let mut hot = Testbed::new(DramChip::new(ChipProfile::test_small(), 31));
+        hot.set_temperature(85.0);
+        let vh = classify_rows(&mut hot, 0, &[3], wait()).unwrap();
+        assert!(vh[0].fails_from_ones > vc[0].fails_from_ones);
+    }
+}

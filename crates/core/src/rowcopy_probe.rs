@@ -1,0 +1,396 @@
+//! RowCopy-based structural probing (paper §III-B, §IV-C).
+//!
+//! RowCopy only transfers data between rows that share sense amplifiers,
+//! and *which* bits transfer encodes the open-bitline wiring:
+//!
+//! * same subarray → every bit copies, non-inverted;
+//! * vertically adjacent subarrays → half the bits copy (those whose
+//!   bitlines meet on the shared SA stripe), charge-inverted;
+//! * the two edge subarrays of a segment → half the bits copy through the
+//!   wrap stripe (paper O5);
+//! * anything else → nothing copies.
+//!
+//! Scanning these outcomes recovers subarray heights (Table III), the
+//! even/odd-bitline parity of every RD_data bit (used by the swizzle
+//! pipeline, §IV-A), edge-subarray intervals, coupled rows, and the
+//! copy-inversion behaviour that distinguishes true-/anti-cell designs.
+
+use dram_testbed::{Testbed, TestbedError};
+use std::ops::Range;
+
+/// How one RD_data bit behaved under a RowCopy probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitCopy {
+    /// The bit kept the destination's old value.
+    None,
+    /// The bit received the source value.
+    Direct,
+    /// The bit received the complemented source value.
+    Inverted,
+}
+
+/// The physical bitline parity of a bit, as revealed by which direction
+/// it copies (model convention: odd bitlines copy to the subarray above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlParity {
+    /// Copies downward: even bitline.
+    Even,
+    /// Copies upward: odd bitline.
+    Odd,
+}
+
+/// A marker with an irregular, balanced bit mix for copy probing.
+const MARKER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn rd_mask(tb: &Testbed) -> u64 {
+    let bits = tb.chip().profile().io_width.rd_bits();
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Probes which bits of column `col` copy from `src` to `dst`, and how.
+///
+/// Runs two copies with *solid* source patterns (all zeros, then all
+/// ones). Solid patterns make the classification independent of the
+/// bit-position shift a shared SA stripe introduces: any copied
+/// destination cell carries the (possibly inverted) solid source value,
+/// and untouched destination bits never masquerade as copied because the
+/// two runs would then agree.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn probe_copy_bits(
+    tb: &mut Testbed,
+    bank: u32,
+    src: u32,
+    dst: u32,
+    col: u32,
+) -> Result<Vec<BitCopy>, TestbedError> {
+    let mask = rd_mask(tb);
+    let run = |tb: &mut Testbed, pattern: u64| -> Result<u64, TestbedError> {
+        tb.write_col(bank, src, col, pattern)?;
+        tb.write_col(bank, dst, col, 0)?;
+        tb.rowcopy(bank, src, dst)?;
+        tb.read_col(bank, dst, col)
+    };
+    let from_zeros = run(tb, 0)?;
+    let from_ones = run(tb, mask)?;
+    let bits = tb.chip().profile().io_width.rd_bits();
+    let mut out = Vec::with_capacity(bits as usize);
+    for i in 0..bits {
+        let vz = from_zeros >> i & 1;
+        let vo = from_ones >> i & 1;
+        out.push(if vz == vo {
+            BitCopy::None
+        } else if vo == 1 {
+            BitCopy::Direct
+        } else {
+            BitCopy::Inverted
+        });
+    }
+    Ok(out)
+}
+
+/// The fraction of probed bits that copied (in either polarity).
+pub fn copied_fraction(bits: &[BitCopy]) -> f64 {
+    if bits.is_empty() {
+        return 0.0;
+    }
+    bits.iter().filter(|b| **b != BitCopy::None).count() as f64 / bits.len() as f64
+}
+
+/// Classifies a src→dst pair as full, half, or no copy.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn copy_class(
+    tb: &mut Testbed,
+    bank: u32,
+    src: u32,
+    dst: u32,
+) -> Result<CopyClass, TestbedError> {
+    let bits = probe_copy_bits(tb, bank, src, dst, 0)?;
+    Ok(CopyClass::from_fraction(copied_fraction(&bits)))
+}
+
+/// Aggregate outcome of a copy probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyClass {
+    /// (Nearly) every bit copied: same subarray.
+    Full,
+    /// About half the bits copied: shared SA stripe across subarrays.
+    Half,
+    /// No bits copied: no shared sense amplifiers.
+    NoCopy,
+}
+
+impl CopyClass {
+    /// Buckets a copied fraction.
+    pub fn from_fraction(f: f64) -> Self {
+        if f > 0.9 {
+            CopyClass::Full
+        } else if f > 0.1 {
+            CopyClass::Half
+        } else {
+            CopyClass::NoCopy
+        }
+    }
+}
+
+/// Finds every row `r` in `range` where RowCopy from `r-1` to `r` stops
+/// being a full copy — the subarray boundaries.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn find_boundaries(
+    tb: &mut Testbed,
+    bank: u32,
+    range: Range<u32>,
+) -> Result<Vec<u32>, TestbedError> {
+    let mut out = Vec::new();
+    let start = range.start.max(1);
+    for r in start..range.end {
+        if copy_class(tb, bank, r - 1, r)? != CopyClass::Full {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// Recovers the heights of all subarrays fully contained in `range`
+/// (assumes `range.start` is itself a boundary, which holds for 0).
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn subarray_heights(
+    tb: &mut Testbed,
+    bank: u32,
+    range: Range<u32>,
+) -> Result<Vec<u32>, TestbedError> {
+    let start = range.start;
+    let boundaries = find_boundaries(tb, bank, range)?;
+    let mut heights = Vec::with_capacity(boundaries.len());
+    let mut prev = start;
+    for b in boundaries {
+        heights.push(b - prev);
+        prev = b;
+    }
+    Ok(heights)
+}
+
+/// Detects the edge-subarray interval: the smallest power-of-two segment
+/// size `k` such that rows `0` and `k-1` copy half their bits despite the
+/// large address distance (the tandem wrap stripe, paper O5).
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn detect_edge_interval(tb: &mut Testbed, bank: u32) -> Result<Option<u32>, TestbedError> {
+    let rows = tb.rows();
+    // Rows adjacent to row 0's subarray also half-copy (shared stripe);
+    // find where that window ends — the second boundary — so only
+    // *distant* half copies count as tandem evidence.
+    let mut boundaries = Vec::new();
+    let mut r = 1;
+    while boundaries.len() < 2 && r < rows.min(4096) {
+        if copy_class(tb, bank, r - 1, r)? != CopyClass::Full {
+            boundaries.push(r);
+        }
+        r += 1;
+    }
+    let adjacent_window_end = boundaries.get(1).copied().unwrap_or(0);
+
+    let mut k = 64u32;
+    while k <= rows {
+        if k > adjacent_window_end && copy_class(tb, bank, 0, k - 1)? == CopyClass::Half {
+            return Ok(Some(k));
+        }
+        k <<= 1;
+    }
+    Ok(None)
+}
+
+/// Detects coupled-row activation via RowCopy (paper O3): copying row
+/// `src` into `dst` also moves the data of `src + d` into `dst + d` when
+/// rows are coupled at distance `d = rows/2`, because the copy operates
+/// on whole wordlines.
+///
+/// Returns the coupled distance if the chip is coupled.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn detect_coupled_rows(tb: &mut Testbed, bank: u32) -> Result<Option<u32>, TestbedError> {
+    let rows = tb.rows();
+    let d = rows / 2;
+    let (src, dst) = (5u32, 9u32);
+    let mask = rd_mask(tb);
+    let hidden_pattern = 0x5A5A_5A5A_5A5A_5A5A & mask;
+    tb.write_row_pattern(bank, src, MARKER & mask)?;
+    tb.write_row_pattern(bank, src + d, hidden_pattern)?;
+    tb.write_row_pattern(bank, dst, 0)?;
+    tb.write_row_pattern(bank, dst + d, 0)?;
+    tb.rowcopy(bank, src, dst)?;
+    let alias = tb.read_row(bank, dst + d)?;
+    let moved = alias.iter().all(|&w| w == hidden_pattern);
+    Ok(if moved { Some(d) } else { None })
+}
+
+/// Determines whether cross-subarray copies arrive inverted (Mfr. A/B
+/// all-true designs) or as-is (Mfr. C's subarray-interleaved polarity),
+/// by probing across the first boundary at or after `near`.
+///
+/// Returns `None` when no boundary exists in the scanned window.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn detect_copy_inversion(
+    tb: &mut Testbed,
+    bank: u32,
+    near: u32,
+) -> Result<Option<bool>, TestbedError> {
+    let window = near..(near + 2048).min(tb.rows());
+    let boundaries = find_boundaries(tb, bank, window)?;
+    let Some(&b) = boundaries.first() else {
+        return Ok(None);
+    };
+    let bits = probe_copy_bits(tb, bank, b - 1, b, 0)?;
+    let inverted = bits.iter().filter(|x| **x == BitCopy::Inverted).count();
+    let direct = bits.iter().filter(|x| **x == BitCopy::Direct).count();
+    if inverted + direct == 0 {
+        return Ok(None);
+    }
+    Ok(Some(inverted > direct))
+}
+
+/// Classifies the bitline parity of every bit of column `col`, by copying
+/// from `src` to the subarray above (`dst_up`): bits that transfer upward
+/// sit on odd bitlines (paper §IV-A, "even/odd BL").
+///
+/// `src` must be in the subarray directly below `dst_up`'s.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn classify_bit_parity(
+    tb: &mut Testbed,
+    bank: u32,
+    src: u32,
+    dst_up: u32,
+    col: u32,
+) -> Result<Vec<BlParity>, TestbedError> {
+    let up = probe_copy_bits(tb, bank, src, dst_up, col)?;
+    Ok(up
+        .iter()
+        .map(|b| {
+            if *b == BitCopy::None {
+                BlParity::Even
+            } else {
+                BlParity::Odd
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{ChipProfile, DramChip};
+
+    fn tb() -> Testbed {
+        Testbed::new(DramChip::new(ChipProfile::test_small(), 21))
+    }
+
+    #[test]
+    fn same_subarray_copies_fully_and_directly() {
+        let mut t = tb();
+        let bits = probe_copy_bits(&mut t, 0, 3, 11, 0).unwrap();
+        assert!(bits.iter().all(|b| *b == BitCopy::Direct));
+        assert_eq!(copy_class(&mut t, 0, 3, 11).unwrap(), CopyClass::Full);
+    }
+
+    #[test]
+    fn adjacent_subarray_copies_half_inverted() {
+        let mut t = tb();
+        // Rows 39 (subarray 0) and 45 (subarray 1).
+        let bits = probe_copy_bits(&mut t, 0, 39, 45, 0).unwrap();
+        let inv = bits.iter().filter(|b| **b == BitCopy::Inverted).count();
+        let none = bits.iter().filter(|b| **b == BitCopy::None).count();
+        assert_eq!(inv, 16, "half of 32 bits, inverted (all-true chip)");
+        assert_eq!(none, 16);
+    }
+
+    #[test]
+    fn unrelated_rows_do_not_copy() {
+        let mut t = tb();
+        // Rows 3 (subarray 0) and 70 (subarray 2).
+        assert_eq!(copy_class(&mut t, 0, 3, 70).unwrap(), CopyClass::NoCopy);
+    }
+
+    #[test]
+    fn boundary_scan_recovers_heights() {
+        let mut t = tb();
+        let heights = subarray_heights(&mut t, 0, 0..256).unwrap();
+        assert_eq!(heights, vec![40, 24, 40, 24, 40, 24, 40]);
+    }
+
+    #[test]
+    fn edge_interval_detected() {
+        let mut t = tb();
+        assert_eq!(copy_class(&mut t, 0, 0, 255).unwrap(), CopyClass::Half);
+        assert_eq!(copy_class(&mut t, 0, 0, 511).unwrap(), CopyClass::NoCopy);
+        assert_eq!(detect_edge_interval(&mut t, 0).unwrap(), Some(256));
+    }
+
+    #[test]
+    fn uncoupled_chip_reports_no_coupling() {
+        let mut t = tb();
+        assert_eq!(detect_coupled_rows(&mut t, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn coupled_chip_reports_distance() {
+        let mut t = Testbed::new(DramChip::new(ChipProfile::test_small_coupled(), 21));
+        assert_eq!(detect_coupled_rows(&mut t, 0).unwrap(), Some(1024));
+    }
+
+    #[test]
+    fn all_true_chip_copies_inverted_across_subarrays() {
+        let mut t = tb();
+        assert_eq!(detect_copy_inversion(&mut t, 0, 0).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn parity_classification_splits_half_and_half() {
+        let mut t = tb();
+        // src 39 is directly below subarray 1 (rows 40..64).
+        let parity = classify_bit_parity(&mut t, 0, 39, 45, 0).unwrap();
+        let odd = parity.iter().filter(|p| **p == BlParity::Odd).count();
+        assert_eq!(odd, 16);
+    }
+
+    #[test]
+    fn parity_is_consistent_with_downward_copies() {
+        let mut t = tb();
+        let up = classify_bit_parity(&mut t, 0, 39, 45, 0).unwrap();
+        // Downward probe: src 45 (subarray 1) → dst 39 (subarray 0); the
+        // bits that copy downward are the even ones.
+        let down = probe_copy_bits(&mut t, 0, 45, 39, 0).unwrap();
+        for (i, p) in up.iter().enumerate() {
+            let copied_down = down[i] != BitCopy::None;
+            assert_eq!(
+                copied_down,
+                *p == BlParity::Even,
+                "bit {i}: up-parity and down-copy must complement"
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Memory templating / massaging (paper §VI-A).
+//!
+//! AIB attacks need the victim's page to land physically adjacent to an
+//! attacker-controlled row. The attacker "massages" the allocator until
+//! that holds. Coupled-row activation (O3) helps the attacker twice:
+//!
+//! * every attacker row hammers **two** wordline neighbourhoods (its own
+//!   and its coupled alias'), doubling the physical addresses it can
+//!   attack;
+//! * symmetric for templating: the set of physical frames adjacent to an
+//!   attacker row doubles.
+//!
+//! This module computes those candidate sets over a controller address
+//! mapping and simulates the massaging phase's success probability.
+
+use dram_module::AddressMapping;
+use dram_sim::rng::StreamRng;
+
+/// All physical addresses whose rows an attacker hammering `attacker_addr`
+/// can disturb: the row neighbours of the address itself, plus — on a
+/// coupled device — the neighbours of its coupled alias.
+pub fn attackable_neighbors(
+    mapping: &AddressMapping,
+    attacker_addr: u64,
+    coupled_distance: Option<u32>,
+    rows: u32,
+) -> Vec<u64> {
+    let mut out = vec![
+        mapping.row_neighbor(attacker_addr, -1),
+        mapping.row_neighbor(attacker_addr, 1),
+    ];
+    if let Some(d) = coupled_distance {
+        let coord = mapping.decompose(attacker_addr);
+        let alias_row = (coord.row + d) % rows;
+        let alias = mapping.compose(dram_module::DramCoord {
+            row: alias_row,
+            ..coord
+        });
+        out.push(mapping.row_neighbor(alias, -1));
+        out.push(mapping.row_neighbor(alias, 1));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The outcome of a simulated massaging phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MassagingOutcome {
+    /// Trials in which the victim frame landed attackable.
+    pub hits: u32,
+    /// Total trials.
+    pub trials: u32,
+}
+
+impl MassagingOutcome {
+    /// Empirical success probability.
+    pub fn probability(&self) -> f64 {
+        self.hits as f64 / self.trials.max(1) as f64
+    }
+}
+
+/// Simulates the templating phase: each trial places the victim frame on
+/// a uniformly random row of a bank the attacker occupies with
+/// `attacker_rows` rows, and checks whether any attacker row can disturb
+/// it. Coupling doubles the attacker's reach (paper §VI-A: "a higher
+/// probability of guaranteeing adjacency between the attacker and victim
+/// pages").
+pub fn simulate_massaging(
+    mapping: &AddressMapping,
+    attacker_rows: &[u32],
+    coupled_distance: Option<u32>,
+    rows: u32,
+    trials: u32,
+    seed: u64,
+) -> MassagingOutcome {
+    // Precompute the attackable row set.
+    let mut attackable: Vec<u32> = Vec::new();
+    for &r in attacker_rows {
+        let addr = mapping.compose(dram_module::DramCoord {
+            bank: 0,
+            row: r,
+            col: 0,
+        });
+        for n in attackable_neighbors(mapping, addr, coupled_distance, rows) {
+            attackable.push(mapping.decompose(n).row);
+        }
+    }
+    attackable.sort_unstable();
+    attackable.dedup();
+
+    let mut rng = StreamRng::new(seed);
+    let mut hits = 0;
+    for _ in 0..trials {
+        let victim_row = rng.next_below(rows as u64) as u32;
+        if attackable.binary_search(&victim_row).is_ok() {
+            hits += 1;
+        }
+    }
+    MassagingOutcome { hits, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(3, 2, 11, false)
+    }
+
+    #[test]
+    fn coupling_doubles_the_attackable_set() {
+        let m = mapping();
+        let addr = m.compose(dram_module::DramCoord {
+            bank: 0,
+            row: 100,
+            col: 0,
+        });
+        let plain = attackable_neighbors(&m, addr, None, 2048);
+        let coupled = attackable_neighbors(&m, addr, Some(1024), 2048);
+        assert_eq!(plain.len(), 2);
+        assert_eq!(coupled.len(), 4);
+        let rows: Vec<u32> = coupled.iter().map(|&a| m.decompose(a).row).collect();
+        assert!(rows.contains(&99) && rows.contains(&101));
+        assert!(rows.contains(&1123) && rows.contains(&1125));
+    }
+
+    #[test]
+    fn massaging_probability_doubles_with_coupling() {
+        let m = mapping();
+        let attacker_rows: Vec<u32> = (10..74).collect(); // 64 attacker rows
+        let plain = simulate_massaging(&m, &attacker_rows, None, 2048, 20_000, 5);
+        let coupled = simulate_massaging(&m, &attacker_rows, Some(1024), 2048, 20_000, 5);
+        assert!(plain.probability() > 0.0);
+        let ratio = coupled.probability() / plain.probability();
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "coupling should roughly double success: {ratio}"
+        );
+    }
+
+    #[test]
+    fn contiguous_attacker_blocks_have_thin_frontiers() {
+        // A contiguous 64-row block can only attack its interior plus two
+        // frontier rows: 66 attackable rows without coupling.
+        let m = mapping();
+        let attacker_rows: Vec<u32> = (10..74).collect();
+        let plain = simulate_massaging(&m, &attacker_rows, None, 2048, 200_000, 9);
+        let expect = 66.0 / 2048.0;
+        assert!(
+            (plain.probability() - expect).abs() < 0.005,
+            "got {} want ~{expect}",
+            plain.probability()
+        );
+    }
+}

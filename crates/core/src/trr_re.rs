@@ -1,0 +1,252 @@
+//! In-DRAM TRR reverse engineering (the Hassan et al. U-TRR /
+//! TRRespass line of work the paper builds on, and the §VI-B context
+//! for RFM-based mitigation).
+//!
+//! Two questions, both answered through the command interface:
+//!
+//! 1. **Is a TRR engine present?** Hammer in bursts with `REF` commands
+//!    interleaved. A sliced `REF` almost never refreshes the victims
+//!    itself (1/8192 of rows per command), so if the victims survive a
+//!    dose that flips them on a mitigation-free run, something inside
+//!    the DRAM rescued them.
+//! 2. **How big is its sampler?** A TRR sampler with `N` table entries
+//!    loses track of the real aggressor once an attack rotates through
+//!    enough decoy rows (the many-sided bypass). The smallest decoy
+//!    count that lets flips through bounds the table size.
+
+use crate::hammer::Attack;
+use dram_testbed::{results, Testbed, TestbedError};
+
+/// The outcome of a TRR-presence probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrrVerdict {
+    /// Victims flipped even with interleaved `REF`s: no effective TRR.
+    Absent,
+    /// Victims survived a flipping dose only when `REF`s were present.
+    Present,
+    /// The dose never flipped victims even without `REF`s — the probe
+    /// needs a higher ceiling.
+    Inconclusive,
+}
+
+/// Hammers `aggressor` in `windows` bursts of `per_window` activations.
+/// After each burst, issues a handful of `REF` commands when `with_refs`
+/// is set. Returns the victims' flip count.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn windowed_attack(
+    tb: &mut Testbed,
+    bank: u32,
+    aggressor: u32,
+    victims: &[u32],
+    per_window: u64,
+    windows: u32,
+    with_refs: bool,
+) -> Result<u32, TestbedError> {
+    for &v in victims {
+        tb.write_row_pattern(bank, v, u64::MAX)?;
+    }
+    tb.write_row_pattern(bank, aggressor, 0)?;
+    for _ in 0..windows {
+        Attack::Hammer { count: per_window }.run(tb, bank, aggressor)?;
+        if with_refs {
+            for _ in 0..4 {
+                tb.refresh()?;
+            }
+        }
+    }
+    let rd_bits = tb.chip().profile().io_width.rd_bits();
+    let mut flips = 0;
+    for &v in victims {
+        let data = tb.read_row(bank, v)?;
+        flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
+    }
+    Ok(flips)
+}
+
+/// Detects whether the device runs an in-DRAM TRR engine.
+///
+/// `fresh` must produce identical chips (same profile and seed) so the
+/// with-/without-`REF` runs compare the same silicon.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+pub fn detect_trr(
+    fresh: &mut dyn FnMut() -> Testbed,
+    bank: u32,
+    aggressor: u32,
+    victims: &[u32],
+    per_window: u64,
+    windows: u32,
+) -> Result<TrrVerdict, TestbedError> {
+    let mut without = fresh();
+    let baseline = windowed_attack(
+        &mut without,
+        bank,
+        aggressor,
+        victims,
+        per_window,
+        windows,
+        false,
+    )?;
+    if baseline == 0 {
+        return Ok(TrrVerdict::Inconclusive);
+    }
+    let mut with = fresh();
+    let protected = windowed_attack(&mut with, bank, aggressor, victims, per_window, windows, true)?;
+    Ok(if protected == 0 {
+        TrrVerdict::Present
+    } else {
+        TrrVerdict::Absent
+    })
+}
+
+/// A many-sided attack round: hammer the real aggressor plus `decoys`
+/// rotating decoy rows per window, with `REF`s interleaved, and report
+/// whether the real victims flipped.
+///
+/// Decoy rows are taken from `decoy_base`, `decoy_base + 2`, … (stride 2
+/// keeps them from being each other's neighbours); they must be
+/// well away from the victims.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+#[allow(clippy::too_many_arguments)]
+pub fn many_sided_attack(
+    tb: &mut Testbed,
+    bank: u32,
+    aggressor: u32,
+    victims: &[u32],
+    decoy_base: u32,
+    decoys: u32,
+    per_window: u64,
+    windows: u32,
+) -> Result<u32, TestbedError> {
+    for &v in victims {
+        tb.write_row_pattern(bank, v, u64::MAX)?;
+    }
+    tb.write_row_pattern(bank, aggressor, 0)?;
+    for w in 0..windows {
+        // The real aggressor first, then the rotating decoys: by the time
+        // the refresh arrives, the decoys have churned the sampler and
+        // (with enough of them) evicted the aggressor — the TRRespass
+        // many-sided bypass.
+        Attack::Hammer { count: per_window }.run(tb, bank, aggressor)?;
+        for d in 0..decoys {
+            let decoy = decoy_base + 2 * ((w * decoys + d) % (4 * decoys.max(1)));
+            Attack::Hammer { count: per_window }.run(tb, bank, decoy)?;
+        }
+        for _ in 0..4 {
+            tb.refresh()?;
+        }
+    }
+    let rd_bits = tb.chip().profile().io_width.rd_bits();
+    let mut flips = 0;
+    for &v in victims {
+        let data = tb.read_row(bank, v)?;
+        flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
+    }
+    Ok(flips)
+}
+
+/// Estimates the TRR sampler's table size: the smallest decoy count whose
+/// many-sided attack gets flips through bounds the table from below.
+///
+/// Returns `None` if no decoy count up to `max_decoys` bypasses the
+/// engine.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_sampler_size(
+    fresh: &mut dyn FnMut() -> Testbed,
+    bank: u32,
+    aggressor: u32,
+    victims: &[u32],
+    decoy_base: u32,
+    max_decoys: u32,
+    per_window: u64,
+    windows: u32,
+) -> Result<Option<u32>, TestbedError> {
+    for decoys in 1..=max_decoys {
+        let mut tb = fresh();
+        let flips = many_sided_attack(
+            &mut tb,
+            bank,
+            aggressor,
+            victims,
+            decoy_base,
+            decoys,
+            per_window,
+            windows,
+        )?;
+        if flips > 0 {
+            // `decoys` rotating rows defeated the sampler: its table has
+            // fewer than `decoys + 1` reliable entries.
+            return Ok(Some(decoys));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{ChipProfile, DramChip};
+
+    const AGGR: u32 = 20;
+    const VICTIMS: [u32; 2] = [19, 21];
+
+    fn fresh_trr(entries: usize) -> impl FnMut() -> Testbed {
+        move || Testbed::new(DramChip::new(ChipProfile::test_small().with_trr(entries), 33))
+    }
+
+    fn fresh_plain() -> impl FnMut() -> Testbed {
+        || Testbed::new(DramChip::new(ChipProfile::test_small(), 33))
+    }
+
+    #[test]
+    fn detects_trr_presence() {
+        let mut mk = fresh_trr(2);
+        let verdict = detect_trr(&mut mk, 0, AGGR, &VICTIMS, 200_000, 12).unwrap();
+        assert_eq!(verdict, TrrVerdict::Present);
+    }
+
+    #[test]
+    fn detects_trr_absence() {
+        let mut mk = fresh_plain();
+        let verdict = detect_trr(&mut mk, 0, AGGR, &VICTIMS, 200_000, 12).unwrap();
+        assert_eq!(verdict, TrrVerdict::Absent);
+    }
+
+    #[test]
+    fn underdosed_probe_is_inconclusive() {
+        let mut mk = fresh_plain();
+        let verdict = detect_trr(&mut mk, 0, AGGR, &VICTIMS, 1_000, 2).unwrap();
+        assert_eq!(verdict, TrrVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn many_sided_bypasses_a_small_sampler() {
+        // A 1-entry sampler is defeated by rotating decoys.
+        let mut mk = fresh_trr(1);
+        let size = estimate_sampler_size(
+            &mut mk,
+            0,
+            AGGR,
+            &VICTIMS,
+            70, // decoys live in subarray 2 ([64, 104)), away from 19..21
+            4,
+            200_000,
+            12,
+        )
+        .unwrap();
+        assert!(size.is_some(), "a 1-entry sampler must be bypassable");
+        assert!(size.unwrap() <= 3, "bypass should need few decoys");
+    }
+}

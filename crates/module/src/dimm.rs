@@ -1,0 +1,419 @@
+//! Module assembly: chips behind the RCD and the twisted DQ nets.
+
+use crate::dq::PinPermutation;
+use crate::rcd::{Rcd, Side};
+use dram_sim::{ChipProfile, Command, CommandError, DramChip, Time, TimingParams};
+use std::error::Error;
+use std::fmt;
+
+/// One burst of module-wide data: 8 beats of up to 64 lanes each.
+///
+/// On a real 64-bit DIMM this is a 64-byte cache line; narrower test
+/// modules simply use fewer lanes per beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheLine(pub [u64; 8]);
+
+impl CacheLine {
+    /// A line with every beat equal to `beat` (e.g. a repeating byte
+    /// pattern across all lanes).
+    pub fn splat(beat: u64) -> Self {
+        CacheLine([beat; 8])
+    }
+
+    /// Reads bit `lane` of beat `beat`.
+    pub fn get(&self, beat: u32, lane: u32) -> bool {
+        self.0[beat as usize] & (1 << lane) != 0
+    }
+
+    /// Writes bit `lane` of beat `beat`.
+    pub fn set(&mut self, beat: u32, lane: u32, v: bool) {
+        if v {
+            self.0[beat as usize] |= 1 << lane;
+        } else {
+            self.0[beat as usize] &= !(1 << lane);
+        }
+    }
+}
+
+/// A module-level command (what the memory controller issues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleCommand {
+    /// Broadcast `ACT` (the RCD may invert the row for B-side chips).
+    Activate {
+        /// Bank index.
+        bank: u32,
+        /// Controller-side row address.
+        row: u32,
+    },
+    /// Broadcast `PRE`.
+    Precharge {
+        /// Bank index.
+        bank: u32,
+    },
+    /// Gather one cache-line burst.
+    Read {
+        /// Bank index.
+        bank: u32,
+        /// Column address.
+        col: u32,
+    },
+    /// Scatter one cache-line burst.
+    Write {
+        /// Bank index.
+        bank: u32,
+        /// Column address.
+        col: u32,
+        /// Controller-side data.
+        data: CacheLine,
+    },
+    /// Broadcast `REF`.
+    Refresh,
+}
+
+/// An error from one of the module's chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleError {
+    /// Index of the failing chip.
+    pub chip: usize,
+    /// The underlying chip error.
+    pub error: CommandError,
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip {}: {}", self.chip, self.error)
+    }
+}
+
+impl Error for ModuleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A simulated (R)DIMM: `n` identical chips behind an RCD, with per-chip
+/// DQ twisting. See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Dimm {
+    chips: Vec<DramChip>,
+    twists: Vec<PinPermutation>,
+    rcd: Rcd,
+    dq_pins: u32,
+    beats: u32,
+}
+
+impl Dimm {
+    /// Builds a module of `n_chips` chips sharing `profile`, each a
+    /// distinct piece of silicon (seeded `seed`, `seed+1`, …).
+    ///
+    /// RCD inversion is **enabled** (the real-world default) and each chip
+    /// position gets its standard DQ twist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_chips` is zero or the module would exceed 64 lanes.
+    pub fn new(profile: ChipProfile, n_chips: u32, seed: u64) -> Self {
+        assert!(n_chips > 0, "a module needs at least one chip");
+        let dq_pins = profile.io_width.dq_pins();
+        assert!(n_chips * dq_pins <= 64, "module exceeds 64 data lanes");
+        let rd_bits = profile.io_width.rd_bits();
+        let beats = rd_bits / dq_pins;
+        let row_bits = 32 - (profile.rows_per_bank - 1).leading_zeros();
+        let chips = (0..n_chips)
+            .map(|i| DramChip::new(profile.clone(), seed.wrapping_add(i as u64)))
+            .collect();
+        let twists = (0..n_chips)
+            .map(|i| PinPermutation::for_chip_position(i, dq_pins))
+            .collect();
+        Dimm {
+            chips,
+            twists,
+            rcd: Rcd::new(true, row_bits),
+            dq_pins,
+            beats,
+        }
+    }
+
+    /// Builds the standard RDIMM for the profile's width: 16 chips for ×4
+    /// and 8 chips for ×8 (one 64-bit rank).
+    pub fn rdimm(profile: ChipProfile, seed: u64) -> Self {
+        let n = 64 / profile.io_width.dq_pins();
+        Self::new(profile, n, seed)
+    }
+
+    /// Number of chips.
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Shared chip profile.
+    pub fn profile(&self) -> &ChipProfile {
+        self.chips[0].profile()
+    }
+
+    /// Module timing (identical to the chips').
+    pub fn timing(&self) -> &TimingParams {
+        self.chips[0].timing()
+    }
+
+    /// Read-only access to one chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn chip(&self, i: usize) -> &DramChip {
+        &self.chips[i]
+    }
+
+    /// Mutable access to one chip (per-chip experiments, exactly like
+    /// wiring a single chip to the FPGA testbed).
+    pub fn chip_mut(&mut self, i: usize) -> &mut DramChip {
+        &mut self.chips[i]
+    }
+
+    /// The module side a chip position is mounted on (first half A,
+    /// second half B).
+    pub fn side_of(&self, chip: usize) -> Side {
+        if chip < self.chips.len() / 2 {
+            Side::A
+        } else {
+            Side::B
+        }
+    }
+
+    /// The RCD configuration — public datasheet information.
+    pub fn rcd(&self) -> &Rcd {
+        &self.rcd
+    }
+
+    /// The DQ twist of a chip position — public datasheet information.
+    pub fn pin_map(&self, chip: usize) -> &PinPermutation {
+        &self.twists[chip]
+    }
+
+    /// The row address chip `i` receives when the controller drives
+    /// `row` — i.e. the combined RCD view.
+    pub fn chip_row_address(&self, chip: usize, row: u32) -> u32 {
+        self.rcd.chip_row(self.side_of(chip), row)
+    }
+
+    /// Runs one full refresh window on every chip (the accelerated
+    /// equivalent of 8192 broadcast `REF` commands).
+    ///
+    /// # Errors
+    ///
+    /// Fails with the first chip error encountered.
+    pub fn refresh_window(&mut self, at: Time) -> Result<(), ModuleError> {
+        for i in 0..self.chips.len() {
+            self.chips[i]
+                .refresh_window(at)
+                .map_err(|error| ModuleError { chip: i, error })?;
+        }
+        Ok(())
+    }
+
+    /// Issues a module command at timestamp `at`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the first chip error encountered; the module state may
+    /// then be torn (as on real hardware after a protocol violation).
+    pub fn issue(
+        &mut self,
+        cmd: ModuleCommand,
+        at: Time,
+    ) -> Result<Option<CacheLine>, ModuleError> {
+        match cmd {
+            ModuleCommand::Activate { bank, row } => {
+                for i in 0..self.chips.len() {
+                    let chip_row = self.chip_row_address(i, row);
+                    self.chip_issue(i, Command::Activate { bank, row: chip_row }, at)?;
+                }
+                Ok(None)
+            }
+            ModuleCommand::Precharge { bank } => {
+                for i in 0..self.chips.len() {
+                    self.chip_issue(i, Command::Precharge { bank }, at)?;
+                }
+                Ok(None)
+            }
+            ModuleCommand::Refresh => {
+                for i in 0..self.chips.len() {
+                    self.chip_issue(i, Command::Refresh, at)?;
+                }
+                Ok(None)
+            }
+            ModuleCommand::Read { bank, col } => {
+                let mut line = CacheLine::default();
+                for i in 0..self.chips.len() {
+                    let data = self
+                        .chip_issue(i, Command::Read { bank, col }, at)?
+                        .expect("read returns data");
+                    self.scatter_chip_to_line(i, data.0, &mut line);
+                }
+                Ok(Some(line))
+            }
+            ModuleCommand::Write { bank, col, data } => {
+                for i in 0..self.chips.len() {
+                    let chip_data = self.gather_line_to_chip(i, &data);
+                    self.chip_issue(
+                        i,
+                        Command::Write {
+                            bank,
+                            col,
+                            data: chip_data,
+                        },
+                        at,
+                    )?;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn chip_issue(
+        &mut self,
+        i: usize,
+        cmd: Command,
+        at: Time,
+    ) -> Result<Option<dram_sim::ReadData>, ModuleError> {
+        self.chips[i]
+            .issue(cmd, at)
+            .map_err(|error| ModuleError { chip: i, error })
+    }
+
+    /// Extracts chip `i`'s RD_data from a controller-side line, applying
+    /// the DQ twist.
+    pub fn gather_line_to_chip(&self, i: usize, line: &CacheLine) -> u64 {
+        let base_lane = i as u32 * self.dq_pins;
+        let mask = lane_mask(self.dq_pins);
+        let mut out = 0u64;
+        for beat in 0..self.beats {
+            let lanes = (line.0[beat as usize] >> base_lane) & mask;
+            let pins = self.twists[i].module_to_chip_beat(lanes);
+            out |= pins << (beat * self.dq_pins);
+        }
+        out
+    }
+
+    /// Places chip `i`'s RD_data into a controller-side line, applying the
+    /// inverse DQ twist.
+    pub fn scatter_chip_to_line(&self, i: usize, chip_data: u64, line: &mut CacheLine) {
+        let base_lane = i as u32 * self.dq_pins;
+        let mask = lane_mask(self.dq_pins);
+        for beat in 0..self.beats {
+            let pins = (chip_data >> (beat * self.dq_pins)) & mask;
+            let lanes = self.twists[i].chip_to_module_beat(pins);
+            let word = &mut line.0[beat as usize];
+            *word &= !(mask << base_lane);
+            *word |= lanes << base_lane;
+        }
+    }
+}
+
+/// All-ones mask over `pins` low bits (handles the 64-pin HBM2 case).
+fn lane_mask(pins: u32) -> u64 {
+    if pins >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << pins) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dimm() -> Dimm {
+        Dimm::new(ChipProfile::test_small(), 4, 11)
+    }
+
+    fn rw_cycle(d: &mut Dimm, row: u32, data: CacheLine) -> CacheLine {
+        let t0 = latest(d) + d.timing().trp;
+        d.issue(ModuleCommand::Activate { bank: 0, row }, t0).unwrap();
+        let t1 = t0 + d.timing().trcd;
+        d.issue(ModuleCommand::Write { bank: 0, col: 0, data }, t1)
+            .unwrap();
+        let t2 = t1 + d.timing().tck;
+        let line = d
+            .issue(ModuleCommand::Read { bank: 0, col: 0 }, t2)
+            .unwrap()
+            .unwrap();
+        d.issue(
+            ModuleCommand::Precharge { bank: 0 },
+            t2.max(t0 + d.timing().tras) + d.timing().tck,
+        )
+        .unwrap();
+        line
+    }
+
+    fn latest(d: &Dimm) -> Time {
+        (0..d.chip_count())
+            .map(|i| d.chip(i).now())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    #[test]
+    fn module_round_trips_through_twists_and_rcd() {
+        let mut d = dimm();
+        let mut data = CacheLine::default();
+        for beat in 0..8 {
+            data.0[beat] = 0xA5F0_3C69 ^ (beat as u64) << 3;
+        }
+        let got = rw_cycle(&mut d, 100, data);
+        // Only the module's 16 lanes are meaningful.
+        for beat in 0..8 {
+            assert_eq!(got.0[beat] & 0xFFFF, data.0[beat] & 0xFFFF, "beat {beat}");
+        }
+    }
+
+    #[test]
+    fn b_side_chips_receive_inverted_rows() {
+        let d = dimm();
+        assert_eq!(d.side_of(0), Side::A);
+        assert_eq!(d.side_of(3), Side::B);
+        assert_eq!(d.chip_row_address(0, 5), 5);
+        assert_ne!(d.chip_row_address(3, 5), 5);
+    }
+
+    #[test]
+    fn naive_pattern_differs_inside_chips() {
+        // Writing 0x5 on every nibble lane does NOT land as 0x5 in every
+        // chip — the classic pitfall.
+        let d = dimm();
+        let line = CacheLine::splat(0x5555); // 4 chips × 4 lanes
+        let per_chip: Vec<u64> = (0..4).map(|i| d.gather_line_to_chip(i, &line)).collect();
+        assert!(
+            per_chip.iter().any(|&c| c != per_chip[0]),
+            "at least one chip must see twisted data: {per_chip:?}"
+        );
+    }
+
+    #[test]
+    fn gather_scatter_are_inverse() {
+        let d = dimm();
+        for i in 0..4 {
+            let chip_data = 0x1234_ABCD ^ (i as u64 * 7);
+            let mut line = CacheLine::default();
+            d.scatter_chip_to_line(i, chip_data, &mut line);
+            assert_eq!(d.gather_line_to_chip(i, &line), chip_data);
+        }
+    }
+
+    #[test]
+    fn rdimm_uses_standard_chip_counts() {
+        let d4 = Dimm::rdimm(ChipProfile::test_small(), 1);
+        assert_eq!(d4.chip_count(), 16);
+    }
+
+    #[test]
+    fn chip_errors_carry_their_index() {
+        let mut d = dimm();
+        let err = d
+            .issue(ModuleCommand::Read { bank: 0, col: 0 }, Time::from_ns(50))
+            .unwrap_err();
+        assert_eq!(err.chip, 0);
+        assert_eq!(err.error, CommandError::NoOpenRow);
+    }
+}

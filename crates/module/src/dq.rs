@@ -1,0 +1,156 @@
+//! DQ (data pin) twisting (common pitfall 3, paper §III-C, Fig. 5(c)).
+//!
+//! PCB routing connects each chip's DQ pins to the module's data lanes in
+//! a permuted order. The permutation is disclosed in module datasheets but
+//! differs per chip position, so a controller-side pattern like `0x55`
+//! arrives at different chips as `0x33`, `0xCC`, or `0x99` unless the
+//! experimenter compensates.
+
+use std::fmt;
+
+/// A permutation of a chip's DQ pins.
+///
+/// `lane_to_pin[lane]` is the chip pin wired to module lane `lane`
+/// (lanes are numbered within the chip's nibble/byte).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PinPermutation {
+    lane_to_pin: Vec<u8>,
+    pin_to_lane: Vec<u8>,
+}
+
+impl PinPermutation {
+    /// Creates a permutation from a lane→pin table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_to_pin` is not a permutation of `0..len`.
+    pub fn new(lane_to_pin: Vec<u8>) -> Self {
+        let n = lane_to_pin.len();
+        let mut pin_to_lane = vec![u8::MAX; n];
+        for (lane, &pin) in lane_to_pin.iter().enumerate() {
+            assert!((pin as usize) < n, "pin {pin} out of range");
+            assert_eq!(pin_to_lane[pin as usize], u8::MAX, "duplicate pin {pin}");
+            pin_to_lane[pin as usize] = lane as u8;
+        }
+        PinPermutation {
+            lane_to_pin,
+            pin_to_lane,
+        }
+    }
+
+    /// The identity wiring.
+    pub fn identity(pins: u32) -> Self {
+        Self::new((0..pins as u8).collect())
+    }
+
+    /// The canonical per-position twist used by the modeled modules:
+    /// chip positions cycle through identity, pair-swap, reversal, and
+    /// rotate-by-2 wirings — the kind of variety real RDIMM datasheets
+    /// document.
+    pub fn for_chip_position(position: u32, pins: u32) -> Self {
+        let p = pins as u8;
+        let table: Vec<u8> = match position % 4 {
+            0 => (0..p).collect(),
+            1 => (0..p).map(|i| i ^ 1).collect(),
+            2 => (0..p).map(|i| p - 1 - i).collect(),
+            _ => (0..p).map(|i| (i + 2) % p).collect(),
+        };
+        Self::new(table)
+    }
+
+    /// Number of pins.
+    pub fn pins(&self) -> u32 {
+        self.lane_to_pin.len() as u32
+    }
+
+    /// The chip pin wired to a module lane.
+    pub fn pin_of_lane(&self, lane: u32) -> u32 {
+        self.lane_to_pin[lane as usize] as u32
+    }
+
+    /// The module lane wired to a chip pin.
+    pub fn lane_of_pin(&self, pin: u32) -> u32 {
+        self.pin_to_lane[pin as usize] as u32
+    }
+
+    /// Applies the twist to one beat of data: bit `lane` of the module's
+    /// view becomes bit [`pin_of_lane`](Self::pin_of_lane)`(lane)` of the
+    /// chip's view.
+    pub fn module_to_chip_beat(&self, beat: u64) -> u64 {
+        let mut out = 0u64;
+        for lane in 0..self.pins() {
+            if beat & (1 << lane) != 0 {
+                out |= 1 << self.pin_of_lane(lane);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`module_to_chip_beat`](Self::module_to_chip_beat).
+    pub fn chip_to_module_beat(&self, beat: u64) -> u64 {
+        let mut out = 0u64;
+        for pin in 0..self.pins() {
+            if beat & (1 << pin) != 0 {
+                out |= 1 << self.lane_of_pin(pin);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for PinPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DQ[")?;
+        for (i, p) in self.lane_to_pin.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_does_nothing() {
+        let p = PinPermutation::identity(8);
+        assert_eq!(p.module_to_chip_beat(0x55), 0x55);
+        assert_eq!(p.chip_to_module_beat(0xA7), 0xA7);
+    }
+
+    #[test]
+    fn pair_swap_turns_0x55_into_0xaa() {
+        let p = PinPermutation::for_chip_position(1, 8);
+        assert_eq!(p.module_to_chip_beat(0x55), 0xAA);
+    }
+
+    #[test]
+    fn round_trip_for_all_positions() {
+        for pos in 0..8 {
+            for pins in [4u32, 8] {
+                let p = PinPermutation::for_chip_position(pos, pins);
+                for v in 0..(1u64 << pins) {
+                    assert_eq!(p.chip_to_module_beat(p.module_to_chip_beat(v)), v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positions_differ() {
+        let a = PinPermutation::for_chip_position(0, 8);
+        let b = PinPermutation::for_chip_position(2, 8);
+        assert_ne!(a, b);
+        assert_ne!(a.module_to_chip_beat(0x0F), b.module_to_chip_beat(0x0F));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pin")]
+    fn rejects_non_permutations() {
+        PinPermutation::new(vec![0, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # dram-module
+//!
+//! Module-level substrate for the DRAMScope reproduction: the parts of a
+//! memory system that sit *between* the memory controller and the DRAM
+//! dies and that quietly remap addresses and data — the source of the
+//! "common pitfalls" in §III-C of the paper:
+//!
+//! 1. **RCD address inversion** ([`rcd`]): registered DIMMs invert part of
+//!    the row/bank address for the B-side chips to reduce simultaneous
+//!    switching current. Enabled by default, exactly as on real RDIMMs.
+//! 2. **DQ twisting** ([`dq`]): the data pins of each chip are wired to
+//!    module lanes in a per-chip permuted order, so writing `0x55` from
+//!    the controller lands as `0x33`, `0xCC`, or `0x99` inside a chip.
+//! 3. **MC address mapping** ([`mc`]): the physical-address to
+//!    rank/bank/row/column slicing used for system-level attack scenarios.
+//!
+//! [`dimm::Dimm`] assembles simulated [`dram_sim::DramChip`]s behind these
+//! layers and exposes a cache-line-wide command interface.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_module::{CacheLine, Dimm, ModuleCommand};
+//! use dram_sim::{ChipProfile, Time};
+//!
+//! # fn main() -> Result<(), dram_module::ModuleError> {
+//! let mut dimm = Dimm::new(ChipProfile::test_small(), 4, 99);
+//! let mut t = Time::from_ns(20);
+//! dimm.issue(ModuleCommand::Activate { bank: 0, row: 3 }, t)?;
+//! t += dimm.timing().trcd;
+//! dimm.issue(
+//!     ModuleCommand::Write { bank: 0, col: 0, data: CacheLine::splat(0x55) },
+//!     t,
+//! )?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dimm;
+pub mod dq;
+pub mod mc;
+pub mod rcd;
+pub mod spd;
+
+pub use dimm::{CacheLine, Dimm, ModuleCommand, ModuleError};
+pub use dq::PinPermutation;
+pub use mc::{AddressMapping, DramCoord};
+pub use rcd::Rcd;
+pub use spd::{AibDisclosure, Spd};

@@ -1,0 +1,163 @@
+//! Memory-controller physical-address mapping.
+//!
+//! System-level AIB attacks (memory templating/massaging, §VI-A of the
+//! paper) reason about *physical addresses*; the controller slices them
+//! into module coordinates. The default layout is
+//! `| row | bank | column | line offset |` from MSB to LSB, with an
+//! optional XOR bank hash (common on real controllers).
+
+use std::fmt;
+
+/// A decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramCoord {
+    /// Bank index.
+    pub bank: u32,
+    /// Controller-side row address.
+    pub row: u32,
+    /// Column (cache-line granularity).
+    pub col: u32,
+}
+
+impl fmt::Display for DramCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank {} row {} col {}", self.bank, self.row, self.col)
+    }
+}
+
+/// A physical-address to DRAM-coordinate mapping.
+///
+/// # Example
+///
+/// ```
+/// use dram_module::{AddressMapping, DramCoord};
+/// let m = AddressMapping::new(3, 4, 11, false);
+/// let coord = DramCoord { bank: 2, row: 77, col: 5 };
+/// assert_eq!(m.decompose(m.compose(coord)), coord);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    col_bits: u32,
+    bank_bits: u32,
+    row_bits: u32,
+    bank_xor_hash: bool,
+}
+
+impl AddressMapping {
+    /// Cache-line offset bits (64-byte lines).
+    pub const LINE_OFFSET_BITS: u32 = 6;
+
+    /// Creates a mapping with the given field widths. When
+    /// `bank_xor_hash` is set, the bank field is XOR-folded with the low
+    /// row bits (bank-permuting hash, as on Intel controllers).
+    pub fn new(col_bits: u32, bank_bits: u32, row_bits: u32, bank_xor_hash: bool) -> Self {
+        AddressMapping {
+            col_bits,
+            bank_bits,
+            row_bits,
+            bank_xor_hash,
+        }
+    }
+
+    /// Total addressable bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        1u64 << (Self::LINE_OFFSET_BITS + self.col_bits + self.bank_bits + self.row_bits)
+    }
+
+    /// Decodes a physical address.
+    pub fn decompose(&self, addr: u64) -> DramCoord {
+        let a = addr >> Self::LINE_OFFSET_BITS;
+        let col = (a & ((1 << self.col_bits) - 1)) as u32;
+        let a = a >> self.col_bits;
+        let mut bank = (a & ((1 << self.bank_bits) - 1)) as u32;
+        let a = a >> self.bank_bits;
+        let row = (a & ((1 << self.row_bits) - 1)) as u32;
+        if self.bank_xor_hash {
+            bank ^= row & ((1 << self.bank_bits) - 1);
+        }
+        DramCoord { bank, row, col }
+    }
+
+    /// Encodes a coordinate back to a physical address.
+    pub fn compose(&self, coord: DramCoord) -> u64 {
+        let mut bank = coord.bank;
+        if self.bank_xor_hash {
+            bank ^= coord.row & ((1 << self.bank_bits) - 1);
+        }
+        (((coord.row as u64) << self.bank_bits | bank as u64) << self.col_bits
+            | coord.col as u64)
+            << Self::LINE_OFFSET_BITS
+    }
+
+    /// Physical addresses mapping to the same bank as `addr` with the row
+    /// offset by `delta` — the "same bank, adjacent row" step an attacker
+    /// needs for templating.
+    pub fn row_neighbor(&self, addr: u64, delta: i64) -> u64 {
+        let mut c = self.decompose(addr);
+        c.row = (c.row as i64 + delta).rem_euclid(1 << self.row_bits) as u32;
+        self.compose(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_without_hash() {
+        let m = AddressMapping::new(3, 4, 11, false);
+        for addr in (0..m.capacity_bytes()).step_by(4096 + 64) {
+            assert_eq!(m.compose(m.decompose(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn round_trip_with_hash() {
+        let m = AddressMapping::new(3, 4, 11, true);
+        for addr in (0..m.capacity_bytes()).step_by(8192 + 64) {
+            assert_eq!(m.compose(m.decompose(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn hash_keeps_bank_stable_across_row_neighbors() {
+        let m = AddressMapping::new(3, 4, 11, true);
+        let addr = m.compose(DramCoord {
+            bank: 5,
+            row: 100,
+            col: 2,
+        });
+        let up = m.decompose(m.row_neighbor(addr, 1));
+        assert_eq!(up.bank, 5);
+        assert_eq!(up.row, 101);
+        assert_eq!(up.col, 2);
+    }
+
+    #[test]
+    fn row_neighbor_wraps() {
+        let m = AddressMapping::new(3, 4, 11, false);
+        let addr = m.compose(DramCoord {
+            bank: 0,
+            row: 0,
+            col: 0,
+        });
+        let down = m.decompose(m.row_neighbor(addr, -1));
+        assert_eq!(down.row, (1 << 11) - 1);
+    }
+
+    #[test]
+    fn fields_do_not_alias() {
+        let m = AddressMapping::new(3, 4, 11, false);
+        let a = m.compose(DramCoord {
+            bank: 1,
+            row: 2,
+            col: 3,
+        });
+        let b = m.compose(DramCoord {
+            bank: 2,
+            row: 1,
+            col: 3,
+        });
+        assert_ne!(a, b);
+    }
+}

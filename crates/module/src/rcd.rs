@@ -1,0 +1,136 @@
+//! The registered clock driver (RCD) of an RDIMM (common pitfall 1,
+//! paper §III-C, Fig. 5(a)(b)).
+//!
+//! The RCD re-drives command/address signals to the chips on the module's
+//! two sides. To cut simultaneous output switching current, the **B-side
+//! copy of the address bus is inverted by default** (JEDEC DDR4RCD02).
+//! Ignoring this when reverse-engineering produces classic artifacts:
+//! apparent "direct non-adjacent RowHammer", half-rows, and misread spare
+//! rows.
+
+/// Which side of the DIMM a chip is mounted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Receives the address bus unmodified.
+    A,
+    /// Receives the (partially) inverted address bus when inversion is on.
+    B,
+}
+
+/// The RCD configuration of a module.
+///
+/// # Example
+///
+/// ```
+/// use dram_module::rcd::{Rcd, Side};
+/// let rcd = Rcd::new(true, 17);
+/// let pin = rcd.chip_row(Side::B, 0);
+/// assert_ne!(pin, 0, "B-side rows are inverted by default");
+/// assert_eq!(rcd.chip_row(Side::A, 0), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rcd {
+    inversion_enabled: bool,
+    row_bits: u32,
+}
+
+impl Rcd {
+    /// Inversion covers the high row-address bits; the JEDEC scheme keeps
+    /// the low bits (A0–A2, used for burst control) uninverted. We model
+    /// that as leaving the low 3 bits alone.
+    const UNINVERTED_LOW_BITS: u32 = 3;
+
+    /// Creates an RCD for a module whose chips decode `row_bits` row bits.
+    pub fn new(inversion_enabled: bool, row_bits: u32) -> Self {
+        assert!(row_bits > Self::UNINVERTED_LOW_BITS);
+        Rcd {
+            inversion_enabled,
+            row_bits,
+        }
+    }
+
+    /// Whether B-side inversion is active (the power-on default on real
+    /// RDIMMs).
+    pub fn inversion_enabled(&self) -> bool {
+        self.inversion_enabled
+    }
+
+    /// The mask of row-address bits that inversion flips.
+    pub fn inversion_mask(&self) -> u32 {
+        let all = (1u32 << self.row_bits) - 1;
+        all & !((1 << Self::UNINVERTED_LOW_BITS) - 1)
+    }
+
+    /// The row address a chip on `side` actually receives when the
+    /// controller drives `row`.
+    pub fn chip_row(&self, side: Side, row: u32) -> u32 {
+        match side {
+            Side::A => row,
+            Side::B => {
+                if self.inversion_enabled {
+                    row ^ self.inversion_mask()
+                } else {
+                    row
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`chip_row`](Self::chip_row): the controller-side row
+    /// that reaches a chip on `side` as `pin_row`. (The transform is an
+    /// involution, so this is the same operation.)
+    pub fn controller_row(&self, side: Side, pin_row: u32) -> u32 {
+        self.chip_row(side, pin_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_side_is_never_inverted() {
+        let rcd = Rcd::new(true, 11);
+        for r in [0u32, 1, 7, 8, 2047] {
+            assert_eq!(rcd.chip_row(Side::A, r), r);
+        }
+    }
+
+    #[test]
+    fn b_side_inverts_high_bits_only() {
+        let rcd = Rcd::new(true, 11);
+        assert_eq!(rcd.chip_row(Side::B, 0), 0b111_1111_1000);
+        assert_eq!(rcd.chip_row(Side::B, 0b101), 0b111_1111_1101);
+    }
+
+    #[test]
+    fn disabled_inversion_is_identity() {
+        let rcd = Rcd::new(false, 11);
+        for r in 0..2048 {
+            assert_eq!(rcd.chip_row(Side::B, r), r);
+        }
+    }
+
+    #[test]
+    fn inversion_is_an_involution() {
+        let rcd = Rcd::new(true, 11);
+        for r in 0..2048 {
+            let pin = rcd.chip_row(Side::B, r);
+            assert_eq!(rcd.controller_row(Side::B, pin), r);
+        }
+    }
+
+    #[test]
+    fn adjacent_controller_rows_stay_adjacent_on_chip() {
+        // Inversion preserves *pairwise distance within the low bits* but
+        // reverses the ordering of high blocks — the signature the paper's
+        // "non-adjacent RowHammer" artifact comes from.
+        let rcd = Rcd::new(true, 11);
+        let a = rcd.chip_row(Side::B, 100);
+        let b = rcd.chip_row(Side::B, 101);
+        assert_eq!(a.abs_diff(b), 1);
+        let c = rcd.chip_row(Side::B, 103);
+        let d = rcd.chip_row(Side::B, 104);
+        assert_ne!(c.abs_diff(d), 1, "crossing bit 3 jumps after inversion");
+    }
+}

@@ -1,0 +1,111 @@
+//! Serial Presence Detect (SPD) with optional vendor disclosures.
+//!
+//! The paper's §VI-B proposes that "if the DRAM manufacturers disclose
+//! the coupled-row relationship information in either the DRAM chip's
+//! mode register or the DRAM module's Serial Presence Detect chip, an MC
+//! can read the information … and effectively track both coupled-row
+//! activations as a single aggressor row's activation."
+//!
+//! [`Spd`] models that channel: standard identification fields every
+//! real module carries, plus the *optional* AIB-relevant disclosures the
+//! paper asks vendors for. A controller builds its defenses from
+//! whatever the vendor chose to publish.
+
+use dram_sim::{ChipProfile, IoWidth, Vendor};
+
+/// The vendor's optional AIB-relevant disclosures (paper §VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AibDisclosure {
+    /// Coupled-row distance in row addresses, if the device couples rows
+    /// and the vendor chose to disclose it.
+    pub coupled_row_distance: Option<u32>,
+    /// Whether the device implements an in-DRAM mitigation reachable via
+    /// `RFM` (so the controller knows RFM commands are not wasted).
+    pub rfm_capable: bool,
+}
+
+/// A module's SPD contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spd {
+    /// Module manufacturer.
+    pub vendor: Vendor,
+    /// Device width.
+    pub io_width: IoWidth,
+    /// Density per chip in gigabits.
+    pub density_gbit: u32,
+    /// Rows per bank (standard addressing fields).
+    pub rows_per_bank: u32,
+    /// Banks per chip.
+    pub banks: u32,
+    /// The optional vulnerability-relevant disclosures.
+    pub disclosure: AibDisclosure,
+}
+
+impl Spd {
+    /// The SPD a vendor ships *without* any AIB disclosure (today's
+    /// practice, which the paper criticizes as "the price of secrecy").
+    pub fn undisclosed(profile: &ChipProfile) -> Self {
+        Spd {
+            vendor: profile.vendor,
+            io_width: profile.io_width,
+            density_gbit: profile.density_gbit,
+            rows_per_bank: profile.rows_per_bank,
+            banks: profile.banks,
+            disclosure: AibDisclosure::default(),
+        }
+    }
+
+    /// The SPD the paper asks for: the same identification fields plus
+    /// the coupled-row relationship (taken from the device itself — the
+    /// vendor knows its own silicon) and RFM capability.
+    pub fn with_disclosure(profile: &ChipProfile, chip: &dram_sim::DramChip) -> Self {
+        let gt = chip.ground_truth();
+        Spd {
+            disclosure: AibDisclosure {
+                coupled_row_distance: gt.coupled_distance,
+                rfm_capable: true,
+            },
+            ..Self::undisclosed(profile)
+        }
+    }
+
+    /// Whether a controller reading this SPD can configure coupled-aware
+    /// tracking without reverse engineering.
+    pub fn enables_coupled_tracking(&self) -> bool {
+        self.disclosure.coupled_row_distance.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::DramChip;
+
+    #[test]
+    fn undisclosed_spd_hides_coupling() {
+        let p = ChipProfile::mfr_a_x4_2016();
+        let spd = Spd::undisclosed(&p);
+        assert_eq!(spd.vendor, Vendor::A);
+        assert_eq!(spd.disclosure.coupled_row_distance, None);
+        assert!(!spd.enables_coupled_tracking());
+    }
+
+    #[test]
+    fn disclosed_spd_carries_the_coupling_distance() {
+        let p = ChipProfile::mfr_a_x4_2016();
+        let chip = DramChip::new(p.clone(), 1);
+        let spd = Spd::with_disclosure(&p, &chip);
+        assert_eq!(spd.disclosure.coupled_row_distance, Some(64 << 10));
+        assert!(spd.disclosure.rfm_capable);
+        assert!(spd.enables_coupled_tracking());
+    }
+
+    #[test]
+    fn uncoupled_devices_disclose_nothing_to_track() {
+        let p = ChipProfile::mfr_a_x4_2018();
+        let chip = DramChip::new(p.clone(), 1);
+        let spd = Spd::with_disclosure(&p, &chip);
+        assert_eq!(spd.disclosure.coupled_row_distance, None);
+        assert!(!spd.enables_coupled_tracking());
+    }
+}

@@ -1,0 +1,182 @@
+//! The 6F² cell taxonomy (paper §II-B, §V-A).
+//!
+//! In the 6F² layout, pairs of cells share a bitline contact inside one
+//! P-substrate island. Relative to that island a cell is a *top* or a
+//! *bottom* cell; every top cell is isomorphic to every other top cell.
+//! For a top cell the wordline **above** it is a *passing gate* and the
+//! wordline **below** it a *neighboring gate*; for a bottom cell the roles
+//! swap. Top and bottom cells alternate along a row, and the pattern shifts
+//! by one between even and odd wordlines — this is the geometric origin of
+//! every alternating AIB pattern in the paper (O7, O8).
+
+use crate::geometry::{Bitline, Wordline};
+
+/// Position of a cell within its shared P-substrate island.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// The upper cell of the pair: upper neighbor WL is the passing gate.
+    Top,
+    /// The lower cell of the pair: lower neighbor WL is the passing gate.
+    Bottom,
+}
+
+/// The relationship between an aggressor wordline and a victim cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateType {
+    /// The aggressor WL does not share the victim's P-substrate
+    /// (capacitive-crosstalk / electron-attraction mechanism).
+    Passing,
+    /// The aggressor WL shares the victim's P-substrate
+    /// (electron-injection mechanism).
+    Neighboring,
+}
+
+/// Polarity of a cell's data encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellPolarity {
+    /// Charged state stores logical 1.
+    True,
+    /// Charged state stores logical 0.
+    Anti,
+}
+
+impl CellPolarity {
+    /// Whether a stored logical bit corresponds to the charged state.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dram_sim::CellPolarity;
+    /// assert!(CellPolarity::True.is_charged(true));
+    /// assert!(CellPolarity::Anti.is_charged(false));
+    /// ```
+    pub fn is_charged(self, bit: bool) -> bool {
+        match self {
+            CellPolarity::True => bit,
+            CellPolarity::Anti => !bit,
+        }
+    }
+
+    /// The logical bit that corresponds to the discharged state
+    /// (what a retention failure decays *to*).
+    pub fn discharged_bit(self) -> bool {
+        match self {
+            CellPolarity::True => false,
+            CellPolarity::Anti => true,
+        }
+    }
+}
+
+/// Which vertical neighbor a disturbance comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggressorDir {
+    /// Aggressor wordline index is one above the victim's.
+    Upper,
+    /// Aggressor wordline index is one below the victim's.
+    Lower,
+}
+
+impl AggressorDir {
+    /// The opposite direction.
+    pub fn flipped(self) -> AggressorDir {
+        match self {
+            AggressorDir::Upper => AggressorDir::Lower,
+            AggressorDir::Lower => AggressorDir::Upper,
+        }
+    }
+}
+
+/// Classifies a cell as top or bottom from its physical coordinates.
+///
+/// Top/bottom alternates along the bitline axis and flips with wordline
+/// parity, matching the paper's observation that a victim row with odd WL
+/// shows the reversed error pattern of an even WL (Fig. 12).
+pub fn cell_kind(wl: Wordline, bl: Bitline) -> CellKind {
+    if (wl.0 + bl.0).is_multiple_of(2) {
+        CellKind::Top
+    } else {
+        CellKind::Bottom
+    }
+}
+
+/// Resolves the gate type an aggressor presents to a victim cell.
+///
+/// For a [`CellKind::Top`] cell the upper aggressor is the passing gate and
+/// the lower aggressor the neighboring gate; the opposite holds for a
+/// bottom cell (paper §V-A, Fig. 11).
+pub fn gate_type(victim_wl: Wordline, victim_bl: Bitline, dir: AggressorDir) -> GateType {
+    match (cell_kind(victim_wl, victim_bl), dir) {
+        (CellKind::Top, AggressorDir::Upper) => GateType::Passing,
+        (CellKind::Top, AggressorDir::Lower) => GateType::Neighboring,
+        (CellKind::Bottom, AggressorDir::Upper) => GateType::Neighboring,
+        (CellKind::Bottom, AggressorDir::Lower) => GateType::Passing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_alternate_along_a_row() {
+        let wl = Wordline(10);
+        assert_eq!(cell_kind(wl, Bitline(0)), CellKind::Top);
+        assert_eq!(cell_kind(wl, Bitline(1)), CellKind::Bottom);
+        assert_eq!(cell_kind(wl, Bitline(2)), CellKind::Top);
+    }
+
+    #[test]
+    fn kinds_flip_with_wordline_parity() {
+        let bl = Bitline(4);
+        assert_ne!(cell_kind(Wordline(6), bl), cell_kind(Wordline(7), bl));
+    }
+
+    #[test]
+    fn gate_reverses_with_direction() {
+        let (wl, bl) = (Wordline(2), Bitline(2));
+        assert_ne!(
+            gate_type(wl, bl, AggressorDir::Upper),
+            gate_type(wl, bl, AggressorDir::Lower)
+        );
+    }
+
+    #[test]
+    fn gate_pattern_alternates_along_the_row() {
+        // For a fixed direction, passing/neighboring gates alternate with
+        // the bitline index — the origin of the alternating BER of Fig. 12.
+        let wl = Wordline(0);
+        let g0 = gate_type(wl, Bitline(0), AggressorDir::Upper);
+        let g1 = gate_type(wl, Bitline(1), AggressorDir::Upper);
+        let g2 = gate_type(wl, Bitline(2), AggressorDir::Upper);
+        assert_ne!(g0, g1);
+        assert_eq!(g0, g2);
+    }
+
+    #[test]
+    fn top_cell_upper_gate_is_passing() {
+        assert_eq!(
+            gate_type(Wordline(0), Bitline(0), AggressorDir::Upper),
+            GateType::Passing
+        );
+        assert_eq!(
+            gate_type(Wordline(0), Bitline(1), AggressorDir::Upper),
+            GateType::Neighboring
+        );
+    }
+
+    #[test]
+    fn polarity_encodes_charge() {
+        assert!(CellPolarity::True.is_charged(true));
+        assert!(!CellPolarity::True.is_charged(false));
+        assert!(CellPolarity::Anti.is_charged(false));
+        assert!(!CellPolarity::Anti.is_charged(true));
+        assert!(!CellPolarity::True.discharged_bit());
+        assert!(CellPolarity::Anti.discharged_bit());
+    }
+
+    #[test]
+    fn direction_flip_is_involutive() {
+        assert_eq!(AggressorDir::Upper.flipped(), AggressorDir::Lower);
+        assert_eq!(AggressorDir::Upper.flipped().flipped(), AggressorDir::Upper);
+    }
+}

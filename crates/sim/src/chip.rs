@@ -1,0 +1,1578 @@
+//! The simulated DRAM chip: command interface, state machine, and the
+//! physical effects (AIB, retention, RowCopy) that the DRAMScope toolkit
+//! observes through it.
+//!
+//! # Evaluation model
+//!
+//! Physical effects are *lazily materialized*: per-wordline activation
+//! counters accumulate as commands arrive, and a row's pending bitflips
+//! (disturbance and retention) are resolved when the row is next sensed
+//! (`ACT`) or refreshed — which is also when real silicon would reveal
+//! them. Activating a row restores its charge, so the disturbance and
+//! retention clocks of that row reset at every activation, exactly as in
+//! hardware.
+//!
+//! # Loop acceleration
+//!
+//! A tight `ACT`-`PRE` hammer loop is physically equivalent to adding
+//! `count` activations to one wordline's counters. [`DramChip::activate_burst`]
+//! exposes that equivalence so testbed programs can run 300 K-activation
+//! attacks in O(1); it performs exactly the same state updates a command
+//! loop would.
+
+use crate::cell::{gate_type, AggressorDir};
+use crate::disturb::{FlipContext, Mechanism};
+use crate::geometry::{BankGeometry, Bitline, LogicalRow, Wordline};
+use crate::layout::{BankLayout, CopyRelation};
+use crate::profile::{ChipProfile, PolarityScheme};
+use crate::remap::RowRemap;
+use crate::retention::RetentionModel;
+use crate::rng::unit_open;
+use crate::rowdata::RowBits;
+use crate::swizzle::SwizzleMap;
+use crate::time::{Time, TimingParams};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Hash-stream tags so each physical phenomenon draws independent
+/// variates. RowHammer and RowPress use *separate* streams: their failure
+/// mechanisms differ (electron migration vs. crosstalk), so a cell weak
+/// under one is not necessarily weak under the other — the paper observes
+/// that their flipped-cell populations barely overlap (§V-B).
+const TAG_HAMMER: u64 = 0xD157;
+const TAG_PRESS: u64 = 0x9435;
+const TAG_RETENTION: u64 = 0x4E7E;
+
+/// `ACT` issued within this fraction of `tRP` after a `PRE` latches the
+/// not-yet-precharged bitline state into the destination row (RowCopy).
+const COPY_WINDOW_FRACTION: f64 = 0.5;
+
+/// JEDEC refresh granularity: one `REF` covers 1/8192 of the rows; a full
+/// refresh window (`tREFW`) is 8192 `REF` commands.
+const REF_SLICES: u64 = 8192;
+
+/// A DRAM command as it arrives on the chip's pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Open a row: sense it into the sense amplifiers.
+    Activate {
+        /// Bank index.
+        bank: u32,
+        /// Pin-level row address.
+        row: u32,
+    },
+    /// Close the open row and start precharging the bitlines.
+    Precharge {
+        /// Bank index.
+        bank: u32,
+    },
+    /// Read one RD_data burst from the open row.
+    Read {
+        /// Bank index.
+        bank: u32,
+        /// Column address.
+        col: u32,
+    },
+    /// Write one RD_data burst into the open row.
+    Write {
+        /// Bank index.
+        bank: u32,
+        /// Column address.
+        col: u32,
+        /// RD_data payload, bit 0 = first burst bit.
+        data: u64,
+    },
+    /// Refresh: restore every row and reset all retention clocks. Also
+    /// the point where an in-DRAM TRR engine spends its mitigation work.
+    Refresh,
+    /// DDR5-style refresh management: ask the device to run its in-DRAM
+    /// AIB mitigation for one bank, now (paper §VI-B).
+    Rfm {
+        /// Bank index.
+        bank: u32,
+    },
+}
+
+/// Data returned by a `RD` command (RD_data bits, LSB first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ReadData(pub u64);
+
+/// Errors from [`DramChip::issue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandError {
+    /// Bank index out of range.
+    BankOutOfRange {
+        /// Offending bank.
+        bank: u32,
+        /// Banks on the chip.
+        banks: u32,
+    },
+    /// Row address out of range.
+    RowOutOfRange {
+        /// Offending row.
+        row: u32,
+        /// Rows per bank.
+        rows: u32,
+    },
+    /// Column address out of range.
+    ColOutOfRange {
+        /// Offending column.
+        col: u32,
+        /// Columns per row.
+        cols: u32,
+    },
+    /// `RD`/`WR`/`PRE` issued with no open row.
+    NoOpenRow,
+    /// `ACT` issued while a row is already open in the bank.
+    RowAlreadyOpen,
+    /// `RD`/`WR` issued before `tRCD` elapsed.
+    TrcdViolation,
+    /// `REF` issued while a row is open.
+    RefreshWhileOpen,
+    /// Command timestamp precedes the previous command.
+    TimeReversed,
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range ({banks} banks)")
+            }
+            CommandError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range ({rows} rows)")
+            }
+            CommandError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range ({cols} columns)")
+            }
+            CommandError::NoOpenRow => write!(f, "no open row in bank"),
+            CommandError::RowAlreadyOpen => write!(f, "a row is already open in bank"),
+            CommandError::TrcdViolation => write!(f, "read/write issued before tRCD"),
+            CommandError::RefreshWhileOpen => write!(f, "refresh issued while a row is open"),
+            CommandError::TimeReversed => write!(f, "command timestamp precedes previous command"),
+        }
+    }
+}
+
+impl Error for CommandError {}
+
+/// Cumulative activity counters for one wordline (as an aggressor).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct WlActivity {
+    /// Direct activations.
+    acts: u64,
+    /// Direct accumulated on-time, ns.
+    on_ns: f64,
+    /// Tandem companion co-activations (paper O5 / §VI-C).
+    comp_acts: u64,
+    /// Companion accumulated on-time, ns.
+    comp_on_ns: f64,
+}
+
+impl WlActivity {
+    fn delta(&self, snap: &WlActivity) -> WlActivity {
+        WlActivity {
+            acts: self.acts - snap.acts,
+            on_ns: self.on_ns - snap.on_ns,
+            comp_acts: self.comp_acts - snap.comp_acts,
+            comp_on_ns: self.comp_on_ns - snap.comp_on_ns,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.acts == 0 && self.comp_acts == 0 && self.on_ns == 0.0 && self.comp_on_ns == 0.0
+    }
+}
+
+/// Per-wordline stored state.
+#[derive(Debug, Clone)]
+struct RowState {
+    /// Cell data in physical bitline order, covering the full wordline.
+    data: RowBits,
+    /// Aggressor counter snapshots taken at the last restore.
+    snapshot: Vec<(u32, WlActivity)>,
+    /// When the row's charge was last restored.
+    last_restore: Time,
+}
+
+/// The currently open row of a bank.
+#[derive(Debug, Clone, Copy)]
+struct OpenRow {
+    wl: Wordline,
+    half: u32,
+    since: Time,
+    companion: Option<Wordline>,
+}
+
+/// A completed precharge whose bitlines may still carry the old row.
+#[derive(Debug, Clone, Copy)]
+struct PreEvent {
+    at: Time,
+    wl: Wordline,
+}
+
+#[derive(Debug, Default)]
+struct BankState {
+    open: Option<OpenRow>,
+    last_pre: Option<PreEvent>,
+    wl_acts: HashMap<u32, WlActivity>,
+    rows: HashMap<u32, RowState>,
+    /// The in-DRAM TRR activation sampler (inert when TRR is disabled).
+    sampler: crate::mitigation::Sampler,
+}
+
+/// Aggregate command statistics, including the hidden double activations
+/// that the paper proposes as a power side channel (§VI-C).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChipStats {
+    /// `ACT` commands accepted (burst activations count individually).
+    pub activations: u64,
+    /// `RD` commands accepted.
+    pub reads: u64,
+    /// `WR` commands accepted.
+    pub writes: u64,
+    /// `REF` commands accepted.
+    pub refreshes: u64,
+    /// Wordline-activation energy units actually spent: coupled rows and
+    /// edge-subarray tandem activations burn extra units per `ACT`.
+    pub act_energy_units: u64,
+}
+
+/// A read-only snapshot of the chip's hidden microarchitecture.
+///
+/// Only tests and reports may consult this; reverse-engineering code must
+/// work through the command interface.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Repeating subarray-height block (wordlines).
+    pub composition: Vec<u32>,
+    /// Edge-subarray segment size (wordlines).
+    pub edge_interval_wls: u32,
+    /// Coupled-row distance in addressable rows, if coupled.
+    pub coupled_distance: Option<u32>,
+    /// MAT width in cells.
+    pub mat_width: u32,
+    /// Internal row remap scheme.
+    pub remap: RowRemap,
+    /// Cell polarity scheme.
+    pub polarity: PolarityScheme,
+    /// The intra-chip data swizzle.
+    pub swizzle: SwizzleMap,
+    /// Heights of every subarray in one bank, bottom to top.
+    pub subarray_heights: Vec<u32>,
+    /// Whether the chip runs on-die ECC.
+    pub on_die_ecc: bool,
+}
+
+/// A simulated DRAM chip.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct DramChip {
+    profile: ChipProfile,
+    geom: BankGeometry,
+    layout: BankLayout,
+    retention: RetentionModel,
+    seed: u64,
+    banks: Vec<BankState>,
+    now: Time,
+    temperature_c: f64,
+    stats: ChipStats,
+    /// Rolling `REF` slice pointer (JEDEC: 8192 slices per window).
+    ref_counter: u64,
+}
+
+impl DramChip {
+    /// Creates a chip from a profile; `seed` selects the specific piece of
+    /// "silicon" (which cells are weak).
+    pub fn new(profile: ChipProfile, seed: u64) -> Self {
+        assert!(
+            !profile.hidden.on_die_ecc || profile.io_width.rd_bits() == 32,
+            "on-die ECC model supports 32-bit RD_data chips"
+        );
+        let geom = profile.bank_geometry();
+        let layout = BankLayout::build(
+            geom.wordlines(),
+            profile.hidden.edge_interval,
+            &profile.hidden.composition,
+        );
+        let sampler_cap = if profile.hidden.trr.enabled {
+            profile.hidden.trr.sampler_entries
+        } else {
+            0
+        };
+        let banks = (0..profile.banks)
+            .map(|_| BankState {
+                sampler: crate::mitigation::Sampler::new(sampler_cap),
+                ..BankState::default()
+            })
+            .collect();
+        DramChip {
+            geom,
+            layout,
+            retention: RetentionModel::default(),
+            seed,
+            banks,
+            now: Time::ZERO,
+            temperature_c: 75.0,
+            stats: ChipStats::default(),
+            ref_counter: 0,
+            profile,
+        }
+    }
+
+    /// The chip's (public) profile.
+    pub fn profile(&self) -> &ChipProfile {
+        &self.profile
+    }
+
+    /// The chip's timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.profile.timing
+    }
+
+    /// The current simulated time (timestamp of the last command).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current die temperature in °C.
+    pub fn temperature(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Sets the die temperature (driven by the testbed's thermal plant).
+    pub fn set_temperature(&mut self, celsius: f64) {
+        self.temperature_c = celsius;
+    }
+
+    /// Cumulative command statistics.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    /// The hidden microarchitecture, for test verification only.
+    pub fn ground_truth(&self) -> GroundTruth {
+        GroundTruth {
+            composition: self.profile.hidden.composition.clone(),
+            edge_interval_wls: self.profile.hidden.edge_interval,
+            coupled_distance: self.geom.coupled_row_distance(),
+            mat_width: self.profile.hidden.mat_width,
+            remap: self.profile.hidden.remap,
+            polarity: self.profile.hidden.polarity,
+            swizzle: self.profile.hidden.swizzle.clone(),
+            subarray_heights: (0..self.layout.subarray_count())
+                .map(|i| self.layout.info(crate::geometry::SubarrayId(i)).height)
+                .collect(),
+            on_die_ecc: self.profile.hidden.on_die_ecc,
+        }
+    }
+
+    /// Issues one command at timestamp `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CommandError`] when the command is malformed for the
+    /// current state (addresses out of range, protocol-order violations,
+    /// non-monotonic timestamps, or `RD`/`WR` before `tRCD`).
+    pub fn issue(&mut self, cmd: Command, at: Time) -> Result<Option<ReadData>, CommandError> {
+        if at < self.now {
+            return Err(CommandError::TimeReversed);
+        }
+        self.now = at;
+        match cmd {
+            Command::Activate { bank, row } => {
+                self.cmd_activate(bank, row, at)?;
+                Ok(None)
+            }
+            Command::Precharge { bank } => {
+                self.cmd_precharge(bank, at)?;
+                Ok(None)
+            }
+            Command::Read { bank, col } => Ok(Some(self.cmd_read(bank, col, at)?)),
+            Command::Write { bank, col, data } => {
+                self.cmd_write(bank, col, data, at)?;
+                Ok(None)
+            }
+            Command::Refresh => {
+                self.cmd_refresh(at)?;
+                Ok(None)
+            }
+            Command::Rfm { bank } => {
+                self.cmd_rfm(bank, at)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Runs `count` back-to-back `ACT`(`row`)-`PRE` pairs, each holding the
+    /// row open for `each_on`, starting at `at`. Returns the time after the
+    /// final precharge completes (`tRP` honored, so no RowCopy leaks out).
+    ///
+    /// This is the loop-accelerated equivalent of issuing the commands one
+    /// by one (see the module docs); it requires the bank to be precharged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`issue`](Self::issue) for the first `ACT`.
+    pub fn activate_burst(
+        &mut self,
+        bank: u32,
+        row: u32,
+        count: u64,
+        each_on: Time,
+        at: Time,
+    ) -> Result<Time, CommandError> {
+        if at < self.now {
+            return Err(CommandError::TimeReversed);
+        }
+        self.check_bank(bank)?;
+        self.check_row(row)?;
+        if self.banks[bank as usize].open.is_some() {
+            return Err(CommandError::RowAlreadyOpen);
+        }
+        if count == 0 {
+            self.now = at;
+            return Ok(at);
+        }
+        let (wl, _half) = self.resolve(LogicalRow(row));
+        let companion = self.layout.companion_wordline(wl);
+        let cycle = each_on + self.profile.timing.trp;
+        let end = at + cycle * count;
+        self.now = end;
+
+        let on_total = each_on.as_ns() * count as f64;
+        {
+            let b = &mut self.banks[bank as usize];
+            if self.profile.hidden.trr.enabled {
+                b.sampler.observe(wl.0, count);
+            }
+            let a = b.wl_acts.entry(wl.0).or_default();
+            a.acts += count;
+            a.on_ns += on_total;
+            if let Some(c) = companion {
+                let ca = b.wl_acts.entry(c.0).or_default();
+                ca.comp_acts += count;
+                ca.comp_on_ns += on_total;
+            }
+            b.last_pre = Some(PreEvent {
+                at: end.saturating_sub(self.profile.timing.trp),
+                wl,
+            });
+        }
+        // The hammered row (and its companion) are restored on every
+        // activation; settle them once at the end.
+        self.settle_and_restore(bank, wl, end);
+        if let Some(c) = companion {
+            self.settle_and_restore(bank, c, end);
+        }
+        self.stats.activations += count;
+        self.stats.act_energy_units += count * self.act_energy_per_activation(companion);
+        Ok(end)
+    }
+
+    fn act_energy_per_activation(&self, companion: Option<Wordline>) -> u64 {
+        let coupled = if self.geom.has_coupled_rows() { 2 } else { 1 };
+        let tandem = if companion.is_some() { 2 } else { 1 };
+        coupled * tandem
+    }
+
+    fn check_bank(&self, bank: u32) -> Result<(), CommandError> {
+        if bank >= self.profile.banks {
+            Err(CommandError::BankOutOfRange {
+                bank,
+                banks: self.profile.banks,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_row(&self, row: u32) -> Result<(), CommandError> {
+        if row >= self.profile.rows_per_bank {
+            Err(CommandError::RowOutOfRange {
+                row,
+                rows: self.profile.rows_per_bank,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Pin row → (wordline, coupled half) through remap and fold.
+    fn resolve(&self, row: LogicalRow) -> (Wordline, u32) {
+        let phys = self.profile.hidden.remap.to_physical(row);
+        self.geom.fold(phys)
+    }
+
+    fn cmd_activate(&mut self, bank: u32, row: u32, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        self.check_row(row)?;
+        if self.banks[bank as usize].open.is_some() {
+            return Err(CommandError::RowAlreadyOpen);
+        }
+        let (wl, half) = self.resolve(LogicalRow(row));
+
+        // RowCopy: an ACT inside the precharge window latches the old
+        // bitline state into the new row wherever sense amplifiers are
+        // shared (paper §III-B).
+        let copy_from = match self.banks[bank as usize].last_pre {
+            Some(pre) => {
+                let window =
+                    Time::from_ps((self.profile.timing.trp.as_ps() as f64 * COPY_WINDOW_FRACTION) as u64);
+                if at.saturating_sub(pre.at) < window {
+                    Some(pre.wl)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+
+        // Settle pending physics on the destination, then apply the copy,
+        // then the activation restore.
+        self.settle_and_restore(bank, wl, at);
+        if let Some(src) = copy_from {
+            self.apply_rowcopy(bank, src, wl);
+        }
+
+        let companion = self.layout.companion_wordline(wl);
+        if let Some(c) = companion {
+            if c != wl {
+                self.settle_and_restore(bank, c, at);
+            }
+        }
+        let b = &mut self.banks[bank as usize];
+        if self.profile.hidden.trr.enabled {
+            b.sampler.observe(wl.0, 1);
+        }
+        b.open = Some(OpenRow {
+            wl,
+            half,
+            since: at,
+            companion,
+        });
+        self.stats.activations += 1;
+        self.stats.act_energy_units += self.act_energy_per_activation(companion);
+        Ok(())
+    }
+
+    fn cmd_precharge(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        let b = &mut self.banks[bank as usize];
+        let open = b.open.take().ok_or(CommandError::NoOpenRow)?;
+        let on_ns = at.saturating_sub(open.since).as_ns();
+        let a = b.wl_acts.entry(open.wl.0).or_default();
+        a.acts += 1;
+        a.on_ns += on_ns;
+        if let Some(c) = open.companion {
+            let ca = b.wl_acts.entry(c.0).or_default();
+            ca.comp_acts += 1;
+            ca.comp_on_ns += on_ns;
+        }
+        b.last_pre = Some(PreEvent { at, wl: open.wl });
+        Ok(())
+    }
+
+    fn open_row(&self, bank: u32) -> Result<OpenRow, CommandError> {
+        self.banks[bank as usize]
+            .open
+            .ok_or(CommandError::NoOpenRow)
+    }
+
+    fn check_col(&self, col: u32) -> Result<(), CommandError> {
+        let cols = self.profile.cols_per_row();
+        if col >= cols {
+            Err(CommandError::ColOutOfRange { col, cols })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cmd_read(&mut self, bank: u32, col: u32, at: Time) -> Result<ReadData, CommandError> {
+        self.check_bank(bank)?;
+        self.check_col(col)?;
+        let open = self.open_row(bank)?;
+        if at.saturating_sub(open.since) < self.profile.timing.trcd {
+            return Err(CommandError::TrcdViolation);
+        }
+        let swz = &self.profile.hidden.swizzle;
+        let rd_bits = self.profile.io_width.rd_bits();
+        let base = open.half * self.geom.row_bits;
+        let row = self.banks[bank as usize].rows.get(&open.wl.0);
+        let mut out = 0u64;
+        for bit in 0..rd_bits {
+            let bl = swz.bitline_of(col, bit);
+            let v = match row {
+                Some(r) => r.data.get(base + bl.0),
+                None => self.default_bit(open.wl),
+            };
+            if v {
+                out |= 1 << bit;
+            }
+        }
+        if self.profile.hidden.on_die_ecc {
+            let data_cols = self.profile.cols_per_row();
+            let mut parity = 0u8;
+            for j in 0..crate::ecc::PARITY_BITS {
+                let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
+                let bl = swz.bitline_of(pc, pb);
+                let v = match row {
+                    Some(r) => r.data.get(base + bl.0),
+                    None => self.default_bit(open.wl),
+                };
+                if v {
+                    parity |= 1 << j;
+                }
+            }
+            let (corrected, _what) = crate::ecc::decode(out as u32, parity);
+            out = corrected as u64;
+        }
+        self.stats.reads += 1;
+        Ok(ReadData(out))
+    }
+
+    fn cmd_write(&mut self, bank: u32, col: u32, data: u64, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        self.check_col(col)?;
+        let open = self.open_row(bank)?;
+        if at.saturating_sub(open.since) < self.profile.timing.trcd {
+            return Err(CommandError::TrcdViolation);
+        }
+        let rd_bits = self.profile.io_width.rd_bits();
+        let base = open.half * self.geom.row_bits;
+        let wl = open.wl;
+        self.ensure_row(bank, wl, at);
+        // Recompute swizzle targets without holding a borrow conflict.
+        let mut targets: Vec<(u32, bool)> = (0..rd_bits)
+            .map(|bit| {
+                let bl = self.profile.hidden.swizzle.bitline_of(col, bit);
+                (base + bl.0, data & (1 << bit) != 0)
+            })
+            .collect();
+        if self.profile.hidden.on_die_ecc {
+            let data_cols = self.profile.cols_per_row();
+            let parity = crate::ecc::encode(data as u32);
+            for j in 0..crate::ecc::PARITY_BITS {
+                let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
+                let bl = self.profile.hidden.swizzle.bitline_of(pc, pb);
+                targets.push((base + bl.0, parity & (1 << j) != 0));
+            }
+        }
+        let row = self
+            .banks[bank as usize]
+            .rows
+            .get_mut(&wl.0)
+            .expect("row ensured above");
+        for (idx, v) in targets {
+            row.data.set(idx, v);
+        }
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// One `REF` covers the next 1/8192 slice of the wordlines (JEDEC
+    /// granularity): an attack squeezed between two `REF`s hits victims
+    /// whose refresh turn has not yet come — the reason RowHammer works
+    /// at all, and the window the TRR engine plugs.
+    fn cmd_refresh(&mut self, at: Time) -> Result<(), CommandError> {
+        for b in 0..self.banks.len() {
+            if self.banks[b].open.is_some() {
+                return Err(CommandError::RefreshWhileOpen);
+            }
+        }
+        let wls_total = self.geom.wordlines() as u64;
+        let slice_size = wls_total.div_ceil(REF_SLICES).max(1);
+        let slice = self.ref_counter % REF_SLICES;
+        let lo = (slice * slice_size).min(wls_total) as u32;
+        let hi = ((slice + 1) * slice_size).min(wls_total) as u32;
+        self.ref_counter += 1;
+        for b in 0..self.banks.len() as u32 {
+            let wls: Vec<u32> = self.banks[b as usize]
+                .rows
+                .keys()
+                .copied()
+                .filter(|&wl| wl >= lo && wl < hi)
+                .collect();
+            for wl in wls {
+                self.settle_and_restore(b, Wordline(wl), at);
+            }
+            self.banks[b as usize].last_pre = None;
+            if self.profile.hidden.trr.enabled {
+                self.run_in_dram_mitigation(b, at);
+            }
+        }
+        self.stats.refreshes += 1;
+        Ok(())
+    }
+
+    /// The loop-accelerated equivalent of one full refresh window
+    /// (8192 `REF` commands): restores every row and resets all retention
+    /// clocks in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as a `REF` command.
+    pub fn refresh_window(&mut self, at: Time) -> Result<(), CommandError> {
+        if at < self.now {
+            return Err(CommandError::TimeReversed);
+        }
+        self.now = at;
+        for b in 0..self.banks.len() {
+            if self.banks[b].open.is_some() {
+                return Err(CommandError::RefreshWhileOpen);
+            }
+        }
+        for b in 0..self.banks.len() as u32 {
+            let wls: Vec<u32> = self.banks[b as usize].rows.keys().copied().collect();
+            for wl in wls {
+                self.settle_and_restore(b, Wordline(wl), at);
+            }
+            self.banks[b as usize].last_pre = None;
+            if self.profile.hidden.trr.enabled {
+                self.run_in_dram_mitigation(b, at);
+            }
+        }
+        self.ref_counter = self.ref_counter.next_multiple_of(REF_SLICES);
+        self.stats.refreshes += REF_SLICES;
+        Ok(())
+    }
+
+    fn cmd_rfm(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        if self.banks[bank as usize].open.is_some() {
+            return Err(CommandError::RefreshWhileOpen);
+        }
+        if self.profile.hidden.trr.enabled {
+            self.run_in_dram_mitigation(bank, at);
+        }
+        Ok(())
+    }
+
+    /// One round of in-DRAM mitigation for a bank: the sampler's hottest
+    /// rows get their *physical* neighbours restored. The device knows
+    /// its own remapping, coupling (the sampler works on wordlines), and
+    /// tandem structure, which is exactly why the paper recommends
+    /// DRFM-class mitigation for coupled-row attacks (§VI-B).
+    fn run_in_dram_mitigation(&mut self, bank: u32, at: Time) {
+        let n = self.profile.hidden.trr.mitigations_per_ref;
+        let hottest = self.banks[bank as usize].sampler.take_hottest(n);
+        for wl in hottest {
+            let mut targets = self.layout.neighbors_at(Wordline(wl), 1);
+            if let Some(c) = self.layout.companion_wordline(Wordline(wl)) {
+                targets.extend(self.layout.neighbors_at(c, 1));
+            }
+            for v in targets {
+                self.settle_and_restore(bank, v, at);
+            }
+        }
+    }
+
+    /// The default (never-written) logical bit of a cell: the discharged
+    /// state under the wordline's polarity.
+    fn default_bit(&self, wl: Wordline) -> bool {
+        self.polarity_of(wl).discharged_bit()
+    }
+
+    fn polarity_of(&self, wl: Wordline) -> crate::cell::CellPolarity {
+        match self.profile.hidden.polarity {
+            PolarityScheme::AllTrue => crate::cell::CellPolarity::True,
+            PolarityScheme::SubarrayInterleaved => {
+                if self.layout.subarray_of(wl).0.is_multiple_of(2) {
+                    crate::cell::CellPolarity::True
+                } else {
+                    crate::cell::CellPolarity::Anti
+                }
+            }
+        }
+    }
+
+    fn default_row(&self, wl: Wordline) -> RowBits {
+        let cells = self.geom.cells_per_wordline();
+        if self.default_bit(wl) {
+            RowBits::ones(cells)
+        } else {
+            RowBits::zeros(cells)
+        }
+    }
+
+    /// The aggressor wordlines that can disturb `wl`, with their dose scale.
+    fn aggressors_of(&self, wl: Wordline) -> Vec<(Wordline, f64)> {
+        let model = &self.profile.hidden.disturb;
+        let mut out: Vec<(Wordline, f64)> = self
+            .layout
+            .neighbors_at(wl, 1)
+            .into_iter()
+            .map(|a| (a, 1.0))
+            .collect();
+        out.extend(
+            self.layout
+                .neighbors_at(wl, 2)
+                .into_iter()
+                .map(|a| (a, model.distance_two_dose)),
+        );
+        out
+    }
+
+    fn ensure_row(&mut self, bank: u32, wl: Wordline, at: Time) {
+        if !self.banks[bank as usize].rows.contains_key(&wl.0) {
+            let snapshot = self.snapshot_for(bank, wl);
+            let state = RowState {
+                data: self.default_row(wl),
+                snapshot,
+                last_restore: at,
+            };
+            self.banks[bank as usize].rows.insert(wl.0, state);
+        }
+    }
+
+    fn snapshot_for(&self, bank: u32, wl: Wordline) -> Vec<(u32, WlActivity)> {
+        self.aggressors_of(wl)
+            .iter()
+            .map(|(a, _)| {
+                (
+                    a.0,
+                    self.banks[bank as usize]
+                        .wl_acts
+                        .get(&a.0)
+                        .copied()
+                        .unwrap_or_default(),
+                )
+            })
+            .collect()
+    }
+
+    /// Resolves all pending physics for a wordline (disturbance since its
+    /// last restore, retention decay) and restores it: snapshots aggressor
+    /// counters and resets the retention clock.
+    fn settle_and_restore(&mut self, bank: u32, wl: Wordline, at: Time) {
+        if !self.banks[bank as usize].rows.contains_key(&wl.0) {
+            // The row physically existed since t = 0 holding the default
+            // (discharged) pattern; start from a zero counter baseline so
+            // disturbance accumulated before the first touch still lands.
+            let state = RowState {
+                data: self.default_row(wl),
+                snapshot: Vec::new(),
+                last_restore: Time::ZERO,
+            };
+            self.banks[bank as usize].rows.insert(wl.0, state);
+        }
+        let mut row = self.banks[bank as usize]
+            .rows
+            .remove(&wl.0)
+            .expect("inserted above");
+
+        let elapsed = at.saturating_sub(row.last_restore);
+        // Retention only matters if the row currently stores any charge;
+        // a default discharged row created at t = 0 never decays.
+        let ret_frac = self
+            .retention
+            .expected_fail_fraction(self.temperature_c, elapsed);
+        let holds_charge = match self.polarity_of(wl) {
+            crate::cell::CellPolarity::True => row.data.count_ones() > 0,
+            crate::cell::CellPolarity::Anti => row.data.count_ones() < row.data.len(),
+        };
+        let do_retention = ret_frac > 1e-12 && holds_charge;
+
+        // Collect aggressor deltas.
+        let aggr: Vec<(Wordline, f64, WlActivity)> = self
+            .aggressors_of(wl)
+            .into_iter()
+            .filter_map(|(a, scale)| {
+                let cur = self.banks[bank as usize]
+                    .wl_acts
+                    .get(&a.0)
+                    .copied()
+                    .unwrap_or_default();
+                let snap = row
+                    .snapshot
+                    .iter()
+                    .find(|(w, _)| *w == a.0)
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                let d = cur.delta(&snap);
+                if d.is_zero() {
+                    None
+                } else {
+                    Some((a, scale, d))
+                }
+            })
+            .collect();
+
+        // Bound the best-case flip probability of the accumulated dose;
+        // skip the per-cell pass when no cell could plausibly flip
+        // (p < 1e-12 even under a generous context-multiplier bound).
+        // Ordinary command traffic (a handful of incidental activations)
+        // always lands here, which keeps non-attack operation O(1).
+        let worth_evaluating = if aggr.is_empty() {
+            false
+        } else {
+            const MAX_CONTEXT_MULTIPLIER: f64 = 4.0;
+            let model = &self.profile.hidden.disturb;
+            let dose_h: f64 = aggr
+                .iter()
+                .map(|(_, s, d)| s * (d.acts as f64 + model.companion_dose * d.comp_acts as f64))
+                .sum();
+            let dose_p: f64 = aggr
+                .iter()
+                .map(|(_, s, d)| s * (d.on_ns + model.companion_dose * d.comp_on_ns))
+                .sum();
+            let bound = model.flip_probability(Mechanism::Hammer, dose_h, MAX_CONTEXT_MULTIPLIER)
+                + model.flip_probability(Mechanism::Press, dose_p, MAX_CONTEXT_MULTIPLIER);
+            bound > 1e-12
+        };
+
+        if do_retention || worth_evaluating {
+            self.apply_physics(bank, wl, &mut row, &aggr, do_retention, elapsed);
+        }
+
+        row.snapshot = self.snapshot_for(bank, wl);
+        row.last_restore = at;
+        self.banks[bank as usize].rows.insert(wl.0, row);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_physics(
+        &self,
+        bank: u32,
+        wl: Wordline,
+        row: &mut RowState,
+        aggr: &[(Wordline, f64, WlActivity)],
+        do_retention: bool,
+        elapsed: Time,
+    ) {
+        let model = &self.profile.hidden.disturb;
+        let polarity = self.polarity_of(wl);
+        let sub = self.layout.subarray_of(wl);
+        let is_edge = self.layout.info(sub).is_edge();
+        let cells = self.geom.cells_per_wordline();
+        let orig = row.data.clone();
+
+        // Aggressor row data (default pattern when never touched).
+        let aggr_rows: Vec<(Wordline, f64, WlActivity, RowBits)> = aggr
+            .iter()
+            .map(|(a, scale, d)| {
+                let bits = self.banks[bank as usize]
+                    .rows
+                    .get(&a.0)
+                    .map(|r| r.data.clone())
+                    .unwrap_or_else(|| self.default_row(*a));
+                (*a, *scale, *d, bits)
+            })
+            .collect();
+
+        for bl in 0..cells {
+            let bit = orig.get(bl);
+            let charged = polarity.is_charged(bit);
+
+            // Retention: charged cells decay toward the discharged state.
+            if do_retention && charged {
+                let u_ret = unit_open(self.seed, bank as u64, wl.0 as u64, bl as u64, TAG_RETENTION);
+                if self.retention.fails(u_ret, self.temperature_c, elapsed) {
+                    row.data.set(bl, polarity.discharged_bit());
+                    continue;
+                }
+            }
+
+            if aggr_rows.is_empty() {
+                continue;
+            }
+
+            // Horizontal victim context (distance −2, −1, +1, +2).
+            let mut vic_diff = [None; 4];
+            for (i, off) in [-2i64, -1, 1, 2].iter().enumerate() {
+                let n = bl as i64 + off;
+                if n >= 0
+                    && (n as u32) < cells
+                    && self.geom.same_mat(Bitline(bl), Bitline(n as u32))
+                {
+                    vic_diff[i] = Some(orig.get(n as u32) != bit);
+                }
+            }
+
+            let mut survive_h = 1.0f64;
+            let mut survive_p = 1.0f64;
+            for (a, scale, d, a_bits) in &aggr_rows {
+                let dir = if a.0 > wl.0 {
+                    AggressorDir::Upper
+                } else {
+                    AggressorDir::Lower
+                };
+                let gate = gate_type(wl, Bitline(bl), dir);
+
+                let mut aggr_same = [None; 5];
+                for (i, off) in [-2i64, -1, 0, 1, 2].iter().enumerate() {
+                    let n = bl as i64 + off;
+                    if n >= 0
+                        && (n as u32) < cells
+                        && self.geom.same_mat(Bitline(bl), Bitline(n as u32))
+                    {
+                        aggr_same[i] = Some(a_bits.get(n as u32) == bit);
+                    }
+                }
+
+                let ctx = FlipContext {
+                    gate,
+                    charged,
+                    vic_data: bit,
+                    vic_neighbor_differs: vic_diff,
+                    aggr_same,
+                    edge: is_edge,
+                    aggr0_data: a_bits.get(bl),
+                    dose_scale: *scale,
+                };
+                let m_h = model.dose_multiplier(Mechanism::Hammer, &ctx);
+                let m_p = model.dose_multiplier(Mechanism::Press, &ctx);
+                let dose_h = d.acts as f64 + model.companion_dose * d.comp_acts as f64;
+                let dose_p = d.on_ns + model.companion_dose * d.comp_on_ns;
+                let p_h = model.flip_probability(Mechanism::Hammer, dose_h, m_h);
+                let p_p = model.flip_probability(Mechanism::Press, dose_p, m_p);
+                survive_h *= 1.0 - p_h;
+                survive_p *= 1.0 - p_p;
+            }
+            let p_hammer = 1.0 - survive_h;
+            let p_press = 1.0 - survive_p;
+            let flips = (p_hammer > 0.0
+                && unit_open(self.seed, bank as u64, wl.0 as u64, bl as u64, TAG_HAMMER)
+                    < p_hammer)
+                || (p_press > 0.0
+                    && unit_open(self.seed, bank as u64, wl.0 as u64, bl as u64, TAG_PRESS)
+                        < p_press);
+            if flips {
+                row.data.set(bl, !bit);
+            }
+        }
+    }
+
+    /// Applies a RowCopy from the latched bitline state of `src` into
+    /// `dst`, according to the sense-amplifier sharing between their
+    /// subarrays.
+    fn apply_rowcopy(&mut self, bank: u32, src: Wordline, dst: Wordline) {
+        let relation = self.layout.copy_relation(src, dst);
+        if relation == CopyRelation::Unrelated || src == dst {
+            return;
+        }
+        let src_bits = self.banks[bank as usize]
+            .rows
+            .get(&src.0)
+            .map(|r| r.data.clone())
+            .unwrap_or_else(|| self.default_row(src));
+        let src_pol = self.polarity_of(src);
+        let dst_pol = self.polarity_of(dst);
+        self.ensure_row(bank, dst, self.now);
+        let cells = self.geom.cells_per_wordline();
+
+        // Map of (dst bitline ← src bitline, crosses an SA) pairs.
+        let transfer = |dst_bl: u32, src_bl: u32, crosses_sa: bool, row: &mut RowState| {
+            let src_bit = src_bits.get(src_bl);
+            let src_charge = src_pol.is_charged(src_bit);
+            let dst_charge = if crosses_sa { !src_charge } else { src_charge };
+            let dst_bit = match (dst_pol, dst_charge) {
+                (crate::cell::CellPolarity::True, c) => c,
+                (crate::cell::CellPolarity::Anti, c) => !c,
+            };
+            row.data.set(dst_bl, dst_bit);
+        };
+
+        let mut row = self.banks[bank as usize]
+            .rows
+            .remove(&dst.0)
+            .expect("row ensured above");
+        match relation {
+            CopyRelation::SameSubarray if src_pol == dst_pol => {
+                // Whole-row fast path: same polarity, no SA crossing.
+                row.data = src_bits.clone();
+            }
+            CopyRelation::SameSubarray => {
+                for bl in 0..cells {
+                    transfer(bl, bl, false, &mut row);
+                }
+            }
+            CopyRelation::AdjacentAbove => {
+                // Shared stripe: src odd ↔ dst even, complementary node.
+                for p in 0..cells / 2 {
+                    transfer(2 * p, 2 * p + 1, true, &mut row);
+                }
+            }
+            CopyRelation::AdjacentBelow => {
+                for p in 0..cells / 2 {
+                    transfer(2 * p + 1, 2 * p, true, &mut row);
+                }
+            }
+            CopyRelation::TandemLowToHigh => {
+                // Wrap stripe: low-edge even ↔ high-edge odd.
+                for p in 0..cells / 2 {
+                    transfer(2 * p + 1, 2 * p, true, &mut row);
+                }
+            }
+            CopyRelation::TandemHighToLow => {
+                for p in 0..cells / 2 {
+                    transfer(2 * p, 2 * p + 1, true, &mut row);
+                }
+            }
+            CopyRelation::Unrelated => unreachable!("filtered above"),
+        }
+        self.banks[bank as usize].rows.insert(dst.0, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ChipProfile;
+
+    fn chip() -> DramChip {
+        DramChip::new(ChipProfile::test_small(), 7)
+    }
+
+    /// Write a full row through commands, honoring timing.
+    fn write_row(chip: &mut DramChip, bank: u32, row: u32, pattern: u64) -> Time {
+        let t = chip.now() + chip.timing().trp;
+        chip.issue(Command::Activate { bank, row }, t).unwrap();
+        let mut tc = t + chip.timing().trcd;
+        for col in 0..chip.profile().cols_per_row() {
+            chip.issue(
+                Command::Write {
+                    bank,
+                    col,
+                    data: pattern,
+                },
+                tc,
+            )
+            .unwrap();
+            tc += chip.timing().tck;
+        }
+        let tp = tc.max(t + chip.timing().tras);
+        chip.issue(Command::Precharge { bank }, tp).unwrap();
+        tp + chip.timing().trp
+    }
+
+    fn read_row(chip: &mut DramChip, bank: u32, row: u32) -> Vec<u64> {
+        let t = chip.now() + chip.timing().trp;
+        chip.issue(Command::Activate { bank, row }, t).unwrap();
+        let mut tc = t + chip.timing().trcd;
+        let mut out = Vec::new();
+        for col in 0..chip.profile().cols_per_row() {
+            let d = chip
+                .issue(Command::Read { bank, col }, tc)
+                .unwrap()
+                .unwrap();
+            out.push(d.0);
+            tc += chip.timing().tck;
+        }
+        let tp = tc.max(t + chip.timing().tras);
+        chip.issue(Command::Precharge { bank }, tp).unwrap();
+        out
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut c = chip();
+        write_row(&mut c, 0, 10, 0xDEAD_BEEF);
+        let data = read_row(&mut c, 0, 10);
+        assert!(data.iter().all(|&d| d == 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn unwritten_rows_read_as_discharged() {
+        let mut c = chip();
+        let data = read_row(&mut c, 0, 77);
+        assert!(data.iter().all(|&d| d == 0), "all-true chip defaults to 0");
+    }
+
+    #[test]
+    fn protocol_violations_are_rejected() {
+        let mut c = chip();
+        let t = Time::from_ns(100);
+        assert_eq!(
+            c.issue(Command::Read { bank: 0, col: 0 }, t),
+            Err(CommandError::NoOpenRow)
+        );
+        c.issue(Command::Activate { bank: 0, row: 1 }, t).unwrap();
+        assert_eq!(
+            c.issue(Command::Activate { bank: 0, row: 2 }, t + c.timing().tck),
+            Err(CommandError::RowAlreadyOpen)
+        );
+        assert_eq!(
+            c.issue(Command::Read { bank: 0, col: 0 }, t + c.timing().tck),
+            Err(CommandError::TrcdViolation)
+        );
+        assert_eq!(
+            c.issue(Command::Activate { bank: 9, row: 0 }, t + c.timing().trcd),
+            Err(CommandError::BankOutOfRange { bank: 9, banks: 2 })
+        );
+        assert_eq!(
+            c.issue(
+                Command::Activate {
+                    bank: 1,
+                    row: 99_999
+                },
+                t + c.timing().trcd
+            ),
+            Err(CommandError::RowOutOfRange {
+                row: 99_999,
+                rows: 2048
+            })
+        );
+        assert_eq!(
+            c.issue(Command::Refresh, Time::ZERO),
+            Err(CommandError::TimeReversed)
+        );
+    }
+
+    #[test]
+    fn hammering_flips_victim_bits() {
+        let mut c = chip();
+        // Victim rows around aggressor 20, all inside subarray 0 (0..40).
+        write_row(&mut c, 0, 19, u64::MAX);
+        write_row(&mut c, 0, 21, u64::MAX);
+        write_row(&mut c, 0, 20, 0);
+        let t = c.now() + c.timing().trp;
+        c.activate_burst(0, 20, 2_000_000, Time::from_ns(35), t)
+            .unwrap();
+        let flips: u32 = read_row(&mut c, 0, 19)
+            .iter()
+            .map(|d| d.count_zeros() - 32)
+            .sum();
+        assert!(flips > 0, "2M activations must flip some victim bits");
+    }
+
+    #[test]
+    fn hammering_does_not_cross_subarray_boundaries() {
+        let mut c = chip();
+        // Subarray 0 = wordlines [0, 40); row 40 starts subarray 1.
+        write_row(&mut c, 0, 40, u64::MAX);
+        write_row(&mut c, 0, 41, u64::MAX);
+        write_row(&mut c, 0, 39, 0);
+        let t = c.now() + c.timing().trp;
+        c.activate_burst(0, 39, 2_000_000, Time::from_ns(35), t)
+            .unwrap();
+        let flips: u32 = read_row(&mut c, 0, 40)
+            .iter()
+            .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+            .sum();
+        assert_eq!(flips, 0, "SA stripe must block disturbance");
+        let flips41: u32 = read_row(&mut c, 0, 41)
+            .iter()
+            .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+            .sum();
+        assert_eq!(flips41, 0);
+    }
+
+    #[test]
+    fn rowcopy_within_subarray_copies_everything() {
+        let mut c = chip();
+        write_row(&mut c, 0, 5, 0x1234_5678);
+        // ACT(5) → PRE → fast ACT(9) inside the precharge window.
+        let t0 = c.now() + c.timing().trp;
+        c.issue(Command::Activate { bank: 0, row: 5 }, t0).unwrap();
+        let tp = t0 + c.timing().tras;
+        c.issue(Command::Precharge { bank: 0 }, tp).unwrap();
+        let quick = tp + Time::from_ps(c.timing().trp.as_ps() / 10);
+        c.issue(Command::Activate { bank: 0, row: 9 }, quick)
+            .unwrap();
+        let tr = quick + c.timing().tras;
+        c.issue(Command::Precharge { bank: 0 }, tr).unwrap();
+        let copied = read_row(&mut c, 0, 9);
+        assert!(copied.iter().all(|&d| d == 0x1234_5678));
+    }
+
+    #[test]
+    fn slow_reactivation_does_not_copy() {
+        let mut c = chip();
+        write_row(&mut c, 0, 5, 0xFFFF_FFFF);
+        write_row(&mut c, 0, 9, 0);
+        let t0 = c.now() + c.timing().trp;
+        c.issue(Command::Activate { bank: 0, row: 5 }, t0).unwrap();
+        c.issue(Command::Precharge { bank: 0 }, t0 + c.timing().tras)
+            .unwrap();
+        // Wait the full tRP: bitlines fully precharged, no copy.
+        let slow = t0 + c.timing().tras + c.timing().trp * 2;
+        c.issue(Command::Activate { bank: 0, row: 9 }, slow).unwrap();
+        c.issue(Command::Precharge { bank: 0 }, slow + c.timing().tras)
+            .unwrap();
+        assert!(read_row(&mut c, 0, 9).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn rowcopy_to_adjacent_subarray_copies_half_inverted() {
+        let mut c = chip();
+        // src row 30 in subarray 0 ([0,40)), dst row 45 in subarray 1.
+        write_row(&mut c, 0, 30, 0xFFFF_FFFF);
+        write_row(&mut c, 0, 45, 0);
+        let t0 = c.now() + c.timing().trp;
+        c.issue(Command::Activate { bank: 0, row: 30 }, t0).unwrap();
+        c.issue(Command::Precharge { bank: 0 }, t0 + c.timing().tras)
+            .unwrap();
+        let quick = t0 + c.timing().tras + Time::from_ps(c.timing().trp.as_ps() / 10);
+        c.issue(Command::Activate { bank: 0, row: 45 }, quick)
+            .unwrap();
+        c.issue(Command::Precharge { bank: 0 }, quick + c.timing().tras)
+            .unwrap();
+        let copied = read_row(&mut c, 0, 45);
+        let ones: u32 = copied.iter().map(|d| d.count_ones()).sum();
+        // Half the cells receive the inverted source (1 → charge-inverted
+        // → 0 on an all-true chip), half keep their old value (0).
+        assert_eq!(ones, 0, "all-true adjacent copy of ones lands as zeros");
+        // Now copy zeros: half the dst cells must become 1.
+        write_row(&mut c, 0, 30, 0);
+        write_row(&mut c, 0, 45, 0);
+        let t1 = c.now() + c.timing().trp;
+        c.issue(Command::Activate { bank: 0, row: 30 }, t1).unwrap();
+        c.issue(Command::Precharge { bank: 0 }, t1 + c.timing().tras)
+            .unwrap();
+        let quick = t1 + c.timing().tras + Time::from_ps(c.timing().trp.as_ps() / 10);
+        c.issue(Command::Activate { bank: 0, row: 45 }, quick)
+            .unwrap();
+        c.issue(Command::Precharge { bank: 0 }, quick + c.timing().tras)
+            .unwrap();
+        let copied = read_row(&mut c, 0, 45);
+        let ones: u32 = copied.iter().map(|d| d.count_ones()).sum();
+        let total = c.profile().row_bits;
+        assert_eq!(ones, total / 2, "exactly half the row copies, inverted");
+    }
+
+    #[test]
+    fn coupled_rows_share_data() {
+        let mut c = DramChip::new(ChipProfile::test_small_coupled(), 3);
+        let dist = c
+            .profile()
+            .bank_geometry()
+            .coupled_row_distance()
+            .unwrap();
+        // Row 45 resolves to an interior subarray (no tandem energy).
+        write_row(&mut c, 0, 45, 0xAAAA_5555);
+        // The coupled alias shows distinct data (its own half) but the
+        // activation counters alias — checked via stats below.
+        let alias = 45 + dist;
+        let before = c.stats().activations;
+        let _ = read_row(&mut c, 0, alias);
+        assert_eq!(c.stats().activations, before + 1);
+        // Energy: coupled chips burn 2 units per activation.
+        let e0 = c.stats().act_energy_units;
+        let _ = read_row(&mut c, 0, 45);
+        assert_eq!(c.stats().act_energy_units - e0, 2);
+    }
+
+    #[test]
+    fn retention_decays_charged_cells() {
+        let mut c = chip();
+        c.set_temperature(85.0);
+        write_row(&mut c, 0, 50, u64::MAX);
+        // Wait 500 seconds without refresh, then read.
+        let late = c.now() + Time::from_ms(500_000);
+        c.issue(Command::Activate { bank: 0, row: 50 }, late).unwrap();
+        let mut tc = late + c.timing().trcd;
+        let mut zeros = 0;
+        for col in 0..c.profile().cols_per_row() {
+            let d = c.issue(Command::Read { bank: 0, col }, tc).unwrap().unwrap();
+            zeros += d.0.count_zeros() - 32;
+            tc += c.timing().tck;
+        }
+        c.issue(Command::Precharge { bank: 0 }, tc + c.timing().tras)
+            .unwrap();
+        assert!(zeros > 0, "500 s unrefreshed at 85 °C must lose bits");
+    }
+
+    #[test]
+    fn refresh_prevents_retention_decay() {
+        let mut c = chip();
+        write_row(&mut c, 0, 50, u64::MAX);
+        // One full refresh window every 64 ms for ~20 simulated minutes.
+        let mut t = c.now();
+        for _ in 0..20_000 {
+            t += Time::from_ms(64);
+            c.refresh_window(t).unwrap();
+        }
+        let data = read_row(&mut c, 0, 50);
+        assert!(
+            data.iter().all(|&d| d == 0xFFFF_FFFF),
+            "refreshed row must not decay"
+        );
+    }
+
+    #[test]
+    fn single_ref_covers_only_its_slice() {
+        let mut c = chip();
+        write_row(&mut c, 0, 50, u64::MAX);
+        // 2048 wordlines / 8192 slices: most REFs touch nothing, and one
+        // REF is never a full-window refresh.
+        let t = c.now() + Time::from_ms(400_000);
+        c.issue(Command::Refresh, t).unwrap();
+        let late = t + Time::from_ms(400_000);
+        let mut tc = late;
+        c.issue(Command::Activate { bank: 0, row: 50 }, tc).unwrap();
+        tc += c.timing().trcd;
+        let d = c.issue(Command::Read { bank: 0, col: 0 }, tc).unwrap().unwrap();
+        assert!(
+            d.0.count_zeros() > 32,
+            "800 s with a single sliced REF must still decay"
+        );
+    }
+
+    #[test]
+    fn trr_engine_rescues_victims_between_sliced_refs() {
+        let with_trr = ChipProfile::test_small().with_trr(2);
+        // Attack in four bursts with a sliced REF between bursts: the TRR
+        // engine samples the aggressor and refreshes its neighbours.
+        let run = |profile: ChipProfile| -> u32 {
+            let mut c = DramChip::new(profile, 7);
+            write_row(&mut c, 0, 19, u64::MAX);
+            write_row(&mut c, 0, 21, u64::MAX);
+            write_row(&mut c, 0, 20, 0);
+            let mut t = c.now() + c.timing().trp;
+            for _ in 0..12 {
+                t = c.activate_burst(0, 20, 200_000, Time::from_ns(35), t).unwrap();
+                t += c.timing().trfc;
+                c.issue(Command::Refresh, t).unwrap();
+                t += c.timing().trfc;
+            }
+            read_row(&mut c, 0, 19)
+                .iter()
+                .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+                .sum()
+        };
+        let unprotected = run(ChipProfile::test_small());
+        let protected = run(with_trr);
+        assert!(unprotected > 0, "2.4M total activations must flip without TRR");
+        assert_eq!(protected, 0, "TRR must rescue the victims at each REF");
+    }
+
+    #[test]
+    fn rfm_command_triggers_mitigation_on_demand() {
+        let mut c = DramChip::new(ChipProfile::test_small().with_trr(2), 7);
+        write_row(&mut c, 0, 19, u64::MAX);
+        write_row(&mut c, 0, 21, u64::MAX);
+        write_row(&mut c, 0, 20, 0);
+        let mut t = c.now() + c.timing().trp;
+        for _ in 0..12 {
+            t = c.activate_burst(0, 20, 200_000, Time::from_ns(35), t).unwrap();
+            t += c.timing().trfc;
+            c.issue(Command::Rfm { bank: 0 }, t).unwrap();
+        }
+        let flips: u32 = read_row(&mut c, 0, 19)
+            .iter()
+            .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+            .sum();
+        assert_eq!(flips, 0, "RFM between bursts must prevent flips");
+        // RFM on a TRR-less chip is accepted but inert.
+        let mut plain = DramChip::new(ChipProfile::test_small(), 7);
+        plain
+            .issue(Command::Rfm { bank: 0 }, Time::from_ns(100))
+            .unwrap();
+    }
+
+    #[test]
+    fn edge_activation_burns_double_energy() {
+        let mut c = chip();
+        // Row 0 is in the low-edge subarray of segment 0.
+        let e0 = c.stats().act_energy_units;
+        let _ = read_row(&mut c, 0, 0);
+        let edge_cost = c.stats().act_energy_units - e0;
+        let e1 = c.stats().act_energy_units;
+        let _ = read_row(&mut c, 0, 60); // interior subarray 1 ([40,64))
+        let mid_cost = c.stats().act_energy_units - e1;
+        assert_eq!(edge_cost, 2 * mid_cost, "tandem edge doubles activation power");
+    }
+
+    #[test]
+    fn ground_truth_matches_profile() {
+        let c = chip();
+        let gt = c.ground_truth();
+        assert_eq!(gt.composition, vec![40, 24]);
+        assert_eq!(gt.edge_interval_wls, 256);
+        assert_eq!(gt.coupled_distance, None);
+        assert_eq!(gt.mat_width, 64);
+        assert_eq!(gt.subarray_heights.len(), 64);
+    }
+
+    #[test]
+    fn on_die_ecc_round_trips_and_hides_parity_columns() {
+        let mut c = DramChip::new(ChipProfile::test_small().with_on_die_ecc(), 7);
+        assert_eq!(c.profile().cols_per_row(), 6, "8 raw cols -> 6 data cols");
+        assert!(c.ground_truth().on_die_ecc);
+        write_row(&mut c, 0, 10, 0xDEAD_BEEF);
+        assert!(read_row(&mut c, 0, 10).iter().all(|&d| d == 0xDEAD_BEEF));
+        // The host cannot address the parity region.
+        let t = c.now() + c.timing().trp;
+        c.issue(Command::Activate { bank: 0, row: 11 }, t).unwrap();
+        assert_eq!(
+            c.issue(Command::Read { bank: 0, col: 6 }, t + c.timing().trcd),
+            Err(CommandError::ColOutOfRange { col: 6, cols: 6 })
+        );
+        c.issue(Command::Precharge { bank: 0 }, t + c.timing().tras)
+            .unwrap();
+    }
+
+    #[test]
+    fn on_die_ecc_masks_sparse_disturbance() {
+        // At the raw chip's first-flip dose the row holds very few
+        // physical errors; on-die ECC must hide (or at least reduce)
+        // them. Both chips share the same seed, hence the same silicon.
+        let raw_flips_at = |n: u64, ecc: bool| -> u32 {
+            let profile = if ecc {
+                ChipProfile::test_small().with_on_die_ecc()
+            } else {
+                ChipProfile::test_small()
+            };
+            let mut c = DramChip::new(profile, 7);
+            write_row(&mut c, 0, 19, u64::MAX);
+            write_row(&mut c, 0, 20, 0);
+            let t = c.now() + c.timing().trp;
+            c.activate_burst(0, 20, n, Time::from_ns(35), t).unwrap();
+            read_row(&mut c, 0, 19)
+                .iter()
+                .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+                .sum()
+        };
+        // Bisect the minimal dose with at least one raw flip.
+        let (mut lo, mut hi) = (0u64, 8_000_000u64);
+        assert!(raw_flips_at(hi, false) > 0);
+        while hi - lo > 50_000 {
+            let mid = lo + (hi - lo) / 2;
+            if raw_flips_at(mid, false) > 0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let raw = raw_flips_at(hi, false);
+        let corrected = raw_flips_at(hi, true);
+        assert!(raw >= 1);
+        if raw == 1 {
+            assert_eq!(corrected, 0, "a single error must be invisible");
+        } else {
+            assert!(corrected < raw, "ECC must reduce sparse errors");
+        }
+    }
+
+    #[test]
+    fn burst_equals_individual_activations() {
+        // The burst API and an explicit command loop must leave identical
+        // victim damage.
+        let mk = |seed| DramChip::new(ChipProfile::test_small(), seed);
+        let n = 300_000u64;
+        let on = Time::from_ns(35);
+
+        let mut a = mk(42);
+        write_row(&mut a, 0, 19, u64::MAX);
+        write_row(&mut a, 0, 20, 0);
+        let t = a.now() + a.timing().trp;
+        a.activate_burst(0, 20, n, on, t).unwrap();
+        let burst_read = read_row(&mut a, 0, 19);
+
+        let mut b = mk(42);
+        write_row(&mut b, 0, 19, u64::MAX);
+        write_row(&mut b, 0, 20, 0);
+        let mut t = b.now() + b.timing().trp;
+        for _ in 0..n {
+            b.issue(Command::Activate { bank: 0, row: 20 }, t).unwrap();
+            t += on;
+            b.issue(Command::Precharge { bank: 0 }, t).unwrap();
+            t += b.timing().trp;
+        }
+        let loop_read = read_row(&mut b, 0, 19);
+        assert_eq!(burst_read, loop_read);
+    }
+}

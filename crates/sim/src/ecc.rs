@@ -1,0 +1,222 @@
+//! On-die ECC: a Hamming SEC code over each RD_data word
+//! (paper §VI-B's ECC-mitigation discussion; the BEER/HARP line of work
+//! the paper cites for uncovering such codes).
+//!
+//! Modern high-density DRAM corrects single-cell errors inside the chip,
+//! invisibly to the host. The model here protects each 32-bit RD_data
+//! word with a Hamming(38,32) single-error-correcting code whose six
+//! parity bits live in *reserved columns* of the same row — real cells
+//! that take retention and disturbance damage like any others, which is
+//! what makes double-error miscorrection (the BEER observation)
+//! reproducible.
+
+/// Parity bits per protected data word.
+pub const PARITY_BITS: u32 = 6;
+
+/// Codeword length for a 32-bit data word (bit positions 1..=38; parity
+/// at the power-of-two positions).
+const CODEWORD_LEN: u32 = 38;
+
+/// Returns `true` for the power-of-two codeword positions that hold
+/// parity.
+fn is_parity_position(pos: u32) -> bool {
+    pos.is_power_of_two()
+}
+
+/// The codeword position (1-based) of data bit `i` (0-based).
+fn data_position(i: u32) -> u32 {
+    // Skip parity positions while walking the codeword.
+    let mut pos = 1;
+    let mut seen = 0;
+    loop {
+        if !is_parity_position(pos) {
+            if seen == i {
+                return pos;
+            }
+            seen += 1;
+        }
+        pos += 1;
+    }
+}
+
+/// Precomputed data-bit positions (computed on first use).
+fn data_positions() -> [u32; 32] {
+    let mut out = [0u32; 32];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = data_position(i as u32);
+    }
+    out
+}
+
+/// Encodes a 32-bit data word into its six Hamming parity bits.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::ecc;
+/// let p = ecc::encode(0xDEAD_BEEF);
+/// assert_eq!(ecc::decode(0xDEAD_BEEF, p), (0xDEAD_BEEF, ecc::Correction::None));
+/// ```
+pub fn encode(data: u32) -> u8 {
+    let positions = data_positions();
+    let mut parity = 0u8;
+    for (j, shift) in (0..PARITY_BITS).enumerate() {
+        let mask = 1u32 << shift; // parity position 2^shift
+        let mut p = false;
+        for (i, &pos) in positions.iter().enumerate() {
+            if pos & mask != 0 && data & (1 << i) != 0 {
+                p = !p;
+            }
+        }
+        if p {
+            parity |= 1 << j;
+        }
+    }
+    parity
+}
+
+/// What the decoder did to the word it returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Correction {
+    /// Clean codeword.
+    None,
+    /// A single data-bit error was corrected.
+    DataBit(u32),
+    /// A parity-bit error was detected (data returned untouched).
+    ParityBit(u32),
+    /// The syndrome pointed outside the codeword: at least two errors,
+    /// returned best-effort (possibly miscorrected upstream).
+    Uncorrectable,
+}
+
+/// Decodes a (data, parity) pair: returns the corrected data word and
+/// what happened.
+///
+/// Double errors produce either a [`Correction::Uncorrectable`] verdict
+/// or — when the combined syndrome aliases a valid position — a silent
+/// *miscorrection* that flips a third, previously-correct bit. Both
+/// behaviours match real SEC on-die ECC.
+pub fn decode(data: u32, parity: u8) -> (u32, Correction) {
+    let expected = encode(data);
+    let syndrome_low = (expected ^ parity) as u32;
+    if syndrome_low == 0 {
+        return (data, Correction::None);
+    }
+    // Reconstruct the syndrome as a codeword position: each differing
+    // parity bit j contributes 2^j.
+    let pos = syndrome_low;
+    if pos > CODEWORD_LEN {
+        return (data, Correction::Uncorrectable);
+    }
+    if is_parity_position(pos) {
+        return (data, Correction::ParityBit(pos.trailing_zeros()));
+    }
+    let positions = data_positions();
+    let bit = positions
+        .iter()
+        .position(|&p| p == pos)
+        .expect("non-parity position within the codeword is a data bit")
+        as u32;
+    (data ^ (1 << bit), Correction::DataBit(bit))
+}
+
+/// Host-visible data columns when a row of `cols` columns of `rd_bits`
+/// each reserves space for per-word parity.
+pub fn data_columns(cols: u32, rd_bits: u32) -> u32 {
+    cols * rd_bits / (rd_bits + PARITY_BITS)
+}
+
+/// The (column, bit) cell holding parity bit `j` of data column `c`,
+/// given the host/data split.
+pub fn parity_cell(data_cols: u32, rd_bits: u32, c: u32, j: u32) -> (u32, u32) {
+    let idx = c * PARITY_BITS + j;
+    (data_cols + idx / rd_bits, idx % rd_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for data in [0u32, u32::MAX, 0xDEAD_BEEF, 0x0139_71AC] {
+            let p = encode(data);
+            assert_eq!(decode(data, p), (data, Correction::None));
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_error_is_corrected() {
+        let data = 0x5A5A_1234;
+        let p = encode(data);
+        for bit in 0..32 {
+            let corrupted = data ^ (1 << bit);
+            let (fixed, what) = decode(corrupted, p);
+            assert_eq!(fixed, data, "bit {bit}");
+            assert_eq!(what, Correction::DataBit(bit));
+        }
+    }
+
+    #[test]
+    fn every_single_parity_bit_error_is_flagged() {
+        let data = 0xCAFE_F00D;
+        let p = encode(data);
+        for j in 0..PARITY_BITS {
+            let corrupted = p ^ (1 << j);
+            let (fixed, what) = decode(data, corrupted);
+            assert_eq!(fixed, data);
+            assert_eq!(what, Correction::ParityBit(j));
+        }
+    }
+
+    #[test]
+    fn double_errors_are_not_silently_clean() {
+        // SEC (no DED): two errors must never decode as `None`, and they
+        // sometimes miscorrect — the BEER-relevant behaviour.
+        let data = 0x0F0F_3C3C;
+        let p = encode(data);
+        let mut miscorrections = 0;
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let corrupted = data ^ (1 << a) ^ (1 << b);
+                let (fixed, what) = decode(corrupted, p);
+                assert_ne!(what, Correction::None, "bits {a},{b}");
+                if let Correction::DataBit(_) = what {
+                    if fixed != data {
+                        miscorrections += 1;
+                    }
+                }
+            }
+        }
+        assert!(miscorrections > 0, "SEC must miscorrect some double errors");
+    }
+
+    #[test]
+    fn data_positions_avoid_parity_slots() {
+        let positions = data_positions();
+        for &p in &positions {
+            assert!(!is_parity_position(p));
+            assert!(p <= CODEWORD_LEN);
+        }
+        let mut sorted = positions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32);
+    }
+
+    #[test]
+    fn layout_helpers_tile() {
+        // 128 columns of 32 bits: 107 data columns, parity fits the rest.
+        assert_eq!(data_columns(128, 32), 107);
+        let data_cols = 107;
+        let mut seen = std::collections::BTreeSet::new();
+        for c in 0..data_cols {
+            for j in 0..PARITY_BITS {
+                let (pc, pb) = parity_cell(data_cols, 32, c, j);
+                assert!(pc >= data_cols && pc < 128, "col {pc}");
+                assert!(pb < 32);
+                assert!(seen.insert((pc, pb)), "parity cells must not collide");
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Coordinate newtypes and bank geometry.
+//!
+//! The address flow inside a simulated chip (paper §III-C, §IV):
+//!
+//! ```text
+//! pin row address            (what arrives on the C/A pins, post-RCD)
+//!   └─ internal remap ──► logical row   (vendor row-decoder scramble)
+//!        └─ coupled-row fold ──► wordline (two logical rows may share one WL)
+//!             └─ layout ──► (subarray, local row)
+//! ```
+//!
+//! Column/data flow:
+//!
+//! ```text
+//! RD_data bit index ──(swizzle)──► (MAT, intra-MAT physical bitline)
+//! ```
+
+use std::fmt;
+
+/// A row address as it appears on the chip's command/address pins.
+///
+/// This is *after* any RCD inversion (the RCD lives at module level) but
+/// *before* the chip's internal remapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalRow(pub u32);
+
+impl fmt::Display for LogicalRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A physical wordline index within a bank, counted from the physical
+/// bottom of the array. Adjacent indices are physically adjacent unless a
+/// sense-amplifier stripe (subarray boundary) lies between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Wordline(pub u32);
+
+impl fmt::Display for Wordline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wl{}", self.0)
+    }
+}
+
+/// A physical bitline index within a wordline, counted from the physically
+/// leftmost cell. Even/odd parity decides which sense-amplifier stripe the
+/// bitline connects to in the open-bitline structure (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bitline(pub u32);
+
+impl Bitline {
+    /// `true` if the index is even (connects to the lower stripe in this
+    /// model's convention).
+    pub const fn is_even(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+}
+
+impl fmt::Display for Bitline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bl{}", self.0)
+    }
+}
+
+/// A subarray index within a bank, counted from the physical bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubarrayId(pub u32);
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sa{}", self.0)
+    }
+}
+
+/// A memory-array-tile index within a wordline, counted from the left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MatId(pub u32);
+
+impl fmt::Display for MatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mat{}", self.0)
+    }
+}
+
+/// Static geometry of one bank.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::BankGeometry;
+/// let g = BankGeometry::new(1 << 17, 4096, 512, 2);
+/// assert_eq!(g.wordlines(), 1 << 16); // coupled: two rows per wordline
+/// assert_eq!(g.mats(), 16);           // 8192 cells / 512 per MAT
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankGeometry {
+    /// Number of addressable (pin-level) rows in the bank.
+    pub rows: u32,
+    /// Data bits stored per addressable row (the chip's row width).
+    pub row_bits: u32,
+    /// Cells per MAT row (the hidden MAT width, paper O2).
+    pub mat_width: u32,
+    /// Addressable rows folded onto one physical wordline (1 = normal,
+    /// 2 = coupled-row chips, paper O3).
+    pub rows_per_wordline: u32,
+}
+
+impl BankGeometry {
+    /// Creates a bank geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero, if `rows` is not divisible by
+    /// `rows_per_wordline`, or if the wordline cell count is not divisible
+    /// by `mat_width`.
+    pub fn new(rows: u32, row_bits: u32, mat_width: u32, rows_per_wordline: u32) -> Self {
+        assert!(rows > 0 && row_bits > 0 && mat_width > 0 && rows_per_wordline > 0);
+        assert_eq!(rows % rows_per_wordline, 0, "rows must fold evenly");
+        let wl_cells = row_bits * rows_per_wordline;
+        assert_eq!(wl_cells % mat_width, 0, "wordline must tile into MATs");
+        BankGeometry {
+            rows,
+            row_bits,
+            mat_width,
+            rows_per_wordline,
+        }
+    }
+
+    /// Number of physical wordlines in the bank.
+    pub const fn wordlines(&self) -> u32 {
+        self.rows / self.rows_per_wordline
+    }
+
+    /// Number of physical cells along one wordline.
+    pub const fn cells_per_wordline(&self) -> u32 {
+        self.row_bits * self.rows_per_wordline
+    }
+
+    /// Number of MATs along one wordline.
+    pub const fn mats(&self) -> u32 {
+        self.cells_per_wordline() / self.mat_width
+    }
+
+    /// `true` when two addressable rows share each wordline (paper O3).
+    pub const fn has_coupled_rows(&self) -> bool {
+        self.rows_per_wordline == 2
+    }
+
+    /// The addressable-row distance between the two members of a
+    /// coupled-row pair, or `None` for uncoupled chips.
+    ///
+    /// Coupled chips alias row `r` and `r + rows/2` onto one wordline, so
+    /// the distance is always half the bank (64K rows for the paper's ×4
+    /// DDR4 parts, Table III).
+    pub const fn coupled_row_distance(&self) -> Option<u32> {
+        if self.has_coupled_rows() {
+            Some(self.rows / 2)
+        } else {
+            None
+        }
+    }
+
+    /// Splits a logical row into `(wordline, half)` where `half` selects
+    /// which coupled half of the wordline the row's data occupies.
+    pub const fn fold(&self, row: LogicalRow) -> (Wordline, u32) {
+        let wls = self.wordlines();
+        (Wordline(row.0 % wls), row.0 / wls)
+    }
+
+    /// Inverse of [`fold`](Self::fold): the logical row for a wordline half.
+    pub const fn unfold(&self, wl: Wordline, half: u32) -> LogicalRow {
+        LogicalRow(wl.0 + half * self.wordlines())
+    }
+
+    /// Converts a `(half, data-bit index)` pair to the physical bitline.
+    ///
+    /// Coupled halves occupy disjoint MATs on the shared wordline: half 0
+    /// owns the left MATs, half 1 the right MATs. Horizontal cell coupling
+    /// therefore never crosses halves, matching the MAT isolation the paper
+    /// observes (§IV-A).
+    pub const fn half_bit_to_bitline(&self, half: u32, bit: u32) -> Bitline {
+        Bitline(half * self.row_bits + bit)
+    }
+
+    /// Converts a physical bitline back to `(half, data-bit index)`.
+    pub const fn bitline_to_half_bit(&self, bl: Bitline) -> (u32, u32) {
+        (bl.0 / self.row_bits, bl.0 % self.row_bits)
+    }
+
+    /// The MAT containing a physical bitline.
+    pub const fn mat_of(&self, bl: Bitline) -> MatId {
+        MatId(bl.0 / self.mat_width)
+    }
+
+    /// `true` if two bitlines sit in the same MAT (horizontal coupling is
+    /// only possible inside a MAT; paper §IV-A).
+    pub const fn same_mat(&self, a: Bitline, b: Bitline) -> bool {
+        self.mat_of(a).0 == self.mat_of(b).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coupled_x4() -> BankGeometry {
+        BankGeometry::new(1 << 17, 4096, 512, 2)
+    }
+
+    fn plain_x8() -> BankGeometry {
+        BankGeometry::new(1 << 16, 8192, 1024, 1)
+    }
+
+    #[test]
+    fn fold_unfold_round_trips() {
+        let g = coupled_x4();
+        for r in [0u32, 1, 65_535, 65_536, 131_071] {
+            let (wl, half) = g.fold(LogicalRow(r));
+            assert_eq!(g.unfold(wl, half), LogicalRow(r));
+        }
+    }
+
+    #[test]
+    fn coupled_rows_share_wordlines() {
+        let g = coupled_x4();
+        let (wl_a, half_a) = g.fold(LogicalRow(100));
+        let (wl_b, half_b) = g.fold(LogicalRow(100 + (1 << 16)));
+        assert_eq!(wl_a, wl_b);
+        assert_ne!(half_a, half_b);
+        assert_eq!(g.coupled_row_distance(), Some(1 << 16));
+    }
+
+    #[test]
+    fn plain_geometry_has_no_coupling() {
+        let g = plain_x8();
+        assert!(!g.has_coupled_rows());
+        assert_eq!(g.coupled_row_distance(), None);
+        assert_eq!(g.wordlines(), 1 << 16);
+    }
+
+    #[test]
+    fn halves_occupy_disjoint_mats() {
+        let g = coupled_x4();
+        let left = g.half_bit_to_bitline(0, g.row_bits - 1);
+        let right = g.half_bit_to_bitline(1, 0);
+        assert!(!g.same_mat(left, right) || g.mat_of(left) != g.mat_of(right));
+        assert_eq!(g.mat_of(right).0, g.row_bits / g.mat_width);
+    }
+
+    #[test]
+    fn bitline_round_trips() {
+        let g = coupled_x4();
+        for bit in [0u32, 1, 511, 512, 4095] {
+            for half in 0..2 {
+                let bl = g.half_bit_to_bitline(half, bit);
+                assert_eq!(g.bitline_to_half_bit(bl), (half, bit));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must fold evenly")]
+    fn odd_fold_panics() {
+        BankGeometry::new(7, 64, 32, 2);
+    }
+}

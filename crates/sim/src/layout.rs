@@ -1,0 +1,385 @@
+//! Subarray layout of one bank (paper §IV-C).
+//!
+//! A bank splits into *segments* (the edge-subarray interval of Table III);
+//! each segment is an independent slab of silicon containing a run of
+//! open-bitline subarrays whose heights repeat the vendor's composition
+//! block (e.g. `11×640 + 2×576`). Within a segment:
+//!
+//! * consecutive subarrays share a sense-amplifier stripe — the stripe
+//!   below subarray *i* serves subarray *i*'s even bitlines and subarray
+//!   *i−1*'s odd bitlines;
+//! * the segment's **first and last subarrays are the edge tandem pair**:
+//!   the first subarray's even bitlines and the last subarray's odd
+//!   bitlines meet on a shared *wrap stripe* that also carries the dummy
+//!   bitlines (paper O5, Fig. 9);
+//! * activating a wordline in one edge subarray co-activates the
+//!   corresponding wordline in its tandem partner (doubling activation
+//!   power, §VI-C).
+//!
+//! Nothing crosses a segment boundary: no AIB, no RowCopy.
+
+use crate::geometry::{SubarrayId, Wordline};
+
+/// How an edge subarray participates in its tandem pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeRole {
+    /// The physically lowest subarray of its segment.
+    Low,
+    /// The physically highest subarray of its segment.
+    High,
+}
+
+/// Which sense-amplifier stripe a bitline parity reaches, relative to a
+/// subarray (open-bitline convention of this model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StripeSide {
+    /// Even bitlines connect downward (or to the wrap stripe for the
+    /// low-edge subarray).
+    Lower,
+    /// Odd bitlines connect upward (or to the wrap stripe for the
+    /// high-edge subarray).
+    Upper,
+}
+
+/// Descriptor of one subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubarrayInfo {
+    /// Index within the bank, from the physical bottom.
+    pub id: SubarrayId,
+    /// First wordline of the subarray.
+    pub start_wl: u32,
+    /// Height in wordlines.
+    pub height: u32,
+    /// Segment (edge-interval slab) the subarray belongs to.
+    pub segment: u32,
+    /// Tandem role if this is an edge subarray.
+    pub edge_role: Option<EdgeRole>,
+}
+
+impl SubarrayInfo {
+    /// `true` for the first/last subarray of a segment.
+    pub fn is_edge(&self) -> bool {
+        self.edge_role.is_some()
+    }
+
+    /// One-past-the-last wordline.
+    pub fn end_wl(&self) -> u32 {
+        self.start_wl + self.height
+    }
+}
+
+/// The relationship between two wordlines for charge-transfer RowCopy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyRelation {
+    /// Same subarray: every bitline shares its sense amplifier; the full
+    /// row copies without crossing an SA.
+    SameSubarray,
+    /// Destination in the subarray directly above the source: the shared
+    /// stripe pairs source odd bitlines with destination even bitlines.
+    AdjacentAbove,
+    /// Destination in the subarray directly below the source: the shared
+    /// stripe pairs source even bitlines with destination odd bitlines.
+    AdjacentBelow,
+    /// Source in the low-edge, destination in the high-edge subarray of
+    /// the same segment: the wrap stripe pairs source even bitlines with
+    /// destination odd bitlines.
+    TandemLowToHigh,
+    /// Source in the high-edge, destination in the low-edge subarray:
+    /// source odd bitlines pair with destination even bitlines.
+    TandemHighToLow,
+    /// No shared sense amplifiers: RowCopy has no effect.
+    Unrelated,
+}
+
+/// The complete subarray layout of one bank.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{BankLayout, Wordline};
+/// let layout = BankLayout::build(256, 128, &[40, 24]);
+/// assert_eq!(layout.subarray_count(), 8);
+/// assert_eq!(layout.subarray_of(Wordline(0)).0, 0);
+/// assert_eq!(layout.subarray_of(Wordline(40)).0, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankLayout {
+    /// Start wordline of each subarray, plus a final sentinel equal to the
+    /// total wordline count.
+    starts: Vec<u32>,
+    segment_wls: u32,
+    subs_per_segment: u32,
+    total_wls: u32,
+}
+
+impl BankLayout {
+    /// Builds the layout for `total_wls` wordlines split into segments of
+    /// `segment_wls`, each tiled by the repeating `composition` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the composition is empty or the sizes do not tile exactly
+    /// (`segment_wls` must be a multiple of the block sum, `total_wls` a
+    /// multiple of `segment_wls`).
+    pub fn build(total_wls: u32, segment_wls: u32, composition: &[u32]) -> Self {
+        assert!(!composition.is_empty(), "composition must not be empty");
+        assert!(composition.iter().all(|&h| h > 0));
+        let block: u32 = composition.iter().sum();
+        assert_eq!(segment_wls % block, 0, "segment must tile by block");
+        assert_eq!(total_wls % segment_wls, 0, "bank must tile by segment");
+        let blocks_per_segment = segment_wls / block;
+        let subs_per_segment = blocks_per_segment * composition.len() as u32;
+        let segments = total_wls / segment_wls;
+
+        let mut starts = Vec::with_capacity((segments * subs_per_segment + 1) as usize);
+        let mut wl = 0u32;
+        for _seg in 0..segments {
+            for _blk in 0..blocks_per_segment {
+                for &h in composition {
+                    starts.push(wl);
+                    wl += h;
+                }
+            }
+        }
+        starts.push(wl);
+        debug_assert_eq!(wl, total_wls);
+        BankLayout {
+            starts,
+            segment_wls,
+            subs_per_segment,
+            total_wls,
+        }
+    }
+
+    /// Total wordlines covered.
+    pub fn total_wordlines(&self) -> u32 {
+        self.total_wls
+    }
+
+    /// Number of subarrays in the bank.
+    pub fn subarray_count(&self) -> u32 {
+        (self.starts.len() - 1) as u32
+    }
+
+    /// Wordlines per segment (the edge-subarray interval).
+    pub fn segment_wordlines(&self) -> u32 {
+        self.segment_wls
+    }
+
+    /// Subarrays per segment.
+    pub fn subarrays_per_segment(&self) -> u32 {
+        self.subs_per_segment
+    }
+
+    /// The subarray containing a wordline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wordline is out of range.
+    pub fn subarray_of(&self, wl: Wordline) -> SubarrayId {
+        assert!(wl.0 < self.total_wls, "wordline {wl} out of range");
+        // starts is sorted; partition_point returns the first start > wl.
+        let idx = self.starts.partition_point(|&s| s <= wl.0) - 1;
+        SubarrayId(idx as u32)
+    }
+
+    /// Full descriptor of a subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn info(&self, id: SubarrayId) -> SubarrayInfo {
+        let i = id.0 as usize;
+        assert!(i < self.starts.len() - 1, "subarray {id} out of range");
+        let local = id.0 % self.subs_per_segment;
+        let edge_role = if local == 0 {
+            Some(EdgeRole::Low)
+        } else if local == self.subs_per_segment - 1 {
+            Some(EdgeRole::High)
+        } else {
+            None
+        };
+        SubarrayInfo {
+            id,
+            start_wl: self.starts[i],
+            height: self.starts[i + 1] - self.starts[i],
+            segment: id.0 / self.subs_per_segment,
+            edge_role,
+        }
+    }
+
+    /// The local row index of a wordline within its subarray.
+    pub fn local_index(&self, wl: Wordline) -> u32 {
+        let sa = self.subarray_of(wl);
+        wl.0 - self.starts[sa.0 as usize]
+    }
+
+    /// `true` if both wordlines sit in one subarray.
+    pub fn in_same_subarray(&self, a: Wordline, b: Wordline) -> bool {
+        self.subarray_of(a) == self.subarray_of(b)
+    }
+
+    /// The tandem partner of an edge subarray, if any.
+    pub fn tandem_partner(&self, id: SubarrayId) -> Option<SubarrayId> {
+        let info = self.info(id);
+        let seg_base = info.segment * self.subs_per_segment;
+        match info.edge_role? {
+            EdgeRole::Low => Some(SubarrayId(seg_base + self.subs_per_segment - 1)),
+            EdgeRole::High => Some(SubarrayId(seg_base)),
+        }
+    }
+
+    /// The co-activated wordline in the tandem partner when `wl` lies in an
+    /// edge subarray (paper O5 / §VI-C double activation).
+    pub fn companion_wordline(&self, wl: Wordline) -> Option<Wordline> {
+        let sa = self.subarray_of(wl);
+        let partner = self.tandem_partner(sa)?;
+        if partner == sa {
+            // Degenerate single-subarray segment: no tandem.
+            return None;
+        }
+        let local = self.local_index(wl);
+        let pinfo = self.info(partner);
+        Some(Wordline(pinfo.start_wl + local.min(pinfo.height - 1)))
+    }
+
+    /// The wordlines physically adjacent to `wl` inside its subarray —
+    /// the only rows AIB from `wl` can reach at distance `dist`.
+    pub fn neighbors_at(&self, wl: Wordline, dist: u32) -> Vec<Wordline> {
+        let sa = self.subarray_of(wl);
+        let info = self.info(sa);
+        let mut out = Vec::with_capacity(2);
+        if wl.0 >= info.start_wl + dist {
+            out.push(Wordline(wl.0 - dist));
+        }
+        if wl.0 + dist < info.end_wl() {
+            out.push(Wordline(wl.0 + dist));
+        }
+        out
+    }
+
+    /// The RowCopy relationship between a source and destination wordline.
+    pub fn copy_relation(&self, src: Wordline, dst: Wordline) -> CopyRelation {
+        let s = self.info(self.subarray_of(src));
+        let d = self.info(self.subarray_of(dst));
+        if s.id == d.id {
+            return CopyRelation::SameSubarray;
+        }
+        if s.segment != d.segment {
+            return CopyRelation::Unrelated;
+        }
+        if d.id.0 == s.id.0 + 1 {
+            return CopyRelation::AdjacentAbove;
+        }
+        if s.id.0 == d.id.0 + 1 {
+            return CopyRelation::AdjacentBelow;
+        }
+        match (s.edge_role, d.edge_role) {
+            (Some(EdgeRole::Low), Some(EdgeRole::High)) => CopyRelation::TandemLowToHigh,
+            (Some(EdgeRole::High), Some(EdgeRole::Low)) => CopyRelation::TandemHighToLow,
+            _ => CopyRelation::Unrelated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> BankLayout {
+        // Two segments of 128 wordlines, blocks of 40+24.
+        BankLayout::build(256, 128, &[40, 24])
+    }
+
+    #[test]
+    fn build_tiles_exactly() {
+        let l = layout();
+        assert_eq!(l.subarray_count(), 8);
+        assert_eq!(l.subarrays_per_segment(), 4);
+        let heights: Vec<u32> = (0..8).map(|i| l.info(SubarrayId(i)).height).collect();
+        assert_eq!(heights, vec![40, 24, 40, 24, 40, 24, 40, 24]);
+    }
+
+    #[test]
+    fn subarray_of_matches_boundaries() {
+        let l = layout();
+        assert_eq!(l.subarray_of(Wordline(0)), SubarrayId(0));
+        assert_eq!(l.subarray_of(Wordline(39)), SubarrayId(0));
+        assert_eq!(l.subarray_of(Wordline(40)), SubarrayId(1));
+        assert_eq!(l.subarray_of(Wordline(127)), SubarrayId(3));
+        assert_eq!(l.subarray_of(Wordline(128)), SubarrayId(4));
+        assert_eq!(l.subarray_of(Wordline(255)), SubarrayId(7));
+    }
+
+    #[test]
+    fn edge_roles_per_segment() {
+        let l = layout();
+        assert_eq!(l.info(SubarrayId(0)).edge_role, Some(EdgeRole::Low));
+        assert_eq!(l.info(SubarrayId(1)).edge_role, None);
+        assert_eq!(l.info(SubarrayId(3)).edge_role, Some(EdgeRole::High));
+        assert_eq!(l.info(SubarrayId(4)).edge_role, Some(EdgeRole::Low));
+    }
+
+    #[test]
+    fn tandem_partners_pair_up() {
+        let l = layout();
+        assert_eq!(l.tandem_partner(SubarrayId(0)), Some(SubarrayId(3)));
+        assert_eq!(l.tandem_partner(SubarrayId(3)), Some(SubarrayId(0)));
+        assert_eq!(l.tandem_partner(SubarrayId(1)), None);
+        assert_eq!(l.tandem_partner(SubarrayId(4)), Some(SubarrayId(7)));
+    }
+
+    #[test]
+    fn companion_wordline_clamps_to_partner_height() {
+        let l = layout();
+        // Low edge (height 40) → high edge (height 24): local 30 clamps to 23.
+        assert_eq!(
+            l.companion_wordline(Wordline(30)),
+            Some(Wordline(104 + 23))
+        );
+        assert_eq!(l.companion_wordline(Wordline(5)), Some(Wordline(104 + 5)));
+        assert_eq!(l.companion_wordline(Wordline(50)), None);
+    }
+
+    #[test]
+    fn neighbors_respect_subarray_boundaries() {
+        let l = layout();
+        assert_eq!(l.neighbors_at(Wordline(0), 1), vec![Wordline(1)]);
+        assert_eq!(
+            l.neighbors_at(Wordline(39), 1),
+            vec![Wordline(38)],
+            "wl 39 is the top of subarray 0; wl 40 is across an SA stripe"
+        );
+        assert_eq!(
+            l.neighbors_at(Wordline(20), 1),
+            vec![Wordline(19), Wordline(21)]
+        );
+        assert_eq!(
+            l.neighbors_at(Wordline(20), 2),
+            vec![Wordline(18), Wordline(22)]
+        );
+    }
+
+    #[test]
+    fn copy_relations() {
+        let l = layout();
+        use CopyRelation::*;
+        assert_eq!(l.copy_relation(Wordline(3), Wordline(30)), SameSubarray);
+        assert_eq!(l.copy_relation(Wordline(3), Wordline(45)), AdjacentAbove);
+        assert_eq!(l.copy_relation(Wordline(45), Wordline(3)), AdjacentBelow);
+        assert_eq!(l.copy_relation(Wordline(0), Wordline(127)), TandemLowToHigh);
+        assert_eq!(l.copy_relation(Wordline(127), Wordline(0)), TandemHighToLow);
+        assert_eq!(l.copy_relation(Wordline(3), Wordline(70)), Unrelated);
+        assert_eq!(
+            l.copy_relation(Wordline(3), Wordline(130)),
+            Unrelated,
+            "nothing crosses a segment boundary"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "segment must tile")]
+    fn bad_composition_panics() {
+        BankLayout::build(256, 100, &[40, 24]);
+    }
+}

@@ -1,0 +1,625 @@
+//! Chip profiles: the public datasheet face and the hidden microarchitecture.
+//!
+//! A [`ChipProfile`] carries two kinds of information:
+//!
+//! * **Public** fields a real datasheet would disclose: vendor, I/O width,
+//!   density, year, bank count, row count, row width, timings.
+//! * **Hidden** fields (`HiddenConfig`, crate-private) that real vendors
+//!   keep proprietary and that the DRAMScope toolkit must reverse-engineer:
+//!   subarray composition, edge-subarray interval, coupled-row aliasing,
+//!   MAT width, internal row remapping, data swizzling, and cell polarity.
+//!
+//! The preset constructors reproduce the device population of the paper's
+//! Table I with the per-device structures of Table III.
+
+use crate::disturb::DisturbModel;
+use crate::mitigation::TrrConfig;
+use crate::geometry::BankGeometry;
+use crate::remap::RowRemap;
+use crate::swizzle::SwizzleMap;
+use crate::time::TimingParams;
+use std::fmt;
+
+/// DRAM manufacturer, anonymized as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Vendor {
+    /// Mfr. A (row-remapping DDR4 and HBM2; 640/576- or 832/768-row subarrays).
+    A,
+    /// Mfr. B (832/768-row subarrays, no internal remapping).
+    B,
+    /// Mfr. C (688/680/672-row subarrays, true-/anti-cell interleaving).
+    C,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vendor::A => write!(f, "Mfr. A"),
+            Vendor::B => write!(f, "Mfr. B"),
+            Vendor::C => write!(f, "Mfr. C"),
+        }
+    }
+}
+
+/// Chip I/O width (the `×n` of the datasheet) or HBM2 stack type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoWidth {
+    /// 4 data pins; 32-bit RD_data per read burst.
+    X4,
+    /// 8 data pins; 64-bit RD_data per read burst.
+    X8,
+    /// HBM2 stack (modeled per pseudo-channel; 64-bit RD_data).
+    Hbm2,
+}
+
+impl IoWidth {
+    /// Bits delivered by one chip for one `RD` command (paper Table II,
+    /// "RD_data").
+    pub const fn rd_bits(self) -> u32 {
+        match self {
+            IoWidth::X4 => 32,
+            IoWidth::X8 | IoWidth::Hbm2 => 64,
+        }
+    }
+
+    /// Number of DQ pins.
+    pub const fn dq_pins(self) -> u32 {
+        match self {
+            IoWidth::X4 => 4,
+            IoWidth::X8 => 8,
+            IoWidth::Hbm2 => 64,
+        }
+    }
+}
+
+impl fmt::Display for IoWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoWidth::X4 => write!(f, "x4"),
+            IoWidth::X8 => write!(f, "x8"),
+            IoWidth::Hbm2 => write!(f, "HBM2"),
+        }
+    }
+}
+
+/// Cell polarity scheme of a chip (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolarityScheme {
+    /// Every cell is a true-cell (charged = 1). Mfr. A and Mfr. B.
+    AllTrue,
+    /// True- and anti-cells interleave at subarray granularity
+    /// (even subarrays true, odd subarrays anti). Mfr. C.
+    SubarrayInterleaved,
+}
+
+/// The hidden, vendor-proprietary microarchitecture of a chip.
+///
+/// Crate-private by design: reverse-engineering code must not read it.
+/// Tests access a read-only copy through
+/// [`DramChip::ground_truth`](crate::DramChip::ground_truth).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct HiddenConfig {
+    /// Repeating block of subarray heights (in wordlines), e.g.
+    /// `[640 × 11, 576 × 2]` for Mfr. A 2016 (Table III).
+    pub composition: Vec<u32>,
+    /// Edge-subarray interval in wordlines: the bank splits into segments
+    /// of this many wordlines; each segment's first and last subarrays are
+    /// the edge tandem pair (Table III, "edge subarray interval").
+    pub edge_interval: u32,
+    /// Whether two addressable rows fold onto each physical wordline
+    /// (coupled-row activation, paper O3).
+    pub coupled: bool,
+    /// Cells per MAT row (paper O2: 512 or 1024 for the tested ×4 parts).
+    pub mat_width: u32,
+    /// Internal logical→physical row remapping (common pitfall 2).
+    pub remap: RowRemap,
+    /// Intra-chip data swizzling (paper O1).
+    pub swizzle: SwizzleMap,
+    /// True-/anti-cell arrangement.
+    pub polarity: PolarityScheme,
+    /// Disturbance (AIB) physics parameters.
+    pub disturb: DisturbModel,
+    /// In-DRAM TRR-style mitigation engine (disabled on every preset,
+    /// matching the paper's methodology; enable with
+    /// [`ChipProfile::with_trr`]).
+    pub trr: TrrConfig,
+    /// On-die ECC: each RD_data word protected by a Hamming SEC code
+    /// whose parity lives in reserved (non-host-addressable) columns.
+    pub on_die_ecc: bool,
+}
+
+/// A complete chip configuration: public datasheet fields plus the hidden
+/// microarchitecture.
+///
+/// Use the preset constructors (`mfr_a_x4_2016`, …) for the paper's device
+/// population, or [`ChipProfile::test_small`] /
+/// [`ChipProfile::test_small_coupled`] for fast unit tests.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{ChipProfile, Vendor, IoWidth};
+/// let p = ChipProfile::mfr_a_x4_2016();
+/// assert_eq!(p.vendor, Vendor::A);
+/// assert_eq!(p.io_width, IoWidth::X4);
+/// assert_eq!(p.rows_per_bank, 1 << 17);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipProfile {
+    /// Manufacturer.
+    pub vendor: Vendor,
+    /// I/O width / stack type.
+    pub io_width: IoWidth,
+    /// Manufacturing year (Table I).
+    pub year: u16,
+    /// Density in gigabits (8 Gb for all DDR4 parts in Table I).
+    pub density_gbit: u32,
+    /// Banks per chip.
+    pub banks: u32,
+    /// Addressable rows per bank.
+    pub rows_per_bank: u32,
+    /// Data bits per addressable row.
+    pub row_bits: u32,
+    /// Timing parameters.
+    pub timing: TimingParams,
+    pub(crate) hidden: HiddenConfig,
+}
+
+impl ChipProfile {
+    /// A short human-readable identifier, e.g. `"Mfr. A x4 2016"`.
+    pub fn label(&self) -> String {
+        match self.io_width {
+            IoWidth::Hbm2 => format!("{} HBM2 4-Hi", self.vendor),
+            w => format!("{} {} {}", self.vendor, w, self.year),
+        }
+    }
+
+    /// The bank geometry implied by this profile.
+    pub fn bank_geometry(&self) -> BankGeometry {
+        BankGeometry::new(
+            self.rows_per_bank,
+            self.row_bits,
+            self.hidden.mat_width,
+            if self.hidden.coupled { 2 } else { 1 },
+        )
+    }
+
+    /// Host-addressable column addresses per row. With on-die ECC
+    /// enabled, the tail columns are reserved for parity and hidden from
+    /// the host.
+    pub fn cols_per_row(&self) -> u32 {
+        let raw = self.raw_cols_per_row();
+        if self.hidden.on_die_ecc {
+            crate::ecc::data_columns(raw, self.io_width.rd_bits())
+        } else {
+            raw
+        }
+    }
+
+    /// Physical column addresses per row (including any parity columns).
+    pub fn raw_cols_per_row(&self) -> u32 {
+        self.row_bits / self.io_width.rd_bits()
+    }
+
+    fn ddr4_x4(vendor: Vendor, year: u16) -> ChipProfile {
+        ChipProfile {
+            vendor,
+            io_width: IoWidth::X4,
+            year,
+            density_gbit: 8,
+            banks: 16,
+            rows_per_bank: 1 << 17,
+            row_bits: 4096,
+            timing: TimingParams::ddr4(),
+            hidden: HiddenConfig {
+                composition: vec![],
+                edge_interval: 0,
+                coupled: false,
+                mat_width: 512,
+                remap: RowRemap::Identity,
+                swizzle: SwizzleMap::vendor_a(32, 4096, 512),
+                polarity: PolarityScheme::AllTrue,
+                disturb: DisturbModel::default(),
+                trr: TrrConfig::disabled(),
+                on_die_ecc: false,
+            },
+        }
+    }
+
+    fn ddr4_x8(vendor: Vendor, year: u16) -> ChipProfile {
+        ChipProfile {
+            io_width: IoWidth::X8,
+            rows_per_bank: 1 << 16,
+            row_bits: 8192,
+            ..Self::ddr4_x4(vendor, year)
+        }
+    }
+
+    /// Composition `11 × 640 + 2 × 576` rows (per 8192, Table III).
+    fn composition_640() -> Vec<u32> {
+        let mut c = vec![640; 11];
+        c.extend([576, 576]);
+        c
+    }
+
+    /// Composition `4 × 832 + 1 × 768` rows (per 4096, Table III).
+    fn composition_832() -> Vec<u32> {
+        vec![832, 832, 832, 832, 768]
+    }
+
+    /// Composition `2 × 688 + 1 × 672` rows (per 2048, Table III).
+    fn composition_688() -> Vec<u32> {
+        vec![688, 688, 672]
+    }
+
+    /// Composition `1 × 688 + 2 × 680` rows (per 2048, Table III).
+    fn composition_688_680() -> Vec<u32> {
+        vec![688, 680, 680]
+    }
+
+    /// Mfr. A ×4 8 Gb, 2016 (also 2017): 640/576-row subarrays, edge per
+    /// 16 K rows, coupled rows at 64 K distance, internal row remapping.
+    pub fn mfr_a_x4_2016() -> ChipProfile {
+        let mut p = Self::ddr4_x4(Vendor::A, 2016);
+        p.hidden.composition = Self::composition_640();
+        p.hidden.edge_interval = 16 << 10;
+        p.hidden.coupled = true;
+        p.hidden.remap = RowRemap::MfrA;
+        p
+    }
+
+    /// Mfr. A ×4 8 Gb, 2017 — same structure as 2016.
+    pub fn mfr_a_x4_2017() -> ChipProfile {
+        ChipProfile {
+            year: 2017,
+            ..Self::mfr_a_x4_2016()
+        }
+    }
+
+    /// Mfr. A ×4 8 Gb, 2018 (also 2021): 832/768-row subarrays, edge per
+    /// 32 K rows, no coupling, internal row remapping.
+    pub fn mfr_a_x4_2018() -> ChipProfile {
+        let mut p = Self::ddr4_x4(Vendor::A, 2018);
+        p.hidden.composition = Self::composition_832();
+        p.hidden.edge_interval = 32 << 10;
+        p.hidden.coupled = false;
+        p.hidden.remap = RowRemap::MfrA;
+        p
+    }
+
+    /// Mfr. A ×4 8 Gb, 2021 — same structure as 2018.
+    pub fn mfr_a_x4_2021() -> ChipProfile {
+        ChipProfile {
+            year: 2021,
+            ..Self::mfr_a_x4_2018()
+        }
+    }
+
+    /// Mfr. A ×8 8 Gb, 2017 (also 2019): 640/576-row subarrays, edge per
+    /// 16 K rows.
+    pub fn mfr_a_x8_2017() -> ChipProfile {
+        let mut p = Self::ddr4_x8(Vendor::A, 2017);
+        p.hidden.composition = Self::composition_640();
+        p.hidden.edge_interval = 16 << 10;
+        p.hidden.remap = RowRemap::MfrA;
+        p.hidden.swizzle = SwizzleMap::vendor_a(64, 8192, 512);
+        p
+    }
+
+    /// Mfr. A ×8 8 Gb, 2019 — same structure as 2017.
+    pub fn mfr_a_x8_2019() -> ChipProfile {
+        ChipProfile {
+            year: 2019,
+            ..Self::mfr_a_x8_2017()
+        }
+    }
+
+    /// Mfr. A ×8 8 Gb, 2018: 832/768-row subarrays, edge per 32 K rows.
+    pub fn mfr_a_x8_2018() -> ChipProfile {
+        let mut p = Self::ddr4_x8(Vendor::A, 2018);
+        p.hidden.composition = Self::composition_832();
+        p.hidden.edge_interval = 32 << 10;
+        p.hidden.remap = RowRemap::MfrA;
+        p.hidden.swizzle = SwizzleMap::vendor_a(64, 8192, 512);
+        p
+    }
+
+    /// Mfr. B ×4 8 Gb, 2019: 832/768-row subarrays, edge per 32 K rows,
+    /// coupled rows at 64 K distance, no internal remapping.
+    pub fn mfr_b_x4_2019() -> ChipProfile {
+        let mut p = Self::ddr4_x4(Vendor::B, 2019);
+        p.hidden.composition = Self::composition_832();
+        p.hidden.edge_interval = 32 << 10;
+        p.hidden.coupled = true;
+        p.hidden.mat_width = 1024;
+        p.hidden.swizzle = SwizzleMap::vendor_b(32, 4096, 1024);
+        p
+    }
+
+    /// Mfr. B ×8 8 Gb, 2017 (also 2018, 2019): 832/768-row subarrays, edge
+    /// per 32 K rows.
+    pub fn mfr_b_x8_2017() -> ChipProfile {
+        let mut p = Self::ddr4_x8(Vendor::B, 2017);
+        p.hidden.composition = Self::composition_832();
+        p.hidden.edge_interval = 32 << 10;
+        p.hidden.mat_width = 1024;
+        p.hidden.swizzle = SwizzleMap::vendor_b(64, 8192, 1024);
+        p
+    }
+
+    /// Mfr. B ×8 8 Gb, 2018 — same structure as 2017.
+    pub fn mfr_b_x8_2018() -> ChipProfile {
+        ChipProfile {
+            year: 2018,
+            ..Self::mfr_b_x8_2017()
+        }
+    }
+
+    /// Mfr. B ×8 8 Gb, 2019 — same structure as 2017.
+    pub fn mfr_b_x8_2019() -> ChipProfile {
+        ChipProfile {
+            year: 2019,
+            ..Self::mfr_b_x8_2017()
+        }
+    }
+
+    /// Mfr. C ×4 8 Gb, 2018 (also 2021): 688/672-row subarrays, edge per
+    /// 32 K rows, true-/anti-cell interleaving, no remapping.
+    pub fn mfr_c_x4_2018() -> ChipProfile {
+        let mut p = Self::ddr4_x4(Vendor::C, 2018);
+        p.hidden.composition = Self::composition_688();
+        p.hidden.edge_interval = 32 << 10;
+        p.hidden.swizzle = SwizzleMap::vendor_c(32, 4096, 512);
+        p.hidden.polarity = PolarityScheme::SubarrayInterleaved;
+        p
+    }
+
+    /// Mfr. C ×4 8 Gb, 2021 — same structure as 2018.
+    pub fn mfr_c_x4_2021() -> ChipProfile {
+        ChipProfile {
+            year: 2021,
+            ..Self::mfr_c_x4_2018()
+        }
+    }
+
+    /// Mfr. C ×8 8 Gb, 2016: 688/680-row subarrays, edge per 4 K rows.
+    pub fn mfr_c_x8_2016() -> ChipProfile {
+        let mut p = Self::ddr4_x8(Vendor::C, 2016);
+        p.hidden.composition = Self::composition_688_680();
+        p.hidden.edge_interval = 4 << 10;
+        p.hidden.swizzle = SwizzleMap::vendor_c(64, 8192, 512);
+        p.hidden.polarity = PolarityScheme::SubarrayInterleaved;
+        p
+    }
+
+    /// Mfr. C ×8 8 Gb, 2019: 688/672-row subarrays, edge per 32 K rows.
+    pub fn mfr_c_x8_2019() -> ChipProfile {
+        let mut p = Self::ddr4_x8(Vendor::C, 2019);
+        p.hidden.composition = Self::composition_688();
+        p.hidden.edge_interval = 32 << 10;
+        p.hidden.swizzle = SwizzleMap::vendor_c(64, 8192, 512);
+        p.hidden.polarity = PolarityScheme::SubarrayInterleaved;
+        p
+    }
+
+    /// Mfr. A HBM2 4-Hi stack (per pseudo-channel model): 832/768-row
+    /// subarrays, edge per 8 K rows, coupled rows at 8 K distance.
+    pub fn hbm2_mfr_a() -> ChipProfile {
+        ChipProfile {
+            vendor: Vendor::A,
+            io_width: IoWidth::Hbm2,
+            year: 0,
+            density_gbit: 32,
+            banks: 16,
+            rows_per_bank: 1 << 14,
+            row_bits: 8192,
+            timing: TimingParams::hbm2(),
+            hidden: HiddenConfig {
+                composition: Self::composition_832(),
+                edge_interval: 8 << 10,
+                coupled: true,
+                mat_width: 512,
+                remap: RowRemap::MfrA,
+                swizzle: SwizzleMap::vendor_a(64, 8192, 512),
+                polarity: PolarityScheme::AllTrue,
+                disturb: DisturbModel::default(),
+                trr: TrrConfig::disabled(),
+                on_die_ecc: false,
+            },
+        }
+    }
+
+    /// A small, fast profile for unit tests: 2048 rows, 256-bit rows,
+    /// subarrays of 40/24 wordlines, edge segments of 256 wordlines.
+    pub fn test_small() -> ChipProfile {
+        ChipProfile {
+            vendor: Vendor::B,
+            io_width: IoWidth::X4,
+            year: 0,
+            density_gbit: 0,
+            banks: 2,
+            rows_per_bank: 2048,
+            row_bits: 256,
+            timing: TimingParams::ddr4(),
+            hidden: HiddenConfig {
+                composition: vec![40, 24],
+                edge_interval: 256,
+                coupled: false,
+                mat_width: 64,
+                remap: RowRemap::Identity,
+                swizzle: SwizzleMap::vendor_a(32, 256, 64),
+                polarity: PolarityScheme::AllTrue,
+                disturb: DisturbModel::default(),
+                trr: TrrConfig::disabled(),
+                on_die_ecc: false,
+            },
+        }
+    }
+
+    /// Like [`test_small`](Self::test_small) but with the Mfr. B swizzle
+    /// style (stride interleave).
+    pub fn test_small_vendor_b() -> ChipProfile {
+        let mut p = Self::test_small();
+        p.hidden.swizzle = SwizzleMap::vendor_b(32, 256, 64);
+        p
+    }
+
+    /// Like [`test_small`](Self::test_small) but with the Mfr. C swizzle
+    /// style (contiguous nibbles, pair swap).
+    pub fn test_small_vendor_c() -> ChipProfile {
+        let mut p = Self::test_small();
+        p.hidden.swizzle = SwizzleMap::vendor_c(32, 256, 64);
+        p
+    }
+
+    /// Like [`test_small`](Self::test_small) but with Mfr. C-style
+    /// true-/anti-cell interleaving at subarray granularity.
+    pub fn test_small_interleaved() -> ChipProfile {
+        let mut p = Self::test_small();
+        p.vendor = Vendor::C;
+        p.hidden.polarity = PolarityScheme::SubarrayInterleaved;
+        p.hidden.swizzle = SwizzleMap::vendor_c(32, 256, 64);
+        p
+    }
+
+    /// Like [`test_small`](Self::test_small) but with coupled rows and
+    /// Mfr. A-style internal remapping.
+    pub fn test_small_coupled() -> ChipProfile {
+        let mut p = Self::test_small();
+        p.vendor = Vendor::A;
+        p.row_bits = 128;
+        p.hidden.coupled = true;
+        p.hidden.mat_width = 32;
+        p.hidden.remap = RowRemap::MfrA;
+        p.hidden.swizzle = SwizzleMap::vendor_a(32, 128, 32);
+        p
+    }
+
+    /// Returns this profile with on-die ECC enabled: the host loses the
+    /// tail columns to parity, and single-cell errors become invisible.
+    pub fn with_on_die_ecc(mut self) -> ChipProfile {
+        self.hidden.on_die_ecc = true;
+        self
+    }
+
+    /// Returns this profile with an in-DRAM TRR engine enabled
+    /// (`entries` sampler slots, one mitigation per `REF`/`RFM`).
+    pub fn with_trr(mut self, entries: usize) -> ChipProfile {
+        self.hidden.trr = TrrConfig::typical_trr(entries);
+        self
+    }
+
+    /// All Table I-style presets, one per distinct structure.
+    pub fn all_presets() -> Vec<ChipProfile> {
+        vec![
+            Self::mfr_a_x4_2016(),
+            Self::mfr_a_x4_2017(),
+            Self::mfr_a_x4_2018(),
+            Self::mfr_a_x4_2021(),
+            Self::mfr_a_x8_2017(),
+            Self::mfr_a_x8_2018(),
+            Self::mfr_a_x8_2019(),
+            Self::mfr_b_x4_2019(),
+            Self::mfr_b_x8_2017(),
+            Self::mfr_b_x8_2018(),
+            Self::mfr_b_x8_2019(),
+            Self::mfr_c_x4_2018(),
+            Self::mfr_c_x4_2021(),
+            Self::mfr_c_x8_2016(),
+            Self::mfr_c_x8_2019(),
+            Self::hbm2_mfr_a(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compositions_sum_to_their_blocks() {
+        assert_eq!(ChipProfile::composition_640().iter().sum::<u32>(), 8192);
+        assert_eq!(ChipProfile::composition_832().iter().sum::<u32>(), 4096);
+        assert_eq!(ChipProfile::composition_688().iter().sum::<u32>(), 2048);
+        assert_eq!(ChipProfile::composition_688_680().iter().sum::<u32>(), 2048);
+    }
+
+    #[test]
+    fn every_preset_has_consistent_geometry() {
+        for p in ChipProfile::all_presets() {
+            let g = p.bank_geometry();
+            let block: u32 = p.hidden.composition.iter().sum();
+            assert_eq!(
+                p.hidden.edge_interval % block,
+                0,
+                "{}: edge interval {} not a multiple of block {block}",
+                p.label(),
+                p.hidden.edge_interval
+            );
+            assert_eq!(
+                g.wordlines() % p.hidden.edge_interval,
+                0,
+                "{}: wordlines {} not a multiple of segment {}",
+                p.label(),
+                g.wordlines(),
+                p.hidden.edge_interval
+            );
+            assert_eq!(g.cells_per_wordline() % p.hidden.mat_width, 0);
+            assert_eq!(p.row_bits % p.io_width.rd_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn coupled_presets_match_table_iii() {
+        assert_eq!(
+            ChipProfile::mfr_a_x4_2016()
+                .bank_geometry()
+                .coupled_row_distance(),
+            Some(64 << 10)
+        );
+        assert_eq!(
+            ChipProfile::mfr_b_x4_2019()
+                .bank_geometry()
+                .coupled_row_distance(),
+            Some(64 << 10)
+        );
+        assert_eq!(
+            ChipProfile::hbm2_mfr_a()
+                .bank_geometry()
+                .coupled_row_distance(),
+            Some(8 << 10)
+        );
+        assert_eq!(
+            ChipProfile::mfr_a_x4_2018()
+                .bank_geometry()
+                .coupled_row_distance(),
+            None
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = ChipProfile::all_presets()
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn test_profiles_are_small() {
+        let p = ChipProfile::test_small();
+        assert!(p.rows_per_bank <= 4096);
+        let g = p.bank_geometry();
+        assert_eq!(g.wordlines() % p.hidden.edge_interval, 0);
+        let pc = ChipProfile::test_small_coupled();
+        assert!(pc.bank_geometry().has_coupled_rows());
+        assert_eq!(
+            pc.bank_geometry().wordlines() % pc.hidden.edge_interval,
+            0
+        );
+    }
+}

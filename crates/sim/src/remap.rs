@@ -1,0 +1,110 @@
+//! Internal row-address remapping (common pitfall 2, paper §III-C).
+//!
+//! Some vendors' row decoders scramble the order in which pin-level row
+//! addresses map onto physical wordlines. The paper found that only
+//! Mfr. A's DDR4 and HBM2 parts remap internally; Mfr. B and Mfr. C
+//! preserve sequential order.
+
+use crate::geometry::LogicalRow;
+
+/// A chip's internal logical→physical row mapping.
+///
+/// The mapping is an involution in the Mfr. A style modeled here, but the
+/// API keeps separate [`to_physical`](RowRemap::to_physical) and
+/// [`to_logical`](RowRemap::to_logical) directions so other schemes can be
+/// added.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::{RowRemap, LogicalRow};
+/// let remap = RowRemap::MfrA;
+/// let phys = remap.to_physical(LogicalRow(6));
+/// assert_eq!(remap.to_logical(phys), LogicalRow(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowRemap {
+    /// Sequential mapping (Mfr. B, Mfr. C).
+    #[default]
+    Identity,
+    /// Mfr. A-style scramble: within every block of 8 rows, the upper half
+    /// is bit-twisted (`row XOR 0b011` when bit 2 is set). This mirrors the
+    /// MSB-conditional XOR remap reported for real vendor-A parts: rows
+    /// appear sequential to the host but physical adjacency differs inside
+    /// each 8-row block.
+    MfrA,
+}
+
+impl RowRemap {
+    /// Maps a pin-level row address to the physical wordline-order address.
+    pub fn to_physical(self, row: LogicalRow) -> LogicalRow {
+        match self {
+            RowRemap::Identity => row,
+            RowRemap::MfrA => {
+                if row.0 & 0b100 != 0 {
+                    LogicalRow(row.0 ^ 0b011)
+                } else {
+                    row
+                }
+            }
+        }
+    }
+
+    /// Maps a physical wordline-order address back to the pin-level row.
+    pub fn to_logical(self, row: LogicalRow) -> LogicalRow {
+        // Both supported schemes are involutions.
+        self.to_physical(row)
+    }
+
+    /// `true` if the scheme permutes at least one address.
+    pub fn is_remapping(self) -> bool {
+        self != RowRemap::Identity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        for r in 0..64 {
+            assert_eq!(
+                RowRemap::Identity.to_physical(LogicalRow(r)),
+                LogicalRow(r)
+            );
+        }
+    }
+
+    #[test]
+    fn mfr_a_is_a_bijection_within_blocks() {
+        let mut seen = [false; 16];
+        for r in 0..16u32 {
+            let p = RowRemap::MfrA.to_physical(LogicalRow(r)).0 as usize;
+            assert!(p < 16, "remap escaped its block");
+            assert!(!seen[p], "collision at {p}");
+            seen[p] = true;
+            assert_eq!(p / 8, (r / 8) as usize, "remap crossed an 8-row block");
+        }
+    }
+
+    #[test]
+    fn mfr_a_round_trips() {
+        for r in 0..1024u32 {
+            let p = RowRemap::MfrA.to_physical(LogicalRow(r));
+            assert_eq!(RowRemap::MfrA.to_logical(p), LogicalRow(r));
+        }
+    }
+
+    #[test]
+    fn mfr_a_changes_adjacency() {
+        // Pin rows 3 and 4 are NOT physically adjacent under the scramble
+        // (pin 4 lands on physical 7).
+        let p3 = RowRemap::MfrA.to_physical(LogicalRow(3)).0;
+        let p4 = RowRemap::MfrA.to_physical(LogicalRow(4)).0;
+        assert_eq!(p4, 7);
+        assert_ne!(p3.abs_diff(p4), 1);
+        assert!(RowRemap::MfrA.is_remapping());
+        assert!(!RowRemap::Identity.is_remapping());
+    }
+}

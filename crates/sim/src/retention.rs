@@ -1,0 +1,162 @@
+//! Data-retention physics (paper §III-B).
+//!
+//! Each cell leaks charge and decays from its charged state to its
+//! discharged state unless refreshed. Retention times follow a wide
+//! lognormal across cells (the classic retention-tail distribution) and
+//! halve for every fixed temperature increase, so the retention test can
+//! be accelerated by heating — exactly how the paper's testbed separates
+//! true-cells from anti-cells.
+
+use crate::rng::inverse_normal_cdf;
+use crate::time::Time;
+
+/// The retention-time distribution of a chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Median retention time at the reference temperature, in seconds.
+    pub median_s: f64,
+    /// Lognormal sigma (natural-log units).
+    pub sigma: f64,
+    /// Reference temperature in °C (the paper tests DDR4 at 75 °C).
+    pub ref_temp_c: f64,
+    /// Temperature step that halves retention, in °C.
+    pub halving_c: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        RetentionModel {
+            median_s: 300.0,
+            sigma: 1.2,
+            ref_temp_c: 75.0,
+            halving_c: 10.0,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// The retention time of a cell with process variate `u ∈ (0,1)` at
+    /// temperature `temp_c`, in seconds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dram_sim::retention::RetentionModel;
+    /// let m = RetentionModel::default();
+    /// // Hotter chips retain for less time.
+    /// assert!(m.retention_time_s(0.5, 85.0) < m.retention_time_s(0.5, 75.0));
+    /// ```
+    pub fn retention_time_s(&self, u: f64, temp_c: f64) -> f64 {
+        let z = inverse_normal_cdf(u);
+        let at_ref = self.median_s * (self.sigma * z).exp();
+        at_ref * 2f64.powf((self.ref_temp_c - temp_c) / self.halving_c)
+    }
+
+    /// Whether a charged cell with variate `u` has decayed after holding
+    /// its charge for `elapsed` at `temp_c`.
+    pub fn fails(&self, u: f64, temp_c: f64, elapsed: Time) -> bool {
+        let elapsed_s = elapsed.as_ps() as f64 / 1e12;
+        elapsed_s > self.retention_time_s(u, temp_c)
+    }
+
+    /// The expected failing fraction after `elapsed` at `temp_c`
+    /// (the lognormal CDF). Useful for calibrating tests analytically.
+    pub fn expected_fail_fraction(&self, temp_c: f64, elapsed: Time) -> f64 {
+        let elapsed_s = elapsed.as_ps() as f64 / 1e12;
+        if elapsed_s <= 0.0 {
+            return 0.0;
+        }
+        let scaled_median =
+            self.median_s * 2f64.powf((self.ref_temp_c - temp_c) / self.halving_c);
+        let z = (elapsed_s / scaled_median).ln() / self.sigma;
+        normal_cdf(z)
+    }
+}
+
+/// Standard normal CDF via `erf`-free Abramowitz–Stegun approximation.
+fn normal_cdf(z: f64) -> f64 {
+    // Zelen & Severo 26.2.17, |error| < 7.5e-8.
+    let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let upper = pdf * poly;
+    if z >= 0.0 {
+        1.0 - upper
+    } else {
+        upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_cell_retains_for_the_median_time() {
+        let m = RetentionModel::default();
+        let t = m.retention_time_s(0.5, m.ref_temp_c);
+        assert!((t - m.median_s).abs() / m.median_s < 1e-6);
+    }
+
+    #[test]
+    fn weak_cells_fail_sooner() {
+        let m = RetentionModel::default();
+        assert!(m.retention_time_s(0.01, 75.0) < m.retention_time_s(0.99, 75.0));
+    }
+
+    #[test]
+    fn heating_accelerates_failures() {
+        let m = RetentionModel::default();
+        let wait = Time::from_ms(120_000);
+        assert!(
+            m.expected_fail_fraction(85.0, wait) > m.expected_fail_fraction(45.0, wait),
+            "hotter must fail more"
+        );
+    }
+
+    #[test]
+    fn fails_is_consistent_with_retention_time() {
+        let m = RetentionModel::default();
+        let u = 0.2;
+        let t = m.retention_time_s(u, 75.0);
+        let just_under = Time::from_ps((t * 1e12 * 0.99) as u64);
+        let just_over = Time::from_ps((t * 1e12 * 1.01) as u64);
+        assert!(!m.fails(u, 75.0, just_under));
+        assert!(m.fails(u, 75.0, just_over));
+    }
+
+    #[test]
+    fn expected_fraction_matches_empirical() {
+        let m = RetentionModel::default();
+        let wait = Time::from_ms(120_000);
+        let n = 50_000;
+        let empirical = (0..n)
+            .filter(|&i| {
+                let u = crate::rng::unit_open(11, i, 0, 0, 0);
+                m.fails(u, 75.0, wait)
+            })
+            .count() as f64
+            / n as f64;
+        let expected = m.expected_fail_fraction(75.0, wait);
+        assert!(
+            (empirical - expected).abs() < 0.01,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn normal_cdf_sane() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn no_failures_at_zero_elapsed() {
+        let m = RetentionModel::default();
+        assert_eq!(m.expected_fail_fraction(75.0, Time::ZERO), 0.0);
+        assert!(!m.fails(0.5, 75.0, Time::ZERO));
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic pseudo-random variates for the device model.
+//!
+//! Every stochastic element of the simulated silicon — per-cell disturbance
+//! thresholds, retention times, process variation — is derived from a
+//! `(seed, coordinates)` tuple through a SplitMix64-style mixer. This makes
+//! a simulated chip behave like a *specific* piece of silicon: the same weak
+//! cells flip first on every run, which mirrors real DRAM and lets the test
+//! suite assert exact discovered structures.
+
+/// Mixes a 64-bit value with the SplitMix64 finalizer.
+///
+/// This is the standard avalanche mixer from Vigna's `splitmix64`; it is
+/// bijective and passes BigCrush when used as a counter-based generator.
+///
+/// # Example
+///
+/// ```
+/// let a = dram_sim::rng::mix64(1);
+/// let b = dram_sim::rng::mix64(2);
+/// assert_ne!(a, b);
+/// ```
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines a seed with up to four coordinate words into one 64-bit hash.
+///
+/// The combination is a short Merkle–Damgård chain over [`mix64`], so every
+/// coordinate influences every output bit.
+#[inline]
+pub fn hash_coords(seed: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut h = mix64(seed ^ 0xD1B5_4A32_D192_ED03);
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    mix64(h ^ d)
+}
+
+/// Returns a uniform variate in the open interval `(0, 1)`.
+///
+/// The value is never exactly `0.0` or `1.0`, so it is safe to use in
+/// power-law transforms (`u.powf(gamma)`) and logarithms.
+#[inline]
+pub fn unit_open(seed: u64, a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let h = hash_coords(seed, a, b, c, d);
+    // 53 random mantissa bits, then shift into (0, 1).
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    // Clamp away from exact zero; 2^-60 is far below any quantile we use.
+    u.max(8.67e-19)
+}
+
+/// A small counter-based generator for streams of variates.
+///
+/// `StreamRng` is used where the device model needs *sequences* (for
+/// example, shuffling) rather than coordinate-addressed single variates.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::rng::StreamRng;
+/// let mut rng = StreamRng::new(7);
+/// let x = rng.next_u64();
+/// let y = rng.next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRng {
+    state: u64,
+}
+
+impl StreamRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: mix64(seed ^ 0xA076_1D64_78BD_642F),
+        }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift reduction; slight modulo bias is
+        // irrelevant for the shuffles this is used for.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `(0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        let h = self.next_u64();
+        ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(8.67e-19)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Approximates the standard normal inverse CDF (Acklam's method).
+///
+/// Used by the retention model to draw lognormal retention times from the
+/// coordinate-addressed uniform variates. Absolute error is below 1.15e-9
+/// over the full open unit interval.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+#[allow(clippy::excessive_precision)]
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic() {
+        assert_eq!(mix64(12345), mix64(12345));
+        assert_ne!(mix64(12345), mix64(12346));
+    }
+
+    #[test]
+    fn hash_coords_distinguishes_every_coordinate() {
+        let base = hash_coords(1, 2, 3, 4, 5);
+        assert_ne!(base, hash_coords(9, 2, 3, 4, 5));
+        assert_ne!(base, hash_coords(1, 9, 3, 4, 5));
+        assert_ne!(base, hash_coords(1, 2, 9, 4, 5));
+        assert_ne!(base, hash_coords(1, 2, 3, 9, 5));
+        assert_ne!(base, hash_coords(1, 2, 3, 4, 9));
+    }
+
+    #[test]
+    fn unit_open_is_in_open_interval() {
+        for i in 0..10_000 {
+            let u = unit_open(7, i, 0, 0, 0);
+            assert!(u > 0.0 && u < 1.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn unit_open_mean_is_near_half() {
+        let n = 100_000u64;
+        let sum: f64 = (0..n).map(|i| unit_open(3, i, 1, 2, 3)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn stream_rng_shuffle_is_a_permutation() {
+        let mut rng = StreamRng::new(99);
+        let mut items: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(items, (0..64).collect::<Vec<_>>(), "shuffle did nothing");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = StreamRng::new(5);
+        for _ in 0..1000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn inverse_normal_cdf_hits_known_quantiles() {
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-8);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_is_monotonic() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let p = i as f64 / 1000.0;
+            let x = inverse_normal_cdf(p);
+            assert!(x > prev);
+            prev = x;
+        }
+    }
+}

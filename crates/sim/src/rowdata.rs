@@ -1,0 +1,220 @@
+//! Dense bit storage for row contents.
+
+use std::fmt;
+
+/// A fixed-width bit vector holding the data of one addressable row
+/// (or one whole wordline).
+///
+/// Bit index 0 is the physically leftmost cell of the region the vector
+/// covers.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::rowdata::RowBits;
+/// let mut row = RowBits::zeros(128);
+/// row.set(5, true);
+/// assert!(row.get(5));
+/// assert_eq!(row.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RowBits {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl RowBits {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: u32) -> Self {
+        RowBits {
+            words: vec![0; len.div_ceil(64) as usize],
+            len,
+        }
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: u32) -> Self {
+        let mut r = Self::zeros(len);
+        r.fill(true);
+        r
+    }
+
+    /// Creates a vector by repeating an 8-bit pattern (LSB first).
+    pub fn from_byte_pattern(len: u32, pattern: u8) -> Self {
+        let mut r = Self::zeros(len);
+        for i in 0..len {
+            r.set(i, pattern & (1 << (i % 8)) != 0);
+        }
+        r
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` if the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: u32, v: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips bit `i` and returns its new value.
+    pub fn toggle(&mut self, i: u32) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Sets every bit to `v`.
+    pub fn fill(&mut self, v: bool) {
+        let word = if v { u64::MAX } else { 0 };
+        for w in &mut self.words {
+            *w = word;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Indices where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn diff_indices(&self, other: &RowBits) -> Vec<u32> {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut out = Vec::new();
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut x = a ^ b;
+            while x != 0 {
+                let bit = x.trailing_zeros();
+                out.push(wi as u32 * 64 + bit);
+                x &= x - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of differing bits.
+    pub fn hamming(&self, other: &RowBits) -> u32 {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Returns a bit-inverted copy.
+    pub fn inverted(&self) -> RowBits {
+        let mut r = self.clone();
+        for w in &mut r.words {
+            *w = !*w;
+        }
+        r.mask_tail();
+        r
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RowBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowBits[{} bits, {} ones]", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = RowBits::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        let o = RowBits::ones(100);
+        assert_eq!(o.count_ones(), 100);
+    }
+
+    #[test]
+    fn set_get_toggle() {
+        let mut r = RowBits::zeros(70);
+        r.set(69, true);
+        assert!(r.get(69));
+        assert!(!r.get(68));
+        assert!(!r.toggle(69));
+        assert_eq!(r.count_ones(), 0);
+    }
+
+    #[test]
+    fn byte_pattern_repeats() {
+        let r = RowBits::from_byte_pattern(32, 0x33);
+        // 0x33 = 0b0011_0011 → bits 0,1,4,5 set per byte.
+        for i in 0..32 {
+            assert_eq!(r.get(i), matches!(i % 8, 0 | 1 | 4 | 5), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn diff_and_hamming_agree() {
+        let mut a = RowBits::zeros(130);
+        let b = RowBits::zeros(130);
+        a.set(0, true);
+        a.set(64, true);
+        a.set(129, true);
+        assert_eq!(a.diff_indices(&b), vec![0, 64, 129]);
+        assert_eq!(a.hamming(&b), 3);
+    }
+
+    #[test]
+    fn inverted_respects_tail() {
+        let r = RowBits::zeros(70);
+        let inv = r.inverted();
+        assert_eq!(inv.count_ones(), 70);
+        assert_eq!(inv.inverted(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        RowBits::zeros(8).get(8);
+    }
+}

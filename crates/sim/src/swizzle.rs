@@ -1,0 +1,323 @@
+//! Intra-chip data swizzling (paper §IV-A, O1).
+//!
+//! The bits of one RD_data burst are not stored contiguously: they are
+//! collected from multiple MATs and reorganized on the way to the I/O pins
+//! (paper Fig. 7). Each vendor style in this module defines a bijection
+//!
+//! ```text
+//! (column address, RD_data bit) ⇄ physical bitline within the row
+//! ```
+//!
+//! composed of a *bit→MAT assignment* and an *intra-group permutation*.
+//! The concrete permutations are model choices (the paper could not recover
+//! the physical MAT ordering either); what matters for the reproduction is
+//! that the mapping is non-trivial, vendor-specific, spreads one RD_data
+//! over many MATs, and is recoverable by the DRAMScope pipeline.
+
+use crate::geometry::Bitline;
+
+/// Vendor flavor of the swizzle bijection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwizzleStyle {
+    /// Mfr. A: paired-bit interleave across MATs
+    /// (`mat = (b mod 2·mats) / 2`), bit-reversal within the group.
+    VendorA,
+    /// Mfr. B: stride interleave (`mat = b mod mats`), bit-reversal of the
+    /// slot XOR 1 within the group.
+    VendorB,
+    /// Mfr. C: contiguous nibbles (`mat = b / bits_per_mat`), pair-swap
+    /// within the group.
+    VendorC,
+    /// No swizzling: bit `b` of column `c` sits at bitline `c·rd + b`.
+    /// Not used by any preset; useful as an experimental control.
+    Identity,
+}
+
+/// A concrete swizzle bijection for one chip.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::swizzle::{SwizzleMap, SwizzleStyle};
+/// let s = SwizzleMap::new(SwizzleStyle::VendorA, 32, 4096, 512);
+/// let bl = s.bitline_of(3, 17);
+/// let (col, bit) = s.rd_bit_of(bl);
+/// assert_eq!((col, bit), (3, 17));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwizzleMap {
+    style: SwizzleStyle,
+    rd_bits: u32,
+    row_bits: u32,
+    mat_width: u32,
+    mats: u32,
+    bits_per_mat: u32,
+}
+
+fn bit_reverse(x: u32, bits: u32) -> u32 {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (32 - bits)
+}
+
+impl SwizzleMap {
+    /// Creates a swizzle map.
+    ///
+    /// `rd_bits` is the RD_data width of the chip, `row_bits` the data bits
+    /// per addressable row, `mat_width` the (hidden) MAT width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not tile: `row_bits` must be a multiple
+    /// of `mat_width` and of `rd_bits`, every MAT must receive the same
+    /// number of bits per RD_data, and the group size must be a power of
+    /// two (all real configurations satisfy this).
+    pub fn new(style: SwizzleStyle, rd_bits: u32, row_bits: u32, mat_width: u32) -> Self {
+        assert!(rd_bits > 0 && row_bits > 0 && mat_width > 0);
+        assert_eq!(row_bits % mat_width, 0, "row must tile into MATs");
+        assert_eq!(row_bits % rd_bits, 0, "row must tile into RD_data bursts");
+        let mats = row_bits / mat_width;
+        assert_eq!(rd_bits % mats, 0, "RD_data must spread evenly over MATs");
+        let bits_per_mat = rd_bits / mats;
+        assert!(
+            bits_per_mat.is_power_of_two(),
+            "group size must be a power of two"
+        );
+        if style == SwizzleStyle::VendorA {
+            assert_eq!(rd_bits % (2 * mats), 0, "vendor A needs paired groups");
+        }
+        SwizzleMap {
+            style,
+            rd_bits,
+            row_bits,
+            mat_width,
+            mats,
+            bits_per_mat,
+        }
+    }
+
+    /// Mfr. A-style map.
+    pub fn vendor_a(rd_bits: u32, row_bits: u32, mat_width: u32) -> Self {
+        Self::new(SwizzleStyle::VendorA, rd_bits, row_bits, mat_width)
+    }
+
+    /// Mfr. B-style map.
+    pub fn vendor_b(rd_bits: u32, row_bits: u32, mat_width: u32) -> Self {
+        Self::new(SwizzleStyle::VendorB, rd_bits, row_bits, mat_width)
+    }
+
+    /// Mfr. C-style map.
+    pub fn vendor_c(rd_bits: u32, row_bits: u32, mat_width: u32) -> Self {
+        Self::new(SwizzleStyle::VendorC, rd_bits, row_bits, mat_width)
+    }
+
+    /// RD_data width in bits.
+    pub fn rd_bits(&self) -> u32 {
+        self.rd_bits
+    }
+
+    /// MATs spanned by one addressable row.
+    pub fn mats(&self) -> u32 {
+        self.mats
+    }
+
+    /// Bits each MAT contributes to one RD_data.
+    pub fn bits_per_mat(&self) -> u32 {
+        self.bits_per_mat
+    }
+
+    /// The swizzle style.
+    pub fn style(&self) -> SwizzleStyle {
+        self.style
+    }
+
+    fn group_of(&self, bit: u32) -> (u32, u32) {
+        let m = self.mats;
+        let k = self.bits_per_mat;
+        match self.style {
+            SwizzleStyle::VendorA => ((bit % (2 * m)) / 2, (bit / (2 * m)) * 2 + (bit % 2)),
+            SwizzleStyle::VendorB => (bit % m, bit / m),
+            SwizzleStyle::VendorC | SwizzleStyle::Identity => (bit / k, bit % k),
+        }
+    }
+
+    fn slot_to_pos(&self, slot: u32) -> u32 {
+        let k = self.bits_per_mat;
+        let lg = k.trailing_zeros();
+        match self.style {
+            SwizzleStyle::VendorA => bit_reverse(slot, lg),
+            SwizzleStyle::VendorB => bit_reverse(slot ^ 1, lg),
+            SwizzleStyle::VendorC => {
+                if k >= 2 {
+                    slot ^ 1
+                } else {
+                    slot
+                }
+            }
+            SwizzleStyle::Identity => slot,
+        }
+    }
+
+    fn pos_to_slot(&self, pos: u32) -> u32 {
+        let k = self.bits_per_mat;
+        let lg = k.trailing_zeros();
+        match self.style {
+            SwizzleStyle::VendorA => bit_reverse(pos, lg),
+            SwizzleStyle::VendorB => bit_reverse(pos, lg) ^ 1,
+            SwizzleStyle::VendorC => {
+                if k >= 2 {
+                    pos ^ 1
+                } else {
+                    pos
+                }
+            }
+            SwizzleStyle::Identity => pos,
+        }
+    }
+
+    /// Physical bitline (within the row's half of the wordline) that stores
+    /// `bit` of the RD_data at column address `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= rd_bits` or the column is out of range.
+    pub fn bitline_of(&self, col: u32, bit: u32) -> Bitline {
+        assert!(bit < self.rd_bits, "bit {bit} out of range");
+        assert!(col < self.row_bits / self.rd_bits, "col {col} out of range");
+        if self.style == SwizzleStyle::Identity {
+            return Bitline(col * self.rd_bits + bit);
+        }
+        let (mat, slot) = self.group_of(bit);
+        let pos = self.slot_to_pos(slot);
+        Bitline(mat * self.mat_width + col * self.bits_per_mat + pos)
+    }
+
+    /// Inverse of [`bitline_of`](Self::bitline_of): the `(column, bit)` that
+    /// a physical bitline belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitline is outside the row.
+    pub fn rd_bit_of(&self, bl: Bitline) -> (u32, u32) {
+        assert!(bl.0 < self.row_bits, "bitline {bl} out of range");
+        if self.style == SwizzleStyle::Identity {
+            return (bl.0 / self.rd_bits, bl.0 % self.rd_bits);
+        }
+        let mat = bl.0 / self.mat_width;
+        let within = bl.0 % self.mat_width;
+        let col = within / self.bits_per_mat;
+        let pos = within % self.bits_per_mat;
+        let slot = self.pos_to_slot(pos);
+        let m = self.mats;
+        let bit = match self.style {
+            SwizzleStyle::VendorA => (slot / 2) * 2 * m + mat * 2 + (slot % 2),
+            SwizzleStyle::VendorB => slot * m + mat,
+            SwizzleStyle::VendorC | SwizzleStyle::Identity => mat * self.bits_per_mat + slot,
+        };
+        (col, bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn styles() -> Vec<SwizzleMap> {
+        vec![
+            SwizzleMap::vendor_a(32, 4096, 512),
+            SwizzleMap::vendor_b(32, 4096, 1024),
+            SwizzleMap::vendor_c(32, 4096, 512),
+            SwizzleMap::vendor_a(64, 8192, 512),
+            SwizzleMap::vendor_b(64, 8192, 1024),
+            SwizzleMap::vendor_c(64, 8192, 512),
+            SwizzleMap::new(SwizzleStyle::Identity, 32, 4096, 512),
+            SwizzleMap::vendor_a(32, 256, 64),
+            SwizzleMap::vendor_a(32, 128, 32),
+        ]
+    }
+
+    #[test]
+    fn round_trips_for_every_style() {
+        for s in styles() {
+            let cols = s.row_bits / s.rd_bits;
+            for col in 0..cols.min(8) {
+                for bit in 0..s.rd_bits {
+                    let bl = s.bitline_of(col, bit);
+                    assert_eq!(
+                        s.rd_bit_of(bl),
+                        (col, bit),
+                        "style {:?} col {col} bit {bit}",
+                        s.style
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_is_a_bijection_over_the_row() {
+        for s in styles() {
+            let cols = s.row_bits / s.rd_bits;
+            let mut seen = vec![false; s.row_bits as usize];
+            for col in 0..cols {
+                for bit in 0..s.rd_bits {
+                    let bl = s.bitline_of(col, bit);
+                    assert!(!seen[bl.0 as usize], "style {:?} duplicate {bl}", s.style);
+                    seen[bl.0 as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&v| v), "style {:?} not onto", s.style);
+        }
+    }
+
+    #[test]
+    fn vendor_a_spreads_one_rd_over_all_mats() {
+        let s = SwizzleMap::vendor_a(32, 4096, 512);
+        let mut mats = std::collections::BTreeSet::new();
+        for bit in 0..32 {
+            mats.insert(s.bitline_of(0, bit).0 / 512);
+        }
+        assert_eq!(mats.len(), 8, "32-bit RD_data must come from 8 MATs");
+    }
+
+    #[test]
+    fn vendor_a_groups_paired_bits_in_one_mat() {
+        // Bits {0, 1, 16, 17} of a RD_data share a MAT (paper's Mfr. A
+        // example in §IV-A).
+        let s = SwizzleMap::vendor_a(32, 4096, 512);
+        let mat_of = |b: u32| s.bitline_of(0, b).0 / 512;
+        assert_eq!(mat_of(0), mat_of(1));
+        assert_eq!(mat_of(0), mat_of(16));
+        assert_eq!(mat_of(0), mat_of(17));
+        assert_ne!(mat_of(0), mat_of(2));
+    }
+
+    #[test]
+    fn swizzled_bits_are_physically_adjacent_within_a_column_group() {
+        // The 4 bits a MAT contributes to one column sit in one 4-cell
+        // physical run — that is what makes horizontal AIB influence
+        // cross RD_data bit indices.
+        let s = SwizzleMap::vendor_a(32, 4096, 512);
+        let group = [0u32, 1, 16, 17];
+        let mut pos: Vec<u32> = group.iter().map(|&b| s.bitline_of(5, b).0).collect();
+        pos.sort_unstable();
+        assert_eq!(pos[3] - pos[0], 3, "group must occupy 4 adjacent cells");
+    }
+
+    #[test]
+    fn identity_style_is_trivial() {
+        let s = SwizzleMap::new(SwizzleStyle::Identity, 32, 4096, 512);
+        assert_eq!(s.bitline_of(2, 7), Bitline(2 * 32 + 7));
+    }
+
+    #[test]
+    fn vendor_styles_differ() {
+        let a = SwizzleMap::vendor_a(32, 4096, 512);
+        let c = SwizzleMap::vendor_c(32, 4096, 512);
+        let diffs = (0..32)
+            .filter(|&b| a.bitline_of(0, b) != c.bitline_of(0, b))
+            .count();
+        assert!(diffs > 16, "styles A and C too similar: {diffs} diffs");
+    }
+}

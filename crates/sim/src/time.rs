@@ -1,0 +1,206 @@
+//! Simulation time and DRAM timing parameters.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in simulated time, measured in integer picoseconds.
+///
+/// Picosecond resolution comfortably represents both the DDR4 clock
+/// (tCK = 1.25 ns) and the HBM2 clock (tCK = 1.67 ns) without rounding,
+/// and a `u64` covers more than 200 days of simulated time.
+///
+/// # Example
+///
+/// ```
+/// use dram_sim::Time;
+/// let t = Time::from_ns(35) + Time::from_ns(15);
+/// assert_eq!(t.as_ns(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Returns the raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in (possibly fractional) nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the time in (possibly fractional) milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; clamps at [`Time::ZERO`].
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// The JEDEC-style timing parameters of a chip.
+///
+/// Values follow DDR4-3200AA-class parts (and HBM2 for the stacked
+/// profiles); the reverse-engineering flows only depend on the *ordering*
+/// constraints (for example `ACT`→`ACT` faster than `tRP` triggers
+/// RowCopy), not on the absolute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingParams {
+    /// Clock period.
+    pub tck: Time,
+    /// `ACT` to `RD`/`WR` delay.
+    pub trcd: Time,
+    /// `ACT` to `PRE` minimum (row restore complete).
+    pub tras: Time,
+    /// `PRE` to next `ACT` minimum (bitline precharge complete).
+    pub trp: Time,
+    /// Refresh cycle time (one `REF` command's duration).
+    pub trfc: Time,
+    /// Average refresh interval (all rows refreshed once per `tREFW`).
+    pub trefw: Time,
+}
+
+impl TimingParams {
+    /// DDR4-3200-class timings (tCK = 1.25 ns, paper §III-A).
+    pub const fn ddr4() -> Self {
+        TimingParams {
+            tck: Time::from_ps(1_250),
+            trcd: Time::from_ps(13_750),
+            tras: Time::from_ps(32_000),
+            trp: Time::from_ps(13_750),
+            trfc: Time::from_ns(350),
+            trefw: Time::from_ms(64),
+        }
+    }
+
+    /// HBM2-class timings (tCK = 1.67 ns, paper §III-A).
+    pub const fn hbm2() -> Self {
+        TimingParams {
+            tck: Time::from_ps(1_670),
+            trcd: Time::from_ps(14_000),
+            tras: Time::from_ps(33_000),
+            trp: Time::from_ps(14_000),
+            trfc: Time::from_ns(350),
+            trefw: Time::from_ms(64),
+        }
+    }
+
+    /// The canonical single-activation "hammer" dwell time:
+    /// `tRAS`-limited open time used by a tight `ACT`-`PRE` loop.
+    pub fn hammer_on_time(&self) -> Time {
+        self.tras
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_round_trip() {
+        assert_eq!(Time::from_ns(5).as_ps(), 5_000);
+        assert_eq!(Time::from_us(2).as_ps(), 2_000_000);
+        assert_eq!(Time::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(Time::from_ns(35).as_ns(), 35.0);
+    }
+
+    #[test]
+    fn time_arithmetic_behaves() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!(a + b, Time::from_ns(14));
+        assert_eq!(a - b, Time::from_ns(6));
+        assert_eq!(b * 3, Time::from_ns(12));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Time::from_ps(500).to_string(), "500ps");
+        assert_eq!(Time::from_ns(35).to_string(), "35.000ns");
+        assert_eq!(Time::from_us(8).to_string(), "8.000us");
+        assert_eq!(Time::from_ms(64).to_string(), "64.000ms");
+    }
+
+    #[test]
+    fn ddr4_orderings_hold() {
+        let t = TimingParams::ddr4();
+        assert!(t.tck < t.trcd);
+        assert!(t.trcd < t.tras);
+        assert!(t.trp < t.tras);
+        assert!(t.trefw > t.trfc);
+    }
+}

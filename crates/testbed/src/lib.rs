@@ -1,0 +1,533 @@
+//! # dram-testbed
+//!
+//! A SoftMC / DRAM-Bender-style testing infrastructure for the simulated
+//! chips: programmable command sequences with explicit timing, a thermal
+//! plant standing in for the paper's rubber heater + controller, and
+//! bitflip measurement collection (paper §III-A).
+//!
+//! The [`Testbed`] owns one [`dram_sim::DramChip`] (the paper analyzes
+//! per-chip, wiring DIMMs to the FPGA and compensating module-level
+//! mappings in software) and exposes:
+//!
+//! * a [`program::Program`] interpreter for raw timed command sequences,
+//!   including the loop-accelerated `Hammer` instruction that mirrors
+//!   DRAM Bender's hardware loops;
+//! * convenience operations (`write_row_pattern`, `read_row`, `hammer`,
+//!   `press`, `rowcopy`, …) that honor JEDEC timing except where a
+//!   violation is the point (RowCopy);
+//! * [`results`] helpers that diff expected and observed data into
+//!   [`results::BitflipRecord`]s and CSV, the artifact format of the
+//!   paper's flow.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_sim::{ChipProfile, DramChip};
+//! use dram_testbed::Testbed;
+//!
+//! # fn main() -> Result<(), dram_testbed::TestbedError> {
+//! let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 5));
+//! tb.write_row_pattern(0, 21, 0)?;          // aggressor
+//! tb.write_row_pattern(0, 20, u64::MAX)?;   // victim
+//! tb.hammer(0, 21, 100_000)?;               // single-sided RowHammer
+//! let data = tb.read_row(0, 20)?;
+//! assert_eq!(data.len(), tb.cols() as usize);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod program;
+pub mod results;
+pub mod thermal;
+
+pub use program::{Instr, Program, RunOutput};
+pub use results::{BerStats, BitflipRecord, FlipDirection};
+pub use thermal::ThermalPlant;
+
+use dram_sim::{Command, CommandError, DramChip, Time, TimingParams};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from testbed operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestbedError {
+    /// The underlying chip rejected a command.
+    Chip(CommandError),
+    /// A program referenced an instruction the interpreter cannot run.
+    BadProgram(&'static str),
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::Chip(e) => write!(f, "chip error: {e}"),
+            TestbedError::BadProgram(m) => write!(f, "bad program: {m}"),
+        }
+    }
+}
+
+impl Error for TestbedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TestbedError::Chip(e) => Some(e),
+            TestbedError::BadProgram(_) => None,
+        }
+    }
+}
+
+impl From<CommandError> for TestbedError {
+    fn from(e: CommandError) -> Self {
+        TestbedError::Chip(e)
+    }
+}
+
+/// The default per-activation open time for hammer loops (the paper uses
+/// 35 ns per activation, §V-B).
+pub const HAMMER_ON_TIME: Time = Time::from_ns(35);
+
+/// The default per-activation open time for RowPress (7.8 µs, §V-B).
+pub const PRESS_ON_TIME: Time = Time::from_ns(7_800);
+
+/// An FPGA-testbed stand-in driving one chip.
+#[derive(Debug)]
+pub struct Testbed {
+    chip: DramChip,
+    thermal: ThermalPlant,
+    cursor: Time,
+}
+
+impl Testbed {
+    /// Wraps a chip. The cursor starts one `tRP` in so the first `ACT`
+    /// can never alias a pre-simulation precharge.
+    pub fn new(chip: DramChip) -> Self {
+        let cursor = chip.now() + chip.timing().trp;
+        Testbed {
+            thermal: ThermalPlant::new(chip.temperature()),
+            chip,
+            cursor,
+        }
+    }
+
+    /// The chip under test.
+    pub fn chip(&self) -> &DramChip {
+        &self.chip
+    }
+
+    /// Mutable access to the chip under test.
+    pub fn chip_mut(&mut self) -> &mut DramChip {
+        &mut self.chip
+    }
+
+    /// Consumes the testbed and returns the chip.
+    pub fn into_chip(self) -> DramChip {
+        self.chip
+    }
+
+    /// Columns per row of the chip under test.
+    pub fn cols(&self) -> u32 {
+        self.chip.profile().cols_per_row()
+    }
+
+    /// Rows per bank of the chip under test.
+    pub fn rows(&self) -> u32 {
+        self.chip.profile().rows_per_bank
+    }
+
+    /// The testbed's current command cursor.
+    pub fn now(&self) -> Time {
+        self.cursor
+    }
+
+    /// Chip timing parameters.
+    pub fn timing(&self) -> TimingParams {
+        *self.chip.timing()
+    }
+
+    /// Advances the cursor without issuing commands (retention waits).
+    pub fn wait(&mut self, d: Time) {
+        self.cursor += d;
+    }
+
+    /// Drives the heater to `setpoint` °C and updates the chip's die
+    /// temperature once the plant settles (paper §III-A).
+    pub fn set_temperature(&mut self, setpoint: f64) {
+        let reached = self.thermal.settle(setpoint);
+        self.chip.set_temperature(reached);
+    }
+
+    fn issue(
+        &mut self,
+        cmd: Command,
+        at: Time,
+    ) -> Result<Option<dram_sim::ReadData>, TestbedError> {
+        self.cursor = at;
+        Ok(self.chip.issue(cmd, at)?)
+    }
+
+    /// Writes the same RD_data pattern to every column of a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn write_row_pattern(
+        &mut self,
+        bank: u32,
+        row: u32,
+        pattern: u64,
+    ) -> Result<(), TestbedError> {
+        self.write_row_with(bank, row, |_| pattern)
+    }
+
+    /// Writes a row with a per-column pattern function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn write_row_with(
+        &mut self,
+        bank: u32,
+        row: u32,
+        f: impl Fn(u32) -> u64,
+    ) -> Result<(), TestbedError> {
+        let t = self.timing();
+        let t0 = self.cursor + t.trp;
+        self.issue(Command::Activate { bank, row }, t0)?;
+        let mut tc = t0 + t.trcd;
+        for col in 0..self.cols() {
+            self.issue(
+                Command::Write {
+                    bank,
+                    col,
+                    data: f(col),
+                },
+                tc,
+            )?;
+            tc += t.tck;
+        }
+        let tp = tc.max(t0 + t.tras);
+        self.issue(Command::Precharge { bank }, tp)?;
+        Ok(())
+    }
+
+    /// Writes a single column of a row (one ACT/WR/PRE round trip — much
+    /// cheaper than a full-row write when only one RD_data matters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn write_col(&mut self, bank: u32, row: u32, col: u32, data: u64) -> Result<(), TestbedError> {
+        let t = self.timing();
+        let t0 = self.cursor + t.trp;
+        self.issue(Command::Activate { bank, row }, t0)?;
+        self.issue(Command::Write { bank, col, data }, t0 + t.trcd)?;
+        self.issue(Command::Precharge { bank }, t0 + t.tras)?;
+        Ok(())
+    }
+
+    /// Reads a single column of a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn read_col(&mut self, bank: u32, row: u32, col: u32) -> Result<u64, TestbedError> {
+        let t = self.timing();
+        let t0 = self.cursor + t.trp;
+        self.issue(Command::Activate { bank, row }, t0)?;
+        let d = self
+            .issue(Command::Read { bank, col }, t0 + t.trcd)?
+            .expect("read returns data");
+        self.issue(Command::Precharge { bank }, t0 + t.tras)?;
+        Ok(d.0)
+    }
+
+    /// Reads every column of a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn read_row(&mut self, bank: u32, row: u32) -> Result<Vec<u64>, TestbedError> {
+        let t = self.timing();
+        let t0 = self.cursor + t.trp;
+        self.issue(Command::Activate { bank, row }, t0)?;
+        let mut tc = t0 + t.trcd;
+        let mut out = Vec::with_capacity(self.cols() as usize);
+        for col in 0..self.cols() {
+            let d = self
+                .issue(Command::Read { bank, col }, tc)?
+                .expect("read returns data");
+            out.push(d.0);
+            tc += t.tck;
+        }
+        let tp = tc.max(t0 + t.tras);
+        self.issue(Command::Precharge { bank }, tp)?;
+        Ok(out)
+    }
+
+    /// Runs a single-sided RowHammer: `count` ACT-PRE pairs on `row` with
+    /// the paper's 35 ns open time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn hammer(&mut self, bank: u32, row: u32, count: u64) -> Result<(), TestbedError> {
+        self.burst(bank, row, count, HAMMER_ON_TIME)
+    }
+
+    /// Runs a double-sided RowHammer: `count` activations on each of the
+    /// two aggressors.
+    ///
+    /// Under the dose model, alternating A/B activations are equivalent
+    /// to two bursts of `count` each (doses accumulate per aggressor
+    /// wordline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn hammer_double(
+        &mut self,
+        bank: u32,
+        row_a: u32,
+        row_b: u32,
+        count: u64,
+    ) -> Result<(), TestbedError> {
+        self.burst(bank, row_a, count, HAMMER_ON_TIME)?;
+        self.burst(bank, row_b, count, HAMMER_ON_TIME)
+    }
+
+    /// Runs a RowPress attack: `count` activations each held open for
+    /// `each_on` (the paper's experiment: 8 K activations × 7.8 µs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn press(
+        &mut self,
+        bank: u32,
+        row: u32,
+        count: u64,
+        each_on: Time,
+    ) -> Result<(), TestbedError> {
+        self.burst(bank, row, count, each_on)
+    }
+
+    fn burst(&mut self, bank: u32, row: u32, count: u64, each_on: Time) -> Result<(), TestbedError> {
+        let at = self.cursor + self.timing().trp;
+        let end = self.chip.activate_burst(bank, row, count, each_on, at)?;
+        self.cursor = end;
+        Ok(())
+    }
+
+    /// Performs an in-memory RowCopy: activate `src`, precharge after
+    /// `tRAS`, then re-activate `dst` inside the precharge window so the
+    /// bitlines carry `src`'s data into `dst` (paper §III-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn rowcopy(&mut self, bank: u32, src: u32, dst: u32) -> Result<(), TestbedError> {
+        let t = self.timing();
+        let t0 = self.cursor + t.trp;
+        self.issue(Command::Activate { bank, row: src }, t0)?;
+        let tp = t0 + t.tras;
+        self.issue(Command::Precharge { bank }, tp)?;
+        // Violate tRP: re-activate after ~1/10 of the precharge time.
+        let quick = tp + Time::from_ps(t.trp.as_ps() / 10);
+        self.issue(Command::Activate { bank, row: dst }, quick)?;
+        let done = quick + t.tras;
+        self.issue(Command::Precharge { bank }, done)?;
+        Ok(())
+    }
+
+    /// Issues one `REF` (all banks must be precharged). One `REF` covers
+    /// only 1/8192 of the rows, per JEDEC — use
+    /// [`refresh_window`](Self::refresh_window) for a full sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn refresh(&mut self) -> Result<(), TestbedError> {
+        let at = self.cursor + self.timing().trfc;
+        self.issue(Command::Refresh, at)?;
+        Ok(())
+    }
+
+    /// Runs one full refresh window (the accelerated equivalent of 8192
+    /// `REF` commands).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn refresh_window(&mut self) -> Result<(), TestbedError> {
+        let at = self.cursor + self.timing().trfc;
+        self.cursor = at;
+        self.chip.refresh_window(at)?;
+        Ok(())
+    }
+
+    /// Issues a DDR5-style `RFM`, asking the device to run its in-DRAM
+    /// AIB mitigation for one bank (paper §VI-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors.
+    pub fn rfm(&mut self, bank: u32) -> Result<(), TestbedError> {
+        let at = self.cursor + self.timing().trfc;
+        self.issue(Command::Rfm { bank }, at)?;
+        Ok(())
+    }
+
+    /// Runs a raw [`Program`], returning all read data in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip protocol errors; `Wait` never fails.
+    pub fn run(&mut self, program: &Program) -> Result<RunOutput, TestbedError> {
+        let mut out = RunOutput::default();
+        for instr in program.instrs() {
+            match *instr {
+                Instr::Act { bank, row } => {
+                    let at = self.cursor + self.timing().trp;
+                    self.issue(Command::Activate { bank, row }, at)?;
+                }
+                Instr::ActAfter { bank, row, delay } => {
+                    let at = self.cursor + delay;
+                    self.issue(Command::Activate { bank, row }, at)?;
+                }
+                Instr::Pre { bank, after } => {
+                    let at = self.cursor + after;
+                    self.issue(Command::Precharge { bank }, at)?;
+                }
+                Instr::Rd { bank, col } => {
+                    let at = self.cursor + self.timing().trcd;
+                    let d = self
+                        .issue(Command::Read { bank, col }, at)?
+                        .expect("read returns data");
+                    out.reads.push(d.0);
+                }
+                Instr::Wr { bank, col, data } => {
+                    let at = self.cursor + self.timing().trcd;
+                    self.issue(Command::Write { bank, col, data }, at)?;
+                }
+                Instr::Ref => self.refresh()?,
+                Instr::Rfm { bank } => self.rfm(bank)?,
+                Instr::Wait(d) => self.wait(d),
+                Instr::Hammer {
+                    bank,
+                    row,
+                    count,
+                    each_on,
+                } => self.burst(bank, row, count, each_on)?,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::ChipProfile;
+
+    fn tb() -> Testbed {
+        Testbed::new(DramChip::new(ChipProfile::test_small(), 9))
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut t = tb();
+        t.write_row_pattern(0, 3, 0xCAFE_F00D).unwrap();
+        assert!(t.read_row(0, 3).unwrap().iter().all(|&d| d == 0xCAFE_F00D));
+    }
+
+    #[test]
+    fn per_column_patterns_apply() {
+        let mut t = tb();
+        t.write_row_with(0, 4, |c| c as u64).unwrap();
+        let data = t.read_row(0, 4).unwrap();
+        for (c, d) in data.iter().enumerate() {
+            assert_eq!(*d, c as u64);
+        }
+    }
+
+    #[test]
+    fn rowcopy_moves_data_within_subarray() {
+        let mut t = tb();
+        t.write_row_pattern(0, 2, 0x1357_9BDF).unwrap();
+        t.write_row_pattern(0, 7, 0).unwrap();
+        t.rowcopy(0, 2, 7).unwrap();
+        assert!(t.read_row(0, 7).unwrap().iter().all(|&d| d == 0x1357_9BDF));
+    }
+
+    #[test]
+    fn hammer_accumulates_damage() {
+        let mut t = tb();
+        t.write_row_pattern(0, 19, u64::MAX).unwrap();
+        t.write_row_pattern(0, 20, 0).unwrap();
+        t.hammer(0, 20, 2_000_000).unwrap();
+        let flips: u32 = t
+            .read_row(0, 19)
+            .unwrap()
+            .iter()
+            .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+            .sum();
+        assert!(flips > 0);
+    }
+
+    #[test]
+    fn double_sided_hammers_both_aggressors() {
+        let mut t = tb();
+        t.write_row_pattern(0, 20, u64::MAX).unwrap();
+        t.write_row_pattern(0, 19, 0).unwrap();
+        t.write_row_pattern(0, 21, 0).unwrap();
+        t.hammer_double(0, 19, 21, 1_200_000).unwrap();
+        let flips: u32 = t
+            .read_row(0, 20)
+            .unwrap()
+            .iter()
+            .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+            .sum();
+        assert!(flips > 0, "double-sided at 1.2M per side must flip bits");
+    }
+
+    #[test]
+    fn temperature_control_reaches_setpoint() {
+        let mut t = tb();
+        t.set_temperature(85.0);
+        assert!((t.chip().temperature() - 85.0).abs() < 0.5);
+        t.set_temperature(45.0);
+        assert!((t.chip().temperature() - 45.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn program_interpreter_matches_helpers() {
+        let mut a = tb();
+        a.write_row_pattern(0, 5, 0xAA).unwrap();
+        let want = a.read_row(0, 5).unwrap();
+
+        let mut b = tb();
+        let mut p = Program::new();
+        p.act(0, 5);
+        for col in 0..b.cols() {
+            p.wr(0, col, 0xAA);
+        }
+        p.pre(0, b.timing().tras);
+        p.act(0, 5);
+        for col in 0..b.cols() {
+            p.rd(0, col);
+        }
+        p.pre(0, b.timing().tras);
+        let out = b.run(&p).unwrap();
+        assert_eq!(out.reads, want);
+    }
+
+    #[test]
+    fn wait_advances_cursor() {
+        let mut t = tb();
+        let before = t.now();
+        t.wait(Time::from_ms(5));
+        assert_eq!(t.now() - before, Time::from_ms(5));
+    }
+}

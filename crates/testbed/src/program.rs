@@ -1,0 +1,228 @@
+//! Command programs: the testbed's instruction format.
+//!
+//! Mirrors the programming model of SoftMC/DRAM Bender: a linear sequence
+//! of timed DRAM commands plus hardware-loop instructions. The
+//! interpreter lives in [`Testbed::run`](crate::Testbed::run).
+
+use dram_sim::Time;
+
+/// One testbed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `ACT` after a full `tRP` gap (safe activate).
+    Act {
+        /// Bank index.
+        bank: u32,
+        /// Pin-level row address.
+        row: u32,
+    },
+    /// `ACT` after an explicit delay from the previous command — the
+    /// timing-violation primitive used for RowCopy.
+    ActAfter {
+        /// Bank index.
+        bank: u32,
+        /// Pin-level row address.
+        row: u32,
+        /// Delay from the previous command.
+        delay: Time,
+    },
+    /// `PRE` after an explicit delay from the previous command.
+    Pre {
+        /// Bank index.
+        bank: u32,
+        /// Delay from the previous command (usually ≥ `tRAS` from `ACT`).
+        after: Time,
+    },
+    /// `RD` one column (issued `tRCD` after the previous command).
+    Rd {
+        /// Bank index.
+        bank: u32,
+        /// Column address.
+        col: u32,
+    },
+    /// `WR` one column (issued `tRCD` after the previous command).
+    Wr {
+        /// Bank index.
+        bank: u32,
+        /// Column address.
+        col: u32,
+        /// RD_data payload.
+        data: u64,
+    },
+    /// `REF` (one 1/8192 refresh slice).
+    Ref,
+    /// DDR5-style `RFM` for one bank.
+    Rfm {
+        /// Bank index.
+        bank: u32,
+    },
+    /// Advance time without issuing commands.
+    Wait(Time),
+    /// Hardware loop: `count` × (`ACT` held `each_on`, then `PRE`).
+    Hammer {
+        /// Bank index.
+        bank: u32,
+        /// Aggressor row.
+        row: u32,
+        /// Loop iterations.
+        count: u64,
+        /// Row-open time per iteration.
+        each_on: Time,
+    },
+}
+
+/// A builder for instruction sequences.
+///
+/// # Example
+///
+/// ```
+/// use dram_testbed::Program;
+/// use dram_sim::Time;
+///
+/// let mut p = Program::new();
+/// p.act(0, 10).wr(0, 0, 0xFF).pre(0, Time::from_ns(32));
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The instruction list.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Appends a safe `ACT`.
+    pub fn act(&mut self, bank: u32, row: u32) -> &mut Self {
+        self.push(Instr::Act { bank, row })
+    }
+
+    /// Appends an `ACT` with an explicit (possibly violating) delay.
+    pub fn act_after(&mut self, bank: u32, row: u32, delay: Time) -> &mut Self {
+        self.push(Instr::ActAfter { bank, row, delay })
+    }
+
+    /// Appends a `PRE` after `after`.
+    pub fn pre(&mut self, bank: u32, after: Time) -> &mut Self {
+        self.push(Instr::Pre { bank, after })
+    }
+
+    /// Appends a `RD`.
+    pub fn rd(&mut self, bank: u32, col: u32) -> &mut Self {
+        self.push(Instr::Rd { bank, col })
+    }
+
+    /// Appends a `WR`.
+    pub fn wr(&mut self, bank: u32, col: u32, data: u64) -> &mut Self {
+        self.push(Instr::Wr { bank, col, data })
+    }
+
+    /// Appends a `REF`.
+    pub fn refresh(&mut self) -> &mut Self {
+        self.push(Instr::Ref)
+    }
+
+    /// Appends an `RFM`.
+    pub fn rfm(&mut self, bank: u32) -> &mut Self {
+        self.push(Instr::Rfm { bank })
+    }
+
+    /// Appends a wait.
+    pub fn wait(&mut self, d: Time) -> &mut Self {
+        self.push(Instr::Wait(d))
+    }
+
+    /// Appends a hammer loop.
+    pub fn hammer(&mut self, bank: u32, row: u32, count: u64, each_on: Time) -> &mut Self {
+        self.push(Instr::Hammer {
+            bank,
+            row,
+            count,
+            each_on,
+        })
+    }
+
+    /// Appends the canonical RowCopy idiom: `ACT src`, `PRE` at `tRAS`,
+    /// violating `ACT dst` at one tenth of `tRP`.
+    pub fn rowcopy(&mut self, bank: u32, src: u32, dst: u32, tras: Time, trp: Time) -> &mut Self {
+        self.act(bank, src)
+            .pre(bank, tras)
+            .act_after(bank, dst, Time::from_ps(trp.as_ps() / 10))
+            .pre(bank, tras)
+    }
+}
+
+impl Extend<Instr> for Program {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The data collected while running a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOutput {
+    /// Every `RD` result, in program order.
+    pub reads: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut p = Program::new();
+        p.act(0, 1).rd(0, 0).pre(0, Time::from_ns(32)).refresh();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.instrs()[1],
+            Instr::Rd { bank: 0, col: 0 },
+        );
+    }
+
+    #[test]
+    fn rowcopy_idiom_shape() {
+        let mut p = Program::new();
+        p.rowcopy(0, 3, 9, Time::from_ns(32), Time::from_ns(13));
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.instrs()[2], Instr::ActAfter { row: 9, .. }));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: Program = (0..4).map(|c| Instr::Rd { bank: 0, col: c }).collect();
+        assert_eq!(p.len(), 4);
+    }
+}

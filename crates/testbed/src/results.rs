@@ -1,0 +1,184 @@
+//! Measurement collection: bitflip records, BER aggregation, CSV export.
+//!
+//! The paper's artifact produces CSV files of flip locations from the
+//! FPGA runs and post-processes them into figures; these types are the
+//! equivalent stage of this reproduction.
+
+use std::fmt;
+
+/// The direction of an observed bitflip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipDirection {
+    /// Expected 0, read 1.
+    ZeroToOne,
+    /// Expected 1, read 0.
+    OneToZero,
+}
+
+impl fmt::Display for FlipDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipDirection::ZeroToOne => write!(f, "0->1"),
+            FlipDirection::OneToZero => write!(f, "1->0"),
+        }
+    }
+}
+
+/// One observed bitflip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitflipRecord {
+    /// Pin-level row address.
+    pub row: u32,
+    /// Column address.
+    pub col: u32,
+    /// Bit index within the RD_data.
+    pub bit: u32,
+    /// Flip direction.
+    pub direction: FlipDirection,
+}
+
+impl BitflipRecord {
+    /// The flat bit index of this flip within its row
+    /// (`col * rd_bits + bit`).
+    pub fn row_bit(&self, rd_bits: u32) -> u32 {
+        self.col * rd_bits + self.bit
+    }
+}
+
+/// Diffs one row read against its expected per-column pattern and emits a
+/// record per flipped bit.
+pub fn diff_row(
+    row: u32,
+    rd_bits: u32,
+    expected: impl Fn(u32) -> u64,
+    observed: &[u64],
+) -> Vec<BitflipRecord> {
+    let mut out = Vec::new();
+    for (col, &got) in observed.iter().enumerate() {
+        let col = col as u32;
+        let want = expected(col);
+        let mut x = (want ^ got) & mask(rd_bits);
+        while x != 0 {
+            let bit = x.trailing_zeros();
+            let direction = if want & (1 << bit) != 0 {
+                FlipDirection::OneToZero
+            } else {
+                FlipDirection::ZeroToOne
+            };
+            out.push(BitflipRecord {
+                row,
+                col,
+                bit,
+                direction,
+            });
+            x &= x - 1;
+        }
+    }
+    out
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Aggregated bit-error-rate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BerStats {
+    /// Bits that flipped.
+    pub flips: u64,
+    /// Bits examined.
+    pub cells: u64,
+}
+
+impl BerStats {
+    /// Creates stats from counts.
+    pub fn new(flips: u64, cells: u64) -> Self {
+        BerStats { flips, cells }
+    }
+
+    /// The bit error rate (0 when no cells were examined).
+    pub fn ber(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.flips as f64 / self.cells as f64
+        }
+    }
+
+    /// Merges another sample.
+    pub fn merge(&mut self, other: BerStats) {
+        self.flips += other.flips;
+        self.cells += other.cells;
+    }
+}
+
+impl fmt::Display for BerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.3e})", self.flips, self.cells, self.ber())
+    }
+}
+
+/// Renders records in the artifact's CSV format
+/// (`row,col,bit,direction`).
+pub fn to_csv(records: &[BitflipRecord]) -> String {
+    let mut s = String::from("row,col,bit,direction\n");
+    for r in records {
+        s.push_str(&format!("{},{},{},{}\n", r.row, r.col, r.bit, r.direction));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_finds_both_directions() {
+        let observed = vec![0b1010, 0b0001];
+        let recs = diff_row(7, 32, |col| if col == 0 { 0b1000 } else { 0b0011 }, &observed);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0],
+            BitflipRecord {
+                row: 7,
+                col: 0,
+                bit: 1,
+                direction: FlipDirection::ZeroToOne
+            }
+        );
+        assert_eq!(recs[1].direction, FlipDirection::OneToZero);
+        assert_eq!(recs[1].row_bit(32), 32 + 1);
+    }
+
+    #[test]
+    fn diff_respects_rd_width() {
+        // Bits above rd_bits must be ignored.
+        let observed = vec![0xFFFF_FFFF_0000_0000];
+        let recs = diff_row(0, 32, |_| 0, &observed);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn ber_stats_merge() {
+        let mut a = BerStats::new(1, 100);
+        a.merge(BerStats::new(3, 100));
+        assert_eq!(a.flips, 4);
+        assert!((a.ber() - 0.02).abs() < 1e-12);
+        assert_eq!(BerStats::default().ber(), 0.0);
+    }
+
+    #[test]
+    fn csv_format() {
+        let recs = vec![BitflipRecord {
+            row: 1,
+            col: 2,
+            bit: 3,
+            direction: FlipDirection::OneToZero,
+        }];
+        assert_eq!(to_csv(&recs), "row,col,bit,direction\n1,2,3,1->0\n");
+    }
+}

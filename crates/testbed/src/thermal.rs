@@ -1,0 +1,103 @@
+//! Thermal plant: the rubber heater + temperature controller of the
+//! paper's testbed (§III-A), as a first-order system with a bang-bang
+//! controller.
+
+/// A first-order thermal plant with a heater under closed-loop control.
+///
+/// # Example
+///
+/// ```
+/// use dram_testbed::ThermalPlant;
+/// let mut plant = ThermalPlant::new(25.0);
+/// let reached = plant.settle(75.0);
+/// assert!((reached - 75.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalPlant {
+    temperature: f64,
+    ambient: f64,
+    /// Heater power in °C/s of forcing when fully on.
+    heater_gain: f64,
+    /// Cooling time constant toward ambient, in seconds.
+    tau_s: f64,
+}
+
+impl ThermalPlant {
+    /// Creates a plant at the given starting temperature (°C), ambient
+    /// 25 °C.
+    pub fn new(start: f64) -> Self {
+        ThermalPlant {
+            temperature: start,
+            ambient: 25.0,
+            heater_gain: 2.0,
+            tau_s: 60.0,
+        }
+    }
+
+    /// Current plate temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Advances the plant by `dt_s` seconds with the heater duty in
+    /// `[0, 1]`.
+    pub fn step(&mut self, dt_s: f64, heater_duty: f64) {
+        let duty = heater_duty.clamp(0.0, 1.0);
+        let cooling = (self.ambient - self.temperature) / self.tau_s;
+        self.temperature += dt_s * (cooling + duty * self.heater_gain);
+    }
+
+    /// Runs a bang-bang controller until the plate settles at `setpoint`
+    /// (within 0.1 °C) or a generous step budget runs out; returns the
+    /// reached temperature.
+    ///
+    /// Setpoints below ambient can only be approached by passive cooling
+    /// and will settle at ambient.
+    pub fn settle(&mut self, setpoint: f64) -> f64 {
+        let target = setpoint.max(self.ambient);
+        for _ in 0..200_000 {
+            let duty = if self.temperature < target { 1.0 } else { 0.0 };
+            self.step(0.1, duty);
+            if (self.temperature - target).abs() < 0.1 {
+                break;
+            }
+        }
+        self.temperature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heats_to_setpoint() {
+        let mut p = ThermalPlant::new(25.0);
+        let t = p.settle(85.0);
+        assert!((t - 85.0).abs() < 0.5, "reached {t}");
+    }
+
+    #[test]
+    fn cools_back_down() {
+        let mut p = ThermalPlant::new(85.0);
+        let t = p.settle(45.0);
+        assert!((t - 45.0).abs() < 0.5, "reached {t}");
+    }
+
+    #[test]
+    fn cannot_cool_below_ambient() {
+        let mut p = ThermalPlant::new(30.0);
+        let t = p.settle(0.0);
+        assert!((t - 25.0).abs() < 1.0, "reached {t}");
+    }
+
+    #[test]
+    fn step_is_bounded() {
+        let mut p = ThermalPlant::new(25.0);
+        for _ in 0..10_000 {
+            p.step(0.1, 1.0);
+        }
+        // Heater gain vs cooling settles well below runaway.
+        assert!(p.temperature() < 25.0 + 2.0 * 60.0 + 1.0);
+    }
+}

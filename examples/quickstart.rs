@@ -1,0 +1,63 @@
+//! Quickstart: build a simulated DRAM chip, talk to it with standard
+//! commands through the testbed, and watch RowHammer flip bits.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dramscope::sim::{ChipProfile, DramChip};
+use dramscope::testbed::Testbed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small chip for instant results; swap in ChipProfile::mfr_a_x4_2021()
+    // for the paper-scale device.
+    let chip = DramChip::new(ChipProfile::test_small(), 42);
+    let mut tb = Testbed::new(chip);
+
+    println!("chip: {}", tb.chip().profile().label());
+    println!(
+        "{} banks x {} rows x {} bits",
+        tb.chip().profile().banks,
+        tb.rows(),
+        tb.chip().profile().row_bits
+    );
+
+    // Plain write/read through ACT-WR-RD-PRE.
+    tb.write_row_pattern(0, 100, 0xDEAD_BEEF)?;
+    let data = tb.read_row(0, 100)?;
+    assert!(data.iter().all(|&d| d == 0xDEAD_BEEF));
+    println!("write/read round trip: ok");
+
+    // Single-sided RowHammer: victims hold ones, the aggressor zeros.
+    let aggressor = 20;
+    for victim in [19, 21] {
+        tb.write_row_pattern(0, victim, u64::MAX)?;
+    }
+    tb.write_row_pattern(0, aggressor, 0)?;
+
+    for count in [100_000u64, 1_000_000, 2_000_000, 4_000_000] {
+        // Re-arm the victims, then hammer.
+        for victim in [19, 21] {
+            tb.write_row_pattern(0, victim, u64::MAX)?;
+        }
+        tb.hammer(0, aggressor, count)?;
+        let mut flips = 0;
+        for victim in [19, 21] {
+            flips += tb
+                .read_row(0, victim)?
+                .iter()
+                .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+                .sum::<u32>();
+        }
+        println!("{count:>9} activations -> {flips} victim bitflips");
+    }
+
+    // RowCopy: the out-of-spec in-memory copy the paper uses as a probe.
+    tb.write_row_pattern(0, 5, 0x1234_5678)?;
+    tb.write_row_pattern(0, 9, 0)?;
+    tb.rowcopy(0, 5, 9)?;
+    assert!(tb.read_row(0, 9)?.iter().all(|&d| d == 0x1234_5678));
+    println!("RowCopy within a subarray: data moved");
+
+    Ok(())
+}

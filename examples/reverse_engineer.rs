@@ -1,0 +1,69 @@
+//! Reverse-engineer an "unknown" chip exactly the way DRAMScope does:
+//! RowCopy probing for structure, retention for polarity, RowHammer for
+//! adjacency — all through the command interface, then grade the answers
+//! against the hidden ground truth.
+//!
+//! ```text
+//! cargo run --example reverse_engineer
+//! ```
+
+use dramscope::core::hammer::{AibConfig, Attack};
+use dramscope::core::{remap_re, retention_probe, rowcopy_probe};
+use dramscope::sim::{ChipProfile, DramChip, Time};
+use dramscope::testbed::Testbed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pretend we don't know what this is: a coupled, internally-remapped
+    // chip in the Mfr. A style.
+    let chip = DramChip::new(ChipProfile::test_small_coupled(), 7);
+    let mut tb = Testbed::new(chip);
+    println!("device under test: (unknown; only the command interface is used)\n");
+
+    // 1. Subarray structure via RowCopy.
+    let heights = rowcopy_probe::subarray_heights(&mut tb, 0, 0..257)?;
+    println!("subarray heights (first segment+): {heights:?}");
+
+    // 2. Edge-subarray interval (tandem pairs, O5).
+    let edge = rowcopy_probe::detect_edge_interval(&mut tb, 0)?;
+    println!("edge-subarray interval: {edge:?} rows");
+
+    // 3. Coupled rows (O3).
+    let coupled = rowcopy_probe::detect_coupled_rows(&mut tb, 0)?;
+    println!("coupled-row distance: {coupled:?}");
+
+    // 4. Cross-subarray copy inversion (true-/anti-cell hint).
+    let inverted = rowcopy_probe::detect_copy_inversion(&mut tb, 0, 0)?;
+    println!("cross-subarray copies inverted: {inverted:?}");
+
+    // 5. Cell polarity via retention (heated to accelerate).
+    tb.set_temperature(85.0);
+    let verdicts = retention_probe::classify_rows(&mut tb, 0, &[10, 50], Time::from_ms(120_000))?;
+    println!(
+        "retention polarity: {:?}",
+        retention_probe::polarity_scheme(&verdicts)
+    );
+    tb.set_temperature(75.0);
+
+    // 6. Internal row remapping via single-sided RowHammer.
+    let cfg = AibConfig {
+        bank: 0,
+        attack: Attack::Hammer { count: 1_500_000 },
+    };
+    let verdict = remap_re::detect_remap(&mut tb, cfg, &[12])?;
+    println!("row decoder: {verdict:?}");
+    let map = remap_re::adjacency_map(&mut tb, cfg, 8..24)?;
+    let chains = remap_re::physical_chains(&map);
+    println!("physical row order (pins 8..24): {:?}", chains[0]);
+
+    // Grade against the hidden truth.
+    let gt = tb.chip().ground_truth();
+    println!("\n--- ground truth (sealed during the analysis) ---");
+    println!("composition block: {:?}", gt.composition);
+    println!("edge interval: {} rows", gt.edge_interval_wls);
+    println!("coupled distance: {:?}", gt.coupled_distance);
+    println!("remap: {:?}, polarity: {:?}", gt.remap, gt.polarity);
+    assert_eq!(edge, Some(gt.edge_interval_wls));
+    assert_eq!(coupled, gt.coupled_distance);
+    println!("\nall discovered structures match the silicon.");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The §VI-C side channels, implemented: watch the power rail to locate
+//! edge subarrays and smuggle bits, then unmask an on-die ECC.
+//!
+//! ```text
+//! cargo run --example side_channels
+//! ```
+
+use dramscope::core::{ecc_probe, power_channel, trr_re};
+use dramscope::sim::{ChipProfile, DramChip};
+use dramscope::testbed::Testbed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Power analysis: edge-subarray rows drive two wordlines, so the
+    //    supply current leaks which rows a victim touches.
+    let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), 5));
+    println!("activation energy by row (model units):");
+    for row in [5u32, 10, 50, 100, 240] {
+        let e = power_channel::activation_energy(&mut tb, 0, row)?;
+        println!("  row {row:>3}: {e} (edge rows cost double)");
+    }
+    let interval = power_channel::edge_interval_from_power(&mut tb, 0, 4)?;
+    println!("edge-subarray interval from power alone: {interval:?} rows (cross-checks O5)\n");
+
+    // 2. Covert channel: a sender picks edge vs interior rows; a receiver
+    //    on the power rail decodes.
+    let message = [true, false, false, true, true, false, true, false];
+    let decoded = power_channel::transmit(&mut tb, 0, 10, 50, &message)?;
+    println!("covert channel sent {message:?}");
+    println!("covert channel got  {decoded:?}\n");
+
+    // 3. TRR fingerprinting: is there an in-DRAM mitigation, and how big
+    //    is its sampler?
+    let mut mk = || Testbed::new(DramChip::new(ChipProfile::test_small().with_trr(2), 5));
+    let verdict = trr_re::detect_trr(&mut mk, 0, 20, &[19, 21], 200_000, 12)?;
+    println!("TRR probe on a 2-entry-sampler chip: {verdict:?}");
+    if let Some(decoys) =
+        trr_re::estimate_sampler_size(&mut mk, 0, 20, &[19, 21], 70, 6, 200_000, 12)?
+    {
+        println!("many-sided bypass succeeded with {decoys} decoys → sampler ≤ {decoys} entries\n");
+    }
+
+    // 4. On-die ECC: the first visible corruption arrives as a multi-bit
+    //    event instead of a single flip.
+    for ecc in [false, true] {
+        let mut mk = move || {
+            let p = if ecc {
+                ChipProfile::test_small().with_on_die_ecc()
+            } else {
+                ChipProfile::test_small()
+            };
+            Testbed::new(DramChip::new(p, 5))
+        };
+        let v = ecc_probe::detect_on_die_ecc(&mut mk, 0, 20, 19, 8_000_000)?;
+        println!("chip with on_die_ecc={ecc}: probe says {v:?}");
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # dramscope
+//!
+//! Facade crate for the DRAMScope (ISCA 2024) reproduction: a
+//! command-level study of DRAM microarchitecture and activate-induced
+//! bitflip (AIB) characteristics, rebuilt in Rust on top of a simulated
+//! silicon substrate.
+//!
+//! The workspace splits into:
+//!
+//! * [`sim`] — the DRAM device simulator (hidden microarchitecture,
+//!   6F² cell physics, AIB/retention/RowCopy effects);
+//! * [`module`] — RDIMM assembly: RCD address inversion, DQ twisting,
+//!   controller address mapping;
+//! * [`testbed`] — a SoftMC/DRAM-Bender-style programmable command
+//!   sequencer with thermal control and measurement collection;
+//! * [`core`] — the DRAMScope toolkit itself: reverse-engineering
+//!   pipelines, observation validators (O1–O14), attacks and protections.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dramscope::sim::{ChipProfile, DramChip};
+//!
+//! let chip = DramChip::new(ChipProfile::test_small(), 1);
+//! assert_eq!(chip.profile().banks, 2);
+//! ```
+//!
+//! See `examples/` for full reverse-engineering walkthroughs.
+
+#![warn(missing_docs)]
+
+pub use dram_module as module;
+pub use dram_sim as sim;
+pub use dram_testbed as testbed;
+pub use dramscope_core as core;

@@ -1,0 +1,97 @@
+//! Integration: the §III-C mapping pitfalls at module level — naive
+//! analysis produces the classic artifacts; aware analysis is exact.
+
+use dramscope::core::mapping::{
+    aware_expected_victims, hammer_and_scan_module, naive_pattern_per_chip, ModuleTestbed,
+};
+use dramscope::module::{CacheLine, Dimm};
+use dramscope::sim::{ChipProfile, Time};
+use std::collections::BTreeSet;
+
+fn module() -> ModuleTestbed {
+    ModuleTestbed::new(Dimm::new(ChipProfile::test_small(), 4, 123))
+}
+
+#[test]
+fn rcd_inversion_produces_nonadjacent_artifact_and_aware_analysis_resolves_it() {
+    let mut mtb = module();
+    let aggressor = 103; // +1 carries across the uninverted low bits
+    let expected = aware_expected_victims(mtb.dimm(), aggressor);
+    assert!(
+        expected.iter().any(|&r| r.abs_diff(aggressor) > 8),
+        "the aware prediction itself contains a far victim: {expected:?}"
+    );
+    let mut scan: Vec<u32> = (aggressor - 4..aggressor + 5).collect();
+    scan.extend(expected.iter().copied());
+    scan.sort_unstable();
+    scan.dedup();
+    let flips = hammer_and_scan_module(&mut mtb, 0, aggressor, &scan, 1_800_000).unwrap();
+    let hit: BTreeSet<u32> = flips.iter().map(|f| f.row).collect();
+    assert!(
+        hit.iter().any(|&r| r.abs_diff(aggressor) > 8),
+        "naive scan must show a non-adjacent victim; got {hit:?}"
+    );
+    assert!(
+        hit.is_subset(&expected),
+        "every flip must be explained by the aware mapping: {hit:?} vs {expected:?}"
+    );
+}
+
+#[test]
+fn dq_twists_distort_uniform_patterns_and_module_data_still_round_trips() {
+    let mtb = module();
+    let per_chip = naive_pattern_per_chip(mtb.dimm(), 0x5555);
+    assert!(per_chip.iter().any(|&p| p != per_chip[0]));
+
+    let mut mtb = module();
+    let mut line = CacheLine::default();
+    for beat in 0..8 {
+        line.0[beat] = 0x9A3C ^ (beat as u64);
+    }
+    mtb.write_row(0, 40, line).unwrap();
+    let got = mtb.read_row(0, 40).unwrap();
+    for l in got {
+        for beat in 0..8 {
+            assert_eq!(l.0[beat] & 0xFFFF, line.0[beat] & 0xFFFF);
+        }
+    }
+}
+
+#[test]
+fn refresh_broadcast_keeps_all_chips_alive() {
+    let mut mtb = module();
+    mtb.write_row(0, 9, CacheLine::splat(u64::MAX)).unwrap();
+    // 10 simulated seconds with periodic refresh: no retention decay.
+    for _ in 0..160 {
+        mtb.wait(Time::from_ms(64));
+        mtb.refresh().unwrap();
+    }
+    let got = mtb.read_row(0, 9).unwrap();
+    assert!(got.iter().all(|l| l.0.iter().all(|&b| b & 0xFFFF == 0xFFFF)));
+}
+
+#[test]
+fn x8_and_hbm2_modules_assemble_and_round_trip() {
+    use dramscope::sim::Time;
+    // x8 RDIMM: 8 chips fill the 64-bit bus.
+    let d8 = Dimm::rdimm(ChipProfile::mfr_b_x8_2017(), 5);
+    assert_eq!(d8.chip_count(), 8);
+    let mut m8 = ModuleTestbed::new(d8);
+    m8.write_row(0, 33, CacheLine::splat(0x0123_4567_89AB_CDEF))
+        .unwrap();
+    let got = m8.read_row(0, 33).unwrap();
+    assert!(got
+        .iter()
+        .all(|l| l.0.iter().all(|&b| b == 0x0123_4567_89AB_CDEF)));
+
+    // HBM2: a single wide device delivering its 64-bit RD_data in one
+    // beat (only beat 0 of the line is meaningful).
+    let dh = Dimm::rdimm(ChipProfile::hbm2_mfr_a(), 5);
+    assert_eq!(dh.chip_count(), 1);
+    let mut mh = ModuleTestbed::new(dh);
+    mh.write_row(0, 40, CacheLine::splat(0xFEED_F00D_DEAD_BEEF))
+        .unwrap();
+    let got = mh.read_row(0, 40).unwrap();
+    assert!(got.iter().all(|l| l.0[0] == 0xFEED_F00D_DEAD_BEEF));
+    let _ = Time::ZERO;
+}

@@ -1,0 +1,41 @@
+//! The headline integration test: every observation O1–O14 must hold on
+//! the full-size simulated Mfr. A ×4 2016 device, produced purely through
+//! the command interface.
+//!
+//! This is the reproduction's equivalent of the paper's artifact run; it
+//! takes a few minutes in debug builds.
+
+use dramscope::core::observations::ObservationSuite;
+use dramscope::core::retention_probe::PolarityVerdict;
+
+#[test]
+fn observations_o1_to_o14_hold() {
+    let mut suite = ObservationSuite::new(2024);
+    let reports = suite.run_all().expect("suite must run");
+    assert_eq!(reports.len(), 14);
+    let mut failures = Vec::new();
+    for r in &reports {
+        println!("{r}");
+        if !r.passed {
+            failures.push(r.id);
+        }
+    }
+    assert!(failures.is_empty(), "failed observations: {failures:?}");
+}
+
+#[test]
+fn supplementary_polarity_and_coupled_attack() {
+    let mut suite = ObservationSuite::new(77);
+    assert_eq!(
+        suite.polarity().expect("retention probe"),
+        PolarityVerdict::AllTrue,
+        "Mfr. A uses only true-cells (§III-B)"
+    );
+    let outcome = suite
+        .coupled_attack_probe()
+        .expect("coupled attack probe");
+    assert!(
+        outcome.victim_flips > 0,
+        "the §VI coupled split attack must flip bits on an unprotected chip"
+    );
+}
