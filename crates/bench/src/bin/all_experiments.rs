@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", e::fig17_worst_case()?);
     println!("{}", e::sec6_protection()?);
     println!("{}", e::dossier_report()?);
+    println!("{}", e::fleet_report()?);
     println!("{}", e::trr_study()?);
     println!("{}", e::side_channels()?);
     println!("{}", e::observations_report()?);

@@ -1,46 +1,114 @@
-//! Full black-box characterization of one device: prints the dossier the
-//! toolkit assembles from RowCopy, retention, AIB, power, TRR, and ECC
-//! probing. Run with `--release`:
+//! Full black-box characterization: prints the dossier the toolkit
+//! assembles from RowCopy, retention, AIB, power, TRR, and ECC probing.
+//! Run with `--release`:
 //!
 //! ```text
 //! cargo run --release -p dramscope-bench --bin characterize [profile]
+//! cargo run --release -p dramscope-bench --bin characterize fleet [--serial] [--workers N]
 //! ```
 //!
 //! `profile` is a preset name like `mfr_a_x4_2016` (default),
-//! `mfr_b_x4_2019`, `mfr_c_x8_2016`, or `hbm2`.
+//! `mfr_b_x4_2019`, `mfr_c_x8_2016`, or `hbm2`. The special name
+//! `fleet` characterizes the whole Table I population in parallel and
+//! prints the per-device summary table followed by the JSON-lines run
+//! report; `--serial` runs the same jobs one at a time (the determinism
+//! / speedup baseline) and `--workers N` pins the worker count.
 
-use dram_sim::ChipProfile;
-use dramscope_core::dossier::{characterize, CharacterizeOptions};
+use dramscope_core::dossier::characterize_with_stats;
+use dramscope_core::fleet::{self, FleetConfig, FleetJob};
 
-fn profile_by_name(name: &str) -> Option<(ChipProfile, (u32, u32))> {
-    // Each profile gets an interior probe range inside a non-edge
-    // subarray of its layout.
-    Some(match name {
-        "mfr_a_x4_2016" | "default" => (ChipProfile::mfr_a_x4_2016(), (648, 704)),
-        "mfr_a_x4_2018" => (ChipProfile::mfr_a_x4_2018(), (840, 896)),
-        "mfr_a_x4_2021" => (ChipProfile::mfr_a_x4_2021(), (840, 896)),
-        "mfr_a_x8_2017" => (ChipProfile::mfr_a_x8_2017(), (648, 704)),
-        "mfr_b_x4_2019" => (ChipProfile::mfr_b_x4_2019(), (840, 896)),
-        "mfr_b_x8_2017" => (ChipProfile::mfr_b_x8_2017(), (840, 896)),
-        "mfr_c_x4_2018" => (ChipProfile::mfr_c_x4_2018(), (696, 752)),
-        "mfr_c_x8_2016" => (ChipProfile::mfr_c_x8_2016(), (696, 752)),
-        "hbm2" => (ChipProfile::hbm2_mfr_a(), (840, 896)),
-        _ => return None,
-    })
+/// Preset names, index-aligned with [`fleet::table1_jobs`] (which
+/// follows `ChipProfile::all_presets` order).
+const PRESET_NAMES: [&str; 16] = [
+    "mfr_a_x4_2016",
+    "mfr_a_x4_2017",
+    "mfr_a_x4_2018",
+    "mfr_a_x4_2021",
+    "mfr_a_x8_2017",
+    "mfr_a_x8_2018",
+    "mfr_a_x8_2019",
+    "mfr_b_x4_2019",
+    "mfr_b_x8_2017",
+    "mfr_b_x8_2018",
+    "mfr_b_x8_2019",
+    "mfr_c_x4_2018",
+    "mfr_c_x4_2021",
+    "mfr_c_x8_2016",
+    "mfr_c_x8_2019",
+    "hbm2",
+];
+
+fn job_by_name(name: &str) -> Option<FleetJob> {
+    let name = if name == "default" {
+        "mfr_a_x4_2016"
+    } else {
+        name
+    };
+    let idx = PRESET_NAMES.iter().position(|n| *n == name)?;
+    Some(fleet::table1_jobs().swap_remove(idx))
+}
+
+fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let serial = args.iter().any(|a| a == "--serial");
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|w| w.parse::<usize>())
+        .transpose()?
+        .unwrap_or(0);
+    let jobs = fleet::table1_jobs();
+    let report = if serial {
+        fleet::run_fleet_serial(&jobs, dramscope_bench::experiments::SEED)
+    } else {
+        fleet::run_fleet(
+            &jobs,
+            dramscope_bench::experiments::SEED,
+            FleetConfig { workers },
+        )
+    };
+    println!(
+        "Fleet characterization — {} profiles on {} workers, {:.0} ms wall",
+        report.results.len(),
+        report.workers,
+        report.wall_ms
+    );
+    print!("{}", report.table());
+    println!("\nRun report (JSON lines):");
+    print!("{}", report.json_lines());
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "default".into());
-    let Some((profile, probe_range)) = profile_by_name(&name) else {
-        eprintln!("unknown profile '{name}'");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("default", |s| s.as_str());
+    if name == "fleet" {
+        return run_fleet_mode(&args[1..]);
+    }
+    let Some(mut job) = job_by_name(name) else {
+        eprintln!("unknown profile '{name}' (try one of: {PRESET_NAMES:?}, fleet)");
         std::process::exit(2);
     };
-    let opts = CharacterizeOptions {
-        with_swizzle: true,
-        probe_range,
-        ..CharacterizeOptions::default()
-    };
-    let dossier = characterize(&profile, dramscope_bench::experiments::SEED, opts)?;
+    job.opts.with_swizzle = true;
+    let (dossier, stats) =
+        characterize_with_stats(&job.profile, dramscope_bench::experiments::SEED, job.opts)?;
     print!("{dossier}");
+    println!("\nRun report:");
+    for p in &stats.phases {
+        println!(
+            "  {:<10} {:>10.1} ms {:>12} cmds {:>8} flips",
+            p.name, p.wall_ms, p.commands, p.bitflips
+        );
+    }
+    println!(
+        "  {:<10} {:>10.1} ms {:>12} cmds {:>8} flips",
+        "total",
+        stats.wall_ms(),
+        stats.commands(),
+        stats.bitflips()
+    );
     Ok(())
 }

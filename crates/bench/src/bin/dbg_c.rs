@@ -1,8 +1,8 @@
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    use dramscope_core::swizzle_re::{influence_edges, ProbeSetup};
-    use dramscope_core::hammer::Attack;
     use dram_sim::{ChipProfile, DramChip};
     use dram_testbed::Testbed;
+    use dramscope_core::hammer::Attack;
+    use dramscope_core::swizzle_re::{influence_edges, ProbeSetup};
 
     // Mfr C x4 2018, interior subarray [688,1376): triples via ranges.
     let mut tb = Testbed::new(DramChip::new(ChipProfile::mfr_c_x4_2018(), 0x5ca1e));
@@ -10,7 +10,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let edges = influence_edges(&mut tb, &setup)?;
     println!("edges: {}", edges.len());
     for e in edges.iter().take(24) {
-        println!("cand {:2} -> tgt {:2} dcol {:+}", e.candidate, e.target, e.dcol);
+        println!(
+            "cand {:2} -> tgt {:2} dcol {:+}",
+            e.candidate, e.target, e.dcol
+        );
     }
     Ok(())
 }

@@ -1,9 +1,10 @@
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use dram_sim::{ChipProfile, DramChip};
     use dramscope_core::observations::ObservationSuite;
     use dramscope_core::patterns::CellLayout;
-    use dram_sim::{ChipProfile, DramChip};
 
-    let mut suite = ObservationSuite::with_profile_range(ChipProfile::mfr_a_x4_2021(), 0x5ca1e, 840, 896);
+    let mut suite =
+        ObservationSuite::with_profile_range(ChipProfile::mfr_a_x4_2021(), 0x5ca1e, 840, 896);
     let layout = suite.layout()?;
     let chip = DramChip::new(ChipProfile::mfr_a_x4_2021(), 0x5ca1e);
     let gt = chip.ground_truth();
@@ -16,9 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut status = "NOT FOUND".to_string();
         for gm in 0..8u32 {
             let tru: Vec<u32> = (0..k).map(|i| truth.cell_at(gm * 512 + i).1).collect();
-            let mut rev = tru.clone(); rev.reverse();
-            if rec == tru { status = format!("mat {gm} forward"); }
-            if rec == rev { status = format!("mat {gm} REVERSED"); }
+            let mut rev = tru.clone();
+            rev.reverse();
+            if rec == tru {
+                status = format!("mat {gm} forward");
+            }
+            if rec == rev {
+                status = format!("mat {gm} REVERSED");
+            }
         }
         println!("recovered mat {m}: {rec:?} -> {status}");
     }

@@ -9,6 +9,7 @@
 use dram_module::Dimm;
 use dram_sim::{ChipProfile, DramChip, Time};
 use dram_testbed::Testbed;
+use dramscope_core::fleet;
 use dramscope_core::hammer::Attack;
 use dramscope_core::mapping;
 use dramscope_core::observations::ObservationSuite;
@@ -16,9 +17,7 @@ use dramscope_core::patterns::{
     nibble_pattern_row, physical_image, writer_for_physical, CellLayout, CellPatternBuilder,
     DataPattern,
 };
-use dramscope_core::protect::{
-    self, AttackStrategy, MisraGries, RowSwapDefense, Scrambler,
-};
+use dramscope_core::protect::{self, AttackStrategy, MisraGries, RowSwapDefense, Scrambler};
 use dramscope_core::report::{Series, Table};
 use dramscope_core::rowcopy_probe;
 use dramscope_core::{hammer, swizzle_re};
@@ -35,12 +34,19 @@ fn suite_2021() -> ObservationSuite {
     ObservationSuite::with_profile_range(ChipProfile::mfr_a_x4_2021(), SEED, 840, 896)
 }
 
-/// Table I: the device population, as built-in profiles.
+/// Table I: the device population — the same jobs the fleet engine
+/// characterizes in parallel ([`fleet::table1_jobs`]).
 pub fn table1() -> Result<String, Box<dyn Error>> {
     let mut t = Table::new(vec![
-        "profile", "vendor", "type", "density", "year", "rows/bank", "row bits",
+        "profile",
+        "vendor",
+        "type",
+        "density",
+        "year",
+        "rows/bank",
+        "row bits",
     ]);
-    for p in ChipProfile::all_presets() {
+    for p in fleet::table1_jobs().into_iter().map(|j| j.profile) {
         t.row(vec![
             p.label(),
             p.vendor.to_string(),
@@ -67,7 +73,12 @@ pub fn summarize_heights(heights: &[u32]) -> String {
     }
     // Find the shortest repeating block.
     let block_len = (1..=heights.len())
-        .find(|&k| heights.iter().enumerate().all(|(i, h)| *h == heights[i % k]))
+        .find(|&k| {
+            heights
+                .iter()
+                .enumerate()
+                .all(|(i, h)| *h == heights[i % k])
+        })
         .unwrap_or(heights.len());
     let block = &heights[..block_len];
     let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
@@ -106,29 +117,33 @@ pub fn table3() -> Result<String, Box<dyn Error>> {
         "coupled distance",
         "matches ground truth",
     ]);
-    for p in profiles {
+    // Each device probes independently, so fan the population out on the
+    // fleet engine; rows come back in the population order above.
+    let rows = fleet::parallel_map(&profiles, 0, |p| {
         let label = p.label();
         let gt_comp = summarize_heights(&{
             let chip = DramChip::new(p.clone(), SEED);
             chip.ground_truth().composition
         });
-        let mut tb = Testbed::new(DramChip::new(p, SEED));
+        let mut tb = Testbed::new(DramChip::new(p.clone(), SEED));
         let scan_end = 8193.min(tb.rows());
         let heights = rowcopy_probe::subarray_heights(&mut tb, 0, 0..scan_end)?;
         let comp = summarize_heights(&heights);
         let edge = rowcopy_probe::detect_edge_interval(&mut tb, 0)?;
         let coupled = rowcopy_probe::detect_coupled_rows(&mut tb, 0)?;
         let gt = tb.chip().ground_truth();
-        let ok = comp == gt_comp
-            && edge == Some(gt.edge_interval_wls)
-            && coupled == gt.coupled_distance;
-        t.row(vec![
+        let ok =
+            comp == gt_comp && edge == Some(gt.edge_interval_wls) && coupled == gt.coupled_distance;
+        Ok(vec![
             label,
             comp,
             edge.map_or("?".into(), |e| format!("per {}K rows", e >> 10)),
             coupled.map_or("N/A".into(), |d| format!("{}K rows", d >> 10)),
             if ok { "yes".into() } else { "NO".into() },
-        ]);
+        ])
+    });
+    for row in rows {
+        t.row(row?);
     }
     Ok(format!(
         "Table III — structures discovered through the command interface\n{t}"
@@ -146,7 +161,10 @@ pub fn fig5_pitfalls() -> Result<String, Box<dyn Error>> {
     // a distant controller row.
     let aggressor = 1031;
     let expected = mapping::aware_expected_victims(mtb.dimm(), aggressor);
-    writeln!(out, "Fig. 5 — common pitfall 1 (RCD B-side address inversion)")?;
+    writeln!(
+        out,
+        "Fig. 5 — common pitfall 1 (RCD B-side address inversion)"
+    )?;
     writeln!(out, "aggressor (controller row): {aggressor}")?;
     writeln!(out, "mapping-aware victim prediction: {expected:?}")?;
 
@@ -202,7 +220,10 @@ pub fn fig7_swizzle() -> Result<String, Box<dyn Error>> {
         layout.mat_width()
     )?;
     let k = layout.rd_bits() / (layout.row_bits() / layout.mat_width());
-    writeln!(out, "per-MAT chunk order (RD bits, physical left to right):")?;
+    writeln!(
+        out,
+        "per-MAT chunk order (RD bits, physical left to right):"
+    )?;
     for m in 0..layout.row_bits() / layout.mat_width() {
         let chunk: Vec<u32> = (0..k)
             .map(|i| layout.cell_at(m * layout.mat_width() + i).1)
@@ -269,9 +290,17 @@ pub fn fig8_patterns() -> Result<String, Box<dyn Error>> {
 /// (1,0), on DDR4 and HBM2.
 pub fn fig10_edge_ber() -> Result<String, Box<dyn Error>> {
     let mut out = String::new();
-    writeln!(out, "Fig. 10 — AIB BER by subarray type (victim pattern inverse of aggressor)")?;
+    writeln!(
+        out,
+        "Fig. 10 — AIB BER by subarray type (victim pattern inverse of aggressor)"
+    )?;
     for (name, profile, edge_aggr, interior_aggr) in [
-        ("DDR4 (Mfr. A x4 2021)", ChipProfile::mfr_a_x4_2021(), 10u32, 850u32),
+        (
+            "DDR4 (Mfr. A x4 2021)",
+            ChipProfile::mfr_a_x4_2021(),
+            10u32,
+            850u32,
+        ),
         ("HBM2 (Mfr. A)", ChipProfile::hbm2_mfr_a(), 10, 850),
     ] {
         let mut tb = Testbed::new(DramChip::new(profile, SEED));
@@ -280,15 +309,8 @@ pub fn fig10_edge_ber() -> Result<String, Box<dyn Error>> {
             attack: Attack::Hammer { count: 1_800_000 },
         };
         let run = |tb: &mut Testbed, aggr: u32, vic_pat: u64, aggr_pat: u64| {
-            hammer::measure_victim_flips(
-                tb,
-                cfg,
-                aggr,
-                aggr + 1,
-                &|_| vic_pat,
-                &|_| aggr_pat,
-            )
-            .map(|r| r.len())
+            hammer::measure_victim_flips(tb, cfg, aggr, aggr + 1, &|_| vic_pat, &|_| aggr_pat)
+                .map(|r| r.len())
         };
         let cells = tb.chip().profile().row_bits as f64;
         let t01_edge = run(&mut tb, edge_aggr, u64::MAX, 0)? as f64 / cells;
@@ -399,8 +421,7 @@ pub fn fig13_gate_types() -> Result<String, Box<dyn Error>> {
                         // Gate class: parity of (cell position + victim
                         // chain index + direction) — stable up to the
                         // global A/B ambiguity the paper also has.
-                        let class =
-                            (pos as usize + vi + usize::from(dir_up)) % 2;
+                        let class = (pos as usize + vi + usize::from(dir_up)) % 2;
                         gate[class] += 1;
                     }
                 }
@@ -442,8 +463,17 @@ pub fn fig14_horizontal() -> Result<String, Box<dyn Error>> {
     };
 
     let mut out = String::new();
-    writeln!(out, "Fig. 14 — horizontal data-pattern influence on RowHammer BER")?;
-    let mut t = Table::new(vec!["quantity", "Vic0=0 measured", "Vic0=0 paper", "Vic0=1 measured", "Vic0=1 paper"]);
+    writeln!(
+        out,
+        "Fig. 14 — horizontal data-pattern influence on RowHammer BER"
+    )?;
+    let mut t = Table::new(vec![
+        "quantity",
+        "Vic0=0 measured",
+        "Vic0=0 paper",
+        "Vic0=1 measured",
+        "Vic0=1 paper",
+    ]);
 
     // (a) victim side.
     let mut vic_rows: Vec<Vec<f64>> = Vec::new();
@@ -462,9 +492,13 @@ pub fn fig14_horizontal() -> Result<String, Box<dyn Error>> {
         }
         let mut counts = [0u64; 4];
         for &(v, up, _) in &triples {
-            counts[0] += count_targets(&layout, &suite.measure(up, v, attack, &base_cols, &aggr_cols)?);
+            counts[0] += count_targets(
+                &layout,
+                &suite.measure(up, v, attack, &base_cols, &aggr_cols)?,
+            );
             for (i, var) in variants.iter().enumerate() {
-                counts[i + 1] += count_targets(&layout, &suite.measure(up, v, attack, var, &aggr_cols)?);
+                counts[i + 1] +=
+                    count_targets(&layout, &suite.measure(up, v, attack, var, &aggr_cols)?);
             }
         }
         vic_rows.push(
@@ -495,7 +529,8 @@ pub fn fig14_horizontal() -> Result<String, Box<dyn Error>> {
     let mut aggr_rows: Vec<Vec<f64>> = Vec::new();
     for vic_value in [false, true] {
         let vic_cols = suite.solid_cols(if vic_value { u64::MAX } else { 0 });
-        let mut variants: Vec<Vec<u64>> = vec![suite.solid_cols(if vic_value { 0 } else { u64::MAX })];
+        let mut variants: Vec<Vec<u64>> =
+            vec![suite.solid_cols(if vic_value { 0 } else { u64::MAX })];
         for dists in [&[0u32][..], &[0, 1], &[0, 1, 2]] {
             let mut b = CellPatternBuilder::solid(&layout, !vic_value);
             for &(c, bit) in &targets {
@@ -549,9 +584,16 @@ pub fn fig15_hcnt() -> Result<String, Box<dyn Error>> {
     let triples = suite.triples(3)?;
 
     let mut out = String::new();
-    writeln!(out, "Fig. 15 — relative H_cnt (aggressor always opposite of Vic0)")?;
+    writeln!(
+        out,
+        "Fig. 15 — relative H_cnt (aggressor always opposite of Vic0)"
+    )?;
     let mut t = Table::new(vec![
-        "pattern", "Vic0=0 measured", "Vic0=0 paper", "Vic0=1 measured", "Vic0=1 paper",
+        "pattern",
+        "Vic0=0 measured",
+        "Vic0=0 paper",
+        "Vic0=1 measured",
+        "Vic0=1 paper",
     ]);
     let mut measured: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
     for (vi, vic_value) in [false, true].into_iter().enumerate() {
@@ -559,7 +601,13 @@ pub fn fig15_hcnt() -> Result<String, Box<dyn Error>> {
         let base_cols = suite.solid_cols(if vic_value { u64::MAX } else { 0 });
         let aggr_cols = suite.solid_cols(if vic_value { 0 } else { u64::MAX });
         // Find the weakest interior target under the baseline pattern.
-        let recs = suite.measure(up, v, ObservationSuite::strong_hammer(), &base_cols, &aggr_cols)?;
+        let recs = suite.measure(
+            up,
+            v,
+            ObservationSuite::strong_hammer(),
+            &base_cols,
+            &aggr_cols,
+        )?;
         let target = recs
             .iter()
             .map(|r| (r.col, r.bit))
@@ -694,10 +742,22 @@ pub fn fig17_worst_case() -> Result<String, Box<dyn Error>> {
     let mut adv = 0u64;
     for &(v, up, _) in &triples {
         base += suite
-            .measure(up, v, attack, &nibble_pattern_row(&layout, 0xF), &nibble_pattern_row(&layout, 0x0))?
+            .measure(
+                up,
+                v,
+                attack,
+                &nibble_pattern_row(&layout, 0xF),
+                &nibble_pattern_row(&layout, 0x0),
+            )?
             .len() as u64;
         adv += suite
-            .measure(up, v, attack, &nibble_pattern_row(&layout, 0x3), &nibble_pattern_row(&layout, 0xC))?
+            .measure(
+                up,
+                v,
+                attack,
+                &nibble_pattern_row(&layout, 0x3),
+                &nibble_pattern_row(&layout, 0xC),
+            )?
             .len() as u64;
     }
     Ok(format!(
@@ -749,13 +809,32 @@ pub fn sec6_protection() -> Result<String, Box<dyn Error>> {
     {
         let mut tb = mk();
         let mut mg = MisraGries::new(n_star / 2, 16);
-        let o = protect::run_attack(&mut tb, &mut mg, aggr, AttackStrategy::SingleRow, n_star * 3, n_star / 8)?;
-        t.row(vec!["Misra-Gries tracker, single row".into(), o.victim_flips.to_string(), o.mitigations.to_string(), "safe".into()]);
+        let o = protect::run_attack(
+            &mut tb,
+            &mut mg,
+            aggr,
+            AttackStrategy::SingleRow,
+            n_star * 3,
+            n_star / 8,
+        )?;
+        t.row(vec![
+            "Misra-Gries tracker, single row".into(),
+            o.victim_flips.to_string(),
+            o.mitigations.to_string(),
+            "safe".into(),
+        ]);
     }
     {
         let mut tb = mk();
         let mut mg = MisraGries::new(n_star / 3, 16);
-        let o = protect::run_attack(&mut tb, &mut mg, aggr, AttackStrategy::CoupledSplit { distance: 1024 }, n_star * 3, n_star / 8)?;
+        let o = protect::run_attack(
+            &mut tb,
+            &mut mg,
+            aggr,
+            AttackStrategy::CoupledSplit { distance: 1024 },
+            n_star * 3,
+            n_star / 8,
+        )?;
         t.row(vec![
             "oblivious tracker, coupled split".into(),
             o.victim_flips.to_string(),
@@ -766,7 +845,14 @@ pub fn sec6_protection() -> Result<String, Box<dyn Error>> {
     {
         let mut tb = mk();
         let mut mg = MisraGries::new(n_star / 3, 16).with_coupled_awareness(1024);
-        let o = protect::run_attack(&mut tb, &mut mg, aggr, AttackStrategy::CoupledSplit { distance: 1024 }, n_star * 3, n_star / 8)?;
+        let o = protect::run_attack(
+            &mut tb,
+            &mut mg,
+            aggr,
+            AttackStrategy::CoupledSplit { distance: 1024 },
+            n_star * 3,
+            n_star / 8,
+        )?;
         t.row(vec![
             "coupled-aware tracker, coupled split".into(),
             o.victim_flips.to_string(),
@@ -778,12 +864,31 @@ pub fn sec6_protection() -> Result<String, Box<dyn Error>> {
         let threshold = 3 * n_star / 4;
         let mut tb = mk();
         let mut d = RowSwapDefense::new(threshold, 1500);
-        let o = protect::run_attack_rowswap(&mut tb, &mut d, aggr, AttackStrategy::SingleRow, n_star * 2, threshold / 4)?;
-        t.row(vec!["row swap (RRS-like), single row".into(), o.victim_flips.to_string(), o.mitigations.to_string(), "safe (relocated)".into()]);
+        let o = protect::run_attack_rowswap(
+            &mut tb,
+            &mut d,
+            aggr,
+            AttackStrategy::SingleRow,
+            n_star * 2,
+            threshold / 4,
+        )?;
+        t.row(vec![
+            "row swap (RRS-like), single row".into(),
+            o.victim_flips.to_string(),
+            o.mitigations.to_string(),
+            "safe (relocated)".into(),
+        ]);
         let per_address = (threshold - 1) / 4 * 4;
         let mut tb2 = mk();
         let mut d2 = RowSwapDefense::new(threshold, 1500);
-        let o2 = protect::run_attack_rowswap(&mut tb2, &mut d2, aggr, AttackStrategy::CoupledSplit { distance: 1024 }, 2 * per_address, per_address / 4)?;
+        let o2 = protect::run_attack_rowswap(
+            &mut tb2,
+            &mut d2,
+            aggr,
+            AttackStrategy::CoupledSplit { distance: 1024 },
+            2 * per_address,
+            per_address / 4,
+        )?;
         t.row(vec![
             "row swap, coupled split (sub-threshold)".into(),
             o2.victim_flips.to_string(),
@@ -799,27 +904,28 @@ pub fn sec6_protection() -> Result<String, Box<dyn Error>> {
     let gt = tb.chip().ground_truth();
     let layout = CellLayout::from_swizzle(&gt.swizzle, tb.chip().profile().row_bits, gt.mat_width);
     let attack_count = 8 * n_star;
-    let scramble_eval = |tb: &mut Testbed, scrambler: Option<Scrambler>| -> Result<u64, Box<dyn Error>> {
-        let vic_cols = nibble_pattern_row(&layout, 0x3);
-        let aggr_cols = nibble_pattern_row(&layout, 0xC);
-        let apply = |s: &Option<Scrambler>, row: u32, col: u32, d: u64| match s {
-            Some(sc) => sc.apply(row, col, d) & 0xFFFF_FFFF,
-            None => d,
-        };
-        for (row, cols) in [(44, &vic_cols), (46, &vic_cols), (45, &aggr_cols)] {
-            tb.write_row_with(0, row, |c| apply(&scrambler, row, c, cols[c as usize]))?;
-        }
-        tb.hammer(0, 45, attack_count)?;
-        let mut flips = 0u64;
-        for v in victims {
-            let data = tb.read_row(0, v)?;
-            for (c, &got) in data.iter().enumerate() {
-                let want = apply(&scrambler, v, c as u32, vic_cols[c]);
-                flips += (got ^ want).count_ones() as u64;
+    let scramble_eval =
+        |tb: &mut Testbed, scrambler: Option<Scrambler>| -> Result<u64, Box<dyn Error>> {
+            let vic_cols = nibble_pattern_row(&layout, 0x3);
+            let aggr_cols = nibble_pattern_row(&layout, 0xC);
+            let apply = |s: &Option<Scrambler>, row: u32, col: u32, d: u64| match s {
+                Some(sc) => sc.apply(row, col, d) & 0xFFFF_FFFF,
+                None => d,
+            };
+            for (row, cols) in [(44, &vic_cols), (46, &vic_cols), (45, &aggr_cols)] {
+                tb.write_row_with(0, row, |c| apply(&scrambler, row, c, cols[c as usize]))?;
             }
-        }
-        Ok(flips)
-    };
+            tb.hammer(0, 45, attack_count)?;
+            let mut flips = 0u64;
+            for v in victims {
+                let data = tb.read_row(0, v)?;
+                for (c, &got) in data.iter().enumerate() {
+                    let want = apply(&scrambler, v, c as u32, vic_cols[c]);
+                    flips += (got ^ want).count_ones() as u64;
+                }
+            }
+            Ok(flips)
+        };
     let none = scramble_eval(&mut mk(), None)?;
     let row_keyed = scramble_eval(&mut mk(), Some(Scrambler::row_keyed(0xFEED)))?;
     let row_col = scramble_eval(&mut mk(), Some(Scrambler::row_col_keyed(0xFEED)))?;
@@ -859,11 +965,18 @@ pub fn sec6_protection() -> Result<String, Box<dyn Error>> {
 pub fn trr_study() -> Result<String, Box<dyn Error>> {
     use dramscope_core::trr_re::{self, TrrVerdict};
     let mut out = String::new();
-    writeln!(out, "In-DRAM mitigation study (TRRespass/U-TRR-style probing + DDR5 RFM)")?;
+    writeln!(
+        out,
+        "In-DRAM mitigation study (TRRespass/U-TRR-style probing + DDR5 RFM)"
+    )?;
 
     let aggr = 20u32;
     let victims = [19u32, 21];
-    let mut t = Table::new(vec!["device", "TRR verdict", "sampler bound (decoys to bypass)"]);
+    let mut t = Table::new(vec![
+        "device",
+        "TRR verdict",
+        "sampler bound (decoys to bypass)",
+    ]);
     for (name, entries) in [
         ("no TRR", 0usize),
         ("TRR, 1-entry sampler", 1),
@@ -896,9 +1009,8 @@ pub fn trr_study() -> Result<String, Box<dyn Error>> {
         ))
     };
     let mut probe = mk_coupled();
-    let n_star =
-        protect::first_flip_count(&mut probe, 0, 45, &[44, 46, 1068, 1070], 8_000_000)?
-            .ok_or("no first flip")?;
+    let n_star = protect::first_flip_count(&mut probe, 0, 45, &[44, 46, 1068, 1070], 8_000_000)?
+        .ok_or("no first flip")?;
     let mut tb = mk_coupled();
     let rfm = protect::run_attack_with_rfm(
         &mut tb,
@@ -973,6 +1085,27 @@ pub fn dossier_report() -> Result<String, Box<dyn Error>> {
     Ok(d.to_string())
 }
 
+/// The parallel fleet run over the full Table I population: one worker
+/// per device, deterministic per-profile seeds, per-device run stats.
+/// Prints the human summary table followed by the machine-readable
+/// JSON-lines run report (also available via `characterize fleet`).
+pub fn fleet_report() -> Result<String, Box<dyn Error>> {
+    let jobs = fleet::table1_jobs();
+    let report = fleet::run_fleet(&jobs, SEED, fleet::FleetConfig::default());
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Fleet characterization — {} profiles on {} workers, {:.0} ms wall",
+        report.results.len(),
+        report.workers,
+        report.wall_ms
+    )?;
+    out.push_str(&report.table());
+    writeln!(out, "\nRun report (JSON lines):")?;
+    out.push_str(&report.json_lines());
+    Ok(out)
+}
+
 /// The observation suite as a printable report (used by the
 /// `observations` binary).
 pub fn observations_report() -> Result<String, Box<dyn Error>> {
@@ -984,25 +1117,22 @@ pub fn observations_report() -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
-/// A fast structural sanity run used by the Criterion benches.
+/// A fast structural sanity kernel used by the smoke tests.
 pub fn quick_structural_kernel() -> Result<usize, Box<dyn Error>> {
     let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), SEED));
     let heights = rowcopy_probe::subarray_heights(&mut tb, 0, 0..129)?;
     Ok(heights.len())
 }
 
-/// A fast swizzle-influence kernel used by the Criterion benches.
+/// A fast swizzle-influence kernel used by the smoke tests.
 pub fn quick_influence_kernel() -> Result<usize, Box<dyn Error>> {
     let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), SEED));
-    let setup = swizzle_re::ProbeSetup::from_ranges(
-        0,
-        &[(65, 80)],
-        Attack::Hammer { count: 2_600_000 },
-    );
+    let setup =
+        swizzle_re::ProbeSetup::from_ranges(0, &[(65, 80)], Attack::Hammer { count: 2_600_000 });
     Ok(swizzle_re::influence_edges(&mut tb, &setup)?.len())
 }
 
-/// A fast pattern-image kernel used by the Criterion benches.
+/// A fast pattern-image kernel used by the smoke tests.
 pub fn quick_pattern_kernel() -> usize {
     let chip = DramChip::new(ChipProfile::test_small(), SEED);
     let gt = chip.ground_truth();

@@ -1,9 +1,9 @@
 //! # dramscope-bench
 //!
 //! Experiment drivers regenerating every table and figure of the
-//! DRAMScope paper's evaluation, shared between the `src/bin/*`
-//! binaries (full-scale runs, paper-style output) and the Criterion
-//! benchmarks (scaled kernels).
+//! DRAMScope paper's evaluation, exposed through the `src/bin/*`
+//! binaries (full-scale runs, paper-style output). Population-wide
+//! drivers fan out across devices on the `dramscope-core` fleet engine.
 //!
 //! | Driver | Paper artifact |
 //! |---|---|
@@ -20,6 +20,7 @@
 //! | [`experiments::fig16_sweep`] | Fig. 16 — 4-bit pattern sweep |
 //! | [`experiments::fig17_worst_case`] | Fig. 17 — worst-case adversarial pattern |
 //! | [`experiments::sec6_protection`] | §VI — attacks and protections |
+//! | [`experiments::fleet_report`] | Table I population, characterized in parallel |
 
 #![warn(missing_docs)]
 

@@ -9,6 +9,7 @@
 //! designer, or PIM researcher) actually wants about an unknown device.
 
 use crate::ecc_probe::{self, EccVerdict};
+use crate::error::CoreError;
 use crate::hammer::{AibConfig, Attack};
 use crate::observations::ObservationSuite;
 use crate::power_channel;
@@ -16,11 +17,11 @@ use crate::remap_re::{self, RemapVerdict};
 use crate::retention_probe::{self, PolarityVerdict};
 use crate::rowcopy_probe;
 use crate::trr_re::{self, TrrVerdict};
-use dram_sim::{ChipProfile, DramChip, Time};
+use dram_sim::{ChipProfile, ChipStats, DramChip, Time};
 use dram_testbed::Testbed;
 use std::collections::BTreeMap;
-use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Summarizes a height sequence the way Table III does
 /// (`"11 x 640-row + 2 x 576-row (per 8192)"`).
@@ -30,7 +31,12 @@ pub fn summarize_heights(heights: &[u32]) -> String {
     }
     // Find the shortest repeating block.
     let block_len = (1..=heights.len())
-        .find(|&k| heights.iter().enumerate().all(|(i, h)| *h == heights[i % k]))
+        .find(|&k| {
+            heights
+                .iter()
+                .enumerate()
+                .all(|(i, h)| *h == heights[i % k])
+        })
         .unwrap_or(heights.len());
     let block = &heights[..block_len];
     let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
@@ -134,6 +140,84 @@ fn opt(v: Option<u32>) -> String {
     v.map_or("none".into(), |x| format!("{x} rows"))
 }
 
+/// Wall time and primary-testbed activity for one characterization phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase identifier (`"structure"`, `"power"`, `"retention"`,
+    /// `"remap"`, `"swizzle"`, `"trr_ecc"`).
+    pub name: &'static str,
+    /// Wall-clock time spent in the phase, milliseconds.
+    pub wall_ms: f64,
+    /// Commands issued on the dossier's primary testbed during the phase
+    /// (`ACT` + `RD` + `WR` + `REF`).
+    pub commands: u64,
+    /// Bitflips the primary testbed's chip resolved during the phase.
+    pub bitflips: u64,
+}
+
+/// Per-phase run statistics for one characterization.
+///
+/// Command and bitflip counts cover the primary probe testbed; phases
+/// that run on fresh chips (`swizzle`, `trr_ecc`) contribute wall time
+/// plus whatever adjacency probing they did on the primary testbed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// One entry per phase, in execution order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl RunStats {
+    /// Total wall time across all phases, milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_ms).sum()
+    }
+
+    /// Total commands issued across all phases.
+    pub fn commands(&self) -> u64 {
+        self.phases.iter().map(|p| p.commands).sum()
+    }
+
+    /// Total bitflips resolved across all phases.
+    pub fn bitflips(&self) -> u64 {
+        self.phases.iter().map(|p| p.bitflips).sum()
+    }
+}
+
+fn total_commands(s: &ChipStats) -> u64 {
+    s.activations + s.reads + s.writes + s.refreshes
+}
+
+/// Snapshot-delta phase recorder for [`characterize_with_stats`].
+struct PhaseClock {
+    started: Instant,
+    commands: u64,
+    bitflips: u64,
+}
+
+impl PhaseClock {
+    fn new() -> Self {
+        PhaseClock {
+            started: Instant::now(),
+            commands: 0,
+            bitflips: 0,
+        }
+    }
+
+    fn lap(&mut self, name: &'static str, chip: &DramChip, out: &mut RunStats) {
+        let s = chip.stats();
+        let commands = total_commands(&s);
+        out.phases.push(PhaseStat {
+            name,
+            wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            commands: commands - self.commands,
+            bitflips: s.bitflips - self.bitflips,
+        });
+        self.started = Instant::now();
+        self.commands = commands;
+        self.bitflips = s.bitflips;
+    }
+}
+
 /// Runs the complete characterization flow against fresh chips built from
 /// `(profile, seed)`.
 ///
@@ -144,8 +228,24 @@ pub fn characterize(
     profile: &ChipProfile,
     seed: u64,
     opts: CharacterizeOptions,
-) -> Result<ChipDossier, Box<dyn Error>> {
+) -> Result<ChipDossier, CoreError> {
+    characterize_with_stats(profile, seed, opts).map(|(d, _)| d)
+}
+
+/// [`characterize`], additionally reporting per-phase [`RunStats`]
+/// (the machine-readable layer behind the fleet engine's run reports).
+///
+/// # Errors
+///
+/// Propagates chip protocol errors and pipeline failures.
+pub fn characterize_with_stats(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+) -> Result<(ChipDossier, RunStats), CoreError> {
     let mut tb = Testbed::new(DramChip::new(profile.clone(), seed));
+    let mut stats = RunStats::default();
+    let mut clock = PhaseClock::new();
 
     // Structure via RowCopy.
     let scan_end = opts.scan_rows.min(tb.rows());
@@ -154,17 +254,20 @@ pub fn characterize(
     let edge_interval = rowcopy_probe::detect_edge_interval(&mut tb, 0)?;
     let coupled_distance = rowcopy_probe::detect_coupled_rows(&mut tb, 0)?;
     let copy_inverted = rowcopy_probe::detect_copy_inversion(&mut tb, 0, 0)?;
+    clock.lap("structure", tb.chip(), &mut stats);
 
     // Power cross-check of the edge interval (stride below the smallest
     // known subarray height).
     let stride = 64.min(tb.rows() / 32).max(1);
     let edge_interval_from_power = power_channel::edge_interval_from_power(&mut tb, 0, stride)?;
+    clock.lap("power", tb.chip(), &mut stats);
 
     // Retention polarity over a spread of rows.
     let rows = tb.rows();
     let sample = [rows / 16, rows / 3, rows / 2 + 7];
     let verdicts = retention_probe::classify_rows(&mut tb, 0, &sample, opts.retention_wait)?;
     let polarity = retention_probe::polarity_scheme(&verdicts);
+    clock.lap("retention", tb.chip(), &mut stats);
 
     // Remap detection on interior rows.
     let cfg = AibConfig {
@@ -173,6 +276,7 @@ pub fn characterize(
     };
     let probe_mid = (opts.probe_range.0 + opts.probe_range.1) / 2;
     let remap = remap_re::detect_remap(&mut tb, cfg, &[probe_mid])?;
+    clock.lap("remap", tb.chip(), &mut stats);
 
     // Optional swizzle recovery via the observation suite's pipeline.
     let (mats_per_rd, mat_width) = if opts.with_swizzle {
@@ -190,6 +294,7 @@ pub fn characterize(
     } else {
         (None, None)
     };
+    clock.lap("swizzle", tb.chip(), &mut stats);
 
     // TRR and ECC fingerprints on fresh chips. The victims are the rows
     // the adjacency probe actually found — pin neighbours are wrong on
@@ -202,8 +307,9 @@ pub fn characterize(
     let mut fresh = || Testbed::new(DramChip::new(profile.clone(), seed));
     let trr = trr_re::detect_trr(&mut fresh, 0, aggressor, &victims, 400_000, 12)?;
     let on_die_ecc = ecc_probe::detect_on_die_ecc(&mut fresh, 0, aggressor, victims[0], 8_000_000)?;
+    clock.lap("trr_ecc", tb.chip(), &mut stats);
 
-    Ok(ChipDossier {
+    let dossier = ChipDossier {
         label: profile.label(),
         subarray_heights,
         composition,
@@ -217,7 +323,8 @@ pub fn characterize(
         mat_width,
         trr,
         on_die_ecc,
-    })
+    };
+    Ok((dossier, stats))
 }
 
 #[cfg(test)]
@@ -256,6 +363,61 @@ mod tests {
         assert_eq!(d.on_die_ecc, EccVerdict::Absent);
         let text = d.to_string();
         assert!(text.contains("coupled-row distance: 1024 rows"), "{text}");
+    }
+
+    #[test]
+    fn characterize_twice_is_byte_identical() {
+        // Regression test for iteration-order nondeterminism: counters
+        // and row state used to live in HashMaps, so refresh settle
+        // order (which feeds the physics) and TRR eviction tie-breaks
+        // followed hash order and differed run to run.
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let profile = ChipProfile::test_small().with_trr(2);
+        let (a, sa) = characterize_with_stats(&profile, 123, opts).unwrap();
+        let (b, sb) = characterize_with_stats(&profile, 123, opts).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.subarray_heights, b.subarray_heights);
+        let counts = |s: &RunStats| {
+            s.phases
+                .iter()
+                .map(|p| (p.name, p.commands, p.bitflips))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counts(&sa), counts(&sb));
+    }
+
+    #[test]
+    fn run_stats_cover_all_phases() {
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let (_, stats) = characterize_with_stats(&ChipProfile::test_small(), 5, opts).unwrap();
+        let names: Vec<_> = stats.phases.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "structure",
+                "power",
+                "retention",
+                "remap",
+                "swizzle",
+                "trr_ecc"
+            ]
+        );
+        assert!(stats.commands() > 0, "probing must issue commands");
+        assert!(
+            stats.bitflips() > 0,
+            "remap hammering must resolve bitflips"
+        );
+        assert!(stats.wall_ms() > 0.0);
     }
 
     #[test]

@@ -99,8 +99,12 @@ mod tests {
 
     #[test]
     fn detects_presence_on_an_ecc_chip() {
-        let mut mk =
-            || Testbed::new(DramChip::new(ChipProfile::test_small().with_on_die_ecc(), 61));
+        let mut mk = || {
+            Testbed::new(DramChip::new(
+                ChipProfile::test_small().with_on_die_ecc(),
+                61,
+            ))
+        };
         let v = detect_on_die_ecc(&mut mk, 0, 20, 19, 8_000_000).unwrap();
         assert_eq!(v, EccVerdict::Present);
     }

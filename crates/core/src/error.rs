@@ -1,0 +1,94 @@
+//! The concrete error type shared by every `dramscope-core` pipeline.
+//!
+//! The toolkit used to return `Box<dyn Error>`, which is neither `Send`
+//! nor `Sync` and therefore cannot cross the fleet engine's worker
+//! threads. [`CoreError`] is a plain data enum (strings and `Copy`
+//! payloads only), so `Result<_, CoreError>` moves freely between
+//! threads and still speaks `std::error::Error` for callers that box.
+
+use crate::swizzle_re::SwizzleReError;
+use dram_testbed::TestbedError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure surfaced by the characterization toolkit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The testbed (or the chip under it) rejected a command sequence.
+    Testbed(TestbedError),
+    /// Swizzle recovery could not assemble a consistent picture.
+    Swizzle(SwizzleReError),
+    /// A probe pipeline found the data it needed missing or inconsistent
+    /// (too few victims, short chains, parity disagreement, …).
+    Pipeline(String),
+    /// A fleet worker panicked mid-characterization; the payload is the
+    /// panic message. Only the offending profile is lost.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Testbed(e) => write!(f, "testbed: {e}"),
+            CoreError::Swizzle(e) => write!(f, "swizzle recovery: {e}"),
+            CoreError::Pipeline(m) => write!(f, "pipeline: {m}"),
+            CoreError::WorkerPanic(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Testbed(e) => Some(e),
+            CoreError::Swizzle(e) => Some(e),
+            CoreError::Pipeline(_) | CoreError::WorkerPanic(_) => None,
+        }
+    }
+}
+
+impl From<TestbedError> for CoreError {
+    fn from(e: TestbedError) -> Self {
+        CoreError::Testbed(e)
+    }
+}
+
+impl From<SwizzleReError> for CoreError {
+    fn from(e: SwizzleReError) -> Self {
+        CoreError::Swizzle(e)
+    }
+}
+
+impl From<String> for CoreError {
+    fn from(m: String) -> Self {
+        CoreError::Pipeline(m)
+    }
+}
+
+impl From<&str> for CoreError {
+    fn from(m: &str) -> Self {
+        CoreError::Pipeline(m.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::CommandError;
+
+    #[test]
+    fn core_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn displays_and_sources_chain() {
+        let e = CoreError::from(TestbedError::Chip(CommandError::TimeReversed));
+        assert!(e.to_string().contains("testbed"));
+        assert!(e.source().is_some());
+        let p = CoreError::from("not enough interior triples");
+        assert_eq!(p, CoreError::Pipeline("not enough interior triples".into()));
+        assert!(p.source().is_none());
+    }
+}

@@ -1,0 +1,536 @@
+//! Parallel fleet characterization: run [`characterize`] over a whole
+//! device population concurrently.
+//!
+//! The paper characterizes 376 DDR4 chips and 4 HBM2 stacks (Table I);
+//! this module is the reproduction's equivalent of wiring many devices
+//! to many testbeds at once. Each profile gets its own simulated chip,
+//! its own worker, and a deterministic seed derived from the fleet's
+//! base seed and the profile's label — so a parallel run produces
+//! byte-identical dossiers to a serial run of the same jobs.
+//!
+//! Failure isolation: a panic inside one worker (a simulator fault, a
+//! violated invariant) is caught and reported as that profile's
+//! [`CoreError::WorkerPanic`]; every other profile still completes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dramscope_core::fleet::{self, FleetConfig};
+//!
+//! let jobs = fleet::table1_jobs();
+//! let report = fleet::run_fleet(&jobs, 0x5ca1e, FleetConfig::default());
+//! println!("{}", report.table());
+//! println!("{}", report.json_lines());
+//! ```
+
+use crate::dossier::{characterize_with_stats, CharacterizeOptions, ChipDossier, RunStats};
+use crate::error::CoreError;
+use dram_sim::rng::mix64;
+use dram_sim::ChipProfile;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+/// One unit of fleet work: a device profile plus its probe options.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// The device to characterize.
+    pub profile: ChipProfile,
+    /// Probe options (interior probe range, scan depth, swizzle).
+    pub opts: CharacterizeOptions,
+}
+
+/// Configuration for [`run_fleet`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetConfig {
+    /// Worker threads. `0` (the default) uses the machine's available
+    /// parallelism, capped at the job count.
+    pub workers: usize,
+}
+
+/// The outcome of characterizing one profile.
+#[derive(Debug, Clone)]
+pub struct ProfileResult {
+    /// The profile's public label.
+    pub label: String,
+    /// The derived per-profile seed actually used.
+    pub seed: u64,
+    /// The dossier, or the error/panic that stopped this profile.
+    pub outcome: Result<ChipDossier, CoreError>,
+    /// Per-phase run statistics (empty when the worker panicked).
+    pub stats: RunStats,
+}
+
+impl ProfileResult {
+    /// One JSON object (a single line, no trailing newline) describing
+    /// this profile's run: status, per-phase wall/command/bitflip
+    /// numbers, and the dossier fields on success.
+    pub fn json_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_str_field(&mut s, "label", &self.label);
+        s.push_str(&format!(",\"seed\":{}", self.seed));
+        s.push_str(&format!(",\"wall_ms\":{:.3}", self.stats.wall_ms()));
+        s.push_str(&format!(",\"commands\":{}", self.stats.commands()));
+        s.push_str(&format!(",\"bitflips\":{}", self.stats.bitflips()));
+        s.push_str(",\"phases\":[");
+        for (i, p) in self.stats.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_str_field(&mut s, "name", p.name);
+            s.push_str(&format!(
+                ",\"wall_ms\":{:.3},\"commands\":{},\"bitflips\":{}}}",
+                p.wall_ms, p.commands, p.bitflips
+            ));
+        }
+        s.push(']');
+        match &self.outcome {
+            Ok(d) => {
+                s.push_str(",\"status\":\"ok\",\"dossier\":{");
+                push_str_field(&mut s, "composition", &d.composition);
+                s.push_str(&format!(",\"edge_interval\":{}", opt_json(d.edge_interval)));
+                s.push_str(&format!(
+                    ",\"edge_interval_from_power\":{}",
+                    opt_json(d.edge_interval_from_power)
+                ));
+                s.push_str(&format!(
+                    ",\"coupled_distance\":{}",
+                    opt_json(d.coupled_distance)
+                ));
+                s.push_str(&format!(
+                    ",\"copy_inverted\":{}",
+                    d.copy_inverted.map_or("null".into(), |b| b.to_string())
+                ));
+                s.push(',');
+                push_str_field(&mut s, "polarity", &format!("{:?}", d.polarity));
+                s.push(',');
+                push_str_field(&mut s, "remap", &format!("{:?}", d.remap));
+                s.push_str(&format!(",\"mats_per_rd\":{}", opt_json(d.mats_per_rd)));
+                s.push_str(&format!(",\"mat_width\":{}", opt_json(d.mat_width)));
+                s.push(',');
+                push_str_field(&mut s, "trr", &format!("{:?}", d.trr));
+                s.push(',');
+                push_str_field(&mut s, "on_die_ecc", &format!("{:?}", d.on_die_ecc));
+                s.push('}');
+            }
+            Err(e) => {
+                s.push_str(",\"status\":\"error\",");
+                push_str_field(&mut s, "error", &e.to_string());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn opt_json(v: Option<u32>) -> String {
+    v.map_or("null".into(), |x| x.to_string())
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Everything a fleet run produced, in job order.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-profile results, index-aligned with the submitted jobs.
+    pub results: Vec<ProfileResult>,
+    /// End-to-end wall time of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+impl FleetReport {
+    /// The machine-readable run report: one JSON object per profile,
+    /// newline-separated (JSON-lines).
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A human-readable summary table (CSV via [`crate::report::Table`]).
+    pub fn table(&self) -> String {
+        let mut t = crate::report::Table::new(vec![
+            "device",
+            "status",
+            "wall_ms",
+            "commands",
+            "bitflips",
+            "composition",
+        ]);
+        for r in &self.results {
+            let (status, composition) = match &r.outcome {
+                Ok(d) => ("ok".to_string(), d.composition.clone()),
+                Err(e) => (format!("error: {e}"), String::new()),
+            };
+            t.row(vec![
+                r.label.clone(),
+                status,
+                format!("{:.1}", r.stats.wall_ms()),
+                r.stats.commands().to_string(),
+                r.stats.bitflips().to_string(),
+                composition,
+            ]);
+        }
+        t.to_csv()
+    }
+
+    /// `true` when every profile produced a dossier.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.outcome.is_ok())
+    }
+}
+
+/// Derives the per-profile seed from the fleet's base seed and the
+/// profile's label. Deterministic and order-independent: the same
+/// `(base, label)` pair always gives the same seed, regardless of which
+/// worker runs the job or in which order jobs complete.
+pub fn derive_seed(base: u64, label: &str) -> u64 {
+    let mut h = mix64(base ^ 0x000F_1EE7_C0DE);
+    for b in label.bytes() {
+        h = mix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// The Table I population: every preset profile paired with an interior
+/// probe range inside a non-edge subarray of its layout.
+pub fn table1_jobs() -> Vec<FleetJob> {
+    // Probe ranges by subarray family (the range must sit inside the
+    // second subarray, clear of the low-edge one): 640-row family →
+    // (648, 704), 832-row family → (840, 896), 688-row family →
+    // (696, 752). These mirror the per-device ranges the bench binaries
+    // have always used.
+    let ranged = |profile: ChipProfile, probe_range: (u32, u32)| FleetJob {
+        opts: CharacterizeOptions {
+            probe_range,
+            ..CharacterizeOptions::default()
+        },
+        profile,
+    };
+    vec![
+        ranged(ChipProfile::mfr_a_x4_2016(), (648, 704)),
+        ranged(ChipProfile::mfr_a_x4_2017(), (648, 704)),
+        ranged(ChipProfile::mfr_a_x4_2018(), (840, 896)),
+        ranged(ChipProfile::mfr_a_x4_2021(), (840, 896)),
+        ranged(ChipProfile::mfr_a_x8_2017(), (648, 704)),
+        ranged(ChipProfile::mfr_a_x8_2018(), (840, 896)),
+        ranged(ChipProfile::mfr_a_x8_2019(), (648, 704)),
+        ranged(ChipProfile::mfr_b_x4_2019(), (840, 896)),
+        ranged(ChipProfile::mfr_b_x8_2017(), (840, 896)),
+        ranged(ChipProfile::mfr_b_x8_2018(), (840, 896)),
+        ranged(ChipProfile::mfr_b_x8_2019(), (840, 896)),
+        ranged(ChipProfile::mfr_c_x4_2018(), (696, 752)),
+        ranged(ChipProfile::mfr_c_x4_2021(), (696, 752)),
+        ranged(ChipProfile::mfr_c_x8_2016(), (696, 752)),
+        ranged(ChipProfile::mfr_c_x8_2019(), (696, 752)),
+        ranged(ChipProfile::hbm2_mfr_a(), (840, 896)),
+    ]
+}
+
+/// Characterizes every job concurrently on a `std::thread::scope` worker
+/// pool. Results come back in job order; a worker panic costs only the
+/// offending profile.
+pub fn run_fleet(jobs: &[FleetJob], base_seed: u64, config: FleetConfig) -> FleetReport {
+    let workers = effective_workers(config.workers, jobs.len());
+    run_with(jobs, base_seed, workers, characterize_with_stats)
+}
+
+/// The strictly serial reference path: identical jobs, identical derived
+/// seeds, one at a time on the calling thread. Exists so determinism can
+/// be asserted (`run_fleet` output must match byte-for-byte) and as the
+/// baseline for the parallel speedup.
+pub fn run_fleet_serial(jobs: &[FleetJob], base_seed: u64) -> FleetReport {
+    run_with(jobs, base_seed, 1, characterize_with_stats)
+}
+
+fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let hw = thread::available_parallelism().map_or(1, |n| n.get());
+    let w = if requested == 0 { hw } else { requested };
+    w.clamp(1, jobs.max(1))
+}
+
+/// The raw fan-out engine under [`run_fleet`], public so other
+/// per-device sweeps (the bench tables, custom experiment loops) can
+/// parallelize the same way. Runs `f` over every item on a
+/// `std::thread::scope` worker pool and returns the outcomes in input
+/// order; a panic inside `f` becomes that item's
+/// [`CoreError::WorkerPanic`] while every other item still completes.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<Result<R, CoreError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, CoreError> + Sync,
+{
+    let workers = effective_workers(workers, items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, CoreError>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                // A panicking run leaves only its own item's state
+                // inconsistent; nothing shared survives the catch, so
+                // the unwind is safe to absorb.
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(result) => result,
+                    Err(payload) => Err(CoreError::WorkerPanic(panic_message(payload))),
+                };
+                *slots[i]
+                    .lock()
+                    .expect("no worker holds a slot across a panic") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex is never poisoned")
+                .expect("every item index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// The engine proper, generic over the per-job runner so tests can
+/// inject faults (panics, errors) without manufacturing a broken chip.
+fn run_with<F>(jobs: &[FleetJob], base_seed: u64, workers: usize, run: F) -> FleetReport
+where
+    F: Fn(&ChipProfile, u64, CharacterizeOptions) -> Result<(ChipDossier, RunStats), CoreError>
+        + Sync,
+{
+    let started = Instant::now();
+    let outcomes = parallel_map(jobs, workers, |job| {
+        let seed = derive_seed(base_seed, &job.profile.label());
+        run(&job.profile, seed, job.opts)
+    });
+    let results = jobs
+        .iter()
+        .zip(outcomes)
+        .map(|(job, outcome)| {
+            let label = job.profile.label();
+            let seed = derive_seed(base_seed, &label);
+            match outcome {
+                Ok((dossier, stats)) => ProfileResult {
+                    label,
+                    seed,
+                    outcome: Ok(dossier),
+                    stats,
+                },
+                Err(e) => ProfileResult {
+                    label,
+                    seed,
+                    outcome: Err(e),
+                    stats: RunStats::default(),
+                },
+            }
+        })
+        .collect();
+    FleetReport {
+        results,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        workers,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::Time;
+
+    fn small_jobs() -> Vec<FleetJob> {
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        vec![
+            FleetJob {
+                profile: ChipProfile::test_small(),
+                opts,
+            },
+            FleetJob {
+                profile: ChipProfile::test_small_coupled(),
+                opts: CharacterizeOptions {
+                    scan_rows: 257,
+                    ..opts
+                },
+            },
+            FleetJob {
+                profile: ChipProfile::test_small().with_trr(2),
+                opts,
+            },
+            FleetJob {
+                profile: ChipProfile::test_small().with_on_die_ecc(),
+                opts,
+            },
+        ]
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a = derive_seed(1, "Mfr. A x4 2016");
+        assert_eq!(a, derive_seed(1, "Mfr. A x4 2016"));
+        assert_ne!(a, derive_seed(2, "Mfr. A x4 2016"));
+        assert_ne!(a, derive_seed(1, "Mfr. A x4 2017"));
+    }
+
+    #[test]
+    fn table1_covers_all_presets() {
+        let jobs = table1_jobs();
+        assert_eq!(jobs.len(), ChipProfile::all_presets().len());
+        let labels: Vec<String> = jobs.iter().map(|j| j.profile.label()).collect();
+        let preset_labels: Vec<String> = ChipProfile::all_presets()
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(labels, preset_labels);
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        let jobs = small_jobs();
+        let par = run_fleet(&jobs, 77, FleetConfig { workers: 4 });
+        let ser = run_fleet_serial(&jobs, 77);
+        assert!(par.all_ok(), "{}", par.table());
+        assert!(ser.all_ok(), "{}", ser.table());
+        for (p, s) in par.results.iter().zip(&ser.results) {
+            assert_eq!(p.label, s.label);
+            assert_eq!(p.seed, s.seed);
+            // The dossiers (not the timings) must be byte-identical.
+            assert_eq!(
+                format!("{}", p.outcome.as_ref().unwrap()),
+                format!("{}", s.outcome.as_ref().unwrap())
+            );
+            assert_eq!(
+                p.stats
+                    .phases
+                    .iter()
+                    .map(|x| x.commands)
+                    .collect::<Vec<_>>(),
+                s.stats
+                    .phases
+                    .iter()
+                    .map(|x| x.commands)
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                p.stats
+                    .phases
+                    .iter()
+                    .map(|x| x.bitflips)
+                    .collect::<Vec<_>>(),
+                s.stats
+                    .phases
+                    .iter()
+                    .map(|x| x.bitflips)
+                    .collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_its_profile() {
+        let jobs = small_jobs();
+        let report = run_with(&jobs, 9, 4, |profile, seed, opts| {
+            if profile.label() == ChipProfile::test_small_coupled().label() {
+                panic!("injected fault");
+            }
+            characterize_with_stats(profile, seed, opts)
+        });
+        assert_eq!(report.results.len(), jobs.len());
+        let failed: Vec<&ProfileResult> = report
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_err())
+            .collect();
+        assert_eq!(failed.len(), 1, "{}", report.table());
+        assert_eq!(
+            failed[0].outcome.as_ref().unwrap_err(),
+            &CoreError::WorkerPanic("injected fault".into())
+        );
+        // Every other profile completed normally.
+        assert_eq!(
+            report.results.iter().filter(|r| r.outcome.is_ok()).count(),
+            jobs.len() - 1
+        );
+        // The failure shows up in both report formats.
+        assert!(report.table().contains("worker panicked"));
+        assert!(report
+            .json_lines()
+            .lines()
+            .any(|l| l.contains("\"status\":\"error\"") && l.contains("injected fault")));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_isolates_panics() {
+        let items: Vec<u64> = (0..24).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            if x == 13 {
+                panic!("unlucky item");
+            }
+            Ok(x * x)
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                assert_eq!(
+                    r.as_ref().unwrap_err(),
+                    &CoreError::WorkerPanic("unlucky item".into())
+                );
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_profile() {
+        let jobs = small_jobs();
+        let report = run_fleet_serial(&jobs[..1], 77);
+        let out = report.json_lines();
+        assert_eq!(out.lines().count(), 1);
+        let line = out.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"status\":\"ok\""));
+        assert!(line.contains("\"phases\":[{\"name\":\"structure\""));
+        assert!(line.contains("\"dossier\":{"));
+    }
+}

@@ -271,11 +271,7 @@ impl HammerPattern {
 
 /// Aggregates flips-per-bit-index (mod `period`) over a set of
 /// independent victim measurements — the reduction behind Fig. 12.
-pub fn flips_by_bit_index(
-    records: &[BitflipRecord],
-    rd_bits: u32,
-    period: u32,
-) -> Vec<u64> {
+pub fn flips_by_bit_index(records: &[BitflipRecord], rd_bits: u32, period: u32) -> Vec<u64> {
     let mut hist = vec![0u64; period as usize];
     for r in records {
         let idx = r.row_bit(rd_bits) % period;
@@ -333,15 +329,8 @@ mod tests {
     #[test]
     fn measure_victim_flips_reports_direction() {
         let mut t = tb();
-        let recs = measure_victim_flips(
-            &mut t,
-            big_hammer(),
-            20,
-            19,
-            &|_| u64::MAX,
-            &|_| 0,
-        )
-        .unwrap();
+        let recs =
+            measure_victim_flips(&mut t, big_hammer(), 20, 19, &|_| u64::MAX, &|_| 0).unwrap();
         assert!(!recs.is_empty());
         assert!(recs
             .iter()
@@ -351,17 +340,8 @@ mod tests {
     #[test]
     fn hcnt_search_is_consistent() {
         let mut t = tb();
-        let res = hcnt_for_cell(
-            &mut t,
-            0,
-            20,
-            19,
-            &|_| u64::MAX,
-            &|_| 0,
-            (0, 0),
-            4_000_000,
-        )
-        .unwrap();
+        let res =
+            hcnt_for_cell(&mut t, 0, 20, 19, &|_| u64::MAX, &|_| 0, (0, 0), 4_000_000).unwrap();
         // Cell (0,0) may or may not be the weakest; if it flips, verify
         // the search bracket semantics by direct replay.
         if let Some(n) = res.count {

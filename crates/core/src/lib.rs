@@ -42,6 +42,8 @@
 pub mod analysis;
 pub mod dossier;
 pub mod ecc_probe;
+pub mod error;
+pub mod fleet;
 pub mod hammer;
 pub mod mapping;
 pub mod observations;
@@ -56,8 +58,12 @@ pub mod swizzle_re;
 pub mod templating;
 pub mod trr_re;
 
+pub use dossier::{characterize, ChipDossier};
+pub use error::CoreError;
+pub use fleet::{
+    parallel_map, run_fleet, run_fleet_serial, FleetConfig, FleetReport, ProfileResult,
+};
 pub use hammer::{AibConfig, HcntResult};
 pub use observations::{ObservationReport, ObservationSuite};
 pub use patterns::DataPattern;
-pub use dossier::{characterize, ChipDossier};
 pub use report::Table;

@@ -47,8 +47,14 @@ impl ModuleTestbed {
         let mut tc = t0 + t.trcd;
         let cols = self.dimm.profile().cols_per_row();
         for col in 0..cols {
-            self.dimm
-                .issue(ModuleCommand::Write { bank, col, data: line }, tc)?;
+            self.dimm.issue(
+                ModuleCommand::Write {
+                    bank,
+                    col,
+                    data: line,
+                },
+                tc,
+            )?;
             tc += t.tck;
         }
         let tp = tc.max(t0 + t.tras);
@@ -178,7 +184,11 @@ pub fn hammer_and_scan_module(
                 }
             }
             if flips > 0 {
-                out.push(ModuleFlip { row: r, chip, flips });
+                out.push(ModuleFlip {
+                    row: r,
+                    chip,
+                    flips,
+                });
             }
         }
     }
@@ -237,9 +247,9 @@ mod tests {
         let line = CacheLine([1, 2, 3, 4, 5, 6, 7, 0xFFFF]);
         m.write_row(0, 33, line).unwrap();
         let got = m.read_row(0, 33).unwrap();
-        assert!(got.iter().all(|l| {
-            (0..8).all(|b| l.0[b] & 0xFFFF == line.0[b] & 0xFFFF)
-        }));
+        assert!(got
+            .iter()
+            .all(|l| { (0..8).all(|b| l.0[b] & 0xFFFF == line.0[b] & 0xFFFF) }));
     }
 
     #[test]
@@ -250,8 +260,7 @@ mod tests {
         // controller row.
         let aggressor = 103;
         let rows: Vec<u32> = (96..112).chain([88]).collect();
-        let flips =
-            hammer_and_scan_module(&mut m, 0, aggressor, &rows, 1_500_000).unwrap();
+        let flips = hammer_and_scan_module(&mut m, 0, aggressor, &rows, 1_500_000).unwrap();
         let rows_hit: BTreeSet<u32> = flips.iter().map(|f| f.row).collect();
         assert!(rows_hit.contains(&102));
         assert!(
@@ -259,10 +268,7 @@ mod tests {
             "B-side inversion must surface a 'non-adjacent' victim at 88, got {rows_hit:?}"
         );
         // And the far victim must be exclusively on B-side chips.
-        assert!(flips
-            .iter()
-            .filter(|f| f.row == 88)
-            .all(|f| f.chip >= 2));
+        assert!(flips.iter().filter(|f| f.row == 88).all(|f| f.chip >= 2));
     }
 
     #[test]

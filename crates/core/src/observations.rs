@@ -8,6 +8,7 @@
 //! states it. Ground truth is consulted only to *grade* the outcome,
 //! never to produce it.
 
+use crate::error::CoreError;
 use crate::hammer::{self, AibConfig, Attack};
 use crate::patterns::{CellLayout, CellPatternBuilder};
 use crate::protect;
@@ -17,7 +18,6 @@ use crate::rowcopy_probe;
 use crate::swizzle_re::{self, ProbeSetup};
 use dram_sim::{ChipProfile, DramChip, Time};
 use dram_testbed::{BitflipRecord, Testbed};
-use std::error::Error;
 use std::fmt;
 
 /// A `(victim, upper aggressor, lower aggressor)` row triple.
@@ -94,7 +94,7 @@ impl ObservationSuite {
     /// # Errors
     ///
     /// Propagates chip protocol errors and reconstruction failures.
-    pub fn run_all(&mut self) -> Result<Vec<ObservationReport>, Box<dyn Error>> {
+    pub fn run_all(&mut self) -> Result<Vec<ObservationReport>, CoreError> {
         Ok(vec![
             self.o1()?,
             self.o2()?,
@@ -128,7 +128,7 @@ impl ObservationSuite {
     /// Physically consecutive pin rows in an interior subarray, recovered
     /// by hammer-based adjacency probing (pitfall-2 compensation).
     /// Cached after the first call.
-    pub fn phys_chain(&mut self) -> Result<Vec<u32>, Box<dyn Error>> {
+    pub fn phys_chain(&mut self) -> Result<Vec<u32>, CoreError> {
         if self.phys_chain.is_none() {
             let cfg = AibConfig {
                 bank: 0,
@@ -150,7 +150,7 @@ impl ObservationSuite {
 
     /// `(victim, up, down)` triples with a consistent direction
     /// convention, taken from the physical chain.
-    pub fn triples(&mut self, n: usize) -> Result<Vec<Triple>, Box<dyn Error>> {
+    pub fn triples(&mut self, n: usize) -> Result<Vec<Triple>, CoreError> {
         let chain = self.phys_chain()?;
         let mut out = Vec::new();
         let mut i = 1;
@@ -173,7 +173,7 @@ impl ObservationSuite {
         &mut self,
         n: usize,
         parity: usize,
-    ) -> Result<Vec<Triple>, Box<dyn Error>> {
+    ) -> Result<Vec<Triple>, CoreError> {
         let chain = self.phys_chain()?;
         let mut out = Vec::new();
         let mut i = 1 + ((parity + 1) % 2);
@@ -190,7 +190,7 @@ impl ObservationSuite {
     }
 
     /// The recovered cell layout (swizzle RE pipeline), cached.
-    pub fn layout(&mut self) -> Result<CellLayout, Box<dyn Error>> {
+    pub fn layout(&mut self) -> Result<CellLayout, CoreError> {
         if self.layout.is_none() {
             let triples = self.triples(6)?;
             // Calibrate the probe dose below saturation (anti-cell
@@ -226,7 +226,7 @@ impl ObservationSuite {
         attack: Attack,
         vic_cols: &[u64],
         aggr_cols: &[u64],
-    ) -> Result<Vec<BitflipRecord>, Box<dyn Error>> {
+    ) -> Result<Vec<BitflipRecord>, CoreError> {
         let cfg = AibConfig { bank: 0, attack };
         Ok(hammer::measure_victim_flips(
             &mut self.tb,
@@ -258,7 +258,7 @@ impl ObservationSuite {
     }
 
     /// O1: one RD command's data is collected from multiple MATs.
-    pub fn o1(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o1(&mut self) -> Result<ObservationReport, CoreError> {
         let layout = self.layout()?;
         // Count distinct MATs touched by column 0's RD_data.
         let mat_w = layout.mat_width();
@@ -274,12 +274,16 @@ impl ObservationSuite {
             id: 1,
             title: "single RD_data gathered from multiple MATs (swizzled)",
             passed,
-            details: format!("RD_data spans {} MATs (ground truth {})", mats.len(), expected),
+            details: format!(
+                "RD_data spans {} MATs (ground truth {})",
+                mats.len(),
+                expected
+            ),
         })
     }
 
     /// O2: the MAT width is measurable (512 cells for this device).
-    pub fn o2(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o2(&mut self) -> Result<ObservationReport, CoreError> {
         let layout = self.layout()?;
         let gt = self.tb.chip().ground_truth();
         let passed = layout.mat_width() == gt.mat_width;
@@ -296,7 +300,7 @@ impl ObservationSuite {
     }
 
     /// O3: activating a row also activates its coupled row.
-    pub fn o3(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o3(&mut self) -> Result<ObservationReport, CoreError> {
         let d = rowcopy_probe::detect_coupled_rows(&mut self.tb, 0)?;
         let gt = self.tb.chip().ground_truth();
         let passed = d == gt.coupled_distance && d.is_some();
@@ -309,7 +313,7 @@ impl ObservationSuite {
     }
 
     /// O4: subarray heights are not powers of two and vary within a chip.
-    pub fn o4(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o4(&mut self) -> Result<ObservationReport, CoreError> {
         let heights = rowcopy_probe::subarray_heights(&mut self.tb, 0, 0..8193)?;
         let gt = self.tb.chip().ground_truth();
         let expect: Vec<u32> = gt.subarray_heights[..heights.len()].to_vec();
@@ -329,7 +333,7 @@ impl ObservationSuite {
     }
 
     /// O5: two edge subarrays work in tandem (wrap-stripe RowCopy).
-    pub fn o5(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o5(&mut self) -> Result<ObservationReport, CoreError> {
         let interval = rowcopy_probe::detect_edge_interval(&mut self.tb, 0)?;
         let gt = self.tb.chip().ground_truth();
         let passed = interval == Some(gt.edge_interval_wls);
@@ -345,7 +349,7 @@ impl ObservationSuite {
     }
 
     /// O6: edge subarrays show lower AIB BER, mostly for aggressor = 1.
-    pub fn o6(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o6(&mut self) -> Result<ObservationReport, CoreError> {
         // Edge aggressor: wordline 10 (pin 10 — identity inside the low
         // block); interior: the middle of the recovered chain.
         let chain = self.phys_chain()?;
@@ -387,7 +391,7 @@ impl ObservationSuite {
         &mut self,
         attack: Attack,
         vic_value: bool,
-    ) -> Result<AlternationEvidence, Box<dyn Error>> {
+    ) -> Result<AlternationEvidence, CoreError> {
         let layout = self.layout()?;
         let triples = self.triples_with_parity(8, 0)?;
         let odd_triples = self.triples_with_parity(2, 1)?;
@@ -412,16 +416,12 @@ impl ObservationSuite {
             next_row.0 += e;
             next_row.1 += o;
         }
-        Ok(AlternationEvidence {
-            up,
-            down,
-            next_row,
-        })
+        Ok(AlternationEvidence { up, down, next_row })
     }
 
     /// O7: RowPress alternates with bit parity and reverses with
     /// aggressor direction and victim-row parity.
-    pub fn o7(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o7(&mut self) -> Result<ObservationReport, CoreError> {
         let ev = self.alternation(
             Attack::Press {
                 count: 24_000,
@@ -440,7 +440,7 @@ impl ObservationSuite {
 
     /// O8: RowHammer shows the same alternation, additionally reversed by
     /// the written value.
-    pub fn o8(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o8(&mut self) -> Result<ObservationReport, CoreError> {
         let charged = self.alternation(Self::strong_hammer(), true)?;
         let discharged = self.alternation(Self::strong_hammer(), false)?;
         let value_reversed = charged.majority_up() != discharged.majority_up();
@@ -457,7 +457,7 @@ impl ObservationSuite {
     }
 
     /// O9: RowHammer occurs at both gate types.
-    pub fn o9(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o9(&mut self) -> Result<ObservationReport, CoreError> {
         let charged = self.alternation(Self::strong_hammer(), true)?;
         let discharged = self.alternation(Self::strong_hammer(), false)?;
         // From a fixed direction, charged cells flip at one parity class
@@ -477,7 +477,7 @@ impl ObservationSuite {
 
     /// O10: a victim cell is susceptible to one gate type at a time,
     /// reversed with the written value.
-    pub fn o10(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o10(&mut self) -> Result<ObservationReport, CoreError> {
         let charged = self.alternation(Self::strong_hammer(), true)?;
         let discharged = self.alternation(Self::strong_hammer(), false)?;
         // For a fixed direction the dominant parity class must flip when
@@ -512,7 +512,7 @@ impl ObservationSuite {
         &mut self,
         dists: &[u32],
         vic_value: bool,
-    ) -> Result<(u64, u64), Box<dyn Error>> {
+    ) -> Result<(u64, u64), CoreError> {
         let layout = self.layout()?;
         let triples = self.triples(8)?;
         let attack = Self::moderate_hammer();
@@ -547,7 +547,7 @@ impl ObservationSuite {
     }
 
     /// O11: victim-side horizontal influence, strongest at distance two.
-    pub fn o11(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o11(&mut self) -> Result<ObservationReport, CoreError> {
         let (base_1, d1) = self.neighbor_influence(&[1], false)?;
         let (base_2, d2) = self.neighbor_influence(&[2], false)?;
         let r1 = d1 as f64 / base_1.max(1) as f64;
@@ -562,7 +562,7 @@ impl ObservationSuite {
     }
 
     /// O12: aggressor-side horizontal influence, strongest at distance 0.
-    pub fn o12(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o12(&mut self) -> Result<ObservationReport, CoreError> {
         let layout = self.layout()?;
         let triples = self.triples(6)?;
         let attack = Self::strong_hammer();
@@ -603,10 +603,8 @@ impl ObservationSuite {
             .iter()
             .map(|&c| c as f64 / counts[0].max(1) as f64)
             .collect();
-        let passed = counts[0] > 0
-            && ratios[0] < 0.9
-            && ratios[1] < ratios[0]
-            && ratios[2] < ratios[1];
+        let passed =
+            counts[0] > 0 && ratios[0] < 0.9 && ratios[1] < ratios[0] && ratios[2] < ratios[1];
         Ok(ObservationReport {
             id: 12,
             title: "Aggr0/±1/±2 data affects BER; cumulative drops",
@@ -619,7 +617,7 @@ impl ObservationSuite {
     }
 
     /// O13: adversarial neighbours lower H_cnt.
-    pub fn o13(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o13(&mut self) -> Result<ObservationReport, CoreError> {
         let layout = self.layout()?;
         let triples = self.triples(2)?;
         let (v, a_up, _) = triples[0];
@@ -677,7 +675,7 @@ impl ObservationSuite {
     }
 
     /// O14: the 0x33/0xCC-style physical pattern worsens whole-row BER.
-    pub fn o14(&mut self) -> Result<ObservationReport, Box<dyn Error>> {
+    pub fn o14(&mut self) -> Result<ObservationReport, CoreError> {
         let layout = self.layout()?;
         let triples = self.triples(6)?;
         let attack = Self::moderate_hammer();
@@ -703,15 +701,19 @@ impl ObservationSuite {
 
     /// Supplementary: the retention-based polarity scheme (used by the
     /// Table III flow; Mfr. A is all-true).
-    pub fn polarity(&mut self) -> Result<PolarityVerdict, Box<dyn Error>> {
-        let verdicts =
-            retention_probe::classify_rows(&mut self.tb, 0, &[16, 700, 1400], Time::from_ms(120_000))?;
+    pub fn polarity(&mut self) -> Result<PolarityVerdict, CoreError> {
+        let verdicts = retention_probe::classify_rows(
+            &mut self.tb,
+            0,
+            &[16, 700, 1400],
+            Time::from_ms(120_000),
+        )?;
         Ok(retention_probe::polarity_scheme(&verdicts))
     }
 
     /// Supplementary: the coupled-row split attack evidence of §VI, run
     /// on this suite's chip.
-    pub fn coupled_attack_probe(&mut self) -> Result<protect::AttackOutcome, Box<dyn Error>> {
+    pub fn coupled_attack_probe(&mut self) -> Result<protect::AttackOutcome, CoreError> {
         let chain = self.phys_chain()?;
         let aggr = chain[chain.len() / 2];
         let d = self

@@ -20,7 +20,7 @@
 
 use dram_sim::rng::mix64;
 use dram_testbed::{results, Testbed, TestbedError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A mitigation decision from a tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,7 @@ pub trait Tracker {
 pub struct MisraGries {
     threshold: u64,
     table_size: usize,
-    counters: HashMap<u32, u64>,
+    counters: BTreeMap<u32, u64>,
     /// When set, activations are folded onto the coupled pair's canonical
     /// address before counting — the paper's proposed fix (§VI-B).
     coupled_distance: Option<u32>,
@@ -59,7 +59,7 @@ impl MisraGries {
         MisraGries {
             threshold,
             table_size,
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
             coupled_distance: None,
         }
     }
@@ -96,13 +96,7 @@ impl Tracker for MisraGries {
         let key = self.canonical(row);
         if !self.counters.contains_key(&key) && self.counters.len() >= self.table_size {
             // Misra–Gries decrement step.
-            let dec = count.min(
-                self.counters
-                    .values()
-                    .copied()
-                    .min()
-                    .unwrap_or(0),
-            );
+            let dec = count.min(self.counters.values().copied().min().unwrap_or(0));
             self.counters.retain(|_, v| {
                 *v = v.saturating_sub(dec);
                 *v > 0
@@ -179,8 +173,8 @@ impl Tracker for Para {
 #[derive(Debug, Clone)]
 pub struct RowSwapDefense {
     threshold: u64,
-    counters: HashMap<u32, u64>,
-    swap_map: HashMap<u32, u32>,
+    counters: BTreeMap<u32, u64>,
+    swap_map: BTreeMap<u32, u32>,
     next_spare: u32,
 }
 
@@ -190,8 +184,8 @@ impl RowSwapDefense {
     pub fn new(threshold: u64, spare_base: u32) -> Self {
         RowSwapDefense {
             threshold,
-            counters: HashMap::new(),
-            swap_map: HashMap::new(),
+            counters: BTreeMap::new(),
+            swap_map: BTreeMap::new(),
             next_spare: spare_base,
         }
     }
@@ -307,8 +301,7 @@ pub fn run_attack(
     let mut victim_flips = 0;
     for &v in &victims {
         let data = tb.read_row(bank, v)?;
-        victim_flips +=
-            results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
+        victim_flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
     }
     Ok(AttackOutcome {
         victim_flips,
@@ -372,8 +365,7 @@ pub fn run_attack_rowswap(
     for &v in &victims {
         if v < rows {
             let data = tb.read_row(bank, v)?;
-            victim_flips +=
-                results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
+            victim_flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
         }
     }
     Ok(AttackOutcome {

@@ -5,8 +5,8 @@
 //! pausing refresh and watching which *logical* direction bits decay in
 //! reveals each cell's polarity: true-cells fail 1→0, anti-cells 0→1.
 
-use dram_testbed::{Testbed, TestbedError};
 use dram_sim::Time;
+use dram_testbed::{Testbed, TestbedError};
 
 /// The polarity verdict for one row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,11 +75,7 @@ pub fn classify_rows(
             .sum();
         tb.write_row_pattern(bank, row, 0)?;
         tb.wait(wait);
-        verdict.fails_from_zeros = tb
-            .read_row(bank, row)?
-            .iter()
-            .map(|d| d.count_ones())
-            .sum();
+        verdict.fails_from_zeros = tb.read_row(bank, row)?.iter().map(|d| d.count_ones()).sum();
         out.push(verdict);
     }
     Ok(out)

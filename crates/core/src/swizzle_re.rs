@@ -22,6 +22,7 @@
 //!    (O2), and the number of chains is the MAT count feeding one RD_data
 //!    (O1).
 
+use crate::error::CoreError;
 use crate::hammer::Attack;
 use crate::patterns::CellLayout;
 use crate::rowcopy_probe::{classify_bit_parity, BlParity};
@@ -330,10 +331,7 @@ pub fn recover_chains(
         let mut chain = vec![start];
         visited.insert(start, true);
         let mut cur = start;
-        while let Some(&next) = adj
-            .get(&cur)
-            .and_then(|ns| ns.iter().find(|n| !visited[n]))
-        {
+        while let Some(&next) = adj.get(&cur).and_then(|ns| ns.iter().find(|n| !visited[n])) {
             visited.insert(next, true);
             chain.push(next);
             cur = next;
@@ -394,13 +392,13 @@ impl RecoveredSwizzle {
 ///
 /// # Errors
 ///
-/// Returns chip protocol errors or a boxed [`SwizzleReError`] when the
+/// Returns chip protocol errors or a [`SwizzleReError`] when the
 /// influence data cannot be assembled.
 pub fn recover_swizzle(
     tb: &mut Testbed,
     setup: &ProbeSetup,
     parity_rows: (u32, u32),
-) -> Result<RecoveredSwizzle, Box<dyn Error>> {
+) -> Result<RecoveredSwizzle, CoreError> {
     let rd_bits = tb.chip().profile().io_width.rd_bits();
     let row_bits = tb.chip().profile().row_bits;
     let edges = influence_edges(tb, setup)?;
@@ -453,10 +451,7 @@ mod tests {
             let pc = layout.position(0, e.candidate) as i64;
             let pt = layout.position(0, e.target) as i64;
             let d = (pc - pt).abs();
-            assert!(
-                (1..=2).contains(&d),
-                "edge {e:?} has physical distance {d}"
-            );
+            assert!((1..=2).contains(&d), "edge {e:?} has physical distance {d}");
         }
     }
 
@@ -498,17 +493,28 @@ mod tests {
     #[test]
     fn recover_chains_rejects_cycles() {
         // Synthetic cyclic relation set.
-        let parity = vec![
-            BlParity::Even,
-            BlParity::Odd,
-            BlParity::Even,
-            BlParity::Odd,
-        ];
+        let parity = vec![BlParity::Even, BlParity::Odd, BlParity::Even, BlParity::Odd];
         let edges = vec![
-            InfluenceEdge { candidate: 0, target: 1, dcol: 0 },
-            InfluenceEdge { candidate: 1, target: 2, dcol: 0 },
-            InfluenceEdge { candidate: 2, target: 3, dcol: 0 },
-            InfluenceEdge { candidate: 3, target: 0, dcol: 0 },
+            InfluenceEdge {
+                candidate: 0,
+                target: 1,
+                dcol: 0,
+            },
+            InfluenceEdge {
+                candidate: 1,
+                target: 2,
+                dcol: 0,
+            },
+            InfluenceEdge {
+                candidate: 2,
+                target: 3,
+                dcol: 0,
+            },
+            InfluenceEdge {
+                candidate: 3,
+                target: 0,
+                dcol: 0,
+            },
         ];
         assert_eq!(
             recover_chains(&edges, &parity, 4),
@@ -520,8 +526,8 @@ mod tests {
 #[cfg(test)]
 mod vendor_style_tests {
     use super::*;
-    use dram_sim::{ChipProfile, DramChip, SwizzleMap};
     use crate::patterns::CellLayout;
+    use dram_sim::{ChipProfile, DramChip, SwizzleMap};
 
     fn recover(profile: ChipProfile, truth: SwizzleMap) {
         let mut tb = Testbed::new(DramChip::new(profile, 55));

@@ -96,7 +96,9 @@ pub fn detect_trr(
         return Ok(TrrVerdict::Inconclusive);
     }
     let mut with = fresh();
-    let protected = windowed_attack(&mut with, bank, aggressor, victims, per_window, windows, true)?;
+    let protected = windowed_attack(
+        &mut with, bank, aggressor, victims, per_window, windows, true,
+    )?;
     Ok(if protected == 0 {
         TrrVerdict::Present
     } else {
@@ -176,14 +178,7 @@ pub fn estimate_sampler_size(
     for decoys in 1..=max_decoys {
         let mut tb = fresh();
         let flips = many_sided_attack(
-            &mut tb,
-            bank,
-            aggressor,
-            victims,
-            decoy_base,
-            decoys,
-            per_window,
-            windows,
+            &mut tb, bank, aggressor, victims, decoy_base, decoys, per_window, windows,
         )?;
         if flips > 0 {
             // `decoys` rotating rows defeated the sampler: its table has
@@ -203,7 +198,12 @@ mod tests {
     const VICTIMS: [u32; 2] = [19, 21];
 
     fn fresh_trr(entries: usize) -> impl FnMut() -> Testbed {
-        move || Testbed::new(DramChip::new(ChipProfile::test_small().with_trr(entries), 33))
+        move || {
+            Testbed::new(DramChip::new(
+                ChipProfile::test_small().with_trr(entries),
+                33,
+            ))
+        }
     }
 
     fn fresh_plain() -> impl FnMut() -> Testbed {
@@ -236,14 +236,9 @@ mod tests {
         // A 1-entry sampler is defeated by rotating decoys.
         let mut mk = fresh_trr(1);
         let size = estimate_sampler_size(
-            &mut mk,
-            0,
-            AGGR,
-            &VICTIMS,
+            &mut mk, 0, AGGR, &VICTIMS,
             70, // decoys live in subarray 2 ([64, 104)), away from 19..21
-            4,
-            200_000,
-            12,
+            4, 200_000, 12,
         )
         .unwrap();
         assert!(size.is_some(), "a 1-entry sampler must be bypassable");

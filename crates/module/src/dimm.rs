@@ -227,7 +227,14 @@ impl Dimm {
             ModuleCommand::Activate { bank, row } => {
                 for i in 0..self.chips.len() {
                     let chip_row = self.chip_row_address(i, row);
-                    self.chip_issue(i, Command::Activate { bank, row: chip_row }, at)?;
+                    self.chip_issue(
+                        i,
+                        Command::Activate {
+                            bank,
+                            row: chip_row,
+                        },
+                        at,
+                    )?;
                 }
                 Ok(None)
             }
@@ -330,10 +337,18 @@ mod tests {
 
     fn rw_cycle(d: &mut Dimm, row: u32, data: CacheLine) -> CacheLine {
         let t0 = latest(d) + d.timing().trp;
-        d.issue(ModuleCommand::Activate { bank: 0, row }, t0).unwrap();
-        let t1 = t0 + d.timing().trcd;
-        d.issue(ModuleCommand::Write { bank: 0, col: 0, data }, t1)
+        d.issue(ModuleCommand::Activate { bank: 0, row }, t0)
             .unwrap();
+        let t1 = t0 + d.timing().trcd;
+        d.issue(
+            ModuleCommand::Write {
+                bank: 0,
+                col: 0,
+                data,
+            },
+            t1,
+        )
+        .unwrap();
         let t2 = t1 + d.timing().tck;
         let line = d
             .issue(ModuleCommand::Read { bank: 0, col: 0 }, t2)

@@ -84,8 +84,7 @@ impl AddressMapping {
         if self.bank_xor_hash {
             bank ^= coord.row & ((1 << self.bank_bits) - 1);
         }
-        (((coord.row as u64) << self.bank_bits | bank as u64) << self.col_bits
-            | coord.col as u64)
+        (((coord.row as u64) << self.bank_bits | bank as u64) << self.col_bits | coord.col as u64)
             << Self::LINE_OFFSET_BITS
     }
 

@@ -31,7 +31,7 @@ use crate::rng::unit_open;
 use crate::rowdata::RowBits;
 use crate::swizzle::SwizzleMap;
 use crate::time::{Time, TimingParams};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -47,6 +47,14 @@ const TAG_RETENTION: u64 = 0x4E7E;
 /// `ACT` issued within this fraction of `tRP` after a `PRE` latches the
 /// not-yet-precharged bitline state into the destination row (RowCopy).
 const COPY_WINDOW_FRACTION: f64 = 0.5;
+
+/// Elapsed time from `earlier` to `later`, failing loudly when the order
+/// is reversed. A saturating subtraction here would clamp to zero and
+/// let an out-of-order command slip past the tRCD / copy-window / decay
+/// computations it should fail.
+fn elapsed(later: Time, earlier: Time) -> Result<Time, CommandError> {
+    later.checked_sub(earlier).ok_or(CommandError::TimeReversed)
+}
 
 /// JEDEC refresh granularity: one `REF` covers 1/8192 of the rows; a full
 /// refresh window (`tREFW`) is 8192 `REF` commands.
@@ -216,8 +224,12 @@ struct PreEvent {
 struct BankState {
     open: Option<OpenRow>,
     last_pre: Option<PreEvent>,
-    wl_acts: HashMap<u32, WlActivity>,
-    rows: HashMap<u32, RowState>,
+    // BTreeMaps, not HashMaps: refresh settles rows in iteration order
+    // and settle order feeds the physics (neighbor data), so the map
+    // order must be deterministic for identical seeds to give identical
+    // dossiers.
+    wl_acts: BTreeMap<u32, WlActivity>,
+    rows: BTreeMap<u32, RowState>,
     /// The in-DRAM TRR activation sampler (inert when TRR is disabled).
     sampler: crate::mitigation::Sampler,
 }
@@ -237,6 +249,10 @@ pub struct ChipStats {
     /// Wordline-activation energy units actually spent: coupled rows and
     /// edge-subarray tandem activations burn extra units per `ACT`.
     pub act_energy_units: u64,
+    /// Cells flipped by resolved physics (disturbance and retention
+    /// decay), cumulative over the chip's lifetime. Deliberate writes and
+    /// RowCopy data movement do not count.
+    pub bitflips: u64,
 }
 
 /// A read-only snapshot of the chip's hidden microarchitecture.
@@ -443,6 +459,7 @@ impl DramChip {
         self.now = end;
 
         let on_total = each_on.as_ns() * count as f64;
+        let last_pre_at = elapsed(end, self.profile.timing.trp)?;
         {
             let b = &mut self.banks[bank as usize];
             if self.profile.hidden.trr.enabled {
@@ -457,15 +474,15 @@ impl DramChip {
                 ca.comp_on_ns += on_total;
             }
             b.last_pre = Some(PreEvent {
-                at: end.saturating_sub(self.profile.timing.trp),
+                at: last_pre_at,
                 wl,
             });
         }
         // The hammered row (and its companion) are restored on every
         // activation; settle them once at the end.
-        self.settle_and_restore(bank, wl, end);
+        self.settle_and_restore(bank, wl, end)?;
         if let Some(c) = companion {
-            self.settle_and_restore(bank, c, end);
+            self.settle_and_restore(bank, c, end)?;
         }
         self.stats.activations += count;
         self.stats.act_energy_units += count * self.act_energy_per_activation(companion);
@@ -519,9 +536,10 @@ impl DramChip {
         // shared (paper §III-B).
         let copy_from = match self.banks[bank as usize].last_pre {
             Some(pre) => {
-                let window =
-                    Time::from_ps((self.profile.timing.trp.as_ps() as f64 * COPY_WINDOW_FRACTION) as u64);
-                if at.saturating_sub(pre.at) < window {
+                let window = Time::from_ps(
+                    (self.profile.timing.trp.as_ps() as f64 * COPY_WINDOW_FRACTION) as u64,
+                );
+                if elapsed(at, pre.at)? < window {
                     Some(pre.wl)
                 } else {
                     None
@@ -532,7 +550,7 @@ impl DramChip {
 
         // Settle pending physics on the destination, then apply the copy,
         // then the activation restore.
-        self.settle_and_restore(bank, wl, at);
+        self.settle_and_restore(bank, wl, at)?;
         if let Some(src) = copy_from {
             self.apply_rowcopy(bank, src, wl);
         }
@@ -540,7 +558,7 @@ impl DramChip {
         let companion = self.layout.companion_wordline(wl);
         if let Some(c) = companion {
             if c != wl {
-                self.settle_and_restore(bank, c, at);
+                self.settle_and_restore(bank, c, at)?;
             }
         }
         let b = &mut self.banks[bank as usize];
@@ -561,8 +579,9 @@ impl DramChip {
     fn cmd_precharge(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
         self.check_bank(bank)?;
         let b = &mut self.banks[bank as usize];
-        let open = b.open.take().ok_or(CommandError::NoOpenRow)?;
-        let on_ns = at.saturating_sub(open.since).as_ns();
+        let open = b.open.ok_or(CommandError::NoOpenRow)?;
+        let on_ns = elapsed(at, open.since)?.as_ns();
+        b.open = None;
         let a = b.wl_acts.entry(open.wl.0).or_default();
         a.acts += 1;
         a.on_ns += on_ns;
@@ -594,7 +613,7 @@ impl DramChip {
         self.check_bank(bank)?;
         self.check_col(col)?;
         let open = self.open_row(bank)?;
-        if at.saturating_sub(open.since) < self.profile.timing.trcd {
+        if elapsed(at, open.since)? < self.profile.timing.trcd {
             return Err(CommandError::TrcdViolation);
         }
         let swz = &self.profile.hidden.swizzle;
@@ -626,8 +645,9 @@ impl DramChip {
                     parity |= 1 << j;
                 }
             }
-            let (corrected, _what) = crate::ecc::decode(out as u32, parity);
-            out = corrected as u64;
+            let code = u32::try_from(out).expect("ECC chips carry 32-bit RD_data");
+            let (corrected, _what) = crate::ecc::decode(code, parity);
+            out = u64::from(corrected);
         }
         self.stats.reads += 1;
         Ok(ReadData(out))
@@ -637,7 +657,7 @@ impl DramChip {
         self.check_bank(bank)?;
         self.check_col(col)?;
         let open = self.open_row(bank)?;
-        if at.saturating_sub(open.since) < self.profile.timing.trcd {
+        if elapsed(at, open.since)? < self.profile.timing.trcd {
             return Err(CommandError::TrcdViolation);
         }
         let rd_bits = self.profile.io_width.rd_bits();
@@ -653,15 +673,17 @@ impl DramChip {
             .collect();
         if self.profile.hidden.on_die_ecc {
             let data_cols = self.profile.cols_per_row();
-            let parity = crate::ecc::encode(data as u32);
+            // Only the 32 data lanes exist on an ECC chip; upper payload
+            // bits are not stored, so the parity covers the stored low
+            // half exactly.
+            let parity = crate::ecc::encode((data & u64::from(u32::MAX)) as u32);
             for j in 0..crate::ecc::PARITY_BITS {
                 let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
                 let bl = self.profile.hidden.swizzle.bitline_of(pc, pb);
                 targets.push((base + bl.0, parity & (1 << j) != 0));
             }
         }
-        let row = self
-            .banks[bank as usize]
+        let row = self.banks[bank as usize]
             .rows
             .get_mut(&wl.0)
             .expect("row ensured above");
@@ -682,11 +704,13 @@ impl DramChip {
                 return Err(CommandError::RefreshWhileOpen);
             }
         }
-        let wls_total = self.geom.wordlines() as u64;
+        let wls_total = u64::from(self.geom.wordlines());
         let slice_size = wls_total.div_ceil(REF_SLICES).max(1);
         let slice = self.ref_counter % REF_SLICES;
-        let lo = (slice * slice_size).min(wls_total) as u32;
-        let hi = ((slice + 1) * slice_size).min(wls_total) as u32;
+        let lo = u32::try_from((slice * slice_size).min(wls_total))
+            .expect("slice bound clamped to the u32 wordline count");
+        let hi = u32::try_from(((slice + 1) * slice_size).min(wls_total))
+            .expect("slice bound clamped to the u32 wordline count");
         self.ref_counter += 1;
         for b in 0..self.banks.len() as u32 {
             let wls: Vec<u32> = self.banks[b as usize]
@@ -696,11 +720,11 @@ impl DramChip {
                 .filter(|&wl| wl >= lo && wl < hi)
                 .collect();
             for wl in wls {
-                self.settle_and_restore(b, Wordline(wl), at);
+                self.settle_and_restore(b, Wordline(wl), at)?;
             }
             self.banks[b as usize].last_pre = None;
             if self.profile.hidden.trr.enabled {
-                self.run_in_dram_mitigation(b, at);
+                self.run_in_dram_mitigation(b, at)?;
             }
         }
         self.stats.refreshes += 1;
@@ -727,11 +751,11 @@ impl DramChip {
         for b in 0..self.banks.len() as u32 {
             let wls: Vec<u32> = self.banks[b as usize].rows.keys().copied().collect();
             for wl in wls {
-                self.settle_and_restore(b, Wordline(wl), at);
+                self.settle_and_restore(b, Wordline(wl), at)?;
             }
             self.banks[b as usize].last_pre = None;
             if self.profile.hidden.trr.enabled {
-                self.run_in_dram_mitigation(b, at);
+                self.run_in_dram_mitigation(b, at)?;
             }
         }
         self.ref_counter = self.ref_counter.next_multiple_of(REF_SLICES);
@@ -745,7 +769,7 @@ impl DramChip {
             return Err(CommandError::RefreshWhileOpen);
         }
         if self.profile.hidden.trr.enabled {
-            self.run_in_dram_mitigation(bank, at);
+            self.run_in_dram_mitigation(bank, at)?;
         }
         Ok(())
     }
@@ -755,7 +779,7 @@ impl DramChip {
     /// its own remapping, coupling (the sampler works on wordlines), and
     /// tandem structure, which is exactly why the paper recommends
     /// DRFM-class mitigation for coupled-row attacks (§VI-B).
-    fn run_in_dram_mitigation(&mut self, bank: u32, at: Time) {
+    fn run_in_dram_mitigation(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
         let n = self.profile.hidden.trr.mitigations_per_ref;
         let hottest = self.banks[bank as usize].sampler.take_hottest(n);
         for wl in hottest {
@@ -764,9 +788,10 @@ impl DramChip {
                 targets.extend(self.layout.neighbors_at(c, 1));
             }
             for v in targets {
-                self.settle_and_restore(bank, v, at);
+                self.settle_and_restore(bank, v, at)?;
             }
         }
+        Ok(())
     }
 
     /// The default (never-written) logical bit of a cell: the discharged
@@ -846,7 +871,17 @@ impl DramChip {
     /// Resolves all pending physics for a wordline (disturbance since its
     /// last restore, retention decay) and restores it: snapshots aggressor
     /// counters and resets the retention clock.
-    fn settle_and_restore(&mut self, bank: u32, wl: Wordline, at: Time) {
+    ///
+    /// # Errors
+    ///
+    /// [`CommandError::TimeReversed`] when `at` precedes the row's last
+    /// restore (an out-of-order command reached the physics layer).
+    fn settle_and_restore(
+        &mut self,
+        bank: u32,
+        wl: Wordline,
+        at: Time,
+    ) -> Result<(), CommandError> {
         if !self.banks[bank as usize].rows.contains_key(&wl.0) {
             // The row physically existed since t = 0 holding the default
             // (discharged) pattern; start from a zero counter baseline so
@@ -858,12 +893,12 @@ impl DramChip {
             };
             self.banks[bank as usize].rows.insert(wl.0, state);
         }
+        let last_restore = self.banks[bank as usize].rows[&wl.0].last_restore;
+        let elapsed = elapsed(at, last_restore)?;
         let mut row = self.banks[bank as usize]
             .rows
             .remove(&wl.0)
             .expect("inserted above");
-
-        let elapsed = at.saturating_sub(row.last_restore);
         // Retention only matters if the row currently stores any charge;
         // a default discharged row created at t = 0 never decays.
         let ret_frac = self
@@ -924,12 +959,14 @@ impl DramChip {
         };
 
         if do_retention || worth_evaluating {
-            self.apply_physics(bank, wl, &mut row, &aggr, do_retention, elapsed);
+            let flipped = self.apply_physics(bank, wl, &mut row, &aggr, do_retention, elapsed);
+            self.stats.bitflips += flipped;
         }
 
         row.snapshot = self.snapshot_for(bank, wl);
         row.last_restore = at;
         self.banks[bank as usize].rows.insert(wl.0, row);
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -941,7 +978,8 @@ impl DramChip {
         aggr: &[(Wordline, f64, WlActivity)],
         do_retention: bool,
         elapsed: Time,
-    ) {
+    ) -> u64 {
+        let mut flipped = 0u64;
         let model = &self.profile.hidden.disturb;
         let polarity = self.polarity_of(wl);
         let sub = self.layout.subarray_of(wl);
@@ -968,9 +1006,16 @@ impl DramChip {
 
             // Retention: charged cells decay toward the discharged state.
             if do_retention && charged {
-                let u_ret = unit_open(self.seed, bank as u64, wl.0 as u64, bl as u64, TAG_RETENTION);
+                let u_ret = unit_open(
+                    self.seed,
+                    bank as u64,
+                    wl.0 as u64,
+                    bl as u64,
+                    TAG_RETENTION,
+                );
                 if self.retention.fails(u_ret, self.temperature_c, elapsed) {
                     row.data.set(bl, polarity.discharged_bit());
+                    flipped += 1;
                     continue;
                 }
             }
@@ -1041,8 +1086,10 @@ impl DramChip {
                         < p_press);
             if flips {
                 row.data.set(bl, !bit);
+                flipped += 1;
             }
         }
+        flipped
     }
 
     /// Applies a RowCopy from the latched bitline state of `src` into
@@ -1289,7 +1336,8 @@ mod tests {
             .unwrap();
         // Wait the full tRP: bitlines fully precharged, no copy.
         let slow = t0 + c.timing().tras + c.timing().trp * 2;
-        c.issue(Command::Activate { bank: 0, row: 9 }, slow).unwrap();
+        c.issue(Command::Activate { bank: 0, row: 9 }, slow)
+            .unwrap();
         c.issue(Command::Precharge { bank: 0 }, slow + c.timing().tras)
             .unwrap();
         assert!(read_row(&mut c, 0, 9).iter().all(|&d| d == 0));
@@ -1336,11 +1384,7 @@ mod tests {
     #[test]
     fn coupled_rows_share_data() {
         let mut c = DramChip::new(ChipProfile::test_small_coupled(), 3);
-        let dist = c
-            .profile()
-            .bank_geometry()
-            .coupled_row_distance()
-            .unwrap();
+        let dist = c.profile().bank_geometry().coupled_row_distance().unwrap();
         // Row 45 resolves to an interior subarray (no tandem energy).
         write_row(&mut c, 0, 45, 0xAAAA_5555);
         // The coupled alias shows distinct data (its own half) but the
@@ -1362,11 +1406,15 @@ mod tests {
         write_row(&mut c, 0, 50, u64::MAX);
         // Wait 500 seconds without refresh, then read.
         let late = c.now() + Time::from_ms(500_000);
-        c.issue(Command::Activate { bank: 0, row: 50 }, late).unwrap();
+        c.issue(Command::Activate { bank: 0, row: 50 }, late)
+            .unwrap();
         let mut tc = late + c.timing().trcd;
         let mut zeros = 0;
         for col in 0..c.profile().cols_per_row() {
-            let d = c.issue(Command::Read { bank: 0, col }, tc).unwrap().unwrap();
+            let d = c
+                .issue(Command::Read { bank: 0, col }, tc)
+                .unwrap()
+                .unwrap();
             zeros += d.0.count_zeros() - 32;
             tc += c.timing().tck;
         }
@@ -1404,7 +1452,10 @@ mod tests {
         let mut tc = late;
         c.issue(Command::Activate { bank: 0, row: 50 }, tc).unwrap();
         tc += c.timing().trcd;
-        let d = c.issue(Command::Read { bank: 0, col: 0 }, tc).unwrap().unwrap();
+        let d = c
+            .issue(Command::Read { bank: 0, col: 0 }, tc)
+            .unwrap()
+            .unwrap();
         assert!(
             d.0.count_zeros() > 32,
             "800 s with a single sliced REF must still decay"
@@ -1423,7 +1474,9 @@ mod tests {
             write_row(&mut c, 0, 20, 0);
             let mut t = c.now() + c.timing().trp;
             for _ in 0..12 {
-                t = c.activate_burst(0, 20, 200_000, Time::from_ns(35), t).unwrap();
+                t = c
+                    .activate_burst(0, 20, 200_000, Time::from_ns(35), t)
+                    .unwrap();
                 t += c.timing().trfc;
                 c.issue(Command::Refresh, t).unwrap();
                 t += c.timing().trfc;
@@ -1435,7 +1488,10 @@ mod tests {
         };
         let unprotected = run(ChipProfile::test_small());
         let protected = run(with_trr);
-        assert!(unprotected > 0, "2.4M total activations must flip without TRR");
+        assert!(
+            unprotected > 0,
+            "2.4M total activations must flip without TRR"
+        );
         assert_eq!(protected, 0, "TRR must rescue the victims at each REF");
     }
 
@@ -1447,7 +1503,9 @@ mod tests {
         write_row(&mut c, 0, 20, 0);
         let mut t = c.now() + c.timing().trp;
         for _ in 0..12 {
-            t = c.activate_burst(0, 20, 200_000, Time::from_ns(35), t).unwrap();
+            t = c
+                .activate_burst(0, 20, 200_000, Time::from_ns(35), t)
+                .unwrap();
             t += c.timing().trfc;
             c.issue(Command::Rfm { bank: 0 }, t).unwrap();
         }
@@ -1473,7 +1531,11 @@ mod tests {
         let e1 = c.stats().act_energy_units;
         let _ = read_row(&mut c, 0, 60); // interior subarray 1 ([40,64))
         let mid_cost = c.stats().act_energy_units - e1;
-        assert_eq!(edge_cost, 2 * mid_cost, "tandem edge doubles activation power");
+        assert_eq!(
+            edge_cost,
+            2 * mid_cost,
+            "tandem edge doubles activation power"
+        );
     }
 
     #[test]
@@ -1545,6 +1607,52 @@ mod tests {
         } else {
             assert!(corrected < raw, "ECC must reduce sparse errors");
         }
+    }
+
+    #[test]
+    fn chip_is_send() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<DramChip>();
+    }
+
+    #[test]
+    fn time_reversed_commands_error_explicitly() {
+        let mut c = chip();
+        let t = Time::from_ns(200);
+        c.issue(Command::Activate { bank: 0, row: 1 }, t).unwrap();
+        assert_eq!(
+            c.issue(Command::Read { bank: 0, col: 0 }, t - Time::from_ns(50)),
+            Err(CommandError::TimeReversed)
+        );
+        // Loop-accelerated entry points reject reversed timestamps too.
+        assert_eq!(
+            c.activate_burst(1, 0, 10, Time::from_ns(35), Time::from_ns(10)),
+            Err(CommandError::TimeReversed)
+        );
+        assert_eq!(
+            c.refresh_window(Time::from_ns(10)),
+            Err(CommandError::TimeReversed)
+        );
+        // The chip state survives a rejected command.
+        c.issue(Command::Precharge { bank: 0 }, t + c.timing().tras)
+            .unwrap();
+    }
+
+    #[test]
+    fn physics_flips_are_counted_in_stats() {
+        let mut c = chip();
+        assert_eq!(c.stats().bitflips, 0);
+        write_row(&mut c, 0, 19, u64::MAX);
+        write_row(&mut c, 0, 21, u64::MAX);
+        write_row(&mut c, 0, 20, 0);
+        let t = c.now() + c.timing().trp;
+        c.activate_burst(0, 20, 2_000_000, Time::from_ns(35), t)
+            .unwrap();
+        let mut rows = read_row(&mut c, 0, 19);
+        rows.extend(read_row(&mut c, 0, 21));
+        let observed: u32 = rows.iter().map(|d| (!d & 0xFFFF_FFFF).count_ones()).sum();
+        assert!(observed > 0);
+        assert!(c.stats().bitflips >= u64::from(observed));
     }
 
     #[test]

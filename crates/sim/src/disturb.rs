@@ -326,7 +326,13 @@ mod tests {
         b.vic_data = false;
         let m0 = model.dose_multiplier(Mechanism::Hammer, &b);
         let mut ctx = b;
-        ctx.aggr_same = [Some(false), Some(false), Some(true), Some(false), Some(false)];
+        ctx.aggr_same = [
+            Some(false),
+            Some(false),
+            Some(true),
+            Some(false),
+            Some(false),
+        ];
         let m1 = model.dose_multiplier(Mechanism::Hammer, &ctx);
         let ber_ratio = (m1 / m0).powf(model.ber_exponent);
         assert!((ber_ratio - 0.58).abs() < 1e-9, "got {ber_ratio}");

@@ -115,8 +115,7 @@ pub fn decode(data: u32, parity: u8) -> (u32, Correction) {
     let bit = positions
         .iter()
         .position(|&p| p == pos)
-        .expect("non-parity position within the codeword is a data bit")
-        as u32;
+        .expect("non-parity position within the codeword is a data bit") as u32;
     (data ^ (1 << bit), Correction::DataBit(bit))
 }
 

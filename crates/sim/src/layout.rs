@@ -128,7 +128,11 @@ impl BankLayout {
         assert_eq!(segment_wls % block, 0, "segment must tile by block");
         assert_eq!(total_wls % segment_wls, 0, "bank must tile by segment");
         let blocks_per_segment = segment_wls / block;
-        let subs_per_segment = blocks_per_segment * composition.len() as u32;
+        let block_subs = u32::try_from(composition.len())
+            .expect("composition block count fits the u32 subarray space");
+        let subs_per_segment = blocks_per_segment
+            .checked_mul(block_subs)
+            .expect("subarrays per segment fit u32");
         let segments = total_wls / segment_wls;
 
         let mut starts = Vec::with_capacity((segments * subs_per_segment + 1) as usize);
@@ -158,7 +162,7 @@ impl BankLayout {
 
     /// Number of subarrays in the bank.
     pub fn subarray_count(&self) -> u32 {
-        (self.starts.len() - 1) as u32
+        u32::try_from(self.starts.len() - 1).expect("one start per subarray, each ≥1 wordline")
     }
 
     /// Wordlines per segment (the edge-subarray interval).
@@ -180,7 +184,7 @@ impl BankLayout {
         assert!(wl.0 < self.total_wls, "wordline {wl} out of range");
         // starts is sorted; partition_point returns the first start > wl.
         let idx = self.starts.partition_point(|&s| s <= wl.0) - 1;
-        SubarrayId(idx as u32)
+        SubarrayId(u32::try_from(idx).expect("subarray index bounded by u32 wordline count"))
     }
 
     /// Full descriptor of a subarray.
@@ -333,10 +337,7 @@ mod tests {
     fn companion_wordline_clamps_to_partner_height() {
         let l = layout();
         // Low edge (height 40) → high edge (height 24): local 30 clamps to 23.
-        assert_eq!(
-            l.companion_wordline(Wordline(30)),
-            Some(Wordline(104 + 23))
-        );
+        assert_eq!(l.companion_wordline(Wordline(30)), Some(Wordline(104 + 23)));
         assert_eq!(l.companion_wordline(Wordline(5)), Some(Wordline(104 + 5)));
         assert_eq!(l.companion_wordline(Wordline(50)), None);
     }

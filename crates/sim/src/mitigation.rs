@@ -14,7 +14,7 @@
 //! real TRR implementations (few table entries, bypassable by many-sided
 //! patterns with enough decoys).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the in-DRAM mitigation engine.
 ///
@@ -60,7 +60,7 @@ impl Default for TrrConfig {
 /// The per-bank activation sampler (Misra–Gries frequent-row sketch).
 #[derive(Debug, Clone, Default)]
 pub struct Sampler {
-    counters: HashMap<u32, u64>,
+    counters: BTreeMap<u32, u64>,
     capacity: usize,
 }
 
@@ -68,7 +68,7 @@ impl Sampler {
     /// Creates a sampler with a bounded table.
     pub fn new(capacity: usize) -> Self {
         Sampler {
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
             capacity,
         }
     }

@@ -13,8 +13,8 @@
 //! Table I with the per-device structures of Table III.
 
 use crate::disturb::DisturbModel;
-use crate::mitigation::TrrConfig;
 use crate::geometry::BankGeometry;
+use crate::mitigation::TrrConfig;
 use crate::remap::RowRemap;
 use crate::swizzle::SwizzleMap;
 use crate::time::TimingParams;
@@ -617,9 +617,6 @@ mod tests {
         assert_eq!(g.wordlines() % p.hidden.edge_interval, 0);
         let pc = ChipProfile::test_small_coupled();
         assert!(pc.bank_geometry().has_coupled_rows());
-        assert_eq!(
-            pc.bank_geometry().wordlines() % pc.hidden.edge_interval,
-            0
-        );
+        assert_eq!(pc.bank_geometry().wordlines() % pc.hidden.edge_interval, 0);
     }
 }

@@ -69,10 +69,7 @@ mod tests {
     #[test]
     fn identity_is_identity() {
         for r in 0..64 {
-            assert_eq!(
-                RowRemap::Identity.to_physical(LogicalRow(r)),
-                LogicalRow(r)
-            );
+            assert_eq!(RowRemap::Identity.to_physical(LogicalRow(r)), LogicalRow(r));
         }
     }
 

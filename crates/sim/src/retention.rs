@@ -66,8 +66,7 @@ impl RetentionModel {
         if elapsed_s <= 0.0 {
             return 0.0;
         }
-        let scaled_median =
-            self.median_s * 2f64.powf((self.ref_temp_c - temp_c) / self.halving_c);
+        let scaled_median = self.median_s * 2f64.powf((self.ref_temp_c - temp_c) / self.halving_c);
         let z = (elapsed_s / scaled_median).ln() / self.sigma;
         normal_cdf(z)
     }

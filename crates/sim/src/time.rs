@@ -62,6 +62,15 @@ impl Time {
     pub fn saturating_sub(self, rhs: Time) -> Time {
         Time(self.0.saturating_sub(rhs.0))
     }
+
+    /// Checked subtraction; `None` when `rhs` is later than `self`.
+    ///
+    /// The simulator uses this wherever a clamped result would silently
+    /// hide a time-ordering bug (a command dated before the event it is
+    /// measured against).
+    pub fn checked_sub(self, rhs: Time) -> Option<Time> {
+        self.0.checked_sub(rhs.0).map(Time)
+    }
 }
 
 impl Add for Time {
@@ -185,6 +194,8 @@ mod tests {
         assert_eq!(a - b, Time::from_ns(6));
         assert_eq!(b * 3, Time::from_ns(12));
         assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Time::from_ns(6)));
+        assert_eq!(b.checked_sub(a), None);
     }
 
     #[test]

@@ -218,7 +218,13 @@ impl Testbed {
     /// # Errors
     ///
     /// Propagates chip protocol errors.
-    pub fn write_col(&mut self, bank: u32, row: u32, col: u32, data: u64) -> Result<(), TestbedError> {
+    pub fn write_col(
+        &mut self,
+        bank: u32,
+        row: u32,
+        col: u32,
+        data: u64,
+    ) -> Result<(), TestbedError> {
         let t = self.timing();
         let t0 = self.cursor + t.trp;
         self.issue(Command::Activate { bank, row }, t0)?;
@@ -313,7 +319,13 @@ impl Testbed {
         self.burst(bank, row, count, each_on)
     }
 
-    fn burst(&mut self, bank: u32, row: u32, count: u64, each_on: Time) -> Result<(), TestbedError> {
+    fn burst(
+        &mut self,
+        bank: u32,
+        row: u32,
+        count: u64,
+        each_on: Time,
+    ) -> Result<(), TestbedError> {
         let at = self.cursor + self.timing().trp;
         let end = self.chip.activate_burst(bank, row, count, each_on, at)?;
         self.cursor = end;
@@ -433,6 +445,14 @@ mod tests {
 
     fn tb() -> Testbed {
         Testbed::new(DramChip::new(ChipProfile::test_small(), 9))
+    }
+
+    /// The fleet engine moves whole testbeds across worker threads.
+    #[test]
+    fn testbed_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Testbed>();
+        assert_send::<TestbedError>();
     }
 
     #[test]

@@ -206,10 +206,7 @@ mod tests {
         p.act(0, 1).rd(0, 0).pre(0, Time::from_ns(32)).refresh();
         assert_eq!(p.len(), 4);
         assert!(!p.is_empty());
-        assert_eq!(
-            p.instrs()[1],
-            Instr::Rd { bank: 0, col: 0 },
-        );
+        assert_eq!(p.instrs()[1], Instr::Rd { bank: 0, col: 0 },);
     }
 
     #[test]

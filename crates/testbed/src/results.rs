@@ -139,7 +139,12 @@ mod tests {
     #[test]
     fn diff_finds_both_directions() {
         let observed = vec![0b1010, 0b0001];
-        let recs = diff_row(7, 32, |col| if col == 0 { 0b1000 } else { 0b0011 }, &observed);
+        let recs = diff_row(
+            7,
+            32,
+            |col| if col == 0 { 0b1000 } else { 0b0011 },
+            &observed,
+        );
         assert_eq!(recs.len(), 2);
         assert_eq!(
             recs[0],

@@ -16,7 +16,12 @@ use dramscope::testbed::Testbed;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = ChipProfile::hbm2_mfr_a();
-    println!("device: {} ({} rows/bank, {}-bit rows)\n", profile.label(), profile.rows_per_bank, profile.row_bits);
+    println!(
+        "device: {} ({} rows/bank, {}-bit rows)\n",
+        profile.label(),
+        profile.rows_per_bank,
+        profile.row_bits
+    );
     let mut tb = Testbed::new(DramChip::new(profile, 2024));
 
     // Structure via RowCopy, exactly like the DDR4 flow.

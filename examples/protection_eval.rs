@@ -6,9 +6,7 @@
 //! cargo run --example protection_eval
 //! ```
 
-use dramscope::core::protect::{
-    self, AttackStrategy, MisraGries, RowSwapDefense,
-};
+use dramscope::core::protect::{self, AttackStrategy, MisraGries, RowSwapDefense};
 use dramscope::sim::{ChipProfile, DramChip};
 use dramscope::testbed::Testbed;
 
@@ -37,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n_star * 2,
         n_star / 8,
     )?;
-    println!("unprotected single-row attack: {} victim flips", out.victim_flips);
+    println!(
+        "unprotected single-row attack: {} victim flips",
+        out.victim_flips
+    );
 
     // 2. Misra-Gries tracker with victim refresh.
     let mut tb = fresh();

@@ -67,7 +67,9 @@ fn refresh_broadcast_keeps_all_chips_alive() {
         mtb.refresh().unwrap();
     }
     let got = mtb.read_row(0, 9).unwrap();
-    assert!(got.iter().all(|l| l.0.iter().all(|&b| b & 0xFFFF == 0xFFFF)));
+    assert!(got
+        .iter()
+        .all(|l| l.0.iter().all(|&b| b & 0xFFFF == 0xFFFF)));
 }
 
 #[test]

@@ -31,9 +31,7 @@ fn supplementary_polarity_and_coupled_attack() {
         PolarityVerdict::AllTrue,
         "Mfr. A uses only true-cells (§III-B)"
     );
-    let outcome = suite
-        .coupled_attack_probe()
-        .expect("coupled attack probe");
+    let outcome = suite.coupled_attack_probe().expect("coupled attack probe");
     assert!(
         outcome.victim_flips > 0,
         "the §VI coupled split attack must flip bits on an unprotected chip"

@@ -50,18 +50,29 @@ fn remap_discovery_matches_ground_truth() {
     for w in chains[0].windows(2) {
         let a = gt.remap.to_physical(dramscope::sim::LogicalRow(w[0])).0;
         let b = gt.remap.to_physical(dramscope::sim::LogicalRow(w[1])).0;
-        assert_eq!(a.abs_diff(b), 1, "{} / {} not physically adjacent", w[0], w[1]);
+        assert_eq!(
+            a.abs_diff(b),
+            1,
+            "{} / {} not physically adjacent",
+            w[0],
+            w[1]
+        );
     }
 }
 
 #[test]
 fn polarity_discovery_distinguishes_vendor_schemes() {
     let mut all_true = Testbed::new(DramChip::new(ChipProfile::test_small(), 3));
-    let v = retention_probe::classify_rows(&mut all_true, 0, &[3, 50], Time::from_ms(120_000)).unwrap();
-    assert_eq!(retention_probe::polarity_scheme(&v), PolarityVerdict::AllTrue);
+    let v =
+        retention_probe::classify_rows(&mut all_true, 0, &[3, 50], Time::from_ms(120_000)).unwrap();
+    assert_eq!(
+        retention_probe::polarity_scheme(&v),
+        PolarityVerdict::AllTrue
+    );
 
     let mut mixed = Testbed::new(DramChip::new(ChipProfile::test_small_interleaved(), 3));
-    let v = retention_probe::classify_rows(&mut mixed, 0, &[3, 45], Time::from_ms(120_000)).unwrap();
+    let v =
+        retention_probe::classify_rows(&mut mixed, 0, &[3, 45], Time::from_ms(120_000)).unwrap();
     assert_eq!(retention_probe::polarity_scheme(&v), PolarityVerdict::Mixed);
 }
 
@@ -79,7 +90,11 @@ fn rowhammer_and_rowcopy_agree_on_subarray_boundaries() {
     // Hammer the last row below the boundary: only its lower neighbour
     // flips.
     let adj = dramscope::core::hammer::adjacent_rows(&mut tb, cfg, first - 1, 3).unwrap();
-    assert_eq!(adj, vec![first - 2], "AIB must not cross the RowCopy boundary");
+    assert_eq!(
+        adj,
+        vec![first - 2],
+        "AIB must not cross the RowCopy boundary"
+    );
 }
 
 #[test]
@@ -173,10 +188,7 @@ fn paper_attack_program_runs_through_the_program_builder() {
     // The full hammer-measure flow expressed as a raw testbed program
     // (the SoftMC/DRAM-Bender idiom), including an RFM instruction.
     use dramscope::testbed::{Program, Testbed};
-    let mut tb = Testbed::new(DramChip::new(
-        ChipProfile::test_small().with_trr(2),
-        23,
-    ));
+    let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small().with_trr(2), 23));
     let cols = tb.cols();
     let tras = tb.timing().tras;
     let mut p = Program::new();
@@ -236,9 +248,8 @@ fn press_and_hammer_flip_mostly_disjoint_cells() {
     let mut cells = |cfg| -> std::collections::BTreeSet<(u32, u32, u32)> {
         let mut out = std::collections::BTreeSet::new();
         for &(aggr, vic) in &pairs {
-            for r in
-                hammer::measure_victim_flips(&mut tb, cfg, aggr, vic, &|_| u64::MAX, &|_| 0)
-                    .unwrap()
+            for r in hammer::measure_victim_flips(&mut tb, cfg, aggr, vic, &|_| u64::MAX, &|_| 0)
+                .unwrap()
             {
                 out.insert((vic, r.col, r.bit));
             }

@@ -1,87 +1,109 @@
 //! Property-based tests over the core data structures and physical
 //! invariants of the simulator.
+//!
+//! Formerly driven by `proptest`; now exercised over deterministic
+//! [`StreamRng`] case streams so the suite builds offline (no external
+//! dev-dependencies) and every failure reproduces exactly. Each test
+//! sweeps the same property across many pseudo-random cases derived
+//! from a fixed seed.
 
 use dramscope::core::patterns::{physical_image, writer_for_physical, CellLayout};
 use dramscope::core::protect::Scrambler;
 use dramscope::module::{AddressMapping, DramCoord, PinPermutation};
+use dramscope::sim::rng::StreamRng;
 use dramscope::sim::rowdata::RowBits;
 use dramscope::sim::{
     BankLayout, ChipProfile, DramChip, LogicalRow, RowRemap, SwizzleMap, SwizzleStyle, Time,
     Wordline,
 };
 use dramscope::testbed::Testbed;
-use proptest::prelude::*;
 
-proptest! {
-    /// Every swizzle style is a bijection between (col, bit) and bitlines.
-    #[test]
-    fn swizzle_is_bijective(
-        style_idx in 0usize..4,
-        mats_pow in 2u32..5,      // 4..16 MATs
-        k_pow in 1u32..4,         // 2..8 bits per MAT
-    ) {
-        let mats = 1 << mats_pow;
-        let k = 1 << k_pow;
-        let rd_bits = mats * k;
-        prop_assume!(rd_bits <= 64);
-        let mat_width = 64;
-        let row_bits = mats * mat_width;
-        let style = [
-            SwizzleStyle::VendorA,
-            SwizzleStyle::VendorB,
-            SwizzleStyle::VendorC,
-            SwizzleStyle::Identity,
-        ][style_idx];
-        if style == SwizzleStyle::VendorA && rd_bits % (2 * mats) != 0 {
-            return Ok(());
-        }
-        let s = SwizzleMap::new(style, rd_bits, row_bits, mat_width);
-        let mut seen = vec![false; row_bits as usize];
-        for col in 0..row_bits / rd_bits {
-            for bit in 0..rd_bits {
-                let bl = s.bitline_of(col, bit);
-                prop_assert!(!seen[bl.0 as usize]);
-                seen[bl.0 as usize] = true;
-                prop_assert_eq!(s.rd_bit_of(bl), (col, bit));
+/// Every swizzle style is a bijection between (col, bit) and bitlines.
+#[test]
+fn swizzle_is_bijective() {
+    for style in [
+        SwizzleStyle::VendorA,
+        SwizzleStyle::VendorB,
+        SwizzleStyle::VendorC,
+        SwizzleStyle::Identity,
+    ] {
+        for mats_pow in 2u32..5 {
+            for k_pow in 1u32..4 {
+                let mats = 1 << mats_pow;
+                let k = 1 << k_pow;
+                let rd_bits = mats * k;
+                if rd_bits > 64 {
+                    continue;
+                }
+                if style == SwizzleStyle::VendorA && rd_bits % (2 * mats) != 0 {
+                    continue;
+                }
+                let mat_width = 64;
+                let row_bits = mats * mat_width;
+                let s = SwizzleMap::new(style, rd_bits, row_bits, mat_width);
+                let mut seen = vec![false; row_bits as usize];
+                for col in 0..row_bits / rd_bits {
+                    for bit in 0..rd_bits {
+                        let bl = s.bitline_of(col, bit);
+                        assert!(!seen[bl.0 as usize], "{style:?} reuses bitline {bl}");
+                        seen[bl.0 as usize] = true;
+                        assert_eq!(s.rd_bit_of(bl), (col, bit));
+                    }
+                }
+                assert!(seen.iter().all(|&v| v), "{style:?} misses bitlines");
             }
         }
-        prop_assert!(seen.iter().all(|&v| v));
     }
+}
 
-    /// RowBits set/get/toggle/invert behave like a plain bool vector.
-    #[test]
-    fn rowbits_matches_reference_model(
-        len in 1u32..300,
-        ops in prop::collection::vec((0u32..300, 0u8..3), 0..64),
-    ) {
+/// RowBits set/get/toggle/invert behave like a plain bool vector.
+#[test]
+fn rowbits_matches_reference_model() {
+    let mut rng = StreamRng::new(0x0B17_5001);
+    for _case in 0..64 {
+        let len = 1 + rng.next_below(299) as u32;
         let mut bits = RowBits::zeros(len);
         let mut model = vec![false; len as usize];
-        for (i, op) in ops {
-            let i = i % len;
-            match op {
-                0 => { bits.set(i, true); model[i as usize] = true; }
-                1 => { bits.set(i, false); model[i as usize] = false; }
-                _ => { let v = bits.toggle(i); model[i as usize] = !model[i as usize];
-                       prop_assert_eq!(v, model[i as usize]); }
+        for _ in 0..rng.next_below(64) {
+            let i = rng.next_below(u64::from(len)) as u32;
+            match rng.next_below(3) {
+                0 => {
+                    bits.set(i, true);
+                    model[i as usize] = true;
+                }
+                1 => {
+                    bits.set(i, false);
+                    model[i as usize] = false;
+                }
+                _ => {
+                    let v = bits.toggle(i);
+                    model[i as usize] = !model[i as usize];
+                    assert_eq!(v, model[i as usize]);
+                }
             }
         }
         for i in 0..len {
-            prop_assert_eq!(bits.get(i), model[i as usize]);
+            assert_eq!(bits.get(i), model[i as usize]);
         }
-        prop_assert_eq!(bits.count_ones() as usize, model.iter().filter(|&&b| b).count());
+        assert_eq!(
+            bits.count_ones() as usize,
+            model.iter().filter(|&&b| b).count()
+        );
         let inv = bits.inverted();
         for i in 0..len {
-            prop_assert_eq!(inv.get(i), !model[i as usize]);
+            assert_eq!(inv.get(i), !model[i as usize]);
         }
     }
+}
 
-    /// Bank layouts tile exactly and classify every wordline consistently.
-    #[test]
-    fn bank_layout_partitions_wordlines(
-        h1 in 8u32..64,
-        h2 in 8u32..64,
-        blocks in 1u32..4,
-    ) {
+/// Bank layouts tile exactly and classify every wordline consistently.
+#[test]
+fn bank_layout_partitions_wordlines() {
+    let mut rng = StreamRng::new(0x0BA7_C0DE);
+    for _case in 0..32 {
+        let h1 = 8 + rng.next_below(56) as u32;
+        let h2 = 8 + rng.next_below(56) as u32;
+        let blocks = 1 + rng.next_below(3) as u32;
         let block = h1 + h2;
         let segment = block * blocks;
         let total = segment * 2;
@@ -91,133 +113,179 @@ proptest! {
             let info = layout.info(dramscope::sim::SubarrayId(s));
             covered += info.height;
             for wl in info.start_wl..info.end_wl() {
-                prop_assert_eq!(layout.subarray_of(Wordline(wl)).0, s);
-                prop_assert_eq!(layout.local_index(Wordline(wl)), wl - info.start_wl);
+                assert_eq!(layout.subarray_of(Wordline(wl)).0, s);
+                assert_eq!(layout.local_index(Wordline(wl)), wl - info.start_wl);
             }
         }
-        prop_assert_eq!(covered, total);
+        assert_eq!(covered, total);
     }
+}
 
-    /// The MC address mapping is a bijection.
-    #[test]
-    fn mc_mapping_round_trips(
-        col_bits in 1u32..5,
-        bank_bits in 1u32..5,
-        row_bits in 4u32..12,
-        hash in any::<bool>(),
-        bank in 0u32..16,
-        row in 0u32..2048,
-        col in 0u32..16,
-    ) {
+/// The MC address mapping is a bijection.
+#[test]
+fn mc_mapping_round_trips() {
+    let mut rng = StreamRng::new(0x03C0_3A99);
+    for _case in 0..256 {
+        let col_bits = 1 + rng.next_below(4) as u32;
+        let bank_bits = 1 + rng.next_below(4) as u32;
+        let row_bits = 4 + rng.next_below(8) as u32;
+        let hash = rng.next_below(2) == 1;
         let m = AddressMapping::new(col_bits, bank_bits, row_bits, hash);
         let coord = DramCoord {
-            bank: bank & ((1 << bank_bits) - 1),
-            row: row & ((1 << row_bits) - 1),
-            col: col & ((1 << col_bits) - 1),
+            bank: rng.next_u64() as u32 & ((1 << bank_bits) - 1),
+            row: rng.next_u64() as u32 & ((1 << row_bits) - 1),
+            col: rng.next_u64() as u32 & ((1 << col_bits) - 1),
         };
-        prop_assert_eq!(m.decompose(m.compose(coord)), coord);
+        assert_eq!(m.decompose(m.compose(coord)), coord);
     }
+}
 
-    /// DQ permutations invert exactly for every position and width.
-    #[test]
-    fn dq_twists_invert(pos in 0u32..16, pins_pow in 2u32..4, beat in any::<u64>()) {
-        let pins = 1u32 << pins_pow;
-        let p = PinPermutation::for_chip_position(pos, pins);
-        let beat = beat & ((1 << pins) - 1);
-        prop_assert_eq!(p.chip_to_module_beat(p.module_to_chip_beat(beat)), beat);
+/// DQ permutations invert exactly for every position and width.
+#[test]
+fn dq_twists_invert() {
+    let mut rng = StreamRng::new(0x00D9_7157);
+    for pos in 0u32..16 {
+        for pins_pow in 2u32..4 {
+            let pins = 1u32 << pins_pow;
+            let p = PinPermutation::for_chip_position(pos, pins);
+            for _case in 0..16 {
+                let beat = rng.next_u64() & ((1 << pins) - 1);
+                assert_eq!(p.chip_to_module_beat(p.module_to_chip_beat(beat)), beat);
+            }
+        }
     }
+}
 
-    /// Internal row remaps are involutions that stay within 8-blocks.
-    #[test]
-    fn remap_is_a_block_local_involution(row in 0u32..100_000) {
+/// Internal row remaps are involutions that stay within 8-blocks.
+#[test]
+fn remap_is_a_block_local_involution() {
+    let mut rng = StreamRng::new(0x0004_E3A9);
+    for case in 0..512 {
+        // Sweep low rows exhaustively, then sample the full range.
+        let row = if case < 64 {
+            case
+        } else {
+            rng.next_below(100_000) as u32
+        };
         for remap in [RowRemap::Identity, RowRemap::MfrA] {
             let p = remap.to_physical(LogicalRow(row));
-            prop_assert_eq!(remap.to_logical(p), LogicalRow(row));
-            prop_assert_eq!(p.0 / 8, row / 8);
+            assert_eq!(remap.to_logical(p), LogicalRow(row));
+            assert_eq!(p.0 / 8, row / 8);
         }
     }
+}
 
-    /// Scramblers are involutions.
-    #[test]
-    fn scrambler_round_trips(key in any::<u64>(), row in any::<u32>(), col in 0u32..256, data in any::<u64>()) {
+/// Scramblers are involutions.
+#[test]
+fn scrambler_round_trips() {
+    let mut rng = StreamRng::new(0x5C3A_3B1E);
+    for _case in 0..128 {
+        let key = rng.next_u64();
+        let row = rng.next_u64() as u32;
+        let col = rng.next_below(256) as u32;
+        let data = rng.next_u64();
         for s in [Scrambler::row_keyed(key), Scrambler::row_col_keyed(key)] {
-            prop_assert_eq!(s.apply(row, col, s.apply(row, col, data)), data);
+            assert_eq!(s.apply(row, col, s.apply(row, col, data)), data);
         }
     }
+}
 
-    /// The on-die ECC codec corrects every single-bit error of every word.
-    #[test]
-    fn ecc_corrects_all_single_errors(data in any::<u32>(), bit in 0u32..32) {
-        use dramscope::sim::ecc;
+/// The on-die ECC codec corrects every single-bit error of every word.
+#[test]
+fn ecc_corrects_all_single_errors() {
+    use dramscope::sim::ecc;
+    let mut rng = StreamRng::new(0x0ECC_0001);
+    for _case in 0..64 {
+        let data = rng.next_u64() as u32;
         let parity = ecc::encode(data);
-        let (fixed, what) = ecc::decode(data ^ (1 << bit), parity);
-        prop_assert_eq!(fixed, data);
-        prop_assert_eq!(what, ecc::Correction::DataBit(bit));
+        for bit in 0..32 {
+            let (fixed, what) = ecc::decode(data ^ (1 << bit), parity);
+            assert_eq!(fixed, data);
+            assert_eq!(what, ecc::Correction::DataBit(bit));
+        }
         // Clean words stay clean.
-        prop_assert_eq!(ecc::decode(data, parity), (data, ecc::Correction::None));
+        assert_eq!(ecc::decode(data, parity), (data, ecc::Correction::None));
     }
+}
 
-    /// Double errors never decode as clean (SEC has distance 3).
-    #[test]
-    fn ecc_never_hides_double_errors(data in any::<u32>(), a in 0u32..32, b in 0u32..32) {
-        use dramscope::sim::ecc;
-        prop_assume!(a != b);
+/// Double errors never decode as clean (SEC has distance 3).
+#[test]
+fn ecc_never_hides_double_errors() {
+    use dramscope::sim::ecc;
+    let mut rng = StreamRng::new(0x0ECC_0002);
+    for _case in 0..16 {
+        let data = rng.next_u64() as u32;
         let parity = ecc::encode(data);
-        let (_, what) = ecc::decode(data ^ (1 << a) ^ (1 << b), parity);
-        prop_assert_ne!(what, ecc::Correction::None);
+        for a in 0..32u32 {
+            for b in 0..32u32 {
+                if a == b {
+                    continue;
+                }
+                let (_, what) = ecc::decode(data ^ (1 << a) ^ (1 << b), parity);
+                assert_ne!(what, ecc::Correction::None, "bits {a},{b} hidden");
+            }
+        }
     }
+}
 
-    /// The TRR sampler respects its capacity under any observation stream.
-    #[test]
-    fn sampler_capacity_invariant(
-        cap in 1usize..6,
-        stream in prop::collection::vec((0u32..64, 1u64..1000), 0..128),
-    ) {
-        use dramscope::sim::mitigation::Sampler;
+/// The TRR sampler respects its capacity under any observation stream.
+#[test]
+fn sampler_capacity_invariant() {
+    use dramscope::sim::mitigation::Sampler;
+    let mut rng = StreamRng::new(0x07A3_B1E5);
+    for _case in 0..64 {
+        let cap = 1 + rng.next_below(5) as usize;
         let mut s = Sampler::new(cap);
-        for (wl, n) in stream {
+        for _ in 0..rng.next_below(128) {
+            let wl = rng.next_below(64) as u32;
+            let n = 1 + rng.next_below(999);
             s.observe(wl, n);
-            prop_assert!(s.len() <= cap);
+            assert!(s.len() <= cap);
         }
         let hot = s.take_hottest(cap + 2);
-        prop_assert!(hot.len() <= cap);
+        assert!(hot.len() <= cap);
     }
+}
 
-    /// Physical-pattern writers realize exactly the requested image.
-    #[test]
-    fn pattern_writer_round_trips(seed in any::<u64>()) {
+/// Physical-pattern writers realize exactly the requested image.
+#[test]
+fn pattern_writer_round_trips() {
+    let mut rng = StreamRng::new(0x09A7_7E38);
+    for _case in 0..32 {
+        let seed = rng.next_u64();
         let layout = CellLayout::from_swizzle(&SwizzleMap::vendor_a(32, 256, 64), 256, 64);
         let want = |p: u32| (seed >> (p % 64)) & 1 == 1;
         let cols = writer_for_physical(&layout, want);
         let img = physical_image(&layout, |c| cols[c as usize]);
         for p in 0..256 {
-            prop_assert_eq!(img[p as usize], want(p));
+            assert_eq!(img[p as usize], want(p));
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Chip-level write/read is the identity through arbitrary data, rows,
-    /// and columns (the full swizzle + storage path).
-    #[test]
-    fn chip_write_read_identity(
-        row in 0u32..2048,
-        pattern in any::<u64>(),
-        seed in any::<u64>(),
-    ) {
+/// Chip-level write/read is the identity through arbitrary data, rows,
+/// and columns (the full swizzle + storage path).
+#[test]
+fn chip_write_read_identity() {
+    let mut rng = StreamRng::new(0x000C_41D0);
+    for _case in 0..8 {
+        let row = rng.next_below(2048) as u32;
+        let pattern = rng.next_u64() & 0xFFFF_FFFF;
+        let seed = rng.next_u64();
         let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), seed));
-        let pattern = pattern & 0xFFFF_FFFF;
         tb.write_row_pattern(0, row, pattern).unwrap();
         let data = tb.read_row(0, row).unwrap();
-        prop_assert!(data.iter().all(|&d| d == pattern));
+        assert!(data.iter().all(|&d| d == pattern));
     }
+}
 
-    /// Bitflips are monotone in activation count: everything that flips at
-    /// N1 also flips at N2 ≥ N1 (the weakest-cell threshold invariant).
-    #[test]
-    fn flips_are_monotone_in_dose(seed in any::<u64>()) {
+/// Bitflips are monotone in activation count: everything that flips at
+/// N1 also flips at N2 ≥ N1 (the weakest-cell threshold invariant).
+#[test]
+fn flips_are_monotone_in_dose() {
+    let mut rng = StreamRng::new(0x000F_11B5);
+    for _case in 0..4 {
+        let seed = rng.next_u64();
         let flips_at = |n: u64| -> Vec<u64> {
             let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), seed));
             tb.write_row_pattern(0, 19, u64::MAX).unwrap();
@@ -229,39 +297,48 @@ proptest! {
         let high = flips_at(3_000_000);
         for (l, h) in low.iter().zip(&high) {
             // A bit flipped at low dose (1→0) must also be flipped at high.
-            prop_assert_eq!((!l) & !h & 0xFFFF_FFFF, !l & 0xFFFF_FFFF);
+            assert_eq!((!l) & !h & 0xFFFF_FFFF, !l & 0xFFFF_FFFF);
         }
     }
+}
 
-    /// Retention failures are monotone in wait time.
-    #[test]
-    fn retention_is_monotone_in_time(seed in any::<u64>()) {
+/// Retention failures are monotone in wait time.
+#[test]
+fn retention_is_monotone_in_time() {
+    let mut rng = StreamRng::new(0x3E7E_4710);
+    for _case in 0..4 {
+        let seed = rng.next_u64();
         let fails_at = |ms: u64| -> u32 {
             let mut tb = Testbed::new(DramChip::new(ChipProfile::test_small(), seed));
             tb.write_row_pattern(0, 7, u64::MAX).unwrap();
             tb.wait(Time::from_ms(ms));
-            tb.read_row(0, 7).unwrap().iter().map(|d| (!d & 0xFFFF_FFFF).count_ones()).sum()
+            tb.read_row(0, 7)
+                .unwrap()
+                .iter()
+                .map(|d| (!d & 0xFFFF_FFFF).count_ones())
+                .sum()
         };
-        prop_assert!(fails_at(60_000) <= fails_at(600_000));
+        assert!(fails_at(60_000) <= fails_at(600_000));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Arbitrary command streams never panic: every malformed request is
-    /// a typed `CommandError`, and time only moves forward.
-    #[test]
-    fn random_command_streams_never_panic(
-        seed in any::<u64>(),
-        cmds in prop::collection::vec((0u8..6, 0u32..3, 0u32..2100, 0u32..10, any::<u64>()), 1..120),
-    ) {
-        use dramscope::sim::{Command, DramChip, Time};
+/// Arbitrary command streams never panic: every malformed request is
+/// a typed `CommandError`, and time only moves forward.
+#[test]
+fn random_command_streams_never_panic() {
+    use dramscope::sim::{Command, Time};
+    let mut rng = StreamRng::new(0x0057_3EA8);
+    for _case in 0..32 {
+        let seed = rng.next_u64();
         let mut chip = DramChip::new(ChipProfile::test_small(), seed);
         let mut t = Time::ZERO;
-        for (kind, bank, row, col, data) in cmds {
+        for _ in 0..(1 + rng.next_below(119)) {
             t += Time::from_ns(50);
-            let cmd = match kind {
+            let bank = rng.next_below(3) as u32;
+            let row = rng.next_below(2100) as u32;
+            let col = rng.next_below(10) as u32;
+            let data = rng.next_u64();
+            let cmd = match rng.next_below(6) {
                 0 => Command::Activate { bank, row },
                 1 => Command::Precharge { bank },
                 2 => Command::Read { bank, col },
@@ -272,26 +349,34 @@ proptest! {
             // Any outcome is fine; panics are not.
             let _ = chip.issue(cmd, t);
         }
-        prop_assert!(chip.now() <= t);
+        assert!(chip.now() <= t);
     }
+}
 
-    /// Module-level command streams never panic either.
-    #[test]
-    fn random_module_streams_never_panic(
-        seed in any::<u64>(),
-        cmds in prop::collection::vec((0u8..5, 0u32..3, 0u32..2100, 0u32..10), 1..60),
-    ) {
-        use dramscope::module::{CacheLine, Dimm, ModuleCommand};
-        use dramscope::sim::Time;
+/// Module-level command streams never panic either.
+#[test]
+fn random_module_streams_never_panic() {
+    use dramscope::module::{CacheLine, Dimm, ModuleCommand};
+    use dramscope::sim::Time;
+    let mut rng = StreamRng::new(0x0030_0013);
+    for _case in 0..16 {
+        let seed = rng.next_u64();
         let mut dimm = Dimm::new(ChipProfile::test_small(), 4, seed);
         let mut t = Time::ZERO;
-        for (kind, bank, row, col) in cmds {
+        for _ in 0..(1 + rng.next_below(59)) {
             t += Time::from_ns(50);
-            let cmd = match kind {
+            let bank = rng.next_below(3) as u32;
+            let row = rng.next_below(2100) as u32;
+            let col = rng.next_below(10) as u32;
+            let cmd = match rng.next_below(5) {
                 0 => ModuleCommand::Activate { bank, row },
                 1 => ModuleCommand::Precharge { bank },
                 2 => ModuleCommand::Read { bank, col },
-                3 => ModuleCommand::Write { bank, col, data: CacheLine::splat(0xA5) },
+                3 => ModuleCommand::Write {
+                    bank,
+                    col,
+                    data: CacheLine::splat(0xA5),
+                },
                 _ => ModuleCommand::Refresh,
             };
             let _ = dimm.issue(cmd, t);
