@@ -5,6 +5,10 @@
 //! ```text
 //! cargo run --release -p dramscope-bench --bin characterize [profile]
 //! cargo run --release -p dramscope-bench --bin characterize fleet [--serial] [--workers N]
+//! cargo run --release -p dramscope-bench --bin characterize record <profile> [--seed N] [--out FILE]
+//! cargo run --release -p dramscope-bench --bin characterize replay <FILE> [--bench N]
+//! cargo run --release -p dramscope-bench --bin characterize diff <A> <B>
+//! cargo run --release -p dramscope-bench --bin characterize dump <FILE>
 //! ```
 //!
 //! `profile` is a preset name like `mfr_a_x4_2016` (default),
@@ -13,9 +17,25 @@
 //! prints the per-device summary table followed by the JSON-lines run
 //! report; `--serial` runs the same jobs one at a time (the determinism
 //! / speedup baseline) and `--workers N` pins the worker count.
+//!
+//! The trace subcommands drive the golden-trace subsystem (`dram-trace`):
+//! `record` characterizes while capturing every command of the primary
+//! testbed into a binary trace; `replay` re-runs the characterization
+//! from the trace alone, verifying the command stream and the dossier
+//! digest reproduce bit-for-bit (with `--bench N` it additionally replays
+//! the raw command stream `N` times on bare chips and reports
+//! commands/second); `diff` compares two traces structurally; `dump`
+//! renders a trace as text. The small CI profiles `test_small`,
+//! `test_small_interleaved`, and `test_small_coupled` are accepted by
+//! `record` alongside the Table I presets.
 
-use dramscope_core::dossier::characterize_with_stats;
+use dram_sim::ChipProfile;
+use dram_sim::Time;
+use dram_trace::{diff_traces, Trace};
+use dramscope_core::dossier::{characterize_with_stats, CharacterizeOptions};
 use dramscope_core::fleet::{self, FleetConfig, FleetJob};
+use dramscope_core::report::Table;
+use dramscope_core::trace_run;
 
 /// Preset names, index-aligned with [`fleet::table1_jobs`] (which
 /// follows `ChipProfile::all_presets` order).
@@ -48,15 +68,72 @@ fn job_by_name(name: &str) -> Option<FleetJob> {
     Some(fleet::table1_jobs().swap_remove(idx))
 }
 
+/// Options sized for the small CI/test profiles.
+fn small_opts(scan_rows: u32) -> CharacterizeOptions {
+    CharacterizeOptions {
+        scan_rows,
+        with_swizzle: false,
+        probe_range: (44, 60),
+        retention_wait: Time::from_ms(120_000),
+    }
+}
+
+/// Resolves a profile name for `record`: the Table I presets plus the
+/// small test profiles golden traces are built from.
+fn recordable_by_name(name: &str) -> Option<(ChipProfile, CharacterizeOptions)> {
+    match name {
+        "test_small" => Some((ChipProfile::test_small(), small_opts(129))),
+        "test_small_interleaved" => Some((ChipProfile::test_small_interleaved(), small_opts(129))),
+        // The coupled profile aliases rows at distance 1024; scanning one
+        // extra block keeps the structure probe on real subarrays.
+        "test_small_coupled" => Some((ChipProfile::test_small_coupled(), small_opts(257))),
+        _ => job_by_name(name).map(|job| (job.profile, job.opts)),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, Box<dyn std::error::Error>>
+where
+    T::Err: std::error::Error + 'static,
+{
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            Ok(Some(raw.parse::<T>()?))
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Trace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}").into())
+}
+
+fn print_run_report(stats: &dramscope_core::dossier::RunStats) {
+    println!("\nRun report:");
+    for p in &stats.phases {
+        println!(
+            "  {:<10} {:>10.1} ms {:>12} cmds {:>8} flips",
+            p.name, p.wall_ms, p.commands, p.bitflips
+        );
+    }
+    println!(
+        "  {:<10} {:>10.1} ms {:>12} cmds {:>8} flips",
+        "total",
+        stats.wall_ms(),
+        stats.commands(),
+        stats.bitflips()
+    );
+}
+
 fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let serial = args.iter().any(|a| a == "--serial");
-    let workers = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .map(|w| w.parse::<usize>())
-        .transpose()?
-        .unwrap_or(0);
+    let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
     let jobs = fleet::table1_jobs();
     let report = if serial {
         fleet::run_fleet_serial(&jobs, dramscope_bench::experiments::SEED)
@@ -82,33 +159,125 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("record needs a profile name".into());
+    };
+    let Some((profile, opts)) = recordable_by_name(name) else {
+        eprintln!(
+            "unknown profile '{name}' (try one of: {PRESET_NAMES:?}, \
+             test_small, test_small_interleaved, test_small_coupled)"
+        );
+        std::process::exit(2);
+    };
+    let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
+    let out = parse_flag::<String>(args, "--out")?.unwrap_or_else(|| format!("{name}.trace"));
+
+    let (dossier, stats, trace) = trace_run::record_characterization(&profile, seed, opts)?;
+    let bytes = trace.to_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    print!("{dossier}");
+    println!(
+        "\nrecorded {} events ({} bytes) to {out}",
+        trace.events.len(),
+        bytes.len()
+    );
+    println!(
+        "seed {seed}, dossier digest {:#018x}",
+        trace.header.dossier_digest.expect("record stores a digest")
+    );
+    print_run_report(&stats);
+    Ok(())
+}
+
+fn run_replay_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("replay needs a trace file".into());
+    };
+    let trace = load_trace(path)?;
+    println!(
+        "replaying {} events for {} (seed {})",
+        trace.events.len(),
+        trace.header.profile_label,
+        trace.header.seed
+    );
+    let (dossier, stats) = trace_run::replay_characterization(&trace)?;
+    print!("{dossier}");
+    println!(
+        "\nreplay verified: command stream and dossier digest {:#018x} reproduced bit-for-bit",
+        dossier.digest()
+    );
+    print_run_report(&stats);
+
+    if let Some(repeats) = parse_flag::<u32>(args, "--bench")? {
+        let bench = trace_run::replay_benchmark(&trace, repeats)?;
+        let mut table = Table::new(vec!["run", "wall_ms", "commands", "cmds_per_sec"]);
+        for (i, p) in bench.phases.iter().enumerate() {
+            let per_sec = if p.wall_ms > 0.0 {
+                p.commands as f64 / (p.wall_ms / 1e3)
+            } else {
+                0.0
+            };
+            table.row(vec![
+                format!("{i}"),
+                format!("{:.2}", p.wall_ms),
+                p.commands.to_string(),
+                format!("{per_sec:.0}"),
+            ]);
+        }
+        println!("\nReplay throughput ({repeats} runs):");
+        print!("{table}");
+    }
+    Ok(())
+}
+
+fn run_diff_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        return Err("diff needs two trace files".into());
+    };
+    let diff = diff_traces(&load_trace(a)?, &load_trace(b)?);
+    println!("{diff}");
+    if !diff.identical() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+fn run_dump_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else {
+        return Err("dump needs a trace file".into());
+    };
+    // Dumps run to tens of thousands of lines and get piped into `head`;
+    // a closed stdout is normal termination, not an error.
+    use std::io::Write;
+    match std::io::stdout().write_all(load_trace(path)?.dump().as_bytes()) {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e.into()),
+        _ => Ok(()),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map_or("default", |s| s.as_str());
-    if name == "fleet" {
-        return run_fleet_mode(&args[1..]);
+    match name {
+        "fleet" => return run_fleet_mode(&args[1..]),
+        "record" => return run_record_mode(&args[1..]),
+        "replay" => return run_replay_mode(&args[1..]),
+        "diff" => return run_diff_mode(&args[1..]),
+        "dump" => return run_dump_mode(&args[1..]),
+        _ => {}
     }
     let Some(mut job) = job_by_name(name) else {
-        eprintln!("unknown profile '{name}' (try one of: {PRESET_NAMES:?}, fleet)");
+        eprintln!(
+            "unknown command or profile '{name}' \
+             (try one of: {PRESET_NAMES:?}, fleet, record, replay, diff, dump)"
+        );
         std::process::exit(2);
     };
     job.opts.with_swizzle = true;
     let (dossier, stats) =
         characterize_with_stats(&job.profile, dramscope_bench::experiments::SEED, job.opts)?;
     print!("{dossier}");
-    println!("\nRun report:");
-    for p in &stats.phases {
-        println!(
-            "  {:<10} {:>10.1} ms {:>12} cmds {:>8} flips",
-            p.name, p.wall_ms, p.commands, p.bitflips
-        );
-    }
-    println!(
-        "  {:<10} {:>10.1} ms {:>12} cmds {:>8} flips",
-        "total",
-        stats.wall_ms(),
-        stats.commands(),
-        stats.bitflips()
-    );
+    print_run_report(&stats);
     Ok(())
 }

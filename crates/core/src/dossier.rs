@@ -17,7 +17,7 @@ use crate::remap_re::{self, RemapVerdict};
 use crate::retention_probe::{self, PolarityVerdict};
 use crate::rowcopy_probe;
 use crate::trr_re::{self, TrrVerdict};
-use dram_sim::{ChipProfile, ChipStats, DramChip, Time};
+use dram_sim::{ChipProfile, ChipStats, CommandSink, DramChip, Time};
 use dram_testbed::Testbed;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -108,6 +108,19 @@ pub struct ChipDossier {
     pub trr: TrrVerdict,
     /// On-die ECC verdict.
     pub on_die_ecc: EccVerdict,
+}
+
+impl ChipDossier {
+    /// FNV-1a 64 digest of the rendered dossier.
+    ///
+    /// The digest covers every field (via [`fmt::Display`]) and is the
+    /// identity golden-trace regression asserts on: two characterizations
+    /// reproduced bit-for-bit render byte-identical dossiers and thus
+    /// share a digest. Stored in trace headers at record time and
+    /// re-checked after replay.
+    pub fn digest(&self) -> u64 {
+        dram_trace::fnv1a_64(self.to_string().as_bytes())
+    }
 }
 
 impl fmt::Display for ChipDossier {
@@ -243,11 +256,38 @@ pub fn characterize_with_stats(
     seed: u64,
     opts: CharacterizeOptions,
 ) -> Result<(ChipDossier, RunStats), CoreError> {
+    characterize_with_stats_traced(profile, seed, opts, None)
+}
+
+/// [`characterize_with_stats`] with an optional [`CommandSink`] attached
+/// to the primary probe testbed for the duration of the run.
+///
+/// With a sink, every command the primary testbed issues is observable —
+/// a recorder captures the run into a replayable trace, a verifier checks
+/// it live against a previously recorded one. Phase boundaries are
+/// announced to the sink as `phase:<name>` markers so traces carry the
+/// experiment structure. Phases that run on fresh side chips (`swizzle`
+/// internals, `trr_ecc` fingerprinting) are deterministic functions of
+/// `(profile, seed)` and are not part of the primary command stream.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors and pipeline failures.
+pub fn characterize_with_stats_traced(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+    sink: Option<Box<dyn CommandSink + Send>>,
+) -> Result<(ChipDossier, RunStats), CoreError> {
     let mut tb = Testbed::new(DramChip::new(profile.clone(), seed));
+    if let Some(sink) = sink {
+        tb.set_sink(sink);
+    }
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::new();
 
     // Structure via RowCopy.
+    tb.mark("phase:structure");
     let scan_end = opts.scan_rows.min(tb.rows());
     let subarray_heights = rowcopy_probe::subarray_heights(&mut tb, 0, 0..scan_end)?;
     let composition = summarize_heights(&subarray_heights);
@@ -258,11 +298,13 @@ pub fn characterize_with_stats(
 
     // Power cross-check of the edge interval (stride below the smallest
     // known subarray height).
+    tb.mark("phase:power");
     let stride = 64.min(tb.rows() / 32).max(1);
     let edge_interval_from_power = power_channel::edge_interval_from_power(&mut tb, 0, stride)?;
     clock.lap("power", tb.chip(), &mut stats);
 
     // Retention polarity over a spread of rows.
+    tb.mark("phase:retention");
     let rows = tb.rows();
     let sample = [rows / 16, rows / 3, rows / 2 + 7];
     let verdicts = retention_probe::classify_rows(&mut tb, 0, &sample, opts.retention_wait)?;
@@ -270,6 +312,7 @@ pub fn characterize_with_stats(
     clock.lap("retention", tb.chip(), &mut stats);
 
     // Remap detection on interior rows.
+    tb.mark("phase:remap");
     let cfg = AibConfig {
         bank: 0,
         attack: Attack::Hammer { count: 2_600_000 },
@@ -279,6 +322,7 @@ pub fn characterize_with_stats(
     clock.lap("remap", tb.chip(), &mut stats);
 
     // Optional swizzle recovery via the observation suite's pipeline.
+    tb.mark("phase:swizzle");
     let (mats_per_rd, mat_width) = if opts.with_swizzle {
         let mut suite = ObservationSuite::with_profile_range(
             profile.clone(),
@@ -299,6 +343,7 @@ pub fn characterize_with_stats(
     // TRR and ECC fingerprints on fresh chips. The victims are the rows
     // the adjacency probe actually found — pin neighbours are wrong on
     // remapped devices.
+    tb.mark("phase:trr_ecc");
     let aggressor = probe_mid;
     let victims = crate::hammer::adjacent_rows(&mut tb, cfg, aggressor, 8)?;
     if victims.is_empty() {

@@ -91,4 +91,39 @@ mod tests {
         assert_eq!(p, CoreError::Pipeline("not enough interior triples".into()));
         assert!(p.source().is_none());
     }
+
+    #[test]
+    fn time_reversed_chain_renders_root_cause_end_to_end() {
+        // The full chain a fleet worker reports when a testbed program
+        // rewinds the clock: CoreError -> TestbedError -> CommandError.
+        let e = CoreError::from(TestbedError::Chip(CommandError::TimeReversed));
+        assert_eq!(
+            e.to_string(),
+            "testbed: chip error: command timestamp precedes previous command"
+        );
+        let testbed = e.source().expect("testbed source");
+        let chip = testbed.source().expect("chip source");
+        assert_eq!(
+            chip.to_string(),
+            "command timestamp precedes previous command"
+        );
+        assert!(chip.source().is_none(), "CommandError is the chain root");
+    }
+
+    #[test]
+    fn string_variants_display_without_sources() {
+        let w = CoreError::WorkerPanic("index out of bounds".into());
+        assert_eq!(w.to_string(), "worker panicked: index out of bounds");
+        assert!(w.source().is_none());
+
+        let p = CoreError::Pipeline("trace replay failed: geometry changed".into());
+        assert_eq!(
+            p.to_string(),
+            "pipeline: trace replay failed: geometry changed"
+        );
+        assert!(p.source().is_none());
+
+        // `From<String>` and `From<&str>` agree.
+        assert_eq!(CoreError::from(String::from("x")), CoreError::from("x"));
+    }
 }

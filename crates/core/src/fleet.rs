@@ -1,4 +1,4 @@
-//! Parallel fleet characterization: run [`characterize`] over a whole
+//! Parallel fleet characterization: run [`characterize`](crate::dossier::characterize) over a whole
 //! device population concurrently.
 //!
 //! The paper characterizes 376 DDR4 chips and 4 HBM2 stacks (Table I);

@@ -56,6 +56,7 @@ pub mod retention_probe;
 pub mod rowcopy_probe;
 pub mod swizzle_re;
 pub mod templating;
+pub mod trace_run;
 pub mod trr_re;
 
 pub use dossier::{characterize, ChipDossier};
@@ -67,3 +68,4 @@ pub use hammer::{AibConfig, HcntResult};
 pub use observations::{ObservationReport, ObservationSuite};
 pub use patterns::DataPattern;
 pub use report::Table;
+pub use trace_run::{record_characterization, replay_benchmark, replay_characterization};

@@ -1,0 +1,261 @@
+//! Golden-trace workflows over whole characterizations: record a run into
+//! a trace, replay it with full verification, and benchmark raw replay
+//! throughput.
+//!
+//! The contract these functions implement is the regression invariant the
+//! test suite and CI assert on:
+//!
+//! 1. [`record_characterization`] runs the standard flow with a recorder
+//!    attached to the primary testbed and stores the characterization
+//!    options and the dossier digest in the trace header.
+//! 2. [`replay_characterization`] re-runs the *same* flow from nothing
+//!    but the trace — profile found by label, options parsed back from
+//!    header meta — while a verifier checks the live command stream
+//!    against the recording event-by-event. The replayed dossier must
+//!    render byte-identically (same digest).
+//! 3. [`replay_benchmark`] re-drives a bare chip from the trace (no
+//!    characterization logic at all) and reports commands/second through
+//!    the same [`RunStats`] machinery the fleet engine uses.
+
+use crate::dossier::{
+    characterize_with_stats_traced, CharacterizeOptions, ChipDossier, PhaseStat, RunStats,
+};
+use crate::error::CoreError;
+use dram_sim::{ChipProfile, Time};
+use dram_trace::{geometry_hash, replay_on_chip, SharedRecorder, SharedVerifier, Trace};
+use std::time::Instant;
+
+/// Meta keys under which [`record_characterization`] stores its options.
+const META_SCAN_ROWS: &str = "scan_rows";
+const META_WITH_SWIZZLE: &str = "with_swizzle";
+const META_PROBE_LO: &str = "probe_lo";
+const META_PROBE_HI: &str = "probe_hi";
+const META_RETENTION_WAIT_PS: &str = "retention_wait_ps";
+
+/// Runs a full characterization with a recorder attached and returns the
+/// dossier, its run stats, and the captured trace.
+///
+/// The trace header carries the profile label, seed, geometry hash, the
+/// dossier digest, and the characterization options as meta pairs — i.e.
+/// everything [`replay_characterization`] needs to reproduce and verify
+/// the run from the trace alone.
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn record_characterization(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+) -> Result<(ChipDossier, RunStats, Trace), CoreError> {
+    let recorder = SharedRecorder::unbounded();
+    let (dossier, stats) =
+        characterize_with_stats_traced(profile, seed, opts, Some(recorder.sink()))?;
+    let mut trace = recorder.finish(profile, seed);
+    trace.header.dossier_digest = Some(dossier.digest());
+    trace.header.meta = opts_to_meta(&opts);
+    Ok((dossier, stats, trace))
+}
+
+/// Re-runs the characterization a trace captured and verifies it
+/// reproduces bit-for-bit.
+///
+/// The profile is resolved from the trace's label, the options from its
+/// meta pairs. A [`SharedVerifier`] rides along on the primary testbed
+/// and checks every live command (timestamp, payload, and outcome —
+/// read data included) against the recording; afterwards the replayed
+/// dossier's digest must equal the recorded one.
+///
+/// # Errors
+///
+/// Fails on unknown profile labels, changed geometry, partial traces,
+/// malformed meta, any command-stream divergence, and digest mismatches.
+pub fn replay_characterization(trace: &Trace) -> Result<(ChipDossier, RunStats), CoreError> {
+    let profile = profile_for(trace)?;
+    let opts = opts_from_meta(trace)?;
+    let verifier = SharedVerifier::new(trace);
+    let (dossier, stats) =
+        characterize_with_stats_traced(&profile, trace.header.seed, opts, Some(verifier.sink()))?;
+    verifier
+        .finish()
+        .map_err(|d| CoreError::from(format!("replay diverged from trace: {d}")))?;
+    if let Some(expected) = trace.header.dossier_digest {
+        let got = dossier.digest();
+        if got != expected {
+            return Err(format!(
+                "dossier digest mismatch after replay: trace {expected:#018x}, replay {got:#018x}"
+            )
+            .into());
+        }
+    }
+    Ok((dossier, stats))
+}
+
+/// Replays a trace `repeats` times on bare chips and reports throughput.
+///
+/// Each repetition is one `"replay"` phase in the returned [`RunStats`]:
+/// wall time, pin-level commands executed (burst activations counted
+/// individually), and bitflips resolved. Feeding these through the fleet
+/// run-report table gives commands-replayed-per-second directly.
+///
+/// # Errors
+///
+/// Fails on unknown profile labels or any replay error.
+pub fn replay_benchmark(trace: &Trace, repeats: u32) -> Result<RunStats, CoreError> {
+    let profile = profile_for(trace)?;
+    let mut stats = RunStats::default();
+    for _ in 0..repeats.max(1) {
+        let started = Instant::now();
+        let replay = replay_on_chip(trace, &profile)
+            .map_err(|e| CoreError::from(format!("trace replay failed: {e}")))?;
+        stats.phases.push(PhaseStat {
+            name: "replay",
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            commands: replay.commands,
+            bitflips: replay.bitflips,
+        });
+    }
+    Ok(stats)
+}
+
+/// Resolves and validates the chip profile a trace was recorded against.
+fn profile_for(trace: &Trace) -> Result<ChipProfile, CoreError> {
+    let label = &trace.header.profile_label;
+    let profile = ChipProfile::by_label(label)
+        .ok_or_else(|| CoreError::from(format!("trace profile {label:?} is not a known preset")))?;
+    let hash = geometry_hash(&profile);
+    if hash != trace.header.geometry_hash {
+        return Err(format!(
+            "profile {label:?} geometry changed since recording \
+             (trace {:#018x}, current {hash:#018x})",
+            trace.header.geometry_hash
+        )
+        .into());
+    }
+    if trace.header.dropped > 0 {
+        return Err(format!(
+            "trace is partial ({} events dropped by the recorder) and cannot be replayed",
+            trace.header.dropped
+        )
+        .into());
+    }
+    Ok(profile)
+}
+
+fn opts_to_meta(opts: &CharacterizeOptions) -> Vec<(String, String)> {
+    vec![
+        (META_SCAN_ROWS.into(), opts.scan_rows.to_string()),
+        (META_WITH_SWIZZLE.into(), opts.with_swizzle.to_string()),
+        (META_PROBE_LO.into(), opts.probe_range.0.to_string()),
+        (META_PROBE_HI.into(), opts.probe_range.1.to_string()),
+        (
+            META_RETENTION_WAIT_PS.into(),
+            opts.retention_wait.as_ps().to_string(),
+        ),
+    ]
+}
+
+fn opts_from_meta(trace: &Trace) -> Result<CharacterizeOptions, CoreError> {
+    fn field<T: std::str::FromStr>(trace: &Trace, key: &str) -> Result<T, CoreError> {
+        let raw = trace
+            .header
+            .meta(key)
+            .ok_or_else(|| CoreError::from(format!("trace meta is missing {key:?}")))?;
+        raw.parse().map_err(|_| {
+            CoreError::from(format!("trace meta {key:?} has unparseable value {raw:?}"))
+        })
+    }
+    Ok(CharacterizeOptions {
+        scan_rows: field(trace, META_SCAN_ROWS)?,
+        with_swizzle: field(trace, META_WITH_SWIZZLE)?,
+        probe_range: (field(trace, META_PROBE_LO)?, field(trace, META_PROBE_HI)?),
+        retention_wait: Time::from_ps(field(trace, META_RETENTION_WAIT_PS)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_trace::TraceEvent;
+
+    fn small_opts() -> CharacterizeOptions {
+        CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        }
+    }
+
+    #[test]
+    fn record_then_verify_replay_round_trips() {
+        let profile = ChipProfile::test_small();
+        let (dossier, _, trace) =
+            record_characterization(&profile, 123, small_opts()).expect("record");
+        assert_eq!(trace.header.profile_label, profile.label());
+        assert_eq!(trace.header.dossier_digest, Some(dossier.digest()));
+        assert!(trace.events.len() > 100, "{} events", trace.events.len());
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Marker { label } if label == "phase:retention")));
+
+        // Through bytes, then a full verified re-characterization.
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("decode");
+        assert_eq!(decoded, trace);
+        let (replayed, _) = replay_characterization(&decoded).expect("replay verifies");
+        assert_eq!(replayed.to_string(), dossier.to_string());
+        assert_eq!(replayed.digest(), dossier.digest());
+    }
+
+    #[test]
+    fn replay_rejects_bad_identity_and_tampered_digest() {
+        let profile = ChipProfile::test_small();
+        let (_, _, trace) = record_characterization(&profile, 5, small_opts()).expect("record");
+
+        let mut unknown = trace.clone();
+        unknown.header.profile_label = "No Such Chip".into();
+        let err = replay_characterization(&unknown).expect_err("unknown label");
+        assert!(err.to_string().contains("not a known preset"), "{err}");
+
+        let mut geo = trace.clone();
+        geo.header.geometry_hash ^= 1;
+        let err = replay_characterization(&geo).expect_err("geometry mismatch");
+        assert!(err.to_string().contains("geometry changed"), "{err}");
+
+        let mut partial = trace.clone();
+        partial.header.dropped = 1;
+        let err = replay_characterization(&partial).expect_err("partial trace");
+        assert!(err.to_string().contains("partial"), "{err}");
+
+        let mut missing = trace.clone();
+        missing.header.meta.retain(|(k, _)| k != "scan_rows");
+        let err = replay_characterization(&missing).expect_err("missing meta");
+        assert!(err.to_string().contains("missing \"scan_rows\""), "{err}");
+
+        let mut digest = trace.clone();
+        digest.header.dossier_digest = Some(0xbad);
+        let err = replay_characterization(&digest).expect_err("digest mismatch");
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn wrong_seed_diverges_during_verified_replay() {
+        let profile = ChipProfile::test_small();
+        let (_, _, mut trace) = record_characterization(&profile, 9, small_opts()).expect("record");
+        trace.header.seed ^= 1;
+        trace.header.dossier_digest = None;
+        let err = replay_characterization(&trace).expect_err("reseeded replay");
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn replay_benchmark_reports_throughput_phases() {
+        let profile = ChipProfile::test_small();
+        let (_, _, trace) = record_characterization(&profile, 1, small_opts()).expect("record");
+        let stats = replay_benchmark(&trace, 2).expect("benchmark");
+        assert_eq!(stats.phases.len(), 2);
+        assert!(stats.phases.iter().all(|p| p.name == "replay"));
+        assert!(stats.commands() > 0);
+    }
+}

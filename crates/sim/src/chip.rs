@@ -29,6 +29,7 @@ use crate::remap::RowRemap;
 use crate::retention::RetentionModel;
 use crate::rng::unit_open;
 use crate::rowdata::RowBits;
+use crate::sink::{ChipEvent, CommandOutcome, CommandSink, SinkSlot};
 use crate::swizzle::SwizzleMap;
 use crate::time::{Time, TimingParams};
 use std::collections::BTreeMap;
@@ -140,6 +141,11 @@ pub enum CommandError {
     RefreshWhileOpen,
     /// Command timestamp precedes the previous command.
     TimeReversed,
+    /// An internal simulator invariant failed (a map lookup or checked
+    /// conversion the protocol state machine should guarantee). This is
+    /// a simulator bug surfaced as an error instead of a panic; the
+    /// payload names the violated invariant.
+    Internal(&'static str),
 }
 
 impl fmt::Display for CommandError {
@@ -159,6 +165,9 @@ impl fmt::Display for CommandError {
             CommandError::TrcdViolation => write!(f, "read/write issued before tRCD"),
             CommandError::RefreshWhileOpen => write!(f, "refresh issued while a row is open"),
             CommandError::TimeReversed => write!(f, "command timestamp precedes previous command"),
+            CommandError::Internal(what) => {
+                write!(f, "internal simulator invariant failed: {what}")
+            }
         }
     }
 }
@@ -297,6 +306,8 @@ pub struct DramChip {
     stats: ChipStats,
     /// Rolling `REF` slice pointer (JEDEC: 8192 slices per window).
     ref_counter: u64,
+    /// Optional command-boundary observer (trace recorder / verifier).
+    sink: SinkSlot,
 }
 
 impl DramChip {
@@ -334,7 +345,41 @@ impl DramChip {
             temperature_c: 75.0,
             stats: ChipStats::default(),
             ref_counter: 0,
+            sink: SinkSlot::empty(),
             profile,
+        }
+    }
+
+    /// Attaches a [`CommandSink`] that will observe every subsequent
+    /// command (with outcome), burst, refresh window, temperature change,
+    /// and marker. Replaces any previously attached sink.
+    pub fn set_sink(&mut self, sink: Box<dyn CommandSink + Send>) {
+        self.sink = SinkSlot(Some(sink));
+    }
+
+    /// Detaches and returns the current sink, if any.
+    pub fn clear_sink(&mut self) -> Option<Box<dyn CommandSink + Send>> {
+        self.sink.0.take()
+    }
+
+    /// Whether a sink is currently attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.0.is_some()
+    }
+
+    /// Emits an out-of-band marker through the attached sink (no-op when
+    /// none is attached). Markers never change chip state; they let a
+    /// trace carry experiment structure such as characterization phases.
+    pub fn mark(&mut self, label: &str) {
+        if let Some(s) = self.sink.0.as_mut() {
+            s.record(ChipEvent::Marker { label });
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, event: ChipEvent<'_>) {
+        if let Some(s) = self.sink.0.as_mut() {
+            s.record(event);
         }
     }
 
@@ -361,6 +406,7 @@ impl DramChip {
     /// Sets the die temperature (driven by the testbed's thermal plant).
     pub fn set_temperature(&mut self, celsius: f64) {
         self.temperature_c = celsius;
+        self.record(ChipEvent::SetTemperature { celsius });
     }
 
     /// Cumulative command statistics.
@@ -393,6 +439,16 @@ impl DramChip {
     /// current state (addresses out of range, protocol-order violations,
     /// non-monotonic timestamps, or `RD`/`WR` before `tRCD`).
     pub fn issue(&mut self, cmd: Command, at: Time) -> Result<Option<ReadData>, CommandError> {
+        let result = self.issue_inner(cmd, at);
+        self.record(ChipEvent::Command {
+            cmd,
+            at,
+            outcome: CommandOutcome::of_issue(&result),
+        });
+        result
+    }
+
+    fn issue_inner(&mut self, cmd: Command, at: Time) -> Result<Option<ReadData>, CommandError> {
         if at < self.now {
             return Err(CommandError::TimeReversed);
         }
@@ -433,6 +489,26 @@ impl DramChip {
     ///
     /// Same conditions as [`issue`](Self::issue) for the first `ACT`.
     pub fn activate_burst(
+        &mut self,
+        bank: u32,
+        row: u32,
+        count: u64,
+        each_on: Time,
+        at: Time,
+    ) -> Result<Time, CommandError> {
+        let result = self.activate_burst_inner(bank, row, count, each_on, at);
+        self.record(ChipEvent::Burst {
+            bank,
+            row,
+            count,
+            each_on,
+            at,
+            outcome: CommandOutcome::of_unit(&result),
+        });
+        result
+    }
+
+    fn activate_burst_inner(
         &mut self,
         bank: u32,
         row: u32,
@@ -552,7 +628,7 @@ impl DramChip {
         // then the activation restore.
         self.settle_and_restore(bank, wl, at)?;
         if let Some(src) = copy_from {
-            self.apply_rowcopy(bank, src, wl);
+            self.apply_rowcopy(bank, src, wl)?;
         }
 
         let companion = self.layout.companion_wordline(wl);
@@ -645,7 +721,10 @@ impl DramChip {
                     parity |= 1 << j;
                 }
             }
-            let code = u32::try_from(out).expect("ECC chips carry 32-bit RD_data");
+            // The constructor asserts on-die ECC implies 32-bit RD_data,
+            // so `out` fits; surface a violation as an error, not a panic.
+            let code = u32::try_from(out)
+                .map_err(|_| CommandError::Internal("ECC read assembled more than 32 data bits"))?;
             let (corrected, _what) = crate::ecc::decode(code, parity);
             out = u64::from(corrected);
         }
@@ -686,7 +765,9 @@ impl DramChip {
         let row = self.banks[bank as usize]
             .rows
             .get_mut(&wl.0)
-            .expect("row ensured above");
+            .ok_or(CommandError::Internal(
+                "written row missing after ensure_row",
+            ))?;
         for (idx, v) in targets {
             row.data.set(idx, v);
         }
@@ -707,10 +788,13 @@ impl DramChip {
         let wls_total = u64::from(self.geom.wordlines());
         let slice_size = wls_total.div_ceil(REF_SLICES).max(1);
         let slice = self.ref_counter % REF_SLICES;
+        // Both bounds are clamped to `wls_total`, which is itself a u32
+        // widened above; a failed narrowing can only mean that invariant
+        // broke, so report it instead of panicking.
         let lo = u32::try_from((slice * slice_size).min(wls_total))
-            .expect("slice bound clamped to the u32 wordline count");
+            .map_err(|_| CommandError::Internal("REF slice bound exceeds u32 wordline count"))?;
         let hi = u32::try_from(((slice + 1) * slice_size).min(wls_total))
-            .expect("slice bound clamped to the u32 wordline count");
+            .map_err(|_| CommandError::Internal("REF slice bound exceeds u32 wordline count"))?;
         self.ref_counter += 1;
         for b in 0..self.banks.len() as u32 {
             let wls: Vec<u32> = self.banks[b as usize]
@@ -739,6 +823,15 @@ impl DramChip {
     ///
     /// Same conditions as a `REF` command.
     pub fn refresh_window(&mut self, at: Time) -> Result<(), CommandError> {
+        let result = self.refresh_window_inner(at);
+        self.record(ChipEvent::RefreshWindow {
+            at,
+            outcome: CommandOutcome::of_unit(&result),
+        });
+        result
+    }
+
+    fn refresh_window_inner(&mut self, at: Time) -> Result<(), CommandError> {
         if at < self.now {
             return Err(CommandError::TimeReversed);
         }
@@ -898,7 +991,7 @@ impl DramChip {
         let mut row = self.banks[bank as usize]
             .rows
             .remove(&wl.0)
-            .expect("inserted above");
+            .ok_or(CommandError::Internal("settled row missing after insert"))?;
         // Retention only matters if the row currently stores any charge;
         // a default discharged row created at t = 0 never decays.
         let ret_frac = self
@@ -1095,10 +1188,15 @@ impl DramChip {
     /// Applies a RowCopy from the latched bitline state of `src` into
     /// `dst`, according to the sense-amplifier sharing between their
     /// subarrays.
-    fn apply_rowcopy(&mut self, bank: u32, src: Wordline, dst: Wordline) {
+    fn apply_rowcopy(
+        &mut self,
+        bank: u32,
+        src: Wordline,
+        dst: Wordline,
+    ) -> Result<(), CommandError> {
         let relation = self.layout.copy_relation(src, dst);
         if relation == CopyRelation::Unrelated || src == dst {
-            return;
+            return Ok(());
         }
         let src_bits = self.banks[bank as usize]
             .rows
@@ -1122,10 +1220,13 @@ impl DramChip {
             row.data.set(dst_bl, dst_bit);
         };
 
-        let mut row = self.banks[bank as usize]
-            .rows
-            .remove(&dst.0)
-            .expect("row ensured above");
+        let mut row =
+            self.banks[bank as usize]
+                .rows
+                .remove(&dst.0)
+                .ok_or(CommandError::Internal(
+                    "copy destination missing after ensure_row",
+                ))?;
         match relation {
             CopyRelation::SameSubarray if src_pol == dst_pol => {
                 // Whole-row fast path: same polarity, no SA crossing.
@@ -1158,9 +1259,14 @@ impl DramChip {
                     transfer(2 * p, 2 * p + 1, true, &mut row);
                 }
             }
-            CopyRelation::Unrelated => unreachable!("filtered above"),
+            // Filtered out at the top of the function; return the
+            // invariant as an error rather than unwinding mid-copy.
+            CopyRelation::Unrelated => {
+                return Err(CommandError::Internal("unrelated copy reached transfer"))
+            }
         }
         self.banks[bank as usize].rows.insert(dst.0, row);
+        Ok(())
     }
 }
 
@@ -1653,6 +1759,105 @@ mod tests {
         let observed: u32 = rows.iter().map(|d| (!d & 0xFFFF_FFFF).count_ones()).sum();
         assert!(observed > 0);
         assert!(c.stats().bitflips >= u64::from(observed));
+    }
+
+    #[test]
+    fn command_errors_display_their_cause() {
+        assert_eq!(
+            CommandError::TimeReversed.to_string(),
+            "command timestamp precedes previous command"
+        );
+        assert_eq!(
+            CommandError::Internal("x missing").to_string(),
+            "internal simulator invariant failed: x missing"
+        );
+        assert!(CommandError::BankOutOfRange { bank: 9, banks: 2 }
+            .to_string()
+            .contains("bank 9"));
+        use std::error::Error;
+        assert!(CommandError::TimeReversed.source().is_none());
+    }
+
+    /// Every entry point reports to the attached sink, after execution,
+    /// including rejected commands and out-of-band markers.
+    #[test]
+    fn sink_observes_every_entry_point() {
+        use crate::sink::{ChipEvent, CommandSink};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Log(Vec<String>);
+        impl CommandSink for Arc<Mutex<Log>> {
+            fn record(&mut self, ev: ChipEvent<'_>) {
+                let line = match ev {
+                    ChipEvent::Command { cmd, outcome, .. } => format!("{cmd:?} -> {outcome}"),
+                    ChipEvent::Burst { count, outcome, .. } => {
+                        format!("burst x{count} -> {outcome}")
+                    }
+                    ChipEvent::RefreshWindow { outcome, .. } => format!("refw -> {outcome}"),
+                    ChipEvent::SetTemperature { celsius } => format!("temp {celsius}"),
+                    ChipEvent::Marker { label } => format!("mark {label}"),
+                };
+                self.lock().unwrap().0.push(line);
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Log::default()));
+        let mut c = chip();
+        assert!(!c.has_sink());
+        c.set_sink(Box::new(Arc::clone(&log)));
+        assert!(c.has_sink());
+
+        let t = Time::from_ns(100);
+        c.issue(Command::Activate { bank: 0, row: 1 }, t).unwrap();
+        // A rejected command is still reported (it can advance the clock).
+        let _ = c.issue(Command::Read { bank: 0, col: 0 }, t + c.timing().tck);
+        c.issue(Command::Precharge { bank: 0 }, t + c.timing().tras)
+            .unwrap();
+        c.mark("phase:test");
+        c.set_temperature(85.0);
+        let t2 = c.now() + c.timing().trp;
+        c.activate_burst(0, 5, 3, Time::from_ns(35), t2).unwrap();
+        c.refresh_window(c.now() + c.timing().trfc).unwrap();
+
+        c.clear_sink().expect("sink was attached");
+        assert!(!c.has_sink());
+        // Untracked traffic after clear_sink leaves the log unchanged.
+        let t3 = c.now() + c.timing().trp;
+        c.issue(Command::Activate { bank: 0, row: 9 }, t3).unwrap();
+
+        let lines = log.lock().unwrap().0.clone();
+        assert_eq!(lines.len(), 7, "{lines:?}");
+        assert!(lines[0].starts_with("Activate"));
+        assert!(lines[1].contains("rejected: read/write issued before tRCD"));
+        assert_eq!(lines[3], "mark phase:test");
+        assert_eq!(lines[4], "temp 85");
+        assert_eq!(lines[5], "burst x3 -> ok");
+        assert_eq!(lines[6], "refw -> ok");
+    }
+
+    /// Attaching a sink must not perturb the physics: same seed, same
+    /// commands, same data with and without a recorder watching.
+    #[test]
+    fn sink_does_not_change_behavior() {
+        use crate::sink::{ChipEvent, CommandSink};
+        struct Null;
+        impl CommandSink for Null {
+            fn record(&mut self, _ev: ChipEvent<'_>) {}
+        }
+        let run = |with_sink: bool| -> Vec<u64> {
+            let mut c = chip();
+            if with_sink {
+                c.set_sink(Box::new(Null));
+            }
+            write_row(&mut c, 0, 19, u64::MAX);
+            write_row(&mut c, 0, 20, 0);
+            let t = c.now() + c.timing().trp;
+            c.activate_burst(0, 20, 2_000_000, Time::from_ns(35), t)
+                .unwrap();
+            read_row(&mut c, 0, 19)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod remap;
 pub mod retention;
 pub mod rng;
 pub mod rowdata;
+pub mod sink;
 pub mod swizzle;
 pub mod time;
 
@@ -69,5 +70,6 @@ pub use profile::{ChipProfile, IoWidth, PolarityScheme, Vendor};
 pub use remap::RowRemap;
 pub use retention::RetentionModel;
 pub use rowdata::RowBits;
+pub use sink::{ChipEvent, CommandOutcome, CommandSink};
 pub use swizzle::{SwizzleMap, SwizzleStyle};
 pub use time::{Time, TimingParams};

@@ -509,6 +509,24 @@ impl ChipProfile {
         self
     }
 
+    /// Resolves a profile from its [`label`](Self::label), covering every
+    /// Table I preset plus the distinct-label test profiles. This is how
+    /// trace replay recovers the device a trace was recorded against.
+    ///
+    /// The swizzle-only test variants (`test_small_vendor_b`,
+    /// `test_small_vendor_c`) share `test_small`'s label and therefore
+    /// cannot be resolved this way; `test_small` wins.
+    pub fn by_label(label: &str) -> Option<ChipProfile> {
+        Self::all_presets()
+            .into_iter()
+            .chain([
+                Self::test_small(),
+                Self::test_small_interleaved(),
+                Self::test_small_coupled(),
+            ])
+            .find(|p| p.label() == label)
+    }
+
     /// All Table I-style presets, one per distinct structure.
     pub fn all_presets() -> Vec<ChipProfile> {
         vec![

@@ -47,6 +47,7 @@ pub use program::{Instr, Program, RunOutput};
 pub use results::{BerStats, BitflipRecord, FlipDirection};
 pub use thermal::ThermalPlant;
 
+use dram_sim::sink::CommandSink;
 use dram_sim::{Command, CommandError, DramChip, Time, TimingParams};
 use std::error::Error;
 use std::fmt;
@@ -147,8 +148,33 @@ impl Testbed {
     }
 
     /// Advances the cursor without issuing commands (retention waits).
+    ///
+    /// A wait is invisible to an attached [`CommandSink`]: it reaches the
+    /// chip only as the (larger) timestamp of the next command, which is
+    /// exactly what a trace needs to replay it.
     pub fn wait(&mut self, d: Time) {
         self.cursor += d;
+    }
+
+    /// Attaches a [`CommandSink`] to the chip under test: every command
+    /// issued from here on — through [`run`](Self::run), the convenience
+    /// helpers, or direct chip access — is reported to it with its
+    /// timestamp and outcome. This is the capture point of the
+    /// `dram-trace` record/replay subsystem.
+    pub fn set_sink(&mut self, sink: Box<dyn CommandSink + Send>) {
+        self.chip.set_sink(sink);
+    }
+
+    /// Detaches and returns the chip's sink, if any.
+    pub fn clear_sink(&mut self) -> Option<Box<dyn CommandSink + Send>> {
+        self.chip.clear_sink()
+    }
+
+    /// Emits an out-of-band phase marker through the chip's sink (no-op
+    /// when none is attached). Markers carry experiment structure into a
+    /// recorded trace without touching chip state.
+    pub fn mark(&mut self, label: &str) {
+        self.chip.mark(label);
     }
 
     /// Drives the heater to `setpoint` °C and updates the chip's die
@@ -541,6 +567,50 @@ mod tests {
         p.pre(0, b.timing().tras);
         let out = b.run(&p).unwrap();
         assert_eq!(out.reads, want);
+    }
+
+    /// A sink attached at the testbed level observes everything
+    /// `Testbed::run` issues, marker included, in program order.
+    #[test]
+    fn sink_observes_program_interpreter() {
+        use dram_sim::sink::{ChipEvent, CommandSink};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Counter {
+            commands: u64,
+            markers: Vec<String>,
+        }
+        #[derive(Clone)]
+        struct Handle(Arc<Mutex<Counter>>);
+        impl CommandSink for Handle {
+            fn record(&mut self, ev: ChipEvent<'_>) {
+                let mut c = self.0.lock().unwrap();
+                match ev {
+                    ChipEvent::Marker { label } => c.markers.push(label.to_string()),
+                    _ => c.commands += 1,
+                }
+            }
+        }
+
+        let shared = Arc::new(Mutex::new(Counter::default()));
+        let mut t = tb();
+        t.set_sink(Box::new(Handle(Arc::clone(&shared))));
+        t.mark("program:write-read");
+        let mut p = Program::new();
+        p.act(0, 5);
+        p.wr(0, 0, 0xAB);
+        p.pre(0, t.timing().tras);
+        p.act(0, 5);
+        p.rd(0, 0);
+        p.pre(0, t.timing().tras);
+        let out = t.run(&p).unwrap();
+        assert_eq!(out.reads, vec![0xAB]);
+        t.clear_sink().expect("sink was attached");
+
+        let c = shared.lock().unwrap();
+        assert_eq!(c.commands, 6, "ACT WR PRE ACT RD PRE");
+        assert_eq!(c.markers, vec!["program:write-read".to_string()]);
     }
 
     #[test]

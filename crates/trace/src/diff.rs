@@ -1,0 +1,181 @@
+//! Structural comparison of two traces, for the `characterize diff` CLI
+//! and golden-trace debugging: *where* did two runs first part ways?
+
+use crate::format::Trace;
+use std::fmt;
+
+/// The differences between two traces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDiff {
+    /// Human-readable header field differences, one per line.
+    pub header: Vec<String>,
+    /// Events in the first trace.
+    pub a_events: usize,
+    /// Events in the second trace.
+    pub b_events: usize,
+    /// Index of the first differing event, if the event streams differ.
+    pub first_divergence: Option<usize>,
+    /// Rendered forms of the events at the divergence (`"<absent>"` when
+    /// one trace ended).
+    pub divergence_detail: Option<(String, String)>,
+}
+
+impl TraceDiff {
+    /// Whether the two traces are identical.
+    pub fn identical(&self) -> bool {
+        self.header.is_empty() && self.first_divergence.is_none()
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.identical() {
+            return write!(f, "traces identical ({} events)", self.a_events);
+        }
+        for line in &self.header {
+            writeln!(f, "header: {line}")?;
+        }
+        if self.a_events != self.b_events {
+            writeln!(f, "events: {} vs {}", self.a_events, self.b_events)?;
+        }
+        match (&self.first_divergence, &self.divergence_detail) {
+            (Some(index), Some((a, b))) => {
+                writeln!(f, "first divergence at event {index}:")?;
+                writeln!(f, "  a: {a}")?;
+                write!(f, "  b: {b}")
+            }
+            _ => write!(f, "event streams identical"),
+        }
+    }
+}
+
+/// Compares two traces field-by-field and event-by-event.
+pub fn diff_traces(a: &Trace, b: &Trace) -> TraceDiff {
+    let mut diff = TraceDiff {
+        a_events: a.events.len(),
+        b_events: b.events.len(),
+        ..TraceDiff::default()
+    };
+    let ha = &a.header;
+    let hb = &b.header;
+    if ha.profile_label != hb.profile_label {
+        diff.header.push(format!(
+            "profile {:?} vs {:?}",
+            ha.profile_label, hb.profile_label
+        ));
+    }
+    if ha.seed != hb.seed {
+        diff.header.push(format!("seed {} vs {}", ha.seed, hb.seed));
+    }
+    if ha.geometry_hash != hb.geometry_hash {
+        diff.header.push(format!(
+            "geometry {:#018x} vs {:#018x}",
+            ha.geometry_hash, hb.geometry_hash
+        ));
+    }
+    if ha.dossier_digest != hb.dossier_digest {
+        let show = |d: Option<u64>| match d {
+            Some(v) => format!("{v:#018x}"),
+            None => "none".to_owned(),
+        };
+        diff.header.push(format!(
+            "dossier digest {} vs {}",
+            show(ha.dossier_digest),
+            show(hb.dossier_digest)
+        ));
+    }
+    if ha.dropped != hb.dropped {
+        diff.header
+            .push(format!("dropped {} vs {}", ha.dropped, hb.dropped));
+    }
+    if ha.meta != hb.meta {
+        diff.header
+            .push(format!("meta {:?} vs {:?}", ha.meta, hb.meta));
+    }
+
+    let common = a.events.len().min(b.events.len());
+    for i in 0..common {
+        if a.events[i] != b.events[i] {
+            diff.first_divergence = Some(i);
+            diff.divergence_detail = Some((a.events[i].to_string(), b.events[i].to_string()));
+            return diff;
+        }
+    }
+    if a.events.len() != b.events.len() {
+        diff.first_divergence = Some(common);
+        let render = |t: &Trace| {
+            t.events
+                .get(common)
+                .map_or_else(|| "<absent>".to_owned(), |e| e.to_string())
+        };
+        diff.divergence_detail = Some((render(a), render(b)));
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::format::TraceHeader;
+    use dram_sim::chip::Command;
+    use dram_sim::sink::CommandOutcome;
+    use dram_sim::time::Time;
+
+    fn base() -> Trace {
+        Trace {
+            header: TraceHeader {
+                profile_label: "Mfr. B x4 0".into(),
+                seed: 5,
+                geometry_hash: 10,
+                dossier_digest: None,
+                dropped: 0,
+                meta: vec![],
+            },
+            events: (0..4)
+                .map(|i| TraceEvent::Command {
+                    cmd: Command::Activate { bank: 0, row: i },
+                    at: Time::from_ns(u64::from(i) * 50),
+                    outcome: CommandOutcome::Accepted,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_traces_diff_empty() {
+        let a = base();
+        let diff = diff_traces(&a, &a.clone());
+        assert!(diff.identical());
+        assert_eq!(diff.to_string(), "traces identical (4 events)");
+    }
+
+    #[test]
+    fn header_and_event_differences_are_reported() {
+        let a = base();
+        let mut b = base();
+        b.header.seed = 6;
+        b.events[2] = TraceEvent::Marker {
+            label: "odd".into(),
+        };
+        let diff = diff_traces(&a, &b);
+        assert!(!diff.identical());
+        assert_eq!(diff.header, vec!["seed 5 vs 6".to_owned()]);
+        assert_eq!(diff.first_divergence, Some(2));
+        let text = diff.to_string();
+        assert!(text.contains("first divergence at event 2"), "{text}");
+        assert!(text.contains("MARK odd"), "{text}");
+    }
+
+    #[test]
+    fn length_difference_diverges_at_common_end() {
+        let a = base();
+        let mut b = base();
+        b.events.truncate(2);
+        let diff = diff_traces(&a, &b);
+        assert_eq!(diff.first_divergence, Some(2));
+        let (da, db) = diff.divergence_detail.expect("detail");
+        assert!(da.contains("ACT bank=0 row=2"));
+        assert_eq!(db, "<absent>");
+    }
+}

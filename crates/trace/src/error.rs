@@ -1,0 +1,202 @@
+//! Error types for trace decoding ([`TraceError`]) and trace replay
+//! ([`ReplayError`]).
+//!
+//! Decoding never panics on hostile input: every way a byte stream can be
+//! malformed maps to a [`TraceError`] variant carrying the offset where
+//! decoding stopped. Replay failures are semantic — the trace decoded
+//! fine, but it cannot (or did not) reproduce on the given chip.
+
+use std::error::Error;
+use std::fmt;
+
+/// A trace byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input does not start with the `DRTR` magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The trace was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// The single version this build can read.
+        supported: u16,
+    },
+    /// The input ended before the fixed header was complete.
+    TruncatedHeader {
+        /// Byte offset at which input ran out.
+        offset: usize,
+    },
+    /// The input ended inside the event stream.
+    TruncatedEvents {
+        /// Byte offset at which input ran out.
+        offset: usize,
+        /// Index of the event being decoded.
+        index: u64,
+    },
+    /// The input is structurally invalid (bad varint, unknown opcode,
+    /// impossible length, trailing garbage, ...).
+    Corrupt {
+        /// Byte offset of the offending data.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic { found } => {
+                write!(f, "not a dram-trace stream (magic {found:02x?})")
+            }
+            TraceError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "trace format version {found} unsupported (this build reads v{supported})"
+                )
+            }
+            TraceError::TruncatedHeader { offset } => {
+                write!(f, "trace truncated inside header at byte {offset}")
+            }
+            TraceError::TruncatedEvents { offset, index } => {
+                write!(
+                    f,
+                    "trace truncated at byte {offset} while decoding event {index}"
+                )
+            }
+            TraceError::Corrupt { offset, what } => {
+                write!(f, "corrupt trace at byte {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A decoded trace could not be replayed against a chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace was recorded against a different chip profile.
+    ProfileMismatch {
+        /// Profile label stored in the trace.
+        trace: String,
+        /// Label of the profile offered for replay.
+        profile: String,
+    },
+    /// Labels agree but the chip geometry hash does not — the profile
+    /// definition changed since the trace was recorded.
+    GeometryMismatch {
+        /// Geometry hash stored in the trace.
+        trace: u64,
+        /// Geometry hash of the profile offered for replay.
+        profile: u64,
+    },
+    /// The recorder's ring buffer overflowed while capturing; a partial
+    /// trace cannot reproduce the run and is refused.
+    PartialTrace {
+        /// Events the recorder had to drop.
+        dropped: u64,
+    },
+    /// Replay produced a different outcome than the trace recorded —
+    /// the simulation is no longer bit-for-bit identical.
+    Divergence {
+        /// Index of the first diverging event.
+        index: u64,
+        /// The recorded event, rendered.
+        expected: String,
+        /// What replay produced instead, rendered.
+        got: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::ProfileMismatch { trace, profile } => {
+                write!(f, "trace was recorded on profile {trace:?}, not {profile:?}")
+            }
+            ReplayError::GeometryMismatch { trace, profile } => write!(
+                f,
+                "chip geometry changed since recording (trace {trace:#018x}, profile {profile:#018x})"
+            ),
+            ReplayError::PartialTrace { dropped } => {
+                write!(f, "trace is partial: recorder dropped {dropped} event(s)")
+            }
+            ReplayError::Divergence { index, expected, got } => {
+                write!(f, "replay diverged at event {index}: recorded `{expected}`, replay produced `{got}`")
+            }
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_errors_display_their_cause() {
+        let cases: Vec<(TraceError, &str)> = vec![
+            (
+                TraceError::BadMagic { found: *b"ELF\x7f" },
+                "not a dram-trace stream",
+            ),
+            (
+                TraceError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9 unsupported (this build reads v1)",
+            ),
+            (
+                TraceError::TruncatedHeader { offset: 3 },
+                "inside header at byte 3",
+            ),
+            (
+                TraceError::TruncatedEvents {
+                    offset: 40,
+                    index: 2,
+                },
+                "at byte 40 while decoding event 2",
+            ),
+            (
+                TraceError::Corrupt {
+                    offset: 7,
+                    what: "unknown event opcode",
+                },
+                "at byte 7: unknown event opcode",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+            assert!(std::error::Error::source(&err).is_none());
+        }
+    }
+
+    #[test]
+    fn replay_errors_display_their_cause() {
+        let err = ReplayError::Divergence {
+            index: 12,
+            expected: "RD bank=0 col=3".into(),
+            got: "rejected: no open row in bank".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("diverged at event 12"), "{text}");
+        assert!(text.contains("RD bank=0 col=3"), "{text}");
+        assert!(ReplayError::PartialTrace { dropped: 4 }
+            .to_string()
+            .contains("dropped 4 event(s)"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TraceError>();
+        check::<ReplayError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! The owned trace event type: what one [`ChipEvent`] becomes once it is
+//! kept beyond the sink callback.
+
+use dram_sim::chip::Command;
+use dram_sim::sink::{ChipEvent, CommandOutcome};
+use dram_sim::time::Time;
+use std::fmt;
+
+/// One recorded event at the chip's command boundary.
+///
+/// This is the owned mirror of [`ChipEvent`]: marker labels are `String`s
+/// and timestamps are absolute. The on-disk form delta-encodes the
+/// timestamps; in memory they are always absolute [`Time`] values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A pin-level command through `DramChip::issue`.
+    Command {
+        /// The command as issued.
+        cmd: Command,
+        /// Its timestamp.
+        at: Time,
+        /// What the chip did with it.
+        outcome: CommandOutcome,
+    },
+    /// A loop-accelerated `ACT`-`PRE` burst.
+    Burst {
+        /// Bank index.
+        bank: u32,
+        /// Pin-level row address.
+        row: u32,
+        /// Activations in the burst.
+        count: u64,
+        /// Per-activation open time.
+        each_on: Time,
+        /// Burst start timestamp.
+        at: Time,
+        /// What the chip did with it.
+        outcome: CommandOutcome,
+    },
+    /// A loop-accelerated full refresh window.
+    RefreshWindow {
+        /// Timestamp of the window.
+        at: Time,
+        /// What the chip did with it.
+        outcome: CommandOutcome,
+    },
+    /// The die temperature changed.
+    SetTemperature {
+        /// New die temperature, °C.
+        celsius: f64,
+    },
+    /// An out-of-band phase marker.
+    Marker {
+        /// The marker label.
+        label: String,
+    },
+}
+
+impl TraceEvent {
+    /// Copies a borrowed chip event into its owned form.
+    pub fn from_chip(ev: &ChipEvent<'_>) -> TraceEvent {
+        match *ev {
+            ChipEvent::Command { cmd, at, outcome } => TraceEvent::Command { cmd, at, outcome },
+            ChipEvent::Burst {
+                bank,
+                row,
+                count,
+                each_on,
+                at,
+                outcome,
+            } => TraceEvent::Burst {
+                bank,
+                row,
+                count,
+                each_on,
+                at,
+                outcome,
+            },
+            ChipEvent::RefreshWindow { at, outcome } => TraceEvent::RefreshWindow { at, outcome },
+            ChipEvent::SetTemperature { celsius } => TraceEvent::SetTemperature { celsius },
+            ChipEvent::Marker { label } => TraceEvent::Marker {
+                label: label.to_owned(),
+            },
+        }
+    }
+
+    /// Whether this recorded event is exactly the given live event.
+    pub fn matches(&self, ev: &ChipEvent<'_>) -> bool {
+        *self == TraceEvent::from_chip(ev)
+    }
+
+    /// The event's timestamp, if it is a timed (chip-clock) event.
+    pub fn at(&self) -> Option<Time> {
+        match self {
+            TraceEvent::Command { at, .. }
+            | TraceEvent::Burst { at, .. }
+            | TraceEvent::RefreshWindow { at, .. } => Some(*at),
+            TraceEvent::SetTemperature { .. } | TraceEvent::Marker { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Command { cmd, at, outcome } => {
+                match cmd {
+                    Command::Activate { bank, row } => write!(f, "ACT bank={bank} row={row}")?,
+                    Command::Precharge { bank } => write!(f, "PRE bank={bank}")?,
+                    Command::Read { bank, col } => write!(f, "RD bank={bank} col={col}")?,
+                    Command::Write { bank, col, data } => {
+                        write!(f, "WR bank={bank} col={col} data=0x{data:016x}")?
+                    }
+                    Command::Refresh => write!(f, "REF")?,
+                    Command::Rfm { bank } => write!(f, "RFM bank={bank}")?,
+                }
+                write!(f, " @{at} -> {outcome}")
+            }
+            TraceEvent::Burst {
+                bank,
+                row,
+                count,
+                each_on,
+                at,
+                outcome,
+            } => write!(
+                f,
+                "BURST bank={bank} row={row} x{count} on={each_on} @{at} -> {outcome}"
+            ),
+            TraceEvent::RefreshWindow { at, outcome } => write!(f, "REFW @{at} -> {outcome}"),
+            TraceEvent::SetTemperature { celsius } => write!(f, "TEMP {celsius}C"),
+            TraceEvent::Marker { label } => write!(f, "MARK {label}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::chip::CommandError;
+
+    #[test]
+    fn from_chip_round_trips_and_matches() {
+        let live = ChipEvent::Command {
+            cmd: Command::Read { bank: 1, col: 3 },
+            at: Time::from_ns(100),
+            outcome: CommandOutcome::Data(0xdead_beef),
+        };
+        let owned = TraceEvent::from_chip(&live);
+        assert!(owned.matches(&live));
+        assert!(!owned.matches(&ChipEvent::Marker { label: "x" }));
+        assert_eq!(owned.at(), Some(Time::from_ns(100)));
+
+        let marker = TraceEvent::from_chip(&ChipEvent::Marker { label: "phase" });
+        assert_eq!(
+            marker,
+            TraceEvent::Marker {
+                label: "phase".into()
+            }
+        );
+        assert_eq!(marker.at(), None);
+    }
+
+    #[test]
+    fn events_render_one_line_each() {
+        let ev = TraceEvent::Command {
+            cmd: Command::Activate { bank: 0, row: 21 },
+            at: Time::from_ps(500),
+            outcome: CommandOutcome::Rejected(CommandError::RowAlreadyOpen),
+        };
+        let line = ev.to_string();
+        assert!(line.contains("ACT bank=0 row=21"), "{line}");
+        assert!(line.contains("rejected: a row is already open"), "{line}");
+        assert!(!line.contains('\n'));
+
+        let burst = TraceEvent::Burst {
+            bank: 1,
+            row: 2,
+            count: 1000,
+            each_on: Time::from_ns(36),
+            at: Time::from_ns(50),
+            outcome: CommandOutcome::Accepted,
+        };
+        assert!(burst.to_string().contains("BURST bank=1 row=2 x1000"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Capture side: sinks that record a live run into a [`Trace`]
+//! ([`TraceRecorder`], [`SharedRecorder`]) or check a live run against a
+//! previously recorded one ([`TraceVerifier`], [`SharedVerifier`]).
+
+use crate::event::TraceEvent;
+use crate::format::{Trace, TraceHeader};
+use crate::geometry_hash;
+use dram_sim::profile::ChipProfile;
+use dram_sim::sink::{ChipEvent, CommandSink};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An in-memory ring buffer of trace events.
+///
+/// Unbounded by default; with a capacity it keeps the most recent events
+/// and counts how many old ones it had to drop. A trace with a non-zero
+/// drop count is *partial* — replay refuses it — but still useful as a
+/// flight recorder ("what were the last N commands before the bug").
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A recorder that keeps every event.
+    pub fn unbounded() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// A recorder that keeps only the most recent `capacity` events,
+    /// counting the rest as dropped. A capacity of zero keeps nothing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends one owned event, evicting the oldest if at capacity.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Iterates the held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Consumes the recorder into a [`Trace`] for the given run identity.
+    /// The caller fills in `dossier_digest` and `meta` afterwards if the
+    /// run produced them.
+    pub fn finish(self, profile: &ChipProfile, seed: u64) -> Trace {
+        Trace {
+            header: TraceHeader {
+                profile_label: profile.label(),
+                seed,
+                geometry_hash: geometry_hash(profile),
+                dossier_digest: None,
+                dropped: self.dropped,
+                meta: Vec::new(),
+            },
+            events: self.events.into(),
+        }
+    }
+}
+
+impl CommandSink for TraceRecorder {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        self.push(TraceEvent::from_chip(&event));
+    }
+}
+
+/// A cloneable handle to a [`TraceRecorder`] behind a mutex, so the chip
+/// can own a sink handle while the caller keeps another to harvest the
+/// trace after the run.
+#[derive(Debug, Clone)]
+pub struct SharedRecorder(Arc<Mutex<TraceRecorder>>);
+
+impl SharedRecorder {
+    /// A shared recorder that keeps every event.
+    pub fn unbounded() -> Self {
+        SharedRecorder(Arc::new(Mutex::new(TraceRecorder::unbounded())))
+    }
+
+    /// A shared recorder with a bounded ring buffer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedRecorder(Arc::new(Mutex::new(TraceRecorder::with_capacity(capacity))))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceRecorder> {
+        // A panic while the lock is held cannot corrupt a VecDeque of
+        // plain events; recover the data rather than cascading the panic.
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A boxed sink handle for [`DramChip::set_sink`]; clones share the
+    /// same buffer.
+    ///
+    /// [`DramChip::set_sink`]: dram_sim::DramChip::set_sink
+    pub fn sink(&self) -> Box<dyn CommandSink + Send> {
+        Box::new(self.clone())
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Events dropped because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped()
+    }
+
+    /// Drains the recorded events into a [`Trace`]; the shared buffer is
+    /// left empty (a bounded buffer resets to unbounded).
+    pub fn finish(&self, profile: &ChipProfile, seed: u64) -> Trace {
+        std::mem::take(&mut *self.lock()).finish(profile, seed)
+    }
+}
+
+impl CommandSink for SharedRecorder {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        self.lock().push(TraceEvent::from_chip(&event));
+    }
+}
+
+/// The first point where a live run stopped matching a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the first diverging event.
+    pub index: usize,
+    /// The recorded event (`None`: the live run produced extra events).
+    pub expected: Option<TraceEvent>,
+    /// The live event (`None`: the live run ended early).
+    pub got: Option<TraceEvent>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.expected, &self.got) {
+            (Some(e), Some(g)) => {
+                write!(
+                    f,
+                    "event {}: recorded `{e}`, live run produced `{g}`",
+                    self.index
+                )
+            }
+            (Some(e), None) => {
+                write!(
+                    f,
+                    "event {}: recorded `{e}`, live run ended early",
+                    self.index
+                )
+            }
+            (None, Some(g)) => write!(
+                f,
+                "event {}: trace ended, live run produced extra `{g}`",
+                self.index
+            ),
+            (None, None) => write!(f, "event {}: no divergence", self.index),
+        }
+    }
+}
+
+/// A sink that checks a live run against a recorded trace event-by-event.
+///
+/// Attach it (via [`SharedVerifier`]) to a fresh chip, re-run the same
+/// experiment, then call `finish` — `Ok(n)` proves the run reproduced all
+/// `n` recorded events bit-for-bit.
+#[derive(Debug)]
+pub struct TraceVerifier {
+    expected: Vec<TraceEvent>,
+    pos: usize,
+    divergence: Option<Divergence>,
+}
+
+impl TraceVerifier {
+    /// A verifier expecting exactly the given trace's events.
+    pub fn new(trace: &Trace) -> Self {
+        TraceVerifier {
+            expected: trace.events.clone(),
+            pos: 0,
+            divergence: None,
+        }
+    }
+
+    /// Events matched so far.
+    pub fn checked(&self) -> usize {
+        self.pos
+    }
+
+    /// The divergence hit so far, if any.
+    pub fn divergence(&self) -> Option<&Divergence> {
+        self.divergence.as_ref()
+    }
+
+    /// Ends verification: every recorded event must have been matched.
+    // A `Divergence` carries two full events (~136 bytes); `finish` runs
+    // once per replay, so the large-Err cost never sits on a hot path.
+    #[allow(clippy::result_large_err)]
+    pub fn finish(self) -> Result<usize, Divergence> {
+        if let Some(d) = self.divergence {
+            return Err(d);
+        }
+        if self.pos < self.expected.len() {
+            return Err(Divergence {
+                index: self.pos,
+                expected: Some(self.expected[self.pos].clone()),
+                got: None,
+            });
+        }
+        Ok(self.pos)
+    }
+}
+
+impl CommandSink for TraceVerifier {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        if self.divergence.is_some() {
+            return;
+        }
+        let got = TraceEvent::from_chip(&event);
+        match self.expected.get(self.pos) {
+            Some(e) if *e == got => self.pos += 1,
+            Some(e) => {
+                self.divergence = Some(Divergence {
+                    index: self.pos,
+                    expected: Some(e.clone()),
+                    got: Some(got),
+                });
+            }
+            None => {
+                self.divergence = Some(Divergence {
+                    index: self.pos,
+                    expected: None,
+                    got: Some(got),
+                });
+            }
+        }
+    }
+}
+
+/// A cloneable handle to a [`TraceVerifier`], mirroring [`SharedRecorder`].
+#[derive(Debug, Clone)]
+pub struct SharedVerifier(Arc<Mutex<TraceVerifier>>);
+
+impl SharedVerifier {
+    /// A shared verifier expecting the given trace's events.
+    pub fn new(trace: &Trace) -> Self {
+        SharedVerifier(Arc::new(Mutex::new(TraceVerifier::new(trace))))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceVerifier> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A boxed sink handle for [`DramChip::set_sink`].
+    ///
+    /// [`DramChip::set_sink`]: dram_sim::DramChip::set_sink
+    pub fn sink(&self) -> Box<dyn CommandSink + Send> {
+        Box::new(self.clone())
+    }
+
+    /// Events matched so far.
+    pub fn checked(&self) -> usize {
+        self.lock().checked()
+    }
+
+    /// Ends verification (see [`TraceVerifier::finish`]).
+    #[allow(clippy::result_large_err)]
+    pub fn finish(&self) -> Result<usize, Divergence> {
+        std::mem::replace(
+            &mut *self.lock(),
+            TraceVerifier {
+                expected: Vec::new(),
+                pos: 0,
+                divergence: None,
+            },
+        )
+        .finish()
+    }
+}
+
+impl CommandSink for SharedVerifier {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        self.lock().record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::chip::Command;
+    use dram_sim::sink::CommandOutcome;
+    use dram_sim::time::Time;
+
+    fn act(i: u64) -> ChipEvent<'static> {
+        ChipEvent::Command {
+            cmd: Command::Activate {
+                bank: 0,
+                row: i as u32,
+            },
+            at: Time::from_ns(i * 50),
+            outcome: CommandOutcome::Accepted,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let mut rec = TraceRecorder::with_capacity(3);
+        for i in 0..5 {
+            rec.record(act(i));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let rows: Vec<u32> = rec
+            .events()
+            .map(|e| match e {
+                TraceEvent::Command {
+                    cmd: Command::Activate { row, .. },
+                    ..
+                } => *row,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(rows, vec![2, 3, 4]);
+
+        let mut zero = TraceRecorder::with_capacity(0);
+        zero.record(act(0));
+        assert!(zero.is_empty());
+        assert_eq!(zero.dropped(), 1);
+    }
+
+    #[test]
+    fn shared_recorder_clones_feed_one_buffer() {
+        let shared = SharedRecorder::unbounded();
+        let mut sink = shared.sink();
+        sink.record(act(0));
+        sink.record(act(1));
+        assert_eq!(shared.len(), 2);
+        let trace = shared.finish(&ChipProfile::test_small(), 7);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.header.seed, 7);
+        assert_eq!(
+            trace.header.profile_label,
+            ChipProfile::test_small().label()
+        );
+        assert_eq!(trace.header.dropped, 0);
+        assert!(shared.is_empty(), "finish drains the shared buffer");
+    }
+
+    #[test]
+    fn verifier_accepts_identical_and_flags_divergence() {
+        let shared = SharedRecorder::unbounded();
+        let mut sink = shared.sink();
+        for i in 0..4 {
+            sink.record(act(i));
+        }
+        let trace = shared.finish(&ChipProfile::test_small(), 0);
+
+        let mut ok = TraceVerifier::new(&trace);
+        for i in 0..4 {
+            ok.record(act(i));
+        }
+        assert_eq!(ok.finish().expect("identical run verifies"), 4);
+
+        let mut wrong = TraceVerifier::new(&trace);
+        wrong.record(act(0));
+        wrong.record(act(9));
+        let d = wrong.finish().expect_err("diverging run fails");
+        assert_eq!(d.index, 1);
+        assert!(d.to_string().contains("recorded `ACT bank=0 row=1"), "{d}");
+
+        let mut short = TraceVerifier::new(&trace);
+        short.record(act(0));
+        let d = short.finish().expect_err("short run fails");
+        assert_eq!((d.index, d.got), (1, None));
+
+        let mut long = TraceVerifier::new(&trace);
+        for i in 0..5 {
+            long.record(act(i));
+        }
+        let d = long.finish().expect_err("extra events fail");
+        assert!(d.expected.is_none());
+        assert!(d.to_string().contains("extra"), "{d}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Replay side: re-drive a fresh [`DramChip`] from a trace and prove the
+//! simulation reproduces the recorded run bit-for-bit.
+
+use crate::error::ReplayError;
+use crate::event::TraceEvent;
+use crate::format::Trace;
+use crate::geometry_hash;
+use dram_sim::chip::DramChip;
+use dram_sim::profile::ChipProfile;
+use dram_sim::sink::CommandOutcome;
+
+/// Counters from one successful replay.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Trace events replayed (including markers).
+    pub events: u64,
+    /// Chip entry-point invocations (commands, bursts, refresh windows,
+    /// temperature changes — everything except markers).
+    pub entry_calls: u64,
+    /// Pin-level commands the chip executed, counting every activation
+    /// inside loop-accelerated bursts and refresh windows individually.
+    pub commands: u64,
+    /// `RD` outcomes whose recorded data was reproduced exactly.
+    pub reads_verified: u64,
+    /// Cells the replayed physics flipped.
+    pub bitflips: u64,
+}
+
+/// Replays every event of `trace` on a fresh [`DramChip`] built from
+/// `profile` and the trace's recorded seed.
+///
+/// Every entry-point outcome — accepted, returned read data, or the exact
+/// protocol error — must match the recording; the first mismatch aborts
+/// with [`ReplayError::Divergence`]. Rejected commands are re-issued too,
+/// because they advance the chip clock. A clean return is therefore a
+/// bit-for-bit reproduction proof: in particular every recorded `RD` data
+/// word came back identical from the replayed cell physics.
+pub fn replay_on_chip(trace: &Trace, profile: &ChipProfile) -> Result<ReplayStats, ReplayError> {
+    let label = profile.label();
+    if trace.header.profile_label != label {
+        return Err(ReplayError::ProfileMismatch {
+            trace: trace.header.profile_label.clone(),
+            profile: label,
+        });
+    }
+    let hash = geometry_hash(profile);
+    if trace.header.geometry_hash != hash {
+        return Err(ReplayError::GeometryMismatch {
+            trace: trace.header.geometry_hash,
+            profile: hash,
+        });
+    }
+    if trace.header.dropped > 0 {
+        return Err(ReplayError::PartialTrace {
+            dropped: trace.header.dropped,
+        });
+    }
+
+    let mut chip = DramChip::new(profile.clone(), trace.header.seed);
+    let mut stats = ReplayStats::default();
+    let diverged =
+        |index: usize, expected: &TraceEvent, got: &CommandOutcome| ReplayError::Divergence {
+            index: index as u64,
+            expected: expected.to_string(),
+            got: got.to_string(),
+        };
+    for (index, ev) in trace.events.iter().enumerate() {
+        match ev {
+            TraceEvent::Command { cmd, at, outcome } => {
+                stats.entry_calls += 1;
+                let got = CommandOutcome::of_issue(&chip.issue(*cmd, *at));
+                if got != *outcome {
+                    return Err(diverged(index, ev, &got));
+                }
+                if matches!(got, CommandOutcome::Data(_)) {
+                    stats.reads_verified += 1;
+                }
+            }
+            TraceEvent::Burst {
+                bank,
+                row,
+                count,
+                each_on,
+                at,
+                outcome,
+            } => {
+                stats.entry_calls += 1;
+                let got = CommandOutcome::of_unit(
+                    &chip.activate_burst(*bank, *row, *count, *each_on, *at),
+                );
+                if got != *outcome {
+                    return Err(diverged(index, ev, &got));
+                }
+            }
+            TraceEvent::RefreshWindow { at, outcome } => {
+                stats.entry_calls += 1;
+                let got = CommandOutcome::of_unit(&chip.refresh_window(*at));
+                if got != *outcome {
+                    return Err(diverged(index, ev, &got));
+                }
+            }
+            TraceEvent::SetTemperature { celsius } => {
+                stats.entry_calls += 1;
+                chip.set_temperature(*celsius);
+            }
+            TraceEvent::Marker { .. } => {}
+        }
+        stats.events += 1;
+    }
+    let chip_stats = chip.stats();
+    stats.commands =
+        chip_stats.activations + chip_stats.reads + chip_stats.writes + chip_stats.refreshes;
+    stats.bitflips = chip_stats.bitflips;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SharedRecorder;
+    use dram_sim::chip::Command;
+    use dram_sim::time::Time;
+
+    /// Records a small but physics-rich run on a real chip: row writes,
+    /// a hammer burst past the flip threshold, reads of the victims.
+    fn record_run(profile: &ChipProfile, seed: u64) -> Trace {
+        let recorder = SharedRecorder::unbounded();
+        let mut chip = DramChip::new(profile.clone(), seed);
+        chip.set_sink(recorder.sink());
+        let timing = *chip.timing();
+        let mut t = Time::from_ns(100);
+
+        chip.mark("setup");
+        for row in [20u32, 21, 22] {
+            chip.issue(Command::Activate { bank: 0, row }, t)
+                .expect("act");
+            t += timing.trcd;
+            for col in 0..4 {
+                chip.issue(
+                    Command::Write {
+                        bank: 0,
+                        col,
+                        data: u64::MAX,
+                    },
+                    t,
+                )
+                .expect("wr");
+                t += timing.tck * 4;
+            }
+            t += timing.tras;
+            chip.issue(Command::Precharge { bank: 0 }, t).expect("pre");
+            t += timing.trp;
+        }
+
+        chip.mark("hammer");
+        // A protocol error on purpose: rejected commands must replay too.
+        let err = chip.issue(Command::Read { bank: 0, col: 0 }, t);
+        assert!(err.is_err());
+        let end = chip
+            .activate_burst(0, 21, 2_000_000, timing.tras, t)
+            .expect("burst");
+        t = end + timing.trp;
+
+        chip.mark("readout");
+        for row in [20u32, 22] {
+            chip.issue(Command::Activate { bank: 0, row }, t)
+                .expect("act");
+            t += timing.trcd;
+            for col in 0..4 {
+                chip.issue(Command::Read { bank: 0, col }, t).expect("rd");
+                t += timing.tck * 4;
+            }
+            t += timing.tras;
+            chip.issue(Command::Precharge { bank: 0 }, t).expect("pre");
+            t += timing.trp;
+        }
+        chip.set_temperature(45.0);
+        chip.refresh_window(t + Time::from_ms(1)).expect("refw");
+
+        chip.clear_sink();
+        let mut trace = recorder.finish(profile, seed);
+        assert_eq!(trace.header.dropped, 0);
+        trace
+            .header
+            .meta
+            .push(("scenario".into(), "hammer-readout".into()));
+        trace
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_for_bit() {
+        let profile = ChipProfile::test_small();
+        let trace = record_run(&profile, 0xD1CE);
+        assert!(trace.events.len() > 30);
+
+        let stats = replay_on_chip(&trace, &profile).expect("replay verifies");
+        assert_eq!(stats.events, trace.events.len() as u64);
+        assert_eq!(stats.reads_verified, 8);
+        // The burst replays as 2M individual activations in chip stats.
+        assert!(stats.commands > 2_000_000, "{stats:?}");
+        assert!(stats.bitflips > 0, "hammer run should flip cells");
+
+        // And survives a serialization round trip.
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("decodes");
+        assert_eq!(decoded, trace);
+        assert_eq!(
+            replay_on_chip(&decoded, &profile).expect("replay decoded"),
+            stats
+        );
+    }
+
+    #[test]
+    fn wrong_seed_or_tampered_data_diverges() {
+        let profile = ChipProfile::test_small();
+        let mut trace = record_run(&profile, 0xD1CE);
+
+        // A different seed moves the weakest cells: some read must differ.
+        let mut reseeded = trace.clone();
+        reseeded.header.seed ^= 1;
+        let err = replay_on_chip(&reseeded, &profile).expect_err("reseeded replay diverges");
+        assert!(matches!(err, ReplayError::Divergence { .. }), "{err}");
+
+        // Tampering with one recorded read outcome is caught.
+        let target = trace
+            .events
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Command {
+                        outcome: CommandOutcome::Data(_),
+                        ..
+                    }
+                )
+            })
+            .expect("trace has a read");
+        if let TraceEvent::Command { outcome, .. } = &mut trace.events[target] {
+            *outcome = CommandOutcome::Data(0x1234_5678);
+        }
+        let err = replay_on_chip(&trace, &profile).expect_err("tampered replay diverges");
+        match err {
+            ReplayError::Divergence { index, .. } => assert_eq!(index, target as u64),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn replay_refuses_mismatched_identity_and_partial_traces() {
+        let profile = ChipProfile::test_small();
+        let trace = record_run(&profile, 1);
+
+        let other = ChipProfile::test_small_interleaved();
+        assert!(matches!(
+            replay_on_chip(&trace, &other),
+            Err(ReplayError::ProfileMismatch { .. })
+        ));
+
+        let mut wrong_geometry = trace.clone();
+        wrong_geometry.header.geometry_hash ^= 1;
+        assert!(matches!(
+            replay_on_chip(&wrong_geometry, &profile),
+            Err(ReplayError::GeometryMismatch { .. })
+        ));
+
+        let mut partial = trace.clone();
+        partial.header.dropped = 3;
+        assert!(matches!(
+            replay_on_chip(&partial, &profile),
+            Err(ReplayError::PartialTrace { dropped: 3 })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! LEB128 variable-length integers with zigzag signed mapping.
+//!
+//! Timestamps in a trace are stored as zigzag-encoded deltas from the
+//! previous timed event, so a steady command stream costs one or two
+//! bytes per timestamp regardless of absolute simulation time.
+
+/// Why a varint failed to decode; callers map this into a contextual
+/// [`TraceError`](crate::TraceError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarintFault {
+    /// Input ran out mid-varint.
+    Truncated,
+    /// More than 10 continuation bytes — cannot fit a `u64`.
+    Overflow,
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn encode_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` zigzag-mapped then LEB128-encoded.
+pub fn encode_i64(out: &mut Vec<u8>, v: i64) {
+    encode_u64(out, zigzag(v));
+}
+
+/// Maps a signed value to an unsigned one so small magnitudes stay small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Decodes one LEB128 varint starting at `*pos`, advancing `*pos` past it.
+pub(crate) fn decode_u64(buf: &[u8], pos: &mut usize) -> Result<u64, VarintFault> {
+    let mut v: u64 = 0;
+    for shift_step in 0..10u32 {
+        let byte = *buf.get(*pos).ok_or(VarintFault::Truncated)?;
+        *pos += 1;
+        let payload = (byte & 0x7f) as u64;
+        let shift = shift_step * 7;
+        // The 10th byte may only carry the single remaining bit of a u64.
+        if shift == 63 && payload > 1 {
+            return Err(VarintFault::Overflow);
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(VarintFault::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            encode_u64(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut pos = 0;
+            assert_eq!(decode_u64(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_round_trips_via_zigzag() {
+        for v in [0i64, 1, -1, 63, -64, 64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            encode_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(decode_u64(&buf, &mut pos).map(unzigzag), Ok(v));
+        }
+        // Small deltas stay in one byte.
+        let mut buf = Vec::new();
+        encode_i64(&mut buf, -2);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_errors() {
+        let mut pos = 0;
+        assert_eq!(decode_u64(&[], &mut pos), Err(VarintFault::Truncated));
+        let mut pos = 0;
+        assert_eq!(
+            decode_u64(&[0x80, 0x80], &mut pos),
+            Err(VarintFault::Truncated)
+        );
+        // 10 continuation bytes, all with the high bit set.
+        let mut pos = 0;
+        assert_eq!(
+            decode_u64(&[0x80; 11], &mut pos),
+            Err(VarintFault::Overflow)
+        );
+        // A 10th byte carrying more than the last u64 bit.
+        let mut bytes = vec![0x80u8; 9];
+        bytes.push(0x02);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&bytes, &mut pos), Err(VarintFault::Overflow));
+    }
+}

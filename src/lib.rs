@@ -13,6 +13,8 @@
 //!   controller address mapping;
 //! * [`testbed`] — a SoftMC/DRAM-Bender-style programmable command
 //!   sequencer with thermal control and measurement collection;
+//! * [`trace`] — command-trace capture, a compact versioned binary trace
+//!   format, deterministic bit-for-bit replay, and golden-trace diffing;
 //! * [`core`] — the DRAMScope toolkit itself: reverse-engineering
 //!   pipelines, observation validators (O1–O14), attacks and protections.
 //!
@@ -32,4 +34,5 @@
 pub use dram_module as module;
 pub use dram_sim as sim;
 pub use dram_testbed as testbed;
+pub use dram_trace as trace;
 pub use dramscope_core as core;

@@ -1,0 +1,188 @@
+//! Golden-trace regression suite.
+//!
+//! Checked-in binary traces (`tests/golden/*.trace`, one per small vendor
+//! profile, recorded with `characterize record <profile> --seed 2024`)
+//! pin the exact command stream, read data, and dossier digest of a full
+//! characterization. Any change to the simulator physics, the probe
+//! pipelines, or the trace codec that alters behavior bit-for-bit shows
+//! up here as a replay divergence or digest mismatch — the simulated
+//! equivalent of keeping measured silicon behavior under version control.
+
+use dramscope::core::dossier::CharacterizeOptions;
+use dramscope::core::Table;
+use dramscope::core::{record_characterization, replay_benchmark, replay_characterization};
+use dramscope::sim::{ChipProfile, Time};
+use dramscope::trace::{replay_on_chip, Trace, TraceError};
+
+/// The golden fixtures: three profiles with three distinct vendors,
+/// geometries, and hidden configurations.
+const GOLDEN: &[(&str, &[u8])] = &[
+    (
+        "test_small",
+        include_bytes!("golden/test_small.trace") as &[u8],
+    ),
+    (
+        "test_small_interleaved",
+        include_bytes!("golden/test_small_interleaved.trace") as &[u8],
+    ),
+    (
+        "test_small_coupled",
+        include_bytes!("golden/test_small_coupled.trace") as &[u8],
+    ),
+];
+
+/// The options the fixtures were recorded with (mirrors the CLI's
+/// `record` defaults for the small profiles).
+fn opts_for(name: &str) -> CharacterizeOptions {
+    CharacterizeOptions {
+        scan_rows: if name == "test_small_coupled" {
+            257
+        } else {
+            129
+        },
+        with_swizzle: false,
+        probe_range: (44, 60),
+        retention_wait: Time::from_ms(120_000),
+    }
+}
+
+fn profile_for(name: &str) -> ChipProfile {
+    match name {
+        "test_small" => ChipProfile::test_small(),
+        "test_small_interleaved" => ChipProfile::test_small_interleaved(),
+        "test_small_coupled" => ChipProfile::test_small_coupled(),
+        other => panic!("unknown fixture {other}"),
+    }
+}
+
+#[test]
+fn golden_traces_decode_with_expected_identity() {
+    for (name, bytes) in GOLDEN {
+        let trace = Trace::from_bytes(bytes).expect("golden trace decodes");
+        let profile = profile_for(name);
+        assert_eq!(trace.header.profile_label, profile.label(), "{name}");
+        assert_eq!(trace.header.seed, 2024, "{name}");
+        assert_eq!(trace.header.dropped, 0, "{name}");
+        assert!(trace.header.dossier_digest.is_some(), "{name}");
+        assert!(
+            trace.events.len() > 10_000,
+            "{name}: {}",
+            trace.events.len()
+        );
+        // Serialization is canonical: decode → encode is the identity.
+        assert_eq!(trace.to_bytes(), *bytes, "{name}");
+    }
+}
+
+#[test]
+fn golden_traces_verified_replay_reproduces_dossier_digest() {
+    for (name, bytes) in GOLDEN {
+        let trace = Trace::from_bytes(bytes).expect("golden trace decodes");
+        // Re-runs the full characterization with a verifier riding along;
+        // internally asserts the command stream matches event-by-event
+        // and the replayed dossier digest equals the recorded one.
+        let (dossier, stats) = replay_characterization(&trace)
+            .unwrap_or_else(|e| panic!("{name}: golden replay failed: {e}"));
+        assert_eq!(
+            Some(dossier.digest()),
+            trace.header.dossier_digest,
+            "{name}"
+        );
+        assert!(stats.commands() > 0, "{name}");
+    }
+}
+
+#[test]
+fn golden_traces_replay_bit_for_bit_on_bare_chips() {
+    for (name, bytes) in GOLDEN {
+        let trace = Trace::from_bytes(bytes).expect("golden trace decodes");
+        let profile = profile_for(name);
+        let stats = replay_on_chip(&trace, &profile)
+            .unwrap_or_else(|e| panic!("{name}: bare-chip replay failed: {e}"));
+        assert_eq!(stats.events, trace.events.len() as u64, "{name}");
+        assert!(stats.reads_verified > 1_000, "{name}: {stats:?}");
+        assert!(stats.commands > 5_000_000, "{name}: {stats:?}");
+    }
+}
+
+#[test]
+fn corrupt_and_truncated_golden_bytes_error_without_panicking() {
+    let bytes = GOLDEN[0].1;
+    // Sampled prefixes, including every early header boundary.
+    let prefix_lens = (0..64).chain((64..bytes.len()).step_by(4099));
+    for len in prefix_lens {
+        let err = Trace::from_bytes(&bytes[..len]).expect_err("prefix must not decode");
+        assert!(
+            matches!(
+                err,
+                TraceError::TruncatedHeader { .. }
+                    | TraceError::TruncatedEvents { .. }
+                    | TraceError::Corrupt { .. }
+            ),
+            "prefix {len}: {err:?}"
+        );
+    }
+    // Sampled single-byte corruptions: any Result is fine, panics are not.
+    for i in (0..bytes.len()).step_by(997) {
+        let mut mutated = bytes.to_vec();
+        mutated[i] ^= 0xff;
+        let _ = Trace::from_bytes(&mutated);
+    }
+    // Bad magic and version bumps are reported as such.
+    let mut mutated = bytes.to_vec();
+    mutated[0] = b'!';
+    assert!(matches!(
+        Trace::from_bytes(&mutated),
+        Err(TraceError::BadMagic { .. })
+    ));
+    let mut mutated = bytes.to_vec();
+    mutated[4] = 99;
+    assert!(matches!(
+        Trace::from_bytes(&mutated),
+        Err(TraceError::UnsupportedVersion {
+            found: 99,
+            supported: 1
+        })
+    ));
+}
+
+#[test]
+fn record_serialize_replay_round_trip_per_vendor_profile() {
+    for (name, _) in GOLDEN {
+        let profile = profile_for(name);
+        let opts = opts_for(name);
+        let (dossier, _, trace) =
+            record_characterization(&profile, 7, opts).expect("record succeeds");
+
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("round trip decodes");
+        assert_eq!(decoded, trace, "{name}");
+
+        let (replayed, _) = replay_characterization(&decoded)
+            .unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        assert_eq!(
+            replayed.to_string(),
+            dossier.to_string(),
+            "{name}: replayed dossier must be byte-identical"
+        );
+        assert_eq!(replayed.digest(), dossier.digest(), "{name}");
+    }
+}
+
+#[test]
+fn golden_trace_throughput_feeds_fleet_reporting() {
+    let trace = Trace::from_bytes(GOLDEN[0].1).expect("golden trace decodes");
+    let stats = replay_benchmark(&trace, 2).expect("benchmark replays");
+    assert_eq!(stats.phases.len(), 2);
+    let mut table = Table::new(vec!["run", "wall_ms", "commands"]);
+    for (i, p) in stats.phases.iter().enumerate() {
+        assert_eq!(p.name, "replay");
+        assert!(p.commands > 5_000_000, "{p:?}");
+        table.row(vec![
+            i.to_string(),
+            format!("{:.2}", p.wall_ms),
+            p.commands.to_string(),
+        ]);
+    }
+    let csv = table.to_csv();
+    assert!(csv.lines().count() == 3, "{csv}");
+}
