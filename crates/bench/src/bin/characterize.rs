@@ -9,7 +9,16 @@
 //! cargo run --release -p dramscope-bench --bin characterize replay <FILE> [--bench N]
 //! cargo run --release -p dramscope-bench --bin characterize diff <A> <B>
 //! cargo run --release -p dramscope-bench --bin characterize dump <FILE>
+//! cargo run --release -p dramscope-bench --bin characterize stats <FILE> [--json|--csv]
 //! ```
+//!
+//! Every run/record/replay/fleet invocation also accepts the telemetry
+//! flags `--metrics FILE` (write the JSON-lines metrics snapshot of the
+//! run to `FILE`) and `--quiet` (suppress the dossier body, run report,
+//! and telemetry footer, leaving only the one-line confirmations).
+//! `stats` derives the same metrics from a trace file alone — no
+//! re-simulation — and renders them as a table (`--csv` for CSV,
+//! `--json` for the raw snapshot that `--metrics` writes).
 //!
 //! `profile` is a preset name like `mfr_a_x4_2016` (default),
 //! `mfr_b_x4_2019`, `mfr_c_x8_2016`, or `hbm2`. The special name
@@ -31,8 +40,9 @@
 
 use dram_sim::ChipProfile;
 use dram_sim::Time;
-use dram_trace::{diff_traces, Trace};
-use dramscope_core::dossier::{characterize_with_stats, CharacterizeOptions};
+use dram_telemetry::Registry;
+use dram_trace::{diff_traces, trace_metrics, Trace};
+use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
 use dramscope_core::fleet::{self, FleetConfig, FleetJob};
 use dramscope_core::report::Table;
 use dramscope_core::trace_run;
@@ -114,6 +124,125 @@ fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
     Trace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}").into())
 }
 
+/// Telemetry flags accepted by every mode that produces a metrics
+/// registry: `--metrics FILE` writes the JSON-lines snapshot, `--quiet`
+/// suppresses the human-readable output (dossier, run report, footer).
+struct Telemetry {
+    quiet: bool,
+    metrics_path: Option<String>,
+}
+
+impl Telemetry {
+    fn from_args(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(Telemetry {
+            quiet: args.iter().any(|a| a == "--quiet"),
+            metrics_path: parse_flag::<String>(args, "--metrics")?,
+        })
+    }
+
+    /// Writes the snapshot (if requested) and prints the footer (unless
+    /// quiet).
+    fn emit(&self, reg: &Registry) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, reg.to_json_lines())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if !self.quiet {
+            println!("{}", telemetry_footer(reg));
+        }
+        Ok(())
+    }
+}
+
+/// One-line human summary of a run's metrics registry.
+fn telemetry_footer(reg: &Registry) -> String {
+    format!(
+        "Telemetry: {} commands ({} rejected), {} read bytes, {} phases, {} spans",
+        reg.sum_counters("commands_total"),
+        reg.sum_counters("rejects_total"),
+        reg.sum_counters("read_data_bytes_total"),
+        reg.counters()
+            .filter(|(k, _)| k.metric() == "phase_count")
+            .count(),
+        reg.sum_counters("span_count"),
+    )
+}
+
+/// Renders a metrics registry as a [`Table`] (the `stats` subcommand).
+fn metrics_table(reg: &Registry) -> Table {
+    let labels = |labels: &[(String, String)]| {
+        labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut t = Table::new(vec!["metric", "labels", "type", "value", "detail"]);
+    for (k, v) in reg.counters() {
+        t.row(vec![
+            k.metric().into(),
+            labels(k.labels()),
+            "counter".into(),
+            v.to_string(),
+            String::new(),
+        ]);
+    }
+    for (k, v) in reg.gauges() {
+        t.row(vec![
+            k.metric().into(),
+            labels(k.labels()),
+            "gauge".into(),
+            v.to_string(),
+            String::new(),
+        ]);
+    }
+    for (k, h) in reg.histograms() {
+        let detail = match (h.min(), h.max(), h.mean()) {
+            (Some(min), Some(max), Some(mean)) => {
+                format!("min={min} max={max} mean={mean:.1} sum={}", h.sum())
+            }
+            _ => "empty".into(),
+        };
+        t.row(vec![
+            k.metric().into(),
+            labels(k.labels()),
+            "histogram".into(),
+            h.count().to_string(),
+            detail,
+        ]);
+    }
+    t
+}
+
+fn run_stats_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("stats needs a trace file".into());
+    };
+    let trace = load_trace(path)?;
+    let reg = trace_metrics(&trace);
+    let out = if args.iter().any(|a| a == "--json") {
+        reg.to_json_lines()
+    } else if args.iter().any(|a| a == "--csv") {
+        metrics_table(&reg).to_csv()
+    } else {
+        format!(
+            "trace metrics for {} (seed {}, {} events):\n{}{}\n",
+            trace.header.profile_label,
+            trace.header.seed,
+            trace.events.len(),
+            metrics_table(&reg),
+            telemetry_footer(&reg)
+        )
+    };
+    // Stats output gets piped into `head`/`grep`; a closed stdout is
+    // normal termination, not an error.
+    use std::io::Write;
+    match std::io::stdout().write_all(out.as_bytes()) {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e.into()),
+        _ => Ok(()),
+    }
+}
+
 fn print_run_report(stats: &dramscope_core::dossier::RunStats) {
     println!("\nRun report:");
     for p in &stats.phases {
@@ -134,6 +263,7 @@ fn print_run_report(stats: &dramscope_core::dossier::RunStats) {
 fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let serial = args.iter().any(|a| a == "--serial");
     let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
+    let tele = Telemetry::from_args(args)?;
     let jobs = fleet::table1_jobs();
     let report = if serial {
         fleet::run_fleet_serial(&jobs, dramscope_bench::experiments::SEED)
@@ -150,9 +280,12 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         report.workers,
         report.wall_ms
     );
-    print!("{}", report.table());
-    println!("\nRun report (JSON lines):");
-    print!("{}", report.json_lines());
+    if !tele.quiet {
+        print!("{}", report.table());
+        println!("\nRun report (JSON lines):");
+        print!("{}", report.json_lines());
+    }
+    tele.emit(&report.merged_metrics())?;
     if !report.all_ok() {
         std::process::exit(1);
     }
@@ -172,13 +305,18 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
     let out = parse_flag::<String>(args, "--out")?.unwrap_or_else(|| format!("{name}.trace"));
+    let tele = Telemetry::from_args(args)?;
 
-    let (dossier, stats, trace) = trace_run::record_characterization(&profile, seed, opts)?;
+    let (dossier, stats, trace, metrics) =
+        trace_run::record_characterization_instrumented(&profile, seed, opts)?;
     let bytes = trace.to_bytes();
     std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
-    print!("{dossier}");
+    if !tele.quiet {
+        print!("{dossier}");
+        println!();
+    }
     println!(
-        "\nrecorded {} events ({} bytes) to {out}",
+        "recorded {} events ({} bytes) to {out}",
         trace.events.len(),
         bytes.len()
     );
@@ -186,7 +324,10 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "seed {seed}, dossier digest {:#018x}",
         trace.header.dossier_digest.expect("record stores a digest")
     );
-    print_run_report(&stats);
+    if !tele.quiet {
+        print_run_report(&stats);
+    }
+    tele.emit(&metrics)?;
     Ok(())
 }
 
@@ -194,6 +335,7 @@ fn run_replay_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("replay needs a trace file".into());
     };
+    let tele = Telemetry::from_args(args)?;
     let trace = load_trace(path)?;
     println!(
         "replaying {} events for {} (seed {})",
@@ -201,13 +343,19 @@ fn run_replay_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         trace.header.profile_label,
         trace.header.seed
     );
-    let (dossier, stats) = trace_run::replay_characterization(&trace)?;
-    print!("{dossier}");
+    let (dossier, stats, metrics) = trace_run::replay_characterization_instrumented(&trace)?;
+    if !tele.quiet {
+        print!("{dossier}");
+        println!();
+    }
     println!(
-        "\nreplay verified: command stream and dossier digest {:#018x} reproduced bit-for-bit",
+        "replay verified: command stream and dossier digest {:#018x} reproduced bit-for-bit",
         dossier.digest()
     );
-    print_run_report(&stats);
+    if !tele.quiet {
+        print_run_report(&stats);
+    }
+    tele.emit(&metrics)?;
 
     if let Some(repeats) = parse_flag::<u32>(args, "--bench")? {
         let bench = trace_run::replay_benchmark(&trace, repeats)?;
@@ -258,26 +406,42 @@ fn run_dump_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map_or("default", |s| s.as_str());
-    match name {
-        "fleet" => return run_fleet_mode(&args[1..]),
-        "record" => return run_record_mode(&args[1..]),
-        "replay" => return run_replay_mode(&args[1..]),
-        "diff" => return run_diff_mode(&args[1..]),
-        "dump" => return run_dump_mode(&args[1..]),
+    // Subcommands must come first; their flags follow. A profile run
+    // takes its name from the first non-flag argument, so bare
+    // `characterize --quiet` still selects the default profile.
+    match args.first().map(String::as_str) {
+        Some("fleet") => return run_fleet_mode(&args[1..]),
+        Some("record") => return run_record_mode(&args[1..]),
+        Some("replay") => return run_replay_mode(&args[1..]),
+        Some("diff") => return run_diff_mode(&args[1..]),
+        Some("dump") => return run_dump_mode(&args[1..]),
+        Some("stats") => return run_stats_mode(&args[1..]),
         _ => {}
     }
+    let name = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--metrics"))
+        .map_or("default", |(_, s)| s.as_str());
     let Some(mut job) = job_by_name(name) else {
         eprintln!(
             "unknown command or profile '{name}' \
-             (try one of: {PRESET_NAMES:?}, fleet, record, replay, diff, dump)"
+             (try one of: {PRESET_NAMES:?}, fleet, record, replay, diff, dump, stats)"
         );
         std::process::exit(2);
     };
+    let tele = Telemetry::from_args(&args)?;
     job.opts.with_swizzle = true;
-    let (dossier, stats) =
-        characterize_with_stats(&job.profile, dramscope_bench::experiments::SEED, job.opts)?;
-    print!("{dossier}");
-    print_run_report(&stats);
+    let (dossier, stats, metrics) = characterize_instrumented(
+        &job.profile,
+        dramscope_bench::experiments::SEED,
+        job.opts,
+        None,
+    )?;
+    if !tele.quiet {
+        print!("{dossier}");
+        print_run_report(&stats);
+    }
+    tele.emit(&metrics)?;
     Ok(())
 }

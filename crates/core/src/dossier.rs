@@ -17,7 +17,8 @@ use crate::remap_re::{self, RemapVerdict};
 use crate::retention_probe::{self, PolarityVerdict};
 use crate::rowcopy_probe;
 use crate::trr_re::{self, TrrVerdict};
-use dram_sim::{ChipProfile, ChipStats, CommandSink, DramChip, Time};
+use dram_sim::{ChipProfile, ChipStats, CommandSink, DramChip, SharedMetrics, Tee, Time};
+use dram_telemetry::Registry;
 use dram_testbed::Testbed;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -259,6 +260,36 @@ pub fn characterize_with_stats(
     characterize_with_stats_traced(profile, seed, opts, None)
 }
 
+/// [`characterize_with_stats_traced`] plus telemetry: runs with a
+/// [`MetricsSink`](dram_sim::MetricsSink) teed onto the primary probe
+/// testbed and additionally returns the finished metrics [`Registry`]
+/// (command mix, per-bank counters, row-cycle histograms, phase/span
+/// accounting — see `dram_sim::metrics` for the schema).
+///
+/// When an external sink is supplied (a trace recorder, a replay
+/// verifier) it is teed *first*, so it observes exactly the stream it
+/// would see without telemetry attached. The registry is a pure function
+/// of the deterministic event stream, so its JSON-lines snapshot is
+/// byte-identical run to run for the same `(profile, seed, opts)`.
+///
+/// # Errors
+///
+/// Propagates chip protocol errors and pipeline failures.
+pub fn characterize_instrumented(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+    sink: Option<Box<dyn CommandSink + Send>>,
+) -> Result<(ChipDossier, RunStats, Registry), CoreError> {
+    let metrics = SharedMetrics::new();
+    let combined: Box<dyn CommandSink + Send> = match sink {
+        Some(external) => Box::new(Tee::new(external, metrics.clone())),
+        None => Box::new(metrics.clone()),
+    };
+    let (dossier, stats) = characterize_with_stats_traced(profile, seed, opts, Some(combined))?;
+    Ok((dossier, stats, metrics.take_registry()))
+}
+
 /// [`characterize_with_stats`] with an optional [`CommandSink`] attached
 /// to the primary probe testbed for the duration of the run.
 ///
@@ -463,6 +494,34 @@ mod tests {
             "remap hammering must resolve bitflips"
         );
         assert!(stats.wall_ms() > 0.0);
+    }
+
+    #[test]
+    fn instrumented_metrics_are_deterministic_and_cover_phases() {
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let profile = ChipProfile::test_small();
+        let (da, _, ra) = characterize_instrumented(&profile, 123, opts, None).unwrap();
+        let (db, _, rb) = characterize_instrumented(&profile, 123, opts, None).unwrap();
+        assert_eq!(da.to_string(), db.to_string());
+        // The snapshot is byte-stable across runs.
+        assert_eq!(ra.to_json_lines(), rb.to_json_lines());
+        // The command mix is populated and every phase got accounted.
+        assert!(ra.sum_counters("commands_total") > 0);
+        for phase in ["structure", "power", "retention", "remap", "swizzle"] {
+            let key = dram_telemetry::Key::of("phase_count", &[("phase", phase)]);
+            assert_eq!(ra.counter(&key), 1, "phase {phase}");
+        }
+        // Span instrumentation fired (remap detection runs attack scans).
+        let scans = dram_telemetry::Key::of("span_count", &[("span", "attack_scan")]);
+        assert!(ra.counter(&scans) > 0);
+        // The uninstrumented path is unaffected by the tee.
+        let (dc, _) = characterize_with_stats(&profile, 123, opts).unwrap();
+        assert_eq!(dc.to_string(), da.to_string());
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! println!("{}", report.json_lines());
 //! ```
 
-use crate::dossier::{characterize_with_stats, CharacterizeOptions, ChipDossier, RunStats};
+use crate::dossier::{characterize_instrumented, CharacterizeOptions, ChipDossier, RunStats};
 use crate::error::CoreError;
 use dram_sim::rng::mix64;
 use dram_sim::ChipProfile;
+use dram_telemetry::Registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -61,6 +62,9 @@ pub struct ProfileResult {
     pub outcome: Result<ChipDossier, CoreError>,
     /// Per-phase run statistics (empty when the worker panicked).
     pub stats: RunStats,
+    /// Telemetry collected on the profile's primary testbed (empty when
+    /// the worker failed). Deterministic for a given `(profile, seed)`.
+    pub metrics: Registry,
 }
 
 impl ProfileResult {
@@ -203,6 +207,21 @@ impl FleetReport {
     pub fn all_ok(&self) -> bool {
         self.results.iter().all(|r| r.outcome.is_ok())
     }
+
+    /// Folds every profile's telemetry into one fleet-wide registry.
+    ///
+    /// Merging happens in job order regardless of which worker finished
+    /// first, and counter/histogram merging is commutative anyway, so
+    /// the merged snapshot is byte-identical between parallel and serial
+    /// runs of the same jobs — the same determinism contract the
+    /// dossiers obey.
+    pub fn merged_metrics(&self) -> Registry {
+        let mut merged = Registry::new();
+        for r in &self.results {
+            merged.merge(&r.metrics);
+        }
+        merged
+    }
 }
 
 /// Derives the per-profile seed from the fleet's base seed and the
@@ -257,7 +276,9 @@ pub fn table1_jobs() -> Vec<FleetJob> {
 /// offending profile.
 pub fn run_fleet(jobs: &[FleetJob], base_seed: u64, config: FleetConfig) -> FleetReport {
     let workers = effective_workers(config.workers, jobs.len());
-    run_with(jobs, base_seed, workers, characterize_with_stats)
+    run_with(jobs, base_seed, workers, |profile, seed, opts| {
+        characterize_instrumented(profile, seed, opts, None)
+    })
 }
 
 /// The strictly serial reference path: identical jobs, identical derived
@@ -265,7 +286,9 @@ pub fn run_fleet(jobs: &[FleetJob], base_seed: u64, config: FleetConfig) -> Flee
 /// be asserted (`run_fleet` output must match byte-for-byte) and as the
 /// baseline for the parallel speedup.
 pub fn run_fleet_serial(jobs: &[FleetJob], base_seed: u64) -> FleetReport {
-    run_with(jobs, base_seed, 1, characterize_with_stats)
+    run_with(jobs, base_seed, 1, |profile, seed, opts| {
+        characterize_instrumented(profile, seed, opts, None)
+    })
 }
 
 fn effective_workers(requested: usize, jobs: usize) -> usize {
@@ -322,7 +345,11 @@ where
 /// inject faults (panics, errors) without manufacturing a broken chip.
 fn run_with<F>(jobs: &[FleetJob], base_seed: u64, workers: usize, run: F) -> FleetReport
 where
-    F: Fn(&ChipProfile, u64, CharacterizeOptions) -> Result<(ChipDossier, RunStats), CoreError>
+    F: Fn(
+            &ChipProfile,
+            u64,
+            CharacterizeOptions,
+        ) -> Result<(ChipDossier, RunStats, Registry), CoreError>
         + Sync,
 {
     let started = Instant::now();
@@ -337,17 +364,19 @@ where
             let label = job.profile.label();
             let seed = derive_seed(base_seed, &label);
             match outcome {
-                Ok((dossier, stats)) => ProfileResult {
+                Ok((dossier, stats, metrics)) => ProfileResult {
                     label,
                     seed,
                     outcome: Ok(dossier),
                     stats,
+                    metrics,
                 },
                 Err(e) => ProfileResult {
                     label,
                     seed,
                     outcome: Err(e),
                     stats: RunStats::default(),
+                    metrics: Registry::new(),
                 },
             }
         })
@@ -463,7 +492,24 @@ mod tests {
                     .map(|x| x.bitflips)
                     .collect::<Vec<_>>(),
             );
+            // Per-profile telemetry snapshots are byte-identical too.
+            assert_eq!(p.metrics.to_json_lines(), s.metrics.to_json_lines());
+            assert!(p.metrics.sum_counters("commands_total") > 0);
         }
+        // The merged fleet-wide snapshot obeys the same contract: a
+        // parallel run and a serial run of the same jobs render the
+        // identical bytes.
+        let merged_par = par.merged_metrics().to_json_lines();
+        let merged_ser = ser.merged_metrics().to_json_lines();
+        assert_eq!(merged_par, merged_ser);
+        // And the merge really is the sum of the parts.
+        assert_eq!(
+            par.merged_metrics().sum_counters("commands_total"),
+            par.results
+                .iter()
+                .map(|r| r.metrics.sum_counters("commands_total"))
+                .sum::<u64>()
+        );
     }
 
     #[test]
@@ -473,7 +519,7 @@ mod tests {
             if profile.label() == ChipProfile::test_small_coupled().label() {
                 panic!("injected fault");
             }
-            characterize_with_stats(profile, seed, opts)
+            characterize_instrumented(profile, seed, opts, None)
         });
         assert_eq!(report.results.len(), jobs.len());
         let failed: Vec<&ProfileResult> = report
@@ -486,6 +532,7 @@ mod tests {
             failed[0].outcome.as_ref().unwrap_err(),
             &CoreError::WorkerPanic("injected fault".into())
         );
+        assert!(failed[0].metrics.is_empty());
         // Every other profile completed normally.
         assert_eq!(
             report.results.iter().filter(|r| r.outcome.is_ok()).count(),

@@ -87,6 +87,7 @@ pub fn attack_and_scan(
     victim_pattern: u64,
     aggr_pattern: u64,
 ) -> Result<Vec<(u32, u32)>, TestbedError> {
+    tb.mark("span:attack_scan:enter");
     for row in scan.clone() {
         if row != aggressor {
             tb.write_row_pattern(cfg.bank, row, victim_pattern)?;
@@ -104,6 +105,7 @@ pub fn attack_and_scan(
         let flips = results::diff_row(row, rd_bits, |_| victim_pattern, &data).len() as u32;
         out.push((row, flips));
     }
+    tb.mark("span:attack_scan:exit");
     Ok(out)
 }
 

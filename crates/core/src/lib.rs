@@ -59,7 +59,7 @@ pub mod templating;
 pub mod trace_run;
 pub mod trr_re;
 
-pub use dossier::{characterize, ChipDossier};
+pub use dossier::{characterize, characterize_instrumented, ChipDossier};
 pub use error::CoreError;
 pub use fleet::{
     parallel_map, run_fleet, run_fleet_serial, FleetConfig, FleetReport, ProfileResult,
@@ -68,4 +68,7 @@ pub use hammer::{AibConfig, HcntResult};
 pub use observations::{ObservationReport, ObservationSuite};
 pub use patterns::DataPattern;
 pub use report::Table;
-pub use trace_run::{record_characterization, replay_benchmark, replay_characterization};
+pub use trace_run::{
+    record_characterization, record_characterization_instrumented, replay_benchmark,
+    replay_characterization, replay_characterization_instrumented,
+};

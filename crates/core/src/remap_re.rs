@@ -35,13 +35,19 @@ pub fn detect_remap(
     cfg: AibConfig,
     sample: &[u32],
 ) -> Result<RemapVerdict, TestbedError> {
+    tb.mark("span:remap_detect:enter");
+    // Resolve the verdict with `break` (not an early return) so the exit
+    // marker closes the span on every success path.
+    let mut verdict = RemapVerdict::Sequential;
     for &row in sample {
         let adj = adjacent_rows(tb, cfg, row, 8)?;
         if adj.iter().any(|&a| a.abs_diff(row) != 1) {
-            return Ok(RemapVerdict::Scrambled);
+            verdict = RemapVerdict::Scrambled;
+            break;
         }
     }
-    Ok(RemapVerdict::Sequential)
+    tb.mark("span:remap_detect:exit");
+    Ok(verdict)
 }
 
 /// The adjacency graph of a probed pin-row range.

@@ -44,15 +44,42 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Renders the table as CSV.
+    /// Renders the table as CSV (RFC 4180): cells containing a comma,
+    /// a double quote, or a line break are quoted, with embedded quotes
+    /// doubled; all other cells render verbatim.
     pub fn to_csv(&self) -> String {
-        let mut s = self.headers.join(",");
+        let render = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut s = render(&self.headers);
         s.push('\n');
         for r in &self.rows {
-            s.push_str(&r.join(","));
+            s.push_str(&render(r));
             s.push('\n');
         }
         s
+    }
+}
+
+/// Quotes one CSV cell on demand per RFC 4180.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(cell.len() + 2);
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        cell.to_string()
     }
 }
 
@@ -139,6 +166,19 @@ mod tests {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn table_csv_quotes_special_cells_rfc_4180() {
+        let mut t = Table::new(vec!["name", "note, with comma"]);
+        t.row(vec!["plain".into(), "a,b".into()]);
+        t.row(vec!["has \"quotes\"".into(), "line\nbreak".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "name,\"note, with comma\"\n\
+             plain,\"a,b\"\n\
+             \"has \"\"quotes\"\"\",\"line\nbreak\"\n"
+        );
     }
 
     #[test]

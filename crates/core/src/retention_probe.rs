@@ -59,6 +59,7 @@ pub fn classify_rows(
     rows: &[u32],
     wait: Time,
 ) -> Result<Vec<RetentionVerdict>, TestbedError> {
+    tb.mark("span:retention_classify:enter");
     let mut out = Vec::with_capacity(rows.len());
     for &row in rows {
         let mut verdict = RetentionVerdict {
@@ -78,6 +79,7 @@ pub fn classify_rows(
         verdict.fails_from_zeros = tb.read_row(bank, row)?.iter().map(|d| d.count_ones()).sum();
         out.push(verdict);
     }
+    tb.mark("span:retention_classify:exit");
     Ok(out)
 }
 

@@ -399,12 +399,14 @@ pub fn recover_swizzle(
     setup: &ProbeSetup,
     parity_rows: (u32, u32),
 ) -> Result<RecoveredSwizzle, CoreError> {
+    tb.mark("span:swizzle_recover:enter");
     let rd_bits = tb.chip().profile().io_width.rd_bits();
     let row_bits = tb.chip().profile().row_bits;
     let edges = influence_edges(tb, setup)?;
     let parity = classify_bit_parity(tb, setup.bank, parity_rows.0, parity_rows.1, 0)?;
     let chains = recover_chains(&edges, &parity, rd_bits)?;
     let layout = CellLayout::from_chains(&chains, rd_bits, row_bits);
+    tb.mark("span:swizzle_recover:exit");
     Ok(RecoveredSwizzle {
         chains,
         parity,

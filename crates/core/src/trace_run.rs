@@ -18,10 +18,11 @@
 //!    the same [`RunStats`] machinery the fleet engine uses.
 
 use crate::dossier::{
-    characterize_with_stats_traced, CharacterizeOptions, ChipDossier, PhaseStat, RunStats,
+    characterize_instrumented, CharacterizeOptions, ChipDossier, PhaseStat, RunStats,
 };
 use crate::error::CoreError;
 use dram_sim::{ChipProfile, Time};
+use dram_telemetry::Registry;
 use dram_trace::{geometry_hash, replay_on_chip, SharedRecorder, SharedVerifier, Trace};
 use std::time::Instant;
 
@@ -48,13 +49,32 @@ pub fn record_characterization(
     seed: u64,
     opts: CharacterizeOptions,
 ) -> Result<(ChipDossier, RunStats, Trace), CoreError> {
+    record_characterization_instrumented(profile, seed, opts).map(|(d, s, t, _)| (d, s, t))
+}
+
+/// [`record_characterization`] plus telemetry: also returns the metrics
+/// [`Registry`] collected live during the recorded run.
+///
+/// The recorder and the metrics sink ride the same testbed, so
+/// `dram_trace::trace_metrics` over the returned trace reproduces the
+/// returned registry byte-for-byte — the invariant `characterize stats`
+/// builds on.
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn record_characterization_instrumented(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+) -> Result<(ChipDossier, RunStats, Trace, Registry), CoreError> {
     let recorder = SharedRecorder::unbounded();
-    let (dossier, stats) =
-        characterize_with_stats_traced(profile, seed, opts, Some(recorder.sink()))?;
+    let (dossier, stats, metrics) =
+        characterize_instrumented(profile, seed, opts, Some(recorder.sink()))?;
     let mut trace = recorder.finish(profile, seed);
     trace.header.dossier_digest = Some(dossier.digest());
     trace.header.meta = opts_to_meta(&opts);
-    Ok((dossier, stats, trace))
+    Ok((dossier, stats, trace, metrics))
 }
 
 /// Re-runs the characterization a trace captured and verifies it
@@ -71,11 +91,26 @@ pub fn record_characterization(
 /// Fails on unknown profile labels, changed geometry, partial traces,
 /// malformed meta, any command-stream divergence, and digest mismatches.
 pub fn replay_characterization(trace: &Trace) -> Result<(ChipDossier, RunStats), CoreError> {
+    replay_characterization_instrumented(trace).map(|(d, s, _)| (d, s))
+}
+
+/// [`replay_characterization`] plus telemetry: also returns the metrics
+/// [`Registry`] collected during the verified re-run. Identical to what
+/// the original recorded run would have collected (and to
+/// `dram_trace::trace_metrics` over the trace), since all three consume
+/// the same event stream.
+///
+/// # Errors
+///
+/// Same failure modes as [`replay_characterization`].
+pub fn replay_characterization_instrumented(
+    trace: &Trace,
+) -> Result<(ChipDossier, RunStats, Registry), CoreError> {
     let profile = profile_for(trace)?;
     let opts = opts_from_meta(trace)?;
     let verifier = SharedVerifier::new(trace);
-    let (dossier, stats) =
-        characterize_with_stats_traced(&profile, trace.header.seed, opts, Some(verifier.sink()))?;
+    let (dossier, stats, metrics) =
+        characterize_instrumented(&profile, trace.header.seed, opts, Some(verifier.sink()))?;
     verifier
         .finish()
         .map_err(|d| CoreError::from(format!("replay diverged from trace: {d}")))?;
@@ -88,7 +123,7 @@ pub fn replay_characterization(trace: &Trace) -> Result<(ChipDossier, RunStats),
             .into());
         }
     }
-    Ok((dossier, stats))
+    Ok((dossier, stats, metrics))
 }
 
 /// Replays a trace `repeats` times on bare chips and reports throughput.
@@ -247,6 +282,22 @@ mod tests {
         trace.header.dossier_digest = None;
         let err = replay_characterization(&trace).expect_err("reseeded replay");
         assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn record_replay_and_trace_derived_metrics_agree() {
+        let profile = ChipProfile::test_small();
+        let (_, _, trace, live) =
+            record_characterization_instrumented(&profile, 123, small_opts()).expect("record");
+        let live_snap = live.to_json_lines();
+        // The same registry falls out of a verified replay…
+        let (_, _, replayed) =
+            replay_characterization_instrumented(&trace).expect("replay verifies");
+        assert_eq!(replayed.to_json_lines(), live_snap);
+        // …and out of a pure trace pass with no simulation at all.
+        assert_eq!(dram_trace::trace_metrics(&trace).to_json_lines(), live_snap);
+        // Span markers made it into the trace and the registry.
+        assert!(live.sum_counters("span_count") > 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn windowed_attack(
     windows: u32,
     with_refs: bool,
 ) -> Result<u32, TestbedError> {
+    tb.mark("span:trr_window:enter");
     for &v in victims {
         tb.write_row_pattern(bank, v, u64::MAX)?;
     }
@@ -63,6 +64,7 @@ pub fn windowed_attack(
         let data = tb.read_row(bank, v)?;
         flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
     }
+    tb.mark("span:trr_window:exit");
     Ok(flips)
 }
 

@@ -59,10 +59,10 @@ fn elapsed(later: Time, earlier: Time) -> Result<Time, CommandError> {
 
 /// JEDEC refresh granularity: one `REF` covers 1/8192 of the rows; a full
 /// refresh window (`tREFW`) is 8192 `REF` commands.
-const REF_SLICES: u64 = 8192;
+pub const REF_SLICES: u64 = 8192;
 
 /// A DRAM command as it arrives on the chip's pins.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Command {
     /// Open a row: sense it into the sense amplifiers.
     Activate {
@@ -103,12 +103,40 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// The command's pin mnemonic (`act`, `pre`, `rd`, `wr`, `ref`,
+    /// `rfm`) — the stable label telemetry buckets command mixes under.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Activate { .. } => "act",
+            Command::Precharge { .. } => "pre",
+            Command::Read { .. } => "rd",
+            Command::Write { .. } => "wr",
+            Command::Refresh => "ref",
+            Command::Rfm { .. } => "rfm",
+        }
+    }
+
+    /// The bank the command addresses, if it is bank-scoped (`REF` is
+    /// all-bank and has none).
+    pub fn bank(&self) -> Option<u32> {
+        match self {
+            Command::Activate { bank, .. }
+            | Command::Precharge { bank }
+            | Command::Read { bank, .. }
+            | Command::Write { bank, .. }
+            | Command::Rfm { bank } => Some(*bank),
+            Command::Refresh => None,
+        }
+    }
+}
+
 /// Data returned by a `RD` command (RD_data bits, LSB first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ReadData(pub u64);
 
 /// Errors from [`DramChip::issue`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommandError {
     /// Bank index out of range.
     BankOutOfRange {
@@ -146,6 +174,25 @@ pub enum CommandError {
     /// a simulator bug surfaced as an error instead of a panic; the
     /// payload names the violated invariant.
     Internal(&'static str),
+}
+
+impl CommandError {
+    /// A stable short name for the error variant — the label telemetry
+    /// buckets rejections under (payload-free on purpose, so all
+    /// `BankOutOfRange` rejections share one counter).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CommandError::BankOutOfRange { .. } => "bank_out_of_range",
+            CommandError::RowOutOfRange { .. } => "row_out_of_range",
+            CommandError::ColOutOfRange { .. } => "col_out_of_range",
+            CommandError::NoOpenRow => "no_open_row",
+            CommandError::RowAlreadyOpen => "row_already_open",
+            CommandError::TrcdViolation => "trcd_violation",
+            CommandError::RefreshWhileOpen => "refresh_while_open",
+            CommandError::TimeReversed => "time_reversed",
+            CommandError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for CommandError {

@@ -50,6 +50,7 @@ pub mod disturb;
 pub mod ecc;
 pub mod geometry;
 pub mod layout;
+pub mod metrics;
 pub mod mitigation;
 pub mod profile;
 pub mod remap;
@@ -61,15 +62,16 @@ pub mod swizzle;
 pub mod time;
 
 pub use cell::{AggressorDir, CellKind, CellPolarity, GateType};
-pub use chip::{ChipStats, Command, CommandError, DramChip, GroundTruth, ReadData};
+pub use chip::{ChipStats, Command, CommandError, DramChip, GroundTruth, ReadData, REF_SLICES};
 pub use disturb::{DisturbModel, FlipContext, GateRates, Mechanism};
 pub use geometry::{BankGeometry, Bitline, LogicalRow, MatId, SubarrayId, Wordline};
 pub use layout::{BankLayout, CopyRelation, EdgeRole, StripeSide, SubarrayInfo};
+pub use metrics::{MetricsSink, SharedMetrics};
 pub use mitigation::TrrConfig;
 pub use profile::{ChipProfile, IoWidth, PolarityScheme, Vendor};
 pub use remap::RowRemap;
 pub use retention::RetentionModel;
 pub use rowdata::RowBits;
-pub use sink::{ChipEvent, CommandOutcome, CommandSink};
+pub use sink::{ChipEvent, CommandOutcome, CommandSink, Tee};
 pub use swizzle::{SwizzleMap, SwizzleStyle};
 pub use time::{Time, TimingParams};

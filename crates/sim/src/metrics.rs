@@ -1,0 +1,407 @@
+//! Command-boundary telemetry: a [`CommandSink`] that folds a chip's
+//! event stream into a `dram-telemetry` [`Registry`].
+//!
+//! The [`MetricsSink`] observes everything the trace recorder observes —
+//! it attaches at the same [`CommandSink`] hook — which gives the stack
+//! a useful invariant for free: metrics derived from a *recorded trace*
+//! equal metrics collected during the *live run*, because both sinks see
+//! the identical event stream. `characterize stats <trace>` relies on
+//! this to render run telemetry with no re-simulation.
+//!
+//! Everything recorded here is a function of the (deterministic) event
+//! stream: simulated timestamps, command payloads, outcomes. No host
+//! clocks, no allocation-order dependence — snapshots are byte-stable.
+//!
+//! # Metric vocabulary (schema v1)
+//!
+//! | metric | kind | labels | meaning |
+//! |---|---|---|---|
+//! | `commands_total` | counter | `kind` = `act`/`pre`/`rd`/`wr`/`ref`/`rfm` | accepted pin-level commands; a burst adds its activation count, a refresh window adds [`REF_SLICES`] |
+//! | `bank_commands_total` | counter | `bank`, `kind` | per-bank slice of the above (all-bank `REF` has no bank) |
+//! | `outcomes_total` | counter | `outcome` = `accepted`/`data`/`rejected` | chip entry-point invocations by result |
+//! | `rejects_total` | counter | `kind`, `error` | rejected invocations by command kind and [`CommandError::kind`] |
+//! | `read_data_bytes_total` | counter | — | 8 bytes per `RD` burst that returned data |
+//! | `bursts_total` | counter | — | accepted loop-accelerated ACT-PRE bursts |
+//! | `burst_activations` | histogram | — | activations per accepted burst |
+//! | `refresh_windows_total` | counter | — | accepted full refresh windows |
+//! | `act_to_act_ps` | histogram | — | same-bank explicit-`ACT` spacing, ps |
+//! | `row_open_ps` | histogram | — | explicit `ACT`→`PRE` row-open time, ps |
+//! | `markers_total` | counter | — | all marker events, telemetry-bearing or not |
+//! | `die_temperature_mc` | gauge | — | last die temperature, milli-°C |
+//! | `phase_*`, `span_*` | counter | `phase` / `span` | see [`dram_telemetry::SpanSet`] |
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dram_telemetry::{parse_marker, Key, MarkerKind, Registry, SpanSet};
+
+use crate::chip::{CommandError, REF_SLICES};
+use crate::sink::{ChipEvent, CommandOutcome, CommandSink};
+use crate::time::Time;
+
+/// A [`CommandSink`] that accumulates the schema-v1 metric vocabulary
+/// from a chip's event stream.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    reg: Registry,
+    spans: SpanSet,
+    /// Last accepted explicit-`ACT` timestamp per bank, ps.
+    last_act_ps: BTreeMap<u32, u64>,
+    /// Accepted explicit-`ACT` timestamp of the currently open row per
+    /// bank, ps (cleared by the matching `PRE`).
+    open_since_ps: BTreeMap<u32, u64>,
+    /// Accepted pin-level commands so far (the span "command" unit).
+    commands: u64,
+    /// Latest simulated timestamp seen, ps (markers carry no timestamp;
+    /// they are attributed to this clock).
+    now_ps: u64,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Closes any open phase/spans and returns the finished registry.
+    pub fn into_registry(mut self) -> Registry {
+        self.spans.finish(self.now_ps, self.commands, &mut self.reg);
+        self.reg
+    }
+
+    /// The registry as accumulated so far (open phases/spans not yet
+    /// folded in — use [`MetricsSink::into_registry`] for the final
+    /// state).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    fn record_accepted(&mut self, kind: &'static str, bank: Option<u32>, count: u64, at: Time) {
+        self.now_ps = self.now_ps.max(at.as_ps());
+        self.commands += count;
+        self.reg
+            .inc(Key::of("commands_total", &[("kind", kind)]), count);
+        if let Some(bank) = bank {
+            let bank = bank.to_string();
+            self.reg.inc(
+                Key::of("bank_commands_total", &[("bank", &bank), ("kind", kind)]),
+                count,
+            );
+        }
+    }
+
+    fn record_outcome(&mut self, kind: &'static str, outcome: CommandOutcome) {
+        let bucket = match outcome {
+            CommandOutcome::Accepted => "accepted",
+            CommandOutcome::Data(_) => "data",
+            CommandOutcome::Rejected(_) => "rejected",
+        };
+        self.reg
+            .inc(Key::of("outcomes_total", &[("outcome", bucket)]), 1);
+        if let CommandOutcome::Rejected(err) = outcome {
+            self.record_reject(kind, err);
+        }
+    }
+
+    fn record_reject(&mut self, kind: &'static str, err: CommandError) {
+        self.reg.inc(
+            Key::of("rejects_total", &[("kind", kind), ("error", err.kind())]),
+            1,
+        );
+    }
+
+    fn record_marker(&mut self, label: &str) {
+        self.reg.inc(Key::name("markers_total"), 1);
+        match parse_marker(label) {
+            Some(MarkerKind::Phase(name)) => {
+                self.spans
+                    .phase_enter(name, self.now_ps, self.commands, &mut self.reg)
+            }
+            Some(MarkerKind::SpanEnter(name)) => {
+                self.spans.span_enter(name, self.now_ps, self.commands)
+            }
+            Some(MarkerKind::SpanExit(name)) => {
+                self.spans
+                    .span_exit(name, self.now_ps, self.commands, &mut self.reg)
+            }
+            None => {}
+        }
+    }
+}
+
+impl CommandSink for MetricsSink {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        match event {
+            ChipEvent::Command { cmd, at, outcome } => {
+                let kind = cmd.mnemonic();
+                self.record_outcome(kind, outcome);
+                if matches!(outcome, CommandOutcome::Rejected(_)) {
+                    // Rejected commands can still advance the chip clock.
+                    self.now_ps = self.now_ps.max(at.as_ps());
+                    return;
+                }
+                self.record_accepted(kind, cmd.bank(), 1, at);
+                match cmd {
+                    crate::chip::Command::Activate { bank, .. } => {
+                        let at_ps = at.as_ps();
+                        if let Some(prev) = self.last_act_ps.insert(bank, at_ps) {
+                            self.reg
+                                .observe(Key::name("act_to_act_ps"), at_ps.saturating_sub(prev));
+                        }
+                        self.open_since_ps.insert(bank, at_ps);
+                    }
+                    crate::chip::Command::Precharge { bank } => {
+                        if let Some(opened) = self.open_since_ps.remove(&bank) {
+                            self.reg.observe(
+                                Key::name("row_open_ps"),
+                                at.as_ps().saturating_sub(opened),
+                            );
+                        }
+                    }
+                    crate::chip::Command::Read { .. } => {
+                        if let CommandOutcome::Data(_) = outcome {
+                            self.reg.inc(Key::name("read_data_bytes_total"), 8);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ChipEvent::Burst {
+                bank,
+                count,
+                at,
+                outcome,
+                ..
+            } => {
+                self.record_outcome("burst", outcome);
+                if matches!(outcome, CommandOutcome::Rejected(_)) {
+                    self.now_ps = self.now_ps.max(at.as_ps());
+                    return;
+                }
+                // Mirrors `ChipStats`: a burst counts as `count`
+                // activations. Burst-internal ACT/PRE pairs are
+                // self-contained, so they do not perturb the explicit
+                // act-to-act / row-open interval tracking.
+                self.record_accepted("act", Some(bank), count, at);
+                self.reg.inc(Key::name("bursts_total"), 1);
+                self.reg.observe(Key::name("burst_activations"), count);
+            }
+            ChipEvent::RefreshWindow { at, outcome } => {
+                self.record_outcome("refresh_window", outcome);
+                if matches!(outcome, CommandOutcome::Rejected(_)) {
+                    self.now_ps = self.now_ps.max(at.as_ps());
+                    return;
+                }
+                self.record_accepted("ref", None, REF_SLICES, at);
+                self.reg.inc(Key::name("refresh_windows_total"), 1);
+            }
+            ChipEvent::SetTemperature { celsius } => {
+                self.reg
+                    .set_gauge(Key::name("die_temperature_mc"), (celsius * 1000.0) as i64);
+            }
+            ChipEvent::Marker { label } => self.record_marker(label),
+        }
+    }
+}
+
+/// A shareable handle over a [`MetricsSink`]: the chip owns one clone as
+/// its boxed sink while the caller keeps another to harvest the registry
+/// after the run. The mutex is uncontended in practice (one chip, one
+/// thread) and exists only to satisfy `Send` for the sink slot.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMetrics(Arc<Mutex<MetricsSink>>);
+
+impl SharedMetrics {
+    /// Creates a handle over a fresh sink.
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    /// Closes open phases/spans and returns the finished registry,
+    /// resetting the shared sink to empty.
+    pub fn take_registry(&self) -> Registry {
+        let mut sink = self.0.lock().expect("metrics mutex poisoned");
+        std::mem::take(&mut *sink).into_registry()
+    }
+}
+
+impl CommandSink for SharedMetrics {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        self.0.lock().expect("metrics mutex poisoned").record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Command;
+
+    fn cmd(cmd: Command, at_ns: u64, outcome: CommandOutcome) -> ChipEvent<'static> {
+        ChipEvent::Command {
+            cmd,
+            at: Time::from_ns(at_ns),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn command_mix_bank_counters_and_row_cycles() {
+        let mut sink = MetricsSink::new();
+        sink.record(cmd(
+            Command::Activate { bank: 0, row: 5 },
+            100,
+            CommandOutcome::Accepted,
+        ));
+        sink.record(cmd(
+            Command::Read { bank: 0, col: 0 },
+            130,
+            CommandOutcome::Data(0xdead),
+        ));
+        sink.record(cmd(
+            Command::Precharge { bank: 0 },
+            150,
+            CommandOutcome::Accepted,
+        ));
+        sink.record(cmd(
+            Command::Activate { bank: 0, row: 6 },
+            200,
+            CommandOutcome::Accepted,
+        ));
+        let reg = sink.into_registry();
+
+        assert_eq!(
+            reg.counter(&Key::of("commands_total", &[("kind", "act")])),
+            2
+        );
+        assert_eq!(
+            reg.counter(&Key::of(
+                "bank_commands_total",
+                &[("bank", "0"), ("kind", "rd")]
+            )),
+            1
+        );
+        assert_eq!(reg.counter(&Key::name("read_data_bytes_total")), 8);
+        // ACT@100ns → PRE@150ns: one 50 000 ps row-open interval.
+        let open = reg.histogram(&Key::name("row_open_ps")).unwrap();
+        assert_eq!((open.count(), open.sum()), (1, 50_000));
+        // ACT@100ns → ACT@200ns same bank: one 100 000 ps spacing.
+        let a2a = reg.histogram(&Key::name("act_to_act_ps")).unwrap();
+        assert_eq!((a2a.count(), a2a.sum()), (1, 100_000));
+        assert_eq!(
+            reg.counter(&Key::of("outcomes_total", &[("outcome", "data")])),
+            1
+        );
+    }
+
+    #[test]
+    fn rejects_bucket_by_kind_and_error_and_do_not_count_as_commands() {
+        let mut sink = MetricsSink::new();
+        sink.record(cmd(
+            Command::Read { bank: 0, col: 0 },
+            50,
+            CommandOutcome::Rejected(CommandError::NoOpenRow),
+        ));
+        let reg = sink.into_registry();
+        assert_eq!(
+            reg.counter(&Key::of(
+                "rejects_total",
+                &[("kind", "rd"), ("error", "no_open_row")]
+            )),
+            1
+        );
+        assert_eq!(reg.sum_counters("commands_total"), 0);
+        assert_eq!(
+            reg.counter(&Key::of("outcomes_total", &[("outcome", "rejected")])),
+            1
+        );
+    }
+
+    #[test]
+    fn bursts_and_refresh_windows_scale_like_chip_stats() {
+        let mut sink = MetricsSink::new();
+        sink.record(ChipEvent::Burst {
+            bank: 2,
+            row: 9,
+            count: 4000,
+            each_on: Time::from_ns(30),
+            at: Time::from_ns(1_000),
+            outcome: CommandOutcome::Accepted,
+        });
+        sink.record(ChipEvent::RefreshWindow {
+            at: Time::from_ms(64),
+            outcome: CommandOutcome::Accepted,
+        });
+        let reg = sink.into_registry();
+        assert_eq!(
+            reg.counter(&Key::of("commands_total", &[("kind", "act")])),
+            4000
+        );
+        assert_eq!(
+            reg.counter(&Key::of("commands_total", &[("kind", "ref")])),
+            REF_SLICES
+        );
+        assert_eq!(reg.counter(&Key::name("bursts_total")), 1);
+        assert_eq!(reg.counter(&Key::name("refresh_windows_total")), 1);
+        assert_eq!(
+            reg.histogram(&Key::name("burst_activations"))
+                .unwrap()
+                .max(),
+            Some(4000)
+        );
+    }
+
+    #[test]
+    fn markers_drive_phases_and_spans_on_the_sim_clock() {
+        let mut sink = MetricsSink::new();
+        sink.record(ChipEvent::Marker {
+            label: "phase:structure",
+        });
+        sink.record(cmd(
+            Command::Activate { bank: 0, row: 0 },
+            1_000,
+            CommandOutcome::Accepted,
+        ));
+        sink.record(ChipEvent::Marker {
+            label: "span:probe:enter",
+        });
+        sink.record(cmd(
+            Command::Precharge { bank: 0 },
+            3_000,
+            CommandOutcome::Accepted,
+        ));
+        sink.record(ChipEvent::Marker {
+            label: "span:probe:exit",
+        });
+        sink.record(ChipEvent::Marker {
+            label: "free-form note",
+        });
+        let reg = sink.into_registry();
+        assert_eq!(reg.counter(&Key::name("markers_total")), 4);
+        assert_eq!(
+            reg.counter(&Key::of("span_commands_total", &[("span", "probe")])),
+            1
+        );
+        assert_eq!(
+            reg.counter(&Key::of("span_sim_ps_total", &[("span", "probe")])),
+            2_000_000
+        );
+        assert_eq!(
+            reg.counter(&Key::of("phase_commands_total", &[("phase", "structure")])),
+            2
+        );
+    }
+
+    #[test]
+    fn shared_metrics_harvests_after_the_chip_is_done() {
+        let shared = SharedMetrics::new();
+        let mut chip_half = shared.clone();
+        chip_half.record(cmd(Command::Refresh, 500, CommandOutcome::Accepted));
+        let reg = shared.take_registry();
+        assert_eq!(
+            reg.counter(&Key::of("commands_total", &[("kind", "ref")])),
+            1
+        );
+        // The shared sink resets after harvest.
+        assert!(shared.take_registry().is_empty());
+    }
+}

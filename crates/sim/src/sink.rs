@@ -19,7 +19,7 @@ use crate::time::Time;
 use std::fmt;
 
 /// The result of one chip entry-point invocation, as seen by a sink.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommandOutcome {
     /// The command was accepted and returned no data.
     Accepted,
@@ -118,6 +118,45 @@ pub enum ChipEvent<'a> {
 pub trait CommandSink {
     /// Called once per chip entry-point invocation, after execution.
     fn record(&mut self, event: ChipEvent<'_>);
+}
+
+/// Fans one event stream out to two sinks, in order: `first`, then
+/// `second`. [`ChipEvent`] is `Copy`, so teeing costs two virtual calls
+/// and nothing else. Nest `Tee`s for wider fan-out (e.g. a trace
+/// recorder plus a metrics collector on the same run).
+pub struct Tee<A, B> {
+    /// Receives each event first.
+    pub first: A,
+    /// Receives each event second.
+    pub second: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Builds a tee over two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl<A: CommandSink, B: CommandSink> CommandSink for Tee<A, B> {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+}
+
+impl<A, B> fmt::Debug for Tee<A, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tee(..)")
+    }
+}
+
+/// A boxed sink is itself a sink, so a `Tee` can hold externally
+/// supplied `Box<dyn CommandSink + Send>` halves.
+impl CommandSink for Box<dyn CommandSink + Send> {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        (**self).record(event);
+    }
 }
 
 /// The chip's sink slot; wraps the boxed sink so `DramChip` can keep

@@ -1,0 +1,194 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! Every histogram has the same 65 buckets: bucket 0 holds exactly the
+//! value `0`, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Fixed
+//! boundaries make two histograms mergeable bucket-by-bucket with no
+//! information loss — the property fleet aggregation relies on — and the
+//! log2 spacing covers everything from single commands to multi-second
+//! picosecond intervals in one shape.
+
+use std::fmt;
+
+/// Number of buckets in every [`Histogram`]: one for zero plus one per
+/// power of two of the `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram with count/sum/min/max sidecars.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    /// `u128`: a multi-million-sample histogram of picosecond intervals
+    /// can overflow a `u64` sum.
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a value falls into: 0 for `0`, otherwise
+    /// `floor(log2(v)) + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` of a bucket; bucket 0 is
+    /// `[0, 1)` and the last bucket's `hi` saturates at `u64::MAX`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 1),
+            i if i >= 64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observed value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observed value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Adds every observation of `other` into `self`. Lossless because
+    /// bucket boundaries are fixed; commutative and associative, so merge
+    /// order cannot affect the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field(
+                "buckets",
+                &self.nonzero_buckets().collect::<Vec<(usize, u64)>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1024, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v, "{v}");
+            assert!(v < hi || hi == u64::MAX, "{v}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [5u64, 0, 100, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 112);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.mean(), Some(28.0));
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (3, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn merge_is_lossless_and_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 9, 200] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 3, 4096] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+}

@@ -1,0 +1,172 @@
+//! Phase and span accounting over simulated time.
+//!
+//! A [`SpanSet`] turns a stream of phase/span markers (plus the current
+//! simulated picosecond clock and command count at each marker) into
+//! accumulated per-name metrics. It deliberately never reads the host
+//! clock: spans measure *simulated* `Time` deltas and command counts,
+//! so the resulting registry is byte-identical across machines and
+//! runs. Compiling with the `host-clock` cargo feature additionally
+//! records wall-clock nanoseconds per phase/span under `*_wall_ns_total`
+//! keys — useful for real profiling, but those keys are then host- and
+//! load-dependent, which is why the feature is off by default.
+//!
+//! Phases are flat (entering one ends the previous); spans nest and may
+//! repeat. Unbalanced exits (an exit with no matching open span) are
+//! ignored rather than panicking — instrumentation must never take down
+//! a characterization.
+
+use crate::registry::{Key, Registry};
+
+/// One open phase or span: where (in simulated time / command count) it
+/// began.
+#[derive(Debug, Clone)]
+struct Open {
+    name: String,
+    start_ps: u64,
+    start_commands: u64,
+    #[cfg(feature = "host-clock")]
+    start_wall: std::time::Instant,
+}
+
+impl Open {
+    fn new(name: &str, now_ps: u64, commands: u64) -> Open {
+        Open {
+            name: name.to_string(),
+            start_ps: now_ps,
+            start_commands: commands,
+            #[cfg(feature = "host-clock")]
+            start_wall: std::time::Instant::now(),
+        }
+    }
+
+    /// Accumulates this interval into `reg` under `{prefix}_count`,
+    /// `{prefix}_commands_total`, and `{prefix}_sim_ps_total`, labeled
+    /// with the phase/span name.
+    fn close_into(&self, prefix: &str, now_ps: u64, commands: u64, reg: &mut Registry) {
+        let label = [(prefix, self.name.as_str())];
+        reg.inc(Key::of(&format!("{prefix}_count"), &label), 1);
+        reg.inc(
+            Key::of(&format!("{prefix}_commands_total"), &label),
+            commands.saturating_sub(self.start_commands),
+        );
+        reg.inc(
+            Key::of(&format!("{prefix}_sim_ps_total"), &label),
+            now_ps.saturating_sub(self.start_ps),
+        );
+        #[cfg(feature = "host-clock")]
+        reg.inc(
+            Key::of(&format!("{prefix}_wall_ns_total"), &label),
+            u64::try_from(self.start_wall.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+}
+
+/// Tracks the current phase and the stack of open spans, folding closed
+/// intervals into a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    phase: Option<Open>,
+    spans: Vec<Open>,
+}
+
+impl SpanSet {
+    /// Creates an empty span set (no phase, no open spans).
+    pub fn new() -> SpanSet {
+        SpanSet::default()
+    }
+
+    /// The name of the current phase, if one is open.
+    pub fn current_phase(&self) -> Option<&str> {
+        self.phase.as_ref().map(|o| o.name.as_str())
+    }
+
+    /// Switches to phase `name`, closing the previous phase (if any)
+    /// into `reg`.
+    pub fn phase_enter(&mut self, name: &str, now_ps: u64, commands: u64, reg: &mut Registry) {
+        if let Some(prev) = self.phase.take() {
+            prev.close_into("phase", now_ps, commands, reg);
+        }
+        self.phase = Some(Open::new(name, now_ps, commands));
+    }
+
+    /// Opens a span named `name`. Spans nest and may repeat.
+    pub fn span_enter(&mut self, name: &str, now_ps: u64, commands: u64) {
+        self.spans.push(Open::new(name, now_ps, commands));
+    }
+
+    /// Closes the innermost open span named `name` into `reg`. An exit
+    /// with no matching open span is ignored.
+    pub fn span_exit(&mut self, name: &str, now_ps: u64, commands: u64, reg: &mut Registry) {
+        if let Some(i) = self.spans.iter().rposition(|s| s.name == name) {
+            let open = self.spans.remove(i);
+            open.close_into("span", now_ps, commands, reg);
+        }
+    }
+
+    /// Closes the current phase and every still-open span into `reg`.
+    /// Call once at end of run so trailing intervals are not lost.
+    pub fn finish(&mut self, now_ps: u64, commands: u64, reg: &mut Registry) {
+        if let Some(phase) = self.phase.take() {
+            phase.close_into("phase", now_ps, commands, reg);
+        }
+        while let Some(span) = self.spans.pop() {
+            span.close_into("span", now_ps, commands, reg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_flat_and_accumulate_sim_time_and_commands() {
+        let mut reg = Registry::new();
+        let mut set = SpanSet::new();
+        set.phase_enter("structure", 0, 0, &mut reg);
+        assert_eq!(set.current_phase(), Some("structure"));
+        set.phase_enter("power", 1_000, 10, &mut reg);
+        set.finish(5_000, 25, &mut reg);
+        assert_eq!(set.current_phase(), None);
+
+        let p = |m: &str, n: &str| Key::of(m, &[("phase", n)]);
+        assert_eq!(reg.counter(&p("phase_count", "structure")), 1);
+        assert_eq!(reg.counter(&p("phase_sim_ps_total", "structure")), 1_000);
+        assert_eq!(reg.counter(&p("phase_commands_total", "structure")), 10);
+        assert_eq!(reg.counter(&p("phase_sim_ps_total", "power")), 4_000);
+        assert_eq!(reg.counter(&p("phase_commands_total", "power")), 15);
+    }
+
+    #[test]
+    fn spans_nest_repeat_and_tolerate_unbalanced_exits() {
+        let mut reg = Registry::new();
+        let mut set = SpanSet::new();
+        set.span_enter("outer", 0, 0);
+        set.span_enter("inner", 100, 1);
+        set.span_exit("inner", 300, 4, &mut reg);
+        // Unmatched exit: ignored.
+        set.span_exit("nope", 350, 5, &mut reg);
+        // Repeat the inner span.
+        set.span_enter("inner", 400, 6);
+        set.span_exit("inner", 450, 7, &mut reg);
+        set.span_exit("outer", 1_000, 10, &mut reg);
+
+        let s = |m: &str, n: &str| Key::of(m, &[("span", n)]);
+        assert_eq!(reg.counter(&s("span_count", "inner")), 2);
+        assert_eq!(reg.counter(&s("span_sim_ps_total", "inner")), 250);
+        assert_eq!(reg.counter(&s("span_commands_total", "inner")), 4);
+        assert_eq!(reg.counter(&s("span_count", "outer")), 1);
+        assert_eq!(reg.counter(&s("span_sim_ps_total", "outer")), 1_000);
+        assert_eq!(reg.counter(&s("span_count", "nope")), 0);
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        let mut reg = Registry::new();
+        let mut set = SpanSet::new();
+        set.span_enter("dangling", 10, 2);
+        set.finish(110, 12, &mut reg);
+        let key = Key::of("span_sim_ps_total", &[("span", "dangling")]);
+        assert_eq!(reg.counter(&key), 100);
+    }
+}

@@ -84,6 +84,35 @@ impl TraceEvent {
         }
     }
 
+    /// Borrows this owned event back as a [`ChipEvent`], the form every
+    /// [`dram_sim::CommandSink`] consumes. Together with
+    /// [`TraceEvent::from_chip`] this makes sinks replayable over
+    /// recorded traces: feeding a trace's events through a sink
+    /// reproduces exactly what the sink would have seen live.
+    pub fn to_chip(&self) -> ChipEvent<'_> {
+        match *self {
+            TraceEvent::Command { cmd, at, outcome } => ChipEvent::Command { cmd, at, outcome },
+            TraceEvent::Burst {
+                bank,
+                row,
+                count,
+                each_on,
+                at,
+                outcome,
+            } => ChipEvent::Burst {
+                bank,
+                row,
+                count,
+                each_on,
+                at,
+                outcome,
+            },
+            TraceEvent::RefreshWindow { at, outcome } => ChipEvent::RefreshWindow { at, outcome },
+            TraceEvent::SetTemperature { celsius } => ChipEvent::SetTemperature { celsius },
+            TraceEvent::Marker { ref label } => ChipEvent::Marker { label },
+        }
+    }
+
     /// Whether this recorded event is exactly the given live event.
     pub fn matches(&self, ev: &ChipEvent<'_>) -> bool {
         *self == TraceEvent::from_chip(ev)

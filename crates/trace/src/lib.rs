@@ -56,6 +56,7 @@ pub mod diff;
 pub mod error;
 pub mod event;
 pub mod format;
+pub mod metrics;
 pub mod record;
 pub mod replay;
 pub mod varint;
@@ -64,6 +65,7 @@ pub use diff::{diff_traces, TraceDiff};
 pub use error::{ReplayError, TraceError};
 pub use event::TraceEvent;
 pub use format::{Trace, TraceHeader, INTERNAL_ERROR_PLACEHOLDER, MAGIC, VERSION};
+pub use metrics::trace_metrics;
 pub use record::{Divergence, SharedRecorder, SharedVerifier, TraceRecorder, TraceVerifier};
 pub use replay::{replay_on_chip, ReplayStats};
 

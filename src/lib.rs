@@ -15,6 +15,9 @@
 //!   sequencer with thermal control and measurement collection;
 //! * [`trace`] — command-trace capture, a compact versioned binary trace
 //!   format, deterministic bit-for-bit replay, and golden-trace diffing;
+//! * [`telemetry`] — zero-dependency deterministic metrics: counters,
+//!   gauges, log2 histograms, and phase/span timers keyed to simulated
+//!   time (byte-stable JSON-lines snapshots);
 //! * [`core`] — the DRAMScope toolkit itself: reverse-engineering
 //!   pipelines, observation validators (O1–O14), attacks and protections.
 //!
@@ -33,6 +36,7 @@
 
 pub use dram_module as module;
 pub use dram_sim as sim;
+pub use dram_telemetry as telemetry;
 pub use dram_testbed as testbed;
 pub use dram_trace as trace;
 pub use dramscope_core as core;

@@ -10,9 +10,12 @@
 
 use dramscope::core::dossier::CharacterizeOptions;
 use dramscope::core::Table;
-use dramscope::core::{record_characterization, replay_benchmark, replay_characterization};
+use dramscope::core::{
+    record_characterization, record_characterization_instrumented, replay_benchmark,
+    replay_characterization,
+};
 use dramscope::sim::{ChipProfile, Time};
-use dramscope::trace::{replay_on_chip, Trace, TraceError};
+use dramscope::trace::{replay_on_chip, trace_metrics, Trace, TraceError};
 
 /// The golden fixtures: three profiles with three distinct vendors,
 /// geometries, and hidden configurations.
@@ -185,4 +188,43 @@ fn golden_trace_throughput_feeds_fleet_reporting() {
     }
     let csv = table.to_csv();
     assert!(csv.lines().count() == 3, "{csv}");
+}
+
+/// Metrics snapshot derived from `tests/golden/test_small.trace`,
+/// generated with `characterize stats tests/golden/test_small.trace
+/// --json`. Pins the telemetry vocabulary and the exact counts the
+/// golden command stream produces.
+const GOLDEN_METRICS: &str = include_str!("golden/test_small.metrics.json");
+
+#[test]
+fn golden_metrics_fixture_matches_trace_derived_snapshot() {
+    let trace = Trace::from_bytes(GOLDEN[0].1).expect("golden trace decodes");
+    let reg = trace_metrics(&trace);
+    assert_eq!(
+        reg.to_json_lines(),
+        GOLDEN_METRICS,
+        "regenerate with: characterize stats tests/golden/test_small.trace --json"
+    );
+}
+
+#[test]
+fn golden_metrics_trace_derivation_equals_live_instrumentation() {
+    // The same snapshot must be reachable two independent ways: derived
+    // offline from the recorded trace, and captured live by the metrics
+    // sink riding along a fresh characterization. Phase/span markers and
+    // command accounting must agree exactly.
+    for (name, _) in GOLDEN {
+        let profile = profile_for(name);
+        let (_, _, trace, live) =
+            record_characterization_instrumented(&profile, 2024, opts_for(name))
+                .expect("record succeeds");
+        let derived = trace_metrics(&trace);
+        assert_eq!(
+            live.to_json_lines(),
+            derived.to_json_lines(),
+            "{name}: live and trace-derived telemetry diverge"
+        );
+        assert!(live.sum_counters("span_count") > 0, "{name}");
+        assert!(live.sum_counters("phase_count") > 0, "{name}");
+    }
 }
