@@ -10,6 +10,9 @@
 //! cargo run --release -p dramscope-bench --bin characterize diff <A> <B>
 //! cargo run --release -p dramscope-bench --bin characterize dump <FILE>
 //! cargo run --release -p dramscope-bench --bin characterize stats <FILE> [--json|--csv]
+//! cargo run --release -p dramscope-bench --bin characterize bench [--save FILE] \
+//!     [--baseline FILE] [--gate PCT] [--warmup N] [--iters N] [--only a,b] \
+//!     [--profile] [--flame FILE] [--profile-json FILE]
 //! ```
 //!
 //! Every run/record/replay/fleet invocation also accepts the telemetry
@@ -37,6 +40,16 @@
 //! renders a trace as text. The small CI profiles `test_small`,
 //! `test_small_interleaved`, and `test_small_coupled` are accepted by
 //! `record` alongside the Table I presets.
+//!
+//! `bench` runs the named performance suites
+//! (`dramscope_bench::perf_suites`) through the `dram-perf` harness:
+//! `--save FILE` writes a `BENCH_*.json` snapshot, `--baseline FILE`
+//! gates the run against a previous snapshot (`--gate PCT` sets the
+//! allowed median growth, default 20; the process exits 1 on
+//! regression), `--warmup`/`--iters` size the run, `--only a,b` selects
+//! suites by name, and `--profile` (`--flame FILE` / `--profile-json
+//! FILE` for collapsed-stack and JSON output) additionally profiles one
+//! small characterization into a hierarchical wall-clock span tree.
 
 use dram_sim::ChipProfile;
 use dram_sim::Time;
@@ -320,10 +333,11 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         trace.events.len(),
         bytes.len()
     );
-    println!(
-        "seed {seed}, dossier digest {:#018x}",
-        trace.header.dossier_digest.expect("record stores a digest")
-    );
+    let digest = trace
+        .header
+        .dossier_digest
+        .ok_or("recorded trace is missing its dossier digest")?;
+    println!("seed {seed}, dossier digest {digest:#018x}");
     if !tele.quiet {
         print_run_report(&stats);
     }
@@ -379,6 +393,123 @@ fn run_replay_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_bench_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use dram_perf::{gate, run_all, BenchConfig, PerfSnapshot, SharedProfiler};
+
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let defaults = BenchConfig::default();
+    let config = BenchConfig {
+        warmup: parse_flag::<u32>(args, "--warmup")?.unwrap_or(defaults.warmup),
+        iters: parse_flag::<u32>(args, "--iters")?.unwrap_or(defaults.iters),
+    };
+
+    let mut benches = dramscope_bench::perf_suites::suites();
+    if let Some(only) = parse_flag::<String>(args, "--only")? {
+        let wanted: Vec<&str> = only
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        for name in &wanted {
+            if !dramscope_bench::perf_suites::SUITE_NAMES.contains(name) {
+                eprintln!(
+                    "unknown suite '{name}' (try one of: {:?})",
+                    dramscope_bench::perf_suites::SUITE_NAMES
+                );
+                std::process::exit(2);
+            }
+        }
+        benches.retain(|b| wanted.iter().any(|w| *w == b.name));
+    }
+
+    // Optional profiled run: one small characterization with the span
+    // profiler riding the command sink, before the timed suites so the
+    // tree never includes bench-harness noise.
+    let flame_path = parse_flag::<String>(args, "--flame")?;
+    let profile_json_path = parse_flag::<String>(args, "--profile-json")?;
+    let want_profile = args.iter().any(|a| a == "--profile")
+        || flame_path.is_some()
+        || profile_json_path.is_some();
+    if want_profile {
+        let profiler = SharedProfiler::new();
+        characterize_instrumented(
+            &ChipProfile::test_small(),
+            dramscope_bench::experiments::SEED,
+            small_opts(129),
+            Some(profiler.sink()),
+        )?;
+        let tree = profiler.finish();
+        if !quiet {
+            println!("Span profile (test_small characterization):");
+            print!("{}", tree.to_text());
+            println!();
+        }
+        if let Some(path) = &flame_path {
+            std::fs::write(path, tree.to_collapsed())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote collapsed stacks to {path} (feed to flamegraph.pl)");
+        }
+        if let Some(path) = &profile_json_path {
+            std::fs::write(path, tree.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote span-tree JSON to {path}");
+        }
+    }
+
+    if !quiet {
+        println!(
+            "Running {} suite(s), {} warmup + {} measured iteration(s):",
+            benches.len(),
+            config.warmup,
+            config.iters.max(1)
+        );
+    }
+    let results = run_all(&mut benches, config);
+    let snapshot = PerfSnapshot::from_results(&results);
+    if !quiet {
+        let mut t = Table::new(vec![
+            "suite",
+            "min_ms",
+            "median_ms",
+            "p95_ms",
+            "iters",
+            "commands",
+            "cmds_per_sec",
+        ]);
+        for r in &results {
+            t.row(vec![
+                r.name.clone(),
+                format!("{:.3}", r.stats.min_ns as f64 / 1e6),
+                format!("{:.3}", r.stats.median_ns as f64 / 1e6),
+                format!("{:.3}", r.stats.p95_ns as f64 / 1e6),
+                r.stats.n.to_string(),
+                r.commands.to_string(),
+                format!("{:.0}", r.commands_per_sec()),
+            ]);
+        }
+        print!("{t}");
+    }
+
+    // PerfError's Display carries the path and byte offset; surface that
+    // rather than the Debug repr a bare `?` on Box<dyn Error> prints.
+    if let Some(path) = parse_flag::<String>(args, "--save")? {
+        snapshot.save(&path).map_err(|e| e.to_string())?;
+        println!("saved snapshot to {path}");
+    }
+    if let Some(baseline_path) = parse_flag::<String>(args, "--baseline")? {
+        let threshold = parse_flag::<f64>(args, "--gate")?.unwrap_or(20.0);
+        let baseline = PerfSnapshot::load(&baseline_path).map_err(|e| e.to_string())?;
+        let report = gate::compare(&baseline, &snapshot, threshold).map_err(|e| e.to_string())?;
+        println!("{report}");
+        if report.failed() {
+            std::process::exit(1);
+        }
+    } else if parse_flag::<f64>(args, "--gate")?.is_some() {
+        return Err("--gate needs --baseline FILE to compare against".into());
+    }
+    Ok(())
+}
+
 fn run_diff_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
         return Err("diff needs two trace files".into());
@@ -416,6 +547,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("diff") => return run_diff_mode(&args[1..]),
         Some("dump") => return run_dump_mode(&args[1..]),
         Some("stats") => return run_stats_mode(&args[1..]),
+        Some("bench") => return run_bench_mode(&args[1..]),
         _ => {}
     }
     let name = args
@@ -426,7 +558,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let Some(mut job) = job_by_name(name) else {
         eprintln!(
             "unknown command or profile '{name}' \
-             (try one of: {PRESET_NAMES:?}, fleet, record, replay, diff, dump, stats)"
+             (try one of: {PRESET_NAMES:?}, fleet, record, replay, diff, dump, stats, bench)"
         );
         std::process::exit(2);
     };

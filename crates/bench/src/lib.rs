@@ -25,3 +25,4 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf_suites;

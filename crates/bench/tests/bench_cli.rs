@@ -1,0 +1,116 @@
+//! End-to-end tests of the `characterize bench` subcommand: snapshot
+//! writing, the regression gate's exit codes (the acceptance scenario:
+//! gate against an unchanged snapshot passes, a doctored baseline
+//! simulating a 2× slowdown fails), and usage errors.
+//!
+//! Only the cheap suites (`trace_decode`, `metrics_snapshot`) run here
+//! so the test stays fast; the gate logic is identical for all suites.
+
+use dram_perf::PerfSnapshot;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn characterize(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(args)
+        .output()
+        .expect("characterize binary spawns")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dramscope-bench-cli-{}-{name}", std::process::id()))
+}
+
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(name: &str) -> TempFile {
+        TempFile(temp_path(name))
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("temp path is valid UTF-8")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+const FAST: &[&str] = &[
+    "bench",
+    "--quiet",
+    "--warmup",
+    "0",
+    "--iters",
+    "1",
+    "--only",
+    "trace_decode,metrics_snapshot",
+];
+
+#[test]
+fn save_writes_a_valid_snapshot_and_gating_against_it_passes() {
+    let snap = TempFile::new("seed.json");
+    let saved = characterize(&[FAST, &["--save", snap.as_str()]].concat());
+    assert!(saved.status.success(), "{saved:?}");
+
+    // The file round-trips through the schema validator and carries
+    // exactly the selected suites.
+    let snapshot = PerfSnapshot::load(snap.as_str()).expect("saved snapshot parses");
+    let names: Vec<&str> = snapshot.suites.keys().map(String::as_str).collect();
+    assert_eq!(names, ["metrics_snapshot", "trace_decode"]);
+    for stats in snapshot.suites.values() {
+        assert_eq!(stats.iters, 1);
+        assert!(stats.median_ns > 0);
+        assert!(stats.commands > 0);
+    }
+
+    // Gate against the just-written baseline: the tree is unchanged, so
+    // the gate passes (generous threshold absorbs machine noise).
+    let gated = characterize(&[FAST, &["--baseline", snap.as_str(), "--gate", "400"]].concat());
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert!(gated.status.success(), "{gated:?}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+}
+
+#[test]
+fn doctored_baseline_simulating_a_2x_slowdown_fails_the_gate() {
+    let snap = TempFile::new("doctored.json");
+    let saved = characterize(&[FAST, &["--save", snap.as_str()]].concat());
+    assert!(saved.status.success(), "{saved:?}");
+
+    // Halve every baseline median: the (unchanged) current run then
+    // reads as a 2× slowdown, far past a 20% gate.
+    let mut baseline = PerfSnapshot::load(snap.as_str()).expect("snapshot parses");
+    for stats in baseline.suites.values_mut() {
+        stats.median_ns = (stats.median_ns / 2).max(1);
+    }
+    baseline
+        .save(snap.as_str())
+        .expect("doctored baseline saves");
+
+    let gated = characterize(&[FAST, &["--baseline", snap.as_str(), "--gate", "20"]].concat());
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert_eq!(gated.status.code(), Some(1), "{gated:?}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("verdict: FAIL"), "{stdout}");
+}
+
+#[test]
+fn unknown_suite_and_missing_baseline_are_usage_errors() {
+    let unknown = characterize(&["bench", "--only", "no_such_suite"]);
+    assert_eq!(unknown.status.code(), Some(2), "{unknown:?}");
+    let stderr = String::from_utf8_lossy(&unknown.stderr);
+    assert!(stderr.contains("unknown suite"), "{stderr}");
+
+    // --gate without --baseline is an error, not a silent no-op.
+    let gate_alone = characterize(&[FAST, &["--gate", "20"]].concat());
+    assert!(!gate_alone.status.success(), "{gate_alone:?}");
+
+    let missing = characterize(&[FAST, &["--baseline", "/nonexistent/BENCH.json"]].concat());
+    assert!(!missing.status.success(), "{missing:?}");
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

@@ -62,6 +62,13 @@ pub struct ProfileResult {
     pub outcome: Result<ChipDossier, CoreError>,
     /// Per-phase run statistics (empty when the worker panicked).
     pub stats: RunStats,
+    /// Wall-clock time this whole job spent on its worker, milliseconds
+    /// — characterization plus engine overhead, measured even when the
+    /// job errored (zero only when the worker panicked, because the
+    /// unwind destroys the job's clock). The sum across profiles is the
+    /// serial-equivalent cost a parallel run's speedup is judged
+    /// against.
+    pub job_wall_ms: f64,
     /// Telemetry collected on the profile's primary testbed (empty when
     /// the worker failed). Deterministic for a given `(profile, seed)`.
     pub metrics: Registry,
@@ -77,6 +84,7 @@ impl ProfileResult {
         push_str_field(&mut s, "label", &self.label);
         s.push_str(&format!(",\"seed\":{}", self.seed));
         s.push_str(&format!(",\"wall_ms\":{:.3}", self.stats.wall_ms()));
+        s.push_str(&format!(",\"job_wall_ms\":{:.3}", self.job_wall_ms));
         s.push_str(&format!(",\"commands\":{}", self.stats.commands()));
         s.push_str(&format!(",\"bitflips\":{}", self.stats.bitflips()));
         s.push_str(",\"phases\":[");
@@ -182,6 +190,7 @@ impl FleetReport {
             "device",
             "status",
             "wall_ms",
+            "job_ms",
             "commands",
             "bitflips",
             "composition",
@@ -195,12 +204,48 @@ impl FleetReport {
                 r.label.clone(),
                 status,
                 format!("{:.1}", r.stats.wall_ms()),
+                format!("{:.1}", r.job_wall_ms),
                 r.stats.commands().to_string(),
                 r.stats.bitflips().to_string(),
                 composition,
             ]);
         }
         t.to_csv()
+    }
+
+    /// Total worker-side wall time across every job, milliseconds — what
+    /// the run would have cost serially on one of this machine's cores.
+    pub fn jobs_wall_ms(&self) -> f64 {
+        self.results.iter().map(|r| r.job_wall_ms).sum()
+    }
+
+    /// Observed parallel speedup: summed per-job wall time over the
+    /// run's end-to-end wall time. `≈ 1.0` on one worker (engine
+    /// overhead can push it slightly below), approaching the worker
+    /// count when jobs are long and balanced. `None` when the run's
+    /// wall time rounds to zero.
+    pub fn speedup(&self) -> Option<f64> {
+        (self.wall_ms > 0.0).then(|| self.jobs_wall_ms() / self.wall_ms)
+    }
+
+    /// One JSON object summarizing the run as a whole: worker count
+    /// actually used, job/ok counts, end-to-end and summed per-job wall
+    /// times, and the observed parallel speedup (`null` when the run was
+    /// too fast to time).
+    pub fn summary_json(&self) -> String {
+        let ok = self.results.iter().filter(|r| r.outcome.is_ok()).count();
+        let speedup = self
+            .speedup()
+            .map_or("null".to_string(), |s| format!("{s:.2}"));
+        format!(
+            "{{\"workers\":{},\"jobs\":{},\"ok\":{},\"wall_ms\":{:.3},\"jobs_wall_ms\":{:.3},\"speedup\":{}}}",
+            self.workers,
+            self.results.len(),
+            ok,
+            self.wall_ms,
+            self.jobs_wall_ms(),
+            speedup
+        )
     }
 
     /// `true` when every profile produced a dossier.
@@ -353,9 +398,15 @@ where
         + Sync,
 {
     let started = Instant::now();
+    // Each worker times its own job around `run`, so errored jobs keep
+    // their cost; only a panic (which unwinds past the timer) reads as
+    // zero. The inner Result is re-wrapped in Ok so `parallel_map`'s
+    // error arm stays reserved for panics.
     let outcomes = parallel_map(jobs, workers, |job| {
         let seed = derive_seed(base_seed, &job.profile.label());
-        run(&job.profile, seed, job.opts)
+        let job_started = Instant::now();
+        let outcome = run(&job.profile, seed, job.opts);
+        Ok((job_started.elapsed().as_secs_f64() * 1e3, outcome))
     });
     let results = jobs
         .iter()
@@ -364,18 +415,28 @@ where
             let label = job.profile.label();
             let seed = derive_seed(base_seed, &label);
             match outcome {
-                Ok((dossier, stats, metrics)) => ProfileResult {
+                Ok((job_wall_ms, Ok((dossier, stats, metrics)))) => ProfileResult {
                     label,
                     seed,
                     outcome: Ok(dossier),
                     stats,
+                    job_wall_ms,
                     metrics,
+                },
+                Ok((job_wall_ms, Err(e))) => ProfileResult {
+                    label,
+                    seed,
+                    outcome: Err(e),
+                    stats: RunStats::default(),
+                    job_wall_ms,
+                    metrics: Registry::new(),
                 },
                 Err(e) => ProfileResult {
                     label,
                     seed,
                     outcome: Err(e),
                     stats: RunStats::default(),
+                    job_wall_ms: 0.0,
                     metrics: Registry::new(),
                 },
             }
@@ -564,6 +625,64 @@ mod tests {
                 );
             } else {
                 assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn job_wall_clock_and_summary_are_reported() {
+        let jobs = small_jobs();
+        let report = run_fleet_serial(&jobs, 77);
+        assert!(report.all_ok(), "{}", report.table());
+        for r in &report.results {
+            // Every job ran real work, so its worker-side clock moved,
+            // and a job can't cost less than its instrumented phases.
+            assert!(r.job_wall_ms > 0.0, "{}: {}", r.label, r.job_wall_ms);
+            assert!(
+                r.job_wall_ms >= r.stats.wall_ms(),
+                "{}: job {} < phases {}",
+                r.label,
+                r.job_wall_ms,
+                r.stats.wall_ms()
+            );
+        }
+        assert!(report.jobs_wall_ms() > 0.0);
+        // Serial run: summed job time can't exceed end-to-end time.
+        assert!(report.jobs_wall_ms() <= report.wall_ms);
+        let summary = report.summary_json();
+        assert!(summary.contains("\"workers\":1"), "{summary}");
+        assert!(
+            summary.contains(&format!("\"jobs\":{}", jobs.len())),
+            "{summary}"
+        );
+        assert!(
+            summary.contains(&format!("\"ok\":{}", jobs.len())),
+            "{summary}"
+        );
+        assert!(summary.contains("\"speedup\":"), "{summary}");
+        assert!(
+            report
+                .json_lines()
+                .lines()
+                .all(|l| l.contains("\"job_wall_ms\":")),
+            "every profile line carries its job wall time"
+        );
+        assert!(report.table().lines().next().unwrap().contains("job_ms"));
+    }
+
+    #[test]
+    fn panicked_jobs_report_zero_job_wall_time() {
+        let jobs = small_jobs();
+        let report = run_with(&jobs, 9, 2, |profile, seed, opts| {
+            if profile.label() == ChipProfile::test_small_coupled().label() {
+                panic!("injected fault");
+            }
+            characterize_instrumented(profile, seed, opts, None)
+        });
+        for r in &report.results {
+            match &r.outcome {
+                Ok(_) => assert!(r.job_wall_ms > 0.0, "{}", r.label),
+                Err(_) => assert_eq!(r.job_wall_ms, 0.0, "{}", r.label),
             }
         }
     }

@@ -1,0 +1,188 @@
+//! The benchmark harness: warmup/iteration control around closures.
+//!
+//! Deliberately criterion-shaped but zero-dependency (the build
+//! environment is offline): a [`Bench`] is a named closure returning the
+//! number of commands it processed, a [`BenchConfig`] says how many
+//! warmup and measured iterations to run, and a [`BenchResult`] carries
+//! the raw samples plus the [`SampleStats`] summary the snapshot and the
+//! regression gate consume.
+//!
+//! Use [`std::hint::black_box`] inside the closure around any value the
+//! optimizer might otherwise delete.
+
+use crate::stats::SampleStats;
+use std::time::Instant;
+
+/// How a suite is run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Unmeasured warmup iterations before sampling.
+    pub warmup: u32,
+    /// Measured iterations; each contributes one wall-time sample.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    /// One warmup, five measured iterations — the full-run default.
+    fn default() -> Self {
+        BenchConfig {
+            warmup: 1,
+            iters: 5,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The CI smoke configuration: no warmup, a single sample.
+    pub fn smoke() -> BenchConfig {
+        BenchConfig {
+            warmup: 0,
+            iters: 1,
+        }
+    }
+}
+
+/// One named benchmark: a closure timed per call, returning how many
+/// commands (the domain's unit of work) the call processed.
+pub struct Bench {
+    /// Stable name; becomes the suite key in `BENCH_*.json`.
+    pub name: String,
+    work: Box<dyn FnMut() -> u64>,
+}
+
+impl Bench {
+    /// Wraps a closure as a named benchmark.
+    pub fn new(name: &str, work: impl FnMut() -> u64 + 'static) -> Bench {
+        Bench {
+            name: name.to_string(),
+            work: Box::new(work),
+        }
+    }
+}
+
+impl std::fmt::Debug for Bench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bench({:?})", self.name)
+    }
+}
+
+/// The outcome of running one [`Bench`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The benchmark's name.
+    pub name: String,
+    /// Per-iteration wall times, in run order, nanoseconds.
+    pub samples_ns: Vec<u64>,
+    /// Summary statistics over `samples_ns`.
+    pub stats: SampleStats,
+    /// Commands processed per iteration (from the final iteration; the
+    /// workloads are deterministic, so every iteration agrees).
+    pub commands: u64,
+}
+
+impl BenchResult {
+    /// Commands per second at the median sample.
+    pub fn commands_per_sec(&self) -> f64 {
+        if self.stats.median_ns == 0 {
+            return 0.0;
+        }
+        self.commands as f64 / (self.stats.median_ns as f64 / 1e9)
+    }
+}
+
+/// Runs one benchmark under `config`. At least one measured iteration
+/// always runs (a zero-iteration config is promoted to one).
+pub fn run_bench(bench: &mut Bench, config: BenchConfig) -> BenchResult {
+    for _ in 0..config.warmup {
+        std::hint::black_box((bench.work)());
+    }
+    let iters = config.iters.max(1);
+    let mut samples_ns = Vec::with_capacity(iters as usize);
+    let mut commands = 0;
+    for _ in 0..iters {
+        let started = Instant::now();
+        commands = std::hint::black_box((bench.work)());
+        samples_ns.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let stats = SampleStats::of(&samples_ns).expect("at least one iteration ran");
+    BenchResult {
+        name: bench.name.clone(),
+        samples_ns,
+        stats,
+        commands,
+    }
+}
+
+/// Runs every benchmark in order and returns the results in the same
+/// order.
+pub fn run_all(benches: &mut [Bench], config: BenchConfig) -> Vec<BenchResult> {
+    benches.iter_mut().map(|b| run_bench(b, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn warmup_runs_are_not_sampled() {
+        let calls = Rc::new(Cell::new(0u32));
+        let seen = calls.clone();
+        let mut bench = Bench::new("counting", move || {
+            seen.set(seen.get() + 1);
+            7
+        });
+        let result = run_bench(
+            &mut bench,
+            BenchConfig {
+                warmup: 2,
+                iters: 3,
+            },
+        );
+        assert_eq!(calls.get(), 5);
+        assert_eq!(result.samples_ns.len(), 3);
+        assert_eq!(result.stats.n, 3);
+        assert_eq!(result.commands, 7);
+        assert_eq!(result.name, "counting");
+    }
+
+    #[test]
+    fn zero_iters_promotes_to_one() {
+        let mut bench = Bench::new("noop", || 1);
+        let result = run_bench(
+            &mut bench,
+            BenchConfig {
+                warmup: 0,
+                iters: 0,
+            },
+        );
+        assert_eq!(result.samples_ns.len(), 1);
+    }
+
+    #[test]
+    fn commands_per_sec_derives_from_the_median() {
+        let result = BenchResult {
+            name: "x".into(),
+            samples_ns: vec![2_000_000],
+            stats: SampleStats::of(&[2_000_000]).unwrap(),
+            commands: 1_000,
+        };
+        // 1000 commands in 2 ms → 500 000/s.
+        assert!((result.commands_per_sec() - 500_000.0).abs() < 1e-6);
+        let zero = BenchResult {
+            stats: SampleStats::of(&[0]).unwrap(),
+            ..result
+        };
+        assert_eq!(zero.commands_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn run_all_preserves_order() {
+        let mut benches = vec![Bench::new("a", || 1), Bench::new("b", || 2)];
+        let results = run_all(&mut benches, BenchConfig::smoke());
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(results[1].commands, 2);
+    }
+}

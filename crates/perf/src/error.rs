@@ -1,0 +1,114 @@
+//! The error type for snapshot I/O, parsing, and gating.
+//!
+//! Mirrors the `TraceError` discipline from `dram-trace`: every way a
+//! snapshot file can be missing, unreadable, malformed, or semantically
+//! wrong maps to a [`PerfError`] variant that names the file and (for
+//! parse failures) the byte offset where reading stopped. Nothing in
+//! this crate panics on hostile input.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure surfaced by the perf harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// A filesystem operation on a snapshot file failed.
+    Io {
+        /// What was being attempted (`"read"`, `"write"`).
+        op: &'static str,
+        /// The file involved.
+        path: String,
+        /// The OS error, rendered.
+        message: String,
+    },
+    /// A snapshot file is not valid JSON.
+    Parse {
+        /// The file involved.
+        path: String,
+        /// Byte offset at which parsing stopped.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A snapshot file parsed as JSON but does not follow the
+    /// `dramscope.perf` schema.
+    Schema {
+        /// The file involved.
+        path: String,
+        /// Which schema expectation was violated.
+        what: String,
+    },
+    /// A gate run was asked for but the inputs make it meaningless
+    /// (e.g. the baseline and current snapshots share no suite).
+    Gate(String),
+}
+
+impl PerfError {
+    /// Wraps an `std::io::Error` with the operation and path that failed.
+    pub fn io(op: &'static str, path: &str, err: &std::io::Error) -> PerfError {
+        PerfError::Io {
+            op,
+            path: path.to_string(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::Io { op, path, message } => {
+                write!(f, "cannot {op} {path}: {message}")
+            }
+            PerfError::Parse { path, offset, what } => {
+                write!(f, "{path}: invalid JSON at byte {offset}: {what}")
+            }
+            PerfError::Schema { path, what } => {
+                write!(f, "{path}: not a dramscope.perf snapshot: {what}")
+            }
+            PerfError::Gate(m) => write!(f, "perf gate: {m}"),
+        }
+    }
+}
+
+impl Error for PerfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = PerfError::io(
+            "read",
+            "BENCH_seed.json",
+            &std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+        );
+        assert_eq!(e.to_string(), "cannot read BENCH_seed.json: no such file");
+
+        let p = PerfError::Parse {
+            path: "b.json".into(),
+            offset: 17,
+            what: "expected ':'",
+        };
+        assert_eq!(
+            p.to_string(),
+            "b.json: invalid JSON at byte 17: expected ':'"
+        );
+
+        let s = PerfError::Schema {
+            path: "b.json".into(),
+            what: "missing \"suites\"".into(),
+        };
+        assert!(s.to_string().contains("not a dramscope.perf snapshot"));
+        assert!(PerfError::Gate("no common suites".into())
+            .to_string()
+            .starts_with("perf gate:"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<PerfError>();
+    }
+}

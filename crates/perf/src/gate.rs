@@ -1,0 +1,294 @@
+//! The perf-regression gate: compare a fresh snapshot against a baseline.
+//!
+//! The gate compares **median** nanoseconds per suite — the median is
+//! robust to one slow outlier iteration, which is the common CI noise
+//! shape. A suite regresses when its median grew more than the
+//! threshold percentage over the baseline; a suite present in the
+//! baseline but absent from the current run also fails (a silently
+//! dropped hot path must not read as "no regressions"). Suites new in
+//! the current run are reported informationally and never fail.
+//!
+//! The gate is advisory about *why* numbers moved: the report flags a
+//! baseline measured on a different core count or OS, since cross-host
+//! comparisons are expected to differ.
+
+use crate::error::PerfError;
+use crate::snapshot::PerfSnapshot;
+use std::fmt;
+
+/// Verdict for one suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within threshold (including improvements).
+    Ok,
+    /// Median grew beyond the threshold.
+    Regressed,
+    /// In the baseline, absent from the current run — fails the gate.
+    Missing,
+    /// New in the current run — informational only.
+    New,
+}
+
+/// One suite's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// Suite name.
+    pub suite: String,
+    /// Baseline median, nanoseconds (0 when [`GateStatus::New`]).
+    pub baseline_ns: u64,
+    /// Current median, nanoseconds (0 when [`GateStatus::Missing`]).
+    pub current_ns: u64,
+    /// Median change in percent (positive = slower); `None` when either
+    /// side is absent or the baseline median is zero.
+    pub delta_pct: Option<f64>,
+    /// The verdict.
+    pub status: GateStatus,
+}
+
+/// The gate's full comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Allowed median growth, percent.
+    pub threshold_pct: f64,
+    /// Per-suite verdicts: baseline suites first (sorted), then new
+    /// suites (sorted).
+    pub entries: Vec<GateEntry>,
+    /// Set when baseline and current host differ (cores/os/arch) — the
+    /// comparison is then expected to be noisy.
+    pub host_mismatch: Option<String>,
+}
+
+impl GateReport {
+    /// `true` when any suite regressed or went missing.
+    pub fn failed(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e.status, GateStatus::Regressed | GateStatus::Missing))
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "perf gate (threshold +{:.0}% on median):",
+            self.threshold_pct
+        )?;
+        if let Some(mismatch) = &self.host_mismatch {
+            writeln!(f, "  note: {mismatch}")?;
+        }
+        for e in &self.entries {
+            let delta = match e.delta_pct {
+                Some(d) => format!("{d:+.1}%"),
+                None => "-".to_string(),
+            };
+            let status = match e.status {
+                GateStatus::Ok => "ok",
+                GateStatus::Regressed => "REGRESSED",
+                GateStatus::Missing => "MISSING",
+                GateStatus::New => "new",
+            };
+            writeln!(
+                f,
+                "  {:<24} {:>12} -> {:>12} ns  {:>8}  {}",
+                e.suite, e.baseline_ns, e.current_ns, delta, status
+            )?;
+        }
+        let verdict = if self.failed() { "FAIL" } else { "PASS" };
+        write!(f, "  verdict: {verdict}")
+    }
+}
+
+/// Compares `current` against `baseline` at `threshold_pct`.
+///
+/// # Errors
+///
+/// [`PerfError::Gate`] when the two snapshots share no suite — gating
+/// on nothing would vacuously pass.
+pub fn compare(
+    baseline: &PerfSnapshot,
+    current: &PerfSnapshot,
+    threshold_pct: f64,
+) -> Result<GateReport, PerfError> {
+    if !baseline
+        .suites
+        .keys()
+        .any(|name| current.suites.contains_key(name))
+    {
+        return Err(PerfError::Gate(
+            "baseline and current snapshots share no suite".into(),
+        ));
+    }
+    let mut entries = Vec::new();
+    for (name, base) in &baseline.suites {
+        match current.suites.get(name) {
+            Some(cur) => {
+                let delta_pct = (base.median_ns > 0).then(|| {
+                    (cur.median_ns as f64 - base.median_ns as f64) / base.median_ns as f64 * 100.0
+                });
+                let regressed = delta_pct.is_some_and(|d| d > threshold_pct);
+                entries.push(GateEntry {
+                    suite: name.clone(),
+                    baseline_ns: base.median_ns,
+                    current_ns: cur.median_ns,
+                    delta_pct,
+                    status: if regressed {
+                        GateStatus::Regressed
+                    } else {
+                        GateStatus::Ok
+                    },
+                });
+            }
+            None => entries.push(GateEntry {
+                suite: name.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: 0,
+                delta_pct: None,
+                status: GateStatus::Missing,
+            }),
+        }
+    }
+    for (name, cur) in &current.suites {
+        if !baseline.suites.contains_key(name) {
+            entries.push(GateEntry {
+                suite: name.clone(),
+                baseline_ns: 0,
+                current_ns: cur.median_ns,
+                delta_pct: None,
+                status: GateStatus::New,
+            });
+        }
+    }
+    let host_mismatch = (baseline.host != current.host).then(|| {
+        format!(
+            "baseline host differs ({} cores {} {}) vs current ({} cores {} {})",
+            baseline.host.cores,
+            baseline.host.os,
+            baseline.host.arch,
+            current.host.cores,
+            current.host.os,
+            current.host.arch,
+        )
+    });
+    Ok(GateReport {
+        threshold_pct,
+        entries,
+        host_mismatch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HostInfo, SuiteStats};
+    use std::collections::BTreeMap;
+
+    fn snap(medians: &[(&str, u64)]) -> PerfSnapshot {
+        let suites: BTreeMap<String, SuiteStats> = medians
+            .iter()
+            .map(|(name, m)| {
+                (
+                    name.to_string(),
+                    SuiteStats {
+                        min_ns: m.saturating_sub(1),
+                        median_ns: *m,
+                        p95_ns: m + 1,
+                        iters: 5,
+                        commands: 1000,
+                        commands_per_sec: 0.0,
+                    },
+                )
+            })
+            .collect();
+        PerfSnapshot {
+            host: HostInfo {
+                cores: 4,
+                os: "linux".into(),
+                arch: "x86_64".into(),
+            },
+            suites,
+        }
+    }
+
+    #[test]
+    fn unchanged_tree_passes() {
+        let base = snap(&[("a", 100), ("b", 2_000)]);
+        let report = compare(&base, &base.clone(), 20.0).unwrap();
+        assert!(!report.failed());
+        assert!(report.entries.iter().all(|e| e.status == GateStatus::Ok));
+        assert!(report.host_mismatch.is_none());
+        assert!(report.to_string().ends_with("verdict: PASS"));
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_fails_a_20_pct_gate() {
+        // The acceptance scenario: baseline doctored to half the current
+        // medians reads as a 2× slowdown.
+        let baseline = snap(&[("a", 50), ("b", 1_000)]);
+        let current = snap(&[("a", 100), ("b", 2_000)]);
+        let report = compare(&baseline, &current, 20.0).unwrap();
+        assert!(report.failed());
+        for e in &report.entries {
+            assert_eq!(e.status, GateStatus::Regressed, "{e:?}");
+            assert!((e.delta_pct.unwrap() - 100.0).abs() < 1e-9);
+        }
+        let text = report.to_string();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.ends_with("verdict: FAIL"), "{text}");
+    }
+
+    #[test]
+    fn growth_at_the_threshold_passes_and_above_fails() {
+        let baseline = snap(&[("a", 1_000)]);
+        let at = compare(&baseline, &snap(&[("a", 1_200)]), 20.0).unwrap();
+        assert!(!at.failed(), "exactly +20% is within threshold");
+        let over = compare(&baseline, &snap(&[("a", 1_201)]), 20.0).unwrap();
+        assert!(over.failed());
+    }
+
+    #[test]
+    fn improvements_pass_even_when_large() {
+        let report = compare(&snap(&[("a", 10_000)]), &snap(&[("a", 100)]), 20.0).unwrap();
+        assert!(!report.failed());
+        assert!(report.entries[0].delta_pct.unwrap() < -90.0);
+    }
+
+    #[test]
+    fn missing_suite_fails_new_suite_does_not() {
+        let baseline = snap(&[("dropped", 100), ("kept", 100)]);
+        let current = snap(&[("kept", 100), ("added", 100)]);
+        let report = compare(&baseline, &current, 20.0).unwrap();
+        assert!(report.failed());
+        let by_name = |n: &str| report.entries.iter().find(|e| e.suite == n).unwrap().status;
+        assert_eq!(by_name("dropped"), GateStatus::Missing);
+        assert_eq!(by_name("kept"), GateStatus::Ok);
+        assert_eq!(by_name("added"), GateStatus::New);
+        // A new-only difference passes.
+        let report = compare(&snap(&[("kept", 100)]), &current, 20.0).unwrap();
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn disjoint_snapshots_are_a_gate_error() {
+        let err = compare(&snap(&[("a", 1)]), &snap(&[("b", 1)]), 20.0).expect_err("disjoint");
+        assert!(err.to_string().contains("share no suite"), "{err}");
+    }
+
+    #[test]
+    fn zero_baseline_median_never_divides() {
+        let report = compare(&snap(&[("a", 0)]), &snap(&[("a", 50)]), 20.0).unwrap();
+        assert_eq!(report.entries[0].delta_pct, None);
+        assert_eq!(report.entries[0].status, GateStatus::Ok);
+    }
+
+    #[test]
+    fn host_mismatch_is_noted() {
+        let mut other = snap(&[("a", 100)]);
+        other.host.cores = 64;
+        let report = compare(&snap(&[("a", 100)]), &other, 20.0).unwrap();
+        let note = report.host_mismatch.as_deref().unwrap();
+        assert!(note.contains("4 cores"), "{note}");
+        assert!(note.contains("64 cores"), "{note}");
+        assert!(report.to_string().contains("note:"), "{report}");
+    }
+}

@@ -1,0 +1,389 @@
+//! A minimal, total JSON reader for snapshot files.
+//!
+//! The repo is offline and dependency-free, so baseline files are read
+//! with this ~200-line recursive-descent parser instead of serde. It
+//! accepts the JSON subset the snapshot writer emits (objects, arrays,
+//! strings with the common escapes, numbers, booleans, null) plus
+//! arbitrary whitespace, and — like `dram_trace`'s decoder — it never
+//! panics: every malformed input maps to a [`PerfError::Parse`] carrying
+//! the byte offset where reading stopped.
+
+use crate::error::PerfError;
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys are held in a `BTreeMap`, so
+/// re-rendering a value is deterministic regardless of file key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers above 2^53 lose precision; snapshot
+    /// timings are well below that).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that
+    /// round-trips (no fraction, no sign, within `u64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses one JSON document; trailing garbage is an error.
+///
+/// `path` is only used to label errors.
+///
+/// # Errors
+///
+/// Returns [`PerfError::Parse`] with the byte offset of the first
+/// malformed construct.
+pub fn parse(path: &str, input: &str) -> Result<Value, PerfError> {
+    let mut p = Parser {
+        path,
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(value)
+}
+
+/// Nesting ceiling; snapshot files are 3 levels deep, hostile input
+/// must not blow the stack.
+const MAX_DEPTH: u32 = 64;
+
+struct Parser<'a> {
+    path: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &'static str) -> PerfError {
+        PerfError::Parse {
+            path: self.path.to_string(),
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), PerfError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, PerfError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("unrecognized literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, PerfError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, PerfError> {
+        self.expect(b'{', "expected '{'")?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, PerfError> {
+        self.expect(b'[', "expected '['")?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, PerfError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate halves are rejected rather than paired:
+                            // the snapshot writer never emits them.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input slice came from a &str"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, PerfError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(input: &str) -> Value {
+        parse("t.json", input).expect("parses")
+    }
+
+    #[test]
+    fn parses_the_snapshot_shapes() {
+        let v = ok(r#"{"schema":"dramscope.perf","version":1,
+                       "suites":{"a":{"median_ns":12.5,"iters":3}},
+                       "tags":["x","y"],"none":null,"flag":true}"#);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["schema"].as_str(), Some("dramscope.perf"));
+        assert_eq!(obj["version"].as_u64(), Some(1));
+        let suites = obj["suites"].as_object().unwrap();
+        assert_eq!(
+            suites["a"].as_object().unwrap()["median_ns"].as_f64(),
+            Some(12.5)
+        );
+        assert_eq!(
+            obj["tags"],
+            Value::Array(vec![Value::String("x".into()), Value::String("y".into()),])
+        );
+        assert_eq!(obj["none"], Value::Null);
+        assert_eq!(obj["flag"], Value::Bool(true));
+    }
+
+    #[test]
+    fn numbers_cover_integers_floats_exponents_and_signs() {
+        assert_eq!(ok("0").as_u64(), Some(0));
+        assert_eq!(ok("18446744073709551615").as_f64(), Some(u64::MAX as f64));
+        assert_eq!(ok("-3.25").as_f64(), Some(-3.25));
+        assert_eq!(ok("1e3").as_f64(), Some(1000.0));
+        assert_eq!(ok("2.5E-1").as_f64(), Some(0.25));
+        // Negative / fractional numbers are not u64s.
+        assert_eq!(ok("-1").as_u64(), None);
+        assert_eq!(ok("1.5").as_u64(), None);
+    }
+
+    #[test]
+    fn strings_unescape() {
+        assert_eq!(ok(r#""a\"b\\c\n\u0041""#).as_str(), Some("a\"b\\c\nA"));
+        assert_eq!(ok("\"héllo\"").as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn malformed_input_errors_with_offsets_not_panics() {
+        let cases: &[(&str, &str)] = &[
+            ("", "unexpected end of input"),
+            ("{", "expected '\"'"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("{\"a\":1 \"b\":2}", "expected ',' or '}'"),
+            ("[1 2]", "expected ',' or ']'"),
+            ("\"abc", "unterminated string"),
+            ("\"\\q\"", "unknown escape"),
+            ("\"\\u12", "truncated \\u escape"),
+            ("\"\\ud800\"", "\\u escape is not a scalar"),
+            ("tru", "unrecognized literal"),
+            ("1 2", "trailing data after document"),
+            ("@", "unexpected character"),
+            ("-", "malformed number"),
+        ];
+        for (input, needle) in cases {
+            let err = parse("t.json", input).expect_err(input);
+            let text = err.to_string();
+            assert!(text.contains(needle), "{input:?} gave {text:?}");
+            assert!(text.contains("at byte"), "{text:?} names an offset");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_bounded() {
+        let deep = "[".repeat(100_000);
+        let err = parse("t.json", &deep).expect_err("too deep");
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_last_write_wins() {
+        let v = ok(r#"{"a":1,"a":2}"#);
+        assert_eq!(v.as_object().unwrap()["a"].as_u64(), Some(2));
+    }
+}

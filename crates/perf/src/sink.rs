@@ -1,0 +1,239 @@
+//! Attaching a [`Profiler`] to a live chip's command boundary.
+//!
+//! [`ProfilerSink`] implements [`dram_sim::CommandSink`] and rides the
+//! same hook as the trace recorder and the metrics sink: it watches the
+//! deterministic event stream for the `phase:`/`span:` markers the core
+//! probes already emit, stamps each with the host monotonic clock, and
+//! feeds the profiler. Commands between markers advance the simulated
+//! clock and the command count, so every tree node ends up with the
+//! wall/sim/command triple its rates derive from.
+//!
+//! Unlike the deterministic metrics sink, this sink reads
+//! `std::time::Instant` — its wall-clock numbers are host- and
+//! load-dependent by design. The *structure* of the resulting tree is
+//! still a pure function of the event stream (see
+//! [`SpanTree::structure_signature`]).
+
+use crate::profiler::{Profiler, SpanTree};
+use dram_sim::{ChipEvent, CommandOutcome, CommandSink, REF_SLICES};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A [`CommandSink`] that profiles a run's phase/span markers on the
+/// host clock.
+#[derive(Debug)]
+pub struct ProfilerSink {
+    profiler: Profiler,
+    started: Instant,
+    /// Latest simulated timestamp seen, ps (markers carry no timestamp
+    /// and are attributed to this clock, mirroring `MetricsSink`).
+    now_ps: u64,
+    /// Accepted pin-level commands so far.
+    commands: u64,
+}
+
+impl Default for ProfilerSink {
+    fn default() -> Self {
+        ProfilerSink::new()
+    }
+}
+
+impl ProfilerSink {
+    /// Creates a sink whose wall clock starts now.
+    pub fn new() -> ProfilerSink {
+        ProfilerSink {
+            profiler: Profiler::new(),
+            started: Instant::now(),
+            now_ps: 0,
+            commands: 0,
+        }
+    }
+
+    fn wall_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Closes open frames and returns the finished span tree.
+    pub fn finish(self) -> SpanTree {
+        let wall = self.wall_ns();
+        self.profiler.finish(wall, self.now_ps, self.commands)
+    }
+
+    fn accept(&mut self, count: u64, at_ps: u64) {
+        self.now_ps = self.now_ps.max(at_ps);
+        self.commands += count;
+    }
+}
+
+impl CommandSink for ProfilerSink {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        match event {
+            ChipEvent::Command { at, outcome, .. } => {
+                // Rejected commands still advance the chip clock.
+                let count = u64::from(!matches!(outcome, CommandOutcome::Rejected(_)));
+                self.accept(count, at.as_ps());
+            }
+            ChipEvent::Burst {
+                count, at, outcome, ..
+            } => {
+                let n = if matches!(outcome, CommandOutcome::Rejected(_)) {
+                    0
+                } else {
+                    count
+                };
+                self.accept(n, at.as_ps());
+            }
+            ChipEvent::RefreshWindow { at, outcome } => {
+                let n = if matches!(outcome, CommandOutcome::Rejected(_)) {
+                    0
+                } else {
+                    REF_SLICES
+                };
+                self.accept(n, at.as_ps());
+            }
+            ChipEvent::SetTemperature { .. } => {}
+            ChipEvent::Marker { label } => {
+                let wall = self.wall_ns();
+                self.profiler
+                    .observe_marker(label, wall, self.now_ps, self.commands);
+            }
+        }
+    }
+}
+
+/// A shareable handle over a [`ProfilerSink`]: one clone rides the chip
+/// as its boxed sink while the caller keeps another to harvest the tree
+/// after the run — the same pattern as `dram_sim::SharedMetrics`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedProfiler(Arc<Mutex<ProfilerSink>>);
+
+impl SharedProfiler {
+    /// Creates a handle over a fresh sink.
+    pub fn new() -> SharedProfiler {
+        SharedProfiler::default()
+    }
+
+    /// A boxed clone suitable for `Testbed::set_sink` /
+    /// `characterize_instrumented`.
+    pub fn sink(&self) -> Box<dyn CommandSink + Send> {
+        Box::new(self.clone())
+    }
+
+    /// Closes open frames and returns the finished tree, resetting the
+    /// shared sink to empty.
+    pub fn finish(&self) -> SpanTree {
+        let mut sink = self.0.lock().expect("profiler mutex poisoned");
+        std::mem::take(&mut *sink).finish()
+    }
+}
+
+impl CommandSink for SharedProfiler {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        self.0
+            .lock()
+            .expect("profiler mutex poisoned")
+            .record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{Command, Time};
+
+    fn cmd(at_ns: u64) -> ChipEvent<'static> {
+        ChipEvent::Command {
+            cmd: Command::Activate { bank: 0, row: 1 },
+            at: Time::from_ns(at_ns),
+            outcome: CommandOutcome::Accepted,
+        }
+    }
+
+    #[test]
+    fn sink_tracks_sim_clock_and_commands_through_markers() {
+        let mut sink = ProfilerSink::new();
+        sink.record(ChipEvent::Marker {
+            label: "phase:structure",
+        });
+        sink.record(cmd(100));
+        sink.record(ChipEvent::Marker {
+            label: "span:probe:enter",
+        });
+        sink.record(cmd(300));
+        sink.record(cmd(500));
+        sink.record(ChipEvent::Marker {
+            label: "span:probe:exit",
+        });
+        let tree = sink.finish();
+        let phase = &tree.root.children[0];
+        assert_eq!(phase.name, "phase:structure");
+        let probe = &phase.children[0];
+        assert_eq!(probe.commands, 2);
+        assert_eq!(probe.sim_ps, 400_000); // 100 ns → 500 ns
+        assert_eq!(tree.root.commands, 3);
+    }
+
+    #[test]
+    fn rejected_commands_advance_the_clock_but_not_the_count() {
+        let mut sink = ProfilerSink::new();
+        sink.record(ChipEvent::Marker {
+            label: "span:s:enter",
+        });
+        sink.record(ChipEvent::Command {
+            cmd: Command::Precharge { bank: 0 },
+            at: Time::from_ns(900),
+            outcome: CommandOutcome::Rejected(dram_sim::CommandError::TimeReversed),
+        });
+        sink.record(ChipEvent::Marker {
+            label: "span:s:exit",
+        });
+        let tree = sink.finish();
+        let s = &tree.root.children[0];
+        assert_eq!(s.commands, 0);
+        assert_eq!(s.sim_ps, 900_000);
+    }
+
+    #[test]
+    fn shared_profiler_harvests_and_resets() {
+        let shared = SharedProfiler::new();
+        let mut half = shared.sink();
+        half.record(ChipEvent::Marker {
+            label: "span:x:enter",
+        });
+        half.record(cmd(50));
+        half.record(ChipEvent::Marker {
+            label: "span:x:exit",
+        });
+        let tree = shared.finish();
+        assert_eq!(tree.root.children[0].name, "x");
+        assert_eq!(tree.root.children[0].calls, 1);
+        // Reset after harvest: a fresh tree has no children.
+        assert!(shared.finish().root.children.is_empty());
+    }
+
+    #[test]
+    fn bursts_and_refresh_windows_scale_like_chip_stats() {
+        let mut sink = ProfilerSink::new();
+        sink.record(ChipEvent::Marker {
+            label: "span:hammer:enter",
+        });
+        sink.record(ChipEvent::Burst {
+            bank: 0,
+            row: 3,
+            count: 4000,
+            each_on: Time::from_ns(30),
+            at: Time::from_ns(1_000),
+            outcome: CommandOutcome::Accepted,
+        });
+        sink.record(ChipEvent::RefreshWindow {
+            at: Time::from_ms(64),
+            outcome: CommandOutcome::Accepted,
+        });
+        sink.record(ChipEvent::Marker {
+            label: "span:hammer:exit",
+        });
+        let tree = sink.finish();
+        let h = &tree.root.children[0];
+        assert_eq!(h.commands, 4000 + REF_SLICES);
+    }
+}

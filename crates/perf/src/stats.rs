@@ -1,0 +1,127 @@
+//! Order statistics over benchmark samples.
+//!
+//! Small-N behaviour is the whole point: a CI smoke run takes one
+//! sample, a full run five to a few dozen, so every statistic must be
+//! well-defined from N = 1 up. The conventions, fixed here and tested
+//! below:
+//!
+//! * `min` — smallest sample;
+//! * `median` — lower-midpoint for even N (the `N/2 - 1`-th order
+//!   statistic averaged with the `N/2`-th, rounded down), so the result
+//!   stays an integer nanosecond count;
+//! * `p95` — nearest-rank percentile (`ceil(0.95 * N)`-th order
+//!   statistic), which degenerates to the max for N < 20 — exactly what
+//!   a regression gate wants from a handful of samples.
+
+/// Summary statistics over one benchmark's samples, nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Number of samples summarized.
+    pub n: u32,
+    /// Smallest sample.
+    pub min_ns: u64,
+    /// Median (lower-midpoint for even N).
+    pub median_ns: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: u64,
+}
+
+impl SampleStats {
+    /// Summarizes `samples`; returns `None` for an empty slice.
+    pub fn of(samples: &[u64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(SampleStats {
+            n: u32::try_from(sorted.len()).unwrap_or(u32::MAX),
+            min_ns: sorted[0],
+            median_ns: median(&sorted),
+            p95_ns: percentile(&sorted, 95),
+        })
+    }
+}
+
+/// Median of a non-empty sorted slice (lower-midpoint average for even
+/// lengths, truncated to an integer).
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        let lo = sorted[n / 2 - 1];
+        let hi = sorted[n / 2];
+        // Overflow-safe midpoint.
+        lo / 2 + hi / 2 + (lo % 2 + hi % 2) / 2
+    }
+}
+
+/// Nearest-rank percentile of a non-empty sorted slice: the
+/// `ceil(p/100 * N)`-th order statistic.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = (p * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(SampleStats::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_min_median_p95() {
+        let s = SampleStats::of(&[42]).unwrap();
+        assert_eq!((s.n, s.min_ns, s.median_ns, s.p95_ns), (1, 42, 42, 42));
+    }
+
+    #[test]
+    fn two_samples_median_is_the_midpoint() {
+        let s = SampleStats::of(&[10, 20]).unwrap();
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.median_ns, 15);
+        // Nearest rank: ceil(0.95 * 2) = 2 → the max.
+        assert_eq!(s.p95_ns, 20);
+    }
+
+    #[test]
+    fn odd_n_median_is_the_middle_element() {
+        let s = SampleStats::of(&[30, 10, 20]).unwrap();
+        assert_eq!((s.min_ns, s.median_ns, s.p95_ns), (10, 20, 30));
+    }
+
+    #[test]
+    fn even_n_median_truncates_and_input_order_is_irrelevant() {
+        let a = SampleStats::of(&[7, 4, 1, 2]).unwrap();
+        let b = SampleStats::of(&[1, 2, 4, 7]).unwrap();
+        assert_eq!(a, b);
+        // Sorted: 1 2 4 7 → median = (2 + 4) / 2 = 3.
+        assert_eq!(a.median_ns, 3);
+        // (3 + 4) / 2 = 3.5 truncates to 3.
+        assert_eq!(SampleStats::of(&[3, 4]).unwrap().median_ns, 3);
+    }
+
+    #[test]
+    fn p95_follows_nearest_rank_at_scale() {
+        // N = 20: ceil(0.95 * 20) = 19 → 19th order statistic = 18.
+        let v: Vec<u64> = (0..20).collect();
+        assert_eq!(SampleStats::of(&v).unwrap().p95_ns, 18);
+        // N = 100: rank 95 → value 94.
+        let v: Vec<u64> = (0..100).collect();
+        assert_eq!(SampleStats::of(&v).unwrap().p95_ns, 94);
+        // N = 5: ceil(4.75) = 5 → the max.
+        let v = [5, 1, 4, 2, 3];
+        assert_eq!(SampleStats::of(&v).unwrap().p95_ns, 5);
+    }
+
+    #[test]
+    fn midpoint_of_huge_samples_does_not_overflow() {
+        let s = SampleStats::of(&[u64::MAX, u64::MAX - 1]).unwrap();
+        assert_eq!(s.median_ns, u64::MAX - 1);
+    }
+}

@@ -51,7 +51,7 @@ pub mod span;
 
 pub use histogram::{Histogram, BUCKETS};
 pub use registry::{Key, Registry};
-pub use span::SpanSet;
+pub use span::{span_rollup, SpanSet, SpanTotals};
 
 /// Schema identifier written on the first line of every snapshot.
 pub const SCHEMA: &str = "dramscope.telemetry";

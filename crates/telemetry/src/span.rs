@@ -16,6 +16,7 @@
 //! a characterization.
 
 use crate::registry::{Key, Registry};
+use std::collections::BTreeMap;
 
 /// One open phase or span: where (in simulated time / command count) it
 /// began.
@@ -115,6 +116,51 @@ impl SpanSet {
     }
 }
 
+/// Accumulated totals for one phase or span name, read back out of a
+/// registry by [`span_rollup`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// How many times the interval closed.
+    pub count: u64,
+    /// Total simulated picoseconds across all closures.
+    pub sim_ps: u64,
+    /// Total commands issued across all closures.
+    pub commands: u64,
+}
+
+/// Reads every `{prefix}_*` counter [`SpanSet`] wrote into `reg` back
+/// out as per-name totals, keyed by phase/span name in sorted order.
+/// `prefix` is `"phase"` or `"span"` — the export hook profilers and
+/// report writers use to fold deterministic span telemetry into their
+/// own (host-time) view without re-parsing marker streams.
+pub fn span_rollup(reg: &Registry, prefix: &str) -> BTreeMap<String, SpanTotals> {
+    let count_key = format!("{prefix}_count");
+    let sim_key = format!("{prefix}_sim_ps_total");
+    let commands_key = format!("{prefix}_commands_total");
+    let mut out: BTreeMap<String, SpanTotals> = BTreeMap::new();
+    for (key, value) in reg.counters() {
+        let Some(name) = key
+            .labels()
+            .iter()
+            .find(|(k, _)| k == prefix)
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        let totals = out.entry(name).or_default();
+        match key.metric() {
+            m if m == count_key => totals.count += value,
+            m if m == sim_key => totals.sim_ps += value,
+            m if m == commands_key => totals.commands += value,
+            _ => {}
+        }
+    }
+    // Keep only names that actually closed at least once — a stray
+    // label on an unrelated counter must not invent a span.
+    out.retain(|_, t| t.count > 0);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +214,43 @@ mod tests {
         set.finish(110, 12, &mut reg);
         let key = Key::of("span_sim_ps_total", &[("span", "dangling")]);
         assert_eq!(reg.counter(&key), 100);
+    }
+
+    #[test]
+    fn rollup_reads_totals_back_out_per_name() {
+        let mut reg = Registry::new();
+        let mut set = SpanSet::new();
+        set.phase_enter("structure", 0, 0, &mut reg);
+        set.span_enter("probe", 100, 1);
+        set.span_exit("probe", 300, 5, &mut reg);
+        set.span_enter("probe", 400, 6);
+        set.span_exit("probe", 500, 8, &mut reg);
+        set.finish(1_000, 20, &mut reg);
+
+        let spans = span_rollup(&reg, "span");
+        assert_eq!(spans.len(), 1);
+        let probe = &spans["probe"];
+        assert_eq!(
+            *probe,
+            SpanTotals {
+                count: 2,
+                sim_ps: 300,
+                commands: 6,
+            }
+        );
+
+        let phases = span_rollup(&reg, "phase");
+        assert_eq!(phases["structure"].count, 1);
+        assert_eq!(phases["structure"].sim_ps, 1_000);
+        assert_eq!(phases["structure"].commands, 20);
+    }
+
+    #[test]
+    fn rollup_of_an_empty_registry_is_empty() {
+        assert!(span_rollup(&Registry::new(), "span").is_empty());
+        // Unrelated counters with no prefix label don't invent spans.
+        let mut reg = Registry::new();
+        reg.inc(Key::name("commands_total"), 5);
+        assert!(span_rollup(&reg, "span").is_empty());
     }
 }

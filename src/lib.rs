@@ -18,6 +18,10 @@
 //! * [`telemetry`] — zero-dependency deterministic metrics: counters,
 //!   gauges, log2 histograms, and phase/span timers keyed to simulated
 //!   time (byte-stable JSON-lines snapshots);
+//! * [`perf`] — the host-clock other half of telemetry: a span-tree
+//!   profiler over the same phase/span markers, a zero-dependency bench
+//!   harness, `BENCH_*.json` performance snapshots, and a regression
+//!   gate;
 //! * [`core`] — the DRAMScope toolkit itself: reverse-engineering
 //!   pipelines, observation validators (O1–O14), attacks and protections.
 //!
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use dram_module as module;
+pub use dram_perf as perf;
 pub use dram_sim as sim;
 pub use dram_telemetry as telemetry;
 pub use dram_testbed as testbed;
