@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! cargo run --release -p dramscope-bench --bin characterize [profile]
-//! cargo run --release -p dramscope-bench --bin characterize fleet [--serial] [--workers N]
-//! cargo run --release -p dramscope-bench --bin characterize record <profile> [--seed N] [--out FILE]
+//! cargo run --release -p dramscope-bench --bin characterize fleet [--serial] [--sharded] [--workers N]
+//! cargo run --release -p dramscope-bench --bin characterize sharded [profile] [--shards N] [--serial] [--seed N]
+//! cargo run --release -p dramscope-bench --bin characterize record <profile> [--seed N] [--out FILE] [--sharded [--shards N]]
 //! cargo run --release -p dramscope-bench --bin characterize replay <FILE> [--bench N]
 //! cargo run --release -p dramscope-bench --bin characterize diff <A> <B>
 //! cargo run --release -p dramscope-bench --bin characterize dump <FILE>
@@ -28,12 +29,25 @@
 //! `fleet` characterizes the whole Table I population in parallel and
 //! prints the per-device summary table followed by the JSON-lines run
 //! report; `--serial` runs the same jobs one at a time (the determinism
-//! / speedup baseline) and `--workers N` pins the worker count.
+//! / speedup baseline), `--workers N` pins the worker count, and
+//! `--sharded` switches to the two-level scheduler: every
+//! `(profile, bank)` pair becomes one task on the shared pool.
+//!
+//! `sharded` characterizes every bank of ONE device concurrently, one
+//! shard per bank, and prints the per-bank table, the run summary, and
+//! the merged sharded-dossier digest. `--shards N` pins the worker
+//! count (0 = machine parallelism, capped at the bank count) and
+//! `--serial` runs the byte-identical one-bank-at-a-time reference —
+//! the digest printed by both must match for any shard count.
 //!
 //! The trace subcommands drive the golden-trace subsystem (`dram-trace`):
 //! `record` characterizes while capturing every command of the primary
-//! testbed into a binary trace; `replay` re-runs the characterization
-//! from the trace alone, verifying the command stream and the dossier
+//! testbed into a binary trace (`--sharded` records the bank-sharded
+//! flow instead — one segment per bank, concatenated in bank order);
+//! `replay` re-runs the characterization
+//! from the trace alone (sharded traces are detected by their
+//! `shard_banks` meta and replayed bank by bank), verifying the command
+//! stream and the dossier
 //! digest reproduce bit-for-bit (with `--bench N` it additionally replays
 //! the raw command stream `N` times on bare chips and reports
 //! commands/second); `diff` compares two traces structurally; `dump`
@@ -58,6 +72,7 @@ use dram_trace::{diff_traces, trace_metrics, Trace};
 use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
 use dramscope_core::fleet::{self, FleetConfig, FleetJob};
 use dramscope_core::report::Table;
+use dramscope_core::shard::{self, ShardConfig};
 use dramscope_core::trace_run;
 
 /// Preset names, index-aligned with [`fleet::table1_jobs`] (which
@@ -110,6 +125,7 @@ fn recordable_by_name(name: &str) -> Option<(ChipProfile, CharacterizeOptions)> 
         // The coupled profile aliases rows at distance 1024; scanning one
         // extra block keeps the structure probe on real subarrays.
         "test_small_coupled" => Some((ChipProfile::test_small_coupled(), small_opts(257))),
+        "test_small_hbm2" => Some((ChipProfile::test_small_hbm2(), small_opts(129))),
         _ => job_by_name(name).map(|job| (job.profile, job.opts)),
     }
 }
@@ -278,6 +294,30 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
     let tele = Telemetry::from_args(args)?;
     let jobs = fleet::table1_jobs();
+    if args.iter().any(|a| a == "--sharded") {
+        let report = fleet::run_fleet_sharded(
+            &jobs,
+            dramscope_bench::experiments::SEED,
+            FleetConfig { workers },
+        );
+        println!(
+            "Sharded fleet characterization — {} profiles, {} (profile, bank) tasks on {} workers, {:.0} ms wall",
+            report.profiles.len(),
+            report.tasks,
+            report.workers,
+            report.wall_ms
+        );
+        if !tele.quiet {
+            print!("{}", report.table());
+            println!("\nRun summary:");
+            println!("{}", report.summary_json());
+        }
+        tele.emit(&report.merged_metrics())?;
+        if !report.all_ok() {
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
     let report = if serial {
         fleet::run_fleet_serial(&jobs, dramscope_bench::experiments::SEED)
     } else {
@@ -305,6 +345,51 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn run_sharded_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map_or("hbm2", String::as_str);
+    let Some((profile, opts)) = recordable_by_name(name) else {
+        eprintln!(
+            "unknown profile '{name}' (try one of: {PRESET_NAMES:?}, \
+             test_small, test_small_interleaved, test_small_coupled)"
+        );
+        std::process::exit(2);
+    };
+    let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
+    let shards = parse_flag::<usize>(args, "--shards")?.unwrap_or(0);
+    let tele = Telemetry::from_args(args)?;
+    let report = if args.iter().any(|a| a == "--serial") {
+        shard::characterize_sharded_serial(&profile, seed, opts)
+    } else {
+        shard::characterize_sharded(&profile, seed, opts, ShardConfig { shards })
+    };
+    println!(
+        "Sharded characterization — {} ({} banks) on {} shard worker(s), {:.0} ms wall",
+        report.label,
+        report.results.len(),
+        report.shards,
+        report.wall_ms
+    );
+    if !tele.quiet {
+        print!("{}", report.table());
+        println!("\nRun summary:");
+        println!("{}", report.summary_json());
+    }
+    if let Ok(dossier) = report.dossier() {
+        println!(
+            "sharded dossier digest {:#018x} (identical for serial and any shard count)",
+            dossier.digest()
+        );
+    }
+    tele.emit(&report.merged_metrics())?;
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("record needs a profile name".into());
@@ -319,6 +404,30 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
     let out = parse_flag::<String>(args, "--out")?.unwrap_or_else(|| format!("{name}.trace"));
     let tele = Telemetry::from_args(args)?;
+
+    if args.iter().any(|a| a == "--sharded") {
+        let shards = parse_flag::<usize>(args, "--shards")?.unwrap_or(0);
+        let (dossier, trace, metrics) = trace_run::record_characterization_sharded(
+            &profile,
+            seed,
+            opts,
+            ShardConfig { shards },
+        )?;
+        let bytes = trace.to_bytes();
+        std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "recorded {} events ({} bytes) to {out} — sharded, {} bank segments",
+            trace.events.len(),
+            bytes.len(),
+            dossier.banks.len()
+        );
+        println!(
+            "seed {seed}, sharded dossier digest {:#018x}",
+            dossier.digest()
+        );
+        tele.emit(&metrics)?;
+        return Ok(());
+    }
 
     let (dossier, stats, trace, metrics) =
         trace_run::record_characterization_instrumented(&profile, seed, opts)?;
@@ -357,6 +466,17 @@ fn run_replay_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         trace.header.profile_label,
         trace.header.seed
     );
+    if trace.header.meta("shard_banks").is_some() {
+        let (dossier, metrics) = trace_run::replay_characterization_sharded(&trace)?;
+        println!(
+            "sharded replay verified: {} bank segments and dossier digest {:#018x} \
+             reproduced bit-for-bit",
+            dossier.banks.len(),
+            dossier.digest()
+        );
+        tele.emit(&metrics)?;
+        return Ok(());
+    }
     let (dossier, stats, metrics) = trace_run::replay_characterization_instrumented(&trace)?;
     if !tele.quiet {
         print!("{dossier}");
@@ -542,6 +662,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `characterize --quiet` still selects the default profile.
     match args.first().map(String::as_str) {
         Some("fleet") => return run_fleet_mode(&args[1..]),
+        Some("sharded") => return run_sharded_mode(&args[1..]),
         Some("record") => return run_record_mode(&args[1..]),
         Some("replay") => return run_replay_mode(&args[1..]),
         Some("diff") => return run_diff_mode(&args[1..]),
@@ -558,7 +679,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let Some(mut job) = job_by_name(name) else {
         eprintln!(
             "unknown command or profile '{name}' \
-             (try one of: {PRESET_NAMES:?}, fleet, record, replay, diff, dump, stats, bench)"
+             (try one of: {PRESET_NAMES:?}, fleet, sharded, record, replay, diff, dump, stats, bench)"
         );
         std::process::exit(2);
     };

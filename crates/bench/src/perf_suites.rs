@@ -16,6 +16,7 @@ use dram_perf::Bench;
 use dram_sim::{ChipProfile, Command, DramChip, Time};
 use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
 use dramscope_core::fleet::{self, FleetConfig, FleetJob};
+use dramscope_core::shard::{self, ShardConfig};
 use dramscope_core::trace_run;
 
 /// The probe options every suite uses: shallow scan, interior probe
@@ -58,9 +59,10 @@ fn small_fleet_jobs() -> Vec<FleetJob> {
 const SEED: u64 = 0xbe9c;
 
 /// The stable suite names, in the order [`suites`] builds them.
-pub const SUITE_NAMES: [&str; 8] = [
+pub const SUITE_NAMES: [&str; 9] = [
     "chip_command_loop",
     "characterize_small",
+    "characterize_sharded",
     "fleet_serial",
     "fleet_parallel",
     "trace_record",
@@ -91,6 +93,7 @@ pub fn suites() -> Vec<Bench> {
     vec![
         chip_command_loop(),
         characterize_small(),
+        characterize_sharded(),
         fleet_serial(),
         fleet_parallel(),
         trace_record(),
@@ -145,6 +148,25 @@ fn characterize_small() -> Bench {
                 .expect("characterizing the small test profile cannot fail");
         std::hint::black_box(dossier);
         stats.commands()
+    })
+}
+
+/// Bank-sharded characterization of the 4-bank HBM2 test profile on the
+/// machine's available parallelism — one shard per bank, merged in bank
+/// order. Read against `characterize_small` (one bank's worth of work)
+/// to see the intra-device speedup the sharded path buys.
+fn characterize_sharded() -> Bench {
+    Bench::new("characterize_sharded", move || {
+        let report = shard::characterize_sharded(
+            &ChipProfile::test_small_hbm2(),
+            SEED,
+            small_opts(),
+            ShardConfig::default(),
+        );
+        assert!(report.all_ok(), "{}", report.table());
+        let commands = report.results.iter().map(|r| r.stats.commands()).sum();
+        std::hint::black_box(report);
+        commands
     })
 }
 

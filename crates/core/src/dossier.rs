@@ -310,9 +310,85 @@ pub fn characterize_with_stats_traced(
     opts: CharacterizeOptions,
     sink: Option<Box<dyn CommandSink + Send>>,
 ) -> Result<(ChipDossier, RunStats), CoreError> {
+    characterize_flow(profile, seed, None, opts, sink)
+}
+
+/// [`characterize_with_stats_traced`] restricted to one bank of the
+/// device: every probe phase targets `bank` instead of bank 0, and the
+/// stream opens with a `shard:bank=<bank>` marker so recorded traces
+/// stay self-describing when per-bank segments are concatenated.
+///
+/// This is the per-shard unit of the bank-sharded characterization path
+/// (see [`crate::shard`]): each shard runs against a fresh chip built
+/// from the *same* `(profile, seed)` — the same simulated silicon — and
+/// probes only its own bank, so shards can never observe each other's
+/// bank state and their merged output is independent of scheduling.
+///
+/// # Errors
+///
+/// Rejects an out-of-range `bank`; otherwise the same failure modes as
+/// [`characterize_with_stats_traced`].
+pub fn characterize_bank_with_stats_traced(
+    profile: &ChipProfile,
+    seed: u64,
+    bank: u32,
+    opts: CharacterizeOptions,
+    sink: Option<Box<dyn CommandSink + Send>>,
+) -> Result<(ChipDossier, RunStats), CoreError> {
+    characterize_flow(profile, seed, Some(bank), opts, sink)
+}
+
+/// [`characterize_bank_with_stats_traced`] plus telemetry, mirroring
+/// [`characterize_instrumented`]: the external sink (if any) is teed
+/// first, and the returned [`Registry`] is a pure function of the
+/// deterministic per-bank event stream.
+///
+/// # Errors
+///
+/// Same failure modes as [`characterize_bank_with_stats_traced`].
+pub fn characterize_bank_instrumented(
+    profile: &ChipProfile,
+    seed: u64,
+    bank: u32,
+    opts: CharacterizeOptions,
+    sink: Option<Box<dyn CommandSink + Send>>,
+) -> Result<(ChipDossier, RunStats, Registry), CoreError> {
+    let metrics = SharedMetrics::new();
+    let combined: Box<dyn CommandSink + Send> = match sink {
+        Some(external) => Box::new(Tee::new(external, metrics.clone())),
+        None => Box::new(metrics.clone()),
+    };
+    let (dossier, stats) = characterize_flow(profile, seed, Some(bank), opts, Some(combined))?;
+    Ok((dossier, stats, metrics.take_registry()))
+}
+
+/// The shared probe flow behind the whole-device and per-bank entry
+/// points. `shard_bank: None` is the legacy path: probe bank 0 and emit
+/// exactly the historical marker stream (golden traces depend on it).
+/// `Some(bank)` probes that bank and announces it with a leading
+/// `shard:bank=<bank>` marker.
+fn characterize_flow(
+    profile: &ChipProfile,
+    seed: u64,
+    shard_bank: Option<u32>,
+    opts: CharacterizeOptions,
+    sink: Option<Box<dyn CommandSink + Send>>,
+) -> Result<(ChipDossier, RunStats), CoreError> {
+    let bank = shard_bank.unwrap_or(0);
+    if bank >= profile.banks {
+        return Err(format!(
+            "bank {bank} out of range for {} ({} banks)",
+            profile.label(),
+            profile.banks
+        )
+        .into());
+    }
     let mut tb = Testbed::new(DramChip::new(profile.clone(), seed));
     if let Some(sink) = sink {
         tb.set_sink(sink);
+    }
+    if shard_bank.is_some() {
+        tb.mark(&format!("shard:bank={bank}"));
     }
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::new();
@@ -320,32 +396,32 @@ pub fn characterize_with_stats_traced(
     // Structure via RowCopy.
     tb.mark("phase:structure");
     let scan_end = opts.scan_rows.min(tb.rows());
-    let subarray_heights = rowcopy_probe::subarray_heights(&mut tb, 0, 0..scan_end)?;
+    let subarray_heights = rowcopy_probe::subarray_heights(&mut tb, bank, 0..scan_end)?;
     let composition = summarize_heights(&subarray_heights);
-    let edge_interval = rowcopy_probe::detect_edge_interval(&mut tb, 0)?;
-    let coupled_distance = rowcopy_probe::detect_coupled_rows(&mut tb, 0)?;
-    let copy_inverted = rowcopy_probe::detect_copy_inversion(&mut tb, 0, 0)?;
+    let edge_interval = rowcopy_probe::detect_edge_interval(&mut tb, bank)?;
+    let coupled_distance = rowcopy_probe::detect_coupled_rows(&mut tb, bank)?;
+    let copy_inverted = rowcopy_probe::detect_copy_inversion(&mut tb, bank, 0)?;
     clock.lap("structure", tb.chip(), &mut stats);
 
     // Power cross-check of the edge interval (stride below the smallest
     // known subarray height).
     tb.mark("phase:power");
     let stride = 64.min(tb.rows() / 32).max(1);
-    let edge_interval_from_power = power_channel::edge_interval_from_power(&mut tb, 0, stride)?;
+    let edge_interval_from_power = power_channel::edge_interval_from_power(&mut tb, bank, stride)?;
     clock.lap("power", tb.chip(), &mut stats);
 
     // Retention polarity over a spread of rows.
     tb.mark("phase:retention");
     let rows = tb.rows();
     let sample = [rows / 16, rows / 3, rows / 2 + 7];
-    let verdicts = retention_probe::classify_rows(&mut tb, 0, &sample, opts.retention_wait)?;
+    let verdicts = retention_probe::classify_rows(&mut tb, bank, &sample, opts.retention_wait)?;
     let polarity = retention_probe::polarity_scheme(&verdicts);
     clock.lap("retention", tb.chip(), &mut stats);
 
     // Remap detection on interior rows.
     tb.mark("phase:remap");
     let cfg = AibConfig {
-        bank: 0,
+        bank,
         attack: Attack::Hammer { count: 2_600_000 },
     };
     let probe_mid = (opts.probe_range.0 + opts.probe_range.1) / 2;
@@ -381,8 +457,9 @@ pub fn characterize_with_stats_traced(
         return Err("no victims found for the aggressor probe row".into());
     }
     let mut fresh = || Testbed::new(DramChip::new(profile.clone(), seed));
-    let trr = trr_re::detect_trr(&mut fresh, 0, aggressor, &victims, 400_000, 12)?;
-    let on_die_ecc = ecc_probe::detect_on_die_ecc(&mut fresh, 0, aggressor, victims[0], 8_000_000)?;
+    let trr = trr_re::detect_trr(&mut fresh, bank, aggressor, &victims, 400_000, 12)?;
+    let on_die_ecc =
+        ecc_probe::detect_on_die_ecc(&mut fresh, bank, aggressor, victims[0], 8_000_000)?;
     clock.lap("trr_ecc", tb.chip(), &mut stats);
 
     let dossier = ChipDossier {
@@ -522,6 +599,69 @@ mod tests {
         // The uninstrumented path is unaffected by the tee.
         let (dc, _) = characterize_with_stats(&profile, 123, opts).unwrap();
         assert_eq!(dc.to_string(), da.to_string());
+    }
+
+    #[test]
+    fn bank_zero_shard_matches_the_legacy_whole_device_path() {
+        // The per-bank flow with bank 0 must produce the exact dossier
+        // the historical path produces — the shard marker is the only
+        // difference, and it lives in the trace, not the dossier.
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let profile = ChipProfile::test_small();
+        let (legacy, _) = characterize_with_stats(&profile, 123, opts).unwrap();
+        let (shard, _) = characterize_bank_with_stats_traced(&profile, 123, 0, opts, None).unwrap();
+        assert_eq!(shard.to_string(), legacy.to_string());
+        assert_eq!(shard.digest(), legacy.digest());
+    }
+
+    #[test]
+    fn nonzero_banks_characterize_deterministically() {
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let profile = ChipProfile::test_small_hbm2();
+        let (a, sa, ra) = characterize_bank_instrumented(&profile, 123, 3, opts, None).unwrap();
+        let (b, _, rb) = characterize_bank_instrumented(&profile, 123, 3, opts, None).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(ra.to_json_lines(), rb.to_json_lines());
+        assert!(sa.commands() > 0);
+        // The probe really ran against bank 3: the per-bank command mix
+        // is populated for bank 3 and empty for every other bank.
+        let bank_total = |reg: &dram_telemetry::Registry, bank: &str| {
+            reg.counters()
+                .filter(|(k, _)| {
+                    k.metric() == "bank_commands_total"
+                        && k.labels().iter().any(|(n, v)| n == "bank" && v == bank)
+                })
+                .map(|(_, v)| v)
+                .sum::<u64>()
+        };
+        assert!(bank_total(&ra, "3") > 0);
+        for other in ["0", "1", "2"] {
+            assert_eq!(bank_total(&ra, other), 0, "bank {other} must stay idle");
+        }
+    }
+
+    #[test]
+    fn out_of_range_bank_is_rejected() {
+        let profile = ChipProfile::test_small();
+        let err = characterize_bank_with_stats_traced(
+            &profile,
+            1,
+            profile.banks,
+            CharacterizeOptions::default(),
+            None,
+        )
+        .expect_err("bank out of range");
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

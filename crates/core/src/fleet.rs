@@ -25,6 +25,7 @@
 
 use crate::dossier::{characterize_instrumented, CharacterizeOptions, ChipDossier, RunStats};
 use crate::error::CoreError;
+use crate::shard::ShardedReport;
 use dram_sim::rng::mix64;
 use dram_sim::ChipProfile;
 use dram_telemetry::Registry;
@@ -342,6 +343,181 @@ fn effective_workers(requested: usize, jobs: usize) -> usize {
     w.clamp(1, jobs.max(1))
 }
 
+/// Everything a two-level sharded fleet run produced: one
+/// [`ShardedReport`] per job, in job order, each with its banks in bank
+/// order.
+#[derive(Debug, Clone)]
+pub struct ShardedFleetReport {
+    /// Per-profile sharded reports, index-aligned with the submitted
+    /// jobs. Each report's `wall_ms` is its summed per-bank worker time
+    /// (a per-profile end-to-end time does not exist on a shared pool).
+    pub profiles: Vec<ShardedReport>,
+    /// End-to-end wall time of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Total `(profile, bank)` tasks scheduled.
+    pub tasks: usize,
+}
+
+impl ShardedFleetReport {
+    /// `true` when every bank of every profile produced a dossier.
+    pub fn all_ok(&self) -> bool {
+        self.profiles.iter().all(ShardedReport::all_ok)
+    }
+
+    /// Total worker-side wall time across every task, milliseconds.
+    pub fn tasks_wall_ms(&self) -> f64 {
+        self.profiles.iter().map(ShardedReport::banks_wall_ms).sum()
+    }
+
+    /// Observed parallel speedup: summed per-task wall time over the
+    /// run's end-to-end wall time. `None` when the run's wall time
+    /// rounds to zero.
+    pub fn speedup(&self) -> Option<f64> {
+        (self.wall_ms > 0.0).then(|| self.tasks_wall_ms() / self.wall_ms)
+    }
+
+    /// Folds every profile's every bank's telemetry into one fleet-wide
+    /// registry, in job order then bank order — deterministic regardless
+    /// of which worker finished which task first.
+    pub fn merged_metrics(&self) -> Registry {
+        Registry::merged(
+            self.profiles
+                .iter()
+                .flat_map(|p| p.results.iter().map(|r| &r.metrics)),
+        )
+    }
+
+    /// A human-readable per-(device, bank) summary table (CSV via
+    /// [`crate::report::Table`]).
+    pub fn table(&self) -> String {
+        let mut t = crate::report::Table::new(vec![
+            "device",
+            "bank",
+            "status",
+            "wall_ms",
+            "bank_ms",
+            "commands",
+            "composition",
+        ]);
+        for p in &self.profiles {
+            for r in &p.results {
+                let (status, composition) = match &r.outcome {
+                    Ok(d) => ("ok".to_string(), d.composition.clone()),
+                    Err(e) => (format!("error: {e}"), String::new()),
+                };
+                t.row(vec![
+                    p.label.clone(),
+                    r.bank.to_string(),
+                    status,
+                    format!("{:.1}", r.stats.wall_ms()),
+                    format!("{:.1}", r.bank_wall_ms),
+                    r.stats.commands().to_string(),
+                    composition,
+                ]);
+            }
+        }
+        t.to_csv()
+    }
+
+    /// One JSON object summarizing the run as a whole.
+    pub fn summary_json(&self) -> String {
+        let ok = self
+            .profiles
+            .iter()
+            .flat_map(|p| &p.results)
+            .filter(|r| r.outcome.is_ok())
+            .count();
+        let speedup = self
+            .speedup()
+            .map_or("null".to_string(), |s| format!("{s:.2}"));
+        format!(
+            "{{\"workers\":{},\"jobs\":{},\"tasks\":{},\"ok\":{},\"wall_ms\":{:.3},\"tasks_wall_ms\":{:.3},\"speedup\":{}}}",
+            self.workers,
+            self.profiles.len(),
+            self.tasks,
+            ok,
+            self.wall_ms,
+            self.tasks_wall_ms(),
+            speedup
+        )
+    }
+}
+
+/// The two-level scheduler: every `(profile, bank)` pair across all
+/// jobs becomes one task on a single shared worker pool, so a fleet of
+/// few (or one) big devices still saturates a multi-core machine —
+/// per-bank sharding *inside* each device supplies the parallelism that
+/// profile-level fan-out alone cannot.
+///
+/// Seeds derive per profile exactly as in [`run_fleet`]; every bank
+/// shard of one profile runs against a fresh chip clone built from that
+/// same seed (the clone-per-shard contract of [`crate::shard`]).
+/// Results group back per profile in bank order, so the output is
+/// byte-identical to running
+/// [`characterize_sharded_serial`](crate::shard::characterize_sharded_serial) over the jobs one
+/// at a time, regardless of worker count or completion order. A panic
+/// costs only its own `(profile, bank)` task.
+pub fn run_fleet_sharded(
+    jobs: &[FleetJob],
+    base_seed: u64,
+    config: FleetConfig,
+) -> ShardedFleetReport {
+    let started = Instant::now();
+    let tasks: Vec<(usize, u32)> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(job_idx, job)| (0..job.profile.banks).map(move |bank| (job_idx, bank)))
+        .collect();
+    let workers = effective_workers(config.workers, tasks.len());
+    let outcomes = parallel_map(&tasks, workers, |&(job_idx, bank)| {
+        let job = &jobs[job_idx];
+        let seed = derive_seed(base_seed, &job.profile.label());
+        let task_started = Instant::now();
+        let outcome = crate::dossier::characterize_bank_instrumented(
+            &job.profile,
+            seed,
+            bank,
+            job.opts,
+            None,
+        );
+        Ok((task_started.elapsed().as_secs_f64() * 1e3, outcome))
+    });
+    // Group the flat outcomes back per profile, in bank order. The task
+    // list was built job-major, so each job's banks are contiguous.
+    let mut outcomes = outcomes.into_iter();
+    let profiles = jobs
+        .iter()
+        .map(|job| {
+            let label = job.profile.label();
+            let seed = derive_seed(base_seed, &label);
+            let results: Vec<crate::shard::BankResult> = (0..job.profile.banks)
+                .map(|bank| {
+                    let outcome = outcomes
+                        .next()
+                        .expect("one outcome exists per scheduled task");
+                    crate::shard::bank_result(bank, outcome)
+                })
+                .collect();
+            let wall_ms = results.iter().map(|r| r.bank_wall_ms).sum();
+            ShardedReport {
+                label,
+                seed,
+                results,
+                wall_ms,
+                shards: workers,
+            }
+        })
+        .collect();
+    ShardedFleetReport {
+        profiles,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        workers,
+        tasks: tasks.len(),
+    }
+}
+
 /// The raw fan-out engine under [`run_fleet`], public so other
 /// per-device sweeps (the bench tables, custom experiment loops) can
 /// parallelize the same way. Runs `f` over every item on a
@@ -370,20 +546,27 @@ where
                     Ok(result) => result,
                     Err(payload) => Err(CoreError::WorkerPanic(panic_message(payload))),
                 };
-                *slots[i]
-                    .lock()
-                    .expect("no worker holds a slot across a panic") = Some(outcome);
+                // A slot mutex can only be poisoned by a panic inside
+                // this store — the data is a plain Option we are about
+                // to overwrite, so recover it rather than letting one
+                // poisoned slot (a second panic escaping the catch
+                // above) abort the whole fleet.
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot mutex is never poisoned")
-                .expect("every item index was claimed by a worker")
-        })
+        .map(|slot| recover_slot(slot).expect("every item index was claimed by a worker"))
         .collect()
+}
+
+/// Extracts a slot's stored outcome, recovering the data from a
+/// poisoned mutex: poisoning only records that a panic unwound while
+/// the lock was held, and the stored `Option` is valid either way —
+/// panic isolation must not turn into a whole-fleet abort.
+fn recover_slot<R>(slot: Mutex<Option<R>>) -> Option<R> {
+    slot.into_inner().unwrap_or_else(|p| p.into_inner())
 }
 
 /// The engine proper, generic over the per-job runner so tests can
@@ -574,6 +757,55 @@ mod tests {
     }
 
     #[test]
+    fn sharded_fleet_matches_per_device_serial_reference() {
+        // Two-level scheduling contract: flattening (profile, bank)
+        // tasks onto one pool must regroup into exactly what running
+        // the serial sharded path per job would produce.
+        let opts = CharacterizeOptions {
+            scan_rows: 129,
+            with_swizzle: false,
+            probe_range: (44, 60),
+            retention_wait: Time::from_ms(120_000),
+        };
+        let jobs = vec![
+            FleetJob {
+                profile: ChipProfile::test_small(),
+                opts,
+            },
+            FleetJob {
+                profile: ChipProfile::test_small_hbm2(),
+                opts,
+            },
+        ];
+        let report = run_fleet_sharded(&jobs, 77, FleetConfig { workers: 4 });
+        assert!(report.all_ok(), "{}", report.table());
+        assert_eq!(report.profiles.len(), 2);
+        assert_eq!(report.tasks, 2 + 4, "one task per (profile, bank)");
+        for (job, sharded) in jobs.iter().zip(&report.profiles) {
+            let seed = derive_seed(77, &job.profile.label());
+            assert_eq!(sharded.seed, seed);
+            let reference = crate::shard::characterize_sharded_serial(&job.profile, seed, job.opts);
+            assert_eq!(
+                sharded.dossier().unwrap().to_string(),
+                reference.dossier().unwrap().to_string()
+            );
+            assert_eq!(
+                sharded.merged_metrics().to_json_lines(),
+                reference.merged_metrics().to_json_lines()
+            );
+        }
+        // Summary and table carry the two-level shape.
+        let summary = report.summary_json();
+        assert!(summary.contains("\"jobs\":2"), "{summary}");
+        assert!(summary.contains("\"tasks\":6"), "{summary}");
+        assert!(summary.contains("\"ok\":6"), "{summary}");
+        assert!(report.tasks_wall_ms() > 0.0);
+        let table = report.table();
+        assert!(table.lines().next().unwrap().contains("bank"));
+        assert_eq!(table.lines().count(), 1 + 6, "{table}");
+    }
+
+    #[test]
     fn injected_panic_is_isolated_to_its_profile() {
         let jobs = small_jobs();
         let report = run_with(&jobs, 9, 4, |profile, seed, opts| {
@@ -605,6 +837,22 @@ mod tests {
             .json_lines()
             .lines()
             .any(|l| l.contains("\"status\":\"error\"") && l.contains("injected fault")));
+    }
+
+    #[test]
+    fn poisoned_slot_mutex_still_yields_its_data() {
+        // The "job panics mid-store" scenario: a panic unwinds while the
+        // slot guard is held, poisoning the mutex after the outcome was
+        // written. Recovery must hand the stored data back instead of
+        // turning one isolated panic into a whole-fleet abort.
+        let slot = Mutex::new(None::<Result<u32, CoreError>>);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let mut guard = slot.lock().unwrap();
+            *guard = Some(Ok(7));
+            panic!("mid-store fault");
+        }));
+        assert!(slot.is_poisoned(), "the mid-store panic must poison");
+        assert_eq!(recover_slot(slot), Some(Ok(7)));
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod remap_re;
 pub mod report;
 pub mod retention_probe;
 pub mod rowcopy_probe;
+pub mod shard;
 pub mod swizzle_re;
 pub mod templating;
 pub mod trace_run;
@@ -62,13 +63,19 @@ pub mod trr_re;
 pub use dossier::{characterize, characterize_instrumented, ChipDossier};
 pub use error::CoreError;
 pub use fleet::{
-    parallel_map, run_fleet, run_fleet_serial, FleetConfig, FleetReport, ProfileResult,
+    parallel_map, run_fleet, run_fleet_serial, run_fleet_sharded, FleetConfig, FleetReport,
+    ProfileResult, ShardedFleetReport,
 };
 pub use hammer::{AibConfig, HcntResult};
 pub use observations::{ObservationReport, ObservationSuite};
 pub use patterns::DataPattern;
 pub use report::Table;
+pub use shard::{
+    characterize_sharded, characterize_sharded_serial, BankResult, ShardConfig, ShardedDossier,
+    ShardedReport,
+};
 pub use trace_run::{
-    record_characterization, record_characterization_instrumented, replay_benchmark,
-    replay_characterization, replay_characterization_instrumented,
+    record_characterization, record_characterization_instrumented, record_characterization_sharded,
+    replay_benchmark, replay_characterization, replay_characterization_instrumented,
+    replay_characterization_sharded,
 };

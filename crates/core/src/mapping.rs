@@ -203,11 +203,9 @@ pub fn aware_expected_victims(dimm: &Dimm, aggressor: u32) -> BTreeSet<u32> {
     let mut out = BTreeSet::new();
     for i in 0..dimm.chip_count() {
         let pin = dimm.chip_row_address(i, aggressor);
-        for neighbor in [pin.wrapping_sub(1), pin + 1] {
-            if neighbor < rows {
-                let side = dimm.side_of(i);
-                out.insert(dimm.rcd().controller_row(side, neighbor));
-            }
+        for neighbor in dram_sim::row_neighbors(pin, rows) {
+            let side = dimm.side_of(i);
+            out.insert(dimm.rcd().controller_row(side, neighbor));
         }
     }
     out
@@ -283,6 +281,23 @@ mod tests {
         let flips = hammer_and_scan_module(&mut m, 0, aggressor, &scan, 1_500_000).unwrap();
         let hit: BTreeSet<u32> = flips.iter().map(|f| f.row).collect();
         assert_eq!(hit, expected, "aware prediction must be exact");
+    }
+
+    #[test]
+    fn aware_victims_at_bank_edges_stay_in_bounds() {
+        // Aggressors at row 0 and the last row: B-side RCD inversion puts
+        // some chips' pin addresses at the opposite array edge, where the
+        // old `pin.wrapping_sub(1)` neighbour enumeration wrapped.
+        let d = Dimm::new(ChipProfile::test_small(), 4, 77);
+        let rows = d.profile().rows_per_bank;
+        for aggressor in [0, rows - 1] {
+            let victims = aware_expected_victims(&d, aggressor);
+            assert!(!victims.is_empty(), "row {aggressor}: no victims");
+            assert!(
+                victims.iter().all(|&v| v < rows),
+                "row {aggressor}: out-of-bank victim in {victims:?}"
+            );
+        }
     }
 
     #[test]

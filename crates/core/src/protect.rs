@@ -19,6 +19,7 @@
 //! the full dose.
 
 use dram_sim::rng::mix64;
+use dram_sim::row_neighbors;
 use dram_testbed::{results, Testbed, TestbedError};
 use std::collections::BTreeMap;
 
@@ -255,12 +256,11 @@ pub fn run_attack(
         AttackStrategy::SingleRow => None,
         AttackStrategy::CoupledSplit { distance } => Some(aggressor + distance),
     };
-    let mut victims = vec![aggressor - 1, aggressor + 1];
+    let mut victims: Vec<u32> = row_neighbors(aggressor, rows).collect();
     if let Some(a) = alias {
-        victims.push(a - 1);
-        victims.push(a + 1);
+        victims.extend(row_neighbors(a, rows));
     }
-    victims.retain(|&v| v < rows && v != aggressor && Some(v) != alias);
+    victims.retain(|&v| v != aggressor && Some(v) != alias);
     for &v in &victims {
         tb.write_row_pattern(bank, v, u64::MAX)?;
     }
@@ -285,11 +285,9 @@ pub fn run_attack(
             mitigations += 1;
             match m {
                 Mitigation::RefreshNeighbors(r) => {
-                    for v in [r.wrapping_sub(1), r + 1] {
-                        if v < rows {
-                            // A victim refresh is just an activation.
-                            let _ = tb.read_col(bank, v, 0)?;
-                        }
+                    for v in row_neighbors(r, rows) {
+                        // A victim refresh is just an activation.
+                        let _ = tb.read_col(bank, v, 0)?;
                     }
                 }
                 Mitigation::Swap(_) => {}
@@ -330,14 +328,12 @@ pub fn run_attack_rowswap(
         AttackStrategy::SingleRow => None,
         AttackStrategy::CoupledSplit { distance } => Some(aggressor + distance),
     };
-    let mut victims = vec![aggressor - 1, aggressor + 1];
+    let mut victims: Vec<u32> = row_neighbors(aggressor, rows).collect();
     if let Some(a) = alias {
         // The coupled alias' neighbours sit on the same wordlines and
         // take the same dose; count their damage too.
-        victims.push(a - 1);
-        victims.push(a + 1);
+        victims.extend(row_neighbors(a, rows));
     }
-    victims.retain(|&v| v < rows);
     for &v in &victims {
         tb.write_row_pattern(bank, v, u64::MAX)?;
     }
@@ -363,10 +359,8 @@ pub fn run_attack_rowswap(
     let rd_bits = tb.chip().profile().io_width.rd_bits();
     let mut victim_flips = 0;
     for &v in &victims {
-        if v < rows {
-            let data = tb.read_row(bank, v)?;
-            victim_flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
-        }
+        let data = tb.read_row(bank, v)?;
+        victim_flips += results::diff_row(v, rd_bits, |_| u64::MAX, &data).len() as u32;
     }
     Ok(AttackOutcome {
         victim_flips,
@@ -388,11 +382,9 @@ pub fn drfm_refresh(tb: &mut Testbed, bank: u32, sampled_row: u32) -> Result<(),
     let gt = tb.chip().ground_truth();
     let rows = tb.rows();
     let phys = gt.remap.to_physical(dram_sim::LogicalRow(sampled_row)).0;
-    for neighbor_phys in [phys.wrapping_sub(1), phys + 1] {
-        if neighbor_phys < rows {
-            let pin = gt.remap.to_logical(dram_sim::LogicalRow(neighbor_phys)).0;
-            let _ = tb.read_col(bank, pin, 0)?;
-        }
+    for neighbor_phys in row_neighbors(phys, rows) {
+        let pin = gt.remap.to_logical(dram_sim::LogicalRow(neighbor_phys)).0;
+        let _ = tb.read_col(bank, pin, 0)?;
     }
     Ok(())
 }
@@ -429,12 +421,11 @@ pub fn run_attack_with_rfm(
         AttackStrategy::SingleRow => None,
         AttackStrategy::CoupledSplit { distance } => Some(aggressor + distance),
     };
-    let mut victims = vec![aggressor - 1, aggressor + 1];
+    let mut victims: Vec<u32> = row_neighbors(aggressor, rows).collect();
     if let Some(a) = alias {
-        victims.push(a - 1);
-        victims.push(a + 1);
+        victims.extend(row_neighbors(a, rows));
     }
-    victims.retain(|&v| v < rows && v != aggressor && Some(v) != alias);
+    victims.retain(|&v| v != aggressor && Some(v) != alias);
     for &v in &victims {
         tb.write_row_pattern(bank, v, u64::MAX)?;
     }
@@ -594,6 +585,71 @@ mod tests {
         )
         .unwrap()
         .expect("victims must flip within the ceiling")
+    }
+
+    #[test]
+    fn edge_row_attacks_run_at_row_zero_and_last_row() {
+        // Row 0 and the last row of the bank: the old `aggressor - 1`
+        // victim construction underflowed at row 0 (a debug-build panic,
+        // a wrapped u32::MAX address in release), and the tracker's
+        // `wrapping_sub` neighbour refresh manufactured the same wrapped
+        // address. Both edges must run clean and still mitigate.
+        let mut tb = tb_coupled();
+        let rows = tb.rows();
+        for aggressor in [0, rows - 1] {
+            let mut mg = MisraGries::new(10_000, 4);
+            let out = run_attack(
+                &mut tb,
+                &mut mg,
+                aggressor,
+                AttackStrategy::SingleRow,
+                60_000,
+                10_000,
+            )
+            .unwrap();
+            assert!(out.mitigations > 0, "row {aggressor}: tracker never fired");
+        }
+    }
+
+    #[test]
+    fn edge_row_rowswap_and_rfm_attacks_run() {
+        let mut tb = tb_coupled();
+        let rows = tb.rows();
+        for aggressor in [0, rows - 1] {
+            let mut d = RowSwapDefense::new(u64::MAX, 1500);
+            run_attack_rowswap(
+                &mut tb,
+                &mut d,
+                aggressor,
+                AttackStrategy::SingleRow,
+                40_000,
+                10_000,
+            )
+            .unwrap();
+            run_attack_with_rfm(
+                &mut tb,
+                RfmPolicy { raaimt: 30_000 },
+                aggressor,
+                AttackStrategy::SingleRow,
+                60_000,
+                10_000,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn drfm_refresh_handles_physical_edge_wordlines() {
+        let mut tb = tb_coupled();
+        let rows = tb.rows();
+        let gt = tb.chip().ground_truth();
+        // The pin addresses whose *physical* wordline sits at either edge
+        // of the array — exactly where the old wrapping_sub neighbour
+        // enumeration wrapped.
+        let low_pin = gt.remap.to_logical(dram_sim::LogicalRow(0)).0;
+        let high_pin = gt.remap.to_logical(dram_sim::LogicalRow(rows - 1)).0;
+        drfm_refresh(&mut tb, 0, low_pin).unwrap();
+        drfm_refresh(&mut tb, 0, high_pin).unwrap();
     }
 
     #[test]

@@ -18,12 +18,17 @@
 //!    the same [`RunStats`] machinery the fleet engine uses.
 
 use crate::dossier::{
-    characterize_instrumented, CharacterizeOptions, ChipDossier, PhaseStat, RunStats,
+    characterize_bank_instrumented, characterize_instrumented, CharacterizeOptions, ChipDossier,
+    PhaseStat, RunStats,
 };
 use crate::error::CoreError;
+use crate::fleet::parallel_map;
+use crate::shard::{ShardConfig, ShardedDossier};
 use dram_sim::{ChipProfile, Time};
 use dram_telemetry::Registry;
-use dram_trace::{geometry_hash, replay_on_chip, SharedRecorder, SharedVerifier, Trace};
+use dram_trace::{
+    geometry_hash, replay_on_chip, SharedRecorder, SharedVerifier, Trace, TraceEvent,
+};
 use std::time::Instant;
 
 /// Meta keys under which [`record_characterization`] stores its options.
@@ -32,6 +37,12 @@ const META_WITH_SWIZZLE: &str = "with_swizzle";
 const META_PROBE_LO: &str = "probe_lo";
 const META_PROBE_HI: &str = "probe_hi";
 const META_RETENTION_WAIT_PS: &str = "retention_wait_ps";
+/// Meta key for the bank count of a sharded recording; its presence is
+/// what marks a trace as sharded.
+const META_SHARD_BANKS: &str = "shard_banks";
+
+/// The marker label prefix every bank shard's stream opens with.
+const SHARD_MARKER_PREFIX: &str = "shard:bank=";
 
 /// Runs a full characterization with a recorder attached and returns the
 /// dossier, its run stats, and the captured trace.
@@ -75,6 +86,141 @@ pub fn record_characterization_instrumented(
     trace.header.dossier_digest = Some(dossier.digest());
     trace.header.meta = opts_to_meta(&opts);
     Ok((dossier, stats, trace, metrics))
+}
+
+/// Records a bank-sharded characterization: every bank shard runs with
+/// its own recorder, and the per-bank trace segments concatenate in bank
+/// order into ONE device trace.
+///
+/// The byte-identity contract extends to the trace itself: because each
+/// segment opens with its `shard:bank=N` marker, carries timestamps as
+/// signed deltas, and segments merge in bank order, the returned trace's
+/// bytes depend only on `(profile, seed, opts)` — never on the shard
+/// count or completion order. The header stores the merged
+/// [`ShardedDossier`] digest plus a `shard_banks` meta pair, which is
+/// what [`replay_characterization_sharded`] keys on.
+///
+/// # Errors
+///
+/// Propagates the first failed bank's characterization error.
+pub fn record_characterization_sharded(
+    profile: &ChipProfile,
+    seed: u64,
+    opts: CharacterizeOptions,
+    config: ShardConfig,
+) -> Result<(ShardedDossier, Trace, Registry), CoreError> {
+    let banks: Vec<u32> = (0..profile.banks).collect();
+    let outcomes = parallel_map(&banks, config.shards, |&bank| {
+        let recorder = SharedRecorder::unbounded();
+        let (dossier, _, metrics) =
+            characterize_bank_instrumented(profile, seed, bank, opts, Some(recorder.sink()))?;
+        Ok((dossier, recorder.finish(profile, seed), metrics))
+    });
+    let mut dossiers = Vec::with_capacity(banks.len());
+    let mut segments = Vec::with_capacity(banks.len());
+    let mut registries = Vec::with_capacity(banks.len());
+    for (&bank, outcome) in banks.iter().zip(outcomes) {
+        let (dossier, segment, metrics) =
+            outcome.map_err(|e| CoreError::from(format!("bank {bank} failed: {e}")))?;
+        dossiers.push((bank, dossier));
+        segments.push(segment);
+        registries.push(metrics);
+    }
+    let sharded = ShardedDossier {
+        label: profile.label(),
+        banks: dossiers,
+    };
+    let mut trace = Trace::concat(&segments)
+        .map_err(|e| CoreError::from(format!("merging shard traces failed: {e}")))?;
+    trace.header.dossier_digest = Some(sharded.digest());
+    trace.header.meta = opts_to_meta(&opts);
+    trace
+        .header
+        .meta
+        .push((META_SHARD_BANKS.into(), profile.banks.to_string()));
+    Ok((sharded, trace, Registry::merged(registries.iter())))
+}
+
+/// Re-runs the sharded characterization a trace captured and verifies it
+/// reproduces bit-for-bit.
+///
+/// The trace is split back into bank segments at the `shard:bank=`
+/// markers [`record_characterization_sharded`] wrote; each segment is
+/// replayed through the same bank-local flow with a verifier checking
+/// every live command against the recording, and the merged dossier's
+/// digest must equal the recorded one.
+///
+/// # Errors
+///
+/// Fails on traces without the `shard_banks` meta key, unknown profiles,
+/// changed geometry, partial traces, segment-count mismatches, malformed
+/// markers, command-stream divergence, and digest mismatches.
+pub fn replay_characterization_sharded(
+    trace: &Trace,
+) -> Result<(ShardedDossier, Registry), CoreError> {
+    let profile = profile_for(trace)?;
+    let opts = opts_from_meta(trace)?;
+    let raw = trace
+        .header
+        .meta(META_SHARD_BANKS)
+        .ok_or_else(|| CoreError::from("trace is not sharded (missing \"shard_banks\" meta)"))?;
+    let n: usize = raw.parse().map_err(|_| {
+        CoreError::from(format!(
+            "trace meta \"shard_banks\" has unparseable value {raw:?}"
+        ))
+    })?;
+    let segments = trace.split_at_markers(SHARD_MARKER_PREFIX);
+    if segments.len() != n {
+        return Err(format!(
+            "sharded trace should split into {n} bank segments, got {}",
+            segments.len()
+        )
+        .into());
+    }
+    let mut banks = Vec::with_capacity(n);
+    let mut registries = Vec::with_capacity(n);
+    for segment in &segments {
+        let bank = segment_bank(segment)?;
+        let verifier = SharedVerifier::new(segment);
+        let (dossier, _, metrics) = characterize_bank_instrumented(
+            &profile,
+            trace.header.seed,
+            bank,
+            opts,
+            Some(verifier.sink()),
+        )?;
+        verifier
+            .finish()
+            .map_err(|d| CoreError::from(format!("bank {bank} replay diverged from trace: {d}")))?;
+        banks.push((bank, dossier));
+        registries.push(metrics);
+    }
+    let sharded = ShardedDossier {
+        label: profile.label(),
+        banks,
+    };
+    if let Some(expected) = trace.header.dossier_digest {
+        let got = sharded.digest();
+        if got != expected {
+            return Err(format!(
+                "sharded dossier digest mismatch after replay: \
+                 trace {expected:#018x}, replay {got:#018x}"
+            )
+            .into());
+        }
+    }
+    Ok((sharded, Registry::merged(registries.iter())))
+}
+
+/// Reads which bank a shard segment belongs to from its opening marker.
+fn segment_bank(segment: &Trace) -> Result<u32, CoreError> {
+    let Some(TraceEvent::Marker { label }) = segment.events.first() else {
+        return Err("shard segment does not open with a marker event".into());
+    };
+    label
+        .strip_prefix(SHARD_MARKER_PREFIX)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CoreError::from(format!("malformed shard marker {label:?}")))
 }
 
 /// Re-runs the characterization a trace captured and verifies it
@@ -298,6 +444,84 @@ mod tests {
         assert_eq!(dram_trace::trace_metrics(&trace).to_json_lines(), live_snap);
         // Span markers made it into the trace and the registry.
         assert!(live.sum_counters("span_count") > 0);
+    }
+
+    #[test]
+    fn sharded_record_then_verify_replay_round_trips() {
+        let profile = ChipProfile::test_small();
+        let (sharded, trace, metrics) =
+            record_characterization_sharded(&profile, 123, small_opts(), ShardConfig::default())
+                .expect("record");
+        assert_eq!(sharded.banks.len(), profile.banks as usize);
+        assert_eq!(trace.header.dossier_digest, Some(sharded.digest()));
+        assert_eq!(
+            trace.header.meta("shard_banks"),
+            Some(profile.banks.to_string().as_str())
+        );
+        // One opening marker per bank shard survives concatenation.
+        let markers: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Marker { label } if label.starts_with("shard:bank=") => {
+                    Some(label.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(markers, vec!["shard:bank=0", "shard:bank=1"]);
+
+        // Through bytes, then a fully verified sharded re-run.
+        let decoded = Trace::from_bytes(&trace.to_bytes()).expect("decode");
+        assert_eq!(decoded, trace);
+        let (replayed, replayed_metrics) =
+            replay_characterization_sharded(&decoded).expect("replay verifies");
+        assert_eq!(replayed.to_string(), sharded.to_string());
+        assert_eq!(replayed.digest(), sharded.digest());
+        assert_eq!(replayed_metrics.to_json_lines(), metrics.to_json_lines());
+    }
+
+    #[test]
+    fn sharded_trace_bytes_are_identical_for_any_shard_count() {
+        let profile = ChipProfile::test_small();
+        let (_, serial, _) =
+            record_characterization_sharded(&profile, 7, small_opts(), ShardConfig { shards: 1 })
+                .expect("serial record");
+        let (_, wide, _) = record_characterization_sharded(
+            &profile,
+            7,
+            small_opts(),
+            ShardConfig {
+                shards: profile.banks as usize,
+            },
+        )
+        .expect("parallel record");
+        assert_eq!(serial.to_bytes(), wide.to_bytes());
+    }
+
+    #[test]
+    fn sharded_replay_rejects_unsharded_and_tampered_traces() {
+        let profile = ChipProfile::test_small();
+        let (_, _, plain) = record_characterization(&profile, 5, small_opts()).expect("record");
+        let err = replay_characterization_sharded(&plain).expect_err("unsharded trace");
+        assert!(err.to_string().contains("not sharded"), "{err}");
+
+        let (_, trace, _) =
+            record_characterization_sharded(&profile, 5, small_opts(), ShardConfig::default())
+                .expect("record");
+        let mut miscounted = trace.clone();
+        for (k, v) in &mut miscounted.header.meta {
+            if k == "shard_banks" {
+                *v = "3".into();
+            }
+        }
+        let err = replay_characterization_sharded(&miscounted).expect_err("segment count");
+        assert!(err.to_string().contains("3 bank segments"), "{err}");
+
+        let mut digest = trace.clone();
+        digest.header.dossier_digest = Some(0xbad);
+        let err = replay_characterization_sharded(&digest).expect_err("digest mismatch");
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,21 @@
 
 use std::fmt;
 
+/// The physically adjacent row indices of `row` inside a bank of `rows`
+/// rows: up to two neighbors (`row - 1`, `row + 1`), in ascending order,
+/// with both array edges handled by `checked_sub`/bounds tests rather
+/// than wrapping arithmetic. Row 0 yields only `1`; the last row yields
+/// only `rows - 2`; a single-row bank yields nothing.
+///
+/// Every neighbor enumeration in the workspace goes through this helper
+/// so the edge rows the paper stresses (row 0, last row, edge subarrays)
+/// can never manufacture a wrapped `u32::MAX` address.
+pub fn row_neighbors(row: u32, rows: u32) -> impl Iterator<Item = u32> {
+    let below = row.checked_sub(1).filter(|&r| r < rows);
+    let above = row.checked_add(1).filter(|&r| r < rows);
+    below.into_iter().chain(above)
+}
+
 /// A row address as it appears on the chip's command/address pins.
 ///
 /// This is *after* any RCD inversion (the RCD lives at module level) but
@@ -262,5 +277,18 @@ mod tests {
     #[should_panic(expected = "rows must fold evenly")]
     fn odd_fold_panics() {
         BankGeometry::new(7, 64, 32, 2);
+    }
+
+    #[test]
+    fn row_neighbors_handles_both_array_edges() {
+        let n = |row, rows| row_neighbors(row, rows).collect::<Vec<u32>>();
+        assert_eq!(n(0, 8), vec![1], "row 0 has no wrapped below-neighbor");
+        assert_eq!(n(7, 8), vec![6], "last row has no above-neighbor");
+        assert_eq!(n(3, 8), vec![2, 4]);
+        assert_eq!(n(0, 1), Vec::<u32>::new());
+        assert_eq!(n(0, 0), Vec::<u32>::new());
+        // Out-of-bank rows yield only in-bank neighbors.
+        assert_eq!(n(8, 8), vec![7]);
+        assert_eq!(n(u32::MAX, 8), Vec::<u32>::new());
     }
 }

@@ -64,7 +64,7 @@ pub mod time;
 pub use cell::{AggressorDir, CellKind, CellPolarity, GateType};
 pub use chip::{ChipStats, Command, CommandError, DramChip, GroundTruth, ReadData, REF_SLICES};
 pub use disturb::{DisturbModel, FlipContext, GateRates, Mechanism};
-pub use geometry::{BankGeometry, Bitline, LogicalRow, MatId, SubarrayId, Wordline};
+pub use geometry::{row_neighbors, BankGeometry, Bitline, LogicalRow, MatId, SubarrayId, Wordline};
 pub use layout::{BankLayout, CopyRelation, EdgeRole, StripeSide, SubarrayInfo};
 pub use metrics::{MetricsSink, SharedMetrics};
 pub use mitigation::TrrConfig;

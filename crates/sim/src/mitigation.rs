@@ -74,8 +74,15 @@ impl Sampler {
     }
 
     /// Records `count` activations of `wl`.
+    ///
+    /// The table never holds a zero-count entry: a zero-count
+    /// observation is a no-op, entries that decay to zero during the
+    /// Misra–Gries decrement are dropped, and an outsider whose count is
+    /// fully consumed by the decrement is not admitted. (A zero entry
+    /// would squat on one of the few table slots — real TRR samplers
+    /// have 1–4 — and starve the sampler of live aggressors.)
     pub fn observe(&mut self, wl: u32, count: u64) {
-        if self.capacity == 0 {
+        if self.capacity == 0 || count == 0 {
             return;
         }
         if let Some(c) = self.counters.get_mut(&wl) {
@@ -92,8 +99,9 @@ impl Sampler {
             *c = c.saturating_sub(dec);
             *c > 0
         });
-        if self.counters.len() < self.capacity {
-            self.counters.insert(wl, count.saturating_sub(dec));
+        let remaining = count - dec;
+        if remaining > 0 && self.counters.len() < self.capacity {
+            self.counters.insert(wl, remaining);
         }
     }
 
@@ -116,6 +124,11 @@ impl Sampler {
     /// `true` when nothing has been sampled.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
+    }
+
+    /// The current `(wordline, count)` entries, in wordline order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counters.iter().map(|(&w, &c)| (w, c))
     }
 }
 
@@ -171,6 +184,41 @@ mod tests {
         let hot = s.take_hottest(1);
         assert_eq!(hot, vec![2]);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn zero_count_observations_never_occupy_entries() {
+        let mut s = Sampler::new(2);
+        s.observe(9, 0);
+        assert!(s.is_empty(), "a zero-count observation must not insert");
+        s.observe(1, 4);
+        s.observe(2, 4);
+        // Outsider whose count is fully consumed by the decrement: the
+        // old code inserted it with count 0 and let it squat on a slot.
+        s.observe(3, 4);
+        assert!(
+            s.entries().all(|(_, c)| c > 0),
+            "no zero-count entries may survive observe: {:?}",
+            s.entries().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn long_hammer_keeps_the_table_bounded_and_zero_free() {
+        // A long many-sided hammer cycling through far more distinct rows
+        // than the table holds, with counts chosen so the decrement often
+        // lands exactly on an entry's count (the zero-entry trigger).
+        let mut s = Sampler::new(4);
+        for round in 0u32..20_000 {
+            let wl = round % 512;
+            let count = u64::from(round % 3); // 0, 1, 2 — zeros included
+            s.observe(wl, count);
+            assert!(s.len() <= 4, "round {round}: table grew past capacity");
+            assert!(
+                s.entries().all(|(_, c)| c > 0),
+                "round {round}: zero-count entry kept alive"
+            );
+        }
     }
 
     #[test]

@@ -495,6 +495,37 @@ impl ChipProfile {
         p
     }
 
+    /// A small, fast HBM2-style profile for unit tests: HBM2 timing and
+    /// I/O width on `test_small`'s array (2048 rows, 256-bit rows,
+    /// 40/24-row subarrays), four banks so bank-sharding tests exercise
+    /// real fan-out. Vendor B, so its label (`"Mfr. B HBM2 4-Hi"`) stays
+    /// distinct from [`hbm2_mfr_a`](Self::hbm2_mfr_a)'s and the profile
+    /// can round-trip through [`by_label`](Self::by_label).
+    pub fn test_small_hbm2() -> ChipProfile {
+        ChipProfile {
+            vendor: Vendor::B,
+            io_width: IoWidth::Hbm2,
+            year: 0,
+            density_gbit: 0,
+            banks: 4,
+            rows_per_bank: 2048,
+            row_bits: 256,
+            timing: TimingParams::hbm2(),
+            hidden: HiddenConfig {
+                composition: vec![40, 24],
+                edge_interval: 256,
+                coupled: false,
+                mat_width: 64,
+                remap: RowRemap::Identity,
+                swizzle: SwizzleMap::vendor_a(64, 256, 64),
+                polarity: PolarityScheme::AllTrue,
+                disturb: DisturbModel::default(),
+                trr: TrrConfig::disabled(),
+                on_die_ecc: false,
+            },
+        }
+    }
+
     /// Returns this profile with on-die ECC enabled: the host loses the
     /// tail columns to parity, and single-cell errors become invisible.
     pub fn with_on_die_ecc(mut self) -> ChipProfile {
@@ -523,6 +554,7 @@ impl ChipProfile {
                 Self::test_small(),
                 Self::test_small_interleaved(),
                 Self::test_small_coupled(),
+                Self::test_small_hbm2(),
             ])
             .find(|p| p.label() == label)
     }
@@ -636,5 +668,21 @@ mod tests {
         let pc = ChipProfile::test_small_coupled();
         assert!(pc.bank_geometry().has_coupled_rows());
         assert_eq!(pc.bank_geometry().wordlines() % pc.hidden.edge_interval, 0);
+    }
+
+    #[test]
+    fn test_small_hbm2_is_a_resolvable_multi_bank_hbm2_device() {
+        let p = ChipProfile::test_small_hbm2();
+        assert_eq!(p.io_width, IoWidth::Hbm2);
+        assert!(p.banks >= 4, "sharding tests need real bank fan-out");
+        assert!(p.rows_per_bank <= 4096);
+        assert_eq!(p.row_bits % p.io_width.rd_bits(), 0);
+        let g = p.bank_geometry();
+        assert_eq!(g.wordlines() % p.hidden.edge_interval, 0);
+        assert_eq!(p.label(), "Mfr. B HBM2 4-Hi");
+        assert_ne!(p.label(), ChipProfile::hbm2_mfr_a().label());
+        let resolved = ChipProfile::by_label(&p.label()).expect("label resolves");
+        assert_eq!(resolved.banks, p.banks);
+        assert_eq!(resolved.timing, p.timing);
     }
 }

@@ -166,6 +166,25 @@ impl Registry {
         }
     }
 
+    /// Folds an ordered sequence of registries into one, by repeated
+    /// [`merge`](Self::merge).
+    ///
+    /// The order of `parts` is the merge order — callers aggregating
+    /// parallel work (fleet jobs, bank shards) must pass parts in their
+    /// canonical order (job order, bank order), not completion order, so
+    /// the gauges' last-write-wins semantics stay deterministic and the
+    /// merged snapshot is byte-identical to a serial run's.
+    pub fn merged<'a, I>(parts: I) -> Registry
+    where
+        I: IntoIterator<Item = &'a Registry>,
+    {
+        let mut out = Registry::new();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
+
     /// Renders the registry as a versioned JSON-lines snapshot.
     ///
     /// Line 1 is the schema header; then one line per counter, gauge,
@@ -304,6 +323,23 @@ mod tests {
         assert_eq!(a.counter(&Key::name("n")), 7);
         assert_eq!(a.histogram(&Key::name("h")).unwrap().count(), 2);
         assert_eq!(a.gauge(&Key::name("g")), Some(2));
+    }
+
+    #[test]
+    fn merged_folds_parts_in_the_given_order() {
+        let mut a = Registry::new();
+        a.inc(Key::name("n"), 3);
+        a.set_gauge(Key::name("g"), 1);
+        let mut b = Registry::new();
+        b.inc(Key::name("n"), 4);
+        b.set_gauge(Key::name("g"), 2);
+
+        let ab = Registry::merged([&a, &b]);
+        assert_eq!(ab.counter(&Key::name("n")), 7);
+        // Gauges are last-write-wins, so part order decides.
+        assert_eq!(ab.gauge(&Key::name("g")), Some(2));
+        assert_eq!(Registry::merged([&b, &a]).gauge(&Key::name("g")), Some(1));
+        assert!(Registry::merged(std::iter::empty::<&Registry>()).is_empty());
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub enum TraceError {
         /// What was wrong.
         what: &'static str,
     },
+    /// Segments offered to [`Trace::concat`](crate::Trace::concat) do
+    /// not belong to one run (identity fields disagree, or there were
+    /// no segments at all).
+    SegmentMismatch {
+        /// Which identity field disagreed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -69,6 +76,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Corrupt { offset, what } => {
                 write!(f, "corrupt trace at byte {offset}: {what}")
+            }
+            TraceError::SegmentMismatch { what } => {
+                write!(f, "trace segments are not one run: {what}")
             }
         }
     }

@@ -192,6 +192,93 @@ impl Trace {
         })
     }
 
+    /// Concatenates per-shard trace segments into one stream, in the
+    /// order given.
+    ///
+    /// Every segment must agree on profile label, seed, and geometry
+    /// hash — they were recorded against clones of one device, and a
+    /// mismatch means the caller mixed runs. `dropped` counts sum; the
+    /// result carries no dossier digest and no meta (run-level identity
+    /// belongs to the caller, who knows what the merged stream means).
+    ///
+    /// Concatenation is deterministic: the merged event stream is
+    /// exactly the segments' streams back to back, and the delta
+    /// timestamp encoding is signed, so a later segment restarting its
+    /// clock at zero round-trips through bytes unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::SegmentMismatch`] on an empty segment list or
+    /// disagreeing identity fields.
+    pub fn concat(segments: &[Trace]) -> Result<Trace, TraceError> {
+        let first = segments.first().ok_or(TraceError::SegmentMismatch {
+            what: "no segments",
+        })?;
+        for s in segments {
+            if s.header.profile_label != first.header.profile_label {
+                return Err(TraceError::SegmentMismatch {
+                    what: "profile label",
+                });
+            }
+            if s.header.seed != first.header.seed {
+                return Err(TraceError::SegmentMismatch { what: "seed" });
+            }
+            if s.header.geometry_hash != first.header.geometry_hash {
+                return Err(TraceError::SegmentMismatch {
+                    what: "geometry hash",
+                });
+            }
+        }
+        Ok(Trace {
+            header: TraceHeader {
+                profile_label: first.header.profile_label.clone(),
+                seed: first.header.seed,
+                geometry_hash: first.header.geometry_hash,
+                dossier_digest: None,
+                dropped: segments.iter().map(|s| s.header.dropped).sum(),
+                meta: Vec::new(),
+            },
+            events: segments
+                .iter()
+                .flat_map(|s| s.events.iter().cloned())
+                .collect(),
+        })
+    }
+
+    /// Splits the event stream into segments at every marker whose label
+    /// starts with `prefix` (each matching marker opens a new segment
+    /// and stays as its first event). Events before the first matching
+    /// marker, if any, form a leading segment of their own; a trace with
+    /// no matching markers comes back as one segment.
+    ///
+    /// Each segment clones this trace's header minus the dossier digest
+    /// (a digest describes the whole run, not a slice of it), so a
+    /// segment is itself a replayable trace. The exact inverse of
+    /// [`concat`](Self::concat) for streams whose shards each open with
+    /// such a marker.
+    pub fn split_at_markers(&self, prefix: &str) -> Vec<Trace> {
+        let segment_header = TraceHeader {
+            dossier_digest: None,
+            ..self.header.clone()
+        };
+        let mut segments: Vec<Trace> = Vec::new();
+        for ev in &self.events {
+            let opens = matches!(ev, TraceEvent::Marker { label } if label.starts_with(prefix));
+            if opens || segments.is_empty() {
+                segments.push(Trace {
+                    header: segment_header.clone(),
+                    events: Vec::new(),
+                });
+            }
+            segments
+                .last_mut()
+                .expect("a segment was just ensured")
+                .events
+                .push(ev.clone());
+        }
+        segments
+    }
+
     /// Renders the trace as human-readable text: a commented header
     /// followed by one numbered line per event.
     pub fn dump(&self) -> String {
@@ -706,6 +793,102 @@ mod tests {
         let bytes = trace.to_bytes();
         let back = Trace::from_bytes(&bytes).expect("round trip decodes");
         assert_eq!(back, trace);
+    }
+
+    /// A shard-style segment: opens with a `shard:bank=` marker, clock
+    /// starting over from near zero like a fresh per-bank testbed.
+    fn shard_segment(bank: u32) -> Trace {
+        let mut t = sample_trace();
+        t.header.dossier_digest = None;
+        t.header.meta.clear();
+        let mut events = vec![TraceEvent::Marker {
+            label: format!("shard:bank={bank}"),
+        }];
+        events.extend(t.events.iter().cloned());
+        t.events = events;
+        t
+    }
+
+    #[test]
+    fn concat_then_split_round_trips_segments() {
+        let segments = [shard_segment(0), shard_segment(1), shard_segment(2)];
+        let merged = Trace::concat(&segments).expect("one run");
+        assert_eq!(
+            merged.events.len(),
+            segments.iter().map(|s| s.events.len()).sum::<usize>()
+        );
+        assert_eq!(merged.header.dossier_digest, None);
+        // The merged stream survives the binary format even though each
+        // segment's clock restarts (negative inter-segment deltas).
+        let back = Trace::from_bytes(&merged.to_bytes()).expect("decodes");
+        assert_eq!(back, merged);
+        // And splits back into exactly the original segment streams.
+        let split = back.split_at_markers("shard:bank=");
+        assert_eq!(split.len(), segments.len());
+        for (got, want) in split.iter().zip(&segments) {
+            assert_eq!(got.events, want.events);
+        }
+    }
+
+    #[test]
+    fn split_keeps_a_leading_unmarked_segment_and_whole_traces() {
+        let trace = sample_trace();
+        // No matching markers: one segment, identical events.
+        let whole = trace.split_at_markers("shard:bank=");
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].events, trace.events);
+        assert_eq!(whole[0].header.dossier_digest, None);
+        // A preamble before the first shard marker stays a segment.
+        let mut with_preamble = trace.events.clone();
+        with_preamble.push(TraceEvent::Marker {
+            label: "shard:bank=5".into(),
+        });
+        with_preamble.push(TraceEvent::SetTemperature { celsius: 40.0 });
+        let t = Trace {
+            header: trace.header.clone(),
+            events: with_preamble,
+        };
+        let parts = t.split_at_markers("shard:bank=");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].events, trace.events);
+        assert_eq!(parts[1].events.len(), 2);
+        assert_eq!(Trace::concat(&parts).expect("same run").events, t.events);
+    }
+
+    #[test]
+    fn concat_rejects_mixed_runs_and_empty_input() {
+        assert_eq!(
+            Trace::concat(&[]),
+            Err(TraceError::SegmentMismatch {
+                what: "no segments"
+            })
+        );
+        let a = shard_segment(0);
+        for (mutate, what) in [
+            (
+                Box::new(|t: &mut Trace| t.header.profile_label.push('X'))
+                    as Box<dyn Fn(&mut Trace)>,
+                "profile label",
+            ),
+            (Box::new(|t: &mut Trace| t.header.seed ^= 1), "seed"),
+            (
+                Box::new(|t: &mut Trace| t.header.geometry_hash ^= 1),
+                "geometry hash",
+            ),
+        ] {
+            let mut b = shard_segment(1);
+            mutate(&mut b);
+            assert_eq!(
+                Trace::concat(&[a.clone(), b]),
+                Err(TraceError::SegmentMismatch { what }),
+                "{what}"
+            );
+        }
+        // Dropped counts sum across segments.
+        let mut partial = shard_segment(1);
+        partial.header.dropped = 3;
+        let merged = Trace::concat(&[a, partial]).expect("same run");
+        assert_eq!(merged.header.dropped, 3);
     }
 
     #[test]
