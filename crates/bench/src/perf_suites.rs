@@ -59,7 +59,7 @@ fn small_fleet_jobs() -> Vec<FleetJob> {
 const SEED: u64 = 0xbe9c;
 
 /// The stable suite names, in the order [`suites`] builds them.
-pub const SUITE_NAMES: [&str; 9] = [
+pub const SUITE_NAMES: [&str; 10] = [
     "chip_command_loop",
     "characterize_small",
     "characterize_sharded",
@@ -67,6 +67,7 @@ pub const SUITE_NAMES: [&str; 9] = [
     "fleet_parallel",
     "trace_record",
     "trace_replay",
+    "trace_replay_fast",
     "trace_decode",
     "metrics_snapshot",
 ];
@@ -98,6 +99,7 @@ pub fn suites() -> Vec<Bench> {
         fleet_parallel(),
         trace_record(),
         trace_replay(trace.clone()),
+        trace_replay_fast(trace.clone()),
         trace_decode(trace_bytes),
         metrics_snapshot(registry),
     ]
@@ -122,7 +124,9 @@ fn chip_command_loop() -> Bench {
                 (Command::Activate { bank: 0, row }, t.trcd),
                 (
                     Command::Read { bank: 0, col: 0 },
-                    t.tras.saturating_sub(t.trcd),
+                    t.tras
+                        .checked_sub(t.trcd)
+                        .expect("tRAS covers tRCD in every profile"),
                 ),
                 (Command::Precharge { bank: 0 }, Time::ZERO),
             ];
@@ -214,6 +218,18 @@ fn trace_replay(trace: dram_trace::Trace) -> Bench {
         let (_, stats, _) = trace_run::replay_characterization_instrumented(&trace)
             .expect("replaying a just-recorded trace cannot fail");
         stats.commands()
+    })
+}
+
+/// Trusted fast-path replay of the same recorded characterization:
+/// the identical drive loop minus the per-event outcome comparison.
+/// Read against `trace_replay` to see what verification costs.
+fn trace_replay_fast(trace: dram_trace::Trace) -> Bench {
+    let profile = ChipProfile::test_small();
+    Bench::new("trace_replay_fast", move || {
+        let stats = dram_trace::replay_on_chip_trusted(&trace, &profile)
+            .expect("trusted replay of a just-recorded trace cannot fail");
+        stats.commands
     })
 }
 

@@ -12,6 +12,22 @@
 //! retention clocks of that row reset at every activation, exactly as in
 //! hardware.
 //!
+//! # Flat bank state
+//!
+//! All per-wordline state lives in dense `Vec` tables indexed by wordline
+//! (allocated lazily per bank on first touch): activation counters in
+//! [`BankState::wl_acts`], materialized rows in [`BankState::rows`]. A
+//! sorted dirty list records which rows are materialized so refresh can
+//! settle them in the same deterministic ascending order the previous
+//! `BTreeMap`-backed implementation used. Static per-wordline facts
+//! (aggressor slots, tandem companion, polarity, edge role) are
+//! precomputed once per chip into [`WlStatic`] so the per-command hot
+//! path does no tree lookups and no allocation; two provably
+//! conservative pre-filters (a cached retention-negligibility horizon
+//! and a cubic disturbance-dose bound) skip the expensive `powf`/CDF
+//! evaluations whenever no cell could plausibly flip. See
+//! `DESIGN.md` § "Flat bank state" for the identity argument.
+//!
 //! # Loop acceleration
 //!
 //! A tight `ACT`-`PRE` hammer loop is physically equivalent to adding
@@ -20,7 +36,7 @@
 //! attacks in O(1); it performs exactly the same state updates a command
 //! loop would.
 
-use crate::cell::{gate_type, AggressorDir};
+use crate::cell::{gate_type, AggressorDir, CellPolarity};
 use crate::disturb::{FlipContext, Mechanism};
 use crate::geometry::{BankGeometry, Bitline, LogicalRow, Wordline};
 use crate::layout::{BankLayout, CopyRelation};
@@ -32,7 +48,6 @@ use crate::rowdata::RowBits;
 use crate::sink::{ChipEvent, CommandOutcome, CommandSink, SinkSlot};
 use crate::swizzle::SwizzleMap;
 use crate::time::{Time, TimingParams};
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -48,6 +63,41 @@ const TAG_RETENTION: u64 = 0x4E7E;
 /// `ACT` issued within this fraction of `tRP` after a `PRE` latches the
 /// not-yet-precharged bitline state into the destination row (RowCopy).
 const COPY_WINDOW_FRACTION: f64 = 0.5;
+
+/// Flip probabilities at or below this are treated as "cannot happen":
+/// both the retention horizon and the disturbance dose bound compare
+/// against it before running the per-cell physics pass.
+const NEGLIGIBLE_P: f64 = 1e-12;
+
+/// The most generous context multiplier any [`FlipContext`] can produce;
+/// used to bound the best-case flip probability of an accumulated dose.
+const MAX_CONTEXT_MULTIPLIER: f64 = 4.0;
+
+/// A wordline has at most two distance-1 and two distance-2 aggressors
+/// (subarray-clipped), so every aggressor set fits four static slots.
+const MAX_AGGRESSORS: usize = 4;
+
+/// Sentinel in [`WlStatic::companion`] for "no tandem companion". Valid
+/// wordline indices are bounded by the bank geometry, far below this.
+const NO_COMPANION: u32 = u32::MAX;
+
+/// Widens a wordline index for dense-table addressing; `u32 → usize`
+/// cannot truncate on any supported target (usize is ≥ 32 bits).
+#[inline(always)]
+fn wi(wl: u32) -> usize {
+    wl as usize
+}
+
+/// The bitline `off` columns away from `bl`, if it exists on the die:
+/// non-negative, representable as a `u32` index, and under `cells`.
+/// Checked conversion instead of `n as u32`, which would silently wrap
+/// a geometry-derived index near the top of the `u32` range.
+#[inline(always)]
+fn bl_offset(bl: u32, off: i64, cells: u32) -> Option<u32> {
+    u32::try_from(i64::from(bl) + off)
+        .ok()
+        .filter(|&n| n < cells)
+}
 
 /// Elapsed time from `earlier` to `later`, failing loudly when the order
 /// is reversed. A saturating subtraction here would clamp to zero and
@@ -254,10 +304,34 @@ impl WlActivity {
 struct RowState {
     /// Cell data in physical bitline order, covering the full wordline.
     data: RowBits,
-    /// Aggressor counter snapshots taken at the last restore.
-    snapshot: Vec<(u32, WlActivity)>,
+    /// Aggressor counter snapshots taken at the last restore, aligned to
+    /// the wordline's [`WlStatic::aggr`] slots.
+    snapshot: [WlActivity; MAX_AGGRESSORS],
     /// When the row's charge was last restored.
     last_restore: Time,
+}
+
+/// Precomputed static facts about one wordline, shared by all banks: the
+/// hot path reads these instead of re-deriving them from the layout on
+/// every command.
+#[derive(Debug, Clone, Copy)]
+struct WlStatic {
+    /// Aggressor wordlines in settle order: distance-1 neighbors in
+    /// ascending order, then distance-2 neighbors in ascending order
+    /// (the order `BankLayout::neighbors_at` yields them, which the
+    /// previous implementation's `aggressors_of` concatenated).
+    aggr: [u32; MAX_AGGRESSORS],
+    /// Slots `0..n_dist1` are distance-1 (dose scale 1.0); slots
+    /// `n_dist1..n_aggr` are distance-2 (`distance_two_dose`).
+    n_dist1: u8,
+    /// Occupied slot count; slots `n_aggr..` are unused.
+    n_aggr: u8,
+    /// Whether the wordline sits in an edge (tandem) subarray.
+    is_edge: bool,
+    /// The wordline's cell polarity under the chip's polarity scheme.
+    polarity: CellPolarity,
+    /// Tandem companion wordline, or [`NO_COMPANION`].
+    companion: u32,
 }
 
 /// The currently open row of a bank.
@@ -280,14 +354,90 @@ struct PreEvent {
 struct BankState {
     open: Option<OpenRow>,
     last_pre: Option<PreEvent>,
-    // BTreeMaps, not HashMaps: refresh settles rows in iteration order
-    // and settle order feeds the physics (neighbor data), so the map
-    // order must be deterministic for identical seeds to give identical
-    // dossiers.
-    wl_acts: BTreeMap<u32, WlActivity>,
-    rows: BTreeMap<u32, RowState>,
+    /// Dense per-wordline activation counters, allocated on the bank's
+    /// first counted activation (an empty table reads as all zeros).
+    wl_acts: Vec<WlActivity>,
+    /// Dense per-wordline materialized rows, allocated on first touch.
+    rows: Vec<Option<Box<RowState>>>,
+    /// Sorted wordline indices with a materialized row. Refresh settles
+    /// rows in this (ascending) order, and settle order feeds the
+    /// physics through neighbor data, so the order must stay
+    /// deterministic — it matches the old `BTreeMap` key order exactly.
+    dirty: Vec<u32>,
     /// The in-DRAM TRR activation sampler (inert when TRR is disabled).
     sampler: crate::mitigation::Sampler,
+}
+
+impl BankState {
+    /// Current counters for a wordline; an unallocated table reads as
+    /// all zeros, exactly like a missing map entry did.
+    #[inline]
+    fn wl_act(&self, wl: u32) -> WlActivity {
+        self.wl_acts.get(wi(wl)).copied().unwrap_or_default()
+    }
+
+    /// Mutable counters for a wordline, allocating the dense table
+    /// (`wls` entries) on the bank's first counted activation.
+    #[inline]
+    fn wl_act_mut(&mut self, wl: u32, wls: usize) -> &mut WlActivity {
+        if self.wl_acts.is_empty() {
+            self.wl_acts = vec![WlActivity::default(); wls];
+        }
+        &mut self.wl_acts[wi(wl)]
+    }
+
+    /// The materialized row for a wordline, if any.
+    #[inline]
+    fn row(&self, wl: u32) -> Option<&RowState> {
+        self.rows.get(wi(wl)).and_then(|r| r.as_deref())
+    }
+
+    /// Records `wl` in the sorted dirty list (idempotent).
+    fn mark_dirty(&mut self, wl: u32) {
+        if let Err(pos) = self.dirty.binary_search(&wl) {
+            self.dirty.insert(pos, wl);
+        }
+    }
+}
+
+/// Precomputes the per-wordline static table for a chip.
+fn build_wl_static(layout: &BankLayout, profile: &ChipProfile, wls: u32) -> Vec<WlStatic> {
+    (0..wls)
+        .map(|widx| {
+            let wl = Wordline(widx);
+            let d1 = layout.neighbors_at(wl, 1);
+            let d2 = layout.neighbors_at(wl, 2);
+            let n_dist1 = d1.len();
+            let n_aggr = n_dist1 + d2.len();
+            assert!(
+                n_aggr <= MAX_AGGRESSORS,
+                "a wordline has at most {MAX_AGGRESSORS} aggressors"
+            );
+            let mut aggr = [0u32; MAX_AGGRESSORS];
+            for (slot, a) in d1.iter().chain(d2.iter()).enumerate() {
+                aggr[slot] = a.0;
+            }
+            let sub = layout.subarray_of(wl);
+            let polarity = match profile.hidden.polarity {
+                PolarityScheme::AllTrue => CellPolarity::True,
+                PolarityScheme::SubarrayInterleaved => {
+                    if sub.0.is_multiple_of(2) {
+                        CellPolarity::True
+                    } else {
+                        CellPolarity::Anti
+                    }
+                }
+            };
+            WlStatic {
+                aggr,
+                n_dist1: n_dist1 as u8,
+                n_aggr: n_aggr as u8,
+                is_edge: layout.info(sub).is_edge(),
+                polarity,
+                companion: layout.companion_wordline(wl).map_or(NO_COMPANION, |c| c.0),
+            }
+        })
+        .collect()
 }
 
 /// Aggregate command statistics, including the hidden double activations
@@ -348,6 +498,17 @@ pub struct DramChip {
     retention: RetentionModel,
     seed: u64,
     banks: Vec<BankState>,
+    /// Per-wordline static facts, indexed by wordline.
+    wl_static: Vec<WlStatic>,
+    /// Flattened swizzle map: physical bitline of `(col, bit)` at index
+    /// `col * rd_bits + bit`, covering all raw columns (including the
+    /// ECC parity region). Precomputed so the read/write hot loops do a
+    /// table load instead of per-bit swizzle arithmetic.
+    swz_table: Vec<u32>,
+    /// Cached retention-negligibility horizon (ps) at the current
+    /// temperature: elapsed times at or below it provably keep the
+    /// expected fail fraction under [`NEGLIGIBLE_P`].
+    ret_negligible_ps: u64,
     now: Time,
     temperature_c: f64,
     stats: ChipStats,
@@ -382,17 +543,32 @@ impl DramChip {
                 ..BankState::default()
             })
             .collect();
+        let wl_static = build_wl_static(&layout, &profile, geom.wordlines());
+        let rd_bits = profile.io_width.rd_bits();
+        let raw_cols = geom.row_bits / rd_bits;
+        let swz_table: Vec<u32> = (0..raw_cols)
+            .flat_map(|col| {
+                let swz = &profile.hidden.swizzle;
+                (0..rd_bits).map(move |bit| swz.bitline_of(col, bit).0)
+            })
+            .collect();
+        let retention = RetentionModel::default();
+        let temperature_c = 75.0;
+        let ret_negligible_ps = retention.negligible_elapsed_ps(temperature_c, NEGLIGIBLE_P);
         DramChip {
             geom,
             layout,
-            retention: RetentionModel::default(),
+            retention,
             seed,
             banks,
+            wl_static,
+            ret_negligible_ps,
             now: Time::ZERO,
-            temperature_c: 75.0,
+            temperature_c,
             stats: ChipStats::default(),
             ref_counter: 0,
             sink: SinkSlot::empty(),
+            swz_table,
             profile,
         }
     }
@@ -453,6 +629,7 @@ impl DramChip {
     /// Sets the die temperature (driven by the testbed's thermal plant).
     pub fn set_temperature(&mut self, celsius: f64) {
         self.temperature_c = celsius;
+        self.ret_negligible_ps = self.retention.negligible_elapsed_ps(celsius, NEGLIGIBLE_P);
         self.record(ChipEvent::SetTemperature { celsius });
     }
 
@@ -576,23 +753,24 @@ impl DramChip {
             return Ok(at);
         }
         let (wl, _half) = self.resolve(LogicalRow(row));
-        let companion = self.layout.companion_wordline(wl);
+        let companion = self.companion_of(wl);
         let cycle = each_on + self.profile.timing.trp;
         let end = at + cycle * count;
         self.now = end;
 
         let on_total = each_on.as_ns() * count as f64;
         let last_pre_at = elapsed(end, self.profile.timing.trp)?;
+        let wls = wi(self.geom.wordlines());
         {
             let b = &mut self.banks[bank as usize];
             if self.profile.hidden.trr.enabled {
                 b.sampler.observe(wl.0, count);
             }
-            let a = b.wl_acts.entry(wl.0).or_default();
+            let a = b.wl_act_mut(wl.0, wls);
             a.acts += count;
             a.on_ns += on_total;
             if let Some(c) = companion {
-                let ca = b.wl_acts.entry(c.0).or_default();
+                let ca = b.wl_act_mut(c.0, wls);
                 ca.comp_acts += count;
                 ca.comp_on_ns += on_total;
             }
@@ -678,7 +856,7 @@ impl DramChip {
             self.apply_rowcopy(bank, src, wl)?;
         }
 
-        let companion = self.layout.companion_wordline(wl);
+        let companion = self.companion_of(wl);
         if let Some(c) = companion {
             if c != wl {
                 self.settle_and_restore(bank, c, at)?;
@@ -701,15 +879,16 @@ impl DramChip {
 
     fn cmd_precharge(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
         self.check_bank(bank)?;
+        let wls = wi(self.geom.wordlines());
         let b = &mut self.banks[bank as usize];
         let open = b.open.ok_or(CommandError::NoOpenRow)?;
         let on_ns = elapsed(at, open.since)?.as_ns();
         b.open = None;
-        let a = b.wl_acts.entry(open.wl.0).or_default();
+        let a = b.wl_act_mut(open.wl.0, wls);
         a.acts += 1;
         a.on_ns += on_ns;
         if let Some(c) = open.companion {
-            let ca = b.wl_acts.entry(c.0).or_default();
+            let ca = b.wl_act_mut(c.0, wls);
             ca.comp_acts += 1;
             ca.comp_on_ns += on_ns;
         }
@@ -739,16 +918,16 @@ impl DramChip {
         if elapsed(at, open.since)? < self.profile.timing.trcd {
             return Err(CommandError::TrcdViolation);
         }
-        let swz = &self.profile.hidden.swizzle;
         let rd_bits = self.profile.io_width.rd_bits();
         let base = open.half * self.geom.row_bits;
-        let row = self.banks[bank as usize].rows.get(&open.wl.0);
+        let default = self.default_bit(open.wl);
+        let row = self.banks[bank as usize].row(open.wl.0);
         let mut out = 0u64;
         for bit in 0..rd_bits {
-            let bl = swz.bitline_of(col, bit);
+            let bl = self.swz_table[wi(col * rd_bits + bit)];
             let v = match row {
-                Some(r) => r.data.get(base + bl.0),
-                None => self.default_bit(open.wl),
+                Some(r) => r.data.get(base + bl),
+                None => default,
             };
             if v {
                 out |= 1 << bit;
@@ -759,10 +938,10 @@ impl DramChip {
             let mut parity = 0u8;
             for j in 0..crate::ecc::PARITY_BITS {
                 let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
-                let bl = swz.bitline_of(pc, pb);
+                let bl = self.swz_table[wi(pc * rd_bits + pb)];
                 let v = match row {
-                    Some(r) => r.data.get(base + bl.0),
-                    None => self.default_bit(open.wl),
+                    Some(r) => r.data.get(base + bl),
+                    None => default,
                 };
                 if v {
                     parity |= 1 << j;
@@ -790,11 +969,11 @@ impl DramChip {
         let base = open.half * self.geom.row_bits;
         let wl = open.wl;
         self.ensure_row(bank, wl, at);
-        // Recompute swizzle targets without holding a borrow conflict.
+        // Collect swizzle targets without holding a borrow conflict.
         let mut targets: Vec<(u32, bool)> = (0..rd_bits)
             .map(|bit| {
-                let bl = self.profile.hidden.swizzle.bitline_of(col, bit);
-                (base + bl.0, data & (1 << bit) != 0)
+                let bl = self.swz_table[wi(col * rd_bits + bit)];
+                (base + bl, data & (1 << bit) != 0)
             })
             .collect();
         if self.profile.hidden.on_die_ecc {
@@ -805,13 +984,14 @@ impl DramChip {
             let parity = crate::ecc::encode((data & u64::from(u32::MAX)) as u32);
             for j in 0..crate::ecc::PARITY_BITS {
                 let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
-                let bl = self.profile.hidden.swizzle.bitline_of(pc, pb);
-                targets.push((base + bl.0, parity & (1 << j) != 0));
+                let bl = self.swz_table[wi(pc * rd_bits + pb)];
+                targets.push((base + bl, parity & (1 << j) != 0));
             }
         }
         let row = self.banks[bank as usize]
             .rows
-            .get_mut(&wl.0)
+            .get_mut(wi(wl.0))
+            .and_then(|r| r.as_deref_mut())
             .ok_or(CommandError::Internal(
                 "written row missing after ensure_row",
             ))?;
@@ -843,17 +1023,19 @@ impl DramChip {
         let hi = u32::try_from(((slice + 1) * slice_size).min(wls_total))
             .map_err(|_| CommandError::Internal("REF slice bound exceeds u32 wordline count"))?;
         self.ref_counter += 1;
-        for b in 0..self.banks.len() as u32 {
-            let wls: Vec<u32> = self.banks[b as usize]
-                .rows
-                .keys()
-                .copied()
-                .filter(|&wl| wl >= lo && wl < hi)
-                .collect();
+        for bi in 0..self.banks.len() {
+            let b =
+                u32::try_from(bi).map_err(|_| CommandError::Internal("bank count exceeds u32"))?;
+            // The dirty list is sorted, so the slice's wordlines come out
+            // in the same ascending order the old map iteration used.
+            let dirty = &self.banks[bi].dirty;
+            let start = dirty.partition_point(|&wl| wl < lo);
+            let end = dirty.partition_point(|&wl| wl < hi);
+            let wls: Vec<u32> = dirty[start..end].to_vec();
             for wl in wls {
                 self.settle_and_restore(b, Wordline(wl), at)?;
             }
-            self.banks[b as usize].last_pre = None;
+            self.banks[bi].last_pre = None;
             if self.profile.hidden.trr.enabled {
                 self.run_in_dram_mitigation(b, at)?;
             }
@@ -888,12 +1070,14 @@ impl DramChip {
                 return Err(CommandError::RefreshWhileOpen);
             }
         }
-        for b in 0..self.banks.len() as u32 {
-            let wls: Vec<u32> = self.banks[b as usize].rows.keys().copied().collect();
+        for bi in 0..self.banks.len() {
+            let b =
+                u32::try_from(bi).map_err(|_| CommandError::Internal("bank count exceeds u32"))?;
+            let wls: Vec<u32> = self.banks[bi].dirty.clone();
             for wl in wls {
                 self.settle_and_restore(b, Wordline(wl), at)?;
             }
-            self.banks[b as usize].last_pre = None;
+            self.banks[bi].last_pre = None;
             if self.profile.hidden.trr.enabled {
                 self.run_in_dram_mitigation(b, at)?;
             }
@@ -940,16 +1124,17 @@ impl DramChip {
         self.polarity_of(wl).discharged_bit()
     }
 
-    fn polarity_of(&self, wl: Wordline) -> crate::cell::CellPolarity {
-        match self.profile.hidden.polarity {
-            PolarityScheme::AllTrue => crate::cell::CellPolarity::True,
-            PolarityScheme::SubarrayInterleaved => {
-                if self.layout.subarray_of(wl).0.is_multiple_of(2) {
-                    crate::cell::CellPolarity::True
-                } else {
-                    crate::cell::CellPolarity::Anti
-                }
-            }
+    #[inline]
+    fn polarity_of(&self, wl: Wordline) -> CellPolarity {
+        self.wl_static[wi(wl.0)].polarity
+    }
+
+    /// The tandem companion of a wordline, from the static table.
+    #[inline]
+    fn companion_of(&self, wl: Wordline) -> Option<Wordline> {
+        match self.wl_static[wi(wl.0)].companion {
+            NO_COMPANION => None,
+            c => Some(Wordline(c)),
         }
     }
 
@@ -962,50 +1147,40 @@ impl DramChip {
         }
     }
 
-    /// The aggressor wordlines that can disturb `wl`, with their dose scale.
-    fn aggressors_of(&self, wl: Wordline) -> Vec<(Wordline, f64)> {
-        let model = &self.profile.hidden.disturb;
-        let mut out: Vec<(Wordline, f64)> = self
-            .layout
-            .neighbors_at(wl, 1)
-            .into_iter()
-            .map(|a| (a, 1.0))
-            .collect();
-        out.extend(
-            self.layout
-                .neighbors_at(wl, 2)
-                .into_iter()
-                .map(|a| (a, model.distance_two_dose)),
-        );
-        out
-    }
-
-    fn ensure_row(&mut self, bank: u32, wl: Wordline, at: Time) {
-        if !self.banks[bank as usize].rows.contains_key(&wl.0) {
-            let snapshot = self.snapshot_for(bank, wl);
-            let state = RowState {
-                data: self.default_row(wl),
-                snapshot,
-                last_restore: at,
-            };
-            self.banks[bank as usize].rows.insert(wl.0, state);
+    /// Allocates the bank's dense row table on first touch.
+    #[inline]
+    fn ensure_rows_table(&mut self, bank: u32) {
+        let b = &mut self.banks[bank as usize];
+        if b.rows.is_empty() {
+            b.rows = vec![None; wi(self.geom.wordlines())];
         }
     }
 
-    fn snapshot_for(&self, bank: u32, wl: Wordline) -> Vec<(u32, WlActivity)> {
-        self.aggressors_of(wl)
-            .iter()
-            .map(|(a, _)| {
-                (
-                    a.0,
-                    self.banks[bank as usize]
-                        .wl_acts
-                        .get(&a.0)
-                        .copied()
-                        .unwrap_or_default(),
-                )
-            })
-            .collect()
+    fn ensure_row(&mut self, bank: u32, wl: Wordline, at: Time) {
+        self.ensure_rows_table(bank);
+        if self.banks[bank as usize].row(wl.0).is_none() {
+            let snapshot = self.snapshot_for(bank, wl);
+            let state = Box::new(RowState {
+                data: self.default_row(wl),
+                snapshot,
+                last_restore: at,
+            });
+            let b = &mut self.banks[bank as usize];
+            b.rows[wi(wl.0)] = Some(state);
+            b.mark_dirty(wl.0);
+        }
+    }
+
+    /// Current counters of the wordline's aggressors, slot-aligned to
+    /// [`WlStatic::aggr`]. Unused slots stay zeroed and are never read.
+    fn snapshot_for(&self, bank: u32, wl: Wordline) -> [WlActivity; MAX_AGGRESSORS] {
+        let ws = &self.wl_static[wi(wl.0)];
+        let b = &self.banks[bank as usize];
+        let mut snap = [WlActivity::default(); MAX_AGGRESSORS];
+        for (slot, a) in snap.iter_mut().zip(&ws.aggr).take(usize::from(ws.n_aggr)) {
+            *slot = b.wl_act(*a);
+        }
+        snap
     }
 
     /// Resolves all pending physics for a wordline (disturbance since its
@@ -1022,90 +1197,140 @@ impl DramChip {
         wl: Wordline,
         at: Time,
     ) -> Result<(), CommandError> {
-        if !self.banks[bank as usize].rows.contains_key(&wl.0) {
+        let bi = bank as usize;
+        let w = wi(wl.0);
+        let ws = self.wl_static[w];
+        self.ensure_rows_table(bank);
+        if self.banks[bi].row(wl.0).is_none() {
             // The row physically existed since t = 0 holding the default
             // (discharged) pattern; start from a zero counter baseline so
             // disturbance accumulated before the first touch still lands.
-            let state = RowState {
+            let state = Box::new(RowState {
                 data: self.default_row(wl),
-                snapshot: Vec::new(),
+                snapshot: [WlActivity::default(); MAX_AGGRESSORS],
                 last_restore: Time::ZERO,
-            };
-            self.banks[bank as usize].rows.insert(wl.0, state);
+            });
+            let b = &mut self.banks[bi];
+            b.rows[w] = Some(state);
+            b.mark_dirty(wl.0);
         }
-        let last_restore = self.banks[bank as usize].rows[&wl.0].last_restore;
-        let elapsed = elapsed(at, last_restore)?;
-        let mut row = self.banks[bank as usize]
-            .rows
-            .remove(&wl.0)
-            .ok_or(CommandError::Internal("settled row missing after insert"))?;
-        // Retention only matters if the row currently stores any charge;
-        // a default discharged row created at t = 0 never decays.
-        let ret_frac = self
-            .retention
-            .expected_fail_fraction(self.temperature_c, elapsed);
-        let holds_charge = match self.polarity_of(wl) {
-            crate::cell::CellPolarity::True => row.data.count_ones() > 0,
-            crate::cell::CellPolarity::Anti => row.data.count_ones() < row.data.len(),
-        };
-        let do_retention = ret_frac > 1e-12 && holds_charge;
 
-        // Collect aggressor deltas.
-        let aggr: Vec<(Wordline, f64, WlActivity)> = self
-            .aggressors_of(wl)
-            .into_iter()
-            .filter_map(|(a, scale)| {
-                let cur = self.banks[bank as usize]
-                    .wl_acts
-                    .get(&a.0)
-                    .copied()
-                    .unwrap_or_default();
-                let snap = row
-                    .snapshot
-                    .iter()
-                    .find(|(w, _)| *w == a.0)
-                    .map(|(_, s)| *s)
-                    .unwrap_or_default();
-                let d = cur.delta(&snap);
-                if d.is_zero() {
-                    None
-                } else {
-                    Some((a, scale, d))
+        let companion_dose = self.profile.hidden.disturb.companion_dose;
+        let dist2_dose = self.profile.hidden.disturb.distance_two_dose;
+
+        // Read phase: elapsed time, current aggressor counters, and
+        // slot-aligned deltas, without touching the row. The current
+        // counters double as the restore snapshot: settling never
+        // modifies counters, so they are exactly what `snapshot_for`
+        // would re-read afterwards.
+        let (elapsed, curs, deltas, any_delta) = {
+            let b = &self.banks[bi];
+            let row = b
+                .row(wl.0)
+                .ok_or(CommandError::Internal("settled row missing after insert"))?;
+            let elapsed = elapsed(at, row.last_restore)?;
+            let mut curs = [WlActivity::default(); MAX_AGGRESSORS];
+            let mut deltas = [WlActivity::default(); MAX_AGGRESSORS];
+            let mut any = false;
+            for slot in 0..usize::from(ws.n_aggr) {
+                let cur = b.wl_act(ws.aggr[slot]);
+                let d = cur.delta(&row.snapshot[slot]);
+                any |= !d.is_zero();
+                curs[slot] = cur;
+                deltas[slot] = d;
+            }
+            (elapsed, curs, deltas, any)
+        };
+
+        // Retention only matters if the row currently stores any charge;
+        // a default discharged row created at t = 0 never decays. Below
+        // the cached horizon the expected fail fraction provably stays
+        // under NEGLIGIBLE_P, so the CDF and popcount are skipped.
+        let do_retention = if elapsed.as_ps() <= self.ret_negligible_ps {
+            false
+        } else {
+            let ret_frac = self
+                .retention
+                .expected_fail_fraction(self.temperature_c, elapsed);
+            ret_frac > NEGLIGIBLE_P && {
+                let row = self.banks[bi]
+                    .row(wl.0)
+                    .ok_or(CommandError::Internal("settled row missing after insert"))?;
+                match ws.polarity {
+                    CellPolarity::True => row.data.count_ones() > 0,
+                    CellPolarity::Anti => row.data.count_ones() < row.data.len(),
                 }
-            })
-            .collect();
+            }
+        };
 
         // Bound the best-case flip probability of the accumulated dose;
         // skip the per-cell pass when no cell could plausibly flip
-        // (p < 1e-12 even under a generous context-multiplier bound).
-        // Ordinary command traffic (a handful of incidental activations)
-        // always lands here, which keeps non-attack operation O(1).
-        let worth_evaluating = if aggr.is_empty() {
+        // (p ≤ NEGLIGIBLE_P even under a generous context-multiplier
+        // bound). Ordinary command traffic (a handful of incidental
+        // activations) always lands here, which keeps non-attack
+        // operation O(1); the cubic pre-filter avoids even the `powf`
+        // of the exact bound on that path.
+        let worth_evaluating = if !any_delta {
             false
         } else {
-            const MAX_CONTEXT_MULTIPLIER: f64 = 4.0;
+            let mut dose_h = 0.0f64;
+            let mut dose_p = 0.0f64;
+            for (slot, d) in deltas.iter().enumerate().take(usize::from(ws.n_aggr)) {
+                if d.is_zero() {
+                    continue;
+                }
+                let s = if slot < usize::from(ws.n_dist1) {
+                    1.0
+                } else {
+                    dist2_dose
+                };
+                dose_h += s * (d.acts as f64 + companion_dose * d.comp_acts as f64);
+                dose_p += s * (d.on_ns + companion_dose * d.comp_on_ns);
+            }
             let model = &self.profile.hidden.disturb;
-            let dose_h: f64 = aggr
-                .iter()
-                .map(|(_, s, d)| s * (d.acts as f64 + model.companion_dose * d.comp_acts as f64))
-                .sum();
-            let dose_p: f64 = aggr
-                .iter()
-                .map(|(_, s, d)| s * (d.on_ns + model.companion_dose * d.comp_on_ns))
-                .sum();
-            let bound = model.flip_probability(Mechanism::Hammer, dose_h, MAX_CONTEXT_MULTIPLIER)
-                + model.flip_probability(Mechanism::Press, dose_p, MAX_CONTEXT_MULTIPLIER);
-            bound > 1e-12
+            if model.dose_bound_negligible(dose_h, dose_p, MAX_CONTEXT_MULTIPLIER, NEGLIGIBLE_P) {
+                false
+            } else {
+                let bound =
+                    model.flip_probability(Mechanism::Hammer, dose_h, MAX_CONTEXT_MULTIPLIER)
+                        + model.flip_probability(Mechanism::Press, dose_p, MAX_CONTEXT_MULTIPLIER);
+                bound > NEGLIGIBLE_P
+            }
         };
 
         if do_retention || worth_evaluating {
+            // Slow path: the filtered aggressor list in static-slot order
+            // is exactly what the map-backed implementation built.
+            let mut aggr: Vec<(Wordline, f64, WlActivity)> = Vec::with_capacity(MAX_AGGRESSORS);
+            for (slot, d) in deltas.iter().enumerate().take(usize::from(ws.n_aggr)) {
+                if d.is_zero() {
+                    continue;
+                }
+                let s = if slot < usize::from(ws.n_dist1) {
+                    1.0
+                } else {
+                    dist2_dose
+                };
+                aggr.push((Wordline(ws.aggr[slot]), s, *d));
+            }
+            let mut row = self.banks[bi]
+                .rows
+                .get_mut(w)
+                .and_then(Option::take)
+                .ok_or(CommandError::Internal("settled row missing after insert"))?;
             let flipped = self.apply_physics(bank, wl, &mut row, &aggr, do_retention, elapsed);
             self.stats.bitflips += flipped;
+            self.banks[bi].rows[w] = Some(row);
         }
 
-        row.snapshot = self.snapshot_for(bank, wl);
+        // Restore: snapshot current aggressor counters, reset the clock.
+        let row = self.banks[bi]
+            .rows
+            .get_mut(w)
+            .and_then(|r| r.as_deref_mut())
+            .ok_or(CommandError::Internal("settled row missing after insert"))?;
+        row.snapshot = curs;
         row.last_restore = at;
-        self.banks[bank as usize].rows.insert(wl.0, row);
         Ok(())
     }
 
@@ -1121,9 +1346,9 @@ impl DramChip {
     ) -> u64 {
         let mut flipped = 0u64;
         let model = &self.profile.hidden.disturb;
-        let polarity = self.polarity_of(wl);
-        let sub = self.layout.subarray_of(wl);
-        let is_edge = self.layout.info(sub).is_edge();
+        let ws = &self.wl_static[wi(wl.0)];
+        let polarity = ws.polarity;
+        let is_edge = ws.is_edge;
         let cells = self.geom.cells_per_wordline();
         let orig = row.data.clone();
 
@@ -1132,8 +1357,7 @@ impl DramChip {
             .iter()
             .map(|(a, scale, d)| {
                 let bits = self.banks[bank as usize]
-                    .rows
-                    .get(&a.0)
+                    .row(a.0)
                     .map(|r| r.data.clone())
                     .unwrap_or_else(|| self.default_row(*a));
                 (*a, *scale, *d, bits)
@@ -1167,12 +1391,10 @@ impl DramChip {
             // Horizontal victim context (distance −2, −1, +1, +2).
             let mut vic_diff = [None; 4];
             for (i, off) in [-2i64, -1, 1, 2].iter().enumerate() {
-                let n = bl as i64 + off;
-                if n >= 0
-                    && (n as u32) < cells
-                    && self.geom.same_mat(Bitline(bl), Bitline(n as u32))
-                {
-                    vic_diff[i] = Some(orig.get(n as u32) != bit);
+                if let Some(n) = bl_offset(bl, *off, cells) {
+                    if self.geom.same_mat(Bitline(bl), Bitline(n)) {
+                        vic_diff[i] = Some(orig.get(n) != bit);
+                    }
                 }
             }
 
@@ -1188,12 +1410,10 @@ impl DramChip {
 
                 let mut aggr_same = [None; 5];
                 for (i, off) in [-2i64, -1, 0, 1, 2].iter().enumerate() {
-                    let n = bl as i64 + off;
-                    if n >= 0
-                        && (n as u32) < cells
-                        && self.geom.same_mat(Bitline(bl), Bitline(n as u32))
-                    {
-                        aggr_same[i] = Some(a_bits.get(n as u32) == bit);
+                    if let Some(n) = bl_offset(bl, *off, cells) {
+                        if self.geom.same_mat(Bitline(bl), Bitline(n)) {
+                            aggr_same[i] = Some(a_bits.get(n) == bit);
+                        }
                     }
                 }
 
@@ -1246,8 +1466,7 @@ impl DramChip {
             return Ok(());
         }
         let src_bits = self.banks[bank as usize]
-            .rows
-            .get(&src.0)
+            .row(src.0)
             .map(|r| r.data.clone())
             .unwrap_or_else(|| self.default_row(src));
         let src_pol = self.polarity_of(src);
@@ -1267,13 +1486,13 @@ impl DramChip {
             row.data.set(dst_bl, dst_bit);
         };
 
-        let mut row =
-            self.banks[bank as usize]
-                .rows
-                .remove(&dst.0)
-                .ok_or(CommandError::Internal(
-                    "copy destination missing after ensure_row",
-                ))?;
+        let mut row = self.banks[bank as usize]
+            .rows
+            .get_mut(wi(dst.0))
+            .and_then(Option::take)
+            .ok_or(CommandError::Internal(
+                "copy destination missing after ensure_row",
+            ))?;
         match relation {
             CopyRelation::SameSubarray if src_pol == dst_pol => {
                 // Whole-row fast path: same polarity, no SA crossing.
@@ -1312,7 +1531,7 @@ impl DramChip {
                 return Err(CommandError::Internal("unrelated copy reached transfer"))
             }
         }
-        self.banks[bank as usize].rows.insert(dst.0, row);
+        self.banks[bank as usize].rows[wi(dst.0)] = Some(row);
         Ok(())
     }
 }

@@ -1,0 +1,186 @@
+//! Differential fuzzing of the flat-state [`DramChip`] against the
+//! frozen map-backed [`RefChip`] oracle.
+//!
+//! The flat-state refactor re-laid the chip's hot state (dense per-bank
+//! tables, lazy settling, precomputed static tables) while promising
+//! *identical observable behavior*. These tests hold it to that promise
+//! the strong way: drive both implementations with the same randomized
+//! command stream — legal sequences, timing violations, out-of-range
+//! addresses, bursts, refresh windows, temperature changes — and assert
+//! that every single entry-point result, the simulated clock, the final
+//! statistics, and the rendered metrics snapshot agree exactly.
+//!
+//! The streams are [`StreamRng`]-driven and fully deterministic, so a
+//! failure reproduces from its seed; the failure message names the step,
+//! the command, and the timestamp.
+
+use crate::chip::{Command, DramChip};
+use crate::metrics::SharedMetrics;
+use crate::profile::ChipProfile;
+use crate::refchip::RefChip;
+use crate::rng::StreamRng;
+use crate::time::Time;
+
+/// Drives `steps` randomized operations through both chips in lockstep,
+/// asserting exact agreement after every operation.
+fn fuzz_pair(profile: &ChipProfile, seed: u64, steps: u32) {
+    let mut flat = DramChip::new(profile.clone(), seed);
+    let mut oracle = RefChip::new(profile.clone(), seed);
+    let flat_metrics = SharedMetrics::new();
+    let oracle_metrics = SharedMetrics::new();
+    flat.set_sink(Box::new(flat_metrics.clone()));
+    oracle.set_sink(Box::new(oracle_metrics.clone()));
+
+    let banks = profile.banks;
+    let rows = profile.rows_per_bank;
+    let cols = profile.cols_per_row();
+    let timing = *flat.timing();
+    let mut rng = StreamRng::new(seed ^ 0xD1FF_7E57);
+    let mut t = Time::from_ns(100);
+
+    // Mostly in-range addresses, occasionally just past the edge so the
+    // range-check rejections are exercised too.
+    let pick = |rng: &mut StreamRng, bound: u32| -> u32 {
+        let r = rng.next_below(u64::from(bound) + 2);
+        u32::try_from(r).expect("bound fits u32")
+    };
+
+    for step in 0..steps {
+        // Advance time by a randomly chosen gap: zero and one-tick gaps
+        // provoke tRCD/tRAS-class violations, the long gaps let charge
+        // decay and make the settle paths do real work.
+        let gap = match rng.next_below(7) {
+            0 => Time::ZERO,
+            1 => timing.tck,
+            2 => timing.trcd,
+            3 => timing.trp,
+            4 => timing.tras,
+            5 => timing.tras + timing.trp,
+            _ => Time::from_us(50),
+        };
+        t += gap;
+
+        match rng.next_below(100) {
+            0..=29 => {
+                let cmd = Command::Activate {
+                    bank: pick(&mut rng, banks),
+                    row: pick(&mut rng, rows),
+                };
+                let a = flat.issue(cmd, t);
+                let b = oracle.issue(cmd, t);
+                assert_eq!(a, b, "seed {seed} step {step}: {cmd:?} at {t}");
+            }
+            30..=44 => {
+                let cmd = Command::Read {
+                    bank: pick(&mut rng, banks),
+                    col: pick(&mut rng, cols),
+                };
+                let a = flat.issue(cmd, t);
+                let b = oracle.issue(cmd, t);
+                assert_eq!(a, b, "seed {seed} step {step}: {cmd:?} at {t}");
+            }
+            45..=59 => {
+                let cmd = Command::Write {
+                    bank: pick(&mut rng, banks),
+                    col: pick(&mut rng, cols),
+                    data: rng.next_u64(),
+                };
+                let a = flat.issue(cmd, t);
+                let b = oracle.issue(cmd, t);
+                assert_eq!(a, b, "seed {seed} step {step}: {cmd:?} at {t}");
+            }
+            60..=74 => {
+                let cmd = Command::Precharge {
+                    bank: pick(&mut rng, banks),
+                };
+                let a = flat.issue(cmd, t);
+                let b = oracle.issue(cmd, t);
+                assert_eq!(a, b, "seed {seed} step {step}: {cmd:?} at {t}");
+            }
+            75..=79 => {
+                let a = flat.issue(Command::Refresh, t);
+                let b = oracle.issue(Command::Refresh, t);
+                assert_eq!(a, b, "seed {seed} step {step}: REF at {t}");
+            }
+            80..=83 => {
+                let cmd = Command::Rfm {
+                    bank: pick(&mut rng, banks),
+                };
+                let a = flat.issue(cmd, t);
+                let b = oracle.issue(cmd, t);
+                assert_eq!(a, b, "seed {seed} step {step}: {cmd:?} at {t}");
+            }
+            84..=89 => {
+                let bank = pick(&mut rng, banks);
+                let row = pick(&mut rng, rows);
+                let count = rng.next_below(2_000) + 1;
+                let a = flat.activate_burst(bank, row, count, timing.tras, t);
+                let b = oracle.activate_burst(bank, row, count, timing.tras, t);
+                assert_eq!(
+                    a, b,
+                    "seed {seed} step {step}: burst b{bank} r{row} x{count} at {t}"
+                );
+                if let Ok(end) = a {
+                    t = end + timing.trp;
+                }
+            }
+            90..=93 => {
+                let a = flat.refresh_window(t);
+                let b = oracle.refresh_window(t);
+                assert_eq!(a, b, "seed {seed} step {step}: refresh window at {t}");
+            }
+            94..=96 => {
+                let celsius = 20.0 + rng.next_unit() * 70.0;
+                flat.set_temperature(celsius);
+                oracle.set_temperature(celsius);
+            }
+            _ => {
+                flat.mark("fuzz");
+                oracle.mark("fuzz");
+            }
+        }
+
+        assert_eq!(
+            flat.now(),
+            oracle.now(),
+            "seed {seed} step {step}: clocks diverged"
+        );
+    }
+
+    assert_eq!(
+        flat.stats(),
+        oracle.stats(),
+        "seed {seed}: final stats diverged"
+    );
+    flat.clear_sink();
+    oracle.clear_sink();
+    assert_eq!(
+        flat_metrics.take_registry().to_json_lines(),
+        oracle_metrics.take_registry().to_json_lines(),
+        "seed {seed}: metrics snapshots diverged"
+    );
+}
+
+#[test]
+fn flat_chip_matches_oracle_on_random_streams() {
+    let profile = ChipProfile::test_small();
+    for seed in [1u64, 0xBEEF, 0x5EED_CAFE] {
+        fuzz_pair(&profile, seed, 400);
+    }
+}
+
+#[test]
+fn flat_chip_matches_oracle_across_profile_features() {
+    // Coupled rows, TRR sampling, on-die ECC, and the HBM2 geometry all
+    // take different branches through the settle and read paths.
+    for (name, profile) in [
+        ("coupled", ChipProfile::test_small_coupled()),
+        ("trr", ChipProfile::test_small().with_trr(2)),
+        ("ecc", ChipProfile::test_small().with_on_die_ecc()),
+        ("hbm2", ChipProfile::test_small_hbm2()),
+        ("interleaved", ChipProfile::test_small_interleaved()),
+    ] {
+        eprintln!("fuzzing {name}");
+        fuzz_pair(&profile, 0xABC0 ^ u64::from(name.len() as u8), 250);
+    }
+}

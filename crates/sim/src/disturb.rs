@@ -249,6 +249,35 @@ impl DisturbModel {
         (dose * m / scale).powf(self.ber_exponent).min(1.0)
     }
 
+    /// A cheap, provably conservative test that the accumulated doses
+    /// cannot yield a combined flip probability above `threshold` under
+    /// context multiplier `m`.
+    ///
+    /// Returns `true` only when
+    /// `flip_probability(Hammer, dose_h, m) + flip_probability(Press,
+    /// dose_p, m) <= threshold` is guaranteed: for a normalized dose
+    /// `0 <= x < 1` and `ber_exponent >= 3`, `x.powf(ber_exponent) <=
+    /// x³`, so the cube sum bounds the exact `powf` sum from above.
+    /// Returns `false` (— "evaluate exactly") whenever the model
+    /// parameters fall outside the provable regime.
+    ///
+    /// The hot settle path calls this with the per-settle dose deltas of
+    /// ordinary (non-attack) traffic, which avoids two `powf`
+    /// evaluations per command.
+    pub fn dose_bound_negligible(&self, dose_h: f64, dose_p: f64, m: f64, threshold: f64) -> bool {
+        if self.ber_exponent < 3.0 || self.hammer_scale <= 0.0 || self.press_scale_ns <= 0.0 {
+            return false;
+        }
+        // Negative doses produce a flip probability of exactly 0, so
+        // clamping them out keeps the bound one-sided.
+        let x_h = (dose_h.max(0.0) * m) / self.hammer_scale;
+        let x_p = (dose_p.max(0.0) * m) / self.press_scale_ns;
+        if x_h >= 1.0 || x_p >= 1.0 {
+            return false;
+        }
+        x_h * x_h * x_h + x_p * x_p * x_p <= threshold
+    }
+
     /// The activation count at which a cell with process variate `u` first
     /// flips, for a per-activation dose of 1 (RowHammer). Used by tests and
     /// analytical tooling; the chip itself evaluates probabilities.

@@ -46,6 +46,8 @@
 
 pub mod cell;
 pub mod chip;
+#[cfg(test)]
+mod difftest;
 pub mod disturb;
 pub mod ecc;
 pub mod geometry;
@@ -53,6 +55,8 @@ pub mod layout;
 pub mod metrics;
 pub mod mitigation;
 pub mod profile;
+#[cfg(any(test, feature = "ref-model"))]
+pub mod refchip;
 pub mod remap;
 pub mod retention;
 pub mod rng;

@@ -26,6 +26,7 @@
 //! | `refresh_windows_total` | counter | — | accepted full refresh windows |
 //! | `act_to_act_ps` | histogram | — | same-bank explicit-`ACT` spacing, ps |
 //! | `row_open_ps` | histogram | — | explicit `ACT`→`PRE` row-open time, ps |
+//! | `clock_anomalies_total` | counter | `interval` = `act_to_act`/`row_open` | accepted-event timestamps that ran backwards; the interval is dropped, not clamped |
 //! | `markers_total` | counter | — | all marker events, telemetry-bearing or not |
 //! | `die_temperature_mc` | gauge | — | last die temperature, milli-°C |
 //! | `phase_*`, `span_*` | counter | `phase` / `span` | see [`dram_telemetry::SpanSet`] |
@@ -110,6 +111,19 @@ impl MetricsSink {
         );
     }
 
+    /// A timestamp on an accepted event ran backwards relative to the
+    /// interval it closes. A live chip never produces this — reversed
+    /// commands are rejected with `TimeReversed` before they reach any
+    /// sink — so seeing one means the sink is being fed a synthetic or
+    /// corrupted event stream. The bogus interval is dropped and counted
+    /// here rather than clamped into the histogram as a silent zero.
+    fn record_clock_anomaly(&mut self, interval: &str) {
+        self.reg.inc(
+            Key::of("clock_anomalies_total", &[("interval", interval)]),
+            1,
+        );
+    }
+
     fn record_marker(&mut self, label: &str) {
         self.reg.inc(Key::name("markers_total"), 1);
         match parse_marker(label) {
@@ -145,17 +159,19 @@ impl CommandSink for MetricsSink {
                     crate::chip::Command::Activate { bank, .. } => {
                         let at_ps = at.as_ps();
                         if let Some(prev) = self.last_act_ps.insert(bank, at_ps) {
-                            self.reg
-                                .observe(Key::name("act_to_act_ps"), at_ps.saturating_sub(prev));
+                            match at_ps.checked_sub(prev) {
+                                Some(gap) => self.reg.observe(Key::name("act_to_act_ps"), gap),
+                                None => self.record_clock_anomaly("act_to_act"),
+                            }
                         }
                         self.open_since_ps.insert(bank, at_ps);
                     }
                     crate::chip::Command::Precharge { bank } => {
                         if let Some(opened) = self.open_since_ps.remove(&bank) {
-                            self.reg.observe(
-                                Key::name("row_open_ps"),
-                                at.as_ps().saturating_sub(opened),
-                            );
+                            match at.as_ps().checked_sub(opened) {
+                                Some(open) => self.reg.observe(Key::name("row_open_ps"), open),
+                                None => self.record_clock_anomaly("row_open"),
+                            }
                         }
                     }
                     crate::chip::Command::Read { .. } => {
@@ -388,6 +404,46 @@ mod tests {
         assert_eq!(
             reg.counter(&Key::of("phase_commands_total", &[("phase", "structure")])),
             2
+        );
+    }
+
+    #[test]
+    fn reversed_timestamps_are_counted_not_clamped() {
+        // A live chip rejects reversed commands, so this stream can only
+        // come from synthetic or corrupted input — the sink must not
+        // fold a clamped zero into the histograms.
+        let mut sink = MetricsSink::new();
+        sink.record(cmd(
+            Command::Activate { bank: 0, row: 5 },
+            200,
+            CommandOutcome::Accepted,
+        ));
+        sink.record(cmd(
+            Command::Precharge { bank: 0 },
+            100,
+            CommandOutcome::Accepted,
+        ));
+        sink.record(cmd(
+            Command::Activate { bank: 0, row: 6 },
+            150,
+            CommandOutcome::Accepted,
+        ));
+        let reg = sink.into_registry();
+        assert!(reg.histogram(&Key::name("row_open_ps")).is_none());
+        assert!(reg.histogram(&Key::name("act_to_act_ps")).is_none());
+        assert_eq!(
+            reg.counter(&Key::of(
+                "clock_anomalies_total",
+                &[("interval", "row_open")]
+            )),
+            1
+        );
+        assert_eq!(
+            reg.counter(&Key::of(
+                "clock_anomalies_total",
+                &[("interval", "act_to_act")]
+            )),
+            1
         );
     }
 

@@ -94,6 +94,9 @@ impl Sampler {
             return;
         }
         // Misra–Gries decrement: every resident row pays for the outsider.
+        // Clamping at zero is the algorithm here, not a hidden error path:
+        // a counter fully consumed by the decrement is evicted on the next
+        // line. (`dec` never exceeds the table minimum anyway.)
         let dec = count.min(self.counters.values().copied().min().unwrap_or(0));
         self.counters.retain(|_, c| {
             *c = c.saturating_sub(dec);

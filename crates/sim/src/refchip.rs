@@ -1,0 +1,963 @@
+//! The map-backed reference chip: a frozen copy of the original
+//! `DramChip` implementation, kept as the differential-testing oracle
+//! for the flat-state hot path.
+//!
+//! [`RefChip`] preserves the pre-flat-state implementation verbatim:
+//! `BTreeMap` wordline/row tables, eager per-`ACT` settling with the
+//! full transcendental retention/disturbance bounds, and allocation per
+//! settle. It is deliberately slow and deliberately unchanged — any
+//! behavioral divergence between it and [`DramChip`](crate::chip::DramChip)
+//! under the same command stream is a bug in the fast path.
+//!
+//! The module is compiled only for tests and under the `ref-model`
+//! feature, so release consumers never pay for it.
+
+use crate::cell::{gate_type, AggressorDir};
+use crate::chip::{ChipStats, Command, CommandError, ReadData, REF_SLICES};
+use crate::disturb::{FlipContext, Mechanism};
+use crate::geometry::{BankGeometry, Bitline, LogicalRow, Wordline};
+use crate::layout::{BankLayout, CopyRelation};
+use crate::profile::{ChipProfile, PolarityScheme};
+use crate::retention::RetentionModel;
+use crate::rng::unit_open;
+use crate::rowdata::RowBits;
+use crate::sink::{ChipEvent, CommandOutcome, CommandSink, SinkSlot};
+use crate::time::{Time, TimingParams};
+use std::collections::BTreeMap;
+
+const TAG_HAMMER: u64 = 0xD157;
+const TAG_PRESS: u64 = 0x9435;
+const TAG_RETENTION: u64 = 0x4E7E;
+
+const COPY_WINDOW_FRACTION: f64 = 0.5;
+
+fn elapsed(later: Time, earlier: Time) -> Result<Time, CommandError> {
+    later.checked_sub(earlier).ok_or(CommandError::TimeReversed)
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct WlActivity {
+    acts: u64,
+    on_ns: f64,
+    comp_acts: u64,
+    comp_on_ns: f64,
+}
+
+impl WlActivity {
+    fn delta(&self, snap: &WlActivity) -> WlActivity {
+        WlActivity {
+            acts: self.acts - snap.acts,
+            on_ns: self.on_ns - snap.on_ns,
+            comp_acts: self.comp_acts - snap.comp_acts,
+            comp_on_ns: self.comp_on_ns - snap.comp_on_ns,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.acts == 0 && self.comp_acts == 0 && self.on_ns == 0.0 && self.comp_on_ns == 0.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RowState {
+    data: RowBits,
+    snapshot: Vec<(u32, WlActivity)>,
+    last_restore: Time,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenRow {
+    wl: Wordline,
+    half: u32,
+    since: Time,
+    companion: Option<Wordline>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PreEvent {
+    at: Time,
+    wl: Wordline,
+}
+
+#[derive(Debug, Default)]
+struct BankState {
+    open: Option<OpenRow>,
+    last_pre: Option<PreEvent>,
+    // BTreeMaps on purpose: refresh settles rows in iteration order and
+    // settle order feeds the physics, so map order must be deterministic.
+    wl_acts: BTreeMap<u32, WlActivity>,
+    rows: BTreeMap<u32, RowState>,
+    sampler: crate::mitigation::Sampler,
+}
+
+/// The frozen map-backed reference implementation of the simulated chip.
+///
+/// Mirrors the public entry points of [`DramChip`](crate::chip::DramChip)
+/// exactly; see that type for semantics.
+#[derive(Debug)]
+pub struct RefChip {
+    profile: ChipProfile,
+    geom: BankGeometry,
+    layout: BankLayout,
+    retention: RetentionModel,
+    seed: u64,
+    banks: Vec<BankState>,
+    now: Time,
+    temperature_c: f64,
+    stats: ChipStats,
+    ref_counter: u64,
+    sink: SinkSlot,
+}
+
+impl RefChip {
+    /// Creates a reference chip; same contract as `DramChip::new`.
+    pub fn new(profile: ChipProfile, seed: u64) -> Self {
+        assert!(
+            !profile.hidden.on_die_ecc || profile.io_width.rd_bits() == 32,
+            "on-die ECC model supports 32-bit RD_data chips"
+        );
+        let geom = profile.bank_geometry();
+        let layout = BankLayout::build(
+            geom.wordlines(),
+            profile.hidden.edge_interval,
+            &profile.hidden.composition,
+        );
+        let sampler_cap = if profile.hidden.trr.enabled {
+            profile.hidden.trr.sampler_entries
+        } else {
+            0
+        };
+        let banks = (0..profile.banks)
+            .map(|_| BankState {
+                sampler: crate::mitigation::Sampler::new(sampler_cap),
+                ..BankState::default()
+            })
+            .collect();
+        RefChip {
+            geom,
+            layout,
+            retention: RetentionModel::default(),
+            seed,
+            banks,
+            now: Time::ZERO,
+            temperature_c: 75.0,
+            stats: ChipStats::default(),
+            ref_counter: 0,
+            sink: SinkSlot::empty(),
+            profile,
+        }
+    }
+
+    /// Attaches a command sink; same contract as `DramChip::set_sink`.
+    pub fn set_sink(&mut self, sink: Box<dyn CommandSink + Send>) {
+        self.sink = SinkSlot(Some(sink));
+    }
+
+    /// Detaches and returns the current sink, if any.
+    pub fn clear_sink(&mut self) -> Option<Box<dyn CommandSink + Send>> {
+        self.sink.0.take()
+    }
+
+    /// Emits an out-of-band marker through the attached sink.
+    pub fn mark(&mut self, label: &str) {
+        if let Some(s) = self.sink.0.as_mut() {
+            s.record(ChipEvent::Marker { label });
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, event: ChipEvent<'_>) {
+        if let Some(s) = self.sink.0.as_mut() {
+            s.record(event);
+        }
+    }
+
+    /// The chip's (public) profile.
+    pub fn profile(&self) -> &ChipProfile {
+        &self.profile
+    }
+
+    /// The chip's timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.profile.timing
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current die temperature in °C.
+    pub fn temperature(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Sets the die temperature.
+    pub fn set_temperature(&mut self, celsius: f64) {
+        self.temperature_c = celsius;
+        self.record(ChipEvent::SetTemperature { celsius });
+    }
+
+    /// Cumulative command statistics.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    /// Issues one command; same contract as `DramChip::issue`.
+    pub fn issue(&mut self, cmd: Command, at: Time) -> Result<Option<ReadData>, CommandError> {
+        let result = self.issue_inner(cmd, at);
+        self.record(ChipEvent::Command {
+            cmd,
+            at,
+            outcome: CommandOutcome::of_issue(&result),
+        });
+        result
+    }
+
+    fn issue_inner(&mut self, cmd: Command, at: Time) -> Result<Option<ReadData>, CommandError> {
+        if at < self.now {
+            return Err(CommandError::TimeReversed);
+        }
+        self.now = at;
+        match cmd {
+            Command::Activate { bank, row } => {
+                self.cmd_activate(bank, row, at)?;
+                Ok(None)
+            }
+            Command::Precharge { bank } => {
+                self.cmd_precharge(bank, at)?;
+                Ok(None)
+            }
+            Command::Read { bank, col } => Ok(Some(self.cmd_read(bank, col, at)?)),
+            Command::Write { bank, col, data } => {
+                self.cmd_write(bank, col, data, at)?;
+                Ok(None)
+            }
+            Command::Refresh => {
+                self.cmd_refresh(at)?;
+                Ok(None)
+            }
+            Command::Rfm { bank } => {
+                self.cmd_rfm(bank, at)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Loop-accelerated hammer burst; same contract as
+    /// `DramChip::activate_burst`.
+    pub fn activate_burst(
+        &mut self,
+        bank: u32,
+        row: u32,
+        count: u64,
+        each_on: Time,
+        at: Time,
+    ) -> Result<Time, CommandError> {
+        let result = self.activate_burst_inner(bank, row, count, each_on, at);
+        self.record(ChipEvent::Burst {
+            bank,
+            row,
+            count,
+            each_on,
+            at,
+            outcome: CommandOutcome::of_unit(&result),
+        });
+        result
+    }
+
+    fn activate_burst_inner(
+        &mut self,
+        bank: u32,
+        row: u32,
+        count: u64,
+        each_on: Time,
+        at: Time,
+    ) -> Result<Time, CommandError> {
+        if at < self.now {
+            return Err(CommandError::TimeReversed);
+        }
+        self.check_bank(bank)?;
+        self.check_row(row)?;
+        if self.banks[bank as usize].open.is_some() {
+            return Err(CommandError::RowAlreadyOpen);
+        }
+        if count == 0 {
+            self.now = at;
+            return Ok(at);
+        }
+        let (wl, _half) = self.resolve(LogicalRow(row));
+        let companion = self.layout.companion_wordline(wl);
+        let cycle = each_on + self.profile.timing.trp;
+        let end = at + cycle * count;
+        self.now = end;
+
+        let on_total = each_on.as_ns() * count as f64;
+        let last_pre_at = elapsed(end, self.profile.timing.trp)?;
+        {
+            let b = &mut self.banks[bank as usize];
+            if self.profile.hidden.trr.enabled {
+                b.sampler.observe(wl.0, count);
+            }
+            let a = b.wl_acts.entry(wl.0).or_default();
+            a.acts += count;
+            a.on_ns += on_total;
+            if let Some(c) = companion {
+                let ca = b.wl_acts.entry(c.0).or_default();
+                ca.comp_acts += count;
+                ca.comp_on_ns += on_total;
+            }
+            b.last_pre = Some(PreEvent {
+                at: last_pre_at,
+                wl,
+            });
+        }
+        self.settle_and_restore(bank, wl, end)?;
+        if let Some(c) = companion {
+            self.settle_and_restore(bank, c, end)?;
+        }
+        self.stats.activations += count;
+        self.stats.act_energy_units += count * self.act_energy_per_activation(companion);
+        Ok(end)
+    }
+
+    fn act_energy_per_activation(&self, companion: Option<Wordline>) -> u64 {
+        let coupled = if self.geom.has_coupled_rows() { 2 } else { 1 };
+        let tandem = if companion.is_some() { 2 } else { 1 };
+        coupled * tandem
+    }
+
+    fn check_bank(&self, bank: u32) -> Result<(), CommandError> {
+        if bank >= self.profile.banks {
+            Err(CommandError::BankOutOfRange {
+                bank,
+                banks: self.profile.banks,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_row(&self, row: u32) -> Result<(), CommandError> {
+        if row >= self.profile.rows_per_bank {
+            Err(CommandError::RowOutOfRange {
+                row,
+                rows: self.profile.rows_per_bank,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn resolve(&self, row: LogicalRow) -> (Wordline, u32) {
+        let phys = self.profile.hidden.remap.to_physical(row);
+        self.geom.fold(phys)
+    }
+
+    fn cmd_activate(&mut self, bank: u32, row: u32, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        self.check_row(row)?;
+        if self.banks[bank as usize].open.is_some() {
+            return Err(CommandError::RowAlreadyOpen);
+        }
+        let (wl, half) = self.resolve(LogicalRow(row));
+
+        let copy_from = match self.banks[bank as usize].last_pre {
+            Some(pre) => {
+                let window = Time::from_ps(
+                    (self.profile.timing.trp.as_ps() as f64 * COPY_WINDOW_FRACTION) as u64,
+                );
+                if elapsed(at, pre.at)? < window {
+                    Some(pre.wl)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+
+        self.settle_and_restore(bank, wl, at)?;
+        if let Some(src) = copy_from {
+            self.apply_rowcopy(bank, src, wl)?;
+        }
+
+        let companion = self.layout.companion_wordline(wl);
+        if let Some(c) = companion {
+            if c != wl {
+                self.settle_and_restore(bank, c, at)?;
+            }
+        }
+        let b = &mut self.banks[bank as usize];
+        if self.profile.hidden.trr.enabled {
+            b.sampler.observe(wl.0, 1);
+        }
+        b.open = Some(OpenRow {
+            wl,
+            half,
+            since: at,
+            companion,
+        });
+        self.stats.activations += 1;
+        self.stats.act_energy_units += self.act_energy_per_activation(companion);
+        Ok(())
+    }
+
+    fn cmd_precharge(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        let b = &mut self.banks[bank as usize];
+        let open = b.open.ok_or(CommandError::NoOpenRow)?;
+        let on_ns = elapsed(at, open.since)?.as_ns();
+        b.open = None;
+        let a = b.wl_acts.entry(open.wl.0).or_default();
+        a.acts += 1;
+        a.on_ns += on_ns;
+        if let Some(c) = open.companion {
+            let ca = b.wl_acts.entry(c.0).or_default();
+            ca.comp_acts += 1;
+            ca.comp_on_ns += on_ns;
+        }
+        b.last_pre = Some(PreEvent { at, wl: open.wl });
+        Ok(())
+    }
+
+    fn open_row(&self, bank: u32) -> Result<OpenRow, CommandError> {
+        self.banks[bank as usize]
+            .open
+            .ok_or(CommandError::NoOpenRow)
+    }
+
+    fn check_col(&self, col: u32) -> Result<(), CommandError> {
+        let cols = self.profile.cols_per_row();
+        if col >= cols {
+            Err(CommandError::ColOutOfRange { col, cols })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cmd_read(&mut self, bank: u32, col: u32, at: Time) -> Result<ReadData, CommandError> {
+        self.check_bank(bank)?;
+        self.check_col(col)?;
+        let open = self.open_row(bank)?;
+        if elapsed(at, open.since)? < self.profile.timing.trcd {
+            return Err(CommandError::TrcdViolation);
+        }
+        let swz = &self.profile.hidden.swizzle;
+        let rd_bits = self.profile.io_width.rd_bits();
+        let base = open.half * self.geom.row_bits;
+        let row = self.banks[bank as usize].rows.get(&open.wl.0);
+        let mut out = 0u64;
+        for bit in 0..rd_bits {
+            let bl = swz.bitline_of(col, bit);
+            let v = match row {
+                Some(r) => r.data.get(base + bl.0),
+                None => self.default_bit(open.wl),
+            };
+            if v {
+                out |= 1 << bit;
+            }
+        }
+        if self.profile.hidden.on_die_ecc {
+            let data_cols = self.profile.cols_per_row();
+            let mut parity = 0u8;
+            for j in 0..crate::ecc::PARITY_BITS {
+                let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
+                let bl = swz.bitline_of(pc, pb);
+                let v = match row {
+                    Some(r) => r.data.get(base + bl.0),
+                    None => self.default_bit(open.wl),
+                };
+                if v {
+                    parity |= 1 << j;
+                }
+            }
+            let code = u32::try_from(out)
+                .map_err(|_| CommandError::Internal("ECC read assembled more than 32 data bits"))?;
+            let (corrected, _what) = crate::ecc::decode(code, parity);
+            out = u64::from(corrected);
+        }
+        self.stats.reads += 1;
+        Ok(ReadData(out))
+    }
+
+    fn cmd_write(&mut self, bank: u32, col: u32, data: u64, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        self.check_col(col)?;
+        let open = self.open_row(bank)?;
+        if elapsed(at, open.since)? < self.profile.timing.trcd {
+            return Err(CommandError::TrcdViolation);
+        }
+        let rd_bits = self.profile.io_width.rd_bits();
+        let base = open.half * self.geom.row_bits;
+        let wl = open.wl;
+        self.ensure_row(bank, wl, at);
+        let mut targets: Vec<(u32, bool)> = (0..rd_bits)
+            .map(|bit| {
+                let bl = self.profile.hidden.swizzle.bitline_of(col, bit);
+                (base + bl.0, data & (1 << bit) != 0)
+            })
+            .collect();
+        if self.profile.hidden.on_die_ecc {
+            let data_cols = self.profile.cols_per_row();
+            let parity = crate::ecc::encode((data & u64::from(u32::MAX)) as u32);
+            for j in 0..crate::ecc::PARITY_BITS {
+                let (pc, pb) = crate::ecc::parity_cell(data_cols, rd_bits, col, j);
+                let bl = self.profile.hidden.swizzle.bitline_of(pc, pb);
+                targets.push((base + bl.0, parity & (1 << j) != 0));
+            }
+        }
+        let row = self.banks[bank as usize]
+            .rows
+            .get_mut(&wl.0)
+            .ok_or(CommandError::Internal(
+                "written row missing after ensure_row",
+            ))?;
+        for (idx, v) in targets {
+            row.data.set(idx, v);
+        }
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn cmd_refresh(&mut self, at: Time) -> Result<(), CommandError> {
+        for b in 0..self.banks.len() {
+            if self.banks[b].open.is_some() {
+                return Err(CommandError::RefreshWhileOpen);
+            }
+        }
+        let wls_total = u64::from(self.geom.wordlines());
+        let slice_size = wls_total.div_ceil(REF_SLICES).max(1);
+        let slice = self.ref_counter % REF_SLICES;
+        let lo = u32::try_from((slice * slice_size).min(wls_total))
+            .map_err(|_| CommandError::Internal("REF slice bound exceeds u32 wordline count"))?;
+        let hi = u32::try_from(((slice + 1) * slice_size).min(wls_total))
+            .map_err(|_| CommandError::Internal("REF slice bound exceeds u32 wordline count"))?;
+        self.ref_counter += 1;
+        for b in 0..self.banks.len() as u32 {
+            let wls: Vec<u32> = self.banks[b as usize]
+                .rows
+                .keys()
+                .copied()
+                .filter(|&wl| wl >= lo && wl < hi)
+                .collect();
+            for wl in wls {
+                self.settle_and_restore(b, Wordline(wl), at)?;
+            }
+            self.banks[b as usize].last_pre = None;
+            if self.profile.hidden.trr.enabled {
+                self.run_in_dram_mitigation(b, at)?;
+            }
+        }
+        self.stats.refreshes += 1;
+        Ok(())
+    }
+
+    /// Loop-accelerated full refresh window; same contract as
+    /// `DramChip::refresh_window`.
+    pub fn refresh_window(&mut self, at: Time) -> Result<(), CommandError> {
+        let result = self.refresh_window_inner(at);
+        self.record(ChipEvent::RefreshWindow {
+            at,
+            outcome: CommandOutcome::of_unit(&result),
+        });
+        result
+    }
+
+    fn refresh_window_inner(&mut self, at: Time) -> Result<(), CommandError> {
+        if at < self.now {
+            return Err(CommandError::TimeReversed);
+        }
+        self.now = at;
+        for b in 0..self.banks.len() {
+            if self.banks[b].open.is_some() {
+                return Err(CommandError::RefreshWhileOpen);
+            }
+        }
+        for b in 0..self.banks.len() as u32 {
+            let wls: Vec<u32> = self.banks[b as usize].rows.keys().copied().collect();
+            for wl in wls {
+                self.settle_and_restore(b, Wordline(wl), at)?;
+            }
+            self.banks[b as usize].last_pre = None;
+            if self.profile.hidden.trr.enabled {
+                self.run_in_dram_mitigation(b, at)?;
+            }
+        }
+        self.ref_counter = self.ref_counter.next_multiple_of(REF_SLICES);
+        self.stats.refreshes += REF_SLICES;
+        Ok(())
+    }
+
+    fn cmd_rfm(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
+        self.check_bank(bank)?;
+        if self.banks[bank as usize].open.is_some() {
+            return Err(CommandError::RefreshWhileOpen);
+        }
+        if self.profile.hidden.trr.enabled {
+            self.run_in_dram_mitigation(bank, at)?;
+        }
+        Ok(())
+    }
+
+    fn run_in_dram_mitigation(&mut self, bank: u32, at: Time) -> Result<(), CommandError> {
+        let n = self.profile.hidden.trr.mitigations_per_ref;
+        let hottest = self.banks[bank as usize].sampler.take_hottest(n);
+        for wl in hottest {
+            let mut targets = self.layout.neighbors_at(Wordline(wl), 1);
+            if let Some(c) = self.layout.companion_wordline(Wordline(wl)) {
+                targets.extend(self.layout.neighbors_at(c, 1));
+            }
+            for v in targets {
+                self.settle_and_restore(bank, v, at)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn default_bit(&self, wl: Wordline) -> bool {
+        self.polarity_of(wl).discharged_bit()
+    }
+
+    fn polarity_of(&self, wl: Wordline) -> crate::cell::CellPolarity {
+        match self.profile.hidden.polarity {
+            PolarityScheme::AllTrue => crate::cell::CellPolarity::True,
+            PolarityScheme::SubarrayInterleaved => {
+                if self.layout.subarray_of(wl).0.is_multiple_of(2) {
+                    crate::cell::CellPolarity::True
+                } else {
+                    crate::cell::CellPolarity::Anti
+                }
+            }
+        }
+    }
+
+    fn default_row(&self, wl: Wordline) -> RowBits {
+        let cells = self.geom.cells_per_wordline();
+        if self.default_bit(wl) {
+            RowBits::ones(cells)
+        } else {
+            RowBits::zeros(cells)
+        }
+    }
+
+    fn aggressors_of(&self, wl: Wordline) -> Vec<(Wordline, f64)> {
+        let model = &self.profile.hidden.disturb;
+        let mut out: Vec<(Wordline, f64)> = self
+            .layout
+            .neighbors_at(wl, 1)
+            .into_iter()
+            .map(|a| (a, 1.0))
+            .collect();
+        out.extend(
+            self.layout
+                .neighbors_at(wl, 2)
+                .into_iter()
+                .map(|a| (a, model.distance_two_dose)),
+        );
+        out
+    }
+
+    fn ensure_row(&mut self, bank: u32, wl: Wordline, at: Time) {
+        if !self.banks[bank as usize].rows.contains_key(&wl.0) {
+            let snapshot = self.snapshot_for(bank, wl);
+            let state = RowState {
+                data: self.default_row(wl),
+                snapshot,
+                last_restore: at,
+            };
+            self.banks[bank as usize].rows.insert(wl.0, state);
+        }
+    }
+
+    fn snapshot_for(&self, bank: u32, wl: Wordline) -> Vec<(u32, WlActivity)> {
+        self.aggressors_of(wl)
+            .iter()
+            .map(|(a, _)| {
+                (
+                    a.0,
+                    self.banks[bank as usize]
+                        .wl_acts
+                        .get(&a.0)
+                        .copied()
+                        .unwrap_or_default(),
+                )
+            })
+            .collect()
+    }
+
+    fn settle_and_restore(
+        &mut self,
+        bank: u32,
+        wl: Wordline,
+        at: Time,
+    ) -> Result<(), CommandError> {
+        if !self.banks[bank as usize].rows.contains_key(&wl.0) {
+            let state = RowState {
+                data: self.default_row(wl),
+                snapshot: Vec::new(),
+                last_restore: Time::ZERO,
+            };
+            self.banks[bank as usize].rows.insert(wl.0, state);
+        }
+        let last_restore = self.banks[bank as usize].rows[&wl.0].last_restore;
+        let elapsed = elapsed(at, last_restore)?;
+        let mut row = self.banks[bank as usize]
+            .rows
+            .remove(&wl.0)
+            .ok_or(CommandError::Internal("settled row missing after insert"))?;
+        let ret_frac = self
+            .retention
+            .expected_fail_fraction(self.temperature_c, elapsed);
+        let holds_charge = match self.polarity_of(wl) {
+            crate::cell::CellPolarity::True => row.data.count_ones() > 0,
+            crate::cell::CellPolarity::Anti => row.data.count_ones() < row.data.len(),
+        };
+        let do_retention = ret_frac > 1e-12 && holds_charge;
+
+        let aggr: Vec<(Wordline, f64, WlActivity)> = self
+            .aggressors_of(wl)
+            .into_iter()
+            .filter_map(|(a, scale)| {
+                let cur = self.banks[bank as usize]
+                    .wl_acts
+                    .get(&a.0)
+                    .copied()
+                    .unwrap_or_default();
+                let snap = row
+                    .snapshot
+                    .iter()
+                    .find(|(w, _)| *w == a.0)
+                    .map(|(_, s)| *s)
+                    .unwrap_or_default();
+                let d = cur.delta(&snap);
+                if d.is_zero() {
+                    None
+                } else {
+                    Some((a, scale, d))
+                }
+            })
+            .collect();
+
+        let worth_evaluating = if aggr.is_empty() {
+            false
+        } else {
+            const MAX_CONTEXT_MULTIPLIER: f64 = 4.0;
+            let model = &self.profile.hidden.disturb;
+            let dose_h: f64 = aggr
+                .iter()
+                .map(|(_, s, d)| s * (d.acts as f64 + model.companion_dose * d.comp_acts as f64))
+                .sum();
+            let dose_p: f64 = aggr
+                .iter()
+                .map(|(_, s, d)| s * (d.on_ns + model.companion_dose * d.comp_on_ns))
+                .sum();
+            let bound = model.flip_probability(Mechanism::Hammer, dose_h, MAX_CONTEXT_MULTIPLIER)
+                + model.flip_probability(Mechanism::Press, dose_p, MAX_CONTEXT_MULTIPLIER);
+            bound > 1e-12
+        };
+
+        if do_retention || worth_evaluating {
+            let flipped = self.apply_physics(bank, wl, &mut row, &aggr, do_retention, elapsed);
+            self.stats.bitflips += flipped;
+        }
+
+        row.snapshot = self.snapshot_for(bank, wl);
+        row.last_restore = at;
+        self.banks[bank as usize].rows.insert(wl.0, row);
+        Ok(())
+    }
+
+    fn apply_physics(
+        &self,
+        bank: u32,
+        wl: Wordline,
+        row: &mut RowState,
+        aggr: &[(Wordline, f64, WlActivity)],
+        do_retention: bool,
+        elapsed: Time,
+    ) -> u64 {
+        let mut flipped = 0u64;
+        let model = &self.profile.hidden.disturb;
+        let polarity = self.polarity_of(wl);
+        let sub = self.layout.subarray_of(wl);
+        let is_edge = self.layout.info(sub).is_edge();
+        let cells = self.geom.cells_per_wordline();
+        let orig = row.data.clone();
+
+        let aggr_rows: Vec<(Wordline, f64, WlActivity, RowBits)> = aggr
+            .iter()
+            .map(|(a, scale, d)| {
+                let bits = self.banks[bank as usize]
+                    .rows
+                    .get(&a.0)
+                    .map(|r| r.data.clone())
+                    .unwrap_or_else(|| self.default_row(*a));
+                (*a, *scale, *d, bits)
+            })
+            .collect();
+
+        for bl in 0..cells {
+            let bit = orig.get(bl);
+            let charged = polarity.is_charged(bit);
+
+            if do_retention && charged {
+                let u_ret = unit_open(
+                    self.seed,
+                    bank as u64,
+                    wl.0 as u64,
+                    bl as u64,
+                    TAG_RETENTION,
+                );
+                if self.retention.fails(u_ret, self.temperature_c, elapsed) {
+                    row.data.set(bl, polarity.discharged_bit());
+                    flipped += 1;
+                    continue;
+                }
+            }
+
+            if aggr_rows.is_empty() {
+                continue;
+            }
+
+            let mut vic_diff = [None; 4];
+            for (i, off) in [-2i64, -1, 1, 2].iter().enumerate() {
+                let n = bl as i64 + off;
+                if n >= 0
+                    && (n as u32) < cells
+                    && self.geom.same_mat(Bitline(bl), Bitline(n as u32))
+                {
+                    vic_diff[i] = Some(orig.get(n as u32) != bit);
+                }
+            }
+
+            let mut survive_h = 1.0f64;
+            let mut survive_p = 1.0f64;
+            for (a, scale, d, a_bits) in &aggr_rows {
+                let dir = if a.0 > wl.0 {
+                    AggressorDir::Upper
+                } else {
+                    AggressorDir::Lower
+                };
+                let gate = gate_type(wl, Bitline(bl), dir);
+
+                let mut aggr_same = [None; 5];
+                for (i, off) in [-2i64, -1, 0, 1, 2].iter().enumerate() {
+                    let n = bl as i64 + off;
+                    if n >= 0
+                        && (n as u32) < cells
+                        && self.geom.same_mat(Bitline(bl), Bitline(n as u32))
+                    {
+                        aggr_same[i] = Some(a_bits.get(n as u32) == bit);
+                    }
+                }
+
+                let ctx = FlipContext {
+                    gate,
+                    charged,
+                    vic_data: bit,
+                    vic_neighbor_differs: vic_diff,
+                    aggr_same,
+                    edge: is_edge,
+                    aggr0_data: a_bits.get(bl),
+                    dose_scale: *scale,
+                };
+                let m_h = model.dose_multiplier(Mechanism::Hammer, &ctx);
+                let m_p = model.dose_multiplier(Mechanism::Press, &ctx);
+                let dose_h = d.acts as f64 + model.companion_dose * d.comp_acts as f64;
+                let dose_p = d.on_ns + model.companion_dose * d.comp_on_ns;
+                let p_h = model.flip_probability(Mechanism::Hammer, dose_h, m_h);
+                let p_p = model.flip_probability(Mechanism::Press, dose_p, m_p);
+                survive_h *= 1.0 - p_h;
+                survive_p *= 1.0 - p_p;
+            }
+            let p_hammer = 1.0 - survive_h;
+            let p_press = 1.0 - survive_p;
+            let flips = (p_hammer > 0.0
+                && unit_open(self.seed, bank as u64, wl.0 as u64, bl as u64, TAG_HAMMER)
+                    < p_hammer)
+                || (p_press > 0.0
+                    && unit_open(self.seed, bank as u64, wl.0 as u64, bl as u64, TAG_PRESS)
+                        < p_press);
+            if flips {
+                row.data.set(bl, !bit);
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    fn apply_rowcopy(
+        &mut self,
+        bank: u32,
+        src: Wordline,
+        dst: Wordline,
+    ) -> Result<(), CommandError> {
+        let relation = self.layout.copy_relation(src, dst);
+        if relation == CopyRelation::Unrelated || src == dst {
+            return Ok(());
+        }
+        let src_bits = self.banks[bank as usize]
+            .rows
+            .get(&src.0)
+            .map(|r| r.data.clone())
+            .unwrap_or_else(|| self.default_row(src));
+        let src_pol = self.polarity_of(src);
+        let dst_pol = self.polarity_of(dst);
+        self.ensure_row(bank, dst, self.now);
+        let cells = self.geom.cells_per_wordline();
+
+        let transfer = |dst_bl: u32, src_bl: u32, crosses_sa: bool, row: &mut RowState| {
+            let src_bit = src_bits.get(src_bl);
+            let src_charge = src_pol.is_charged(src_bit);
+            let dst_charge = if crosses_sa { !src_charge } else { src_charge };
+            let dst_bit = match (dst_pol, dst_charge) {
+                (crate::cell::CellPolarity::True, c) => c,
+                (crate::cell::CellPolarity::Anti, c) => !c,
+            };
+            row.data.set(dst_bl, dst_bit);
+        };
+
+        let mut row =
+            self.banks[bank as usize]
+                .rows
+                .remove(&dst.0)
+                .ok_or(CommandError::Internal(
+                    "copy destination missing after ensure_row",
+                ))?;
+        match relation {
+            CopyRelation::SameSubarray if src_pol == dst_pol => {
+                row.data = src_bits.clone();
+            }
+            CopyRelation::SameSubarray => {
+                for bl in 0..cells {
+                    transfer(bl, bl, false, &mut row);
+                }
+            }
+            CopyRelation::AdjacentAbove => {
+                for p in 0..cells / 2 {
+                    transfer(2 * p, 2 * p + 1, true, &mut row);
+                }
+            }
+            CopyRelation::AdjacentBelow => {
+                for p in 0..cells / 2 {
+                    transfer(2 * p + 1, 2 * p, true, &mut row);
+                }
+            }
+            CopyRelation::TandemLowToHigh => {
+                for p in 0..cells / 2 {
+                    transfer(2 * p + 1, 2 * p, true, &mut row);
+                }
+            }
+            CopyRelation::TandemHighToLow => {
+                for p in 0..cells / 2 {
+                    transfer(2 * p, 2 * p + 1, true, &mut row);
+                }
+            }
+            CopyRelation::Unrelated => {
+                return Err(CommandError::Internal("unrelated copy reached transfer"))
+            }
+        }
+        self.banks[bank as usize].rows.insert(dst.0, row);
+        Ok(())
+    }
+}

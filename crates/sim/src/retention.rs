@@ -70,6 +70,44 @@ impl RetentionModel {
         let z = (elapsed_s / scaled_median).ln() / self.sigma;
         normal_cdf(z)
     }
+
+    /// The largest elapsed time (in picoseconds) whose
+    /// [`expected_fail_fraction`](Self::expected_fail_fraction) at
+    /// `temp_c` stays at or below `threshold`.
+    ///
+    /// The fail fraction is a lognormal CDF of elapsed time, hence
+    /// monotone non-decreasing, so a binary search to 1 ps pins the
+    /// crossing exactly. Callers cache the result per temperature and
+    /// compare raw picosecond clocks against it to skip the CDF on the
+    /// (overwhelmingly common) short-elapsed settles.
+    pub fn negligible_elapsed_ps(&self, temp_c: f64, threshold: f64) -> u64 {
+        // A quarter of the u64 range is ~53 days of picoseconds —
+        // far beyond any refresh interval worth modeling.
+        const CAP: u64 = u64::MAX / 4;
+        let frac = |ps: u64| self.expected_fail_fraction(temp_c, Time::from_ps(ps));
+        if frac(1) > threshold {
+            return 0;
+        }
+        let mut lo = 1u64;
+        let mut hi = 1u64;
+        while frac(hi) <= threshold {
+            if hi >= CAP {
+                return CAP;
+            }
+            lo = hi;
+            hi = hi.saturating_mul(2).min(CAP);
+        }
+        // Invariant: frac(lo) <= threshold < frac(hi).
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if frac(mid) <= threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
 }
 
 /// Standard normal CDF via `erf`-free Abramowitz–Stegun approximation.

@@ -119,7 +119,11 @@ impl RowBits {
             let mut x = a ^ b;
             while x != 0 {
                 let bit = x.trailing_zeros();
-                out.push(wi as u32 * 64 + bit);
+                // Differing bits lie below `len: u32`, so the index fits;
+                // the checked conversion guards the multiply against a
+                // silent wrap if that invariant ever breaks.
+                let base = u32::try_from(wi * 64).expect("bit index fits u32 row length");
+                out.push(base + bit);
                 x &= x - 1;
             }
         }

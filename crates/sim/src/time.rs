@@ -58,8 +58,16 @@ impl Time {
         self.0 as f64 / 1e9
     }
 
-    /// Saturating subtraction; clamps at [`Time::ZERO`].
-    pub fn saturating_sub(self, rhs: Time) -> Time {
+    /// Clamping subtraction: `self - rhs`, floored at [`Time::ZERO`].
+    ///
+    /// Reach for this only where "no earlier than the origin" is the
+    /// *intended semantics* — e.g. widening a scan window that may abut
+    /// the start of time. Wherever a negative difference would instead
+    /// indicate a time-ordering bug (a command dated before the event it
+    /// is measured against), use [`Time::checked_sub`] and surface the
+    /// reversal; clamping there silently converts a logic error into a
+    /// plausible-looking zero.
+    pub fn clamped_sub(self, rhs: Time) -> Time {
         Time(self.0.saturating_sub(rhs.0))
     }
 
@@ -193,7 +201,8 @@ mod tests {
         assert_eq!(a + b, Time::from_ns(14));
         assert_eq!(a - b, Time::from_ns(6));
         assert_eq!(b * 3, Time::from_ns(12));
-        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(b.clamped_sub(a), Time::ZERO);
+        assert_eq!(a.clamped_sub(b), Time::from_ns(6));
         assert_eq!(a.checked_sub(b), Some(Time::from_ns(6)));
         assert_eq!(b.checked_sub(a), None);
     }

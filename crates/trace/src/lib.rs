@@ -21,7 +21,9 @@
 //!   malformed input yields a [`TraceError`], never a panic) and
 //!   [`Trace::dump`] for human-readable text.
 //! * [`replay_on_chip`] — re-drives a fresh chip from a trace and checks
-//!   every outcome against the recording.
+//!   every outcome against the recording; [`replay_on_chip_trusted`] is
+//!   the decoded-command fast path for streams already proven once (same
+//!   drive, header identity checks only, no per-event comparison).
 //! * [`TraceVerifier`] / [`SharedVerifier`] — the inverse sink: run a
 //!   live experiment and check it against a recorded trace as it goes.
 //! * [`diff_traces`] — structural comparison for golden-trace debugging.
@@ -67,7 +69,7 @@ pub use event::TraceEvent;
 pub use format::{Trace, TraceHeader, INTERNAL_ERROR_PLACEHOLDER, MAGIC, VERSION};
 pub use metrics::trace_metrics;
 pub use record::{Divergence, SharedRecorder, SharedVerifier, TraceRecorder, TraceVerifier};
-pub use replay::{replay_on_chip, ReplayStats};
+pub use replay::{replay_on_chip, replay_on_chip_trusted, ReplayStats};
 
 use dram_sim::profile::ChipProfile;
 
