@@ -14,7 +14,16 @@
 //! cargo run --release -p dramscope-bench --bin characterize bench [--save FILE] \
 //!     [--baseline FILE] [--gate PCT] [--warmup N] [--iters N] [--only a,b] \
 //!     [--profile] [--flame FILE] [--profile-json FILE]
+//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH]
 //! ```
+//!
+//! Exit codes are uniform across subcommands: usage errors (bad flags,
+//! unknown names, missing operands) exit 2, runtime failures exit 1.
+//!
+//! `serve` runs the `dramscoped` characterization daemon in-process:
+//! JSON-lines requests over stdin/stdout (or a unix socket), in-flight
+//! dedup, and the content-addressed dossier cache — see the
+//! `dramscope-service` crate.
 //!
 //! Every run/record/replay/fleet invocation also accepts the telemetry
 //! flags `--metrics FILE` (write the JSON-lines metrics snapshot of the
@@ -66,68 +75,48 @@
 //! small characterization into a hierarchical wall-clock span tree.
 
 use dram_sim::ChipProfile;
-use dram_sim::Time;
 use dram_telemetry::Registry;
 use dram_trace::{diff_traces, trace_metrics, Trace};
 use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
-use dramscope_core::fleet::{self, FleetConfig, FleetJob};
+use dramscope_core::fleet::{self, FleetConfig};
 use dramscope_core::report::Table;
 use dramscope_core::shard::{self, ShardConfig};
 use dramscope_core::trace_run;
+use dramscope_service::profiles;
+use std::fmt;
 
-/// Preset names, index-aligned with [`fleet::table1_jobs`] (which
-/// follows `ChipProfile::all_presets` order).
-const PRESET_NAMES: [&str; 16] = [
-    "mfr_a_x4_2016",
-    "mfr_a_x4_2017",
-    "mfr_a_x4_2018",
-    "mfr_a_x4_2021",
-    "mfr_a_x8_2017",
-    "mfr_a_x8_2018",
-    "mfr_a_x8_2019",
-    "mfr_b_x4_2019",
-    "mfr_b_x8_2017",
-    "mfr_b_x8_2018",
-    "mfr_b_x8_2019",
-    "mfr_c_x4_2018",
-    "mfr_c_x4_2021",
-    "mfr_c_x8_2016",
-    "mfr_c_x8_2019",
-    "hbm2",
-];
+/// A command-line usage error: bad flags, unknown names, missing
+/// operands. `main` maps these to exit code 2, runtime failures to 1 —
+/// the same convention in every subcommand.
+#[derive(Debug)]
+struct UsageError(String);
 
-fn job_by_name(name: &str) -> Option<FleetJob> {
-    let name = if name == "default" {
-        "mfr_a_x4_2016"
-    } else {
-        name
-    };
-    let idx = PRESET_NAMES.iter().position(|n| *n == name)?;
-    Some(fleet::table1_jobs().swap_remove(idx))
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
 }
 
-/// Options sized for the small CI/test profiles.
+impl std::error::Error for UsageError {}
+
+fn usage<T>(message: impl Into<String>) -> Result<T, Box<dyn std::error::Error>> {
+    Err(Box::new(UsageError(message.into())))
+}
+
+/// Small-profile options for the profiled bench run, via the shared
+/// name table so CLI and daemon agree on the canonical values.
 fn small_opts(scan_rows: u32) -> CharacterizeOptions {
-    CharacterizeOptions {
-        scan_rows,
-        with_swizzle: false,
-        probe_range: (44, 60),
-        retention_wait: Time::from_ms(120_000),
-    }
+    let (_, mut opts) = profiles::named_job("test_small").expect("test_small is a known profile");
+    opts.scan_rows = scan_rows;
+    opts
 }
 
-/// Resolves a profile name for `record`: the Table I presets plus the
-/// small test profiles golden traces are built from.
-fn recordable_by_name(name: &str) -> Option<(ChipProfile, CharacterizeOptions)> {
-    match name {
-        "test_small" => Some((ChipProfile::test_small(), small_opts(129))),
-        "test_small_interleaved" => Some((ChipProfile::test_small_interleaved(), small_opts(129))),
-        // The coupled profile aliases rows at distance 1024; scanning one
-        // extra block keeps the structure probe on real subarrays.
-        "test_small_coupled" => Some((ChipProfile::test_small_coupled(), small_opts(257))),
-        "test_small_hbm2" => Some((ChipProfile::test_small_hbm2(), small_opts(129))),
-        _ => job_by_name(name).map(|job| (job.profile, job.opts)),
-    }
+/// The unknown-profile usage message.
+fn unknown_profile(name: &str) -> Box<dyn std::error::Error> {
+    Box::new(UsageError(format!(
+        "unknown profile '{name}' (try one of: {})",
+        profiles::known_names().join(", ")
+    )))
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -140,10 +129,13 @@ where
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => {
-            let raw = args
-                .get(i + 1)
-                .ok_or_else(|| format!("{flag} needs a value"))?;
-            Ok(Some(raw.parse::<T>()?))
+            let Some(raw) = args.get(i + 1) else {
+                return usage(format!("{flag} needs a value"));
+            };
+            match raw.parse::<T>() {
+                Ok(v) => Ok(Some(v)),
+                Err(e) => usage(format!("invalid {flag} value '{raw}': {e}")),
+            }
         }
     }
 }
@@ -245,7 +237,7 @@ fn metrics_table(reg: &Registry) -> Table {
 
 fn run_stats_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err("stats needs a trace file".into());
+        return usage("stats needs a trace file");
     };
     let trace = load_trace(path)?;
     let reg = trace_metrics(&trace);
@@ -350,12 +342,8 @@ fn run_sharded_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .filter(|a| !a.starts_with("--"))
         .map_or("hbm2", String::as_str);
-    let Some((profile, opts)) = recordable_by_name(name) else {
-        eprintln!(
-            "unknown profile '{name}' (try one of: {PRESET_NAMES:?}, \
-             test_small, test_small_interleaved, test_small_coupled)"
-        );
-        std::process::exit(2);
+    let Some((profile, opts)) = profiles::named_job(name) else {
+        return Err(unknown_profile(name));
     };
     let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
     let shards = parse_flag::<usize>(args, "--shards")?.unwrap_or(0);
@@ -392,14 +380,10 @@ fn run_sharded_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err("record needs a profile name".into());
+        return usage("record needs a profile name");
     };
-    let Some((profile, opts)) = recordable_by_name(name) else {
-        eprintln!(
-            "unknown profile '{name}' (try one of: {PRESET_NAMES:?}, \
-             test_small, test_small_interleaved, test_small_coupled)"
-        );
-        std::process::exit(2);
+    let Some((profile, opts)) = profiles::named_job(name) else {
+        return Err(unknown_profile(name));
     };
     let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
     let out = parse_flag::<String>(args, "--out")?.unwrap_or_else(|| format!("{name}.trace"));
@@ -456,7 +440,7 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn run_replay_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err("replay needs a trace file".into());
+        return usage("replay needs a trace file");
     };
     let tele = Telemetry::from_args(args)?;
     let trace = load_trace(path)?;
@@ -532,11 +516,10 @@ fn run_bench_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         for name in &wanted {
             if !dramscope_bench::perf_suites::SUITE_NAMES.contains(name) {
-                eprintln!(
+                return usage(format!(
                     "unknown suite '{name}' (try one of: {:?})",
                     dramscope_bench::perf_suites::SUITE_NAMES
-                );
-                std::process::exit(2);
+                ));
             }
         }
         benches.retain(|b| wanted.iter().any(|w| *w == b.name));
@@ -625,14 +608,54 @@ fn run_bench_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             std::process::exit(1);
         }
     } else if parse_flag::<f64>(args, "--gate")?.is_some() {
-        return Err("--gate needs --baseline FILE to compare against".into());
+        return usage("--gate needs --baseline FILE to compare against");
     }
     Ok(())
 }
 
+/// The `serve` subcommand: runs the `dramscoped` daemon in-process —
+/// JSON-lines requests from stdin (or a unix socket with `--socket`),
+/// the shared fleet pool, the content-addressed dossier cache.
+fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use dramscope_service::Service;
+    let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
+    let socket = parse_flag::<String>(args, "--socket")?;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            // parse_flag already checked the values exist and parse.
+            "--workers" | "--socket" => i += 2,
+            other => return usage(format!("serve does not take '{other}'")),
+        }
+    }
+    let service = std::sync::Arc::new(Service::new(workers));
+    match socket {
+        None => dramscope_service::serve_stdio(&service)?,
+        Some(path) => serve_socket(&service, &path)?,
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_socket(
+    service: &std::sync::Arc<dramscope_service::Service>,
+    path: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    dramscope_service::serve_unix(service, std::path::Path::new(path))?;
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(
+    _service: &std::sync::Arc<dramscope_service::Service>,
+    _path: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    usage("--socket requires a unix platform")
+}
+
 fn run_diff_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
-        return Err("diff needs two trace files".into());
+        return usage("diff needs two trace files");
     };
     let diff = diff_traces(&load_trace(a)?, &load_trace(b)?);
     println!("{diff}");
@@ -644,7 +667,7 @@ fn run_diff_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn run_dump_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(path) = args.first() else {
-        return Err("dump needs a trace file".into());
+        return usage("dump needs a trace file");
     };
     // Dumps run to tens of thousands of lines and get piped into `head`;
     // a closed stdout is normal termination, not an error.
@@ -655,8 +678,7 @@ fn run_dump_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Subcommands must come first; their flags follow. A profile run
     // takes its name from the first non-flag argument, so bare
     // `characterize --quiet` still selects the default profile.
@@ -669,6 +691,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("dump") => return run_dump_mode(&args[1..]),
         Some("stats") => return run_stats_mode(&args[1..]),
         Some("bench") => return run_bench_mode(&args[1..]),
+        Some("serve") => return run_serve_mode(&args[1..]),
         _ => {}
     }
     let name = args
@@ -676,25 +699,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--metrics"))
         .map_or("default", |(_, s)| s.as_str());
-    let Some(mut job) = job_by_name(name) else {
-        eprintln!(
-            "unknown command or profile '{name}' \
-             (try one of: {PRESET_NAMES:?}, fleet, sharded, record, replay, diff, dump, stats, bench)"
-        );
-        std::process::exit(2);
+    let Some((profile, mut opts)) = profiles::preset_job(name) else {
+        return usage(format!(
+            "unknown command or profile '{name}' (try one of: {}, \
+             fleet, sharded, record, replay, diff, dump, stats, bench, serve)",
+            profiles::known_names().join(", ")
+        ));
     };
-    let tele = Telemetry::from_args(&args)?;
-    job.opts.with_swizzle = true;
-    let (dossier, stats, metrics) = characterize_instrumented(
-        &job.profile,
-        dramscope_bench::experiments::SEED,
-        job.opts,
-        None,
-    )?;
+    let tele = Telemetry::from_args(args)?;
+    opts.with_swizzle = true;
+    let (dossier, stats, metrics) =
+        characterize_instrumented(&profile, dramscope_bench::experiments::SEED, opts, None)?;
     if !tele.quiet {
         print!("{dossier}");
         print_run_report(&stats);
     }
     tele.emit(&metrics)?;
     Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("characterize: {e}");
+        // Usage errors (bad flags, unknown names, missing operands)
+        // exit 2 in every subcommand; runtime failures exit 1.
+        let code = if e.is::<UsageError>() { 2 } else { 1 };
+        std::process::exit(code);
+    }
 }

@@ -1,0 +1,94 @@
+//! Exit-code contract of the `characterize` CLI: usage errors (bad
+//! flags, unknown names, missing operands) exit 2 in *every*
+//! subcommand; runtime failures (unreadable files, failed gates) exit
+//! 1. Pinned here so the convention cannot drift per-subcommand again.
+
+use std::process::{Command, Output};
+
+fn characterize(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(args)
+        .output()
+        .expect("characterize binary spawns")
+}
+
+fn assert_usage(args: &[&str], needle: &str) {
+    let out = characterize(args);
+    assert_eq!(out.status.code(), Some(2), "{args:?} -> {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+}
+
+#[test]
+fn usage_errors_exit_2_in_every_subcommand() {
+    assert_usage(&["no_such_profile"], "unknown command or profile");
+    assert_usage(&["sharded", "no_such_profile"], "unknown profile");
+    assert_usage(&["record"], "record needs a profile name");
+    assert_usage(&["record", "no_such_profile"], "unknown profile");
+    assert_usage(&["replay"], "replay needs a trace file");
+    assert_usage(&["diff", "only_one.trace"], "diff needs two trace files");
+    assert_usage(&["dump"], "dump needs a trace file");
+    assert_usage(&["stats"], "stats needs a trace file");
+    assert_usage(&["bench", "--only", "no_such_suite"], "unknown suite");
+    assert_usage(&["bench", "--gate", "20"], "--gate needs --baseline");
+    assert_usage(&["serve", "bogus"], "serve does not take");
+}
+
+#[test]
+fn missing_and_malformed_flag_values_exit_2() {
+    assert_usage(&["sharded", "test_small", "--seed"], "--seed needs a value");
+    assert_usage(
+        &["sharded", "test_small", "--seed", "not_a_number"],
+        "invalid --seed value",
+    );
+    assert_usage(&["serve", "--workers"], "--workers needs a value");
+    assert_usage(
+        &["serve", "--workers", "minus_one"],
+        "invalid --workers value",
+    );
+}
+
+#[test]
+fn runtime_failures_exit_1() {
+    // A well-formed invocation whose input file does not exist is a
+    // runtime failure, not a usage error.
+    let out = characterize(&["replay", "/nonexistent/never.trace"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+
+    let out = characterize(&["stats", "/nonexistent/never.trace"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn serve_answers_one_job_over_stdin_and_exits_cleanly() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(
+            b"{\"req\":\"characterize\",\"id\":\"c\",\"profile\":\"test_small\",\"seed\":5}\n\
+              not json\n\
+              {\"req\":\"shutdown\",\"id\":\"z\"}\n",
+        )
+        .expect("requests written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"resp\":\"error\""), "{}", lines[1]);
+    assert!(lines[2].contains("\"drained\":true"), "{}", lines[2]);
+}

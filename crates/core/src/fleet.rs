@@ -31,7 +31,7 @@ use dram_sim::ChipProfile;
 use dram_telemetry::Registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -518,6 +518,152 @@ pub fn run_fleet_sharded(
     }
 }
 
+/// One boxed unit of pool work.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool for long-running job streams.
+///
+/// [`run_fleet`] and friends are batch engines: they spin a scoped pool
+/// up, drain a fixed job list, and tear the pool down. A daemon serving
+/// characterization requests needs the opposite shape — workers that
+/// outlive any one submission — so `FleetPool` keeps the same contracts
+/// (panic isolation per job, deterministic drain) on a long-lived pool.
+///
+/// * [`submit`](Self::submit) hands a closure to the pool and returns a
+///   [`JobHandle`] immediately; jobs run in submission order (a single
+///   shared queue) on whichever worker frees up first.
+/// * A panic inside a job is caught and surfaced as that job's
+///   [`CoreError::WorkerPanic`]; the worker survives and keeps serving.
+/// * [`shutdown`](Self::shutdown) (and `Drop`) closes the queue and
+///   joins every worker — every job already submitted still runs to
+///   completion, so shutdown drains deterministically: no submitted job
+///   is ever silently dropped.
+///
+/// # Example
+///
+/// ```
+/// use dramscope_core::fleet::FleetPool;
+///
+/// let pool = FleetPool::new(2);
+/// let handle = pool.submit(|| 6 * 7);
+/// assert_eq!(handle.join().unwrap(), 42);
+/// pool.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct FleetPool {
+    queue: Option<mpsc::Sender<PoolTask>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// The receipt for one [`FleetPool::submit`]: join it to collect the
+/// job's result (or the panic it was isolated into).
+#[derive(Debug)]
+pub struct JobHandle<R> {
+    rx: mpsc::Receiver<Result<R, CoreError>>,
+}
+
+impl<R> JobHandle<R> {
+    /// Blocks until the job completes and returns its result. A job that
+    /// panicked yields [`CoreError::WorkerPanic`] instead of poisoning
+    /// anything.
+    pub fn join(self) -> Result<R, CoreError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            // Unreachable by construction (the worker always sends,
+            // panic or not), but a dead pool must read as an error, not
+            // a crash in the caller.
+            Err(CoreError::WorkerPanic(
+                "worker pool dropped the job before completion".into(),
+            ))
+        })
+    }
+}
+
+impl FleetPool {
+    /// Spawns a pool of `workers` threads (`0` uses the machine's
+    /// available parallelism, minimum one).
+    pub fn new(workers: usize) -> FleetPool {
+        let hw = thread::available_parallelism().map_or(1, |n| n.get());
+        let count = if workers == 0 { hw } else { workers }.max(1);
+        let (tx, rx) = mpsc::channel::<PoolTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..count)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || loop {
+                    // Lock only to receive; a poisoned queue lock means a
+                    // sibling worker died mid-recv (impossible by
+                    // construction, but recoverable either way).
+                    let task = {
+                        let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.recv()
+                    };
+                    match task {
+                        Ok(task) => task(),
+                        Err(_) => break, // queue closed: pool shut down
+                    }
+                })
+            })
+            .collect();
+        FleetPool {
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job and returns its handle. The closure runs exactly
+    /// once, on some pool worker, with any panic isolated into the
+    /// handle's result.
+    pub fn submit<R, F>(&self, job: F) -> JobHandle<R>
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let task: PoolTask = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(job))
+                .map_err(|payload| CoreError::WorkerPanic(panic_message(payload)));
+            // A receiver that hung up (caller dropped the handle) is
+            // fine; the job still ran.
+            let _ = tx.send(outcome);
+        });
+        self.queue
+            .as_ref()
+            .expect("queue exists until shutdown/drop")
+            .send(task)
+            .expect("pool workers outlive the queue sender");
+        JobHandle { rx }
+    }
+
+    /// Closes the queue and joins every worker. Every already-submitted
+    /// job runs to completion first — the drain is deterministic.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        // Dropping the sender closes the channel; workers finish the
+        // queued backlog, then their `recv` errors and they exit.
+        drop(self.queue.take());
+        for worker in self.workers.drain(..) {
+            // A worker thread's main loop cannot panic (jobs are caught
+            // inside), so join failures are unreachable; ignore rather
+            // than double-panic during drop.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for FleetPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 /// The raw fan-out engine under [`run_fleet`], public so other
 /// per-device sweeps (the bench tables, custom experiment loops) can
 /// parallelize the same way. Runs `f` over every item on a
@@ -933,6 +1079,78 @@ mod tests {
                 Err(_) => assert_eq!(r.job_wall_ms, 0.0, "{}", r.label),
             }
         }
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_isolates_panics() {
+        let pool = FleetPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let handles: Vec<JobHandle<u64>> = (0..16u64)
+            .map(|i| {
+                pool.submit(move || {
+                    if i == 11 {
+                        panic!("unlucky job");
+                    }
+                    i * i
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.join();
+            if i == 11 {
+                assert_eq!(
+                    out.unwrap_err(),
+                    CoreError::WorkerPanic("unlucky job".into())
+                );
+            } else {
+                assert_eq!(out.unwrap(), (i * i) as u64);
+            }
+        }
+        // The panic did not kill its worker: the pool keeps serving.
+        assert_eq!(pool.submit(|| 7u64).join().unwrap(), 7);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_shutdown_drains_the_queued_backlog() {
+        use std::sync::atomic::AtomicU64;
+        // One worker, many queued jobs: shutdown must run every one of
+        // them before returning (deterministic drain, no silent drops).
+        let ran = Arc::new(AtomicU64::new(0));
+        let pool = FleetPool::new(1);
+        for _ in 0..32 {
+            let ran = Arc::clone(&ran);
+            // Handles dropped on purpose: drain must not depend on a
+            // caller joining.
+            let _ = pool.submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn pool_drop_is_a_drain_too() {
+        use std::sync::atomic::AtomicU64;
+        let ran = Arc::new(AtomicU64::new(0));
+        {
+            let pool = FleetPool::new(1);
+            for _ in 0..8 {
+                let ran = Arc::clone(&ran);
+                let _ = pool.submit(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn pool_zero_workers_uses_machine_parallelism() {
+        let pool = FleetPool::new(0);
+        assert!(pool.workers() >= 1);
+        assert_eq!(pool.submit(|| 1u32).join().unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! `dramscoped` — the characterization daemon.
+//!
+//! ```text
+//! dramscoped [--workers N] [--socket PATH]
+//! ```
+//!
+//! With no `--socket`, serves JSON-lines requests from stdin to stdout
+//! until EOF or a `shutdown` request. With `--socket PATH`, listens on
+//! a unix socket (one thread per connection, shared cache and pool)
+//! until a client sends `shutdown`. Usage errors exit 2; runtime
+//! failures exit 1.
+
+use dramscope_service::Service;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: dramscoped [--workers N] [--socket PATH]
+  --workers N   fleet pool threads (0 = machine parallelism; default 0)
+  --socket PATH serve a unix socket instead of stdin/stdout (unix only)
+
+Requests are JSON lines, e.g.:
+  {\"req\":\"characterize\",\"id\":\"j1\",\"profile\":\"test_small\",\"seed\":42}
+  {\"req\":\"stats\"}
+  {\"req\":\"shutdown\"}";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("dramscoped: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut workers = 0usize;
+    let mut socket: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--workers" => {
+                let Some(n) = args.next() else {
+                    return usage_error("--workers needs a thread count");
+                };
+                match n.parse() {
+                    Ok(n) => workers = n,
+                    Err(_) => {
+                        return usage_error(&format!("invalid --workers value \"{n}\""));
+                    }
+                }
+            }
+            "--socket" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--socket needs a path");
+                };
+                socket = Some(path);
+            }
+            other => {
+                return usage_error(&format!("unknown argument \"{other}\""));
+            }
+        }
+    }
+
+    let service = Arc::new(Service::new(workers));
+    let served = match socket {
+        None => dramscope_service::serve_stdio(&service),
+        Some(path) => serve_socket(&service, &path),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dramscoped: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(unix)]
+fn serve_socket(service: &Arc<Service>, path: &str) -> std::io::Result<()> {
+    dramscope_service::serve_unix(service, std::path::Path::new(path))
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_service: &Arc<Service>, _path: &str) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a unix platform",
+    ))
+}

@@ -1,0 +1,477 @@
+//! The `dramscoped` daemon loop: JSON-lines over any `BufRead`/`Write`
+//! pair, plus a unix-socket listener wrapping the same handler.
+//!
+//! Each connection is a sequential REPL — one request is processed to
+//! completion (progress lines streaming while it runs) before the next
+//! line is read. That makes single-connection behavior deterministic:
+//! piping the same job twice over stdin always yields a `miss` then a
+//! `hit`. Concurrency (and therefore in-flight coalescing) comes from
+//! multiple connections on the socket listener, or from library callers
+//! sharing one [`Service`] across threads.
+//!
+//! The read loop is total: oversized lines are drained and answered
+//! with an error, invalid UTF-8 is answered with an error, malformed
+//! JSON is answered with an error — nothing a client writes terminates
+//! the daemon. Only a well-formed `shutdown` request (or EOF on stdin)
+//! ends a serve loop, and both paths drain the pool deterministically.
+
+use crate::profiles;
+use crate::protocol::{
+    error_line, json_string, parse_request, CharacterizeRequest, ProtocolError, Request,
+    MAX_REQUEST_BYTES,
+};
+use crate::service::{CacheStatus, JobOutput, JobSpec, Service, ServiceError};
+use dram_sim::{ChipEvent, CommandSink};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// Streams `phase:`/`span:` markers from a running job as
+/// `{"resp":"progress",...}` lines on the connection's writer.
+struct ProgressSink<W: Write> {
+    writer: Arc<Mutex<W>>,
+    id: String,
+}
+
+impl<W: Write> CommandSink for ProgressSink<W> {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        let ChipEvent::Marker { label } = event else {
+            return;
+        };
+        if !(label.starts_with("phase:") || label.starts_with("span:")) {
+            return;
+        }
+        let line = format!(
+            "{{\"resp\":\"progress\",\"id\":{},\"marker\":{}}}\n",
+            self.id,
+            json_string(label)
+        );
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Renders a byte-stable result line. Field order is fixed; wall-clock
+/// numbers are deliberately absent, so identical jobs render identical
+/// lines except for the `cache` marker.
+fn result_line(id: &str, status: CacheStatus, spec: &JobSpec, output: &JobOutput) -> String {
+    let key = spec.key();
+    format!(
+        concat!(
+            "{{\"resp\":\"result\",\"id\":{},\"cache\":\"{}\",\"profile\":{},",
+            "\"label\":{},\"seed\":{},\"sharded\":{},",
+            "\"profile_digest\":\"0x{:016x}\",\"geometry_digest\":\"0x{:016x}\",",
+            "\"dossier_digest\":\"0x{:016x}\",\"composition\":{},",
+            "\"commands\":{},\"bitflips\":{},\"dossier\":{}}}"
+        ),
+        id,
+        status.as_str(),
+        json_string(&spec.profile_name),
+        json_string(&output.label),
+        spec.seed,
+        spec.sharded,
+        key.profile_digest,
+        key.geometry_digest,
+        output.digest,
+        json_string(&output.composition),
+        output.commands,
+        output.bitflips,
+        json_string(&output.dossier),
+    )
+}
+
+/// Renders the `stats` response: service counters plus the merged
+/// telemetry registry spliced in as a JSON array of its JSON-lines
+/// objects.
+fn stats_line(id: &str, service: &Service) -> String {
+    let s = service.stats();
+    let telemetry: Vec<String> = service
+        .telemetry()
+        .to_json_lines()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    format!(
+        concat!(
+            "{{\"resp\":\"stats\",\"id\":{},\"submitted\":{},\"hits\":{},",
+            "\"misses\":{},\"coalesced\":{},\"executions\":{},\"errors\":{},",
+            "\"in_flight\":{},\"cache_entries\":{},\"telemetry\":[{}]}}"
+        ),
+        id,
+        s.submitted,
+        s.hits,
+        s.misses,
+        s.coalesced,
+        s.executions,
+        s.errors,
+        s.in_flight,
+        s.cache_entries,
+        telemetry.join(","),
+    )
+}
+
+/// One bounded request line, or `Ok(None)` at EOF.
+///
+/// Lines longer than [`MAX_REQUEST_BYTES`] are consumed to their
+/// newline and reported as `Err(total_bytes)` so the caller can answer
+/// with an error and keep the connection alive. Invalid UTF-8 is
+/// reported the same way (`Err(0)`); the broken line is already
+/// consumed by the failed read.
+fn read_request_line<R: BufRead>(reader: &mut R) -> io::Result<Option<Result<String, usize>>> {
+    let mut line = String::new();
+    let n = match reader
+        .by_ref()
+        .take(MAX_REQUEST_BYTES as u64 + 1)
+        .read_line(&mut line)
+    {
+        Ok(n) => n,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Ok(Some(Err(0))),
+        Err(e) => return Err(e),
+    };
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && n > MAX_REQUEST_BYTES {
+        // Oversized: drain the rest of the line without buffering it.
+        let mut dropped = n;
+        loop {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                break;
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    dropped += pos + 1;
+                    reader.consume(pos + 1);
+                    break;
+                }
+                None => {
+                    let len = buf.len();
+                    dropped += len;
+                    reader.consume(len);
+                }
+            }
+        }
+        return Ok(Some(Err(dropped)));
+    }
+    Ok(Some(Ok(line)))
+}
+
+fn write_line<W: Write>(writer: &Arc<Mutex<W>>, line: &str) -> io::Result<()> {
+    let mut w = writer.lock().expect("connection writer poisoned");
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn run_characterize<W: Write + Send + 'static>(
+    service: &Service,
+    writer: &Arc<Mutex<W>>,
+    req: &CharacterizeRequest,
+) -> String {
+    // The parser already validated the name; re-resolve for the profile.
+    let Some((profile, _)) = profiles::named_job(&req.profile_name) else {
+        return error_line(&ProtocolError {
+            id: req.id.clone(),
+            message: format!("unknown profile \"{}\"", req.profile_name),
+        });
+    };
+    let spec = JobSpec::new(req, profile);
+    let sink: Option<Box<dyn CommandSink + Send>> = if req.progress && !req.sharded {
+        Some(Box::new(ProgressSink {
+            writer: Arc::clone(writer),
+            id: req.id.clone(),
+        }))
+    } else {
+        None
+    };
+    match service.submit(&spec, sink) {
+        Ok((output, status)) => result_line(&req.id, status, &spec, &output),
+        Err(e) => error_line(&ProtocolError {
+            id: req.id.clone(),
+            message: match e {
+                ServiceError::ShutDown => "service is shut down".to_string(),
+                ServiceError::Job(e) => format!("job failed: {e}"),
+            },
+        }),
+    }
+}
+
+/// Serves one connection until EOF or a `shutdown` request.
+///
+/// Returns `Ok(true)` when the client asked for shutdown (the service
+/// queue is already drained by then), `Ok(false)` at EOF.
+///
+/// # Errors
+///
+/// Only transport failures (broken pipe, etc.) — never anything the
+/// client wrote.
+pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
+    service: &Service,
+    mut reader: R,
+    writer: &Arc<Mutex<W>>,
+) -> io::Result<bool> {
+    loop {
+        let line = match read_request_line(&mut reader)? {
+            None => return Ok(false),
+            Some(Err(0)) => {
+                let e = ProtocolError {
+                    id: "null".into(),
+                    message: "request line is not valid UTF-8".into(),
+                };
+                write_line(writer, &error_line(&e))?;
+                continue;
+            }
+            Some(Err(bytes)) => {
+                let e = ProtocolError {
+                    id: "null".into(),
+                    message: format!(
+                        "request line of {bytes} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit"
+                    ),
+                };
+                write_line(writer, &error_line(&e))?;
+                continue;
+            }
+            Some(Ok(line)) => line,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response = match parse_request(line) {
+            Err(e) => error_line(&e),
+            Ok(Request::Characterize(req)) => run_characterize(service, writer, &req),
+            Ok(Request::Stats { id }) => stats_line(&id, service),
+            Ok(Request::Shutdown { id }) => {
+                service.shutdown();
+                write_line(
+                    writer,
+                    &format!("{{\"resp\":\"shutdown\",\"id\":{id},\"drained\":true}}"),
+                )?;
+                return Ok(true);
+            }
+        };
+        write_line(writer, &response)?;
+    }
+}
+
+/// Serves requests from stdin to stdout until EOF or `shutdown`, then
+/// drains the pool. This is `dramscoped`'s default mode.
+///
+/// # Errors
+///
+/// Transport failures on stdin/stdout only.
+pub fn serve_stdio(service: &Service) -> io::Result<()> {
+    let reader = BufReader::new(io::stdin().lock());
+    let writer = Arc::new(Mutex::new(io::stdout()));
+    handle_connection(service, reader, &writer)?;
+    service.shutdown();
+    Ok(())
+}
+
+/// Serves a unix-socket listener at `path`, one thread per connection,
+/// all connections sharing `service` (so identical jobs on different
+/// connections coalesce). A `shutdown` request on any connection stops
+/// the listener, joins every connection thread, and drains the pool.
+///
+/// # Errors
+///
+/// Socket bind/accept failures.
+#[cfg(unix)]
+pub fn serve_unix(service: &Arc<Service>, path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let service = Arc::clone(service);
+        let stop = Arc::clone(&stop);
+        let poke = path.to_path_buf();
+        handles.push(std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(clone) => BufReader::new(clone),
+                Err(_) => return,
+            };
+            let writer = Arc::new(Mutex::new(stream));
+            let shutdown = handle_connection(&service, reader, &writer).unwrap_or(false);
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the stop flag.
+                let _ = UnixStream::connect(&poke);
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    service.shutdown();
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Service;
+    use dram_sim::digest::fnv1a_64;
+    use dram_telemetry::Registry;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Runs `input` through a fresh service with a counting stub runner
+    /// and returns the response lines plus the execution count.
+    fn drive(input: &str) -> (Vec<String>, u64) {
+        let count = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&count);
+        let service = Service::with_runner(
+            1,
+            Arc::new(move |spec: &JobSpec, sink| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                if let Some(mut sink) = sink {
+                    sink.record(ChipEvent::Marker {
+                        label: "phase:structure",
+                    });
+                    sink.record(ChipEvent::Marker { label: "act:17" });
+                }
+                let text = format!("dossier {} {}", spec.profile_name, spec.seed);
+                Ok(JobOutput {
+                    label: spec.profile.label(),
+                    digest: fnv1a_64(text.as_bytes()),
+                    composition: "c".into(),
+                    dossier: text,
+                    commands: 2,
+                    bitflips: 1,
+                    metrics: Registry::new(),
+                })
+            }),
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        handle_connection(&service, input.as_bytes(), &writer).expect("transport ok");
+        let bytes = writer.lock().unwrap().clone();
+        let lines = String::from_utf8(bytes)
+            .expect("utf8 responses")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        (lines, count.load(Ordering::SeqCst))
+    }
+
+    #[test]
+    fn same_job_twice_is_one_simulation_and_a_cache_hit() {
+        let input = "\
+            {\"req\":\"characterize\",\"id\":\"a\",\"profile\":\"test_small\",\"seed\":1}\n\
+            {\"req\":\"characterize\",\"id\":\"b\",\"profile\":\"test_small\",\"seed\":1}\n";
+        let (lines, executions) = drive(input);
+        assert_eq!(executions, 1, "second request served from cache");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"cache\":\"hit\""), "{}", lines[1]);
+        let digest_of = |line: &str| {
+            let idx = line.find("\"dossier_digest\":").expect("digest field");
+            line[idx..idx + 40].to_string()
+        };
+        assert_eq!(digest_of(&lines[0]), digest_of(&lines[1]));
+        // Byte-stable apart from the id and the cache marker.
+        let canon = |line: &str| {
+            line.replace("\"id\":\"a\"", "\"id\":X")
+                .replace("\"id\":\"b\"", "\"id\":X")
+                .replace("\"cache\":\"miss\"", "\"cache\":Y")
+                .replace("\"cache\":\"hit\"", "\"cache\":Y")
+        };
+        assert_eq!(canon(&lines[0]), canon(&lines[1]));
+    }
+
+    #[test]
+    fn malformed_lines_answer_errors_and_never_kill_the_loop() {
+        let input = "\
+            not json at all\n\
+            {\"req\":\"characterize\"}\n\
+            \n\
+            {\"req\":\"characterize\",\"id\":\"ok\",\"profile\":\"test_small\"}\n";
+        let (lines, executions) = drive(input);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].starts_with("{\"resp\":\"error\""));
+        assert!(lines[1].starts_with("{\"resp\":\"error\""));
+        assert!(lines[2].contains("\"resp\":\"result\""), "{}", lines[2]);
+        assert_eq!(executions, 1);
+    }
+
+    #[test]
+    fn oversized_and_invalid_utf8_lines_are_survivable() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"{\"req\":\"stats\",\"pad\":\"");
+        input.extend(vec![b'x'; MAX_REQUEST_BYTES + 10]);
+        input.extend_from_slice(b"\"}\n");
+        input.extend_from_slice(b"\xff\xfe not utf8\n");
+        input.extend_from_slice(b"{\"req\":\"stats\",\"id\":\"s\"}\n");
+        let service = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| unreachable!("no jobs submitted")),
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        handle_connection(&service, input.as_slice(), &writer).expect("transport ok");
+        let bytes = writer.lock().unwrap().clone();
+        let out = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("exceeds"), "{}", lines[0]);
+        assert!(lines[1].contains("not valid UTF-8"), "{}", lines[1]);
+        assert!(lines[2].starts_with("{\"resp\":\"stats\""), "{}", lines[2]);
+    }
+
+    #[test]
+    fn progress_markers_stream_for_phase_labels_only() {
+        let input = "{\"req\":\"characterize\",\"id\":\"p\",\"profile\":\"test_small\",\"progress\":true}\n";
+        let (lines, _) = drive(input);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert_eq!(
+            lines[0],
+            "{\"resp\":\"progress\",\"id\":\"p\",\"marker\":\"phase:structure\"}"
+        );
+        assert!(lines[1].contains("\"resp\":\"result\""));
+        assert!(!lines.iter().any(|l| l.contains("act:17")));
+    }
+
+    #[test]
+    fn shutdown_acks_drains_and_ends_the_connection() {
+        let input = "\
+            {\"req\":\"shutdown\",\"id\":\"z\"}\n\
+            {\"req\":\"stats\"}\n";
+        let count = Arc::new(AtomicU64::new(0));
+        let service = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| unreachable!("no jobs submitted")),
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let shutdown =
+            handle_connection(&service, input.as_bytes(), &writer).expect("transport ok");
+        assert!(shutdown, "handler reports the shutdown request");
+        let bytes = writer.lock().unwrap().clone();
+        let out = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            out,
+            "{\"resp\":\"shutdown\",\"id\":\"z\",\"drained\":true}\n"
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn stats_response_carries_counters_and_telemetry_array() {
+        let (lines, _) = drive("{\"req\":\"stats\",\"id\":1}\n");
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"resp\":\"stats\",\"id\":1,"), "{line}");
+        for field in ["submitted", "hits", "misses", "coalesced", "telemetry"] {
+            assert!(line.contains(&format!("\"{field}\":")), "{line}");
+        }
+        // The whole stats line must itself parse as JSON.
+        dram_perf::json::parse("stats", line).expect("stats line is valid JSON");
+    }
+}

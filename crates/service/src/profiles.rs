@@ -1,0 +1,119 @@
+//! The canonical profile-name table shared by the daemon and the CLI.
+//!
+//! A characterization request names its device by a short snake-case
+//! name (`"mfr_a_x4_2016"`, `"test_small"`, …). This module maps those
+//! names to a [`ChipProfile`] plus the canonical [`CharacterizeOptions`]
+//! for that device — the same per-device probe ranges the bench binaries
+//! have always used — so a service request and a CLI run of the same
+//! name characterize identically and therefore share cache entries.
+
+use dram_sim::{ChipProfile, Time};
+use dramscope_core::dossier::CharacterizeOptions;
+use dramscope_core::fleet;
+
+/// Preset names, index-aligned with [`fleet::table1_jobs`] (which
+/// follows `ChipProfile::all_presets` order).
+pub const PRESET_NAMES: [&str; 16] = [
+    "mfr_a_x4_2016",
+    "mfr_a_x4_2017",
+    "mfr_a_x4_2018",
+    "mfr_a_x4_2021",
+    "mfr_a_x8_2017",
+    "mfr_a_x8_2018",
+    "mfr_a_x8_2019",
+    "mfr_b_x4_2019",
+    "mfr_b_x8_2017",
+    "mfr_b_x8_2018",
+    "mfr_b_x8_2019",
+    "mfr_c_x4_2018",
+    "mfr_c_x4_2021",
+    "mfr_c_x8_2016",
+    "mfr_c_x8_2019",
+    "hbm2",
+];
+
+/// The small test profiles accepted alongside the Table I presets
+/// (golden traces and CI smoke are built from these).
+pub const TEST_PROFILE_NAMES: [&str; 4] = [
+    "test_small",
+    "test_small_interleaved",
+    "test_small_coupled",
+    "test_small_hbm2",
+];
+
+/// Resolves a Table I preset by name (the special name `"default"` is
+/// `mfr_a_x4_2016`), paired with its canonical interior probe range.
+pub fn preset_job(name: &str) -> Option<(ChipProfile, CharacterizeOptions)> {
+    let name = if name == "default" {
+        "mfr_a_x4_2016"
+    } else {
+        name
+    };
+    let idx = PRESET_NAMES.iter().position(|n| *n == name)?;
+    let job = fleet::table1_jobs().swap_remove(idx);
+    Some((job.profile, job.opts))
+}
+
+/// Options sized for the small CI/test profiles.
+fn small_opts(scan_rows: u32) -> CharacterizeOptions {
+    CharacterizeOptions {
+        scan_rows,
+        with_swizzle: false,
+        probe_range: (44, 60),
+        retention_wait: Time::from_ms(120_000),
+    }
+}
+
+/// Resolves any characterizable profile name: every Table I preset plus
+/// the small test profiles.
+pub fn named_job(name: &str) -> Option<(ChipProfile, CharacterizeOptions)> {
+    match name {
+        "test_small" => Some((ChipProfile::test_small(), small_opts(129))),
+        "test_small_interleaved" => Some((ChipProfile::test_small_interleaved(), small_opts(129))),
+        // The coupled profile aliases rows at distance 1024; scanning one
+        // extra block keeps the structure probe on real subarrays.
+        "test_small_coupled" => Some((ChipProfile::test_small_coupled(), small_opts(257))),
+        "test_small_hbm2" => Some((ChipProfile::test_small_hbm2(), small_opts(129))),
+        _ => preset_job(name),
+    }
+}
+
+/// Every name [`named_job`] accepts, for error messages.
+pub fn known_names() -> Vec<&'static str> {
+    PRESET_NAMES
+        .iter()
+        .chain(TEST_PROFILE_NAMES.iter())
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in known_names() {
+            let (profile, opts) = named_job(name).unwrap_or_else(|| panic!("{name} resolves"));
+            assert!(opts.probe_range.0 < opts.probe_range.1, "{name}");
+            assert!(opts.scan_rows > 0, "{name}");
+            assert!(profile.banks > 0, "{name}");
+        }
+        assert!(named_job("no_such_device").is_none());
+    }
+
+    #[test]
+    fn default_is_the_first_preset() {
+        let (profile, _) = named_job("default").expect("default resolves");
+        assert_eq!(profile.label(), ChipProfile::mfr_a_x4_2016().label());
+    }
+
+    #[test]
+    fn preset_jobs_match_the_fleet_table() {
+        for (name, job) in PRESET_NAMES.iter().zip(fleet::table1_jobs()) {
+            let (profile, opts) = preset_job(name).expect("preset resolves");
+            assert_eq!(profile.digest(), job.profile.digest(), "{name}");
+            assert_eq!(opts, job.opts, "{name}");
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The `dramscoped` wire protocol: JSON-lines requests and responses.
+//!
+//! One request per line, one or more response lines per request, every
+//! line a single JSON object. Decoding is **total** — the same
+//! discipline as `dram-trace`'s binary decoder: any malformed line
+//! (truncated JSON, wrong types, unknown fields, oversized input) maps
+//! to a structured [`ProtocolError`] that the daemon answers with an
+//! `{"resp":"error",...}` line; nothing a client sends can panic the
+//! server or kill the process.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"req":"characterize","id":"job-1","profile":"test_small","seed":42}
+//! {"req":"characterize","id":"j2","profile":"mfr_a_x4_2016","scan_rows":8193,"with_swizzle":true}
+//! {"req":"stats","id":"s1"}
+//! {"req":"shutdown"}
+//! ```
+//!
+//! `characterize` accepts the option overrides `seed`, `scan_rows`,
+//! `with_swizzle`, `probe_start`, `probe_end`, `retention_wait_ms`,
+//! `sharded` (run the per-bank sharded flow), and `progress` (stream
+//! `phase:`/`span:` marker events as they happen). Omitted options use
+//! the named profile's canonical values — the same per-device defaults
+//! as the `characterize` CLI, so service and CLI runs share cache
+//! identity.
+//!
+//! # Responses
+//!
+//! Results are byte-stable: the same request against the same engine
+//! always renders the identical result line except for the `cache`
+//! marker (`"miss"`, `"hit"`, or `"coalesced"`), which records how the
+//! response was produced. Wall-clock numbers are deliberately excluded
+//! from result lines (the `stats` response carries live counters
+//! instead).
+
+use crate::profiles;
+use dram_perf::json::{self, Value};
+use dram_sim::Time;
+use dramscope_core::dossier::CharacterizeOptions;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Hard ceiling on one request line, bytes. Lines longer than this are
+/// answered with an error and discarded without buffering the excess.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// The default seed when a request omits `seed` — the same constant the
+/// bench binaries use, so daemon results line up with CLI runs.
+pub const DEFAULT_SEED: u64 = 0x5ca1e;
+
+/// A decoded, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Characterize a device (or serve the dossier from cache).
+    Characterize(CharacterizeRequest),
+    /// Report live service counters and the merged telemetry registry.
+    Stats {
+        /// Echoed request id, pre-rendered as a JSON token.
+        id: String,
+    },
+    /// Drain the queue and stop the daemon.
+    Shutdown {
+        /// Echoed request id, pre-rendered as a JSON token.
+        id: String,
+    },
+}
+
+/// A validated `characterize` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeRequest {
+    /// Echoed request id, pre-rendered as a JSON token (`"job-1"` stays
+    /// `"\"job-1\""`, a missing id renders `null`).
+    pub id: String,
+    /// The profile name as requested (already validated to resolve).
+    pub profile_name: String,
+    /// Seed for the run.
+    pub seed: u64,
+    /// Fully resolved probe options.
+    pub opts: CharacterizeOptions,
+    /// Run the per-bank sharded flow instead of the serial one.
+    pub sharded: bool,
+    /// Stream `phase:`/`span:` marker events while the job runs.
+    pub progress: bool,
+}
+
+/// A structured decode/validation failure. The daemon renders it as an
+/// `error` response; it never escapes as a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Echoed request id when one was recoverable, pre-rendered.
+    pub id: String,
+    /// Human-readable description of what was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Escapes a string into a JSON string literal (quotes included).
+pub fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `{"resp":"error",...}` line (no trailing newline).
+pub fn error_line(err: &ProtocolError) -> String {
+    format!(
+        "{{\"resp\":\"error\",\"id\":{},\"error\":{}}}",
+        err.id,
+        json_string(&err.message)
+    )
+}
+
+fn err(id: &str, message: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        id: id.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Extracts the request id as a pre-rendered JSON token: strings stay
+/// strings, non-negative integers stay numbers, everything else (or a
+/// missing id) is `null`.
+fn render_id(obj: &BTreeMap<String, Value>) -> String {
+    match obj.get("id") {
+        Some(Value::String(s)) => json_string(s),
+        Some(v) => v.as_u64().map_or_else(|| "null".into(), |n| n.to_string()),
+        None => "null".into(),
+    }
+}
+
+fn want_bool(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    key: &str,
+) -> Result<Option<bool>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(err(id, format!("\"{key}\" must be a boolean"))),
+    }
+}
+
+fn want_u64(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    key: &str,
+) -> Result<Option<u64>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(err(id, format!("\"{key}\" must be a non-negative integer"))),
+        },
+    }
+}
+
+fn want_u32(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    key: &str,
+) -> Result<Option<u32>, ProtocolError> {
+    match want_u64(obj, id, key)? {
+        None => Ok(None),
+        Some(n) => u32::try_from(n)
+            .map(Some)
+            .map_err(|_| err(id, format!("\"{key}\" exceeds 32 bits"))),
+    }
+}
+
+/// The complete field vocabulary of a `characterize` request; anything
+/// else is rejected so typos fail loudly instead of silently running
+/// with defaults.
+const CHARACTERIZE_KEYS: [&str; 11] = [
+    "req",
+    "id",
+    "profile",
+    "seed",
+    "scan_rows",
+    "with_swizzle",
+    "probe_start",
+    "probe_end",
+    "retention_wait_ms",
+    "sharded",
+    "progress",
+];
+
+/// Decodes and validates one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] (carrying the request id when one was
+/// recoverable) for every malformed or invalid line. Never panics.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(err(
+            "null",
+            format!(
+                "request line of {} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit",
+                line.len()
+            ),
+        ));
+    }
+    let value = json::parse("request", line).map_err(|e| err("null", e.to_string()))?;
+    let Some(obj) = value.as_object() else {
+        return Err(err("null", "request must be a JSON object"));
+    };
+    let id = render_id(obj);
+    let req = match obj.get("req") {
+        Some(Value::String(s)) => s.as_str(),
+        Some(_) => return Err(err(&id, "\"req\" must be a string")),
+        None => return Err(err(&id, "missing \"req\" field")),
+    };
+    match req {
+        "characterize" => parse_characterize(obj, id),
+        "stats" => {
+            reject_unknown(obj, &id, &["req", "id"])?;
+            Ok(Request::Stats { id })
+        }
+        "shutdown" => {
+            reject_unknown(obj, &id, &["req", "id"])?;
+            Ok(Request::Shutdown { id })
+        }
+        other => Err(err(
+            &id,
+            format!("unknown request \"{other}\" (try characterize, stats, shutdown)"),
+        )),
+    }
+}
+
+fn reject_unknown(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    allowed: &[&str],
+) -> Result<(), ProtocolError> {
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(err(id, format!("unknown field \"{key}\"")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_characterize(obj: &BTreeMap<String, Value>, id: String) -> Result<Request, ProtocolError> {
+    reject_unknown(obj, &id, &CHARACTERIZE_KEYS)?;
+    let profile_name = match obj.get("profile") {
+        Some(Value::String(s)) => s.clone(),
+        Some(_) => return Err(err(&id, "\"profile\" must be a string")),
+        None => return Err(err(&id, "missing \"profile\" field")),
+    };
+    let Some((_, defaults)) = profiles::named_job(&profile_name) else {
+        return Err(err(
+            &id,
+            format!(
+                "unknown profile \"{profile_name}\" (known: {})",
+                profiles::known_names().join(", ")
+            ),
+        ));
+    };
+    let seed = want_u64(obj, &id, "seed")?.unwrap_or(DEFAULT_SEED);
+    let scan_rows = want_u32(obj, &id, "scan_rows")?.unwrap_or(defaults.scan_rows);
+    if scan_rows == 0 {
+        return Err(err(&id, "\"scan_rows\" must be at least 1"));
+    }
+    let with_swizzle = want_bool(obj, &id, "with_swizzle")?.unwrap_or(defaults.with_swizzle);
+    let probe_start = want_u32(obj, &id, "probe_start")?.unwrap_or(defaults.probe_range.0);
+    let probe_end = want_u32(obj, &id, "probe_end")?.unwrap_or(defaults.probe_range.1);
+    if probe_start >= probe_end {
+        return Err(err(
+            &id,
+            format!("probe range [{probe_start}, {probe_end}) is empty"),
+        ));
+    }
+    let retention_wait = match want_u64(obj, &id, "retention_wait_ms")? {
+        Some(ms) => Time::from_ms(ms),
+        None => defaults.retention_wait,
+    };
+    let sharded = want_bool(obj, &id, "sharded")?.unwrap_or(false);
+    let progress = want_bool(obj, &id, "progress")?.unwrap_or(false);
+    Ok(Request::Characterize(CharacterizeRequest {
+        id,
+        profile_name,
+        seed,
+        opts: CharacterizeOptions {
+            scan_rows,
+            with_swizzle,
+            probe_range: (probe_start, probe_end),
+            retention_wait,
+        },
+        sharded,
+        progress,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> Request {
+        parse_request(line).unwrap_or_else(|e| panic!("{line} -> {e}"))
+    }
+
+    #[test]
+    fn minimal_characterize_uses_profile_defaults() {
+        let Request::Characterize(c) = parse_ok(r#"{"req":"characterize","profile":"test_small"}"#)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(c.id, "null");
+        assert_eq!(c.seed, DEFAULT_SEED);
+        let (_, defaults) = profiles::named_job("test_small").unwrap();
+        assert_eq!(c.opts, defaults);
+        assert!(!c.sharded);
+        assert!(!c.progress);
+    }
+
+    #[test]
+    fn overrides_and_ids_round_trip() {
+        let Request::Characterize(c) = parse_ok(
+            r#"{"req":"characterize","id":"j-1","profile":"mfr_a_x4_2016","seed":7,
+                "scan_rows":100,"with_swizzle":true,"probe_start":10,"probe_end":20,
+                "retention_wait_ms":5,"sharded":true,"progress":true}"#,
+        ) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(c.id, "\"j-1\"");
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.opts.scan_rows, 100);
+        assert!(c.opts.with_swizzle);
+        assert_eq!(c.opts.probe_range, (10, 20));
+        assert_eq!(c.opts.retention_wait, Time::from_ms(5));
+        assert!(c.sharded && c.progress);
+        // Numeric ids stay numeric.
+        let Request::Stats { id } = parse_ok(r#"{"req":"stats","id":17}"#) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(id, "17");
+    }
+
+    #[test]
+    fn malformed_lines_yield_structured_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "unexpected end of input"),
+            ("{", "expected"),
+            ("[1,2]", "must be a JSON object"),
+            ("42", "must be a JSON object"),
+            (r#"{"id":"x"}"#, "missing \"req\""),
+            (r#"{"req":7}"#, "\"req\" must be a string"),
+            (r#"{"req":"frobnicate"}"#, "unknown request"),
+            (r#"{"req":"characterize"}"#, "missing \"profile\""),
+            (
+                r#"{"req":"characterize","profile":"nope"}"#,
+                "unknown profile",
+            ),
+            (r#"{"req":"characterize","profile":7}"#, "must be a string"),
+            (
+                r#"{"req":"characterize","profile":"test_small","seed":-1}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"req":"characterize","profile":"test_small","scan_rows":0}"#,
+                "at least 1",
+            ),
+            (
+                r#"{"req":"characterize","profile":"test_small","scan_rows":4294967296}"#,
+                "exceeds 32 bits",
+            ),
+            (
+                r#"{"req":"characterize","profile":"test_small","probe_start":60,"probe_end":44}"#,
+                "is empty",
+            ),
+            (
+                r#"{"req":"characterize","profile":"test_small","sharded":"yes"}"#,
+                "must be a boolean",
+            ),
+            (
+                r#"{"req":"characterize","profile":"test_small","banana":1}"#,
+                "unknown field",
+            ),
+            (r#"{"req":"stats","profile":"x"}"#, "unknown field"),
+        ];
+        for (line, needle) in cases {
+            let e = parse_request(line).expect_err(line);
+            assert!(e.message.contains(needle), "{line:?} gave {:?}", e.message);
+        }
+    }
+
+    #[test]
+    fn error_ids_survive_when_recoverable() {
+        let e = parse_request(r#"{"req":"characterize","id":"j9"}"#).unwrap_err();
+        assert_eq!(e.id, "\"j9\"");
+        assert_eq!(
+            error_line(&e),
+            "{\"resp\":\"error\",\"id\":\"j9\",\"error\":\"missing \\\"profile\\\" field\"}"
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_parsing() {
+        let line = format!(
+            "{{\"req\":\"characterize\",\"profile\":\"{}\"}}",
+            "x".repeat(MAX_REQUEST_BYTES)
+        );
+        let e = parse_request(&line).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{}", e.message);
+    }
+
+    #[test]
+    fn json_string_escapes_the_awkward_cases() {
+        assert_eq!(json_string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("héllo"), "\"héllo\"");
+    }
+}

@@ -1,0 +1,654 @@
+//! The characterization service: a job queue over [`FleetPool`] with
+//! in-flight dedup and a content-addressed dossier cache.
+//!
+//! # Cache identity
+//!
+//! A job's identity is the quadruple
+//! `(profile_digest, seed, geometry_digest, options_digest)` — every
+//! input that can change a dossier byte, and nothing else. The profile
+//! and geometry digests come from the stable FNV-1a identities in
+//! `dram_sim::digest`; the options digest folds in the probe options
+//! plus the sharded/serial flow choice (the two flows render different
+//! dossier shapes, so they must not share cache entries). Two requests
+//! with equal keys are guaranteed byte-identical dossiers, so the
+//! second is served from cache without touching the pool.
+//!
+//! # In-flight dedup
+//!
+//! When an identical request arrives while the first is still running,
+//! it does not enqueue a second simulation: it parks on the in-flight
+//! entry's condvar and receives the same `Arc`'d output the moment the
+//! runner finishes — one simulation, N responses.
+
+use crate::protocol::CharacterizeRequest;
+use dram_sim::digest::fnv1a_64;
+use dram_sim::{ChipProfile, CommandSink};
+use dram_telemetry::Registry;
+use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
+use dramscope_core::shard::{characterize_sharded, ShardConfig};
+use dramscope_core::{CoreError, FleetPool};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The content address of one characterization job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DossierKey {
+    /// FNV-1a digest of the full device profile.
+    pub profile_digest: u64,
+    /// The run seed.
+    pub seed: u64,
+    /// FNV-1a digest of the derived bank geometry.
+    pub geometry_digest: u64,
+    /// FNV-1a digest of the probe options plus the flow choice.
+    pub options_digest: u64,
+}
+
+/// A fully resolved job: everything the runner needs, everything the
+/// cache key is derived from.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The profile name as requested (for response echoes; not part of
+    /// the cache key — two names resolving to one profile share cache).
+    pub profile_name: String,
+    /// The resolved device profile.
+    pub profile: ChipProfile,
+    /// The run seed.
+    pub seed: u64,
+    /// The probe options.
+    pub opts: CharacterizeOptions,
+    /// Run the per-bank sharded flow instead of the serial one.
+    pub sharded: bool,
+}
+
+impl JobSpec {
+    /// Builds a spec from a validated request plus its resolved profile.
+    pub fn new(req: &CharacterizeRequest, profile: ChipProfile) -> Self {
+        JobSpec {
+            profile_name: req.profile_name.clone(),
+            profile,
+            seed: req.seed,
+            opts: req.opts,
+            sharded: req.sharded,
+        }
+    }
+
+    /// Derives the job's content address.
+    pub fn key(&self) -> DossierKey {
+        let o = self.opts;
+        let rendered = format!(
+            "scan_rows={} with_swizzle={} probe_range={:?} retention_wait_ps={} sharded={}",
+            o.scan_rows,
+            o.with_swizzle,
+            o.probe_range,
+            o.retention_wait.as_ps(),
+            self.sharded
+        );
+        DossierKey {
+            profile_digest: self.profile.digest(),
+            seed: self.seed,
+            geometry_digest: self.profile.bank_geometry().digest(),
+            options_digest: fnv1a_64(rendered.as_bytes()),
+        }
+    }
+}
+
+/// The byte-stable output of one characterization job, as cached and
+/// as rendered into result responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// The device's public label.
+    pub label: String,
+    /// The full rendered dossier text.
+    pub dossier: String,
+    /// FNV-1a digest of the dossier text.
+    pub digest: u64,
+    /// The subarray composition line (first bank's, for sharded runs).
+    pub composition: String,
+    /// Total DRAM commands the run issued.
+    pub commands: u64,
+    /// Total bitflips the run resolved.
+    pub bitflips: u64,
+    /// The run's telemetry registry (merged into the service registry
+    /// on completion; kept here for tests and library callers).
+    pub metrics: Registry,
+}
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// The job ran a fresh simulation.
+    Miss,
+    /// The dossier was served from the content-addressed cache.
+    Hit,
+    /// The request joined an identical in-flight job and shares its run.
+    Coalesced,
+}
+
+impl CacheStatus {
+    /// The wire rendering of the marker.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Miss => "miss",
+            CacheStatus::Hit => "hit",
+            CacheStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A service-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service has been shut down; no new jobs are accepted.
+    ShutDown,
+    /// The characterization itself failed (including worker panics,
+    /// which the pool isolates into [`CoreError::WorkerPanic`]).
+    Job(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShutDown => write!(f, "service is shut down"),
+            ServiceError::Job(e) => write!(f, "job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests accepted by [`Service::submit`].
+    pub submitted: u64,
+    /// Responses served from the dossier cache.
+    pub hits: u64,
+    /// Requests that ran a fresh simulation.
+    pub misses: u64,
+    /// Requests that joined an in-flight identical job.
+    pub coalesced: u64,
+    /// Simulations actually executed (== `misses`; kept separate so the
+    /// dedup invariant `submitted == hits + misses + coalesced` and the
+    /// execution count are independently observable).
+    pub executions: u64,
+    /// Jobs that finished with an error (errors are never cached).
+    pub errors: u64,
+    /// Jobs currently running.
+    pub in_flight: u64,
+    /// Entries in the dossier cache.
+    pub cache_entries: u64,
+}
+
+/// The signature jobs run under: a job spec plus an optional command
+/// sink for live progress markers, to a job output.
+pub type RunnerFn = dyn Fn(&JobSpec, Option<Box<dyn CommandSink + Send>>) -> Result<JobOutput, CoreError>
+    + Send
+    + Sync;
+
+/// One in-flight job: late arrivals park on `ready` until the runner
+/// publishes into `slot`.
+struct InFlight {
+    slot: Mutex<Option<Result<Arc<JobOutput>, CoreError>>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Arc<JobOutput>, CoreError>) {
+        *self.slot.lock().expect("in-flight slot poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<JobOutput>, CoreError> {
+        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).expect("in-flight slot poisoned");
+        }
+    }
+}
+
+impl fmt::Debug for InFlight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InFlight").finish_non_exhaustive()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    cache: BTreeMap<DossierKey, Arc<JobOutput>>,
+    in_flight: BTreeMap<DossierKey, Arc<InFlight>>,
+    stats: ServiceStats,
+    telemetry: Registry,
+}
+
+/// The characterization service.
+///
+/// Wraps a persistent [`FleetPool`] with the dossier cache and the
+/// in-flight table. `&Service` is the whole API — it is `Sync`, so the
+/// daemon shares one instance across connection threads via `Arc`.
+pub struct Service {
+    pool: Mutex<Option<FleetPool>>,
+    runner: Arc<RunnerFn>,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service").finish_non_exhaustive()
+    }
+}
+
+/// The default runner: the real characterization flows.
+///
+/// Serial jobs go through [`characterize_instrumented`] and honor the
+/// progress sink. Sharded jobs fan out per bank inside
+/// [`characterize_sharded`]'s own scoped pool — the per-bank chips are
+/// built worker-side, so a single progress sink cannot observe them;
+/// sharded runs simply emit no progress events.
+fn real_runner(
+    spec: &JobSpec,
+    sink: Option<Box<dyn CommandSink + Send>>,
+) -> Result<JobOutput, CoreError> {
+    if spec.sharded {
+        let report =
+            characterize_sharded(&spec.profile, spec.seed, spec.opts, ShardConfig::default());
+        let dossier = report.dossier()?;
+        let text = dossier.to_string();
+        Ok(JobOutput {
+            label: dossier.label.clone(),
+            digest: dossier.digest(),
+            composition: dossier
+                .banks
+                .first()
+                .map(|(_, d)| d.composition.clone())
+                .unwrap_or_default(),
+            dossier: text,
+            commands: report.results.iter().map(|r| r.stats.commands()).sum(),
+            bitflips: report.results.iter().map(|r| r.stats.bitflips()).sum(),
+            metrics: report.merged_metrics(),
+        })
+    } else {
+        let (dossier, stats, metrics) =
+            characterize_instrumented(&spec.profile, spec.seed, spec.opts, sink)?;
+        Ok(JobOutput {
+            label: dossier.label.clone(),
+            digest: dossier.digest(),
+            composition: dossier.composition.clone(),
+            dossier: dossier.to_string(),
+            commands: stats.commands(),
+            bitflips: stats.bitflips(),
+            metrics,
+        })
+    }
+}
+
+impl Service {
+    /// Builds a service over a fresh [`FleetPool`] with `workers`
+    /// threads (`0` = the machine's available parallelism) and the real
+    /// characterization runner.
+    pub fn new(workers: usize) -> Self {
+        Service::with_runner(workers, Arc::new(real_runner))
+    }
+
+    /// Builds a service with an injected runner — tests use this to
+    /// count how many simulations actually execute.
+    pub fn with_runner(workers: usize, runner: Arc<RunnerFn>) -> Self {
+        Service {
+            pool: Mutex::new(Some(FleetPool::new(workers))),
+            runner,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Submits a job, blocking until its output is available.
+    ///
+    /// Equal-keyed submissions are memoized: the first runs a
+    /// simulation on the pool ([`CacheStatus::Miss`]), identical
+    /// requests arriving while it runs park and share its output
+    /// ([`CacheStatus::Coalesced`]), and later ones are served from the
+    /// cache ([`CacheStatus::Hit`]). Errors are never cached — a retry
+    /// after a failure runs fresh.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShutDown`] after [`Service::shutdown`];
+    /// [`ServiceError::Job`] when the characterization fails (worker
+    /// panics arrive as `CoreError::WorkerPanic` — the pool isolates
+    /// them, the daemon survives).
+    pub fn submit(
+        &self,
+        spec: &JobSpec,
+        sink: Option<Box<dyn CommandSink + Send>>,
+    ) -> Result<(Arc<JobOutput>, CacheStatus), ServiceError> {
+        let key = spec.key();
+        let flight = {
+            let mut inner = self.inner.lock().expect("service state poisoned");
+            inner.stats.submitted += 1;
+            if let Some(cached) = inner.cache.get(&key).map(Arc::clone) {
+                inner.stats.hits += 1;
+                return Ok((cached, CacheStatus::Hit));
+            }
+            if let Some(flight) = inner.in_flight.get(&key).map(Arc::clone) {
+                inner.stats.coalesced += 1;
+                drop(inner);
+                // Park outside the service lock: other keys keep flowing.
+                return match flight.wait() {
+                    Ok(output) => Ok((output, CacheStatus::Coalesced)),
+                    Err(e) => Err(ServiceError::Job(e)),
+                };
+            }
+            inner.stats.misses += 1;
+            inner.stats.executions += 1;
+            inner.stats.in_flight += 1;
+            let flight = Arc::new(InFlight::new());
+            inner.in_flight.insert(key, Arc::clone(&flight));
+            flight
+        };
+
+        let result = self.run_on_pool(spec, sink);
+
+        let result = {
+            let mut inner = self.inner.lock().expect("service state poisoned");
+            inner.in_flight.remove(&key);
+            inner.stats.in_flight -= 1;
+            match result {
+                Ok(output) => {
+                    let output = Arc::new(output);
+                    inner.telemetry.merge(&output.metrics);
+                    inner.cache.insert(key, Arc::clone(&output));
+                    inner.stats.cache_entries = inner.cache.len() as u64;
+                    Ok(output)
+                }
+                Err(e) => {
+                    inner.stats.errors += 1;
+                    Err(e)
+                }
+            }
+        };
+        flight.complete(result.clone());
+        match result {
+            Ok(output) => Ok((output, CacheStatus::Miss)),
+            Err(e) => Err(ServiceError::Job(e)),
+        }
+    }
+
+    /// Ships the job to the pool and joins its handle. A missing pool
+    /// (post-shutdown) surfaces as a `WorkerPanic`-free `CoreError` so
+    /// in-flight waiters get a clean error, not a hang.
+    fn run_on_pool(
+        &self,
+        spec: &JobSpec,
+        sink: Option<Box<dyn CommandSink + Send>>,
+    ) -> Result<JobOutput, CoreError> {
+        let handle = {
+            let pool = self.pool.lock().expect("pool handle poisoned");
+            let Some(pool) = pool.as_ref() else {
+                return Err(CoreError::from("service is shut down".to_string()));
+            };
+            let runner = Arc::clone(&self.runner);
+            let spec = spec.clone();
+            pool.submit(move || runner(&spec, sink))
+        };
+        handle.join()?
+    }
+
+    /// Looks up the cache without submitting; does not touch counters.
+    pub fn peek(&self, key: &DossierKey) -> Option<Arc<JobOutput>> {
+        let inner = self.inner.lock().expect("service state poisoned");
+        inner.cache.get(key).cloned()
+    }
+
+    /// Snapshots the live counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.lock().expect("service state poisoned").stats
+    }
+
+    /// Clones the merged telemetry registry of every completed job.
+    pub fn telemetry(&self) -> Registry {
+        self.inner
+            .lock()
+            .expect("service state poisoned")
+            .telemetry
+            .clone()
+    }
+
+    /// Drains the pool deterministically: queued jobs run to
+    /// completion, workers join, and later submissions fail with
+    /// [`ServiceError::ShutDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        let pool = self.pool.lock().expect("pool handle poisoned").take();
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    fn spec(name: &str, seed: u64) -> JobSpec {
+        let (profile, opts) = profiles::named_job(name).expect("known name");
+        JobSpec {
+            profile_name: name.to_string(),
+            profile,
+            seed,
+            opts,
+            sharded: false,
+        }
+    }
+
+    /// A runner that counts executions and fabricates a deterministic
+    /// output from the spec, no simulation.
+    fn counting_service(counter: Arc<AtomicU64>) -> Service {
+        Service::with_runner(
+            2,
+            Arc::new(move |spec: &JobSpec, _sink| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let text = format!("dossier for {} seed {}", spec.profile_name, spec.seed);
+                Ok(JobOutput {
+                    label: spec.profile.label(),
+                    digest: fnv1a_64(text.as_bytes()),
+                    composition: "test".into(),
+                    dossier: text,
+                    commands: 1,
+                    bitflips: 0,
+                    metrics: Registry::new(),
+                })
+            }),
+        )
+    }
+
+    #[test]
+    fn keys_separate_every_input_dimension() {
+        let base = spec("test_small", 1);
+        let mut other_seed = base.clone();
+        other_seed.seed = 2;
+        let mut other_opts = base.clone();
+        other_opts.opts.scan_rows += 1;
+        let mut other_flow = base.clone();
+        other_flow.sharded = true;
+        let other_profile = spec("test_small_interleaved", 1);
+        let keys = [
+            base.key(),
+            other_seed.key(),
+            other_opts.key(),
+            other_flow.key(),
+            other_profile.key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Identity is content-addressed: a rebuilt spec agrees.
+        assert_eq!(base.key(), spec("test_small", 1).key());
+    }
+
+    #[test]
+    fn second_identical_submit_is_a_cache_hit() {
+        let count = Arc::new(AtomicU64::new(0));
+        let svc = counting_service(Arc::clone(&count));
+        let job = spec("test_small", 42);
+        let (first, s1) = svc.submit(&job, None).unwrap();
+        let (second, s2) = svc.submit(&job, None).unwrap();
+        assert_eq!(s1, CacheStatus::Miss);
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(first.digest, second.digest);
+        assert!(Arc::ptr_eq(&first, &second), "hit serves the cached Arc");
+        let stats = svc.stats();
+        assert_eq!((stats.hits, stats.misses, stats.executions), (1, 1, 1));
+        assert_eq!(stats.cache_entries, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_submits_coalesce_to_one_execution() {
+        let count = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let runner_gate = Arc::clone(&gate);
+        let runner_count = Arc::clone(&count);
+        // A runner that blocks until released, so the second submit is
+        // guaranteed to arrive while the first is still in flight.
+        let svc = Arc::new(Service::with_runner(
+            2,
+            Arc::new(move |spec: &JobSpec, _sink| {
+                runner_count.fetch_add(1, Ordering::SeqCst);
+                let (lock, cv) = &*runner_gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                Ok(JobOutput {
+                    label: spec.profile.label(),
+                    digest: 0xd05,
+                    composition: String::new(),
+                    dossier: "d".into(),
+                    commands: 0,
+                    bitflips: 0,
+                    metrics: Registry::new(),
+                })
+            }),
+        ));
+        let job = spec("test_small", 9);
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let job = job.clone();
+                thread::spawn(move || svc.submit(&job, None).unwrap())
+            })
+            .collect();
+        // Wait until one execution has started, then until the other
+        // submission has parked on the in-flight entry.
+        while count.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+        }
+        while svc.stats().coalesced == 0 {
+            thread::yield_now();
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let mut statuses: Vec<CacheStatus> =
+            threads.into_iter().map(|t| t.join().unwrap().1).collect();
+        statuses.sort_by_key(|s| s.as_str());
+        assert_eq!(statuses, [CacheStatus::Coalesced, CacheStatus::Miss]);
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "one simulation, two responses"
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.executions, 1);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_retry_runs_fresh() {
+        let count = Arc::new(AtomicU64::new(0));
+        let fail_count = Arc::clone(&count);
+        let svc = Service::with_runner(
+            1,
+            Arc::new(move |_spec: &JobSpec, _sink| {
+                let n = fail_count.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    Err(CoreError::from("flaky".to_string()))
+                } else {
+                    Ok(JobOutput {
+                        label: "ok".into(),
+                        digest: 1,
+                        composition: String::new(),
+                        dossier: "ok".into(),
+                        commands: 0,
+                        bitflips: 0,
+                        metrics: Registry::new(),
+                    })
+                }
+            }),
+        );
+        let job = spec("test_small", 3);
+        let err = svc.submit(&job, None).unwrap_err();
+        assert!(matches!(err, ServiceError::Job(_)));
+        let (_, status) = svc.submit(&job, None).unwrap();
+        assert_eq!(status, CacheStatus::Miss, "failure was not memoized");
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        assert_eq!(svc.stats().errors, 1);
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_as_job_errors() {
+        let svc = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| panic!("runner exploded")),
+        );
+        let job = spec("test_small", 4);
+        match svc.submit(&job, None) {
+            Err(ServiceError::Job(CoreError::WorkerPanic(msg))) => {
+                assert!(msg.contains("runner exploded"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The pool survives; a healthy retry path still errors (same
+        // runner) but the service itself keeps accepting work.
+        assert!(svc.submit(&job, None).is_err());
+        assert_eq!(svc.stats().errors, 2);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_is_idempotent() {
+        let count = Arc::new(AtomicU64::new(0));
+        let svc = counting_service(Arc::clone(&count));
+        let job = spec("test_small", 5);
+        svc.submit(&job, None).unwrap();
+        svc.shutdown();
+        svc.shutdown();
+        // The same key is still served from cache after shutdown...
+        let (_, status) = svc.submit(&job, None).unwrap();
+        assert_eq!(status, CacheStatus::Hit);
+        // ...but a fresh key needs the pool, which is gone.
+        let fresh = spec("test_small", 6);
+        match svc.submit(&fresh, None) {
+            Err(ServiceError::Job(e)) => {
+                assert!(e.to_string().contains("shut down"), "{e}");
+            }
+            other => panic!("expected shutdown error, got {other:?}"),
+        }
+        assert!(svc.peek(&fresh.key()).is_none(), "failed submit not cached");
+    }
+}

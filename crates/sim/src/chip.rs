@@ -16,12 +16,12 @@
 //!
 //! All per-wordline state lives in dense `Vec` tables indexed by wordline
 //! (allocated lazily per bank on first touch): activation counters in
-//! [`BankState::wl_acts`], materialized rows in [`BankState::rows`]. A
+//! `BankState::wl_acts`, materialized rows in `BankState::rows`. A
 //! sorted dirty list records which rows are materialized so refresh can
 //! settle them in the same deterministic ascending order the previous
 //! `BTreeMap`-backed implementation used. Static per-wordline facts
 //! (aggressor slots, tandem companion, polarity, edge role) are
-//! precomputed once per chip into [`WlStatic`] so the per-command hot
+//! precomputed once per chip into `WlStatic` so the per-command hot
 //! path does no tree lookups and no allocation; two provably
 //! conservative pre-filters (a cached retention-negligibility horizon
 //! and a cubic disturbance-dose bound) skip the expensive `powf`/CDF

@@ -1,0 +1,192 @@
+//! Stable content digests for device identity.
+//!
+//! The characterization service memoizes dossiers in a content-addressed
+//! cache, and the cache key must name the *device*, not just its label:
+//! two profiles that share a label but differ in any hidden field (a
+//! different swizzle map, a TRR engine switched on) must never collide.
+//! [`ChipProfile::digest`](crate::ChipProfile::digest) and
+//! [`BankGeometry::digest`](crate::BankGeometry::digest) are those
+//! identities — the per-device analogue of the dossier digest the
+//! golden-trace subsystem already pins runs on.
+//!
+//! All digests are FNV-1a 64: stable across platforms and releases by
+//! construction, not collision-resistant against adversaries — cache
+//! keys and regression identities do not need that.
+
+use crate::geometry::BankGeometry;
+use crate::profile::ChipProfile;
+
+/// FNV-1a 64-bit hash over raw bytes.
+///
+/// This is the workspace's one hashing primitive; `dram-trace` re-exports
+/// it for dossier digests and geometry hashes.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl ChipProfile {
+    /// FNV-1a 64 digest of the complete profile — every public datasheet
+    /// field *and* every hidden microarchitecture field (composition,
+    /// edge interval, coupling, MAT width, remap, swizzle, polarity,
+    /// disturbance physics, TRR, on-die ECC).
+    ///
+    /// The digest covers every field via the derived [`Debug`]
+    /// rendering, the same every-field-by-rendering discipline as
+    /// `ChipDossier::digest`: any change to any field (or to a field of
+    /// a nested config) changes the rendering and therefore the digest.
+    /// This is the `profile_digest` half of the service's dossier cache
+    /// key — stronger than [`label`](Self::label) (which hidden-field
+    /// variants share) and stronger than the trace geometry hash (which
+    /// covers only externally visible shape and timing).
+    pub fn digest(&self) -> u64 {
+        fnv1a_64(format!("{self:?}").as_bytes())
+    }
+}
+
+impl BankGeometry {
+    /// FNV-1a 64 digest of the bank geometry, covering all four fields
+    /// (rows, row width, MAT width, rows per wordline) as little-endian
+    /// words. The `geometry_hash` component of the service cache key.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = [0u8; 16];
+        for (slot, v) in bytes.chunks_exact_mut(4).zip([
+            self.rows,
+            self.row_bits,
+            self.mat_width,
+            self.rows_per_wordline,
+        ]) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
+        fnv1a_64(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn profile_digest_is_stable_and_distinct_across_presets() {
+        let all = ChipProfile::all_presets();
+        let digests: Vec<u64> = all.iter().map(ChipProfile::digest).collect();
+        // Deterministic for the same profile.
+        for (p, d) in all.iter().zip(&digests) {
+            assert_eq!(p.digest(), *d, "{}", p.label());
+        }
+        // Every preset has its own identity.
+        let mut sorted = digests.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), digests.len(), "preset digests collide");
+    }
+
+    #[test]
+    fn profile_digest_sees_every_public_field() {
+        let base = ChipProfile::test_small();
+        let d = base.digest();
+        let mutations: Vec<(&str, ChipProfile)> = vec![
+            ("vendor", {
+                let mut p = base.clone();
+                p.vendor = crate::Vendor::C;
+                p
+            }),
+            ("io_width", {
+                let mut p = base.clone();
+                p.io_width = crate::IoWidth::X8;
+                p
+            }),
+            ("year", {
+                let mut p = base.clone();
+                p.year = 2031;
+                p
+            }),
+            ("density_gbit", {
+                let mut p = base.clone();
+                p.density_gbit = 16;
+                p
+            }),
+            ("banks", {
+                let mut p = base.clone();
+                p.banks = 8;
+                p
+            }),
+            ("rows_per_bank", {
+                let mut p = base.clone();
+                p.rows_per_bank = 4096;
+                p
+            }),
+            ("row_bits", {
+                let mut p = base.clone();
+                p.row_bits = 512;
+                p
+            }),
+            ("timing", {
+                let mut p = base.clone();
+                p.timing = crate::TimingParams::hbm2();
+                p
+            }),
+        ];
+        for (field, mutated) in mutations {
+            assert_ne!(
+                mutated.digest(),
+                d,
+                "changing `{field}` must change the profile digest"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_digest_sees_hidden_fields_the_label_does_not() {
+        let base = ChipProfile::test_small();
+        let d = base.digest();
+        // Same label, different hidden swizzle map.
+        let vb = ChipProfile::test_small_vendor_b();
+        assert_eq!(vb.label(), base.label());
+        assert_ne!(vb.digest(), d, "hidden swizzle change must be visible");
+        let vc = ChipProfile::test_small_vendor_c();
+        assert_eq!(vc.label(), base.label());
+        assert_ne!(vc.digest(), d);
+        assert_ne!(vc.digest(), vb.digest());
+        // Hidden TRR / ECC toggles (label unchanged for these builders).
+        assert_ne!(base.clone().with_trr(2).digest(), d);
+        assert_ne!(
+            base.clone().with_trr(4).digest(),
+            base.clone().with_trr(2).digest()
+        );
+        assert_ne!(base.clone().with_on_die_ecc().digest(), d);
+    }
+
+    #[test]
+    fn geometry_digest_sees_every_field() {
+        let g = BankGeometry::new(2048, 256, 64, 1);
+        let d = g.digest();
+        assert_eq!(BankGeometry::new(2048, 256, 64, 1).digest(), d);
+        assert_ne!(BankGeometry::new(4096, 256, 64, 1).digest(), d, "rows");
+        assert_ne!(BankGeometry::new(2048, 512, 64, 1).digest(), d, "row_bits");
+        assert_ne!(BankGeometry::new(2048, 256, 32, 1).digest(), d, "mat_width");
+        assert_ne!(
+            BankGeometry::new(2048, 256, 64, 2).digest(),
+            d,
+            "rows_per_wordline"
+        );
+        // Field values must not be interchangeable across positions.
+        assert_ne!(
+            BankGeometry::new(256, 2048, 64, 1).digest(),
+            d,
+            "swapped rows/row_bits"
+        );
+    }
+}

@@ -48,6 +48,7 @@ pub mod cell;
 pub mod chip;
 #[cfg(test)]
 mod difftest;
+pub mod digest;
 pub mod disturb;
 pub mod ecc;
 pub mod geometry;
@@ -67,6 +68,7 @@ pub mod time;
 
 pub use cell::{AggressorDir, CellKind, CellPolarity, GateType};
 pub use chip::{ChipStats, Command, CommandError, DramChip, GroundTruth, ReadData, REF_SLICES};
+pub use digest::fnv1a_64;
 pub use disturb::{DisturbModel, FlipContext, GateRates, Mechanism};
 pub use geometry::{row_neighbors, BankGeometry, Bitline, LogicalRow, MatId, SubarrayId, Wordline};
 pub use layout::{BankLayout, CopyRelation, EdgeRole, StripeSide, SubarrayInfo};

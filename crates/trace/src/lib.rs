@@ -77,14 +77,11 @@ use dram_sim::profile::ChipProfile;
 /// Stable across platforms and releases by construction; not
 /// collision-resistant against adversaries, which golden-trace regression
 /// does not need.
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+///
+/// The canonical implementation lives in [`dram_sim::digest`] (profile
+/// and geometry digests hash there too); this re-export keeps the
+/// historical `dram_trace::fnv1a_64` path working.
+pub use dram_sim::digest::fnv1a_64;
 
 /// Hashes the externally visible geometry and timing of a profile.
 ///

@@ -23,7 +23,10 @@
 //!   harness, `BENCH_*.json` performance snapshots, and a regression
 //!   gate;
 //! * [`core`] — the DRAMScope toolkit itself: reverse-engineering
-//!   pipelines, observation validators (O1–O14), attacks and protections.
+//!   pipelines, observation validators (O1–O14), attacks and protections;
+//! * [`service`] — characterization-as-a-service: the `dramscoped`
+//!   JSON-lines daemon with in-flight dedup and a content-addressed
+//!   dossier cache over the fleet pool.
 //!
 //! # Quickstart
 //!
@@ -45,3 +48,4 @@ pub use dram_telemetry as telemetry;
 pub use dram_testbed as testbed;
 pub use dram_trace as trace;
 pub use dramscope_core as core;
+pub use dramscope_service as service;

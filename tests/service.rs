@@ -1,0 +1,52 @@
+//! Facade-level smoke for the service layer: the `dramscope::service`
+//! path works end to end, the daemon's cache identity agrees with the
+//! content digests the `sim` crate exposes, and a served dossier is the
+//! same bytes a direct library characterization produces.
+
+use dramscope::core::characterize_instrumented;
+use dramscope::service::{handle_connection, profiles, CacheStatus, JobSpec, Service};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn served_dossier_matches_a_direct_library_run() {
+    let (profile, opts) = profiles::named_job("test_small").expect("known profile");
+    let (direct, _, _) =
+        characterize_instrumented(&profile, 7, opts, None).expect("direct run succeeds");
+
+    let service = Service::new(1);
+    let spec = JobSpec {
+        profile_name: "test_small".into(),
+        profile: profile.clone(),
+        seed: 7,
+        opts,
+        sharded: false,
+    };
+    let (served, status) = service.submit(&spec, None).expect("service run succeeds");
+    assert_eq!(status, CacheStatus::Miss);
+    assert_eq!(served.dossier, direct.to_string(), "same bytes either way");
+    assert_eq!(served.digest, direct.digest());
+
+    // The cache key is content-addressed over the sim-crate digests.
+    let key = spec.key();
+    assert_eq!(key.profile_digest, profile.digest());
+    assert_eq!(key.geometry_digest, profile.bank_geometry().digest());
+
+    let (again, status) = service.submit(&spec, None).expect("cached run succeeds");
+    assert_eq!(status, CacheStatus::Hit);
+    assert!(Arc::ptr_eq(&served, &again));
+    service.shutdown();
+}
+
+#[test]
+fn daemon_loop_is_reachable_through_the_facade() {
+    let service = Service::new(1);
+    let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let input = "{\"req\":\"stats\",\"id\":\"f\"}\nnot json\n";
+    handle_connection(&service, input.as_bytes(), &writer).expect("transport ok");
+    service.shutdown();
+    let out = String::from_utf8(writer.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].starts_with("{\"resp\":\"stats\""), "{}", lines[0]);
+    assert!(lines[1].starts_with("{\"resp\":\"error\""), "{}", lines[1]);
+}
