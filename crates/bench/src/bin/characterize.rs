@@ -14,7 +14,9 @@
 //! cargo run --release -p dramscope-bench --bin characterize bench [--save FILE] \
 //!     [--baseline FILE] [--gate PCT] [--warmup N] [--iters N] [--only a,b] \
 //!     [--profile] [--flame FILE] [--profile-json FILE]
-//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH]
+//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH] [--journal FILE]
+//! cargo run --release -p dramscope-bench --bin characterize events <journal> [--sev LEVEL] \
+//!     [--job ID] [--kind PREFIX] [--since-seq N] [--until-seq N] [--tail N] [--stable] [--quiet]
 //! ```
 //!
 //! Exit codes are uniform across subcommands: usage errors (bad flags,
@@ -29,6 +31,19 @@
 //! flags `--metrics FILE` (write the JSON-lines metrics snapshot of the
 //! run to `FILE`) and `--quiet` (suppress the dossier body, run report,
 //! and telemetry footer, leaving only the one-line confirmations).
+//!
+//! The long-running modes (profile runs, `fleet`, `sharded`, `serve`)
+//! additionally accept `--journal FILE`: job lifecycle events
+//! (`job.queued` / `job.started` / `job.finished` / `job.panicked`),
+//! simulator clock anomalies, and — under `serve` — the daemon's
+//! connection, request, and cache events append to a rotating JSON-lines
+//! journal (`dram-obs`). The `events` subcommand reads such a journal
+//! back: it prints matching event lines (filtered by `--sev`, `--job`,
+//! `--kind` prefix, or a `--since-seq`/`--until-seq` sequence window,
+//! trimmed to the last `--tail N`; `--stable` renders without wall-clock
+//! keys, `--quiet` keeps only the summary), salvages around corrupt
+//! lines, and reconstructs the per-job lifecycle — every job's queued /
+//! started / finished / panicked counts, and whether they match.
 //! `stats` derives the same metrics from a trace file alone — no
 //! re-simulation — and renders them as a table (`--csv` for CSV,
 //! `--json` for the raw snapshot that `--metrics` writes).
@@ -74,6 +89,9 @@
 //! FILE` for collapsed-stack and JSON output) additionally profiles one
 //! small characterization into a hierarchical wall-clock span tree.
 
+use dram_obs::{
+    scan_journal, AnomalySink, Event, EventBus, EventDraft, JournalConfig, JournalWriter, Severity,
+};
 use dram_sim::ChipProfile;
 use dram_telemetry::Registry;
 use dram_trace::{diff_traces, trace_metrics, Trace};
@@ -172,6 +190,47 @@ impl Telemetry {
             println!("{}", telemetry_footer(reg));
         }
         Ok(())
+    }
+}
+
+/// The `--journal FILE` flag accepted by the long-running modes: an
+/// event bus mirroring every emission to a rotating on-disk JSON-lines
+/// journal, readable afterwards with `characterize events FILE`.
+struct Journal {
+    bus: Option<EventBus>,
+}
+
+impl Journal {
+    fn from_args(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        let bus = match parse_flag::<String>(args, "--journal")? {
+            None => None,
+            Some(path) => {
+                let writer = JournalWriter::open(path.as_str(), JournalConfig::default())
+                    .map_err(|e| format!("cannot open journal: {e}"))?;
+                Some(EventBus::with_journal(
+                    dram_obs::DEFAULT_RING_CAPACITY,
+                    writer,
+                ))
+            }
+        };
+        Ok(Journal { bus })
+    }
+
+    fn bus(&self) -> Option<&EventBus> {
+        self.bus.as_ref()
+    }
+
+    /// Flushes the journal and surfaces absorbed write failures once, at
+    /// the end of the run (the hot path never fails on journal errors).
+    fn finish(&self) -> Result<(), Box<dyn std::error::Error>> {
+        let Some(bus) = &self.bus else {
+            return Ok(());
+        };
+        bus.flush().map_err(|e| e.to_string())?;
+        match bus.journal_errors() {
+            0 => Ok(()),
+            n => Err(format!("journal dropped {n} event line(s)").into()),
+        }
     }
 }
 
@@ -285,12 +344,14 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let serial = args.iter().any(|a| a == "--serial");
     let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
     let tele = Telemetry::from_args(args)?;
+    let journal = Journal::from_args(args)?;
     let jobs = fleet::table1_jobs();
     if args.iter().any(|a| a == "--sharded") {
-        let report = fleet::run_fleet_sharded(
+        let report = fleet::run_fleet_sharded_with_events(
             &jobs,
             dramscope_bench::experiments::SEED,
             FleetConfig { workers },
+            journal.bus(),
         );
         println!(
             "Sharded fleet characterization — {} profiles, {} (profile, bank) tasks on {} workers, {:.0} ms wall",
@@ -305,19 +366,28 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", report.summary_json());
         }
         tele.emit(&report.merged_metrics())?;
+        journal.finish()?;
         if !report.all_ok() {
             std::process::exit(1);
         }
         return Ok(());
     }
-    let report = if serial {
-        fleet::run_fleet_serial(&jobs, dramscope_bench::experiments::SEED)
-    } else {
-        fleet::run_fleet(
+    let report = match (serial, journal.bus()) {
+        (true, None) => fleet::run_fleet_serial(&jobs, dramscope_bench::experiments::SEED),
+        // The journaled serial path runs the events-aware engine pinned
+        // to one worker — the same jobs, seeds, and execution order.
+        (true, Some(bus)) => fleet::run_fleet_with_events(
+            &jobs,
+            dramscope_bench::experiments::SEED,
+            FleetConfig { workers: 1 },
+            Some(bus),
+        ),
+        (false, _) => fleet::run_fleet_with_events(
             &jobs,
             dramscope_bench::experiments::SEED,
             FleetConfig { workers },
-        )
+            journal.bus(),
+        ),
     };
     println!(
         "Fleet characterization — {} profiles on {} workers, {:.0} ms wall",
@@ -331,6 +401,7 @@ fn run_fleet_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         print!("{}", report.json_lines());
     }
     tele.emit(&report.merged_metrics())?;
+    journal.finish()?;
     if !report.all_ok() {
         std::process::exit(1);
     }
@@ -348,11 +419,30 @@ fn run_sharded_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
     let shards = parse_flag::<usize>(args, "--shards")?.unwrap_or(0);
     let tele = Telemetry::from_args(args)?;
+    let journal = Journal::from_args(args)?;
+    // The shard engine has no event hook, so the lifecycle is narrated
+    // here: one queued/started/finished triple for the whole device run.
+    if let Some(bus) = journal.bus() {
+        bus.emit(EventDraft::info("job.queued").job(name));
+        bus.emit(
+            EventDraft::info("job.started")
+                .job(name)
+                .field_u64("seed", seed),
+        );
+    }
     let report = if args.iter().any(|a| a == "--serial") {
         shard::characterize_sharded_serial(&profile, seed, opts)
     } else {
         shard::characterize_sharded(&profile, seed, opts, ShardConfig { shards })
     };
+    if let Some(bus) = journal.bus() {
+        bus.emit(
+            EventDraft::info("job.finished")
+                .job(name)
+                .field_bool("ok", report.all_ok())
+                .wall_ms(report.wall_ms as u64),
+        );
+    }
     println!(
         "Sharded characterization — {} ({} banks) on {} shard worker(s), {:.0} ms wall",
         report.label,
@@ -372,6 +462,7 @@ fn run_sharded_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     tele.emit(&report.merged_metrics())?;
+    journal.finish()?;
     if !report.all_ok() {
         std::process::exit(1);
     }
@@ -620,19 +711,24 @@ fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use dramscope_service::Service;
     let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
     let socket = parse_flag::<String>(args, "--socket")?;
+    let journal = Journal::from_args(args)?;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             // parse_flag already checked the values exist and parse.
-            "--workers" | "--socket" => i += 2,
+            "--workers" | "--socket" | "--journal" => i += 2,
             other => return usage(format!("serve does not take '{other}'")),
         }
     }
-    let service = std::sync::Arc::new(Service::new(workers));
+    let service = std::sync::Arc::new(match journal.bus() {
+        None => Service::new(workers),
+        Some(bus) => Service::with_events(workers, bus.clone()),
+    });
     match socket {
         None => dramscope_service::serve_stdio(&service)?,
         Some(path) => serve_socket(&service, &path)?,
     }
+    journal.finish()?;
     Ok(())
 }
 
@@ -678,6 +774,154 @@ fn run_dump_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Per-job lifecycle tally for the `events` summary.
+#[derive(Default)]
+struct Lifecycle {
+    queued: usize,
+    started: usize,
+    finished: usize,
+    panicked: usize,
+}
+
+impl Lifecycle {
+    /// Every start is accounted for by a finish or a panic (queue-only
+    /// entries are jobs the journal caught before they ran).
+    fn matched(&self) -> bool {
+        self.started == self.finished + self.panicked
+    }
+}
+
+/// The `events` subcommand: reads a journal written with `--journal`,
+/// prints the matching event lines, and reconstructs the per-job
+/// lifecycle. Corrupt lines are salvaged around (reported to stderr with
+/// their 1-based line numbers), never fatal.
+fn run_events_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage("events needs a journal file");
+    };
+    let sev = match parse_flag::<String>(args, "--sev")? {
+        None => Severity::Debug,
+        Some(s) => match Severity::parse(&s) {
+            Some(sev) => sev,
+            None => {
+                return usage(format!(
+                    "invalid --sev '{s}' (try debug, info, warn, error)"
+                ))
+            }
+        },
+    };
+    let job = parse_flag::<String>(args, "--job")?;
+    let kind = parse_flag::<String>(args, "--kind")?;
+    let since_seq = parse_flag::<u64>(args, "--since-seq")?.unwrap_or(0);
+    let until_seq = parse_flag::<u64>(args, "--until-seq")?.unwrap_or(u64::MAX);
+    let tail = parse_flag::<usize>(args, "--tail")?;
+    let stable = args.iter().any(|a| a == "--stable");
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut corrupt = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    for result in scan_journal(&text) {
+        match result {
+            Ok(e) => events.push(e),
+            Err(e) => {
+                corrupt += 1;
+                eprintln!("characterize events: {e}");
+            }
+        }
+    }
+    let total = events.len();
+    let mut selected: Vec<&Event> = events
+        .iter()
+        .filter(|e| {
+            e.severity >= sev
+                && e.seq >= since_seq
+                && e.seq <= until_seq
+                && job
+                    .as_deref()
+                    .is_none_or(|j| e.job_id.as_deref() == Some(j))
+                && kind.as_deref().is_none_or(|k| e.kind.starts_with(k))
+        })
+        .collect();
+    if let Some(n) = tail {
+        let skip = selected.len().saturating_sub(n);
+        selected.drain(..skip);
+    }
+
+    let mut out = String::new();
+    if !quiet {
+        for e in &selected {
+            out.push_str(&if stable { e.stable_line() } else { e.line() });
+            out.push('\n');
+        }
+    }
+
+    // Reconstruct the lifecycle of every job the selected events
+    // mention. Sharded tasks key by (job, shard) so each (profile, bank)
+    // task must balance on its own.
+    let mut jobs_seen: std::collections::BTreeMap<(String, Option<u32>), Lifecycle> =
+        std::collections::BTreeMap::new();
+    for e in &selected {
+        let Some(job_id) = &e.job_id else { continue };
+        let entry = jobs_seen.entry((job_id.clone(), e.shard)).or_default();
+        match e.kind.as_str() {
+            "job.queued" => entry.queued += 1,
+            "job.started" => entry.started += 1,
+            "job.finished" => entry.finished += 1,
+            "job.panicked" => entry.panicked += 1,
+            _ => {}
+        }
+    }
+    jobs_seen.retain(|_, l| l.queued + l.started + l.finished + l.panicked > 0);
+    if !jobs_seen.is_empty() {
+        let mut t = Table::new(vec![
+            "job",
+            "shard",
+            "queued",
+            "started",
+            "finished",
+            "panicked",
+            "lifecycle",
+        ]);
+        for ((job_id, shard), l) in &jobs_seen {
+            t.row(vec![
+                job_id.clone(),
+                shard.map_or_else(|| "-".into(), |s| s.to_string()),
+                l.queued.to_string(),
+                l.started.to_string(),
+                l.finished.to_string(),
+                l.panicked.to_string(),
+                if l.matched() { "matched" } else { "UNMATCHED" }.into(),
+            ]);
+        }
+        out.push_str("\nJob lifecycle:\n");
+        out.push_str(&t.to_string());
+    }
+    let unmatched = jobs_seen.values().filter(|l| !l.matched()).count();
+    out.push_str(&format!(
+        "{} event(s) read, {} matched filters, {} corrupt line(s); \
+         {} job lifecycle(s), {} unmatched\n",
+        total,
+        selected.len(),
+        corrupt,
+        jobs_seen.len(),
+        unmatched,
+    ));
+
+    // Event listings get piped into `head`/`grep`; a closed stdout is
+    // normal termination, not an error.
+    use std::io::Write;
+    if let Err(e) = std::io::stdout().write_all(out.as_bytes()) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            return Err(e.into());
+        }
+    }
+    if unmatched > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Subcommands must come first; their flags follow. A profile run
     // takes its name from the first non-flag argument, so bare
@@ -692,24 +936,51 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("stats") => return run_stats_mode(&args[1..]),
         Some("bench") => return run_bench_mode(&args[1..]),
         Some("serve") => return run_serve_mode(&args[1..]),
+        Some("events") => return run_events_mode(&args[1..]),
         _ => {}
     }
     let name = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--metrics"))
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && (*i == 0 || (args[*i - 1] != "--metrics" && args[*i - 1] != "--journal"))
+        })
         .map_or("default", |(_, s)| s.as_str());
     let Some((profile, mut opts)) = profiles::preset_job(name) else {
         return usage(format!(
             "unknown command or profile '{name}' (try one of: {}, \
-             fleet, sharded, record, replay, diff, dump, stats, bench, serve)",
+             fleet, sharded, record, replay, diff, dump, stats, bench, serve, events)",
             profiles::known_names().join(", ")
         ));
     };
     let tele = Telemetry::from_args(args)?;
+    let journal = Journal::from_args(args)?;
     opts.with_swizzle = true;
-    let (dossier, stats, metrics) =
-        characterize_instrumented(&profile, dramscope_bench::experiments::SEED, opts, None)?;
+    let seed = dramscope_bench::experiments::SEED;
+    if let Some(bus) = journal.bus() {
+        bus.emit(EventDraft::info("job.queued").job(name));
+        bus.emit(
+            EventDraft::info("job.started")
+                .job(name)
+                .field_u64("seed", seed),
+        );
+    }
+    // A journaled run also surfaces simulator clock anomalies as events.
+    let sink = journal.bus().map(|bus| {
+        Box::new(AnomalySink::new(bus.clone(), None, Some(name)))
+            as Box<dyn dram_sim::CommandSink + Send>
+    });
+    let outcome = characterize_instrumented(&profile, seed, opts, sink);
+    if let Some(bus) = journal.bus() {
+        bus.emit(
+            EventDraft::info("job.finished")
+                .job(name)
+                .field_bool("ok", outcome.is_ok()),
+        );
+    }
+    journal.finish()?;
+    let (dossier, stats, metrics) = outcome?;
     if !tele.quiet {
         print!("{dossier}");
         print_run_report(&stats);

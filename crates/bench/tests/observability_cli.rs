@@ -1,0 +1,152 @@
+//! End-to-end observability contract of the `characterize` CLI: a
+//! `--journal` run followed by `characterize events <journal>` must
+//! reconstruct the job lifecycle — every job with matched started /
+//! finished events under consistent correlation ids — and the stable
+//! rendering must be byte-identical across two identical runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn characterize(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(args)
+        .output()
+        .expect("characterize binary spawns")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("characterize-obs-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the daemon over stdin with two identical characterize requests
+/// (a cache miss then a hit) journaling to `journal`, and returns the
+/// daemon's stdout.
+fn serve_two_jobs(journal: &str) -> String {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(["serve", "--workers", "1", "--journal", journal])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(
+            b"{\"req\":\"characterize\",\"id\":\"first\",\"profile\":\"test_small\",\"seed\":5}\n\
+              {\"req\":\"characterize\",\"id\":\"second\",\"profile\":\"test_small\",\"seed\":5}\n\
+              {\"req\":\"shutdown\",\"id\":\"z\"}\n",
+        )
+        .expect("requests written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{out:?}");
+    String::from_utf8(out.stdout).expect("daemon output is UTF-8")
+}
+
+#[test]
+fn journaled_run_reconstructs_a_matched_lifecycle() {
+    let dir = tmpdir("sharded");
+    let journal = dir.join("run.jsonl");
+    let journal = journal.to_str().unwrap();
+    let out = characterize(&["sharded", "test_small", "--quiet", "--journal", journal]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = characterize(&["events", journal]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"kind\":\"job.queued\",\"job\":\"test_small\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"kind\":\"job.started\",\"job\":\"test_small\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"kind\":\"job.finished\",\"job\":\"test_small\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("| matched"), "{stdout}");
+    assert!(stdout.contains("0 unmatched"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_journal_shows_miss_then_hit_and_is_stable_across_runs() {
+    let dir = tmpdir("daemon");
+    let j1 = dir.join("one.jsonl");
+    let j2 = dir.join("two.jsonl");
+    serve_two_jobs(j1.to_str().unwrap());
+    serve_two_jobs(j2.to_str().unwrap());
+
+    let out = characterize(&["events", j1.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The cache decision precedes the lifecycle it caused, and the
+    // second identical request hits.
+    let miss = stdout
+        .find("\"kind\":\"cache.miss\",\"job\":\"first\"")
+        .expect("miss logged");
+    let started = stdout
+        .find("\"kind\":\"job.started\",\"job\":\"first\"")
+        .expect("start logged");
+    let hit = stdout
+        .find("\"kind\":\"cache.hit\",\"job\":\"second\"")
+        .expect("hit logged");
+    assert!(miss < started && started < hit, "{stdout}");
+    assert!(stdout.contains("\"kind\":\"service.drained\""), "{stdout}");
+    assert!(stdout.contains("0 unmatched"), "{stdout}");
+
+    // Two identical daemon sessions journal byte-identical stable
+    // renderings (wall-clock keys are quarantined in `wall`).
+    let a = characterize(&["events", j1.to_str().unwrap(), "--stable", "--quiet"]);
+    let b = characterize(&["events", j2.to_str().unwrap(), "--stable", "--quiet"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "stable tails diverged");
+    let a_full = characterize(&["events", j1.to_str().unwrap(), "--stable"]);
+    assert!(!String::from_utf8_lossy(&a_full.stdout).contains("\"wall\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn events_filters_and_errors_behave() {
+    let dir = tmpdir("filters");
+    let journal = dir.join("run.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let out = characterize(&["sharded", "test_small", "--quiet", "--journal", journal_s]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Severity floor filters everything on a clean run.
+    let out = characterize(&["events", journal_s, "--sev", "warn"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 matched filters"), "{stdout}");
+
+    // A corrupt line is salvaged around, reported with its line number.
+    let mut text = std::fs::read_to_string(&journal).unwrap();
+    text.insert_str(0, "garbage\n");
+    std::fs::write(&journal, text).unwrap();
+    let out = characterize(&["events", journal_s]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 1"),
+        "{out:?}"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 corrupt line(s)"));
+
+    // Usage and runtime errors keep the CLI's exit-code contract.
+    let out = characterize(&["events", journal_s, "--sev", "loud"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = characterize(&["events"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = characterize(&["events", "/nonexistent/never.jsonl"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -26,11 +26,12 @@
 use crate::dossier::{characterize_instrumented, CharacterizeOptions, ChipDossier, RunStats};
 use crate::error::CoreError;
 use crate::shard::ShardedReport;
+use dram_obs::{EventBus, EventDraft};
 use dram_sim::rng::mix64;
 use dram_sim::ChipProfile;
 use dram_telemetry::Registry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -321,10 +322,61 @@ pub fn table1_jobs() -> Vec<FleetJob> {
 /// pool. Results come back in job order; a worker panic costs only the
 /// offending profile.
 pub fn run_fleet(jobs: &[FleetJob], base_seed: u64, config: FleetConfig) -> FleetReport {
+    run_fleet_with_events(jobs, base_seed, config, None)
+}
+
+/// [`run_fleet`] with per-job lifecycle events: every job emits
+/// `job.queued` / `job.started` / `job.finished` (or `job.panicked`)
+/// onto `events`, correlated by the profile label as `job_id`. The
+/// report — and every dossier in it — is byte-identical with or without
+/// a bus; events are pure observation.
+pub fn run_fleet_with_events(
+    jobs: &[FleetJob],
+    base_seed: u64,
+    config: FleetConfig,
+    events: Option<&EventBus>,
+) -> FleetReport {
     let workers = effective_workers(config.workers, jobs.len());
-    run_with(jobs, base_seed, workers, |profile, seed, opts| {
-        characterize_instrumented(profile, seed, opts, None)
-    })
+    if let Some(bus) = events {
+        for job in jobs {
+            bus.emit(EventDraft::info("job.queued").job(&job.profile.label()));
+        }
+    }
+    let report = run_with(jobs, base_seed, workers, |profile, seed, opts| {
+        let label = profile.label();
+        if let Some(bus) = events {
+            bus.emit(
+                EventDraft::info("job.started")
+                    .job(&label)
+                    .field_u64("seed", seed),
+            );
+        }
+        let job_started = Instant::now();
+        let outcome = characterize_instrumented(profile, seed, opts, None);
+        if let Some(bus) = events {
+            bus.emit(
+                EventDraft::info("job.finished")
+                    .job(&label)
+                    .field_bool("ok", outcome.is_ok())
+                    .wall_ms(job_started.elapsed().as_millis() as u64),
+            );
+        }
+        outcome
+    });
+    if let Some(bus) = events {
+        // A panic unwound past the in-job `job.finished` emission, so
+        // its event is emitted here instead.
+        for r in &report.results {
+            if let Err(e @ CoreError::WorkerPanic(_)) = &r.outcome {
+                bus.emit(
+                    EventDraft::error("job.panicked")
+                        .job(&r.label)
+                        .field_str("message", &e.to_string()),
+                );
+            }
+        }
+    }
+    report
 }
 
 /// The strictly serial reference path: identical jobs, identical derived
@@ -464,16 +516,49 @@ pub fn run_fleet_sharded(
     base_seed: u64,
     config: FleetConfig,
 ) -> ShardedFleetReport {
+    run_fleet_sharded_with_events(jobs, base_seed, config, None)
+}
+
+/// [`run_fleet_sharded`] with per-task lifecycle events: every
+/// `(profile, bank)` task emits `job.queued` / `job.started` /
+/// `job.finished` (or `job.panicked`) onto `events`, correlated by the
+/// profile label as `job_id` and the bank as `shard`. The report — and
+/// every dossier in it — is byte-identical with or without a bus;
+/// events are pure observation.
+pub fn run_fleet_sharded_with_events(
+    jobs: &[FleetJob],
+    base_seed: u64,
+    config: FleetConfig,
+    events: Option<&EventBus>,
+) -> ShardedFleetReport {
     let started = Instant::now();
     let tasks: Vec<(usize, u32)> = jobs
         .iter()
         .enumerate()
         .flat_map(|(job_idx, job)| (0..job.profile.banks).map(move |bank| (job_idx, bank)))
         .collect();
+    if let Some(bus) = events {
+        for &(job_idx, bank) in &tasks {
+            bus.emit(
+                EventDraft::info("job.queued")
+                    .job(&jobs[job_idx].profile.label())
+                    .shard(bank),
+            );
+        }
+    }
     let workers = effective_workers(config.workers, tasks.len());
     let outcomes = parallel_map(&tasks, workers, |&(job_idx, bank)| {
         let job = &jobs[job_idx];
-        let seed = derive_seed(base_seed, &job.profile.label());
+        let label = job.profile.label();
+        let seed = derive_seed(base_seed, &label);
+        if let Some(bus) = events {
+            bus.emit(
+                EventDraft::info("job.started")
+                    .job(&label)
+                    .shard(bank)
+                    .field_u64("seed", seed),
+            );
+        }
         let task_started = Instant::now();
         let outcome = crate::dossier::characterize_bank_instrumented(
             &job.profile,
@@ -482,7 +567,17 @@ pub fn run_fleet_sharded(
             job.opts,
             None,
         );
-        Ok((task_started.elapsed().as_secs_f64() * 1e3, outcome))
+        let wall_ms = task_started.elapsed().as_secs_f64() * 1e3;
+        if let Some(bus) = events {
+            bus.emit(
+                EventDraft::info("job.finished")
+                    .job(&label)
+                    .shard(bank)
+                    .field_bool("ok", outcome.is_ok())
+                    .wall_ms(wall_ms as u64),
+            );
+        }
+        Ok((wall_ms, outcome))
     });
     // Group the flat outcomes back per profile, in bank order. The task
     // list was built job-major, so each job's banks are contiguous.
@@ -497,6 +592,16 @@ pub fn run_fleet_sharded(
                     let outcome = outcomes
                         .next()
                         .expect("one outcome exists per scheduled task");
+                    // A panic unwound past the in-task `job.finished`
+                    // emission, so its event is emitted here instead.
+                    if let (Some(bus), Err(e)) = (events, &outcome) {
+                        bus.emit(
+                            EventDraft::error("job.panicked")
+                                .job(&label)
+                                .shard(bank)
+                                .field_str("message", &e.to_string()),
+                        );
+                    }
                     crate::shard::bank_result(bank, outcome)
                 })
                 .collect();
@@ -520,6 +625,51 @@ pub fn run_fleet_sharded(
 
 /// One boxed unit of pool work.
 type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lifetime job counters shared between a [`FleetPool`] and its workers.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    queued: AtomicU64,
+    started: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A point-in-time view of a [`FleetPool`]'s backlog and history,
+/// derived from monotonic per-state counters so the derived gauges can
+/// never go negative even when read mid-transition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs ever submitted.
+    pub jobs_queued: u64,
+    /// Jobs a worker has picked up.
+    pub jobs_started: u64,
+    /// Jobs that ran to completion (panic-free).
+    pub jobs_completed: u64,
+    /// Jobs that panicked (isolated into their handle's error).
+    pub jobs_panicked: u64,
+}
+
+impl PoolStats {
+    /// Submitted jobs not yet picked up by a worker.
+    pub fn queue_depth(&self) -> u64 {
+        self.jobs_queued.saturating_sub(self.jobs_started)
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn jobs_running(&self) -> u64 {
+        self.jobs_started
+            .saturating_sub(self.jobs_completed + self.jobs_panicked)
+    }
+}
+
+/// Attaches an optional job correlation id to a draft.
+fn correlate(draft: EventDraft, job_id: &Option<String>) -> EventDraft {
+    match job_id {
+        Some(id) => draft.job(id),
+        None => draft,
+    }
+}
 
 /// A persistent worker pool for long-running job streams.
 ///
@@ -553,6 +703,8 @@ type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 pub struct FleetPool {
     queue: Option<mpsc::Sender<PoolTask>>,
     workers: Vec<thread::JoinHandle<()>>,
+    counters: Arc<PoolCounters>,
+    events: Option<EventBus>,
 }
 
 /// The receipt for one [`FleetPool::submit`]: join it to collect the
@@ -582,6 +734,18 @@ impl FleetPool {
     /// Spawns a pool of `workers` threads (`0` uses the machine's
     /// available parallelism, minimum one).
     pub fn new(workers: usize) -> FleetPool {
+        FleetPool::build(workers, None)
+    }
+
+    /// Like [`new`](Self::new), but every job's lifecycle
+    /// (`job.queued` → `job.started` → `job.finished` / `job.panicked`)
+    /// is emitted onto `events`. Use [`submit_labeled`](Self::submit_labeled)
+    /// to correlate those events with a job id.
+    pub fn with_events(workers: usize, events: EventBus) -> FleetPool {
+        FleetPool::build(workers, Some(events))
+    }
+
+    fn build(workers: usize, events: Option<EventBus>) -> FleetPool {
         let hw = thread::available_parallelism().map_or(1, |n| n.get());
         let count = if workers == 0 { hw } else { workers }.max(1);
         let (tx, rx) = mpsc::channel::<PoolTask>();
@@ -607,12 +771,24 @@ impl FleetPool {
         FleetPool {
             queue: Some(tx),
             workers,
+            counters: Arc::new(PoolCounters::default()),
+            events,
         }
     }
 
     /// Worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The pool's lifetime job counters and derived backlog gauges.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs_queued: self.counters.queued.load(Ordering::Relaxed),
+            jobs_started: self.counters.started.load(Ordering::Relaxed),
+            jobs_completed: self.counters.completed.load(Ordering::Relaxed),
+            jobs_panicked: self.counters.panicked.load(Ordering::Relaxed),
+        }
     }
 
     /// Enqueues one job and returns its handle. The closure runs exactly
@@ -623,10 +799,61 @@ impl FleetPool {
         F: FnOnce() -> R + Send + 'static,
         R: Send + 'static,
     {
+        self.submit_inner(None, job)
+    }
+
+    /// [`submit`](Self::submit) with a job correlation id: lifecycle
+    /// events (on a pool built with [`with_events`](Self::with_events))
+    /// carry `job_id` so a journal can be filtered down to one job.
+    pub fn submit_labeled<R, F>(&self, job_id: &str, job: F) -> JobHandle<R>
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.submit_inner(Some(job_id.to_string()), job)
+    }
+
+    fn submit_inner<R, F>(&self, job_id: Option<String>, job: F) -> JobHandle<R>
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
         let (tx, rx) = mpsc::channel();
+        let counters = Arc::clone(&self.counters);
+        counters.queued.fetch_add(1, Ordering::Relaxed);
+        let events = self.events.clone();
+        if let Some(bus) = &events {
+            bus.emit(correlate(EventDraft::info("job.queued"), &job_id));
+        }
         let task: PoolTask = Box::new(move || {
+            counters.started.fetch_add(1, Ordering::Relaxed);
+            if let Some(bus) = &events {
+                bus.emit(correlate(EventDraft::info("job.started"), &job_id));
+            }
+            let job_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(job))
                 .map_err(|payload| CoreError::WorkerPanic(panic_message(payload)));
+            let wall_ms = job_started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+            match &outcome {
+                Ok(_) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(bus) = &events {
+                        bus.emit(
+                            correlate(EventDraft::info("job.finished"), &job_id).wall_ms(wall_ms),
+                        );
+                    }
+                }
+                Err(e) => {
+                    counters.panicked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(bus) = &events {
+                        bus.emit(
+                            correlate(EventDraft::error("job.panicked"), &job_id)
+                                .field_str("message", &e.to_string())
+                                .wall_ms(wall_ms),
+                        );
+                    }
+                }
+            }
             // A receiver that hung up (caller dropped the handle) is
             // fine; the job still ran.
             let _ = tx.send(outcome);
@@ -643,6 +870,14 @@ impl FleetPool {
     /// job runs to completion first — the drain is deterministic.
     pub fn shutdown(mut self) {
         self.drain();
+    }
+
+    /// [`shutdown`](Self::shutdown) that also returns the final counter
+    /// snapshot, taken *after* the drain so queued jobs are counted as
+    /// completed (or panicked), never as still running.
+    pub fn shutdown_stats(mut self) -> PoolStats {
+        self.drain();
+        self.stats()
     }
 
     fn drain(&mut self) {
@@ -1144,6 +1379,148 @@ mod tests {
             }
         }
         assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn pool_stats_track_the_lifecycle() {
+        let pool = FleetPool::new(1);
+        assert_eq!(pool.stats(), PoolStats::default());
+        let handles: Vec<JobHandle<u32>> = (0..4)
+            .map(|i| {
+                pool.submit_labeled(&format!("j{i}"), move || {
+                    if i == 2 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_queued, 4);
+        assert_eq!(stats.jobs_started, 4);
+        assert_eq!(stats.jobs_completed, 3);
+        assert_eq!(stats.jobs_panicked, 1);
+        assert_eq!(stats.queue_depth(), 0);
+        assert_eq!(stats.jobs_running(), 0);
+    }
+
+    #[test]
+    fn pool_with_events_emits_matched_lifecycles() {
+        let bus = dram_obs::EventBus::new(64);
+        // One worker: events interleave deterministically per job.
+        let pool = FleetPool::with_events(1, bus.clone());
+        pool.submit_labeled("alpha", || 1u32).join().unwrap();
+        let err = pool
+            .submit_labeled("beta", || -> u32 { panic!("sim fault") })
+            .join()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::WorkerPanic(_)));
+        pool.shutdown();
+        let events = bus.since(0, 0).events;
+        let kinds: Vec<(&str, Option<&str>)> = events
+            .iter()
+            .map(|e| (e.kind.as_str(), e.job_id.as_deref()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("job.queued", Some("alpha")),
+                ("job.started", Some("alpha")),
+                ("job.finished", Some("alpha")),
+                ("job.queued", Some("beta")),
+                ("job.started", Some("beta")),
+                ("job.panicked", Some("beta")),
+            ]
+        );
+        // Wall time is quarantined: the deterministic rendering of a
+        // finished event carries no wall keys.
+        let finished = &events[2];
+        assert!(finished.wall.contains_key("ms"));
+        assert!(!finished.stable_line().contains("wall"));
+        // The panic message rides in deterministic fields.
+        assert!(events[5]
+            .field("message")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .contains("sim fault"));
+    }
+
+    #[test]
+    fn sharded_fleet_events_reconstruct_every_task() {
+        let bus = dram_obs::EventBus::new(256);
+        let jobs = small_jobs();
+        let report =
+            run_fleet_sharded_with_events(&jobs, 77, FleetConfig { workers: 2 }, Some(&bus));
+        assert!(report.all_ok());
+        let events = bus.since(0, 0).events;
+        // Every (job, bank) task has matched queued, started, and
+        // finished events with consistent correlation ids. Several test
+        // jobs share a profile label, so counts are per (label, bank).
+        for job in &jobs {
+            let label = job.profile.label();
+            let same_label = jobs.iter().filter(|j| j.profile.label() == label).count();
+            for bank in 0..job.profile.banks {
+                for kind in ["job.queued", "job.started", "job.finished"] {
+                    let matching = events
+                        .iter()
+                        .filter(|e| {
+                            e.kind == kind
+                                && e.job_id.as_deref() == Some(label.as_str())
+                                && e.shard == Some(bank)
+                        })
+                        .count();
+                    assert_eq!(matching, same_label, "{label} bank {bank} {kind}");
+                }
+            }
+        }
+        // And the report itself is byte-identical to an event-free run.
+        let quiet = run_fleet_sharded(&jobs, 77, FleetConfig { workers: 2 });
+        assert_eq!(
+            report.merged_metrics().to_json_lines(),
+            quiet.merged_metrics().to_json_lines()
+        );
+    }
+
+    #[test]
+    fn plain_fleet_events_reconstruct_every_job() {
+        let bus = dram_obs::EventBus::new(256);
+        let jobs = small_jobs();
+        let report = run_fleet_with_events(&jobs, 77, FleetConfig { workers: 2 }, Some(&bus));
+        assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+        let events = bus.since(0, 0).events;
+        // Every job has matched queued, started, and finished events
+        // with consistent correlation ids. Several test jobs share a
+        // profile label, so counts are per label.
+        for job in &jobs {
+            let label = job.profile.label();
+            let same_label = jobs.iter().filter(|j| j.profile.label() == label).count();
+            for kind in ["job.queued", "job.started", "job.finished"] {
+                let matching = events
+                    .iter()
+                    .filter(|e| e.kind == kind && e.job_id.as_deref() == Some(label.as_str()))
+                    .count();
+                assert_eq!(matching, same_label, "{label} {kind}");
+            }
+        }
+        // Finished events carry their ok flag and quarantine wall time.
+        let finished = events
+            .iter()
+            .find(|e| e.kind == "job.finished")
+            .expect("a job finished");
+        assert!(matches!(
+            finished.field("ok"),
+            Some(dram_obs::FieldValue::Bool(true))
+        ));
+        assert!(!finished.stable_line().contains("wall"));
+        // And the report itself is byte-identical to an event-free run.
+        let quiet = run_fleet(&jobs, 77, FleetConfig { workers: 2 });
+        assert_eq!(
+            report.merged_metrics().to_json_lines(),
+            quiet.merged_metrics().to_json_lines()
+        );
     }
 
     #[test]

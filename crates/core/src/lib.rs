@@ -63,8 +63,9 @@ pub mod trr_re;
 pub use dossier::{characterize, characterize_instrumented, ChipDossier};
 pub use error::CoreError;
 pub use fleet::{
-    parallel_map, run_fleet, run_fleet_serial, run_fleet_sharded, FleetConfig, FleetPool,
-    FleetReport, JobHandle, ProfileResult, ShardedFleetReport,
+    parallel_map, run_fleet, run_fleet_serial, run_fleet_sharded, run_fleet_sharded_with_events,
+    run_fleet_with_events, FleetConfig, FleetPool, FleetReport, JobHandle, PoolStats,
+    ProfileResult, ShardedFleetReport,
 };
 pub use hammer::{AibConfig, HcntResult};
 pub use observations::{ObservationReport, ObservationSuite};

@@ -1,0 +1,291 @@
+//! The shared emission point: a clonable handle that sequences events
+//! into a ring buffer and mirrors them to an optional on-disk journal.
+//!
+//! Every layer that emits events — the fleet pool, the service cache,
+//! the daemon connection loop, the anomaly sink — holds a cheap clone of
+//! one [`EventBus`], so the run gets a single monotonic sequence over
+//! all of them. Journal write failures never propagate into the hot
+//! path: they are counted ([`EventBus::journal_errors`]) and the run
+//! continues, because observability must not be able to fail the work
+//! it observes.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, FieldValue, Severity};
+use crate::journal::JournalWriter;
+use crate::ring::{EventRing, SinceResult};
+
+/// A draft event: everything but the sequence number, which the bus
+/// assigns at emission. Build with the fluent setters and pass to
+/// [`EventBus::emit`].
+#[derive(Debug, Clone)]
+pub struct EventDraft {
+    severity: Severity,
+    kind: String,
+    run_id: Option<String>,
+    job_id: Option<String>,
+    shard: Option<u32>,
+    fields: BTreeMap<String, FieldValue>,
+    wall: BTreeMap<String, FieldValue>,
+}
+
+impl EventDraft {
+    /// A draft of the given severity and kind.
+    pub fn new(severity: Severity, kind: &str) -> EventDraft {
+        EventDraft {
+            severity,
+            kind: kind.to_string(),
+            run_id: None,
+            job_id: None,
+            shard: None,
+            fields: BTreeMap::new(),
+            wall: BTreeMap::new(),
+        }
+    }
+
+    /// Shorthand for an `info` draft.
+    pub fn info(kind: &str) -> EventDraft {
+        EventDraft::new(Severity::Info, kind)
+    }
+
+    /// Shorthand for a `warn` draft.
+    pub fn warn(kind: &str) -> EventDraft {
+        EventDraft::new(Severity::Warn, kind)
+    }
+
+    /// Shorthand for an `error` draft.
+    pub fn error(kind: &str) -> EventDraft {
+        EventDraft::new(Severity::Error, kind)
+    }
+
+    /// Sets the run correlation id.
+    pub fn run(mut self, id: &str) -> EventDraft {
+        self.run_id = Some(id.to_string());
+        self
+    }
+
+    /// Sets the job correlation id.
+    pub fn job(mut self, id: &str) -> EventDraft {
+        self.job_id = Some(id.to_string());
+        self
+    }
+
+    /// Sets the shard index.
+    pub fn shard(mut self, shard: u32) -> EventDraft {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Adds a deterministic unsigned field.
+    pub fn field_u64(mut self, key: &str, value: u64) -> EventDraft {
+        self.fields.insert(key.to_string(), FieldValue::U64(value));
+        self
+    }
+
+    /// Adds a deterministic signed field (normalized to unsigned when
+    /// non-negative, matching the decoder).
+    pub fn field_i64(mut self, key: &str, value: i64) -> EventDraft {
+        let fv = if value >= 0 {
+            FieldValue::U64(value as u64)
+        } else {
+            FieldValue::I64(value)
+        };
+        self.fields.insert(key.to_string(), fv);
+        self
+    }
+
+    /// Adds a deterministic string field.
+    pub fn field_str(mut self, key: &str, value: &str) -> EventDraft {
+        self.fields
+            .insert(key.to_string(), FieldValue::Str(value.to_string()));
+        self
+    }
+
+    /// Adds a deterministic boolean field.
+    pub fn field_bool(mut self, key: &str, value: bool) -> EventDraft {
+        self.fields.insert(key.to_string(), FieldValue::Bool(value));
+        self
+    }
+
+    /// Adds a wall-clock field (excluded from stable renderings).
+    pub fn wall_u64(mut self, key: &str, value: u64) -> EventDraft {
+        self.wall.insert(key.to_string(), FieldValue::U64(value));
+        self
+    }
+
+    /// Adds the conventional wall-clock duration field `ms`.
+    pub fn wall_ms(self, ms: u64) -> EventDraft {
+        self.wall_u64("ms", ms)
+    }
+
+    /// Finishes the draft into an event with the given sequence number.
+    pub fn into_event(self, seq: u64) -> Event {
+        Event {
+            seq,
+            severity: self.severity,
+            kind: self.kind,
+            run_id: self.run_id,
+            job_id: self.job_id,
+            shard: self.shard,
+            fields: self.fields,
+            wall: self.wall,
+        }
+    }
+}
+
+struct BusInner {
+    ring: EventRing,
+    journal: Option<JournalWriter>,
+    journal_errors: u64,
+}
+
+/// A clonable, thread-safe event emission handle (ring buffer plus
+/// optional journal behind one mutex).
+#[derive(Clone)]
+pub struct EventBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventBus(..)")
+    }
+}
+
+/// Default ring capacity: enough for a long daemon session's recent
+/// history without unbounded memory.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+impl Default for EventBus {
+    fn default() -> EventBus {
+        EventBus::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl EventBus {
+    /// A bus with an in-memory ring only.
+    pub fn new(capacity: usize) -> EventBus {
+        EventBus {
+            inner: Arc::new(Mutex::new(BusInner {
+                ring: EventRing::new(capacity),
+                journal: None,
+                journal_errors: 0,
+            })),
+        }
+    }
+
+    /// A bus that also mirrors every event to an on-disk journal.
+    pub fn with_journal(capacity: usize, journal: JournalWriter) -> EventBus {
+        EventBus {
+            inner: Arc::new(Mutex::new(BusInner {
+                ring: EventRing::new(capacity),
+                journal: Some(journal),
+                journal_errors: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BusInner> {
+        // A panic while holding the bus lock can only come from the ring
+        // or journal code above; recover the data rather than cascading.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Sequences and records `draft`; returns the assigned sequence
+    /// number. Journal failures are absorbed (counted, not returned).
+    pub fn emit(&self, draft: EventDraft) -> u64 {
+        let mut inner = self.lock();
+        let event = draft.into_event(0);
+        let seq = inner.ring.push(event.clone());
+        if let Some(journal) = inner.journal.as_mut() {
+            let mut stamped = event;
+            stamped.seq = seq;
+            if journal.append(&stamped).is_err() {
+                inner.journal_errors += 1;
+            }
+        }
+        seq
+    }
+
+    /// Cursor read delegated to the ring; see [`EventRing::since`].
+    pub fn since(&self, seq: u64, max: usize) -> SinceResult {
+        self.lock().ring.since(seq, max)
+    }
+
+    /// The sequence number the next emitted event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.lock().ring.next_seq()
+    }
+
+    /// Journal writes that failed and were absorbed.
+    pub fn journal_errors(&self) -> u64 {
+        self.lock().journal_errors
+    }
+
+    /// Flushes the journal, if any, reporting its first error.
+    pub fn flush(&self) -> Result<(), crate::error::ObsError> {
+        match self.lock().journal.as_mut() {
+            Some(journal) => journal.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_sequences_and_since_reads_back() {
+        let bus = EventBus::new(16);
+        let s0 = bus.emit(EventDraft::info("a").field_u64("n", 1));
+        let s1 = bus.emit(EventDraft::warn("b").run("r1").job("j1").shard(2));
+        assert_eq!((s0, s1), (0, 1));
+        let r = bus.since(0, 0);
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[1].kind, "b");
+        assert_eq!(r.events[1].shard, Some(2));
+        assert_eq!(r.next_seq, 2);
+    }
+
+    #[test]
+    fn clones_share_one_sequence() {
+        let bus = EventBus::new(16);
+        let other = bus.clone();
+        bus.emit(EventDraft::info("a"));
+        other.emit(EventDraft::info("b"));
+        assert_eq!(bus.next_seq(), 2);
+        assert_eq!(other.since(0, 0).events.len(), 2);
+    }
+
+    #[test]
+    fn field_i64_normalizes_non_negative() {
+        let d = EventDraft::info("x").field_i64("a", 5).field_i64("b", -5);
+        let e = d.into_event(0);
+        assert_eq!(e.fields["a"], FieldValue::U64(5));
+        assert_eq!(e.fields["b"], FieldValue::I64(-5));
+    }
+
+    #[test]
+    fn journal_mirror_gets_the_assigned_seq() {
+        let dir = std::env::temp_dir().join(format!("dram-obs-bus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let writer = JournalWriter::open(&path, crate::journal::JournalConfig::default()).unwrap();
+        let bus = EventBus::with_journal(4, writer);
+        bus.emit(EventDraft::info("a"));
+        bus.emit(EventDraft::info("b").wall_ms(3));
+        bus.flush().unwrap();
+        let back = crate::journal::read_journal(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].seq, 1);
+        assert_eq!(back[1].wall["ms"], FieldValue::U64(3));
+        assert_eq!(bus.journal_errors(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

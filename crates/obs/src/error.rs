@@ -1,0 +1,57 @@
+//! Structured errors for event decoding and journal I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong in this crate. Decoding corrupt input
+/// yields `Decode`, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// A journal line failed to decode. `line` is 1-based; line 0 means
+    /// the input was a single line with no surrounding file context.
+    Decode {
+        /// 1-based line number within the journal (0 for bare lines).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A filesystem operation on the journal failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Decode { line, message } if *line > 0 => {
+                write!(f, "journal line {line}: {message}")
+            }
+            ObsError::Decode { message, .. } => write!(f, "event line: {message}"),
+            ObsError::Io { path, message } => write!(f, "journal {path}: {message}"),
+        }
+    }
+}
+
+impl Error for ObsError {}
+
+impl ObsError {
+    /// A decode error for a bare line (no file context).
+    pub fn decode(message: impl Into<String>) -> ObsError {
+        ObsError::Decode {
+            line: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a 1-based line number to a decode error.
+    pub fn at_line(self, line: usize) -> ObsError {
+        match self {
+            ObsError::Decode { message, .. } => ObsError::Decode { line, message },
+            other => other,
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The append-only on-disk journal: JSON lines with size-based rotation.
+//!
+//! A [`JournalWriter`] appends one encoded event line at a time to a
+//! file, fsync-free (events are operational telemetry, not the source of
+//! truth), rotating `journal` → `journal.1` → `journal.2` → … whenever
+//! the active file would exceed [`JournalConfig::max_bytes`]. Rotation
+//! keeps at most `max_files` rotated generations; the oldest falls off.
+//!
+//! Reading is total: [`scan_journal`] decodes every line independently
+//! and yields per-line `Result`s with 1-based line numbers, so one
+//! corrupt line (a torn write, a flipped bit) never hides the rest of
+//! the journal; [`read_journal`] is the strict form that fails on the
+//! first bad line.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::ObsError;
+use crate::event::{decode_event, Event};
+
+/// Rotation policy for a [`JournalWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Rotate before the active file would exceed this many bytes.
+    pub max_bytes: u64,
+    /// Keep at most this many rotated generations (`.1` … `.N`);
+    /// 0 means rotation truncates instead of keeping history.
+    pub max_files: usize,
+}
+
+impl Default for JournalConfig {
+    /// 16 MiB active file, 4 rotated generations (~80 MiB ceiling).
+    fn default() -> JournalConfig {
+        JournalConfig {
+            max_bytes: 16 * 1024 * 1024,
+            max_files: 4,
+        }
+    }
+}
+
+/// An append-only journal file with size-based rotation.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    config: JournalConfig,
+}
+
+impl JournalWriter {
+    /// Opens (or creates) the journal at `path` for appending. An
+    /// existing file is continued, not truncated; its current size
+    /// counts toward the rotation threshold.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        config: JournalConfig,
+    ) -> Result<JournalWriter, ObsError> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, &e))?;
+        let written = file.metadata().map_err(|e| io_err(&path, &e))?.len();
+        Ok(JournalWriter {
+            path,
+            file,
+            written,
+            config,
+        })
+    }
+
+    /// The active journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event as one line, rotating first if the line would
+    /// push the active file past the configured ceiling.
+    pub fn append(&mut self, event: &Event) -> Result<(), ObsError> {
+        self.append_line(&event.line())
+    }
+
+    /// Appends one pre-rendered line (no trailing newline expected).
+    pub fn append_line(&mut self, line: &str) -> Result<(), ObsError> {
+        let needed = line.len() as u64 + 1;
+        if self.written > 0 && self.written + needed > self.config.max_bytes {
+            self.rotate()?;
+        }
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .map_err(|e| io_err(&self.path, &e))?;
+        self.written += needed;
+        Ok(())
+    }
+
+    /// Flushes buffered bytes to the OS.
+    pub fn flush(&mut self) -> Result<(), ObsError> {
+        self.file.flush().map_err(|e| io_err(&self.path, &e))
+    }
+
+    /// Shifts `path.(N-1)` → `path.N`, …, `path` → `path.1`, then
+    /// reopens a fresh active file. With `max_files == 0` the active
+    /// file is simply truncated.
+    fn rotate(&mut self) -> Result<(), ObsError> {
+        self.file.flush().map_err(|e| io_err(&self.path, &e))?;
+        if self.config.max_files > 0 {
+            let gen_path = |n: usize| -> PathBuf {
+                let mut os = self.path.clone().into_os_string();
+                os.push(format!(".{n}"));
+                PathBuf::from(os)
+            };
+            // The oldest generation is overwritten by the rename chain.
+            for n in (1..self.config.max_files).rev() {
+                let from = gen_path(n);
+                if from.exists() {
+                    std::fs::rename(&from, gen_path(n + 1)).map_err(|e| io_err(&from, &e))?;
+                }
+            }
+            std::fs::rename(&self.path, gen_path(1)).map_err(|e| io_err(&self.path, &e))?;
+        }
+        self.file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, &e))?;
+        self.written = 0;
+        Ok(())
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> ObsError {
+    ObsError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Decodes every line of journal text independently, yielding one
+/// `Result` per non-empty line with its 1-based line number attached to
+/// errors. Never panics on corrupt input.
+pub fn scan_journal(text: &str) -> impl Iterator<Item = Result<Event, ObsError>> + '_ {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.is_empty())
+        .map(|(idx, line)| decode_event(line).map_err(|e| e.at_line(idx + 1)))
+}
+
+/// Reads and strictly decodes a journal file: the first corrupt line is
+/// the error. Use [`scan_journal`] to salvage readable lines instead.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Event>, ObsError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+    scan_journal(&text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FieldValue, Severity};
+    use std::collections::BTreeMap;
+
+    fn ev(seq: u64, kind: &str) -> Event {
+        let mut fields = BTreeMap::new();
+        fields.insert("k".to_string(), FieldValue::U64(seq));
+        Event {
+            seq,
+            severity: Severity::Info,
+            kind: kind.to_string(),
+            run_id: Some("r".to_string()),
+            job_id: None,
+            shard: None,
+            fields,
+            wall: BTreeMap::new(),
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dram-obs-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("j.jsonl");
+        let mut w = JournalWriter::open(&path, JournalConfig::default()).unwrap();
+        for i in 0..5 {
+            w.append(&ev(i, "job.started")).unwrap();
+        }
+        w.flush().unwrap();
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back.len(), 5);
+        assert_eq!(back[3], ev(3, "job.started"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_appends_instead_of_truncating() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("j.jsonl");
+        {
+            let mut w = JournalWriter::open(&path, JournalConfig::default()).unwrap();
+            w.append(&ev(0, "a")).unwrap();
+        }
+        {
+            let mut w = JournalWriter::open(&path, JournalConfig::default()).unwrap();
+            w.append(&ev(1, "b")).unwrap();
+        }
+        assert_eq!(read_journal(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_shifts_generations_and_bounds_them() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("j.jsonl");
+        let line_len = ev(0, "x").line().len() as u64 + 1;
+        let config = JournalConfig {
+            // Room for exactly two lines per generation.
+            max_bytes: line_len * 2,
+            max_files: 2,
+        };
+        let mut w = JournalWriter::open(&path, config).unwrap();
+        for i in 0..9 {
+            w.append(&ev(i, "x")).unwrap();
+        }
+        w.flush().unwrap();
+        // 9 lines at 2/generation: active holds 1, .1 and .2 hold 2 each,
+        // older generations fell off; .3 must not exist.
+        assert_eq!(read_journal(&path).unwrap().len(), 1);
+        assert_eq!(read_journal(dir.join("j.jsonl.1")).unwrap().len(), 2);
+        assert_eq!(read_journal(dir.join("j.jsonl.2")).unwrap().len(), 2);
+        assert!(!dir.join("j.jsonl.3").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_oversized_single_line_still_lands() {
+        let dir = tmpdir("oversize");
+        let path = dir.join("j.jsonl");
+        let config = JournalConfig {
+            max_bytes: 8,
+            max_files: 1,
+        };
+        let mut w = JournalWriter::open(&path, config).unwrap();
+        w.append(&ev(0, "much.longer.than.eight.bytes")).unwrap();
+        w.flush().unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_salvages_around_corrupt_lines() {
+        let good = ev(0, "a").line();
+        let text = format!("{good}\nnot json\n\n{good}\n");
+        let results: Vec<_> = scan_journal(&text).collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(ObsError::Decode { line, .. }) => assert_eq!(*line, 2),
+            other => panic!("expected decode error, got {other:?}"),
+        }
+        assert!(results[2].is_ok());
+    }
+}

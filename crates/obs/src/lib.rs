@@ -1,0 +1,72 @@
+//! # dram-obs
+//!
+//! The observability layer of the DRAMScope reproduction: a structured
+//! event model with correlation ids, an in-memory ring buffer with
+//! `since_seq` cursors, an append-only on-disk journal with size-based
+//! rotation, and a Prometheus text-format renderer for the existing
+//! `dram-telemetry` [`Registry`](dram_telemetry::Registry).
+//!
+//! Characterization campaigns are long, multi-phase sweeps; a daemon
+//! serving them needs an audit trail of *what happened when* — jobs
+//! queued, started, finished, panicked; cache hits and misses;
+//! connections opened; simulator anomalies — not just end-of-run
+//! snapshots. Every such happening is an [`Event`]:
+//!
+//! * a **monotonic sequence number** assigned by the emitting
+//!   [`EventBus`], so tails can resume exactly where they left off;
+//! * a [`Severity`] (`debug` < `info` < `warn` < `error`);
+//! * a dotted **kind** (`job.started`, `cache.hit`, `sim.clock_anomaly`)
+//!   naming what happened;
+//! * **correlation ids** — `run_id`, `job_id`, `shard` — tying the event
+//!   to the work it belongs to, so a journal can be filtered down to one
+//!   job's complete lifecycle;
+//! * ordered key-value **fields** carrying the payload.
+//!
+//! ## Determinism rules
+//!
+//! The repo-wide contract is byte-stable output for identical
+//! `(profile, seed)` inputs, and events must not be the thing that
+//! breaks it. Two rules keep them honest:
+//!
+//! 1. Every payload derived from simulation carries **simulated** time
+//!    (picoseconds of the chip clock) in ordinary `fields`, and those
+//!    fields are byte-stable.
+//! 2. Wall-clock measurements live only in the clearly separated
+//!    [`Event::wall`] map. [`Event::stable_line`] renders an event
+//!    *without* that map — that rendering is the one digests, golden
+//!    fixtures, and byte-stability CI checks consume, mirroring the
+//!    telemetry crate's `host-clock` opt-in.
+//!
+//! ## Totality
+//!
+//! Journal decoding is **total**: any byte-level corruption of a journal
+//! line comes back as a structured [`ObsError`], never a panic — the
+//! same discipline `dram-trace` applies to its binary format and
+//! `dramscope-service` to its wire protocol.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bus;
+pub mod error;
+pub mod event;
+pub mod journal;
+pub mod prometheus;
+pub mod ring;
+pub mod sink;
+
+pub use bus::{EventBus, EventDraft, DEFAULT_RING_CAPACITY};
+pub use error::ObsError;
+pub use event::{decode_event, Event, FieldValue, Severity};
+pub use journal::{read_journal, scan_journal, JournalConfig, JournalWriter};
+pub use prometheus::render_prometheus;
+pub use ring::EventRing;
+pub use sink::AnomalySink;
+
+/// Schema identifier carried by journal files (documentation-level; the
+/// line format itself is versioned by [`SCHEMA_VERSION`]).
+pub const SCHEMA: &str = "dramscope.obs";
+
+/// Event line schema version. Bump when the encoded field set or its
+/// ordering changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;

@@ -1,0 +1,228 @@
+//! Prometheus text-format exposition for a telemetry [`Registry`].
+//!
+//! Renders the exposition format (version 0.0.4): one `# TYPE` comment
+//! per metric name followed by its samples. Counters and gauges map
+//! directly; log2 histograms map to the native histogram sample triple —
+//! cumulative `_bucket{le="…"}` series derived from the fixed bucket
+//! upper bounds, plus `_sum` and `_count`.
+//!
+//! The output is byte-stable for a given registry state: the registry
+//! iterates in key order, and nothing here consults a clock.
+
+use dram_telemetry::{Key, Registry};
+
+/// Renders `registry` in Prometheus text exposition format.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_type_line: Option<String> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if last_type_line.as_deref() != Some(line.as_str()) {
+            out.push_str(&line);
+            last_type_line = Some(line);
+        }
+    };
+    for (key, value) in registry.counters() {
+        let name = metric_name(key.metric());
+        type_line(&mut out, &name, "counter");
+        out.push_str(&sample(&name, "", key, &[], &value.to_string()));
+    }
+    for (key, value) in registry.gauges() {
+        let name = metric_name(key.metric());
+        type_line(&mut out, &name, "gauge");
+        out.push_str(&sample(&name, "", key, &[], &value.to_string()));
+    }
+    for (key, hist) in registry.histograms() {
+        let name = metric_name(key.metric());
+        type_line(&mut out, &name, "histogram");
+        let mut cumulative = 0u64;
+        for (idx, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let le = bucket_le(idx);
+            out.push_str(&sample(
+                &name,
+                "_bucket",
+                key,
+                &[("le", &le)],
+                &cumulative.to_string(),
+            ));
+        }
+        out.push_str(&sample(
+            &name,
+            "_bucket",
+            key,
+            &[("le", "+Inf")],
+            &hist.count().to_string(),
+        ));
+        out.push_str(&sample(&name, "_sum", key, &[], &hist.sum().to_string()));
+        out.push_str(&sample(
+            &name,
+            "_count",
+            key,
+            &[],
+            &hist.count().to_string(),
+        ));
+    }
+    out
+}
+
+/// The inclusive upper bound of a log2 bucket, as a `le` label value:
+/// bucket 0 holds exactly `{0}`, bucket `i` holds `[2^(i-1), 2^i)` over
+/// the integers, so its inclusive bound is `2^i - 1`; the final bucket
+/// is unbounded.
+fn bucket_le(index: usize) -> String {
+    if index == 0 {
+        "0".to_string()
+    } else if index >= 64 {
+        "+Inf".to_string()
+    } else {
+        ((1u64 << index) - 1).to_string()
+    }
+}
+
+fn sample(name: &str, suffix: &str, key: &Key, extra: &[(&str, &str)], value: &str) -> String {
+    let mut line = String::with_capacity(64);
+    line.push_str(name);
+    line.push_str(suffix);
+    let labels = key.labels();
+    if !labels.is_empty() || !extra.is_empty() {
+        line.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&label_name(k));
+            line.push_str("=\"");
+            line.push_str(&escape_label(v));
+            line.push('"');
+        }
+        for (k, v) in extra {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(k);
+            line.push_str("=\"");
+            line.push_str(&escape_label(v));
+            line.push('"');
+        }
+        line.push('}');
+    }
+    line.push(' ');
+    line.push_str(value);
+    line.push('\n');
+    line
+}
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`; every invalid byte becomes `_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Label names allow `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn label_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Label values escape `\`, `"`, and newline per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exposes the log2 bucket bound mapping for tests and documentation.
+#[doc(hidden)]
+pub fn le_of_bucket(index: usize) -> String {
+    bucket_le(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_telemetry::Histogram;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let mut reg = Registry::new();
+        reg.inc(Key::of("commands_total", &[("kind", "act")]), 3);
+        reg.inc(Key::of("commands_total", &[("kind", "rd")]), 5);
+        reg.set_gauge(Key::name("die_temperature_mc"), 45_000);
+        reg.observe(Key::name("act_to_act_ps"), 0);
+        reg.observe(Key::name("act_to_act_ps"), 7);
+        reg.observe(Key::name("act_to_act_ps"), 9);
+        let text = render_prometheus(&reg);
+        let expected = "# TYPE commands_total counter\n\
+                        commands_total{kind=\"act\"} 3\n\
+                        commands_total{kind=\"rd\"} 5\n\
+                        # TYPE die_temperature_mc gauge\n\
+                        die_temperature_mc 45000\n\
+                        # TYPE act_to_act_ps histogram\n\
+                        act_to_act_ps_bucket{le=\"0\"} 1\n\
+                        act_to_act_ps_bucket{le=\"7\"} 2\n\
+                        act_to_act_ps_bucket{le=\"15\"} 3\n\
+                        act_to_act_ps_bucket{le=\"+Inf\"} 3\n\
+                        act_to_act_ps_sum 16\n\
+                        act_to_act_ps_count 3\n";
+        assert_eq!(text, expected);
+        // Byte-stable on re-render.
+        assert_eq!(render_prometheus(&reg), text);
+    }
+
+    #[test]
+    fn type_line_appears_once_per_name() {
+        let mut reg = Registry::new();
+        reg.inc(Key::of("x_total", &[("a", "1")]), 1);
+        reg.inc(Key::of("x_total", &[("a", "2")]), 1);
+        let text = render_prometheus(&reg);
+        assert_eq!(text.matches("# TYPE x_total counter").count(), 1);
+    }
+
+    #[test]
+    fn bucket_bounds_match_the_histogram_convention() {
+        // The inclusive `le` of a bucket is one less than its exclusive
+        // upper bound, consistent with Histogram::bucket_bounds.
+        for idx in 1..64 {
+            let (_, hi) = Histogram::bucket_bounds(idx);
+            assert_eq!(bucket_le(idx), (hi - 1).to_string());
+        }
+        assert_eq!(bucket_le(0), "0");
+        assert_eq!(bucket_le(64), "+Inf");
+    }
+
+    #[test]
+    fn hostile_names_and_values_are_sanitized() {
+        let mut reg = Registry::new();
+        reg.inc(Key::of("weird metric", &[("l bl", "a\"b\\c\nd")]), 1);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("weird_metric{l_bl=\"a\\\"b\\\\c\\nd\"} 1"));
+        assert_eq!(metric_name("9lives"), "_lives");
+        assert_eq!(metric_name(""), "_");
+    }
+}

@@ -1,0 +1,183 @@
+//! A bounded in-memory event buffer with `since_seq` cursors.
+//!
+//! The ring is the live-tail side of the journal: it keeps the most
+//! recent `capacity` events in memory so a `dramscoped` `events` request
+//! (or a future UI) can read recent history and then resume from
+//! exactly the sequence number where the previous read stopped. When
+//! the ring overflows, the oldest events fall off — a cursor read past
+//! them reports how many it missed instead of silently skipping.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// A fixed-capacity ring of recent events plus the monotonic sequence
+/// counter that numbers every event pushed through it.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// The result of a cursor read: the events at or after the cursor that
+/// are still retained, and how many matching events had already been
+/// evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinceResult {
+    /// Retained events with `seq >= since`, oldest first.
+    pub events: Vec<Event>,
+    /// Events with `seq >= since` that were evicted before this read.
+    pub dropped: u64,
+    /// The cursor to pass next time to resume after this read.
+    pub next_seq: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The sequence number the next pushed event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Assigns the next sequence number to `event`, retains it (evicting
+    /// the oldest if full), and returns the assigned number.
+    pub fn push(&mut self, mut event: Event) -> u64 {
+        let seq = self.next_seq;
+        event.seq = seq;
+        self.next_seq += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        seq
+    }
+
+    /// The sequence number of the oldest retained event (equals
+    /// [`next_seq`](Self::next_seq) when empty).
+    pub fn oldest_seq(&self) -> u64 {
+        self.next_seq - self.events.len() as u64
+    }
+
+    /// Reads events with `seq >= since`, oldest first, at most `max`
+    /// (`max == 0` means no limit). Events already evicted are counted
+    /// in `dropped` rather than returned.
+    pub fn since(&self, since: u64, max: usize) -> SinceResult {
+        let oldest = self.oldest_seq();
+        let dropped = oldest
+            .saturating_sub(since)
+            .min(self.next_seq.saturating_sub(since));
+        let skip = since.saturating_sub(oldest) as usize;
+        let iter = self.events.iter().skip(skip).cloned();
+        let events: Vec<Event> = if max == 0 {
+            iter.collect()
+        } else {
+            iter.take(max).collect()
+        };
+        let next_seq = events.last().map_or(oldest.max(since), |e| e.seq + 1);
+        SinceResult {
+            events,
+            dropped,
+            next_seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+    use std::collections::BTreeMap;
+
+    fn ev(kind: &str) -> Event {
+        Event {
+            seq: 0,
+            severity: Severity::Info,
+            kind: kind.to_string(),
+            run_id: None,
+            job_id: None,
+            shard: None,
+            fields: BTreeMap::new(),
+            wall: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn push_assigns_monotonic_seqs() {
+        let mut ring = EventRing::new(8);
+        assert_eq!(ring.push(ev("a")), 0);
+        assert_eq!(ring.push(ev("b")), 1);
+        assert_eq!(ring.next_seq(), 2);
+        let r = ring.since(0, 0);
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[0].seq, 0);
+        assert_eq!(r.events[1].kind, "b");
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.next_seq, 2);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_reports_it() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(ev(&format!("e{i}")));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.oldest_seq(), 2);
+        let r = ring.since(0, 0);
+        assert_eq!(r.dropped, 2);
+        assert_eq!(r.events[0].seq, 2);
+        assert_eq!(r.next_seq, 5);
+        // A cursor inside the retained window drops nothing.
+        let r = ring.since(3, 0);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.events.len(), 2);
+    }
+
+    #[test]
+    fn max_limits_the_read_and_cursor_resumes() {
+        let mut ring = EventRing::new(8);
+        for i in 0..6 {
+            ring.push(ev(&format!("e{i}")));
+        }
+        let first = ring.since(0, 4);
+        assert_eq!(first.events.len(), 4);
+        assert_eq!(first.next_seq, 4);
+        let rest = ring.since(first.next_seq, 4);
+        assert_eq!(rest.events.len(), 2);
+        assert_eq!(rest.events[0].seq, 4);
+        assert_eq!(rest.next_seq, 6);
+        // Reading at the tip returns nothing and a stable cursor.
+        let tip = ring.since(rest.next_seq, 4);
+        assert!(tip.events.is_empty());
+        assert_eq!(tip.next_seq, 6);
+    }
+
+    #[test]
+    fn future_cursor_is_not_counted_as_dropped() {
+        let mut ring = EventRing::new(2);
+        ring.push(ev("a"));
+        let r = ring.since(10, 0);
+        assert!(r.events.is_empty());
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.next_seq, 10);
+    }
+}

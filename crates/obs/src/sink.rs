@@ -1,0 +1,179 @@
+//! Simulator anomaly surfacing: a [`CommandSink`] that turns the same
+//! conditions `clock_anomalies_total` counts into structured events.
+//!
+//! The telemetry `MetricsSink` increments
+//! `clock_anomalies_total{interval=act_to_act|row_open}` when an
+//! accepted event's timestamp runs *backwards* relative to the interval
+//! it would close — a logic-bug symptom, not a device behavior. The
+//! counter says it happened; this sink says *where*: one `warn`
+//! `sim.clock_anomaly` event per occurrence, carrying the bank, the two
+//! simulated timestamps, and the interval name. Payloads are pure
+//! simulated time, so the events are deterministic and byte-stable.
+//!
+//! Attach it with a [`Tee`](dram_sim::sink::Tee) next to whatever sink
+//! the run already uses.
+
+use std::collections::BTreeMap;
+
+use dram_sim::chip::Command;
+use dram_sim::sink::{ChipEvent, CommandOutcome, CommandSink};
+
+use crate::bus::{EventBus, EventDraft};
+
+/// A [`CommandSink`] emitting `sim.clock_anomaly` events onto a bus.
+#[derive(Debug)]
+pub struct AnomalySink {
+    bus: EventBus,
+    run_id: Option<String>,
+    job_id: Option<String>,
+    /// Last accepted explicit-`ACT` timestamp per bank, ps.
+    last_act_ps: BTreeMap<u32, u64>,
+    /// Accepted explicit-`ACT` timestamp of the currently open row per
+    /// bank, ps.
+    open_since_ps: BTreeMap<u32, u64>,
+    anomalies: u64,
+}
+
+impl AnomalySink {
+    /// A sink emitting onto `bus`, with optional correlation ids copied
+    /// onto every event.
+    pub fn new(bus: EventBus, run_id: Option<&str>, job_id: Option<&str>) -> AnomalySink {
+        AnomalySink {
+            bus,
+            run_id: run_id.map(str::to_string),
+            job_id: job_id.map(str::to_string),
+            last_act_ps: BTreeMap::new(),
+            open_since_ps: BTreeMap::new(),
+            anomalies: 0,
+        }
+    }
+
+    /// Anomalies emitted so far.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    fn emit(&mut self, interval: &str, bank: u32, prev_ps: u64, at_ps: u64) {
+        self.anomalies += 1;
+        let mut draft = EventDraft::warn("sim.clock_anomaly")
+            .shard(bank)
+            .field_str("interval", interval)
+            .field_u64("prev_ps", prev_ps)
+            .field_u64("at_ps", at_ps);
+        if let Some(run) = &self.run_id {
+            draft = draft.run(run);
+        }
+        if let Some(job) = &self.job_id {
+            draft = draft.job(job);
+        }
+        self.bus.emit(draft);
+    }
+}
+
+impl CommandSink for AnomalySink {
+    fn record(&mut self, event: ChipEvent<'_>) {
+        let ChipEvent::Command { cmd, at, outcome } = event else {
+            return;
+        };
+        if matches!(outcome, CommandOutcome::Rejected(_)) {
+            return;
+        }
+        let at_ps = at.as_ps();
+        match cmd {
+            Command::Activate { bank, .. } => {
+                if let Some(prev) = self.last_act_ps.insert(bank, at_ps) {
+                    if at_ps < prev {
+                        self.emit("act_to_act", bank, prev, at_ps);
+                    }
+                }
+                self.open_since_ps.insert(bank, at_ps);
+            }
+            Command::Precharge { bank } => {
+                if let Some(opened) = self.open_since_ps.remove(&bank) {
+                    if at_ps < opened {
+                        self.emit("row_open", bank, opened, at_ps);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::time::Time;
+
+    fn act(bank: u32, row: u32, ps: u64) -> ChipEvent<'static> {
+        ChipEvent::Command {
+            cmd: Command::Activate { bank, row },
+            at: Time::from_ps(ps),
+            outcome: CommandOutcome::Accepted,
+        }
+    }
+
+    fn pre(bank: u32, ps: u64) -> ChipEvent<'static> {
+        ChipEvent::Command {
+            cmd: Command::Precharge { bank },
+            at: Time::from_ps(ps),
+            outcome: CommandOutcome::Accepted,
+        }
+    }
+
+    #[test]
+    fn forward_time_emits_nothing() {
+        let bus = EventBus::new(16);
+        let mut sink = AnomalySink::new(bus.clone(), Some("r"), None);
+        sink.record(act(0, 1, 100));
+        sink.record(pre(0, 200));
+        sink.record(act(0, 2, 300));
+        assert_eq!(sink.anomalies(), 0);
+        assert_eq!(bus.next_seq(), 0);
+    }
+
+    #[test]
+    fn backwards_act_and_pre_emit_warn_events() {
+        let bus = EventBus::new(16);
+        let mut sink = AnomalySink::new(bus.clone(), Some("r"), Some("j"));
+        sink.record(act(3, 1, 1000));
+        sink.record(act(3, 2, 500)); // act_to_act backwards
+        sink.record(pre(3, 100)); // row_open backwards (opened at 500)
+        assert_eq!(sink.anomalies(), 2);
+        let events = bus.since(0, 0).events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "sim.clock_anomaly");
+        assert_eq!(events[0].shard, Some(3));
+        assert_eq!(events[0].job_id.as_deref(), Some("j"));
+        assert_eq!(
+            events[0].field("interval").and_then(|v| v.as_str()),
+            Some("act_to_act")
+        );
+        assert_eq!(
+            events[1].field("interval").and_then(|v| v.as_str()),
+            Some("row_open")
+        );
+        assert_eq!(
+            events[1].field("prev_ps").and_then(|v| v.as_u64()),
+            Some(500)
+        );
+        // Deterministic payload: the stable line equals the full line.
+        assert_eq!(events[0].stable_line(), events[0].line());
+    }
+
+    #[test]
+    fn rejected_commands_are_ignored() {
+        let bus = EventBus::new(16);
+        let mut sink = AnomalySink::new(bus.clone(), None, None);
+        sink.record(act(0, 1, 1000));
+        sink.record(ChipEvent::Command {
+            cmd: Command::Activate { bank: 0, row: 2 },
+            at: Time::from_ps(10),
+            outcome: CommandOutcome::Rejected(dram_sim::chip::CommandError::BankOutOfRange {
+                bank: 9,
+                banks: 4,
+            }),
+        });
+        assert_eq!(sink.anomalies(), 0);
+    }
+}

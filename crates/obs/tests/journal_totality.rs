@@ -1,0 +1,190 @@
+//! Totality fuzz for the event decoder: every byte-level corruption of
+//! a valid journal line must come back as a structured error (or a
+//! valid decode), never a panic — the same discipline the wire
+//! protocol's `protocol_totality` tests enforce for requests, applied
+//! to the journal format. Plus the golden fixture: a checked-in journal
+//! whose every line must decode and re-encode to the exact same bytes,
+//! so the rendering can never drift without the diff showing it.
+
+use dram_obs::{decode_event, scan_journal, Event, FieldValue, Severity};
+
+/// A reference line exercising all eight keys: correlation ids, shard,
+/// signed/unsigned/string/bool fields, and a quarantined wall key.
+const VALID: &str = r#"{"seq":42,"sev":"warn","kind":"sim.clock_anomaly","run":"r-1","job":"mfr_a_x4_2016","shard":3,"fields":{"at_ps":1500,"delta":-25,"interval":"act_to_act","note":"tab\there \"quoted\"","ok":false},"wall":{"ms":12}}"#;
+
+/// A tiny deterministic PRNG (xorshift64*) so the fuzz corpus is
+/// reproducible without any dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[test]
+fn the_reference_line_decodes_and_reencodes_byte_identically() {
+    let event = decode_event(VALID).expect("reference line decodes");
+    assert_eq!(event.seq, 42);
+    assert_eq!(event.severity, Severity::Warn);
+    assert_eq!(event.kind, "sim.clock_anomaly");
+    assert_eq!(event.run_id.as_deref(), Some("r-1"));
+    assert_eq!(event.job_id.as_deref(), Some("mfr_a_x4_2016"));
+    assert_eq!(event.shard, Some(3));
+    assert_eq!(event.fields["delta"], FieldValue::I64(-25));
+    assert_eq!(
+        event.fields["note"],
+        FieldValue::Str("tab\there \"quoted\"".to_string())
+    );
+    assert_eq!(event.line(), VALID);
+    // The stable rendering drops exactly the wall map.
+    assert!(!event.stable_line().contains("wall"));
+    assert!(event.stable_line().contains("at_ps"));
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_structured_error() {
+    for cut in 0..VALID.len() {
+        let prefix = &VALID[..cut];
+        let result = decode_event(prefix);
+        assert!(
+            result.is_err(),
+            "prefix of {cut} bytes decoded as {result:?}"
+        );
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic_and_survivors_round_trip() {
+    let bytes = VALID.as_bytes();
+    let replacements: &[u8] = b"\0\x01 {}[]\",:xtrue9\\\x7f\xff";
+    for pos in 0..bytes.len() {
+        for &b in replacements {
+            let mut mutated = bytes.to_vec();
+            mutated[pos] = b;
+            // Invalid UTF-8 mutations are the file reader's problem (it
+            // errors before decoding); the decoder only sees strings.
+            let Ok(line) = std::str::from_utf8(&mutated) else {
+                continue;
+            };
+            if let Ok(event) = decode_event(line) {
+                // A mutation that still decodes must have produced a
+                // canonically renderable event: encode → decode is
+                // lossless even for corrupted-but-valid survivors.
+                let rendered = event.line();
+                let back = decode_event(&rendered)
+                    .unwrap_or_else(|e| panic!("re-decode of {rendered:?} failed: {e}"));
+                assert_eq!(back, event, "round trip drifted for {line:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_lines_never_panic() {
+    let mut rng = Rng(0x5ca1e);
+    for _ in 0..2000 {
+        let len = (rng.next() % 256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() % 128) as u8).collect();
+        if let Ok(line) = std::str::from_utf8(&bytes) {
+            let _ = decode_event(line);
+        }
+    }
+    // Structured garbage: random splices of journal vocabulary.
+    let vocab = [
+        "{",
+        "}",
+        "[",
+        "]",
+        ":",
+        ",",
+        "\"seq\"",
+        "\"sev\"",
+        "\"info\"",
+        "\"kind\"",
+        "\"job.started\"",
+        "\"fields\"",
+        "\"wall\"",
+        "\"shard\"",
+        "42",
+        "null",
+        "true",
+        "-1",
+        "1e999",
+        "9007199254740993",
+        "\"",
+        "\\",
+    ];
+    for _ in 0..2000 {
+        let n = (rng.next() % 24) as usize;
+        let line: String = (0..n)
+            .map(|_| vocab[(rng.next() % vocab.len() as u64) as usize])
+            .collect();
+        let _ = decode_event(&line);
+    }
+}
+
+#[test]
+fn scan_salvages_every_decodable_line_of_a_mutated_journal() {
+    // Corrupt one line of a three-line journal at every position; the
+    // other two lines must always come back intact.
+    let lines = [VALID, VALID, VALID];
+    for pos in 0..VALID.len() {
+        let mut mutated = VALID.as_bytes().to_vec();
+        mutated[pos] = b'\x01';
+        let Ok(bad) = std::str::from_utf8(&mutated) else {
+            continue;
+        };
+        let text = format!("{}\n{bad}\n{}\n", lines[0], lines[2]);
+        let ok = scan_journal(&text).filter(Result::is_ok).count();
+        assert!(ok >= 2, "mutation at byte {pos} hid a good line");
+    }
+}
+
+#[test]
+fn golden_journal_replays_byte_identically() {
+    let text = include_str!("golden.jsonl");
+    let events: Vec<Event> = scan_journal(text)
+        .collect::<Result<_, _>>()
+        .expect("every golden line decodes");
+    assert_eq!(events.len(), 10);
+    // Replayed bytes: re-encoding every decoded event reproduces the
+    // fixture exactly.
+    let replayed: String = events
+        .iter()
+        .flat_map(|e| [e.line(), "\n".into()])
+        .collect();
+    assert_eq!(replayed, text, "golden journal drifted");
+    // Sequence numbers are dense and monotonic.
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64);
+    }
+    // Spot checks across the severity range and key shapes.
+    assert_eq!(events[0].severity, Severity::Info);
+    assert_eq!(events[5].severity, Severity::Warn);
+    assert_eq!(events[6].severity, Severity::Error);
+    assert_eq!(events[8].severity, Severity::Debug);
+    assert_eq!(events[3].run_id.as_deref(), Some("r9"));
+    assert_eq!(events[3].shard, Some(2));
+    assert_eq!(
+        events[6].fields["message"],
+        FieldValue::Str("boom: \"quoted\" backslash\\ tab\t".to_string())
+    );
+    assert_eq!(events[7].fields["delta"], FieldValue::I64(-3));
+    assert_eq!(
+        events[4].wall["unix_ms"],
+        FieldValue::U64(1_700_000_000_000)
+    );
+    // Wall-clock keys are quarantined: the stable rendering of the
+    // whole journal carries no "wall" key anywhere.
+    let stable: String = events
+        .iter()
+        .flat_map(|e| [e.stable_line(), "\n".into()])
+        .collect();
+    assert!(!stable.contains("\"wall\""));
+}

@@ -14,6 +14,16 @@
 //! JSON is answered with an error — nothing a client writes terminates
 //! the daemon. Only a well-formed `shutdown` request (or EOF on stdin)
 //! ends a serve loop, and both paths drain the pool deterministically.
+//!
+//! Every connection narrates itself onto the service's [`EventBus`]:
+//! `conn.open`/`conn.close`, one `request.received` per well-formed
+//! request (except `events`, which must not mutate the ring it tails),
+//! `request.decode_error` for every line that would not parse, and the
+//! cache/lifecycle events the service and pool emit underneath. The
+//! `events` request reads that bus back; `metrics` renders the
+//! telemetry registry plus service gauges as Prometheus text.
+//!
+//! [`EventBus`]: dram_obs::EventBus
 
 use crate::profiles;
 use crate::protocol::{
@@ -21,7 +31,9 @@ use crate::protocol::{
     MAX_REQUEST_BYTES,
 };
 use crate::service::{CacheStatus, JobOutput, JobSpec, Service, ServiceError};
-use dram_sim::{ChipEvent, CommandSink};
+use dram_obs::EventDraft;
+use dram_perf::SharedProfiler;
+use dram_sim::{ChipEvent, CommandSink, Tee};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::sync::{Arc, Mutex};
 
@@ -54,10 +66,19 @@ impl<W: Write> CommandSink for ProgressSink<W> {
 
 /// Renders a byte-stable result line. Field order is fixed; wall-clock
 /// numbers are deliberately absent, so identical jobs render identical
-/// lines except for the `cache` marker.
-fn result_line(id: &str, status: CacheStatus, spec: &JobSpec, output: &JobOutput) -> String {
+/// lines except for the `cache` marker. The one opt-in exception is
+/// `spans` (a profiled run's span tree), whose `wall_ns`/`self_ns`
+/// numbers are host-dependent by design — a result line carries it only
+/// when the request set `"spans":true` and the job actually ran.
+fn result_line(
+    id: &str,
+    status: CacheStatus,
+    spec: &JobSpec,
+    output: &JobOutput,
+    spans: Option<&str>,
+) -> String {
     let key = spec.key();
-    format!(
+    let mut line = format!(
         concat!(
             "{{\"resp\":\"result\",\"id\":{},\"cache\":\"{}\",\"profile\":{},",
             "\"label\":{},\"seed\":{},\"sharded\":{},",
@@ -78,7 +99,14 @@ fn result_line(id: &str, status: CacheStatus, spec: &JobSpec, output: &JobOutput
         output.commands,
         output.bitflips,
         json_string(&output.dossier),
-    )
+    );
+    if let Some(spans) = spans {
+        line.pop();
+        line.push_str(",\"spans\":");
+        line.push_str(spans);
+        line.push('}');
+    }
+    line
 }
 
 /// Renders the `stats` response: service counters plus the merged
@@ -86,6 +114,7 @@ fn result_line(id: &str, status: CacheStatus, spec: &JobSpec, output: &JobOutput
 /// objects.
 fn stats_line(id: &str, service: &Service) -> String {
     let s = service.stats();
+    let p = service.pool_stats();
     let telemetry: Vec<String> = service
         .telemetry()
         .to_json_lines()
@@ -96,7 +125,10 @@ fn stats_line(id: &str, service: &Service) -> String {
         concat!(
             "{{\"resp\":\"stats\",\"id\":{},\"submitted\":{},\"hits\":{},",
             "\"misses\":{},\"coalesced\":{},\"executions\":{},\"errors\":{},",
-            "\"in_flight\":{},\"cache_entries\":{},\"telemetry\":[{}]}}"
+            "\"in_flight\":{},\"cache_entries\":{},",
+            "\"uptime_jobs_completed\":{},\"queue_depth\":{},",
+            "\"jobs_queued\":{},\"jobs_running\":{},\"jobs_panicked\":{},",
+            "\"telemetry\":[{}]}}"
         ),
         id,
         s.submitted,
@@ -107,7 +139,53 @@ fn stats_line(id: &str, service: &Service) -> String {
         s.errors,
         s.in_flight,
         s.cache_entries,
+        p.jobs_completed,
+        p.queue_depth(),
+        p.jobs_queued,
+        p.jobs_running(),
+        p.jobs_panicked,
         telemetry.join(","),
+    )
+}
+
+/// Renders an `events` tail: one `{"resp":"event",...}` line per ring
+/// event at or past the cursor, then a final `{"resp":"events",...}`
+/// cursor line carrying `next_seq` for resumption and `dropped` (events
+/// evicted from the ring before they could be read). `stable` renders
+/// events without their wall-clock map, making the whole tail
+/// byte-stable for a given request history.
+fn events_lines(id: &str, service: &Service, since_seq: u64, max: u64, stable: bool) -> String {
+    let max = usize::try_from(max).unwrap_or(usize::MAX);
+    let tail = service.events().since(since_seq, max);
+    let mut out = String::new();
+    for event in &tail.events {
+        let rendered = if stable {
+            event.stable_line()
+        } else {
+            event.line()
+        };
+        out.push_str(&format!(
+            "{{\"resp\":\"event\",\"id\":{id},\"event\":{rendered}}}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"resp\":\"events\",\"id\":{},\"count\":{},\"dropped\":{},\"next_seq\":{}}}",
+        id,
+        tail.events.len(),
+        tail.dropped,
+        tail.next_seq,
+    ));
+    out
+}
+
+/// Renders the `metrics` response: the Prometheus text exposition as an
+/// escaped JSON string body, with its content type alongside so HTTP
+/// gateways can forward it verbatim.
+fn metrics_line(id: &str, service: &Service) -> String {
+    format!(
+        "{{\"resp\":\"metrics\",\"id\":{},\"content_type\":\"text/plain; version=0.0.4\",\"body\":{}}}",
+        id,
+        json_string(&service.metrics_prometheus()),
     )
 }
 
@@ -178,16 +256,31 @@ fn run_characterize<W: Write + Send + 'static>(
         });
     };
     let spec = JobSpec::new(req, profile);
-    let sink: Option<Box<dyn CommandSink + Send>> = if req.progress && !req.sharded {
-        Some(Box::new(ProgressSink {
-            writer: Arc::clone(writer),
-            id: req.id.clone(),
-        }))
-    } else {
-        None
+    // Both live sinks observe the serial flow only: sharded runs build
+    // their per-bank chips worker-side, out of one sink's reach.
+    let progress = (req.progress && !req.sharded).then(|| ProgressSink {
+        writer: Arc::clone(writer),
+        id: req.id.clone(),
+    });
+    let profiler = (req.spans && !req.sharded).then(SharedProfiler::new);
+    let sink: Option<Box<dyn CommandSink + Send>> = match (progress, profiler.clone()) {
+        (Some(p), Some(prof)) => Some(Box::new(Tee::new(p, prof))),
+        (Some(p), None) => Some(Box::new(p)),
+        (None, Some(prof)) => Some(prof.sink()),
+        (None, None) => None,
     };
-    match service.submit(&spec, sink) {
-        Ok((output, status)) => result_line(&req.id, status, &spec, &output),
+    // Correlate service/pool events with the request id; an absent id
+    // falls back to the profile name inside `submit_traced`.
+    let job_id = (req.id != "null").then(|| req.id.trim_matches('"').to_string());
+    match service.submit_traced(&spec, sink, job_id.as_deref()) {
+        Ok((output, status)) => {
+            // The profiler only observed anything when the job actually
+            // ran on this request; cached/coalesced results carry none.
+            let spans = profiler
+                .filter(|_| status == CacheStatus::Miss)
+                .map(|p| p.finish().to_json());
+            result_line(&req.id, status, &spec, &output, spans.as_deref())
+        }
         Err(e) => error_line(&ProtocolError {
             id: req.id.clone(),
             message: match e {
@@ -212,14 +305,27 @@ pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
     mut reader: R,
     writer: &Arc<Mutex<W>>,
 ) -> io::Result<bool> {
+    service.events().emit(EventDraft::info("conn.open"));
+    let mut requests: u64 = 0;
+    let close = |requests: u64| {
+        service
+            .events()
+            .emit(EventDraft::info("conn.close").field_u64("requests", requests));
+    };
     loop {
         let line = match read_request_line(&mut reader)? {
-            None => return Ok(false),
+            None => {
+                close(requests);
+                return Ok(false);
+            }
             Some(Err(0)) => {
                 let e = ProtocolError {
                     id: "null".into(),
                     message: "request line is not valid UTF-8".into(),
                 };
+                service.events().emit(
+                    EventDraft::warn("request.decode_error").field_str("message", &e.message),
+                );
                 write_line(writer, &error_line(&e))?;
                 continue;
             }
@@ -230,6 +336,9 @@ pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
                         "request line of {bytes} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit"
                     ),
                 };
+                service.events().emit(
+                    EventDraft::warn("request.decode_error").field_str("message", &e.message),
+                );
                 write_line(writer, &error_line(&e))?;
                 continue;
             }
@@ -239,12 +348,47 @@ pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
         if line.is_empty() {
             continue;
         }
+        requests += 1;
         let response = match parse_request(line) {
-            Err(e) => error_line(&e),
-            Ok(Request::Characterize(req)) => run_characterize(service, writer, &req),
-            Ok(Request::Stats { id }) => stats_line(&id, service),
+            Err(e) => {
+                service.events().emit(
+                    EventDraft::warn("request.decode_error").field_str("message", &e.message),
+                );
+                error_line(&e)
+            }
+            Ok(Request::Characterize(req)) => {
+                service
+                    .events()
+                    .emit(EventDraft::info("request.received").field_str("req", "characterize"));
+                run_characterize(service, writer, &req)
+            }
+            Ok(Request::Stats { id }) => {
+                service
+                    .events()
+                    .emit(EventDraft::info("request.received").field_str("req", "stats"));
+                stats_line(&id, service)
+            }
+            // `events` deliberately emits no event of its own: tailing
+            // the ring must not mutate it, so repeating the same tail is
+            // idempotent and byte-stable.
+            Ok(Request::Events {
+                id,
+                since_seq,
+                max,
+                stable,
+            }) => events_lines(&id, service, since_seq, max, stable),
+            Ok(Request::Metrics { id }) => {
+                service
+                    .events()
+                    .emit(EventDraft::info("request.received").field_str("req", "metrics"));
+                metrics_line(&id, service)
+            }
             Ok(Request::Shutdown { id }) => {
+                service
+                    .events()
+                    .emit(EventDraft::info("request.received").field_str("req", "shutdown"));
                 service.shutdown();
+                close(requests);
                 write_line(
                     writer,
                     &format!("{{\"resp\":\"shutdown\",\"id\":{id},\"drained\":true}}"),
@@ -468,10 +612,137 @@ mod tests {
         assert_eq!(lines.len(), 1);
         let line = &lines[0];
         assert!(line.starts_with("{\"resp\":\"stats\",\"id\":1,"), "{line}");
-        for field in ["submitted", "hits", "misses", "coalesced", "telemetry"] {
+        for field in [
+            "submitted",
+            "hits",
+            "misses",
+            "coalesced",
+            "uptime_jobs_completed",
+            "queue_depth",
+            "jobs_running",
+            "telemetry",
+        ] {
             assert!(line.contains(&format!("\"{field}\":")), "{line}");
         }
         // The whole stats line must itself parse as JSON.
         dram_perf::json::parse("stats", line).expect("stats line is valid JSON");
+    }
+
+    #[test]
+    fn events_tail_shows_miss_then_hit_and_is_idempotent() {
+        let input = "\
+            {\"req\":\"characterize\",\"id\":\"a\",\"profile\":\"test_small\",\"seed\":1}\n\
+            {\"req\":\"characterize\",\"id\":\"b\",\"profile\":\"test_small\",\"seed\":1}\n\
+            {\"req\":\"events\",\"id\":\"e\",\"since_seq\":0,\"stable\":true}\n\
+            {\"req\":\"events\",\"id\":\"e\",\"since_seq\":0,\"stable\":true}\n";
+        let (lines, _) = drive(input);
+        let tails: Vec<Vec<&String>> = {
+            let mut tails = Vec::new();
+            let mut current = Vec::new();
+            let mut in_tail = false;
+            for line in &lines {
+                if line.starts_with("{\"resp\":\"event\",") {
+                    in_tail = true;
+                    current.push(line);
+                } else if in_tail {
+                    current.push(line);
+                    tails.push(std::mem::take(&mut current));
+                    in_tail = false;
+                }
+            }
+            tails
+        };
+        assert_eq!(tails.len(), 2, "{lines:?}");
+        // Tailing must not grow the ring: both tails are byte-identical.
+        assert_eq!(tails[0], tails[1]);
+        let joined: Vec<String> = tails[0].iter().map(|l| l.to_string()).collect();
+        let miss = joined
+            .iter()
+            .position(|l| l.contains("\"kind\":\"cache.miss\"") && l.contains("\"job\":\"a\""))
+            .expect("miss event for job a");
+        let hit = joined
+            .iter()
+            .position(|l| l.contains("\"kind\":\"cache.hit\"") && l.contains("\"job\":\"b\""))
+            .expect("hit event for job b");
+        assert!(miss < hit, "miss precedes hit: {joined:?}");
+        // Lifecycle events for the executed job carry its correlation id.
+        for kind in ["job.queued", "job.started", "job.finished"] {
+            assert!(
+                joined
+                    .iter()
+                    .any(|l| l.contains(&format!("\"kind\":\"{kind}\""))
+                        && l.contains("\"job\":\"a\"")),
+                "{kind} for job a in {joined:?}"
+            );
+        }
+        // Stable mode excludes every wall-clock key.
+        assert!(joined.iter().all(|l| !l.contains("\"wall\"")), "{joined:?}");
+        // The cursor line closes the tail.
+        let last = joined.last().unwrap();
+        assert!(
+            last.starts_with("{\"resp\":\"events\",\"id\":\"e\","),
+            "{last}"
+        );
+        assert!(last.contains("\"next_seq\":"), "{last}");
+        // Each event line parses as JSON.
+        for line in &joined {
+            dram_perf::json::parse("events", line).expect("event line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn metrics_response_embeds_prometheus_text() {
+        let input = "\
+            {\"req\":\"characterize\",\"id\":\"a\",\"profile\":\"test_small\",\"seed\":1}\n\
+            {\"req\":\"metrics\",\"id\":\"m\"}\n";
+        let (lines, _) = drive(input);
+        let line = lines.last().unwrap();
+        assert!(
+            line.starts_with("{\"resp\":\"metrics\",\"id\":\"m\","),
+            "{line}"
+        );
+        assert!(
+            line.contains("\"content_type\":\"text/plain; version=0.0.4\""),
+            "{line}"
+        );
+        let parsed = dram_perf::json::parse("metrics", line).expect("valid JSON");
+        let body = parsed
+            .as_object()
+            .and_then(|o| o.get("body"))
+            .and_then(|v| v.as_str())
+            .expect("body string")
+            .to_string();
+        assert!(
+            body.contains("# TYPE dramscoped_submitted_total counter"),
+            "{body}"
+        );
+        assert!(
+            body.contains("dramscoped_uptime_jobs_completed 1"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn spans_flag_attaches_a_span_tree_on_miss_only() {
+        let input = "\
+            {\"req\":\"characterize\",\"id\":\"s1\",\"profile\":\"test_small\",\"spans\":true}\n\
+            {\"req\":\"characterize\",\"id\":\"s2\",\"profile\":\"test_small\",\"spans\":true}\n";
+        let (lines, executions) = drive(input);
+        assert_eq!(executions, 1);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].contains("\"spans\":{\"schema\":\"dramscope.perf.spans\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains("\"name\":\"phase:structure\""),
+            "profiled tree observed the marker: {}",
+            lines[0]
+        );
+        // The cached response ran nothing, so it carries no span tree.
+        assert!(lines[1].contains("\"cache\":\"hit\""), "{}", lines[1]);
+        assert!(!lines[1].contains("\"spans\":"), "{}", lines[1]);
+        dram_perf::json::parse("result", &lines[0]).expect("result with spans is valid JSON");
     }
 }

@@ -14,16 +14,27 @@
 //! {"req":"characterize","id":"job-1","profile":"test_small","seed":42}
 //! {"req":"characterize","id":"j2","profile":"mfr_a_x4_2016","scan_rows":8193,"with_swizzle":true}
 //! {"req":"stats","id":"s1"}
+//! {"req":"events","id":"e1","since_seq":0,"max":100,"stable":true}
+//! {"req":"metrics","id":"m1"}
 //! {"req":"shutdown"}
 //! ```
 //!
 //! `characterize` accepts the option overrides `seed`, `scan_rows`,
 //! `with_swizzle`, `probe_start`, `probe_end`, `retention_wait_ms`,
-//! `sharded` (run the per-bank sharded flow), and `progress` (stream
-//! `phase:`/`span:` marker events as they happen). Omitted options use
-//! the named profile's canonical values — the same per-device defaults
-//! as the `characterize` CLI, so service and CLI runs share cache
-//! identity.
+//! `sharded` (run the per-bank sharded flow), `progress` (stream
+//! `phase:`/`span:` marker events as they happen), and `spans` (profile
+//! the run and attach its span-tree JSON to the result — the key is not
+//! named `profile` because that field already carries the profile
+//! name). Omitted options use the named profile's canonical values —
+//! the same per-device defaults as the `characterize` CLI, so service
+//! and CLI runs share cache identity.
+//!
+//! `events` tails the daemon's in-memory event ring from a `since_seq`
+//! cursor (default 0), `max` bounding the batch (default 0 =
+//! unlimited); `stable:true` renders events without their wall-clock
+//! map, making the tail byte-stable for a given request history.
+//! `metrics` returns the merged telemetry registry plus service gauges
+//! in Prometheus text exposition format.
 //!
 //! # Responses
 //!
@@ -59,6 +70,22 @@ pub enum Request {
         /// Echoed request id, pre-rendered as a JSON token.
         id: String,
     },
+    /// Tail the daemon's event ring from a sequence cursor.
+    Events {
+        /// Echoed request id, pre-rendered as a JSON token.
+        id: String,
+        /// Resume cursor: only events with `seq >= since_seq` are sent.
+        since_seq: u64,
+        /// Batch bound; `0` means unlimited.
+        max: u64,
+        /// Render events without their wall-clock map (byte-stable).
+        stable: bool,
+    },
+    /// Report the telemetry registry in Prometheus text format.
+    Metrics {
+        /// Echoed request id, pre-rendered as a JSON token.
+        id: String,
+    },
     /// Drain the queue and stop the daemon.
     Shutdown {
         /// Echoed request id, pre-rendered as a JSON token.
@@ -82,6 +109,8 @@ pub struct CharacterizeRequest {
     pub sharded: bool,
     /// Stream `phase:`/`span:` marker events while the job runs.
     pub progress: bool,
+    /// Profile the run and attach its span-tree JSON to the result.
+    pub spans: bool,
 }
 
 /// A structured decode/validation failure. The daemon renders it as an
@@ -192,7 +221,7 @@ fn want_u32(
 /// The complete field vocabulary of a `characterize` request; anything
 /// else is rejected so typos fail loudly instead of silently running
 /// with defaults.
-const CHARACTERIZE_KEYS: [&str; 11] = [
+const CHARACTERIZE_KEYS: [&str; 12] = [
     "req",
     "id",
     "profile",
@@ -204,6 +233,7 @@ const CHARACTERIZE_KEYS: [&str; 11] = [
     "retention_wait_ms",
     "sharded",
     "progress",
+    "spans",
 ];
 
 /// Decodes and validates one request line.
@@ -238,13 +268,28 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             reject_unknown(obj, &id, &["req", "id"])?;
             Ok(Request::Stats { id })
         }
+        "events" => {
+            reject_unknown(obj, &id, &["req", "id", "since_seq", "max", "stable"])?;
+            Ok(Request::Events {
+                since_seq: want_u64(obj, &id, "since_seq")?.unwrap_or(0),
+                max: want_u64(obj, &id, "max")?.unwrap_or(0),
+                stable: want_bool(obj, &id, "stable")?.unwrap_or(false),
+                id,
+            })
+        }
+        "metrics" => {
+            reject_unknown(obj, &id, &["req", "id"])?;
+            Ok(Request::Metrics { id })
+        }
         "shutdown" => {
             reject_unknown(obj, &id, &["req", "id"])?;
             Ok(Request::Shutdown { id })
         }
         other => Err(err(
             &id,
-            format!("unknown request \"{other}\" (try characterize, stats, shutdown)"),
+            format!(
+                "unknown request \"{other}\" (try characterize, stats, events, metrics, shutdown)"
+            ),
         )),
     }
 }
@@ -298,6 +343,7 @@ fn parse_characterize(obj: &BTreeMap<String, Value>, id: String) -> Result<Reque
     };
     let sharded = want_bool(obj, &id, "sharded")?.unwrap_or(false);
     let progress = want_bool(obj, &id, "progress")?.unwrap_or(false);
+    let spans = want_bool(obj, &id, "spans")?.unwrap_or(false);
     Ok(Request::Characterize(CharacterizeRequest {
         id,
         profile_name,
@@ -310,6 +356,7 @@ fn parse_characterize(obj: &BTreeMap<String, Value>, id: String) -> Result<Reque
         },
         sharded,
         progress,
+        spans,
     }))
 }
 
@@ -333,6 +380,51 @@ mod tests {
         assert_eq!(c.opts, defaults);
         assert!(!c.sharded);
         assert!(!c.progress);
+        assert!(!c.spans);
+    }
+
+    #[test]
+    fn events_and_metrics_requests_parse_with_defaults() {
+        let Request::Events {
+            id,
+            since_seq,
+            max,
+            stable,
+        } = parse_ok(r#"{"req":"events"}"#)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!((id.as_str(), since_seq, max, stable), ("null", 0, 0, false));
+        let Request::Events {
+            id,
+            since_seq,
+            max,
+            stable,
+        } = parse_ok(r#"{"req":"events","id":"e1","since_seq":17,"max":5,"stable":true}"#)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(
+            (id.as_str(), since_seq, max, stable),
+            ("\"e1\"", 17, 5, true)
+        );
+        let Request::Metrics { id } = parse_ok(r#"{"req":"metrics","id":"m"}"#) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(id, "\"m\"");
+    }
+
+    #[test]
+    fn spans_flag_parses_and_rejects_non_booleans() {
+        let Request::Characterize(c) =
+            parse_ok(r#"{"req":"characterize","profile":"test_small","spans":true}"#)
+        else {
+            panic!("wrong variant");
+        };
+        assert!(c.spans);
+        let e = parse_request(r#"{"req":"characterize","profile":"test_small","spans":1}"#)
+            .unwrap_err();
+        assert!(e.message.contains("must be a boolean"), "{}", e.message);
     }
 
     #[test]
@@ -399,6 +491,10 @@ mod tests {
                 "unknown field",
             ),
             (r#"{"req":"stats","profile":"x"}"#, "unknown field"),
+            (r#"{"req":"events","since_seq":-1}"#, "non-negative integer"),
+            (r#"{"req":"events","stable":"yes"}"#, "must be a boolean"),
+            (r#"{"req":"events","tail":true}"#, "unknown field"),
+            (r#"{"req":"metrics","format":"text"}"#, "unknown field"),
         ];
         for (line, needle) in cases {
             let e = parse_request(line).expect_err(line);

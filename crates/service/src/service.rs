@@ -21,12 +21,13 @@
 //! runner finishes — one simulation, N responses.
 
 use crate::protocol::CharacterizeRequest;
+use dram_obs::{render_prometheus, EventBus, EventDraft};
 use dram_sim::digest::fnv1a_64;
 use dram_sim::{ChipProfile, CommandSink};
-use dram_telemetry::Registry;
+use dram_telemetry::{Key, Registry};
 use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
 use dramscope_core::shard::{characterize_sharded, ShardConfig};
-use dramscope_core::{CoreError, FleetPool};
+use dramscope_core::{CoreError, FleetPool, PoolStats};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -229,6 +230,9 @@ struct Inner {
     in_flight: BTreeMap<DossierKey, Arc<InFlight>>,
     stats: ServiceStats,
     telemetry: Registry,
+    /// The pool's final counter snapshot, captured at shutdown so
+    /// backlog gauges stay readable after the pool is gone.
+    final_pool: Option<PoolStats>,
 }
 
 /// The characterization service.
@@ -240,6 +244,7 @@ pub struct Service {
     pool: Mutex<Option<FleetPool>>,
     runner: Arc<RunnerFn>,
     inner: Mutex<Inner>,
+    events: EventBus,
 }
 
 impl fmt::Debug for Service {
@@ -300,14 +305,34 @@ impl Service {
         Service::with_runner(workers, Arc::new(real_runner))
     }
 
+    /// [`new`](Self::new) over a caller-supplied [`EventBus`] — the
+    /// daemon uses this to attach an on-disk journal before serving.
+    pub fn with_events(workers: usize, events: EventBus) -> Self {
+        Service::with_runner_and_events(workers, Arc::new(real_runner), events)
+    }
+
     /// Builds a service with an injected runner — tests use this to
     /// count how many simulations actually execute.
     pub fn with_runner(workers: usize, runner: Arc<RunnerFn>) -> Self {
+        Service::with_runner_and_events(workers, runner, EventBus::default())
+    }
+
+    /// The fully general constructor: injected runner and event bus.
+    /// The pool shares the bus, so job lifecycle events interleave with
+    /// the service's cache events on one sequence.
+    pub fn with_runner_and_events(workers: usize, runner: Arc<RunnerFn>, events: EventBus) -> Self {
         Service {
-            pool: Mutex::new(Some(FleetPool::new(workers))),
+            pool: Mutex::new(Some(FleetPool::with_events(workers, events.clone()))),
             runner,
             inner: Mutex::new(Inner::default()),
+            events,
         }
+    }
+
+    /// The service's event bus: every cache decision, job lifecycle
+    /// transition, and drain lands here.
+    pub fn events(&self) -> &EventBus {
+        &self.events
     }
 
     /// Submits a job, blocking until its output is available.
@@ -330,17 +355,41 @@ impl Service {
         spec: &JobSpec,
         sink: Option<Box<dyn CommandSink + Send>>,
     ) -> Result<(Arc<JobOutput>, CacheStatus), ServiceError> {
+        self.submit_traced(spec, sink, None)
+    }
+
+    /// [`submit`](Self::submit) with a caller-supplied job correlation
+    /// id: cache decision events and the pool's lifecycle events all
+    /// carry it, so a journal can be filtered down to one request. When
+    /// `job_id` is `None` the profile name stands in.
+    pub fn submit_traced(
+        &self,
+        spec: &JobSpec,
+        sink: Option<Box<dyn CommandSink + Send>>,
+        job_id: Option<&str>,
+    ) -> Result<(Arc<JobOutput>, CacheStatus), ServiceError> {
         let key = spec.key();
+        let label = job_id.unwrap_or(&spec.profile_name).to_string();
+        let cache_event = |kind: &str| {
+            EventDraft::info(kind)
+                .job(&label)
+                .field_str("profile", &spec.profile_name)
+                .field_u64("seed", spec.seed)
+                .field_bool("sharded", spec.sharded)
+        };
         let flight = {
             let mut inner = self.inner.lock().expect("service state poisoned");
             inner.stats.submitted += 1;
             if let Some(cached) = inner.cache.get(&key).map(Arc::clone) {
                 inner.stats.hits += 1;
+                drop(inner);
+                self.events.emit(cache_event("cache.hit"));
                 return Ok((cached, CacheStatus::Hit));
             }
             if let Some(flight) = inner.in_flight.get(&key).map(Arc::clone) {
                 inner.stats.coalesced += 1;
                 drop(inner);
+                self.events.emit(cache_event("cache.coalesced"));
                 // Park outside the service lock: other keys keep flowing.
                 return match flight.wait() {
                     Ok(output) => Ok((output, CacheStatus::Coalesced)),
@@ -354,8 +403,11 @@ impl Service {
             inner.in_flight.insert(key, Arc::clone(&flight));
             flight
         };
+        // Emitted before the pool's `job.queued` so a tail reads the
+        // cache decision, then the lifecycle it caused.
+        self.events.emit(cache_event("cache.miss"));
 
-        let result = self.run_on_pool(spec, sink);
+        let result = self.run_on_pool(spec, sink, &label);
 
         let result = {
             let mut inner = self.inner.lock().expect("service state poisoned");
@@ -375,6 +427,13 @@ impl Service {
                 }
             }
         };
+        if let Err(e) = &result {
+            self.events.emit(
+                EventDraft::warn("job.error")
+                    .job(&label)
+                    .field_str("message", &e.to_string()),
+            );
+        }
         flight.complete(result.clone());
         match result {
             Ok(output) => Ok((output, CacheStatus::Miss)),
@@ -389,6 +448,7 @@ impl Service {
         &self,
         spec: &JobSpec,
         sink: Option<Box<dyn CommandSink + Send>>,
+        label: &str,
     ) -> Result<JobOutput, CoreError> {
         let handle = {
             let pool = self.pool.lock().expect("pool handle poisoned");
@@ -397,7 +457,7 @@ impl Service {
             };
             let runner = Arc::clone(&self.runner);
             let spec = spec.clone();
-            pool.submit(move || runner(&spec, sink))
+            pool.submit_labeled(label, move || runner(&spec, sink))
         };
         handle.join()?
     }
@@ -411,6 +471,52 @@ impl Service {
     /// Snapshots the live counters.
     pub fn stats(&self) -> ServiceStats {
         self.inner.lock().expect("service state poisoned").stats
+    }
+
+    /// Snapshots the pool's job counters and backlog gauges; after
+    /// shutdown the final (fully drained) snapshot keeps being served.
+    pub fn pool_stats(&self) -> PoolStats {
+        let pool = self.pool.lock().expect("pool handle poisoned");
+        if let Some(pool) = pool.as_ref() {
+            return pool.stats();
+        }
+        drop(pool);
+        self.inner
+            .lock()
+            .expect("service state poisoned")
+            .final_pool
+            .unwrap_or_default()
+    }
+
+    /// Renders the merged telemetry registry plus the service and pool
+    /// counters in Prometheus text exposition format. Byte-stable for a
+    /// given service state — nothing here consults a clock.
+    pub fn metrics_prometheus(&self) -> String {
+        let mut reg = self.telemetry();
+        let s = self.stats();
+        let p = self.pool_stats();
+        reg.inc(Key::name("dramscoped_submitted_total"), s.submitted);
+        reg.inc(Key::name("dramscoped_cache_hits_total"), s.hits);
+        reg.inc(Key::name("dramscoped_cache_misses_total"), s.misses);
+        reg.inc(Key::name("dramscoped_cache_coalesced_total"), s.coalesced);
+        reg.inc(Key::name("dramscoped_executions_total"), s.executions);
+        reg.inc(Key::name("dramscoped_errors_total"), s.errors);
+        reg.inc(Key::name("dramscoped_jobs_panicked_total"), p.jobs_panicked);
+        reg.set_gauge(Key::name("dramscoped_in_flight"), s.in_flight as i64);
+        reg.set_gauge(
+            Key::name("dramscoped_cache_entries"),
+            s.cache_entries as i64,
+        );
+        reg.set_gauge(Key::name("dramscoped_queue_depth"), p.queue_depth() as i64);
+        reg.set_gauge(
+            Key::name("dramscoped_jobs_running"),
+            p.jobs_running() as i64,
+        );
+        reg.set_gauge(
+            Key::name("dramscoped_uptime_jobs_completed"),
+            p.jobs_completed as i64,
+        );
+        render_prometheus(&reg)
     }
 
     /// Clones the merged telemetry registry of every completed job.
@@ -428,7 +534,16 @@ impl Service {
     pub fn shutdown(&self) {
         let pool = self.pool.lock().expect("pool handle poisoned").take();
         if let Some(pool) = pool {
-            pool.shutdown();
+            let final_stats = pool.shutdown_stats();
+            self.inner
+                .lock()
+                .expect("service state poisoned")
+                .final_pool = Some(final_stats);
+            self.events.emit(
+                EventDraft::info("service.drained")
+                    .field_u64("jobs_completed", final_stats.jobs_completed)
+                    .field_u64("jobs_panicked", final_stats.jobs_panicked),
+            );
         }
     }
 }
@@ -628,6 +743,84 @@ mod tests {
         // runner) but the service itself keeps accepting work.
         assert!(svc.submit(&job, None).is_err());
         assert_eq!(svc.stats().errors, 2);
+    }
+
+    #[test]
+    fn cache_decisions_emit_correlated_events() {
+        let count = Arc::new(AtomicU64::new(0));
+        let svc = counting_service(Arc::clone(&count));
+        let job = spec("test_small", 42);
+        svc.submit_traced(&job, None, Some("req-1")).unwrap();
+        svc.submit_traced(&job, None, Some("req-2")).unwrap();
+        let events = svc.events().since(0, 0).events;
+        let trace: Vec<(String, String)> = events
+            .iter()
+            .map(|e| (e.kind.clone(), e.job_id.clone().unwrap_or_default()))
+            .collect();
+        let expect: Vec<(String, String)> = [
+            ("cache.miss", "req-1"),
+            ("job.queued", "req-1"),
+            ("job.started", "req-1"),
+            ("job.finished", "req-1"),
+            ("cache.hit", "req-2"),
+        ]
+        .iter()
+        .map(|(k, j)| (k.to_string(), j.to_string()))
+        .collect();
+        assert_eq!(trace, expect);
+        // Cache events carry the request's identity fields.
+        assert_eq!(events[0].fields["profile"].as_str(), Some("test_small"));
+        assert_eq!(events[0].fields["seed"].as_u64(), Some(42));
+        // Sequence numbers are strictly monotonic.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+
+    #[test]
+    fn job_errors_emit_a_warn_event() {
+        let svc = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| Err(CoreError::from("boom".to_string()))),
+        );
+        let job = spec("test_small", 3);
+        svc.submit_traced(&job, None, Some("bad")).unwrap_err();
+        let events = svc.events().since(0, 0).events;
+        let err = events
+            .iter()
+            .find(|e| e.kind == "job.error")
+            .expect("job.error emitted");
+        assert_eq!(err.job_id.as_deref(), Some("bad"));
+        assert!(err.fields["message"].as_str().unwrap().contains("boom"));
+    }
+
+    #[test]
+    fn prometheus_metrics_carry_service_and_pool_gauges() {
+        let count = Arc::new(AtomicU64::new(0));
+        let svc = counting_service(Arc::clone(&count));
+        let job = spec("test_small", 7);
+        svc.submit(&job, None).unwrap();
+        svc.submit(&job, None).unwrap();
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("dramscoped_submitted_total 2"), "{text}");
+        assert!(text.contains("dramscoped_cache_hits_total 1"), "{text}");
+        assert!(text.contains("dramscoped_cache_misses_total 1"), "{text}");
+        assert!(
+            text.contains("dramscoped_uptime_jobs_completed 1"),
+            "{text}"
+        );
+        assert!(text.contains("dramscoped_queue_depth 0"), "{text}");
+        // Byte-stable: the same state renders the same exposition.
+        assert_eq!(svc.metrics_prometheus(), text);
+        // The final pool snapshot survives shutdown.
+        svc.shutdown();
+        assert_eq!(svc.pool_stats().jobs_completed, 1);
+        assert!(svc
+            .events()
+            .since(0, 0)
+            .events
+            .iter()
+            .any(|e| e.kind == "service.drained"));
     }
 
     #[test]

@@ -97,6 +97,42 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// An estimate of the `q`-quantile (`0.0 ..= 1.0`) of the observed
+    /// values (`None` when empty).
+    ///
+    /// The true rank-`ceil(q·count)` observation is located in its log2
+    /// bucket exactly; its value is then linearly interpolated across
+    /// the bucket's `[lo, hi)` range by rank, in integer arithmetic, and
+    /// clamped to the observed `[min, max]`. The estimate is therefore
+    /// deterministic, within one bucket width of the true quantile, and
+    /// exact for the extremes (`q = 0` gives `min`, `q = 1` gives a
+    /// value clamped to `max`).
+    pub fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, c) in self.nonzero_buckets() {
+            if cum + c >= rank {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                let within = rank - cum; // 1 ..= c
+                                         // `within - 1` keeps the estimate inside [lo, hi): the
+                                         // first ranked observation of a bucket estimates `lo`,
+                                         // never the next bucket's edge.
+                let est =
+                    u128::from(lo) + u128::from(hi - lo) * u128::from(within - 1) / u128::from(c);
+                let est = est.min(u128::from(u64::MAX)) as u64;
+                return Some(est.clamp(self.min, self.max));
+            }
+            cum += c;
+        }
+        // Counts always sum to `count`, so the loop returns; this arm
+        // only guards against future bucket-layout bugs.
+        Some(self.max)
+    }
+
     /// `(bucket index, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.buckets
@@ -169,6 +205,42 @@ mod tests {
         assert_eq!(h.mean(), Some(28.0));
         let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(0, 1), (3, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn quantile_estimates_bracket_and_clamp() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_estimate(0.5), None);
+        // One value: every quantile is that value (clamped to min==max).
+        h.record(100);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_estimate(q), Some(100));
+        }
+        // Uniform-ish spread: estimates are within the right bucket and
+        // ordered.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_estimate(0.50).unwrap();
+        let p95 = h.quantile_estimate(0.95).unwrap();
+        let p99 = h.quantile_estimate(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // True p50 = 500 lives in bucket [256, 512); the estimate must too.
+        assert!((256..=512).contains(&p50), "{p50}");
+        assert!((512..=1000).contains(&p95), "{p95}");
+        assert!((512..=1000).contains(&p99), "{p99}");
+        // Extremes clamp to observed min/max.
+        assert_eq!(h.quantile_estimate(0.0), Some(1));
+        assert_eq!(h.quantile_estimate(1.0), Some(1000));
+        // Zero-heavy histograms estimate 0 for low quantiles.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(0);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_estimate(0.5), Some(0));
+        assert_eq!(h.quantile_estimate(1.0), Some(1 << 20));
     }
 
     #[test]

@@ -192,7 +192,9 @@ impl Registry {
     /// **byte-stable**: the same metric state always renders to the same
     /// bytes. Histogram buckets are emitted sparsely as
     /// `[[index, count], …]` with the fixed log2 boundary convention
-    /// (bucket 0 = {0}, bucket i = [2^(i-1), 2^i)).
+    /// (bucket 0 = {0}, bucket i = [2^(i-1), 2^i)), alongside
+    /// deterministic `p50`/`p95`/`p99` estimates (see
+    /// [`Histogram::quantile_estimate`]).
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -227,13 +229,17 @@ impl Registry {
             buckets.push(']');
             out.push_str(&format!(
                 "{{\"type\":\"histogram\",\"name\":{},\"labels\":{},\
-                 \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{buckets}}}\n",
+                 \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":{buckets}}}\n",
                 json_string(&key.name),
                 json_labels(&key.labels),
                 hist.count(),
                 hist.sum(),
                 hist.min().unwrap_or(0),
                 hist.max().unwrap_or(0),
+                hist.quantile_estimate(0.50).unwrap_or(0),
+                hist.quantile_estimate(0.95).unwrap_or(0),
+                hist.quantile_estimate(0.99).unwrap_or(0),
             ));
         }
         out

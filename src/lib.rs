@@ -26,7 +26,11 @@
 //!   pipelines, observation validators (O1–O14), attacks and protections;
 //! * [`service`] — characterization-as-a-service: the `dramscoped`
 //!   JSON-lines daemon with in-flight dedup and a content-addressed
-//!   dossier cache over the fleet pool.
+//!   dossier cache over the fleet pool;
+//! * [`obs`] — structured observability: sequenced events with
+//!   correlation ids, a ring-buffered bus with cursor tails, a rotating
+//!   on-disk journal with total decoding, and Prometheus text
+//!   exposition of the telemetry registry.
 //!
 //! # Quickstart
 //!
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use dram_module as module;
+pub use dram_obs as obs;
 pub use dram_perf as perf;
 pub use dram_sim as sim;
 pub use dram_telemetry as telemetry;
