@@ -6,15 +6,19 @@
 //! cargo run --release -p dramscope-bench --bin characterize [profile]
 //! cargo run --release -p dramscope-bench --bin characterize fleet [--serial] [--sharded] [--workers N]
 //! cargo run --release -p dramscope-bench --bin characterize sharded [profile] [--shards N] [--serial] [--seed N]
-//! cargo run --release -p dramscope-bench --bin characterize record <profile> [--seed N] [--out FILE] [--sharded [--shards N]]
+//! cargo run --release -p dramscope-bench --bin characterize record <profile> [--seed N] [--out FILE] [--v1] [--sharded [--shards N]]
 //! cargo run --release -p dramscope-bench --bin characterize replay <FILE> [--bench N]
-//! cargo run --release -p dramscope-bench --bin characterize diff <A> <B>
-//! cargo run --release -p dramscope-bench --bin characterize dump <FILE>
-//! cargo run --release -p dramscope-bench --bin characterize stats <FILE> [--json|--csv]
+//! cargo run --release -p dramscope-bench --bin characterize diff <A> <B> [--segment SPEC] [--bank N]
+//! cargo run --release -p dramscope-bench --bin characterize dump <FILE> [--segment SPEC] [--bank N]
+//! cargo run --release -p dramscope-bench --bin characterize stats <FILE> [--json|--csv] [--segment SPEC] [--bank N]
+//! cargo run --release -p dramscope-bench --bin characterize index <FILE> [--out FILE]
+//! cargo run --release -p dramscope-bench --bin characterize query <FILE|DIR> [--bank LIST] \
+//!     [--cmd LIST] [--marker PREFIX] [--from-ps N] [--to-ps N] \
+//!     [--min-count N] [--max-count N] [--json|--csv]
 //! cargo run --release -p dramscope-bench --bin characterize bench [--save FILE] \
 //!     [--baseline FILE] [--gate PCT] [--warmup N] [--iters N] [--only a,b] \
 //!     [--profile] [--flame FILE] [--profile-json FILE]
-//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH] [--journal FILE]
+//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH] [--journal FILE] [--trace-dir PATH]
 //! cargo run --release -p dramscope-bench --bin characterize events <journal> [--sev LEVEL] \
 //!     [--job ID] [--kind PREFIX] [--since-seq N] [--until-seq N] [--tail N] [--stable] [--quiet]
 //! ```
@@ -79,6 +83,23 @@
 //! `test_small_interleaved`, and `test_small_coupled` are accepted by
 //! `record` alongside the Table I presets.
 //!
+//! `record` writes the v2 indexed container by default: the v1 byte
+//! stream unchanged, plus a segment index footer keyed by the
+//! `phase:`/`span:`/`shard:bank=` markers (pass `--v1` for the bare v1
+//! stream). `index <FILE>` upgrades an existing trace to
+//! `<name>.v2.trace` and prints its segment table. Every trace-reading
+//! subcommand accepts either version. `stats`, `dump`, and `diff` take
+//! `--segment SPEC` (a segment number, or a label prefix like
+//! `phase:hammer`) and `--bank N` to restrict themselves to matching
+//! segments — on an indexed trace only those segments are decoded; on a
+//! v1 trace the same segments are synthesized in memory from the marker
+//! stream, so the output is identical, just without the seek savings.
+//! `query` evaluates a predicate (time range in picoseconds, bank list,
+//! command mnemonics, marker prefix, min/max matched count) over one
+//! trace or every `*.trace` in a directory, pruning non-matching
+//! segments by their index metadata before decoding; it exits 1 when
+//! nothing matches, so shell scripts can branch on it.
+//!
 //! `bench` runs the named performance suites
 //! (`dramscope_bench::perf_suites`) through the `dram-perf` harness:
 //! `--save FILE` writes a `BENCH_*.json` snapshot, `--baseline FILE`
@@ -94,7 +115,9 @@ use dram_obs::{
 };
 use dram_sim::ChipProfile;
 use dram_telemetry::Registry;
-use dram_trace::{diff_traces, trace_metrics, Trace};
+use dram_trace::{
+    decode_container, diff_traces, trace_metrics, IndexedTrace, Query, Trace, SEGMENT_MNEMONICS,
+};
 use dramscope_core::dossier::{characterize_instrumented, CharacterizeOptions};
 use dramscope_core::fleet::{self, FleetConfig};
 use dramscope_core::report::Table;
@@ -160,7 +183,80 @@ where
 
 fn load_trace(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Trace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}").into())
+    decode_container(&bytes).map_err(|e| format!("{path}: {e}").into())
+}
+
+/// The `--segment SPEC` / `--bank N` filters shared by `stats`, `dump`,
+/// and `diff`. SPEC is a segment number or a label prefix; `--bank`
+/// keeps only events addressing that bank, skipping segments whose bank
+/// set excludes it without decoding them (on indexed traces).
+struct SegmentFilter {
+    segment: Option<String>,
+    bank: Option<u32>,
+}
+
+impl SegmentFilter {
+    fn from_args(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(SegmentFilter {
+            segment: parse_flag::<String>(args, "--segment")?,
+            bank: parse_flag::<u32>(args, "--bank")?,
+        })
+    }
+
+    fn is_active(&self) -> bool {
+        self.segment.is_some() || self.bank.is_some()
+    }
+
+    /// Whether segment `i` (with metadata `seg`) should be decoded.
+    fn selects(&self, i: usize, seg: &dram_trace::SegmentMeta) -> bool {
+        let by_spec = match &self.segment {
+            None => true,
+            Some(spec) => spec
+                .parse::<usize>()
+                .map_or_else(|_| seg.label.starts_with(spec.as_str()), |n| n == i),
+        };
+        by_spec && self.bank.is_none_or(|b| seg.has_bank(b))
+    }
+
+    /// Whether an event inside a selected segment survives the filter.
+    fn keeps_event(&self, ev: &dram_trace::TraceEvent) -> bool {
+        self.bank
+            .is_none_or(|b| dram_trace::index::event_bank(ev) == Some(b))
+    }
+}
+
+/// Opens a trace container-aware and applies the segment filters,
+/// returning the filtered trace plus `(decoded, total)` segment counts.
+/// With no filters active this is exactly `load_trace` (every event,
+/// decoded via the index when one is present).
+fn load_filtered_trace(
+    path: &str,
+    filter: &SegmentFilter,
+) -> Result<(Trace, usize, usize), Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let indexed = IndexedTrace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let total = indexed.segments().len();
+    if !filter.is_active() {
+        let trace = indexed.decode_all().map_err(|e| format!("{path}: {e}"))?;
+        return Ok((trace, total, total));
+    }
+    let mut events = Vec::new();
+    let mut decoded = 0usize;
+    for i in 0..total {
+        if !filter.selects(i, &indexed.segments()[i]) {
+            continue;
+        }
+        decoded += 1;
+        let segment = indexed
+            .decode_segment(i)
+            .map_err(|e| format!("{path}: {e}"))?;
+        events.extend(segment.into_iter().filter(|ev| filter.keeps_event(ev)));
+    }
+    let trace = Trace {
+        header: indexed.header().clone(),
+        events,
+    };
+    Ok((trace, decoded, total))
 }
 
 /// Telemetry flags accepted by every mode that produces a metrics
@@ -298,15 +394,21 @@ fn run_stats_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return usage("stats needs a trace file");
     };
-    let trace = load_trace(path)?;
+    let filter = SegmentFilter::from_args(args)?;
+    let (trace, decoded, total) = load_filtered_trace(path, &filter)?;
     let reg = trace_metrics(&trace);
     let out = if args.iter().any(|a| a == "--json") {
         reg.to_json_lines()
     } else if args.iter().any(|a| a == "--csv") {
         metrics_table(&reg).to_csv()
     } else {
+        let scope = if filter.is_active() {
+            format!(" [filtered: {decoded} of {total} segment(s)]")
+        } else {
+            String::new()
+        };
         format!(
-            "trace metrics for {} (seed {}, {} events):\n{}{}\n",
+            "trace metrics for {} (seed {}, {} events){scope}:\n{}{}\n",
             trace.header.profile_label,
             trace.header.seed,
             trace.events.len(),
@@ -478,6 +580,16 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(dramscope_bench::experiments::SEED);
     let out = parse_flag::<String>(args, "--out")?.unwrap_or_else(|| format!("{name}.trace"));
+    // v2 (indexed container) is the default; `--v1` writes the bare
+    // stream. The v1 payload bytes are identical either way.
+    let v1 = args.iter().any(|a| a == "--v1");
+    let encode = |trace: &Trace| {
+        if v1 {
+            trace.to_bytes()
+        } else {
+            trace.to_bytes_indexed()
+        }
+    };
     let tele = Telemetry::from_args(args)?;
 
     if args.iter().any(|a| a == "--sharded") {
@@ -488,7 +600,7 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             opts,
             ShardConfig { shards },
         )?;
-        let bytes = trace.to_bytes();
+        let bytes = encode(&trace);
         std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!(
             "recorded {} events ({} bytes) to {out} — sharded, {} bank segments",
@@ -506,7 +618,7 @@ fn run_record_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let (dossier, stats, trace, metrics) =
         trace_run::record_characterization_instrumented(&profile, seed, opts)?;
-    let bytes = trace.to_bytes();
+    let bytes = encode(&trace);
     std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     if !tele.quiet {
         print!("{dossier}");
@@ -711,12 +823,13 @@ fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use dramscope_service::Service;
     let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
     let socket = parse_flag::<String>(args, "--socket")?;
+    let trace_dir = parse_flag::<String>(args, "--trace-dir")?;
     let journal = Journal::from_args(args)?;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             // parse_flag already checked the values exist and parse.
-            "--workers" | "--socket" | "--journal" => i += 2,
+            "--workers" | "--socket" | "--journal" | "--trace-dir" => i += 2,
             other => return usage(format!("serve does not take '{other}'")),
         }
     }
@@ -724,6 +837,9 @@ fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         None => Service::new(workers),
         Some(bus) => Service::with_events(workers, bus.clone()),
     });
+    if let Some(dir) = trace_dir {
+        service.set_trace_dir(dir);
+    }
     match socket {
         None => dramscope_service::serve_stdio(&service)?,
         Some(path) => serve_socket(&service, &path)?,
@@ -750,10 +866,18 @@ fn serve_socket(
 }
 
 fn run_diff_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+    let (Some(a), Some(b)) = (
+        args.first().filter(|a| !a.starts_with("--")),
+        args.get(1).filter(|a| !a.starts_with("--")),
+    ) else {
         return usage("diff needs two trace files");
     };
-    let diff = diff_traces(&load_trace(a)?, &load_trace(b)?);
+    // The same filter applies to both sides, so a diff scoped to one
+    // phase or bank compares exactly the events both traces keep.
+    let filter = SegmentFilter::from_args(args)?;
+    let (ta, _, _) = load_filtered_trace(a, &filter)?;
+    let (tb, _, _) = load_filtered_trace(b, &filter)?;
+    let diff = diff_traces(&ta, &tb);
     println!("{diff}");
     if !diff.identical() {
         std::process::exit(1);
@@ -762,16 +886,263 @@ fn run_diff_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn run_dump_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(path) = args.first() else {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return usage("dump needs a trace file");
     };
+    let filter = SegmentFilter::from_args(args)?;
     // Dumps run to tens of thousands of lines and get piped into `head`;
     // a closed stdout is normal termination, not an error.
     use std::io::Write;
-    match std::io::stdout().write_all(load_trace(path)?.dump().as_bytes()) {
+    let text = if filter.is_active() {
+        dump_filtered(path, &filter)?
+    } else {
+        load_trace(path)?.dump()
+    };
+    match std::io::stdout().write_all(text.as_bytes()) {
         Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e.into()),
         _ => Ok(()),
     }
+}
+
+/// Filtered dump: only the selected segments are decoded, and every
+/// event line keeps its global index in the full stream so filtered and
+/// unfiltered dumps line up.
+fn dump_filtered(path: &str, filter: &SegmentFilter) -> Result<String, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let indexed = IndexedTrace::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let header = indexed.header();
+    let mut out = format!(
+        "# trace: {} seed={} events={}\n",
+        header.profile_label,
+        header.seed,
+        indexed.event_count()
+    );
+    let mut shown = 0usize;
+    let mut decoded = 0usize;
+    for (i, seg) in indexed.segments().iter().enumerate() {
+        if !filter.selects(i, seg) {
+            continue;
+        }
+        decoded += 1;
+        out.push_str(&format!(
+            "# segment {i}: {} ({} events)\n",
+            seg.label, seg.events
+        ));
+        let start = indexed.segment_event_start(i);
+        for (j, ev) in indexed
+            .decode_segment(i)
+            .map_err(|e| format!("{path}: {e}"))?
+            .iter()
+            .enumerate()
+        {
+            if !filter.keeps_event(ev) {
+                continue;
+            }
+            shown += 1;
+            out.push_str(&format!("{:>8} {ev}\n", start as usize + j));
+        }
+    }
+    out.push_str(&format!(
+        "# {shown} event(s) from {decoded} of {} segment(s)\n",
+        indexed.segments().len()
+    ));
+    Ok(out)
+}
+
+/// Renders a segment's non-zero per-mnemonic counts as `act=12 rd=34`.
+fn ops_summary(ops: &[u64; 10]) -> String {
+    let cells: Vec<String> = SEGMENT_MNEMONICS
+        .iter()
+        .zip(ops.iter())
+        .filter(|(_, n)| **n > 0)
+        .map(|(m, n)| format!("{m}={n}"))
+        .collect();
+    if cells.is_empty() {
+        "-".into()
+    } else {
+        cells.join(" ")
+    }
+}
+
+/// Renders a segment's time coverage as `min..max` picoseconds.
+fn time_span(min_ps: Option<u64>, max_ps: Option<u64>) -> String {
+    match (min_ps, max_ps) {
+        (Some(min), Some(max)) => format!("{min}..{max}"),
+        _ => "-".into(),
+    }
+}
+
+/// The `index` subcommand: upgrades a trace (either version) to the v2
+/// indexed container and prints the segment table. The v1 payload bytes
+/// are carried over unchanged, so digests and replay are unaffected.
+fn run_index_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage("index needs a trace file");
+    };
+    let out = parse_flag::<String>(args, "--out")?.unwrap_or_else(|| {
+        let stem = path.strip_suffix(".trace").unwrap_or(path);
+        format!("{stem}.v2.trace")
+    });
+    let trace = load_trace(path)?;
+    let bytes = trace.to_bytes_indexed();
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    // Reopen what was written so the table shows the exact on-disk
+    // offsets, not a parallel computation of them.
+    let indexed = IndexedTrace::from_bytes(&bytes).map_err(|e| format!("{out}: {e}"))?;
+    let mut t = Table::new(vec![
+        "segment", "label", "offset", "bytes", "events", "banks", "time_ps", "commands",
+    ]);
+    for (i, seg) in indexed.segments().iter().enumerate() {
+        let banks = if seg.banks.is_empty() {
+            "-".into()
+        } else {
+            seg.banks
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        t.row(vec![
+            i.to_string(),
+            seg.label.clone(),
+            seg.offset.to_string(),
+            seg.len.to_string(),
+            seg.events.to_string(),
+            banks,
+            time_span(seg.min_ps, seg.max_ps),
+            ops_summary(&seg.ops),
+        ]);
+    }
+    let text = format!(
+        "{t}indexed {} event(s) into {} segment(s) ({} bytes) to {out}\n",
+        indexed.event_count(),
+        indexed.segments().len(),
+        bytes.len()
+    );
+    // Segment tables get piped into `head`; a closed stdout is normal
+    // termination, not an error.
+    use std::io::Write;
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e.into()),
+        _ => Ok(()),
+    }
+}
+
+/// Splits a comma-separated flag value, rejecting empty entries.
+fn parse_list_flag(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<Vec<String>>, Box<dyn std::error::Error>> {
+    let Some(raw) = parse_flag::<String>(args, flag)? else {
+        return Ok(None);
+    };
+    let items: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if items.is_empty() {
+        return usage(format!("{flag} needs at least one value"));
+    }
+    Ok(Some(items))
+}
+
+/// The `query` subcommand: evaluates a predicate over one trace file or
+/// every `*.trace` in a directory, pruning non-matching segments by
+/// index metadata before decoding. Exits 1 when nothing matches.
+fn run_query_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage("query needs a trace file or directory");
+    };
+    let banks = match parse_list_flag(args, "--bank")? {
+        None => None,
+        Some(items) => {
+            let mut banks = Vec::new();
+            for item in items {
+                match item.parse::<u32>() {
+                    Ok(b) => banks.push(b),
+                    Err(e) => return usage(format!("invalid --bank value '{item}': {e}")),
+                }
+            }
+            Some(banks)
+        }
+    };
+    let mnemonics = match parse_list_flag(args, "--cmd")? {
+        None => None,
+        Some(items) => {
+            for item in &items {
+                if !SEGMENT_MNEMONICS.contains(&item.as_str()) {
+                    return usage(format!(
+                        "unknown --cmd '{item}' (try one of: {})",
+                        SEGMENT_MNEMONICS.join(", ")
+                    ));
+                }
+            }
+            Some(items)
+        }
+    };
+    let query = Query {
+        from_ps: parse_flag::<u64>(args, "--from-ps")?,
+        to_ps: parse_flag::<u64>(args, "--to-ps")?,
+        banks,
+        mnemonics,
+        marker_prefix: parse_flag::<String>(args, "--marker")?,
+        min_count: parse_flag::<u64>(args, "--min-count")?,
+        max_count: parse_flag::<u64>(args, "--max-count")?,
+    };
+    if let (Some(from), Some(to)) = (query.from_ps, query.to_ps) {
+        if from > to {
+            return usage(format!("--from-ps {from} is after --to-ps {to}"));
+        }
+    }
+    let report = dram_trace::query_path(std::path::Path::new(path), &query)?;
+
+    let out = if args.iter().any(|a| a == "--json") {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        let mut t = Table::new(vec![
+            "file", "segment", "label", "events", "matched", "time_ps", "commands",
+        ]);
+        for hit in &report.hits {
+            t.row(vec![
+                hit.file.clone(),
+                hit.segment.to_string(),
+                hit.label.clone(),
+                hit.events.to_string(),
+                hit.matched.to_string(),
+                time_span(hit.min_ps, hit.max_ps),
+                ops_summary(&hit.ops),
+            ]);
+        }
+        if args.iter().any(|a| a == "--csv") {
+            t.to_csv()
+        } else {
+            format!(
+                "{t}matched {} event(s) in {} segment(s) across {} file(s); \
+                 decoded {} of {} segment(s)\n",
+                report.matched,
+                report.hits.len(),
+                report.files,
+                report.segments_decoded,
+                report.segments
+            )
+        }
+    };
+    // Query listings get piped into `head`/`grep`; a closed stdout is
+    // normal termination, not an error.
+    use std::io::Write;
+    if let Err(e) = std::io::stdout().write_all(out.as_bytes()) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            return Err(e.into());
+        }
+    }
+    if !report.is_match() {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 /// Per-job lifecycle tally for the `events` summary.
@@ -934,6 +1305,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("diff") => return run_diff_mode(&args[1..]),
         Some("dump") => return run_dump_mode(&args[1..]),
         Some("stats") => return run_stats_mode(&args[1..]),
+        Some("index") => return run_index_mode(&args[1..]),
+        Some("query") => return run_query_mode(&args[1..]),
         Some("bench") => return run_bench_mode(&args[1..]),
         Some("serve") => return run_serve_mode(&args[1..]),
         Some("events") => return run_events_mode(&args[1..]),
@@ -950,7 +1323,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some((profile, mut opts)) = profiles::preset_job(name) else {
         return usage(format!(
             "unknown command or profile '{name}' (try one of: {}, \
-             fleet, sharded, record, replay, diff, dump, stats, bench, serve, events)",
+             fleet, sharded, record, replay, diff, dump, stats, index, query, bench, serve, events)",
             profiles::known_names().join(", ")
         ));
     };

@@ -3,7 +3,8 @@
 //! Each suite wraps one of the repo's hot paths in a [`dram_perf::Bench`]
 //! closure: the raw chip command loop, an end-to-end characterization,
 //! the fleet engine (serial and parallel over the same jobs), trace
-//! record/replay/decode, and the telemetry snapshot renderer. Every
+//! record/replay/decode (serial and indexed-parallel), a trace-lake
+//! query, and the telemetry snapshot renderer. Every
 //! workload runs on the small test profiles so a full run finishes in
 //! seconds; the point is relative timing between runs of the same
 //! machine, not absolute numbers.
@@ -59,7 +60,7 @@ fn small_fleet_jobs() -> Vec<FleetJob> {
 const SEED: u64 = 0xbe9c;
 
 /// The stable suite names, in the order [`suites`] builds them.
-pub const SUITE_NAMES: [&str; 10] = [
+pub const SUITE_NAMES: [&str; 12] = [
     "chip_command_loop",
     "characterize_small",
     "characterize_sharded",
@@ -69,6 +70,8 @@ pub const SUITE_NAMES: [&str; 10] = [
     "trace_replay",
     "trace_replay_fast",
     "trace_decode",
+    "trace_decode_parallel",
+    "trace_query",
     "metrics_snapshot",
 ];
 
@@ -90,6 +93,7 @@ pub fn suites() -> Vec<Bench> {
     )
     .expect("characterizing the small test profile cannot fail");
     let trace_bytes = trace.to_bytes();
+    let indexed_bytes = trace.to_bytes_indexed();
 
     vec![
         chip_command_loop(),
@@ -101,6 +105,8 @@ pub fn suites() -> Vec<Bench> {
         trace_replay(trace.clone()),
         trace_replay_fast(trace.clone()),
         trace_decode(trace_bytes),
+        trace_decode_parallel(indexed_bytes.clone()),
+        trace_query(indexed_bytes),
         metrics_snapshot(registry),
     ]
 }
@@ -241,6 +247,43 @@ fn trace_decode(bytes: Vec<u8>) -> Bench {
         let events = trace.events.len() as u64;
         std::hint::black_box(trace);
         events
+    })
+}
+
+/// Parallel per-segment decode of the v2 indexed container on the
+/// machine's available parallelism. Read against `trace_decode` (the
+/// serial whole-stream decode of the same events) to see what the
+/// segment index buys; on a one-core host parity is the expectation.
+fn trace_decode_parallel(bytes: Vec<u8>) -> Bench {
+    Bench::new("trace_decode_parallel", move || {
+        let indexed = dram_trace::IndexedTrace::from_bytes(&bytes)
+            .expect("opening a just-encoded container cannot fail");
+        let trace = indexed
+            .decode_parallel(0)
+            .expect("decoding a just-encoded container cannot fail");
+        let events = trace.events.len() as u64;
+        std::hint::black_box(trace);
+        events
+    })
+}
+
+/// A trace-lake query over the indexed container: open, prune by
+/// segment metadata, decode only the matching segments, count matches.
+/// "Commands" counts the events the query actually matched, so a silent
+/// predicate regression shows up as a work-count change, not just a
+/// timing one.
+fn trace_query(bytes: Vec<u8>) -> Bench {
+    let query = dram_trace::Query {
+        banks: Some(vec![0]),
+        mnemonics: Some(vec!["act".into()]),
+        marker_prefix: Some("phase:".into()),
+        ..dram_trace::Query::default()
+    };
+    Bench::new("trace_query", move || {
+        let report = dram_trace::query_bytes("bench.trace", &bytes, &query)
+            .expect("querying a just-encoded container cannot fail");
+        assert!(report.is_match(), "bench query matched nothing");
+        std::hint::black_box(report).matched
     })
 }
 

@@ -32,6 +32,18 @@ fn usage_errors_exit_2_in_every_subcommand() {
     assert_usage(&["bench", "--only", "no_such_suite"], "unknown suite");
     assert_usage(&["bench", "--gate", "20"], "--gate needs --baseline");
     assert_usage(&["serve", "bogus"], "serve does not take");
+    assert_usage(&["index"], "index needs a trace file");
+    assert_usage(&["query"], "query needs a trace file or directory");
+    assert_usage(&["query", "x.trace", "--cmd", "bogus"], "unknown --cmd");
+    assert_usage(&["query", "x.trace", "--bank", "minus"], "invalid --bank");
+    assert_usage(
+        &["query", "x.trace", "--bank", ","],
+        "--bank needs at least one value",
+    );
+    assert_usage(
+        &["query", "x.trace", "--from-ps", "9", "--to-ps", "3"],
+        "--from-ps 9 is after --to-ps 3",
+    );
 }
 
 #[test]
@@ -59,6 +71,77 @@ fn runtime_failures_exit_1() {
 
     let out = characterize(&["stats", "/nonexistent/never.trace"]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let out = characterize(&["index", "/nonexistent/never.trace"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // A directory without any *.trace files is a runtime failure too —
+    // and distinct from a query that parses, runs, and matches nothing.
+    let empty = std::env::temp_dir().join("characterize_query_empty_dir");
+    std::fs::create_dir_all(&empty).expect("temp dir");
+    let out = characterize(&["query", empty.to_str().expect("utf-8 temp path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no .trace files"), "{stderr}");
+}
+
+/// The trace-lake loop end to end: record (v2 by default), `index` a
+/// `--v1` recording back up to v2, byte-identical `stats` across all
+/// three, a matching query (exit 0) and a no-match query (exit 1).
+#[test]
+fn record_index_stats_and_query_round_trip() {
+    let dir = std::env::temp_dir().join(format!("characterize_lake_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let dir = dir.to_str().expect("utf-8 temp path");
+    let v2 = format!("{dir}/run.trace");
+    let v1 = format!("{dir}/plain.trace");
+
+    let out = characterize(&["record", "test_small", "--quiet", "--out", &v2]);
+    assert!(out.status.success(), "{out:?}");
+    let out = characterize(&["record", "test_small", "--quiet", "--v1", "--out", &v1]);
+    assert!(out.status.success(), "{out:?}");
+
+    // The v2 container is the v1 stream plus a footer: strictly longer,
+    // and its payload prefix is byte-identical.
+    let v2_bytes = std::fs::read(&v2).expect("v2 written");
+    let v1_bytes = std::fs::read(&v1).expect("v1 written");
+    assert!(v2_bytes.len() > v1_bytes.len());
+    assert_eq!(&v2_bytes[..v1_bytes.len()], &v1_bytes[..]);
+
+    // `index` upgrades the v1 file; the result is byte-identical to the
+    // directly recorded v2 container.
+    let out = characterize(&["index", &v1]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phase:structure"), "{stdout}");
+    let upgraded = std::fs::read(format!("{dir}/plain.v2.trace")).expect("upgrade written");
+    assert_eq!(upgraded, v2_bytes);
+
+    // Stats must not depend on which container carried the events.
+    let stats = |path: &str| {
+        let out = characterize(&["stats", path]);
+        assert!(out.status.success(), "{out:?}");
+        out.stdout
+    };
+    assert_eq!(stats(&v2), stats(&v1));
+
+    // Scoped stats decode fewer segments and say so.
+    let out = characterize(&["stats", &v2, "--segment", "phase:power"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[filtered: 1 of"), "{stdout}");
+
+    // One matching query, one well-formed no-match query.
+    let out = characterize(&["query", dir, "--cmd", "act", "--bank", "0"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phase:structure"), "{stdout}");
+    let out = characterize(&["query", dir, "--cmd", "rfm"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matched 0 event(s)"), "{stdout}");
+
+    std::fs::remove_dir_all(dir).ok();
 }
 
 #[test]

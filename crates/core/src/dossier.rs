@@ -388,7 +388,7 @@ fn characterize_flow(
         tb.set_sink(sink);
     }
     if shard_bank.is_some() {
-        tb.mark(&format!("shard:bank={bank}"));
+        tb.mark(&format!("{}{bank}", dram_trace::SHARD_MARKER_PREFIX));
     }
     let mut stats = RunStats::default();
     let mut clock = PhaseClock::new();

@@ -80,3 +80,10 @@ pub use trace_run::{
     replay_benchmark, replay_characterization, replay_characterization_instrumented,
     replay_characterization_sharded,
 };
+
+// The segment-boundary marker prefixes the characterization pipeline
+// emits (`phase:`/`span:`/`shard:bank=`), canonically defined next to
+// the trace-lake index that splits streams at them.
+pub use dram_trace::{
+    DEFAULT_SEGMENT_PREFIXES, PHASE_MARKER_PREFIX, SHARD_MARKER_PREFIX, SPAN_MARKER_PREFIX,
+};

@@ -42,7 +42,11 @@ const META_RETENTION_WAIT_PS: &str = "retention_wait_ps";
 const META_SHARD_BANKS: &str = "shard_banks";
 
 /// The marker label prefix every bank shard's stream opens with.
-const SHARD_MARKER_PREFIX: &str = "shard:bank=";
+/// Canonically defined in `dram_trace` alongside the other
+/// segment-boundary prefixes ([`dram_trace::DEFAULT_SEGMENT_PREFIXES`])
+/// so the trace-lake index splits sharded streams exactly where
+/// [`replay_characterization_sharded`] does.
+pub use dram_trace::SHARD_MARKER_PREFIX;
 
 /// Runs a full characterization with a recorder attached and returns the
 /// dossier, its run stats, and the captured trace.

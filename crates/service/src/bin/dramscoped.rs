@@ -1,25 +1,29 @@
 //! `dramscoped` — the characterization daemon.
 //!
 //! ```text
-//! dramscoped [--workers N] [--socket PATH]
+//! dramscoped [--workers N] [--socket PATH] [--trace-dir PATH]
 //! ```
 //!
 //! With no `--socket`, serves JSON-lines requests from stdin to stdout
 //! until EOF or a `shutdown` request. With `--socket PATH`, listens on
 //! a unix socket (one thread per connection, shared cache and pool)
-//! until a client sends `shutdown`. Usage errors exit 2; runtime
-//! failures exit 1.
+//! until a client sends `shutdown`. `--trace-dir PATH` points `query`
+//! requests at a directory of recorded traces (without it, queries are
+//! answered with an error). Usage errors exit 2; runtime failures
+//! exit 1.
 
 use dramscope_service::Service;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: dramscoped [--workers N] [--socket PATH]
-  --workers N   fleet pool threads (0 = machine parallelism; default 0)
-  --socket PATH serve a unix socket instead of stdin/stdout (unix only)
+const USAGE: &str = "usage: dramscoped [--workers N] [--socket PATH] [--trace-dir PATH]
+  --workers N     fleet pool threads (0 = machine parallelism; default 0)
+  --socket PATH   serve a unix socket instead of stdin/stdout (unix only)
+  --trace-dir PATH directory of *.trace files that query requests scan
 
 Requests are JSON lines, e.g.:
   {\"req\":\"characterize\",\"id\":\"j1\",\"profile\":\"test_small\",\"seed\":42}
+  {\"req\":\"query\",\"id\":\"q1\",\"cmd\":\"act\",\"bank\":3}
   {\"req\":\"stats\"}
   {\"req\":\"shutdown\"}";
 
@@ -31,6 +35,7 @@ fn usage_error(message: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut workers = 0usize;
     let mut socket: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,6 +60,12 @@ fn main() -> ExitCode {
                 };
                 socket = Some(path);
             }
+            "--trace-dir" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--trace-dir needs a path");
+                };
+                trace_dir = Some(path);
+            }
             other => {
                 return usage_error(&format!("unknown argument \"{other}\""));
             }
@@ -62,6 +73,9 @@ fn main() -> ExitCode {
     }
 
     let service = Arc::new(Service::new(workers));
+    if let Some(dir) = trace_dir {
+        service.set_trace_dir(dir);
+    }
     let served = match socket {
         None => dramscope_service::serve_stdio(&service),
         Some(path) => serve_socket(&service, &path),

@@ -27,8 +27,8 @@
 
 use crate::profiles;
 use crate::protocol::{
-    error_line, json_string, parse_request, CharacterizeRequest, ProtocolError, Request,
-    MAX_REQUEST_BYTES,
+    error_line, json_string, parse_request, CharacterizeRequest, ProtocolError, QueryRequest,
+    Request, MAX_REQUEST_BYTES,
 };
 use crate::service::{CacheStatus, JobOutput, JobSpec, Service, ServiceError};
 use dram_obs::EventDraft;
@@ -176,6 +176,33 @@ fn events_lines(id: &str, service: &Service, since_seq: u64, max: u64, stable: b
         tail.next_seq,
     ));
     out
+}
+
+/// Renders the `query` response: the trace-lake report of evaluating
+/// the predicate over the daemon's configured trace directory, embedded
+/// as the deterministic JSON that [`dram_trace::QueryReport::to_json`]
+/// renders. An unconfigured directory or a failing scan answers with an
+/// error line — never a panic, never a partial report.
+fn query_line(id: &str, service: &Service, req: &QueryRequest) -> String {
+    let Some(dir) = service.trace_dir() else {
+        return error_line(&ProtocolError {
+            id: id.to_string(),
+            message: "no trace directory configured (start the daemon with --trace-dir)".into(),
+        });
+    };
+    match dram_trace::query_path(&dir, &req.to_query()) {
+        Ok(report) => format!(
+            "{{\"resp\":\"query\",\"id\":{},\"dir\":{},\"matched\":{},\"report\":{}}}",
+            id,
+            json_string(&dir.display().to_string()),
+            report.is_match(),
+            report.to_json(),
+        ),
+        Err(message) => error_line(&ProtocolError {
+            id: id.to_string(),
+            message,
+        }),
+    }
 }
 
 /// Renders the `metrics` response: the Prometheus text exposition as an
@@ -382,6 +409,12 @@ pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
                     .events()
                     .emit(EventDraft::info("request.received").field_str("req", "metrics"));
                 metrics_line(&id, service)
+            }
+            Ok(Request::Query(req)) => {
+                service
+                    .events()
+                    .emit(EventDraft::info("request.received").field_str("req", "query"));
+                query_line(&req.id, service, &req)
             }
             Ok(Request::Shutdown { id }) => {
                 service
@@ -720,6 +753,102 @@ mod tests {
             body.contains("dramscoped_uptime_jobs_completed 1"),
             "{body}"
         );
+    }
+
+    #[test]
+    fn query_without_a_trace_dir_answers_an_error() {
+        let service = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| unreachable!("no jobs submitted")),
+        );
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let input = "{\"req\":\"query\",\"id\":\"q\",\"cmd\":\"act\"}\n";
+        handle_connection(&service, input.as_bytes(), &writer).expect("transport ok");
+        let out = String::from_utf8(writer.lock().unwrap().clone()).unwrap();
+        assert!(out.contains("\"resp\":\"error\""), "{out}");
+        assert!(out.contains("no trace directory configured"), "{out}");
+    }
+
+    #[test]
+    fn query_answers_from_the_configured_trace_dir() {
+        use dram_sim::chip::Command;
+        use dram_sim::sink::CommandOutcome;
+        use dram_sim::Time;
+        use dram_trace::{Trace, TraceEvent, TraceHeader};
+
+        // One indexed trace with a marked segment holding two ACTs to
+        // bank 3 and one to bank 0.
+        let trace = Trace {
+            header: TraceHeader {
+                profile_label: "daemon-query".into(),
+                seed: 9,
+                geometry_hash: 0xabc,
+                dossier_digest: None,
+                dropped: 0,
+                meta: vec![],
+            },
+            events: vec![
+                TraceEvent::Marker {
+                    label: "span:trr_window:enter".into(),
+                },
+                TraceEvent::Command {
+                    cmd: Command::Activate { bank: 3, row: 1 },
+                    at: Time::from_ns(10),
+                    outcome: CommandOutcome::Accepted,
+                },
+                TraceEvent::Command {
+                    cmd: Command::Activate { bank: 3, row: 2 },
+                    at: Time::from_ns(20),
+                    outcome: CommandOutcome::Accepted,
+                },
+                TraceEvent::Command {
+                    cmd: Command::Activate { bank: 0, row: 3 },
+                    at: Time::from_ns(30),
+                    outcome: CommandOutcome::Accepted,
+                },
+            ],
+        };
+        let dir = std::env::temp_dir().join(format!("dramscoped_query_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::write(dir.join("run.trace"), trace.to_bytes_indexed()).expect("trace written");
+
+        let service = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| unreachable!("no jobs submitted")),
+        );
+        service.set_trace_dir(&dir);
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let input = "\
+            {\"req\":\"query\",\"id\":\"q1\",\"cmd\":\"act\",\"bank\":3,\"marker\":\"span:trr_window\"}\n\
+            {\"req\":\"query\",\"id\":\"q2\",\"cmd\":\"rfm\"}\n";
+        handle_connection(&service, input.as_bytes(), &writer).expect("transport ok");
+        let out = String::from_utf8(writer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].starts_with("{\"resp\":\"query\",\"id\":\"q1\","),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"matched\":true"), "{}", lines[0]);
+        assert!(lines[0].contains("\"matched\":2"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"label\":\"span:trr_window:enter\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"matched\":false"), "{}", lines[1]);
+        // Both lines parse as JSON and the tail is byte-stable.
+        for line in &lines {
+            dram_perf::json::parse("query", line).expect("query line is valid JSON");
+        }
+        let writer2 = Arc::new(Mutex::new(Vec::<u8>::new()));
+        handle_connection(&service, input.as_bytes(), &writer2).expect("transport ok");
+        assert_eq!(
+            out,
+            String::from_utf8(writer2.lock().unwrap().clone()).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

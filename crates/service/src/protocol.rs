@@ -16,6 +16,7 @@
 //! {"req":"stats","id":"s1"}
 //! {"req":"events","id":"e1","since_seq":0,"max":100,"stable":true}
 //! {"req":"metrics","id":"m1"}
+//! {"req":"query","id":"q1","cmd":["act"],"bank":[3],"marker":"span:trr_window"}
 //! {"req":"shutdown"}
 //! ```
 //!
@@ -35,6 +36,14 @@
 //! map, making the tail byte-stable for a given request history.
 //! `metrics` returns the merged telemetry registry plus service gauges
 //! in Prometheus text exposition format.
+//!
+//! `query` evaluates a trace-lake predicate over the daemon's
+//! configured trace directory (`--trace-dir`): `bank` (a bank number or
+//! array), `cmd` (a mnemonic or array — `act`, `pre`, `rd`, `wr`,
+//! `ref`, `rfm`, `burst`, `refw`, `temp`, `mark`), `marker` (a segment
+//! label prefix), `from_ps`/`to_ps` (an inclusive time window), and
+//! `min_count`/`max_count` (matched-event bounds per segment). Only
+//! segments whose index metadata can match are decoded.
 //!
 //! # Responses
 //!
@@ -86,6 +95,8 @@ pub enum Request {
         /// Echoed request id, pre-rendered as a JSON token.
         id: String,
     },
+    /// Evaluate a trace-lake query over the daemon's trace directory.
+    Query(QueryRequest),
     /// Drain the queue and stop the daemon.
     Shutdown {
         /// Echoed request id, pre-rendered as a JSON token.
@@ -111,6 +122,45 @@ pub struct CharacterizeRequest {
     pub progress: bool,
     /// Profile the run and attach its span-tree JSON to the result.
     pub spans: bool,
+}
+
+/// A validated `query` request: the trace-lake predicate, ready to
+/// convert into a [`dram_trace::Query`] against the daemon's trace
+/// directory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryRequest {
+    /// Echoed request id, pre-rendered as a JSON token.
+    pub id: String,
+    /// Restrict to events addressing one of these banks.
+    pub bank: Option<Vec<u32>>,
+    /// Restrict to these command mnemonics (validated against
+    /// [`dram_trace::SEGMENT_MNEMONICS`]).
+    pub cmd: Option<Vec<String>>,
+    /// Restrict to segments whose label starts with this prefix.
+    pub marker: Option<String>,
+    /// Inclusive lower time bound, picoseconds.
+    pub from_ps: Option<u64>,
+    /// Inclusive upper time bound, picoseconds.
+    pub to_ps: Option<u64>,
+    /// Minimum matched events for a segment to count as a hit.
+    pub min_count: Option<u64>,
+    /// Maximum matched events for a segment to count as a hit.
+    pub max_count: Option<u64>,
+}
+
+impl QueryRequest {
+    /// Converts the request into the trace-lake query it describes.
+    pub fn to_query(&self) -> dram_trace::Query {
+        dram_trace::Query {
+            from_ps: self.from_ps,
+            to_ps: self.to_ps,
+            banks: self.bank.clone(),
+            mnemonics: self.cmd.clone(),
+            marker_prefix: self.marker.clone(),
+            min_count: self.min_count,
+            max_count: self.max_count,
+        }
+    }
 }
 
 /// A structured decode/validation failure. The daemon renders it as an
@@ -218,6 +268,87 @@ fn want_u32(
     }
 }
 
+/// Accepts a scalar or an array of scalars: `"bank":3` and
+/// `"bank":[3,4]` both parse. Rejects empty arrays — an empty
+/// restriction would silently match nothing.
+fn want_u32_list(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    key: &str,
+) -> Result<Option<Vec<u32>>, ProtocolError> {
+    let scalar = |v: &Value| {
+        v.as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| {
+                err(
+                    id,
+                    format!("\"{key}\" must be a 32-bit non-negative integer or an array of them"),
+                )
+            })
+    };
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) => {
+            if items.is_empty() {
+                return Err(err(id, format!("\"{key}\" must not be an empty array")));
+            }
+            items.iter().map(scalar).collect::<Result<_, _>>().map(Some)
+        }
+        Some(v) => Ok(Some(vec![scalar(v)?])),
+    }
+}
+
+/// Accepts a string or an array of strings, rejecting empty arrays.
+fn want_string_list(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    key: &str,
+) -> Result<Option<Vec<String>>, ProtocolError> {
+    let scalar = |v: &Value| {
+        v.as_str().map(str::to_string).ok_or_else(|| {
+            err(
+                id,
+                format!("\"{key}\" must be a string or an array of strings"),
+            )
+        })
+    };
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) => {
+            if items.is_empty() {
+                return Err(err(id, format!("\"{key}\" must not be an empty array")));
+            }
+            items.iter().map(scalar).collect::<Result<_, _>>().map(Some)
+        }
+        Some(v) => Ok(Some(vec![scalar(v)?])),
+    }
+}
+
+fn want_string(
+    obj: &BTreeMap<String, Value>,
+    id: &str,
+    key: &str,
+) -> Result<Option<String>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(err(id, format!("\"{key}\" must be a string"))),
+    }
+}
+
+/// The complete field vocabulary of a `query` request.
+const QUERY_KEYS: [&str; 9] = [
+    "req",
+    "id",
+    "bank",
+    "cmd",
+    "marker",
+    "from_ps",
+    "to_ps",
+    "min_count",
+    "max_count",
+];
+
 /// The complete field vocabulary of a `characterize` request; anything
 /// else is rejected so typos fail loudly instead of silently running
 /// with defaults.
@@ -281,6 +412,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             reject_unknown(obj, &id, &["req", "id"])?;
             Ok(Request::Metrics { id })
         }
+        "query" => parse_query(obj, id),
         "shutdown" => {
             reject_unknown(obj, &id, &["req", "id"])?;
             Ok(Request::Shutdown { id })
@@ -288,10 +420,49 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         other => Err(err(
             &id,
             format!(
-                "unknown request \"{other}\" (try characterize, stats, events, metrics, shutdown)"
+                "unknown request \"{other}\" \
+                 (try characterize, stats, events, metrics, query, shutdown)"
             ),
         )),
     }
+}
+
+fn parse_query(obj: &BTreeMap<String, Value>, id: String) -> Result<Request, ProtocolError> {
+    reject_unknown(obj, &id, &QUERY_KEYS)?;
+    let cmd = want_string_list(obj, &id, "cmd")?;
+    if let Some(cmds) = &cmd {
+        for c in cmds {
+            if !dram_trace::SEGMENT_MNEMONICS.contains(&c.as_str()) {
+                return Err(err(
+                    &id,
+                    format!(
+                        "unknown command mnemonic \"{c}\" (try one of: {})",
+                        dram_trace::SEGMENT_MNEMONICS.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    let from_ps = want_u64(obj, &id, "from_ps")?;
+    let to_ps = want_u64(obj, &id, "to_ps")?;
+    if let (Some(from), Some(to)) = (from_ps, to_ps) {
+        if from > to {
+            return Err(err(
+                &id,
+                format!("time window [{from}, {to}] is empty (from_ps > to_ps)"),
+            ));
+        }
+    }
+    Ok(Request::Query(QueryRequest {
+        bank: want_u32_list(obj, &id, "bank")?,
+        cmd,
+        marker: want_string(obj, &id, "marker")?,
+        from_ps,
+        to_ps,
+        min_count: want_u64(obj, &id, "min_count")?,
+        max_count: want_u64(obj, &id, "max_count")?,
+        id,
+    }))
 }
 
 fn reject_unknown(
@@ -451,6 +622,37 @@ mod tests {
     }
 
     #[test]
+    fn query_requests_parse_scalars_and_arrays() {
+        let Request::Query(q) = parse_ok(r#"{"req":"query","id":"q1"}"#) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(q.id, "\"q1\"");
+        assert_eq!(q.to_query(), dram_trace::Query::default());
+
+        let Request::Query(q) = parse_ok(
+            r#"{"req":"query","id":"q2","bank":3,"cmd":"act","marker":"span:",
+                "from_ps":10,"to_ps":20,"min_count":2,"max_count":9}"#,
+        ) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(q.bank.as_deref(), Some(&[3u32][..]));
+        assert_eq!(q.cmd.as_deref(), Some(&["act".to_string()][..]));
+        assert_eq!(q.marker.as_deref(), Some("span:"));
+        assert_eq!((q.from_ps, q.to_ps), (Some(10), Some(20)));
+        assert_eq!((q.min_count, q.max_count), (Some(2), Some(9)));
+
+        let Request::Query(q) = parse_ok(r#"{"req":"query","bank":[0,3],"cmd":["act","rd"]}"#)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(q.bank.as_deref(), Some(&[0u32, 3][..]));
+        assert_eq!(
+            q.cmd.as_deref(),
+            Some(&["act".to_string(), "rd".to_string()][..])
+        );
+    }
+
+    #[test]
     fn malformed_lines_yield_structured_errors() {
         let cases: &[(&str, &str)] = &[
             ("", "unexpected end of input"),
@@ -495,6 +697,16 @@ mod tests {
             (r#"{"req":"events","stable":"yes"}"#, "must be a boolean"),
             (r#"{"req":"events","tail":true}"#, "unknown field"),
             (r#"{"req":"metrics","format":"text"}"#, "unknown field"),
+            (
+                r#"{"req":"query","cmd":"bogus"}"#,
+                "unknown command mnemonic",
+            ),
+            (r#"{"req":"query","cmd":[]}"#, "must not be an empty array"),
+            (r#"{"req":"query","bank":[-1]}"#, "32-bit non-negative"),
+            (r#"{"req":"query","bank":"three"}"#, "32-bit non-negative"),
+            (r#"{"req":"query","marker":7}"#, "must be a string"),
+            (r#"{"req":"query","from_ps":9,"to_ps":3}"#, "is empty"),
+            (r#"{"req":"query","path":"/x"}"#, "unknown field"),
         ];
         for (line, needle) in cases {
             let e = parse_request(line).expect_err(line);

@@ -245,6 +245,9 @@ pub struct Service {
     runner: Arc<RunnerFn>,
     inner: Mutex<Inner>,
     events: EventBus,
+    /// Directory `query` requests evaluate over; unset answers them
+    /// with an error instead of guessing a path.
+    trace_dir: Mutex<Option<std::path::PathBuf>>,
 }
 
 impl fmt::Debug for Service {
@@ -326,7 +329,19 @@ impl Service {
             runner,
             inner: Mutex::new(Inner::default()),
             events,
+            trace_dir: Mutex::new(None),
         }
+    }
+
+    /// Points `query` requests at a trace directory (or a single trace
+    /// file). Unset, the daemon answers queries with an error.
+    pub fn set_trace_dir(&self, path: impl Into<std::path::PathBuf>) {
+        *self.trace_dir.lock().expect("trace dir poisoned") = Some(path.into());
+    }
+
+    /// The configured query directory, if any.
+    pub fn trace_dir(&self) -> Option<std::path::PathBuf> {
+        self.trace_dir.lock().expect("trace dir poisoned").clone()
     }
 
     /// The service's event bus: every cache decision, job lifecycle

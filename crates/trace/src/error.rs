@@ -51,6 +51,17 @@ pub enum TraceError {
         /// Which identity field disagreed.
         what: &'static str,
     },
+    /// The v2 index footer is damaged or disagrees with the payload it
+    /// describes. The v1 payload itself may still be intact; container
+    /// readers fall back to a whole-file decode when it is (see
+    /// [`IndexedTrace::from_bytes`](crate::lake::IndexedTrace::from_bytes)).
+    CorruptIndex {
+        /// Byte offset of the offending data, relative to the start of
+        /// the index section.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -79,6 +90,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::SegmentMismatch { what } => {
                 write!(f, "trace segments are not one run: {what}")
+            }
+            TraceError::CorruptIndex { offset, what } => {
+                write!(f, "corrupt trace index at byte {offset}: {what}")
             }
         }
     }
@@ -179,6 +193,13 @@ mod tests {
                     what: "unknown event opcode",
                 },
                 "at byte 7: unknown event opcode",
+            ),
+            (
+                TraceError::CorruptIndex {
+                    offset: 5,
+                    what: "index digest mismatch",
+                },
+                "corrupt trace index at byte 5: index digest mismatch",
             ),
         ];
         for (err, needle) in cases {

@@ -94,9 +94,11 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Serializes the trace into the version-1 binary format.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.events.len() * 4);
+    /// Appends the header section — everything up to and including the
+    /// event count varint — exactly as [`to_bytes`](Self::to_bytes)
+    /// writes it. Shared with the indexed container writer in
+    /// [`lake`](crate::lake) so a v2 payload is byte-identical to v1.
+    pub(crate) fn encode_header_and_count(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         let mut flags = 0u16;
@@ -106,17 +108,23 @@ impl Trace {
         out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&self.header.seed.to_le_bytes());
         out.extend_from_slice(&self.header.geometry_hash.to_le_bytes());
-        put_str(&mut out, &self.header.profile_label);
+        put_str(out, &self.header.profile_label);
         if let Some(digest) = self.header.dossier_digest {
             out.extend_from_slice(&digest.to_le_bytes());
         }
-        varint::encode_u64(&mut out, self.header.dropped);
-        varint::encode_u64(&mut out, self.header.meta.len() as u64);
+        varint::encode_u64(out, self.header.dropped);
+        varint::encode_u64(out, self.header.meta.len() as u64);
         for (key, value) in &self.header.meta {
-            put_str(&mut out, key);
-            put_str(&mut out, value);
+            put_str(out, key);
+            put_str(out, value);
         }
-        varint::encode_u64(&mut out, self.events.len() as u64);
+        varint::encode_u64(out, self.events.len() as u64);
+    }
+
+    /// Serializes the trace into the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.events.len() * 4);
+        self.encode_header_and_count(&mut out);
         let mut prev_ps = 0u64;
         for ev in &self.events {
             encode_event(&mut out, ev, &mut prev_ps);
@@ -124,10 +132,11 @@ impl Trace {
         out
     }
 
-    /// Decodes a version-1 binary trace. Never panics: malformed input of
-    /// any kind yields a [`TraceError`].
-    pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
-        let mut r = Reader::new(buf);
+    /// Decodes the header section, leaving the reader positioned at the
+    /// first event, and returns the header with the declared event count.
+    pub(crate) fn decode_header_and_count(
+        r: &mut Reader<'_>,
+    ) -> Result<(TraceHeader, u64), TraceError> {
         let magic = r.take(4)?;
         if magic != MAGIC {
             let mut found = [0u8; 4];
@@ -170,6 +179,24 @@ impl Trace {
         if event_count > r.remaining() as u64 {
             return Err(r.corrupt("event count exceeds remaining input"));
         }
+        Ok((
+            TraceHeader {
+                profile_label,
+                seed,
+                geometry_hash,
+                dossier_digest,
+                dropped,
+                meta,
+            },
+            event_count,
+        ))
+    }
+
+    /// Decodes a version-1 binary trace. Never panics: malformed input of
+    /// any kind yields a [`TraceError`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
+        let mut r = Reader::new(buf);
+        let (header, event_count) = Self::decode_header_and_count(&mut r)?;
         let mut events = Vec::with_capacity(event_count as usize);
         let mut prev_ps = 0u64;
         for index in 0..event_count {
@@ -179,17 +206,7 @@ impl Trace {
         if r.remaining() != 0 {
             return Err(r.corrupt("trailing bytes after last event"));
         }
-        Ok(Trace {
-            header: TraceHeader {
-                profile_label,
-                seed,
-                geometry_hash,
-                dossier_digest,
-                dropped,
-                meta,
-            },
-            events,
-        })
+        Ok(Trace { header, events })
     }
 
     /// Concatenates per-shard trace segments into one stream, in the
@@ -331,7 +348,7 @@ const OUT_ACCEPTED: u8 = 0;
 const OUT_DATA: u8 = 1;
 const OUT_REJECTED: u8 = 2;
 
-fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, prev_ps: &mut u64) {
+pub(crate) fn encode_event(out: &mut Vec<u8>, ev: &TraceEvent, prev_ps: &mut u64) {
     // Timestamps round-trip exactly for every u64 because the delta is
     // computed and re-applied with wrapping arithmetic.
     let mut put_delta = |out: &mut Vec<u8>, at: Time| {
@@ -464,7 +481,10 @@ fn encode_error(out: &mut Vec<u8>, e: &CommandError) {
     }
 }
 
-fn decode_event(r: &mut Reader<'_>, prev_ps: &mut u64) -> Result<TraceEvent, TraceError> {
+pub(crate) fn decode_event(
+    r: &mut Reader<'_>,
+    prev_ps: &mut u64,
+) -> Result<TraceEvent, TraceError> {
     let opcode = r.u8()?;
     let mut delta = |r: &mut Reader<'_>| -> Result<Time, TraceError> {
         let dt = r.svarint()?;
@@ -615,14 +635,14 @@ fn decode_error(r: &mut Reader<'_>) -> Result<CommandError, TraceError> {
 
 /// Bounds-checked cursor over a trace byte stream that knows which
 /// section it is in, so truncation errors carry the right context.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
     event: Option<u64>,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader {
             buf,
             pos: 0,
@@ -630,15 +650,20 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn enter_event(&mut self, index: u64) {
+    pub(crate) fn enter_event(&mut self, index: u64) {
         self.event = Some(index);
     }
 
-    fn remaining(&self) -> usize {
+    /// Current byte position within the buffer.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn truncated(&self) -> TraceError {
+    pub(crate) fn truncated(&self) -> TraceError {
         match self.event {
             None => TraceError::TruncatedHeader { offset: self.pos },
             Some(index) => TraceError::TruncatedEvents {
@@ -648,14 +673,14 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn corrupt(&self, what: &'static str) -> TraceError {
+    pub(crate) fn corrupt(&self, what: &'static str) -> TraceError {
         TraceError::Corrupt {
             offset: self.pos,
             what,
         }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
         let end = self
             .pos
             .checked_add(n)
@@ -668,39 +693,39 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, TraceError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16_le(&mut self) -> Result<u16, TraceError> {
+    pub(crate) fn u16_le(&mut self) -> Result<u16, TraceError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u64_le(&mut self) -> Result<u64, TraceError> {
+    pub(crate) fn u64_le(&mut self) -> Result<u64, TraceError> {
         let b = self.take(8)?;
         let mut raw = [0u8; 8];
         raw.copy_from_slice(b);
         Ok(u64::from_le_bytes(raw))
     }
 
-    fn varint(&mut self) -> Result<u64, TraceError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, TraceError> {
         varint::decode_u64(self.buf, &mut self.pos).map_err(|fault| match fault {
             VarintFault::Truncated => self.truncated(),
             VarintFault::Overflow => self.corrupt("varint overflows u64"),
         })
     }
 
-    fn svarint(&mut self) -> Result<i64, TraceError> {
+    pub(crate) fn svarint(&mut self) -> Result<i64, TraceError> {
         self.varint().map(varint::unzigzag)
     }
 
-    fn varint_u32(&mut self) -> Result<u32, TraceError> {
+    pub(crate) fn varint_u32(&mut self) -> Result<u32, TraceError> {
         let v = self.varint()?;
         u32::try_from(v).map_err(|_| self.corrupt("varint exceeds u32 field"))
     }
 
-    fn string(&mut self) -> Result<String, TraceError> {
+    pub(crate) fn string(&mut self) -> Result<String, TraceError> {
         let len = self.varint()?;
         if len > self.remaining() as u64 {
             return Err(self.truncated());

@@ -58,7 +58,10 @@ pub mod diff;
 pub mod error;
 pub mod event;
 pub mod format;
+pub mod index;
+pub mod lake;
 pub mod metrics;
+pub mod query;
 pub mod record;
 pub mod replay;
 pub mod varint;
@@ -67,7 +70,13 @@ pub use diff::{diff_traces, TraceDiff};
 pub use error::{ReplayError, TraceError};
 pub use event::TraceEvent;
 pub use format::{Trace, TraceHeader, INTERNAL_ERROR_PLACEHOLDER, MAGIC, VERSION};
+pub use index::{
+    SegmentMeta, TraceIndex, DEFAULT_SEGMENT_PREFIXES, PHASE_MARKER_PREFIX, SEGMENT_MNEMONICS,
+    SHARD_MARKER_PREFIX, SPAN_MARKER_PREFIX,
+};
+pub use lake::{decode_container, split_container, Container, IndexedTrace};
 pub use metrics::trace_metrics;
+pub use query::{query_bytes, query_path, Query, QueryHit, QueryReport};
 pub use record::{Divergence, SharedRecorder, SharedVerifier, TraceRecorder, TraceVerifier};
 pub use replay::{replay_on_chip, replay_on_chip_trusted, ReplayStats};
 

@@ -1,0 +1,499 @@
+//! The query engine over indexed traces: conjunctive predicates, index
+//! pruning so only candidate segments decode, and directory-wide scans.
+//!
+//! A [`Query`] combines time-range, bank, command-mix, and
+//! marker-prefix predicates (all conjunctive) with per-segment min/max
+//! matched-count bounds. Running one over a file first prunes segments
+//! whose index metadata cannot match — wrong marker, disjoint bank
+//! set, zero count for every wanted mnemonic, or time bounds outside
+//! the range — then decodes only the survivors and counts events that
+//! satisfy every predicate. [`QueryReport::segments_decoded`] against
+//! [`QueryReport::segments`] shows how much work the index saved.
+
+use crate::error::TraceError;
+use crate::event::TraceEvent;
+use crate::index::{event_bank, event_mnemonic, event_op_index, SegmentMeta, SEGMENT_MNEMONICS};
+use crate::lake::IndexedTrace;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A conjunctive predicate over trace events plus per-segment count
+/// bounds. Empty (`Query::default()`) matches every event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Query {
+    /// Keep events at or after this timestamp (picoseconds, inclusive).
+    /// With either time bound set, untimed events (markers,
+    /// temperature changes) never match.
+    pub from_ps: Option<u64>,
+    /// Keep events at or before this timestamp (picoseconds, inclusive).
+    pub to_ps: Option<u64>,
+    /// Keep events addressing one of these banks. Events without a
+    /// bank (`REF`, refresh windows, markers, temperature) never match
+    /// a bank predicate.
+    pub banks: Option<Vec<u32>>,
+    /// Keep events whose mnemonic ([`SEGMENT_MNEMONICS`]) is in this
+    /// set — the command-mix predicate.
+    pub mnemonics: Option<Vec<String>>,
+    /// Keep only segments whose opening marker label starts with this
+    /// prefix (the unmarked leading segment has label `""`).
+    pub marker_prefix: Option<String>,
+    /// Report a segment only if at least this many events matched.
+    /// Default 1 — segments with no matches are not hits. `0` lists
+    /// every candidate segment and disables count-based pruning.
+    pub min_count: Option<u64>,
+    /// Report a segment only if at most this many events matched.
+    pub max_count: Option<u64>,
+}
+
+impl Query {
+    /// Whether a single event satisfies every per-event predicate.
+    pub fn matches_event(&self, ev: &TraceEvent) -> bool {
+        if self.from_ps.is_some() || self.to_ps.is_some() {
+            let Some(at) = ev.at() else { return false };
+            let ps = at.as_ps();
+            if self.from_ps.is_some_and(|f| ps < f) || self.to_ps.is_some_and(|t| ps > t) {
+                return false;
+            }
+        }
+        if let Some(banks) = &self.banks {
+            match event_bank(ev) {
+                Some(bank) if banks.contains(&bank) => {}
+                _ => return false,
+            }
+        }
+        if let Some(mnemonics) = &self.mnemonics {
+            if !mnemonics.iter().any(|m| m == event_mnemonic(ev)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a segment's index metadata leaves any chance of a
+    /// match; `false` means the segment can be skipped without
+    /// decoding. With `min_count == Some(0)` every candidate segment
+    /// must be reported, so only the marker predicate prunes.
+    pub fn segment_may_match(&self, seg: &SegmentMeta) -> bool {
+        if let Some(prefix) = &self.marker_prefix {
+            if !seg.label.starts_with(prefix.as_str()) {
+                return false;
+            }
+        }
+        if self.min_count == Some(0) {
+            return true;
+        }
+        if !seg.overlaps_ps(self.from_ps, self.to_ps) {
+            return false;
+        }
+        if let Some(banks) = &self.banks {
+            if !banks.iter().any(|b| seg.has_bank(*b)) {
+                return false;
+            }
+        }
+        if let Some(mnemonics) = &self.mnemonics {
+            if mnemonics.iter().map(|m| seg.op_count(m)).sum::<u64>() == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a segment's matched-event count is within the reporting
+    /// bounds.
+    fn count_in_bounds(&self, matched: u64) -> bool {
+        matched >= self.min_count.unwrap_or(1) && self.max_count.is_none_or(|m| matched <= m)
+    }
+}
+
+/// One reported segment: where it is and what matched inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryHit {
+    /// File the segment lives in (as given to the query).
+    pub file: String,
+    /// Segment index within its file.
+    pub segment: usize,
+    /// The segment's opening marker label (`""` for unmarked).
+    pub label: String,
+    /// Events in the segment.
+    pub events: u64,
+    /// Events that satisfied every predicate.
+    pub matched: u64,
+    /// Matched events per mnemonic, [`SEGMENT_MNEMONICS`] order.
+    pub ops: [u64; 10],
+    /// Smallest matched timestamp, if any matched event was timed.
+    pub min_ps: Option<u64>,
+    /// Largest matched timestamp, if any matched event was timed.
+    pub max_ps: Option<u64>,
+}
+
+/// The outcome of running one query over one or many trace files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Files scanned.
+    pub files: usize,
+    /// Segments across all files.
+    pub segments: usize,
+    /// Segments that had to be decoded (survived index pruning).
+    pub segments_decoded: usize,
+    /// Total matched events across all hits.
+    pub matched: u64,
+    /// Reported segments, in file order then segment order.
+    pub hits: Vec<QueryHit>,
+}
+
+impl QueryReport {
+    /// Whether the query matched anything (at least one hit).
+    pub fn is_match(&self) -> bool {
+        !self.hits.is_empty()
+    }
+
+    /// Renders the report as one deterministic JSON object (sorted
+    /// hits, fixed key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"files\":{},\"segments\":{},\"segments_decoded\":{},\"matched\":{},\"hits\":[",
+            self.files, self.segments, self.segments_decoded, self.matched
+        );
+        for (i, hit) in self.hits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"segment\":{},\"label\":{},\"events\":{},\"matched\":{}",
+                json_string(&hit.file),
+                hit.segment,
+                json_string(&hit.label),
+                hit.events,
+                hit.matched
+            );
+            out.push_str(",\"ops\":{");
+            let mut first = true;
+            for (m, count) in SEGMENT_MNEMONICS.iter().zip(hit.ops) {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{m}\":{count}");
+            }
+            out.push('}');
+            if let (Some(min), Some(max)) = (hit.min_ps, hit.max_ps) {
+                let _ = write!(out, ",\"min_ps\":{min},\"max_ps\":{max}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs a query over one already-opened trace, labeling hits with
+/// `file`. Returns the hits plus how many segments were decoded.
+pub fn query_indexed(
+    file: &str,
+    trace: &IndexedTrace,
+    query: &Query,
+) -> Result<(Vec<QueryHit>, usize), TraceError> {
+    let mut hits = Vec::new();
+    let mut decoded = 0usize;
+    for (i, seg) in trace.segments().iter().enumerate() {
+        if !query.segment_may_match(seg) {
+            continue;
+        }
+        decoded += 1;
+        let events = trace.decode_segment(i)?;
+        let mut ops = [0u64; 10];
+        let mut matched = 0u64;
+        let mut min_ps = None;
+        let mut max_ps = None;
+        for ev in &events {
+            if !query.matches_event(ev) {
+                continue;
+            }
+            matched += 1;
+            ops[event_op_index(ev)] += 1;
+            if let Some(at) = ev.at() {
+                let ps = at.as_ps();
+                min_ps = Some(min_ps.map_or(ps, |m: u64| m.min(ps)));
+                max_ps = Some(max_ps.map_or(ps, |m: u64| m.max(ps)));
+            }
+        }
+        if query.count_in_bounds(matched) {
+            hits.push(QueryHit {
+                file: file.to_string(),
+                segment: i,
+                label: seg.label.clone(),
+                events: seg.events,
+                matched,
+                ops,
+                min_ps,
+                max_ps,
+            });
+        }
+    }
+    Ok((hits, decoded))
+}
+
+/// Runs a query over raw container bytes (either version).
+pub fn query_bytes(file: &str, bytes: &[u8], query: &Query) -> Result<QueryReport, TraceError> {
+    let trace = IndexedTrace::from_bytes(bytes)?;
+    let (hits, decoded) = query_indexed(file, &trace, query)?;
+    Ok(QueryReport {
+        files: 1,
+        segments: trace.segments().len(),
+        segments_decoded: decoded,
+        matched: hits.iter().map(|h| h.matched).sum(),
+        hits,
+    })
+}
+
+/// Runs a query over a trace file or over every `*.trace` file in a
+/// directory (sorted by name). Errors carry the offending path.
+pub fn query_path(path: &Path, query: &Query) -> Result<QueryReport, String> {
+    let files = collect_trace_files(path)?;
+    let mut report = QueryReport::default();
+    for file in &files {
+        let bytes = std::fs::read(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let one = query_bytes(&file.display().to_string(), &bytes, query)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        report.files += 1;
+        report.segments += one.segments;
+        report.segments_decoded += one.segments_decoded;
+        report.matched += one.matched;
+        report.hits.extend(one.hits);
+    }
+    Ok(report)
+}
+
+/// Expands a path into the trace files it names: the file itself, or a
+/// directory's `*.trace` entries sorted by name.
+pub fn collect_trace_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if meta.is_file() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let entries = std::fs::read_dir(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", path.display()))?;
+        let p = entry.path();
+        if p.is_file() && p.extension().is_some_and(|ext| ext == "trace") {
+            files.push(p);
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("{}: no .trace files found", path.display()));
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Trace, TraceHeader};
+    use dram_sim::chip::Command;
+    use dram_sim::sink::CommandOutcome;
+    use dram_sim::time::Time;
+
+    fn sample_trace() -> Trace {
+        let mut events = Vec::new();
+        for (bank, span) in [(0u32, "span:warmup"), (1, "span:trr_window")] {
+            events.push(TraceEvent::Marker { label: span.into() });
+            for i in 0..5u64 {
+                events.push(TraceEvent::Command {
+                    cmd: Command::Activate {
+                        bank,
+                        row: i as u32,
+                    },
+                    at: Time::from_ns(100 * u64::from(bank) + i * 10),
+                    outcome: CommandOutcome::Accepted,
+                });
+            }
+            events.push(TraceEvent::Command {
+                cmd: Command::Refresh,
+                at: Time::from_ns(100 * u64::from(bank) + 90),
+                outcome: CommandOutcome::Accepted,
+            });
+        }
+        Trace {
+            header: TraceHeader {
+                profile_label: "test".into(),
+                seed: 1,
+                geometry_hash: 2,
+                dossier_digest: None,
+                dropped: 0,
+                meta: vec![],
+            },
+            events,
+        }
+    }
+
+    #[test]
+    fn predicates_are_conjunctive_and_prune_segments() {
+        let bytes = sample_trace().to_bytes_indexed();
+        // Bank 1 ACTs inside the trr window, within a time range.
+        let query = Query {
+            from_ps: Some(Time::from_ns(100).as_ps()),
+            to_ps: Some(Time::from_ns(130).as_ps()),
+            banks: Some(vec![1]),
+            mnemonics: Some(vec!["act".into()]),
+            marker_prefix: Some("span:trr".into()),
+            ..Query::default()
+        };
+        let report = query_bytes("t", &bytes, &query).expect("queries");
+        assert_eq!(report.segments, 2);
+        assert_eq!(report.segments_decoded, 1, "warmup segment must be pruned");
+        assert_eq!(report.hits.len(), 1);
+        let hit = &report.hits[0];
+        assert_eq!(hit.label, "span:trr_window");
+        assert_eq!(hit.matched, 4); // ACTs at 100, 110, 120, 130 ns
+        assert_eq!(hit.ops[0], 4);
+        assert_eq!(hit.min_ps, Some(Time::from_ns(100).as_ps()));
+        assert_eq!(hit.max_ps, Some(Time::from_ns(130).as_ps()));
+        assert_eq!(report.matched, 4);
+        assert!(report.is_match());
+    }
+
+    #[test]
+    fn bank_pruning_skips_disjoint_segments_without_decoding() {
+        let bytes = sample_trace().to_bytes_indexed();
+        let query = Query {
+            banks: Some(vec![7]),
+            ..Query::default()
+        };
+        let report = query_bytes("t", &bytes, &query).expect("queries");
+        assert_eq!(report.segments_decoded, 0, "no segment addresses bank 7");
+        assert!(!report.is_match());
+        // REF has no bank, so a bank predicate never matches it.
+        let ref_query = Query {
+            banks: Some(vec![0]),
+            mnemonics: Some(vec!["ref".into()]),
+            ..Query::default()
+        };
+        let report = query_bytes("t", &bytes, &ref_query).expect("queries");
+        assert_eq!(report.matched, 0);
+    }
+
+    #[test]
+    fn min_count_zero_reports_every_candidate_segment() {
+        let bytes = sample_trace().to_bytes_indexed();
+        let query = Query {
+            banks: Some(vec![0]),
+            min_count: Some(0),
+            ..Query::default()
+        };
+        let report = query_bytes("t", &bytes, &query).expect("queries");
+        assert_eq!(report.segments_decoded, 2, "min_count=0 disables pruning");
+        assert_eq!(report.hits.len(), 2);
+        assert_eq!(report.hits[1].matched, 0);
+        // max_count drops busy segments.
+        let query = Query {
+            max_count: Some(3),
+            ..Query::default()
+        };
+        let report = query_bytes("t", &bytes, &query).expect("queries");
+        assert!(report.hits.is_empty(), "both segments have 7 events");
+    }
+
+    #[test]
+    fn queries_work_identically_on_v1_streams() {
+        let trace = sample_trace();
+        let query = Query {
+            mnemonics: Some(vec!["act".into()]),
+            marker_prefix: Some("span:trr".into()),
+            ..Query::default()
+        };
+        let v1 = query_bytes("t", &trace.to_bytes(), &query).expect("v1");
+        let v2 = query_bytes("t", &trace.to_bytes_indexed(), &query).expect("v2");
+        assert_eq!(v1.hits, v2.hits);
+        assert_eq!(v1.matched, v2.matched);
+        // The v1 path had to decode everything; the v2 path skipped one.
+        assert_eq!(v1.segments_decoded, 1); // marker pruning works on synthesized metadata too
+        assert_eq!(v2.segments_decoded, 1);
+    }
+
+    #[test]
+    fn directory_queries_scan_sorted_trace_files() {
+        let dir = std::env::temp_dir().join(format!("dram_lake_query_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let trace = sample_trace();
+        std::fs::write(dir.join("b.trace"), trace.to_bytes_indexed()).expect("write");
+        std::fs::write(dir.join("a.trace"), trace.to_bytes()).expect("write");
+        std::fs::write(dir.join("ignored.txt"), b"not a trace").expect("write");
+        let query = Query {
+            mnemonics: Some(vec!["act".into()]),
+            ..Query::default()
+        };
+        let report = query_path(&dir, &query).expect("queries");
+        assert_eq!(report.files, 2);
+        assert_eq!(report.segments, 4);
+        assert_eq!(report.matched, 20);
+        assert!(report.hits[0].file.ends_with("a.trace"));
+        assert!(report.hits[2].file.ends_with("b.trace"));
+        // Unmatchable query: no hits, exit-1 signal for the CLI.
+        let none = query_path(
+            &dir,
+            &Query {
+                banks: Some(vec![9]),
+                ..Query::default()
+            },
+        )
+        .expect("queries");
+        assert!(!none.is_match());
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(query_path(Path::new("/nonexistent/trace/dir"), &query).is_err());
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_escaped() {
+        let hit = QueryHit {
+            file: "dir/a \"x\".trace".into(),
+            segment: 1,
+            label: "span:trr_window".into(),
+            events: 7,
+            matched: 4,
+            ops: [4, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            min_ps: Some(100_000),
+            max_ps: Some(130_000),
+        };
+        let report = QueryReport {
+            files: 1,
+            segments: 2,
+            segments_decoded: 1,
+            matched: 4,
+            hits: vec![hit],
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"files\":1,\"segments\":2,\"segments_decoded\":1,\"matched\":4,\"hits\":[{\"file\":\"dir/a \\\"x\\\".trace\",\"segment\":1,\"label\":\"span:trr_window\",\"events\":7,\"matched\":4,\"ops\":{\"act\":4},\"min_ps\":100000,\"max_ps\":130000}]}"
+        );
+    }
+}

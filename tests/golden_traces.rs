@@ -15,7 +15,7 @@ use dramscope::core::{
     replay_characterization,
 };
 use dramscope::sim::{ChipProfile, Time};
-use dramscope::trace::{replay_on_chip, trace_metrics, Trace, TraceError};
+use dramscope::trace::{replay_on_chip, trace_metrics, IndexedTrace, Trace, TraceError};
 
 /// The golden fixtures: three profiles with three distinct vendors,
 /// geometries, and hidden configurations.
@@ -147,6 +147,39 @@ fn corrupt_and_truncated_golden_bytes_error_without_panicking() {
             supported: 1
         })
     ));
+}
+
+/// The v2 indexed container of the `test_small` golden trace,
+/// generated with `characterize index tests/golden/test_small.trace
+/// --out tests/golden/test_small.v2.trace`. Pins the index encoding:
+/// the payload prefix must stay byte-identical to the v1 fixture, and
+/// the appended segment table must keep describing it exactly.
+const GOLDEN_V2: &[u8] = include_bytes!("golden/test_small.v2.trace") as &[u8];
+
+#[test]
+fn golden_v2_container_wraps_the_v1_fixture_byte_identically() {
+    let v1 = GOLDEN[0].1;
+    // v2 = unchanged v1 payload + index section + trailer.
+    assert!(GOLDEN_V2.len() > v1.len());
+    assert_eq!(&GOLDEN_V2[..v1.len()], v1);
+
+    // Re-encoding the decoded v1 fixture reproduces the fixture's
+    // container bit-for-bit: the index encoder is canonical too.
+    let trace = Trace::from_bytes(v1).expect("golden trace decodes");
+    assert_eq!(trace.to_bytes_indexed(), GOLDEN_V2);
+
+    // The container opens indexed and decodes (serially and in
+    // parallel) to exactly the v1 fixture's events.
+    let opened = IndexedTrace::from_bytes(GOLDEN_V2).expect("golden v2 opens");
+    assert!(opened.is_indexed());
+    assert!(opened.fallback().is_none());
+    assert_eq!(opened.event_count(), trace.events.len() as u64);
+    assert!(opened.segments().len() > 10, "{}", opened.segments().len());
+    assert_eq!(opened.decode_all().expect("decodes"), trace);
+    assert_eq!(opened.decode_parallel(0).expect("decodes"), trace);
+    // Segment 0 is the structure phase and dominates the stream.
+    assert_eq!(opened.segments()[0].label, "phase:structure");
+    assert!(opened.segments()[0].events > 50_000);
 }
 
 #[test]
