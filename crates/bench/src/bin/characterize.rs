@@ -18,7 +18,7 @@
 //! cargo run --release -p dramscope-bench --bin characterize bench [--save FILE] \
 //!     [--baseline FILE] [--gate PCT] [--warmup N] [--iters N] [--only a,b] \
 //!     [--profile] [--flame FILE] [--profile-json FILE]
-//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH] [--journal FILE] [--trace-dir PATH]
+//! cargo run --release -p dramscope-bench --bin characterize serve [--workers N] [--socket PATH] [--journal FILE] [--trace-dir PATH] [--cache-dir PATH] [--cache-max-entries N] [--cache-max-bytes N] [--serial]
 //! cargo run --release -p dramscope-bench --bin characterize events <journal> [--sev LEVEL] \
 //!     [--job ID] [--kind PREFIX] [--since-seq N] [--until-seq N] [--tail N] [--stable] [--quiet]
 //! ```
@@ -820,16 +820,30 @@ fn run_bench_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 /// JSON-lines requests from stdin (or a unix socket with `--socket`),
 /// the shared fleet pool, the content-addressed dossier cache.
 fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    use dramscope_service::Service;
+    use dramscope_service::{ConnMode, Service};
     let workers = parse_flag::<usize>(args, "--workers")?.unwrap_or(0);
     let socket = parse_flag::<String>(args, "--socket")?;
     let trace_dir = parse_flag::<String>(args, "--trace-dir")?;
+    let cache_dir = parse_flag::<String>(args, "--cache-dir")?;
+    let cache_max_entries = parse_flag::<u64>(args, "--cache-max-entries")?.unwrap_or(0);
+    let cache_max_bytes = parse_flag::<u64>(args, "--cache-max-bytes")?.unwrap_or(0);
     let journal = Journal::from_args(args)?;
+    let mut mode = ConnMode::Pipelined;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             // parse_flag already checked the values exist and parse.
-            "--workers" | "--socket" | "--journal" | "--trace-dir" => i += 2,
+            "--workers"
+            | "--socket"
+            | "--journal"
+            | "--trace-dir"
+            | "--cache-dir"
+            | "--cache-max-entries"
+            | "--cache-max-bytes" => i += 2,
+            "--serial" => {
+                mode = ConnMode::Serial;
+                i += 1;
+            }
             other => return usage(format!("serve does not take '{other}'")),
         }
     }
@@ -840,9 +854,17 @@ fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = trace_dir {
         service.set_trace_dir(dir);
     }
+    if let Some(dir) = cache_dir {
+        service
+            .set_cache_dir(&dir)
+            .map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    }
+    if cache_max_entries != 0 || cache_max_bytes != 0 {
+        service.set_cache_limits(cache_max_entries, cache_max_bytes);
+    }
     match socket {
-        None => dramscope_service::serve_stdio(&service)?,
-        Some(path) => serve_socket(&service, &path)?,
+        None => dramscope_service::serve_stdio_mode(&service, mode)?,
+        Some(path) => serve_socket(&service, &path, mode)?,
     }
     journal.finish()?;
     Ok(())
@@ -852,8 +874,9 @@ fn run_serve_mode(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 fn serve_socket(
     service: &std::sync::Arc<dramscope_service::Service>,
     path: &str,
+    mode: dramscope_service::ConnMode,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    dramscope_service::serve_unix(service, std::path::Path::new(path))?;
+    dramscope_service::serve_unix_mode(service, std::path::Path::new(path), mode)?;
     Ok(())
 }
 
@@ -861,6 +884,7 @@ fn serve_socket(
 fn serve_socket(
     _service: &std::sync::Arc<dramscope_service::Service>,
     _path: &str,
+    _mode: dramscope_service::ConnMode,
 ) -> Result<(), Box<dyn std::error::Error>> {
     usage("--socket requires a unix platform")
 }

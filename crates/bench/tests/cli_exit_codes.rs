@@ -149,8 +149,10 @@ fn serve_answers_one_job_over_stdin_and_exits_cleanly() {
     use std::io::Write;
     use std::process::Stdio;
 
+    // --serial pins response order so the line-by-line assertions
+    // below stay byte-deterministic.
     let mut child = Command::new(env!("CARGO_BIN_EXE_characterize"))
-        .args(["serve", "--workers", "1"])
+        .args(["serve", "--workers", "1", "--serial"])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -174,4 +176,52 @@ fn serve_answers_one_job_over_stdin_and_exits_cleanly() {
     assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
     assert!(lines[1].contains("\"resp\":\"error\""), "{}", lines[1]);
     assert!(lines[2].contains("\"drained\":true"), "{}", lines[2]);
+}
+
+#[test]
+fn serve_pipelined_answers_every_request_and_acks_last() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    // The default (pipelined) mode may interleave responses, but every
+    // request is answered, ids match, and the shutdown ack comes after
+    // every outstanding response.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(
+            b"{\"req\":\"characterize\",\"id\":\"a\",\"profile\":\"test_small\",\"seed\":5}\n\
+              {\"req\":\"stats\",\"id\":\"s\"}\n\
+              {\"req\":\"shutdown\",\"id\":\"z\"}\n",
+        )
+        .expect("requests written");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"id\":\"a\"") && l.contains("\"cache\":\"miss\"")),
+        "{lines:?}"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"resp\":\"stats\"") && l.contains("\"id\":\"s\"")),
+        "{lines:?}"
+    );
+    assert!(
+        lines.last().unwrap().contains("\"drained\":true"),
+        "ack is last: {lines:?}"
+    );
 }

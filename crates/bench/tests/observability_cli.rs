@@ -29,7 +29,9 @@ fn serve_two_jobs(journal: &str) -> String {
     use std::process::Stdio;
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_characterize"))
-        .args(["serve", "--workers", "1", "--journal", journal])
+        // --serial keeps the two identical requests strictly ordered
+        // (miss, then hit); pipelined would race them into a coalesce.
+        .args(["serve", "--workers", "1", "--serial", "--journal", journal])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())

@@ -858,11 +858,23 @@ impl FleetPool {
             // fine; the job still ran.
             let _ = tx.send(outcome);
         });
-        self.queue
-            .as_ref()
-            .expect("queue exists until shutdown/drop")
-            .send(task)
-            .expect("pool workers outlive the queue sender");
+        // A missing queue (submit racing shutdown/drop) or dead workers
+        // must not take the submitter down: hand back a handle whose
+        // `join` reads a clean error instead of panicking mid-submit.
+        let rejected = || {
+            self.counters.queued.fetch_sub(1, Ordering::Relaxed);
+            let (tx, rx) = mpsc::channel();
+            let _ = tx.send(Err(CoreError::from(
+                "pool is shut down; job was not queued".to_string(),
+            )));
+            JobHandle { rx }
+        };
+        let Some(queue) = self.queue.as_ref() else {
+            return rejected();
+        };
+        if queue.send(task).is_err() {
+            return rejected();
+        }
         JobHandle { rx }
     }
 
@@ -1363,6 +1375,22 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(ran.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn pool_submit_after_queue_death_errors_instead_of_panicking() {
+        // Force the post-shutdown state directly: a submit racing a
+        // drain must hand back an erroring handle, never unwind.
+        let mut pool = FleetPool::new(1);
+        pool.queue = None;
+        let handle: JobHandle<u32> = pool.submit(|| 7);
+        match handle.join() {
+            Err(e) => assert!(e.to_string().contains("shut down"), "{e}"),
+            Ok(v) => panic!("job ran on a dead pool: {v}"),
+        }
+        // The rejected job does not distort the backlog gauges.
+        assert_eq!(pool.stats().jobs_queued, 0);
+        assert_eq!(pool.stats().queue_depth(), 0);
     }
 
     #[test]

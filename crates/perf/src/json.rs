@@ -213,6 +213,17 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads the four hex digits of a `\uXXXX` escape with `self.pos`
+    /// on the `u`, without consuming them.
+    fn u16_escape(&mut self) -> Result<u32, PerfError> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
     fn string(&mut self) -> Result<String, PerfError> {
         self.expect(b'"', "expected '\"'")?;
         let mut out = String::new();
@@ -233,20 +244,35 @@ impl Parser<'_> {
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogate halves are rejected rather than paired:
-                            // the snapshot writer never emits them.
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
-                            );
+                            let code = self.u16_escape()?;
+                            if (0xdc00..0xe000).contains(&code) {
+                                return Err(self.err("unpaired low surrogate"));
+                            }
+                            if (0xd800..0xdc00).contains(&code) {
+                                // Reference encoders emit non-BMP
+                                // characters as a \uD8xx\uDCxx pair;
+                                // combine it into one scalar.
+                                self.pos += 5;
+                                if self.peek() != Some(b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.u16_escape()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                let scalar = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                out.push(
+                                    char::from_u32(scalar)
+                                        .expect("paired surrogates form a scalar"),
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(code).expect("non-surrogate u16 is a scalar"),
+                                );
+                            }
                             self.pos += 4;
                         }
                         _ => return Err(self.err("unknown escape")),
@@ -350,6 +376,24 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pairs_combine_into_one_scalar() {
+        // Reference encoders write non-BMP characters as a UTF-16
+        // surrogate pair; both the escaped pair and the raw character
+        // decode to the same string.
+        assert_eq!(ok("\"\\ud83d\\ude00\"").as_str(), Some("\u{1f600}"));
+        assert_eq!(ok("\"\u{1f600}\"").as_str(), Some("\u{1f600}"));
+        assert_eq!(ok("\"\\ud800\\udc00\"").as_str(), Some("\u{10000}"));
+        assert_eq!(ok("\"\\udbff\\udfff\"").as_str(), Some("\u{10ffff}"));
+        // A pair sits between other content without desyncing the
+        // cursor, and DEL (0x7f) passes as an escape or raw.
+        assert_eq!(
+            ok("\"a\\ud83d\\ude00b\\u007f\"").as_str(),
+            Some("a\u{1f600}b\u{7f}")
+        );
+        assert_eq!(ok("\"\u{7f}\"").as_str(), Some("\u{7f}"));
+    }
+
+    #[test]
     fn malformed_input_errors_with_offsets_not_panics() {
         let cases: &[(&str, &str)] = &[
             ("", "unexpected end of input"),
@@ -360,7 +404,12 @@ mod tests {
             ("\"abc", "unterminated string"),
             ("\"\\q\"", "unknown escape"),
             ("\"\\u12", "truncated \\u escape"),
-            ("\"\\ud800\"", "\\u escape is not a scalar"),
+            ("\"\\ud800\"", "unpaired high surrogate"),
+            ("\"\\ud800x\"", "unpaired high surrogate"),
+            ("\"\\ud800\\n\"", "unpaired high surrogate"),
+            ("\"\\ud800\\ud800\"", "unpaired high surrogate"),
+            ("\"\\udc00\"", "unpaired low surrogate"),
+            ("\"\\ud83d\\u00e9\"", "unpaired high surrogate"),
             ("tru", "unrecognized literal"),
             ("1 2", "trailing data after document"),
             ("@", "unexpected character"),

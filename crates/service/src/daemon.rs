@@ -1,13 +1,24 @@
 //! The `dramscoped` daemon loop: JSON-lines over any `BufRead`/`Write`
 //! pair, plus a unix-socket listener wrapping the same handler.
 //!
-//! Each connection is a sequential REPL — one request is processed to
-//! completion (progress lines streaming while it runs) before the next
-//! line is read. That makes single-connection behavior deterministic:
-//! piping the same job twice over stdin always yields a `miss` then a
-//! `hit`. Concurrency (and therefore in-flight coalescing) comes from
-//! multiple connections on the socket listener, or from library callers
-//! sharing one [`Service`] across threads.
+//! A connection runs in one of two modes ([`ConnMode`]):
+//!
+//! * **Serial** — a sequential REPL: one request is processed to
+//!   completion (progress lines streaming while it runs) before the
+//!   next line is read. Single-connection behavior is deterministic:
+//!   piping the same job twice over stdin always yields a `miss` then
+//!   a `hit`, byte-for-byte. CI smokes pin this mode.
+//! * **Pipelined** — the default for the `dramscoped` binary: each
+//!   decoded request is dispatched onto its own handler thread and the
+//!   response is written (tagged by the request's id) as soon as it
+//!   completes, so a fast cached job overtakes a slow miss on the same
+//!   connection. Responses interleave; clients correlate by `id`. A
+//!   `shutdown` request (or EOF) first joins every in-flight request,
+//!   so the drain is still deterministic and no response is lost.
+//!
+//! In both modes, concurrency across clients (and therefore in-flight
+//! coalescing) comes from multiple connections on the socket listener,
+//! or from library callers sharing one [`Service`] across threads.
 //!
 //! The read loop is total: oversized lines are drained and answered
 //! with an error, invalid UTF-8 is answered with an error, malformed
@@ -35,7 +46,19 @@ use dram_obs::EventDraft;
 use dram_perf::SharedProfiler;
 use dram_sim::{ChipEvent, CommandSink, Tee};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// How a connection schedules its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// One request at a time, in arrival order — byte-stable for a
+    /// given input, the mode CI smokes pin with `--serial`.
+    Serial,
+    /// Each request on its own handler thread; responses are written
+    /// as they complete, tagged by request id.
+    Pipelined,
+}
 
 /// Streams `phase:`/`span:` markers from a running job as
 /// `{"resp":"progress",...}` lines on the connection's writer.
@@ -57,10 +80,11 @@ impl<W: Write> CommandSink for ProgressSink<W> {
             self.id,
             json_string(label)
         );
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = w.write_all(line.as_bytes());
-            let _ = w.flush();
-        }
+        // A panic elsewhere while the writer was held must not mute
+        // progress for every later job: take the lock poisoned or not.
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
     }
 }
 
@@ -125,7 +149,8 @@ fn stats_line(id: &str, service: &Service) -> String {
         concat!(
             "{{\"resp\":\"stats\",\"id\":{},\"submitted\":{},\"hits\":{},",
             "\"misses\":{},\"coalesced\":{},\"executions\":{},\"errors\":{},",
-            "\"in_flight\":{},\"cache_entries\":{},",
+            "\"in_flight\":{},\"cache_entries\":{},\"cache_bytes\":{},",
+            "\"evictions\":{},\"disk_hits\":{},\"salvaged\":{},",
             "\"uptime_jobs_completed\":{},\"queue_depth\":{},",
             "\"jobs_queued\":{},\"jobs_running\":{},\"jobs_panicked\":{},",
             "\"telemetry\":[{}]}}"
@@ -139,6 +164,10 @@ fn stats_line(id: &str, service: &Service) -> String {
         s.errors,
         s.in_flight,
         s.cache_entries,
+        s.cache_bytes,
+        s.evictions,
+        s.disk_hits,
+        s.salvaged,
         p.jobs_completed,
         p.queue_depth(),
         p.jobs_queued,
@@ -264,7 +293,10 @@ fn read_request_line<R: BufRead>(reader: &mut R) -> io::Result<Option<Result<Str
 }
 
 fn write_line<W: Write>(writer: &Arc<Mutex<W>>, line: &str) -> io::Result<()> {
-    let mut w = writer.lock().expect("connection writer poisoned");
+    // A handler thread that panicked mid-write poisons this mutex; the
+    // bytes it wrote are already flushed or lost either way, so later
+    // responses keep the connection alive instead of unwinding it.
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
     w.write_all(line.as_bytes())?;
     w.write_all(b"\n")?;
     w.flush()
@@ -318,7 +350,79 @@ fn run_characterize<W: Write + Send + 'static>(
     }
 }
 
-/// Serves one connection until EOF or a `shutdown` request.
+/// The raw id token of any request (already JSON-rendered: a quoted
+/// string, a number, or `null`).
+fn request_id(req: &Request) -> &str {
+    match req {
+        Request::Characterize(req) => &req.id,
+        Request::Stats { id }
+        | Request::Events { id, .. }
+        | Request::Metrics { id }
+        | Request::Shutdown { id } => id,
+        Request::Query(req) => &req.id,
+    }
+}
+
+/// Emits the `request.received` event for a decoded request. `events`
+/// deliberately emits nothing: tailing the ring must not mutate it, so
+/// repeating the same tail is idempotent and byte-stable.
+fn note_received(service: &Service, req: &Request) {
+    let kind = match req {
+        Request::Characterize(_) => "characterize",
+        Request::Stats { .. } => "stats",
+        Request::Events { .. } => return,
+        Request::Metrics { .. } => "metrics",
+        Request::Query(_) => "query",
+        Request::Shutdown { .. } => "shutdown",
+    };
+    service
+        .events()
+        .emit(EventDraft::info("request.received").field_str("req", kind));
+}
+
+/// Computes the response line(s) for any request except `shutdown`,
+/// whose drain protocol belongs to the connection loop.
+fn respond<W: Write + Send + 'static>(
+    service: &Service,
+    writer: &Arc<Mutex<W>>,
+    req: &Request,
+) -> String {
+    match req {
+        Request::Characterize(req) => run_characterize(service, writer, req),
+        Request::Stats { id } => stats_line(id, service),
+        Request::Events {
+            id,
+            since_seq,
+            max,
+            stable,
+        } => events_lines(id, service, *since_seq, *max, *stable),
+        Request::Metrics { id } => metrics_line(id, service),
+        Request::Query(req) => query_line(&req.id, service, req),
+        Request::Shutdown { .. } => unreachable!("shutdown is handled by the connection loop"),
+    }
+}
+
+/// Computes and writes one response, absorbing a panicking handler
+/// into an error line so the connection (and its writer lock) survive.
+fn respond_and_write<W: Write + Send + 'static>(
+    service: &Service,
+    writer: &Arc<Mutex<W>>,
+    req: &Request,
+) -> io::Result<()> {
+    let line =
+        catch_unwind(AssertUnwindSafe(|| respond(service, writer, req))).unwrap_or_else(|_| {
+            error_line(&ProtocolError {
+                id: request_id(req).to_string(),
+                message: "request handler panicked; connection stays open".into(),
+            })
+        });
+    write_line(writer, &line)
+}
+
+/// Serves one connection until EOF or a `shutdown` request, in
+/// [`ConnMode::Serial`] order. Kept as the byte-stable entry point:
+/// existing embedders and CI smokes rely on responses landing in
+/// request order.
 ///
 /// Returns `Ok(true)` when the client asked for shutdown (the service
 /// queue is already drained by then), `Ok(false)` at EOF.
@@ -329,8 +433,30 @@ fn run_characterize<W: Write + Send + 'static>(
 /// client wrote.
 pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
     service: &Service,
+    reader: R,
+    writer: &Arc<Mutex<W>>,
+) -> io::Result<bool> {
+    handle_connection_mode(service, reader, writer, ConnMode::Serial)
+}
+
+/// Serves one connection in the given [`ConnMode`].
+///
+/// Serial mode answers each request before reading the next.
+/// Pipelined mode dispatches each decoded request onto its own handler
+/// thread and writes responses as they complete; a `shutdown` request
+/// or EOF joins every in-flight request before draining, so no
+/// response is ever dropped. Malformed lines are answered inline in
+/// both modes.
+///
+/// # Errors
+///
+/// Only transport failures — never anything the client wrote, and
+/// never a panicking job (those answer an error line instead).
+pub fn handle_connection_mode<R: BufRead, W: Write + Send + 'static>(
+    service: &Service,
     mut reader: R,
     writer: &Arc<Mutex<W>>,
+    mode: ConnMode,
 ) -> io::Result<bool> {
     service.events().emit(EventDraft::info("conn.open"));
     let mut requests: u64 = 0;
@@ -339,87 +465,78 @@ pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
             .events()
             .emit(EventDraft::info("conn.close").field_u64("requests", requests));
     };
-    loop {
-        let line = match read_request_line(&mut reader)? {
-            None => {
-                close(requests);
-                return Ok(false);
+    std::thread::scope(|scope| {
+        let mut handles: Vec<std::thread::ScopedJoinHandle<'_, io::Result<()>>> = Vec::new();
+        // Joins every in-flight handler before a drain point (shutdown
+        // ack or EOF), surfacing the first transport error any of them
+        // hit. Handler panics cannot reach here: `respond_and_write`
+        // converts them to error lines.
+        let join_all = |handles: &mut Vec<std::thread::ScopedJoinHandle<'_, io::Result<()>>>| {
+            let mut first_err = None;
+            for handle in handles.drain(..) {
+                if let Ok(Err(e)) = handle.join() {
+                    first_err.get_or_insert(e);
+                }
             }
-            Some(Err(0)) => {
-                let e = ProtocolError {
-                    id: "null".into(),
-                    message: "request line is not valid UTF-8".into(),
-                };
-                service.events().emit(
-                    EventDraft::warn("request.decode_error").field_str("message", &e.message),
-                );
-                write_line(writer, &error_line(&e))?;
-                continue;
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
             }
-            Some(Err(bytes)) => {
-                let e = ProtocolError {
-                    id: "null".into(),
-                    message: format!(
-                        "request line of {bytes} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit"
-                    ),
-                };
-                service.events().emit(
-                    EventDraft::warn("request.decode_error").field_str("message", &e.message),
-                );
-                write_line(writer, &error_line(&e))?;
-                continue;
-            }
-            Some(Ok(line)) => line,
         };
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        requests += 1;
-        let response = match parse_request(line) {
-            Err(e) => {
-                service.events().emit(
-                    EventDraft::warn("request.decode_error").field_str("message", &e.message),
-                );
-                error_line(&e)
+        loop {
+            let line = match read_request_line(&mut reader)? {
+                None => {
+                    join_all(&mut handles)?;
+                    close(requests);
+                    return Ok(false);
+                }
+                Some(Err(0)) => {
+                    let e = ProtocolError {
+                        id: "null".into(),
+                        message: "request line is not valid UTF-8".into(),
+                    };
+                    service.events().emit(
+                        EventDraft::warn("request.decode_error").field_str("message", &e.message),
+                    );
+                    write_line(writer, &error_line(&e))?;
+                    continue;
+                }
+                Some(Err(bytes)) => {
+                    let e = ProtocolError {
+                        id: "null".into(),
+                        message: format!(
+                            "request line of {bytes} bytes exceeds the {MAX_REQUEST_BYTES}-byte limit"
+                        ),
+                    };
+                    service.events().emit(
+                        EventDraft::warn("request.decode_error").field_str("message", &e.message),
+                    );
+                    write_line(writer, &error_line(&e))?;
+                    continue;
+                }
+                Some(Ok(line)) => line,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
             }
-            Ok(Request::Characterize(req)) => {
-                service
-                    .events()
-                    .emit(EventDraft::info("request.received").field_str("req", "characterize"));
-                run_characterize(service, writer, &req)
-            }
-            Ok(Request::Stats { id }) => {
-                service
-                    .events()
-                    .emit(EventDraft::info("request.received").field_str("req", "stats"));
-                stats_line(&id, service)
-            }
-            // `events` deliberately emits no event of its own: tailing
-            // the ring must not mutate it, so repeating the same tail is
-            // idempotent and byte-stable.
-            Ok(Request::Events {
-                id,
-                since_seq,
-                max,
-                stable,
-            }) => events_lines(&id, service, since_seq, max, stable),
-            Ok(Request::Metrics { id }) => {
-                service
-                    .events()
-                    .emit(EventDraft::info("request.received").field_str("req", "metrics"));
-                metrics_line(&id, service)
-            }
-            Ok(Request::Query(req)) => {
-                service
-                    .events()
-                    .emit(EventDraft::info("request.received").field_str("req", "query"));
-                query_line(&req.id, service, &req)
-            }
-            Ok(Request::Shutdown { id }) => {
-                service
-                    .events()
-                    .emit(EventDraft::info("request.received").field_str("req", "shutdown"));
+            requests += 1;
+            let req = match parse_request(line) {
+                Err(e) => {
+                    service.events().emit(
+                        EventDraft::warn("request.decode_error").field_str("message", &e.message),
+                    );
+                    write_line(writer, &error_line(&e))?;
+                    continue;
+                }
+                Ok(req) => req,
+            };
+            note_received(service, &req);
+            if let Request::Shutdown { id } = &req {
+                // Outstanding responses first, then the drain, then the
+                // ack — a client that waits for the ack has seen every
+                // response it is owed.
+                join_all(&mut handles)?;
                 service.shutdown();
                 close(requests);
                 write_line(
@@ -428,21 +545,37 @@ pub fn handle_connection<R: BufRead, W: Write + Send + 'static>(
                 )?;
                 return Ok(true);
             }
-        };
-        write_line(writer, &response)?;
-    }
+            match mode {
+                ConnMode::Serial => respond_and_write(service, writer, &req)?,
+                ConnMode::Pipelined => {
+                    let writer = Arc::clone(writer);
+                    handles.push(scope.spawn(move || respond_and_write(service, &writer, &req)));
+                }
+            }
+        }
+    })
 }
 
 /// Serves requests from stdin to stdout until EOF or `shutdown`, then
-/// drains the pool. This is `dramscoped`'s default mode.
+/// drains the pool, answering in request order ([`ConnMode::Serial`]).
 ///
 /// # Errors
 ///
 /// Transport failures on stdin/stdout only.
 pub fn serve_stdio(service: &Service) -> io::Result<()> {
+    serve_stdio_mode(service, ConnMode::Serial)
+}
+
+/// Serves requests from stdin to stdout in the given [`ConnMode`]
+/// until EOF or `shutdown`, then drains the pool.
+///
+/// # Errors
+///
+/// Transport failures on stdin/stdout only.
+pub fn serve_stdio_mode(service: &Service, mode: ConnMode) -> io::Result<()> {
     let reader = BufReader::new(io::stdin().lock());
     let writer = Arc::new(Mutex::new(io::stdout()));
-    handle_connection(service, reader, &writer)?;
+    handle_connection_mode(service, reader, &writer, mode)?;
     service.shutdown();
     Ok(())
 }
@@ -457,6 +590,20 @@ pub fn serve_stdio(service: &Service) -> io::Result<()> {
 /// Socket bind/accept failures.
 #[cfg(unix)]
 pub fn serve_unix(service: &Arc<Service>, path: &std::path::Path) -> io::Result<()> {
+    serve_unix_mode(service, path, ConnMode::Serial)
+}
+
+/// [`serve_unix`] with an explicit per-connection [`ConnMode`].
+///
+/// # Errors
+///
+/// Socket bind/accept failures.
+#[cfg(unix)]
+pub fn serve_unix_mode(
+    service: &Arc<Service>,
+    path: &std::path::Path,
+    mode: ConnMode,
+) -> io::Result<()> {
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -478,7 +625,7 @@ pub fn serve_unix(service: &Arc<Service>, path: &std::path::Path) -> io::Result<
                 Err(_) => return,
             };
             let writer = Arc::new(Mutex::new(stream));
-            let shutdown = handle_connection(&service, reader, &writer).unwrap_or(false);
+            let shutdown = handle_connection_mode(&service, reader, &writer, mode).unwrap_or(false);
             if shutdown {
                 stop.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the stop flag.
@@ -849,6 +996,217 @@ mod tests {
             String::from_utf8(writer2.lock().unwrap().clone()).unwrap()
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipelined_cached_response_overtakes_a_slow_miss() {
+        use std::sync::Condvar;
+
+        // A runner that parks seed-1 jobs on a gate; everything else
+        // returns immediately.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let runner_gate = Arc::clone(&gate);
+        let count = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&count);
+        let service = Service::with_runner(
+            1,
+            Arc::new(move |spec: &JobSpec, _sink| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                if spec.seed == 1 {
+                    let (lock, cv) = &*runner_gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+                let text = format!("dossier {}", spec.seed);
+                Ok(JobOutput {
+                    label: spec.profile.label(),
+                    digest: fnv1a_64(text.as_bytes()),
+                    composition: "c".into(),
+                    dossier: text,
+                    commands: 1,
+                    bitflips: 0,
+                    metrics: Registry::new(),
+                })
+            }),
+        );
+        // Warm the cache with seed 2 so the second request on the wire
+        // is a pure cache hit that never needs the (occupied) pool.
+        let (profile, opts) = profiles::named_job("test_small").unwrap();
+        let warm = JobSpec {
+            profile_name: "test_small".into(),
+            profile,
+            seed: 2,
+            opts,
+            sharded: false,
+        };
+        service.submit(&warm, None).unwrap();
+
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        // Open the gate only once the cached response is on the wire,
+        // so the slow job cannot finish before the fast one is written.
+        let monitor_writer = Arc::clone(&writer);
+        let monitor_gate = Arc::clone(&gate);
+        let monitor = std::thread::spawn(move || loop {
+            let seen = {
+                let buf = monitor_writer.lock().unwrap();
+                String::from_utf8_lossy(&buf).contains("\"id\":\"fast\"")
+            };
+            if seen {
+                let (lock, cv) = &*monitor_gate;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+                return;
+            }
+            std::thread::yield_now();
+        });
+
+        let input = "\
+            {\"req\":\"characterize\",\"id\":\"slow\",\"profile\":\"test_small\",\"seed\":1}\n\
+            {\"req\":\"characterize\",\"id\":\"fast\",\"profile\":\"test_small\",\"seed\":2}\n";
+        handle_connection_mode(&service, input.as_bytes(), &writer, ConnMode::Pipelined)
+            .expect("transport ok");
+        monitor.join().unwrap();
+
+        let out = String::from_utf8(writer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].contains("\"id\":\"fast\"") && lines[0].contains("\"cache\":\"hit\""),
+            "cached response overtook the slow miss: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"id\":\"slow\"") && lines[1].contains("\"cache\":\"miss\""),
+            "{}",
+            lines[1]
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 2, "warm + slow, no rerun");
+    }
+
+    #[test]
+    fn panicking_job_answers_an_error_and_the_daemon_keeps_serving() {
+        let service = Service::with_runner(
+            1,
+            Arc::new(|spec: &JobSpec, _sink| {
+                if spec.seed == 666 {
+                    panic!("synthetic panic for seed 666");
+                }
+                Ok(JobOutput {
+                    label: spec.profile.label(),
+                    digest: 7,
+                    composition: "c".into(),
+                    dossier: "ok".into(),
+                    commands: 1,
+                    bitflips: 0,
+                    metrics: Registry::new(),
+                })
+            }),
+        );
+        let input = "\
+            {\"req\":\"characterize\",\"id\":\"boom\",\"profile\":\"test_small\",\"seed\":666}\n\
+            {\"req\":\"stats\",\"id\":\"s\"}\n\
+            {\"req\":\"characterize\",\"id\":\"ok\",\"profile\":\"test_small\",\"seed\":1}\n";
+        for mode in [ConnMode::Serial, ConnMode::Pipelined] {
+            let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+            handle_connection_mode(&service, input.as_bytes(), &writer, mode)
+                .expect("transport ok");
+            let out = String::from_utf8(writer.lock().unwrap().clone()).unwrap();
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 3, "{mode:?}: {lines:?}");
+            let boom = lines
+                .iter()
+                .find(|l| l.contains("\"id\":\"boom\""))
+                .expect("panicking job answered");
+            assert!(boom.contains("\"resp\":\"error\""), "{boom}");
+            assert!(boom.contains("panic"), "{boom}");
+            assert!(
+                lines.iter().any(|l| l.starts_with("{\"resp\":\"stats\"")),
+                "{mode:?}: stats still answered: {lines:?}"
+            );
+            let ok = lines
+                .iter()
+                .find(|l| l.contains("\"id\":\"ok\""))
+                .expect("later job answered");
+            assert!(ok.contains("\"resp\":\"result\""), "{ok}");
+        }
+        // No stuck slot either: the service is idle after both drives.
+        assert_eq!(service.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn poisoned_writer_does_not_kill_the_connection() {
+        // Poison the writer mutex the way a panicking handler would.
+        let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let poisoner = Arc::clone(&writer);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the writer");
+        })
+        .join();
+        assert!(writer.lock().is_err(), "mutex is poisoned");
+        let service = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| unreachable!("no jobs submitted")),
+        );
+        handle_connection(
+            &service,
+            "{\"req\":\"stats\",\"id\":1}\n".as_bytes(),
+            &writer,
+        )
+        .expect("transport ok");
+        let bytes = writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let out = String::from_utf8(bytes).unwrap();
+        assert!(out.starts_with("{\"resp\":\"stats\""), "{out}");
+    }
+
+    #[test]
+    fn pipelined_shutdown_joins_outstanding_requests_before_the_ack() {
+        let (lines, executions) = {
+            let count = Arc::new(AtomicU64::new(0));
+            let counter = Arc::clone(&count);
+            let service = Service::with_runner(
+                1,
+                Arc::new(move |spec: &JobSpec, _sink| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Ok(JobOutput {
+                        label: spec.profile.label(),
+                        digest: 7,
+                        composition: "c".into(),
+                        dossier: "d".into(),
+                        commands: 1,
+                        bitflips: 0,
+                        metrics: Registry::new(),
+                    })
+                }),
+            );
+            let input = "\
+                {\"req\":\"characterize\",\"id\":\"a\",\"profile\":\"test_small\",\"seed\":1}\n\
+                {\"req\":\"shutdown\",\"id\":\"z\"}\n";
+            let writer = Arc::new(Mutex::new(Vec::<u8>::new()));
+            let shutdown =
+                handle_connection_mode(&service, input.as_bytes(), &writer, ConnMode::Pipelined)
+                    .expect("transport ok");
+            assert!(shutdown);
+            let bytes = writer.lock().unwrap().clone();
+            let lines: Vec<String> = String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect();
+            (lines, count.load(Ordering::SeqCst))
+        };
+        assert_eq!(executions, 1);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"id\":\"a\""), "response before ack");
+        assert_eq!(
+            lines[1],
+            "{\"resp\":\"shutdown\",\"id\":\"z\",\"drained\":true}"
+        );
     }
 
     #[test]

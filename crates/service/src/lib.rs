@@ -37,14 +37,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod daemon;
 pub mod profiles;
 pub mod protocol;
 pub mod service;
 
+pub use daemon::{
+    handle_connection, handle_connection_mode, serve_stdio, serve_stdio_mode, ConnMode,
+};
 #[cfg(unix)]
-pub use daemon::serve_unix;
-pub use daemon::{handle_connection, serve_stdio};
+pub use daemon::{serve_unix, serve_unix_mode};
 pub use protocol::{parse_request, ProtocolError, Request, DEFAULT_SEED, MAX_REQUEST_BYTES};
 pub use service::{
     CacheStatus, DossierKey, JobOutput, JobSpec, Service, ServiceError, ServiceStats,

@@ -740,4 +740,62 @@ mod tests {
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
         assert_eq!(json_string("héllo"), "\"héllo\"");
     }
+
+    #[test]
+    fn del_and_non_bmp_round_trip_through_encode_and_decode() {
+        // DEL (0x7f) and astral-plane characters are legal unescaped
+        // in JSON strings; the encoder passes them raw and the decoder
+        // must return them unchanged.
+        let cases = [
+            "\u{7f}",
+            "del\u{7f}del",
+            "\u{1f600}",
+            "a\u{1f600}b",
+            "\u{10000}\u{10ffff}",
+            "mixed\t\u{7f}\u{1f4a9}\"quoted\"",
+        ];
+        for original in cases {
+            let encoded = json_string(original);
+            let decoded = dram_perf::json::parse("roundtrip", &encoded)
+                .unwrap_or_else(|e| panic!("{original:?} encoded as {encoded:?}: {e}"));
+            assert_eq!(decoded.as_str(), Some(original), "{encoded:?}");
+        }
+    }
+
+    #[test]
+    fn reference_surrogate_pair_escapes_decode_to_the_same_string() {
+        // Reference JSON encoders (serde_json, python's json, JS'
+        // JSON.stringify with default settings on non-BMP input) may
+        // emit astral characters as \uD8xx\uDCxx pairs. Whichever form
+        // a client sends, the daemon must read the same request string.
+        let pairs = [
+            ("\"\\ud83d\\ude00\"", "\u{1f600}"),
+            ("\"\\ud800\\udc00\"", "\u{10000}"),
+            ("\"\\udbff\\udfff\"", "\u{10ffff}"),
+            ("\"\\u007f\"", "\u{7f}"),
+        ];
+        for (escaped, expected) in pairs {
+            let decoded = dram_perf::json::parse("reference", escaped).expect(escaped);
+            assert_eq!(decoded.as_str(), Some(expected), "{escaped}");
+            // And the decoded string re-encodes to something that
+            // decodes back to itself (full round trip).
+            let re = json_string(expected);
+            let again = dram_perf::json::parse("reference", &re).expect("re-encode");
+            assert_eq!(again.as_str(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn characterize_ids_with_non_bmp_content_survive_the_wire() {
+        // End to end at the request layer: a profile label with DEL
+        // and an emoji comes back out of parse_request intact.
+        let line =
+            "{\"req\":\"characterize\",\"id\":\"\\ud83d\\ude00\u{7f}\",\"profile\":\"test_small\"}";
+        match parse_request(line).expect("request parses") {
+            Request::Characterize(req) => {
+                assert_eq!(req.id, json_string("\u{1f600}\u{7f}"));
+            }
+            other => panic!("expected characterize, got {other:?}"),
+        }
+    }
 }

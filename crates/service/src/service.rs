@@ -20,6 +20,7 @@
 //! entry's condvar and receives the same `Arc`'d output the moment the
 //! runner finishes — one simulation, N responses.
 
+use crate::cache::{self, CacheLimits, DiskProbe, DossierStore, Evicted};
 use crate::protocol::CharacterizeRequest;
 use dram_obs::{render_prometheus, EventBus, EventDraft};
 use dram_sim::digest::fnv1a_64;
@@ -30,7 +31,7 @@ use dramscope_core::shard::{characterize_sharded, ShardConfig};
 use dramscope_core::{CoreError, FleetPool, PoolStats};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// The content address of one characterization job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -177,8 +178,18 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Jobs currently running.
     pub in_flight: u64,
-    /// Entries in the dossier cache.
+    /// Entries resident in the in-memory dossier cache.
     pub cache_entries: u64,
+    /// Payload bytes resident in the in-memory dossier cache.
+    pub cache_bytes: u64,
+    /// Memory-tier entries evicted to honor the capacity bounds.
+    pub evictions: u64,
+    /// Cache hits served by lazily loading a persisted on-disk entry
+    /// (a subset of `hits`).
+    pub disk_hits: u64,
+    /// On-disk entries that existed but failed to decode (corrupt or
+    /// truncated files treated as misses and later rewritten).
+    pub salvaged: u64,
 }
 
 /// The signature jobs run under: a job spec plus an optional command
@@ -202,18 +213,28 @@ impl InFlight {
         }
     }
 
+    /// Publishes the result and wakes every parked waiter. The slot
+    /// mutex is recovered from poisoning (`PoisonError::into_inner`)
+    /// rather than propagated: a panic on some other thread while it
+    /// held this lock must not cascade into killing the waiters too —
+    /// the slot's `Option` is valid either way.
     fn complete(&self, result: Result<Arc<JobOutput>, CoreError>) {
-        *self.slot.lock().expect("in-flight slot poisoned") = Some(result);
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
         self.ready.notify_all();
     }
 
+    /// Parks until [`complete`](Self::complete) publishes, recovering
+    /// from a poisoned slot the same way.
     fn wait(&self) -> Result<Arc<JobOutput>, CoreError> {
-        let mut slot = self.slot.lock().expect("in-flight slot poisoned");
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = self.ready.wait(slot).expect("in-flight slot poisoned");
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -226,13 +247,23 @@ impl fmt::Debug for InFlight {
 
 #[derive(Default)]
 struct Inner {
-    cache: BTreeMap<DossierKey, Arc<JobOutput>>,
+    cache: DossierStore,
     in_flight: BTreeMap<DossierKey, Arc<InFlight>>,
     stats: ServiceStats,
     telemetry: Registry,
     /// The pool's final counter snapshot, captured at shutdown so
     /// backlog gauges stay readable after the pool is gone.
     final_pool: Option<PoolStats>,
+}
+
+impl Inner {
+    /// Records a batch of evictions in the counters; the caller emits
+    /// the matching `cache.evict` events after releasing the lock.
+    fn account_evictions(&mut self, evicted: &[Evicted]) {
+        self.stats.evictions += evicted.len() as u64;
+        self.stats.cache_entries = self.cache.len();
+        self.stats.cache_bytes = self.cache.bytes();
+    }
 }
 
 /// The characterization service.
@@ -333,15 +364,75 @@ impl Service {
         }
     }
 
+    /// Locks the service state, recovering from poisoning: every
+    /// mutation under this lock leaves the maps and counters valid at
+    /// every step, so a panic on another thread while it held the lock
+    /// records a poisoned flag and nothing worse — one crashed request
+    /// must not take the whole daemon's state hostage.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Points `query` requests at a trace directory (or a single trace
     /// file). Unset, the daemon answers queries with an error.
     pub fn set_trace_dir(&self, path: impl Into<std::path::PathBuf>) {
-        *self.trace_dir.lock().expect("trace dir poisoned") = Some(path.into());
+        *self
+            .trace_dir
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(path.into());
     }
 
     /// The configured query directory, if any.
     pub fn trace_dir(&self) -> Option<std::path::PathBuf> {
-        self.trace_dir.lock().expect("trace dir poisoned").clone()
+        self.trace_dir
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Points the dossier cache's persistence tier at `dir`, creating
+    /// the directory if needed. Completed jobs are written there as
+    /// `0x<key>` files (temp-file-then-rename) and later requests —
+    /// including after a restart — load them lazily instead of
+    /// re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failures.
+    pub fn set_cache_dir(&self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.lock_inner().cache.set_dir(dir);
+        Ok(())
+    }
+
+    /// Bounds the in-memory cache tier (`0` = unbounded), evicting
+    /// immediately if the store is already over the new limits.
+    /// Eviction is a deterministic LRU on the hit sequence; evicted
+    /// entries count in [`ServiceStats::evictions`] and are narrated
+    /// as `cache.evict` events. Disk entries are unaffected.
+    pub fn set_cache_limits(&self, max_entries: u64, max_bytes: u64) {
+        let evicted = {
+            let mut inner = self.lock_inner();
+            let evicted = inner.cache.set_limits(CacheLimits {
+                max_entries,
+                max_bytes,
+            });
+            inner.account_evictions(&evicted);
+            evicted
+        };
+        self.emit_evictions(&evicted);
+    }
+
+    /// Narrates a batch of evictions on the event bus.
+    fn emit_evictions(&self, evicted: &[Evicted]) {
+        for e in evicted {
+            self.events.emit(
+                EventDraft::info("cache.evict")
+                    .field_str("key", &cache::key_file_name(&e.key))
+                    .field_u64("bytes", e.bytes),
+            );
+        }
     }
 
     /// The service's event bus: every cache decision, job lifecycle
@@ -392,10 +483,12 @@ impl Service {
                 .field_u64("seed", spec.seed)
                 .field_bool("sharded", spec.sharded)
         };
-        let flight = {
-            let mut inner = self.inner.lock().expect("service state poisoned");
+        // Phase 1: the memory tier and the in-flight table, under one
+        // lock.
+        let (flight, cache_dir) = {
+            let mut inner = self.lock_inner();
             inner.stats.submitted += 1;
-            if let Some(cached) = inner.cache.get(&key).map(Arc::clone) {
+            if let Some(cached) = inner.cache.get(&key) {
                 inner.stats.hits += 1;
                 drop(inner);
                 self.events.emit(cache_event("cache.hit"));
@@ -411,37 +504,62 @@ impl Service {
                     Err(e) => Err(ServiceError::Job(e)),
                 };
             }
-            inner.stats.misses += 1;
-            inner.stats.executions += 1;
+            // This request owns the key from here: identical requests
+            // arriving during the disk probe or the simulation park on
+            // this slot. Whether it is a hit or a miss is settled below.
             inner.stats.in_flight += 1;
             let flight = Arc::new(InFlight::new());
             inner.in_flight.insert(key, Arc::clone(&flight));
-            flight
+            (flight, inner.cache.dir().cloned())
         };
+        // From here on the slot must be resolved on *every* path — an
+        // unwind included — or coalesced waiters would park forever and
+        // every retry would join the dead slot instead of re-running.
+        // `finish`/`finish_disk_hit` are the deliberate resolutions;
+        // the guard's `Drop` is the backstop for unwinds.
+        let guard = FlightGuard {
+            service: self,
+            key,
+            label: label.clone(),
+            flight,
+            armed: true,
+        };
+        // Phase 2: the persistence tier, outside the state lock so
+        // file IO cannot stall unrelated keys.
+        if let Some(dir) = &cache_dir {
+            match cache::probe_disk(dir, &key) {
+                DiskProbe::Loaded(output) => {
+                    self.events.emit(cache_event("cache.hit"));
+                    self.events.emit(
+                        EventDraft::info("cache.load")
+                            .job(&label)
+                            .field_str("key", &cache::key_file_name(&key)),
+                    );
+                    return Ok((guard.finish_disk_hit(output), CacheStatus::Hit));
+                }
+                DiskProbe::Salvage(reason) => {
+                    self.lock_inner().stats.salvaged += 1;
+                    self.events.emit(
+                        EventDraft::warn("cache.salvage")
+                            .job(&label)
+                            .field_str("message", &reason),
+                    );
+                }
+                DiskProbe::Absent => {}
+            }
+        }
+        // Phase 3: a genuine miss — simulate on the pool.
+        {
+            let mut inner = self.lock_inner();
+            inner.stats.misses += 1;
+            inner.stats.executions += 1;
+        }
         // Emitted before the pool's `job.queued` so a tail reads the
         // cache decision, then the lifecycle it caused.
         self.events.emit(cache_event("cache.miss"));
 
         let result = self.run_on_pool(spec, sink, &label);
 
-        let result = {
-            let mut inner = self.inner.lock().expect("service state poisoned");
-            inner.in_flight.remove(&key);
-            inner.stats.in_flight -= 1;
-            match result {
-                Ok(output) => {
-                    let output = Arc::new(output);
-                    inner.telemetry.merge(&output.metrics);
-                    inner.cache.insert(key, Arc::clone(&output));
-                    inner.stats.cache_entries = inner.cache.len() as u64;
-                    Ok(output)
-                }
-                Err(e) => {
-                    inner.stats.errors += 1;
-                    Err(e)
-                }
-            }
-        };
         if let Err(e) = &result {
             self.events.emit(
                 EventDraft::warn("job.error")
@@ -449,8 +567,7 @@ impl Service {
                     .field_str("message", &e.to_string()),
             );
         }
-        flight.complete(result.clone());
-        match result {
+        match guard.finish(result, cache_dir.as_deref()) {
             Ok(output) => Ok((output, CacheStatus::Miss)),
             Err(e) => Err(ServiceError::Job(e)),
         }
@@ -466,7 +583,7 @@ impl Service {
         label: &str,
     ) -> Result<JobOutput, CoreError> {
         let handle = {
-            let pool = self.pool.lock().expect("pool handle poisoned");
+            let pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
             let Some(pool) = pool.as_ref() else {
                 return Err(CoreError::from("service is shut down".to_string()));
             };
@@ -477,30 +594,26 @@ impl Service {
         handle.join()?
     }
 
-    /// Looks up the cache without submitting; does not touch counters.
+    /// Looks up the memory tier without submitting; does not touch
+    /// counters or the LRU hit sequence.
     pub fn peek(&self, key: &DossierKey) -> Option<Arc<JobOutput>> {
-        let inner = self.inner.lock().expect("service state poisoned");
-        inner.cache.get(key).cloned()
+        self.lock_inner().cache.peek(key)
     }
 
     /// Snapshots the live counters.
     pub fn stats(&self) -> ServiceStats {
-        self.inner.lock().expect("service state poisoned").stats
+        self.lock_inner().stats
     }
 
     /// Snapshots the pool's job counters and backlog gauges; after
     /// shutdown the final (fully drained) snapshot keeps being served.
     pub fn pool_stats(&self) -> PoolStats {
-        let pool = self.pool.lock().expect("pool handle poisoned");
+        let pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pool) = pool.as_ref() {
             return pool.stats();
         }
         drop(pool);
-        self.inner
-            .lock()
-            .expect("service state poisoned")
-            .final_pool
-            .unwrap_or_default()
+        self.lock_inner().final_pool.unwrap_or_default()
     }
 
     /// Renders the merged telemetry registry plus the service and pool
@@ -517,11 +630,15 @@ impl Service {
         reg.inc(Key::name("dramscoped_executions_total"), s.executions);
         reg.inc(Key::name("dramscoped_errors_total"), s.errors);
         reg.inc(Key::name("dramscoped_jobs_panicked_total"), p.jobs_panicked);
+        reg.inc(Key::name("dramscoped_cache_evictions_total"), s.evictions);
+        reg.inc(Key::name("dramscoped_cache_disk_hits_total"), s.disk_hits);
+        reg.inc(Key::name("dramscoped_cache_salvaged_total"), s.salvaged);
         reg.set_gauge(Key::name("dramscoped_in_flight"), s.in_flight as i64);
         reg.set_gauge(
             Key::name("dramscoped_cache_entries"),
             s.cache_entries as i64,
         );
+        reg.set_gauge(Key::name("dramscoped_cache_bytes"), s.cache_bytes as i64);
         reg.set_gauge(Key::name("dramscoped_queue_depth"), p.queue_depth() as i64);
         reg.set_gauge(
             Key::name("dramscoped_jobs_running"),
@@ -536,30 +653,128 @@ impl Service {
 
     /// Clones the merged telemetry registry of every completed job.
     pub fn telemetry(&self) -> Registry {
-        self.inner
-            .lock()
-            .expect("service state poisoned")
-            .telemetry
-            .clone()
+        self.lock_inner().telemetry.clone()
     }
 
     /// Drains the pool deterministically: queued jobs run to
     /// completion, workers join, and later submissions fail with
     /// [`ServiceError::ShutDown`]. Idempotent.
     pub fn shutdown(&self) {
-        let pool = self.pool.lock().expect("pool handle poisoned").take();
+        let pool = self
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
         if let Some(pool) = pool {
             let final_stats = pool.shutdown_stats();
-            self.inner
-                .lock()
-                .expect("service state poisoned")
-                .final_pool = Some(final_stats);
+            self.lock_inner().final_pool = Some(final_stats);
             self.events.emit(
                 EventDraft::info("service.drained")
                     .field_u64("jobs_completed", final_stats.jobs_completed)
                     .field_u64("jobs_panicked", final_stats.jobs_panicked),
             );
         }
+    }
+}
+
+/// Resolves an owned in-flight slot on every exit path.
+///
+/// Between claiming a key's slot and publishing its result, the
+/// submitting thread runs event emission, disk IO, and the pool
+/// round-trip; if any of that unwound with the slot still in the
+/// table, coalesced waiters would park forever and every retry would
+/// join the dead slot instead of re-running. [`finish`](Self::finish)
+/// and [`finish_disk_hit`](Self::finish_disk_hit) are the deliberate
+/// resolutions; `Drop` is the backstop that turns an unexpected unwind
+/// into a clean error for the waiters and an empty slot for retries.
+struct FlightGuard<'a> {
+    service: &'a Service,
+    key: DossierKey,
+    label: String,
+    flight: Arc<InFlight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes a disk-loaded output: the memory tier adopts it, hit
+    /// counters tick, and parked waiters receive it.
+    fn finish_disk_hit(mut self, output: Arc<JobOutput>) -> Arc<JobOutput> {
+        self.armed = false;
+        let evicted = {
+            let mut inner = self.service.lock_inner();
+            inner.in_flight.remove(&self.key);
+            inner.stats.in_flight = inner.stats.in_flight.saturating_sub(1);
+            inner.stats.hits += 1;
+            inner.stats.disk_hits += 1;
+            let evicted = inner.cache.insert(self.key, Arc::clone(&output));
+            inner.account_evictions(&evicted);
+            evicted
+        };
+        self.service.emit_evictions(&evicted);
+        self.flight.complete(Ok(Arc::clone(&output)));
+        output
+    }
+
+    /// Publishes a simulation result: successes land in the memory
+    /// tier and (best-effort) on disk, failures tick the error
+    /// counter; waiters get the result either way. Errors are never
+    /// cached, so a retry after a failure runs fresh.
+    fn finish(
+        mut self,
+        result: Result<JobOutput, CoreError>,
+        dir: Option<&std::path::Path>,
+    ) -> Result<Arc<JobOutput>, CoreError> {
+        self.armed = false;
+        let (result, evicted) = {
+            let mut inner = self.service.lock_inner();
+            inner.in_flight.remove(&self.key);
+            inner.stats.in_flight = inner.stats.in_flight.saturating_sub(1);
+            match result {
+                Ok(output) => {
+                    let output = Arc::new(output);
+                    inner.telemetry.merge(&output.metrics);
+                    let evicted = inner.cache.insert(self.key, Arc::clone(&output));
+                    inner.account_evictions(&evicted);
+                    (Ok(output), evicted)
+                }
+                Err(e) => {
+                    inner.stats.errors += 1;
+                    (Err(e), Vec::new())
+                }
+            }
+        };
+        self.service.emit_evictions(&evicted);
+        if let (Ok(output), Some(dir)) = (&result, dir) {
+            if let Err(e) = cache::persist_entry(dir, &self.key, output) {
+                // Persistence is best-effort: the in-memory entry is
+                // live either way, and the next miss rewrites the file.
+                self.service.events.emit(
+                    EventDraft::warn("cache.persist_error")
+                        .job(&self.label)
+                        .field_str("message", &e.to_string()),
+                );
+            }
+        }
+        self.flight.complete(result.clone());
+        result
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // The submitter unwound without resolving the slot.
+        let mut inner = self.service.lock_inner();
+        inner.in_flight.remove(&self.key);
+        inner.stats.in_flight = inner.stats.in_flight.saturating_sub(1);
+        inner.stats.errors += 1;
+        drop(inner);
+        self.flight.complete(Err(CoreError::WorkerPanic(format!(
+            "job \"{}\" abandoned: submitter unwound before completing",
+            self.label
+        ))));
     }
 }
 
@@ -738,7 +953,175 @@ mod tests {
         let (_, status) = svc.submit(&job, None).unwrap();
         assert_eq!(status, CacheStatus::Miss, "failure was not memoized");
         assert_eq!(count.load(Ordering::SeqCst), 2);
-        assert_eq!(svc.stats().errors, 1);
+        let stats = svc.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.in_flight, 0, "erroring job removed its slot");
+    }
+
+    #[test]
+    fn failed_jobs_always_clear_their_in_flight_slot() {
+        // A panicking runner is the worst case: the error travels back
+        // through catch_unwind, and the slot must still come out of the
+        // table so a retry re-runs instead of parking on a dead slot.
+        let svc = Service::with_runner(
+            1,
+            Arc::new(|_spec: &JobSpec, _sink| panic!("runner exploded")),
+        );
+        let job = spec("test_small", 11);
+        assert!(svc.submit(&job, None).is_err());
+        assert_eq!(svc.stats().in_flight, 0, "panicking job removed its slot");
+        // If the slot had leaked, this would block forever on the dead
+        // entry; instead it re-runs and errors again.
+        assert!(svc.submit(&job, None).is_err());
+        let stats = svc.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.executions, 2, "retry ran fresh");
+    }
+
+    #[test]
+    fn entry_limit_evicts_least_recently_used_with_counters_and_events() {
+        let count = Arc::new(AtomicU64::new(0));
+        let svc = counting_service(Arc::clone(&count));
+        svc.set_cache_limits(2, 0);
+        let a = spec("test_small", 1);
+        let b = spec("test_small", 2);
+        let c = spec("test_small", 3);
+        svc.submit(&a, None).unwrap();
+        svc.submit(&b, None).unwrap();
+        // Touch `a` so `b` becomes the least recently used entry.
+        let (_, status) = svc.submit(&a, None).unwrap();
+        assert_eq!(status, CacheStatus::Hit);
+        svc.submit(&c, None).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.cache_entries, 2);
+        assert!(stats.cache_bytes > 0);
+        assert!(svc.peek(&a.key()).is_some(), "recently used entry kept");
+        assert!(svc.peek(&b.key()).is_none(), "LRU entry evicted");
+        assert!(svc.peek(&c.key()).is_some(), "newest entry kept");
+        // The eviction narrated itself with the entry's key and size.
+        let evict = svc
+            .events()
+            .since(0, 0)
+            .events
+            .into_iter()
+            .find(|e| e.kind == "cache.evict")
+            .expect("cache.evict event");
+        assert_eq!(
+            evict.fields["key"].as_str(),
+            Some(cache::key_file_name(&b.key()).as_str())
+        );
+        assert!(evict.fields["bytes"].as_u64().unwrap() > 0);
+        // An evicted key re-runs: it is a miss again.
+        let (_, status) = svc.submit(&b, None).unwrap();
+        assert_eq!(status, CacheStatus::Miss);
+        assert_eq!(svc.stats().evictions, 2, "re-inserting evicted the LRU");
+    }
+
+    #[test]
+    fn byte_limit_is_enforced_at_the_service_level() {
+        let count = Arc::new(AtomicU64::new(0));
+        let svc = counting_service(Arc::clone(&count));
+        // One dossier is ~100 bytes as charged; a 1-byte budget still
+        // keeps the newest entry rather than thrashing to empty.
+        svc.set_cache_limits(0, 1);
+        let a = spec("test_small", 1);
+        let b = spec("test_small", 2);
+        svc.submit(&a, None).unwrap();
+        svc.submit(&b, None).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.cache_entries, 1, "over-budget LRU evicted");
+        assert_eq!(stats.evictions, 1);
+        assert!(svc.peek(&b.key()).is_some());
+        // Tightening limits on a live service evicts immediately.
+        svc.set_cache_limits(0, 0);
+        svc.submit(&a, None).unwrap();
+        svc.submit(&b, None).unwrap();
+        assert_eq!(svc.stats().cache_entries, 2, "limits lifted");
+    }
+
+    #[test]
+    fn disk_cache_survives_a_restart_with_identical_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("dramscope_svc_persist_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let job = spec("test_small", 42);
+
+        let count1 = Arc::new(AtomicU64::new(0));
+        let svc1 = counting_service(Arc::clone(&count1));
+        svc1.set_cache_dir(&dir).unwrap();
+        let (first, s1) = svc1.submit(&job, None).unwrap();
+        assert_eq!(s1, CacheStatus::Miss);
+        svc1.shutdown();
+
+        // A fresh service on the same directory is a cold memory tier
+        // but a warm disk tier: no re-simulation, identical dossier.
+        let count2 = Arc::new(AtomicU64::new(0));
+        let svc2 = counting_service(Arc::clone(&count2));
+        svc2.set_cache_dir(&dir).unwrap();
+        let (second, s2) = svc2.submit(&job, None).unwrap();
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(count2.load(Ordering::SeqCst), 0, "served without running");
+        assert_eq!(second.dossier, first.dossier, "byte-identical dossier");
+        assert_eq!(second.digest, first.digest);
+        let stats = svc2.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.executions, 0);
+        // The loaded entry joined the memory tier: the next hit is
+        // served without touching the disk counters again.
+        let (_, s3) = svc2.submit(&job, None).unwrap();
+        assert_eq!(s3, CacheStatus::Hit);
+        assert_eq!(svc2.stats().disk_hits, 1);
+        // The cache decision narrated the load.
+        assert!(svc2
+            .events()
+            .since(0, 0)
+            .events
+            .iter()
+            .any(|e| e.kind == "cache.load"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_disk_entry_salvages_to_a_miss_and_is_rewritten() {
+        let dir =
+            std::env::temp_dir().join(format!("dramscope_svc_salvage_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let job = spec("test_small", 7);
+        let count1 = Arc::new(AtomicU64::new(0));
+        let svc1 = counting_service(Arc::clone(&count1));
+        svc1.set_cache_dir(&dir).unwrap();
+        svc1.submit(&job, None).unwrap();
+        svc1.shutdown();
+
+        // Flip one payload byte: the checksum catches it on load.
+        let path = dir.join(cache::key_file_name(&job.key()));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let count2 = Arc::new(AtomicU64::new(0));
+        let svc2 = counting_service(Arc::clone(&count2));
+        svc2.set_cache_dir(&dir).unwrap();
+        let (_, status) = svc2.submit(&job, None).unwrap();
+        assert_eq!(status, CacheStatus::Miss, "corruption is a miss");
+        assert_eq!(count2.load(Ordering::SeqCst), 1, "job re-ran");
+        let stats = svc2.stats();
+        assert_eq!(stats.salvaged, 1);
+        assert!(svc2
+            .events()
+            .since(0, 0)
+            .events
+            .iter()
+            .any(|e| e.kind == "cache.salvage"));
+        // The miss rewrote the entry: it now probes clean again.
+        match cache::probe_disk(&dir, &job.key()) {
+            DiskProbe::Loaded(output) => assert!(!output.dossier.is_empty()),
+            other => panic!("expected rewritten entry, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

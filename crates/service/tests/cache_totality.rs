@@ -1,0 +1,211 @@
+//! Totality fuzz for the on-disk dossier cache loader: every byte-level
+//! corruption of a persisted entry must decode to a structured error (or
+//! a clean load), never a panic — the same discipline the trace
+//! container's `container_totality` suite enforces for the binary
+//! format. Plus the crash-recovery contract of the temp-file-then-
+//! rename write protocol: a kill at any point leaves no partial
+//! `0x<key>` entry behind.
+
+use dram_telemetry::Registry;
+use dramscope_service::cache::{
+    decode_entry, encode_entry, key_file_name, persist_entry, probe_disk, DiskProbe, ENTRY_MAGIC,
+};
+use dramscope_service::{DossierKey, JobOutput};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dramscope_cache_totality_{tag}_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn sample_output() -> JobOutput {
+    JobOutput {
+        label: "DDR4-testchip".into(),
+        dossier: "## dossier\nrow 17: flips\nrow 44: \"quoted\"\tDEL:\u{7f}\u{1f600}\n".into(),
+        digest: 0xdead_beef_cafe_f00d,
+        composition: "open-bitline edge=2".into(),
+        commands: 123_456,
+        bitflips: 789,
+        metrics: Registry::new(),
+    }
+}
+
+fn sample_key() -> DossierKey {
+    DossierKey {
+        profile_digest: 0x0123_4567_89ab_cdef,
+        seed: 42,
+        geometry_digest: 0xfeed_face_0000_0001,
+        options_digest: 0x7777_0000_1111_2222,
+    }
+}
+
+#[test]
+fn encode_decode_round_trips_exactly() {
+    let out = sample_output();
+    let bytes = encode_entry(&out);
+    let decoded = decode_entry(&bytes).expect("round trip");
+    assert_eq!(decoded.label, out.label);
+    assert_eq!(decoded.dossier, out.dossier, "byte-identical dossier");
+    assert_eq!(decoded.digest, out.digest);
+    assert_eq!(decoded.composition, out.composition);
+    assert_eq!(decoded.commands, out.commands);
+    assert_eq!(decoded.bitflips, out.bitflips);
+    // Encoding is deterministic: same output, same bytes.
+    assert_eq!(bytes, encode_entry(&out));
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_structured_error() {
+    let bytes = encode_entry(&sample_output());
+    for cut in 0..bytes.len() {
+        let err = decode_entry(&bytes[..cut]);
+        assert!(
+            err.is_err(),
+            "prefix of {cut}/{} bytes decoded: {err:?}",
+            bytes.len()
+        );
+    }
+    // The full entry still decodes (the loop above proves no prefix
+    // does, so the checksum line really is load-bearing to the end).
+    assert!(decode_entry(&bytes).is_ok());
+}
+
+#[test]
+fn single_byte_mutations_never_panic_and_never_corrupt_silently() {
+    let bytes = encode_entry(&sample_output());
+    let replacements: &[u8] = b"\0\x01 {}\",:x9\\\x7f\xffAn";
+    for pos in 0..bytes.len() {
+        for &b in replacements {
+            if bytes[pos] == b {
+                continue;
+            }
+            let mut mutated = bytes.clone();
+            mutated[pos] = b;
+            // Any mutation must either fail to decode or — only when
+            // it touched the checksum's own hex digits in a way that
+            // still matches, which FNV makes impossible for a single
+            // byte — decode to the original. Silent payload corruption
+            // is the one unacceptable outcome.
+            if let Ok(decoded) = decode_entry(&mutated) {
+                let original = decode_entry(&bytes).unwrap();
+                assert_eq!(
+                    decoded.dossier, original.dossier,
+                    "mutation at byte {pos} to {b:#04x} silently changed the payload"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_across_the_payload_are_caught_by_the_checksum() {
+    let bytes = encode_entry(&sample_output());
+    // Flip each bit of a sample of payload positions; the checksum
+    // line must reject every one of them.
+    let payload_start = ENTRY_MAGIC.len() + 1;
+    let payload_end = bytes.len() - 26; // "fnv1a:0x<16 hex>\n" trailer
+    for pos in (payload_start..payload_end).step_by(7) {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 1 << bit;
+            if mutated[pos] == b'\n' || bytes[pos] == b'\n' {
+                // Adding/removing line structure changes which bytes
+                // are checksummed; still must error, just differently.
+                assert!(decode_entry(&mutated).is_err() || pos >= payload_end);
+                continue;
+            }
+            let err = decode_entry(&mutated).expect_err("bit flip caught");
+            assert!(!err.is_empty());
+        }
+    }
+}
+
+#[test]
+fn alien_files_and_empty_files_salvage_cleanly() {
+    let dir = temp_dir("alien");
+    let key = sample_key();
+    let path = dir.join(key_file_name(&key));
+    for contents in [
+        &b""[..],
+        b"\n",
+        b"DSSR1",
+        b"DSSR1\n",
+        b"DSSR1\n{}\n",
+        b"DSSR0\nnot this version\nfnv1a:0x0\n",
+        b"\xff\xfe binary garbage \x00\x01",
+        b"{\"looks\":\"like json\"}\n",
+    ] {
+        std::fs::write(&path, contents).unwrap();
+        match probe_disk(&dir, &key) {
+            DiskProbe::Salvage(reason) => assert!(!reason.is_empty()),
+            other => panic!("{contents:?} probed as {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_mid_write_leaves_no_partial_entry() {
+    // Simulate a crash at every byte of the temp-file write: the cache
+    // directory must never contain a partial `0x<key>` file, because
+    // the real name only ever appears via rename of a complete file.
+    let dir = temp_dir("crash");
+    let key = sample_key();
+    let out = sample_output();
+    let bytes = encode_entry(&out);
+    let name = key_file_name(&key);
+    for cut in 0..bytes.len() {
+        // A crash after `cut` bytes means the tmp file holds a prefix
+        // and the rename never happened.
+        let tmp = dir.join(format!(".{name}.tmp"));
+        std::fs::write(&tmp, &bytes[..cut]).unwrap();
+        match probe_disk(&dir, &key) {
+            DiskProbe::Absent => {}
+            other => panic!("crash at byte {cut} visible as {other:?}"),
+        }
+        std::fs::remove_file(&tmp).unwrap();
+    }
+    // Recovery: a later successful persist simply lands the entry.
+    persist_entry(&dir, &key, &out).expect("persisted");
+    match probe_disk(&dir, &key) {
+        DiskProbe::Loaded(loaded) => assert_eq!(loaded.dossier, out.dossier),
+        other => panic!("expected load, got {other:?}"),
+    }
+    // And re-persisting over an existing entry is atomic replacement,
+    // never truncate-in-place: the entry stays readable throughout.
+    persist_entry(&dir, &key, &out).expect("re-persisted");
+    assert!(matches!(probe_disk(&dir, &key), DiskProbe::Loaded(_)));
+    let stray: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect();
+    assert!(stray.is_empty(), "{stray:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_entries_are_refused_before_buffering() {
+    let dir = temp_dir("oversize");
+    let key = sample_key();
+    let path = dir.join(key_file_name(&key));
+    // A sparse-ish huge file of the right magic but absurd size. Write
+    // via set_len to avoid materializing 16 MiB of real bytes.
+    let file = std::fs::File::create(&path).unwrap();
+    file.set_len(dramscope_service::cache::MAX_ENTRY_FILE_BYTES + 2)
+        .unwrap();
+    drop(file);
+    match probe_disk(&dir, &key) {
+        DiskProbe::Salvage(reason) => assert!(reason.contains("entry limit"), "{reason}"),
+        other => panic!("expected salvage, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -9,6 +9,10 @@ use dramscope_service::Request;
 
 const VALID: &str = r#"{"req":"characterize","id":"j1","profile":"test_small","seed":42,"scan_rows":129,"with_swizzle":false,"probe_start":44,"probe_end":60,"retention_wait_ms":120000,"sharded":false,"progress":true}"#;
 
+/// A valid request whose id exercises the string decoder's hard cases:
+/// DEL, a raw astral character, and a reference-encoder surrogate pair.
+const VALID_UNICODE: &str = "{\"req\":\"characterize\",\"id\":\"\u{7f}\u{1f600}\\ud83d\\ude00\",\"profile\":\"test_small\",\"seed\":42}";
+
 /// A tiny deterministic PRNG (xorshift64*) so the fuzz corpus is
 /// reproducible without any dependency.
 struct Rng(u64);
@@ -36,6 +40,18 @@ fn the_reference_line_parses() {
 }
 
 #[test]
+fn the_unicode_reference_line_parses() {
+    match parse_request(VALID_UNICODE) {
+        Ok(Request::Characterize(c)) => {
+            // Raw and escaped forms of U+1F600 decode identically.
+            assert!(c.id.contains("\u{1f600}\u{1f600}"), "{:?}", c.id);
+            assert!(c.id.contains('\u{7f}'), "{:?}", c.id);
+        }
+        other => panic!("expected characterize, got {other:?}"),
+    }
+}
+
+#[test]
 fn truncation_at_every_byte_is_a_structured_error() {
     for cut in 0..VALID.len() {
         let prefix = &VALID[..cut];
@@ -45,21 +61,66 @@ fn truncation_at_every_byte_is_a_structured_error() {
             "prefix of {cut} bytes parsed as {result:?}"
         );
     }
+    // The unicode line truncates on char boundaries only (the line
+    // reader rejects invalid UTF-8 before the parser runs); a cut
+    // inside the surrogate-pair escape must still be a structured
+    // error, never a panic or a mangled accept.
+    for cut in VALID_UNICODE
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain([VALID_UNICODE.len() - 1])
+    {
+        let prefix = &VALID_UNICODE[..cut];
+        let result = parse_request(prefix);
+        assert!(
+            result.is_err(),
+            "unicode prefix of {cut} bytes parsed as {result:?}"
+        );
+    }
+}
+
+#[test]
+fn surrogate_counterexamples_are_structured_errors() {
+    // The counterexamples that broke the original decoder: lone
+    // surrogate halves, swapped pairs, and a high half cut off from
+    // its partner in every way.
+    let cases = [
+        r#"{"req":"characterize","id":"\ud800","profile":"test_small"}"#,
+        r#"{"req":"characterize","id":"\udc00","profile":"test_small"}"#,
+        r#"{"req":"characterize","id":"\ude00\ud83d","profile":"test_small"}"#,
+        r#"{"req":"characterize","id":"\ud83dx","profile":"test_small"}"#,
+        r#"{"req":"characterize","id":"\ud83d\n","profile":"test_small"}"#,
+        r#"{"req":"characterize","id":"\ud83d\ud83d","profile":"test_small"}"#,
+        r#"{"req":"characterize","id":"\ud83d"}"#,
+        r#"{"req":"stats","id":"\ud83dA"}"#,
+    ];
+    for line in cases {
+        let err = parse_request(line).expect_err(line);
+        assert!(
+            err.message.contains("surrogate"),
+            "{line} gave {}",
+            err.message
+        );
+    }
+    // But a proper pair in any request type parses.
+    assert!(parse_request(r#"{"req":"stats","id":"😀"}"#).is_ok());
 }
 
 #[test]
 fn single_byte_mutations_never_panic() {
-    let bytes = VALID.as_bytes();
-    let replacements: &[u8] = b"\0\x01 {}[]\",:xtrue9\\\x7f\xff";
-    for pos in 0..bytes.len() {
-        for &b in replacements {
-            let mut mutated = bytes.to_vec();
-            mutated[pos] = b;
-            // Invalid UTF-8 mutations are the line reader's problem
-            // (it answers an error before parsing); the parser only
-            // ever sees strings.
-            if let Ok(line) = std::str::from_utf8(&mutated) {
-                let _ = parse_request(line);
+    let replacements: &[u8] = b"\0\x01 {}[]\",:xtrue9\\\x7f\xffudc";
+    for line in [VALID, VALID_UNICODE] {
+        let bytes = line.as_bytes();
+        for pos in 0..bytes.len() {
+            for &b in replacements {
+                let mut mutated = bytes.to_vec();
+                mutated[pos] = b;
+                // Invalid UTF-8 mutations are the line reader's problem
+                // (it answers an error before parsing); the parser only
+                // ever sees strings.
+                if let Ok(line) = std::str::from_utf8(&mutated) {
+                    let _ = parse_request(line);
+                }
             }
         }
     }
